@@ -1,0 +1,190 @@
+//! Elastic Phase-Oriented Programming (EPOP, §3.2.5).
+//!
+//! EPOP structures a dynamic application as a sequence of *blocks* separated
+//! by explicit phase boundaries. At each boundary the application reports its
+//! characteristics to the invasive resource manager and declares whether
+//! resource redistribution is safe there ("the programmer can explicitly
+//! inform IRM about the application phases where resource redistribution is
+//! needed or not"). The RM may then change the node allocation — respecting
+//! the application's node-count constraint (e.g. LULESH's cubic rule).
+
+use crate::mpi::MpiModel;
+use crate::workload::{NodeCountRule, Phase, Workload};
+use pstack_hwmodel::PhaseMix;
+use serde::{Deserialize, Serialize};
+
+/// The application's declaration at a phase boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PhaseHint {
+    /// Redistribution is safe here (data can be repartitioned).
+    RedistributionSafe,
+    /// Redistribution must not happen here (e.g. mid-checkpoint).
+    RedistributionUnsafe,
+}
+
+/// A malleable, phase-oriented application.
+///
+/// Total work is fixed (strong scaling): blocks run faster on more nodes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpopApp {
+    name: String,
+    /// Total work across all nodes and blocks, reference node-seconds.
+    total_work: f64,
+    /// Hints at each boundary *after* block i (length = n_blocks − 1).
+    boundary_hints: Vec<PhaseHint>,
+    /// Node-count constraint.
+    rule: NodeCountRule,
+    /// Communication model.
+    mpi: MpiModel,
+}
+
+impl EpopApp {
+    /// Build an EPOP app with `n_blocks` equal blocks and all boundaries safe.
+    ///
+    /// # Panics
+    /// Panics on non-positive work or zero blocks.
+    pub fn uniform(
+        name: impl Into<String>,
+        total_work: f64,
+        n_blocks: usize,
+        rule: NodeCountRule,
+    ) -> Self {
+        assert!(total_work > 0.0, "work must be positive");
+        assert!(n_blocks > 0, "need at least one block");
+        EpopApp {
+            name: name.into(),
+            total_work,
+            boundary_hints: vec![PhaseHint::RedistributionSafe; n_blocks.saturating_sub(1)],
+            rule,
+            mpi: MpiModel::typical(),
+        }
+    }
+
+    /// A LULESH-shaped EPOP app: cubic node counts, every boundary safe.
+    pub fn lulesh_like(total_work: f64, n_blocks: usize) -> Self {
+        Self::uniform("epop-lulesh", total_work, n_blocks, NodeCountRule::Cube)
+    }
+
+    /// Mark the boundary after `block` as unsafe for redistribution.
+    ///
+    /// # Panics
+    /// Panics if `block` has no following boundary.
+    pub fn mark_unsafe(&mut self, block: usize) {
+        self.boundary_hints[block] = PhaseHint::RedistributionUnsafe;
+    }
+
+    /// Application name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of blocks.
+    pub fn n_blocks(&self) -> usize {
+        self.boundary_hints.len() + 1
+    }
+
+    /// Total work, reference node-seconds.
+    pub fn total_work(&self) -> f64 {
+        self.total_work
+    }
+
+    /// Node-count constraint.
+    pub fn node_rule(&self) -> NodeCountRule {
+        self.rule
+    }
+
+    /// The hint at the boundary after `block`; `None` after the last block.
+    pub fn hint_after(&self, block: usize) -> Option<PhaseHint> {
+        self.boundary_hints.get(block).copied()
+    }
+
+    /// Whether the allocation may change at the boundary after `block`.
+    pub fn can_redistribute_after(&self, block: usize) -> bool {
+        self.hint_after(block) == Some(PhaseHint::RedistributionSafe)
+    }
+
+    /// Per-node workload of one block when running on `n_nodes`.
+    ///
+    /// # Panics
+    /// Panics if `block` is out of range or `n_nodes` violates the rule.
+    pub fn block_workload(&self, block: usize, n_nodes: usize) -> Workload {
+        assert!(block < self.n_blocks(), "block out of range");
+        assert!(
+            self.rule.allows(n_nodes),
+            "{} nodes violates {:?}",
+            n_nodes,
+            self.rule
+        );
+        let per_node = self.total_work / self.n_blocks() as f64 / n_nodes as f64;
+        let comm = self.mpi.comm_fraction(n_nodes);
+        Workload::from_phases(vec![
+            Phase::new(
+                "block_compute",
+                PhaseMix::new(0.8, 0.2, 0.0, 0.0),
+                per_node * 0.60,
+            ),
+            Phase::new(
+                "block_memory",
+                PhaseMix::new(0.2, 0.8, 0.0, 0.0),
+                per_node * (0.40 - 0.30 * comm),
+            ),
+            Phase::new(
+                "block_exchange",
+                PhaseMix::new(0.0, 0.1, 0.9, 0.0),
+                (per_node * 0.30 * comm).max(1e-9),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_blocks() {
+        let app = EpopApp::uniform("x", 100.0, 10, NodeCountRule::Any);
+        assert_eq!(app.n_blocks(), 10);
+        assert!(app.can_redistribute_after(0));
+        assert_eq!(app.hint_after(9), None);
+    }
+
+    #[test]
+    fn unsafe_boundary() {
+        let mut app = EpopApp::uniform("x", 100.0, 4, NodeCountRule::Any);
+        app.mark_unsafe(1);
+        assert!(app.can_redistribute_after(0));
+        assert!(!app.can_redistribute_after(1));
+        assert!(app.can_redistribute_after(2));
+    }
+
+    #[test]
+    fn block_work_strong_scales() {
+        let app = EpopApp::lulesh_like(270.0, 10);
+        let w8 = app.block_workload(0, 8);
+        let w27 = app.block_workload(0, 27);
+        assert!(w27.total_work() < w8.total_work());
+        // Per-node per-block work ≈ total / blocks / nodes (comm adjusts shares).
+        assert!((w8.total_work() - 270.0 / 10.0 / 8.0).abs() / w8.total_work() < 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "violates")]
+    fn rule_violation_panics() {
+        EpopApp::lulesh_like(100.0, 4).block_workload(0, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn block_out_of_range_panics() {
+        EpopApp::uniform("x", 1.0, 2, NodeCountRule::Any).block_workload(5, 1);
+    }
+
+    #[test]
+    fn single_block_has_no_boundaries() {
+        let app = EpopApp::uniform("x", 1.0, 1, NodeCountRule::Any);
+        assert_eq!(app.n_blocks(), 1);
+        assert_eq!(app.hint_after(0), None);
+        assert!(!app.can_redistribute_after(0));
+    }
+}

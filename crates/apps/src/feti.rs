@@ -1,0 +1,354 @@
+//! ESPRESO-FETI-like region-instrumented solver (Figure 5, §3.2.4).
+//!
+//! The paper tunes the ESPRESO FETI solver with READEX/MERIC: the application
+//! is instrumented into regions (Figure 5 shows the region graph) and each
+//! region gets its own hardware configuration; the application-level knobs
+//! (solver variant, preconditioner, domain size) are tuned with the ATP
+//! plugin. The regions here follow the figure: assembly → factorization →
+//! preprocessing → CG iteration loop (gather, operator apply, preconditioner,
+//! projector all-reduce) → recovery, with deliberately heterogeneous phase
+//! characteristics so per-region tuning has real savings to find.
+
+use crate::mpi::MpiModel;
+use crate::workload::{AppModel, NodeCountRule, Phase, Workload};
+use pstack_hwmodel::PhaseMix;
+use serde::{Deserialize, Serialize};
+
+/// FETI solver variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FetiSolverKind {
+    /// Total FETI: simpler, coarse problem grows with scale.
+    TotalFeti,
+    /// Hybrid Total FETI: two-level decomposition, lighter coarse problem.
+    HybridTotalFeti,
+}
+
+/// FETI preconditioner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FetiPreconditioner {
+    /// No preconditioning: cheapest apply, most iterations.
+    None,
+    /// Lumped: medium cost and strength.
+    Lumped,
+    /// Dirichlet: strongest, flop-heavy apply.
+    Dirichlet,
+}
+
+/// Application-level configuration (the ATP-tuned knobs of §3.2.4).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FetiConfig {
+    /// Solver variant.
+    pub solver: FetiSolverKind,
+    /// Preconditioner.
+    pub precond: FetiPreconditioner,
+    /// Elements per subdomain (one of [`FetiConfig::DOMAIN_SIZES`]).
+    pub domain_size: usize,
+}
+
+impl FetiConfig {
+    /// The tunable domain sizes.
+    pub const DOMAIN_SIZES: [usize; 5] = [400, 800, 1600, 3200, 6400];
+
+    /// ESPRESO's defaults: Total FETI with Lumped preconditioner, 1600/dom.
+    pub fn default_config() -> Self {
+        FetiConfig {
+            solver: FetiSolverKind::TotalFeti,
+            precond: FetiPreconditioner::Lumped,
+            domain_size: 1600,
+        }
+    }
+
+    /// Dependency condition: domain size must be one of the supported values.
+    pub fn is_valid(&self) -> bool {
+        Self::DOMAIN_SIZES.contains(&self.domain_size)
+    }
+
+    /// Enumerate the valid configuration space (2 × 3 × 5 = 30 points).
+    pub fn space() -> Vec<FetiConfig> {
+        let mut out = Vec::new();
+        for solver in [FetiSolverKind::TotalFeti, FetiSolverKind::HybridTotalFeti] {
+            for precond in [
+                FetiPreconditioner::None,
+                FetiPreconditioner::Lumped,
+                FetiPreconditioner::Dirichlet,
+            ] {
+                for domain_size in Self::DOMAIN_SIZES {
+                    out.push(FetiConfig {
+                        solver,
+                        precond,
+                        domain_size,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// CG iteration count: stronger preconditioners and larger subdomains
+    /// reduce iterations; HTFETI pays a small iteration penalty.
+    pub fn iterations(&self, n_nodes: usize) -> f64 {
+        let precond_factor = match self.precond {
+            FetiPreconditioner::None => 1.0,
+            FetiPreconditioner::Lumped => 0.55,
+            FetiPreconditioner::Dirichlet => 0.34,
+        };
+        // Larger subdomains → fewer interface unknowns → fewer iterations.
+        let size_factor = (1600.0 / self.domain_size as f64).powf(0.35);
+        let solver_factor = match self.solver {
+            FetiSolverKind::TotalFeti => 1.0,
+            FetiSolverKind::HybridTotalFeti => 1.12,
+        };
+        // Interface grows mildly with scale.
+        let scale = 1.0 + 0.04 * (n_nodes as f64).log2();
+        220.0 * precond_factor * size_factor * solver_factor * scale
+    }
+}
+
+/// A runnable FETI job.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FetiApp {
+    /// Solver configuration.
+    pub config: FetiConfig,
+    /// Problem scale per node (1.0 ≈ default benchmark size).
+    pub size: f64,
+    /// Communication model.
+    pub mpi: MpiModel,
+}
+
+impl FetiApp {
+    /// Construct; panics on an invalid configuration.
+    pub fn new(config: FetiConfig, size: f64) -> Self {
+        assert!(config.is_valid(), "invalid FETI configuration: {config:?}");
+        assert!(size > 0.0, "size must be positive");
+        FetiApp {
+            config,
+            size,
+            mpi: MpiModel::typical(),
+        }
+    }
+}
+
+impl AppModel for FetiApp {
+    fn name(&self) -> &str {
+        "espreso-feti"
+    }
+
+    fn workload(&self, n_nodes: usize) -> Workload {
+        assert!(n_nodes >= 1);
+        let s = self.size;
+        let comm = self.mpi.comm_fraction(n_nodes);
+        let cfg = self.config;
+        let mut w = Workload::new();
+
+        // --- one-time regions (Figure 5 top half) ---
+        w.push(Phase::new(
+            "assemble_stiffness",
+            PhaseMix::new(0.80, 0.20, 0.0, 0.0),
+            2.0 * s,
+        ));
+        // Factorization cost grows superlinearly with subdomain size: larger
+        // domains trade setup time for iteration count.
+        let fact_cost = 1.5 * s * (cfg.domain_size as f64 / 1600.0).powf(1.5);
+        w.push(Phase::new(
+            "factorize_k",
+            PhaseMix::new(0.65, 0.35, 0.0, 0.0),
+            fact_cost,
+        ));
+        let dirichlet_setup = match cfg.precond {
+            FetiPreconditioner::Dirichlet => 1.2 * s,
+            _ => 0.2 * s,
+        };
+        w.push(Phase::new(
+            "preprocessing",
+            PhaseMix::new(0.30, 0.65, 0.05, 0.0),
+            dirichlet_setup,
+        ));
+
+        // --- CG iteration loop (Figure 5 bottom half) ---
+        let coarse_comm = match cfg.solver {
+            FetiSolverKind::TotalFeti => 1.0,
+            FetiSolverKind::HybridTotalFeti => 0.45, // lighter coarse problem
+        };
+        let apply_cost = match cfg.precond {
+            FetiPreconditioner::None => 0.0,
+            FetiPreconditioner::Lumped => 0.016,
+            FetiPreconditioner::Dirichlet => 0.022,
+        };
+        let mut body = vec![
+            Phase::new(
+                "gluing_gather",
+                PhaseMix::new(0.05, 0.15, 0.80, 0.0),
+                (0.004 + 0.012 * comm) * s,
+            ),
+            Phase::new(
+                "apply_f_operator",
+                PhaseMix::new(0.25, 0.70, 0.05, 0.0),
+                0.020 * s * (cfg.domain_size as f64 / 1600.0).powf(0.6),
+            ),
+        ];
+        if apply_cost > 0.0 {
+            let mix = match cfg.precond {
+                FetiPreconditioner::Dirichlet => PhaseMix::new(0.85, 0.15, 0.0, 0.0),
+                _ => PhaseMix::new(0.40, 0.60, 0.0, 0.0),
+            };
+            body.push(Phase::new("apply_preconditioner", mix, apply_cost * s));
+        }
+        body.push(Phase::new(
+            "projector_allreduce",
+            PhaseMix::new(0.0, 0.05, 0.95, 0.0),
+            (0.003 + 0.015 * comm) * coarse_comm * s,
+        ));
+        let iters = cfg.iterations(n_nodes).round().max(1.0) as usize;
+        w.repeat(&body, iters);
+
+        // --- recovery (I/O + memory) ---
+        w.push(Phase::new(
+            "postprocess_recover",
+            PhaseMix::new(0.10, 0.50, 0.0, 0.40),
+            0.8 * s,
+        ));
+        w
+    }
+
+    fn node_rule(&self) -> NodeCountRule {
+        NodeCountRule::Any
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pstack_hwmodel::PhaseKind;
+
+    #[test]
+    fn space_enumeration() {
+        let space = FetiConfig::space();
+        assert_eq!(space.len(), 30);
+        assert!(space.iter().all(|c| c.is_valid()));
+    }
+
+    #[test]
+    fn preconditioner_strength_ordering() {
+        let mk = |p| FetiConfig {
+            precond: p,
+            ..FetiConfig::default_config()
+        };
+        assert!(
+            mk(FetiPreconditioner::Dirichlet).iterations(8)
+                < mk(FetiPreconditioner::Lumped).iterations(8)
+        );
+        assert!(
+            mk(FetiPreconditioner::Lumped).iterations(8)
+                < mk(FetiPreconditioner::None).iterations(8)
+        );
+    }
+
+    #[test]
+    fn domain_size_tradeoff() {
+        // Larger domains: fewer iterations but costlier factorization.
+        let small = FetiConfig {
+            domain_size: 400,
+            ..FetiConfig::default_config()
+        };
+        let large = FetiConfig {
+            domain_size: 6400,
+            ..FetiConfig::default_config()
+        };
+        assert!(large.iterations(8) < small.iterations(8));
+        let w_small = FetiApp::new(small, 1.0).workload(8);
+        let w_large = FetiApp::new(large, 1.0).workload(8);
+        let fact = |w: &Workload| {
+            w.phases()
+                .iter()
+                .filter(|p| p.region == "factorize_k")
+                .map(|p| p.work)
+                .sum::<f64>()
+        };
+        assert!(fact(&w_large) > fact(&w_small));
+    }
+
+    #[test]
+    fn region_graph_matches_figure5() {
+        let app = FetiApp::new(FetiConfig::default_config(), 1.0);
+        let w = app.workload(4);
+        let regions = w.regions();
+        for expected in [
+            "assemble_stiffness",
+            "factorize_k",
+            "preprocessing",
+            "gluing_gather",
+            "apply_f_operator",
+            "apply_preconditioner",
+            "projector_allreduce",
+            "postprocess_recover",
+        ] {
+            assert!(regions.contains(&expected), "missing region {expected}");
+        }
+    }
+
+    #[test]
+    fn regions_are_heterogeneous() {
+        // The point of per-region tuning: regions differ in boundedness.
+        let app = FetiApp::new(
+            FetiConfig {
+                precond: FetiPreconditioner::Dirichlet,
+                ..FetiConfig::default_config()
+            },
+            1.0,
+        );
+        let w = app.workload(4);
+        let dominant_of = |name: &str| {
+            w.phases()
+                .iter()
+                .find(|p| p.region == name)
+                .map(|p| p.mix.dominant())
+                .unwrap()
+        };
+        assert_eq!(dominant_of("assemble_stiffness"), PhaseKind::ComputeBound);
+        assert_eq!(dominant_of("apply_f_operator"), PhaseKind::MemoryBound);
+        assert_eq!(dominant_of("projector_allreduce"), PhaseKind::CommBound);
+        assert_eq!(dominant_of("apply_preconditioner"), PhaseKind::ComputeBound);
+    }
+
+    #[test]
+    fn htfeti_lightens_coarse_comm() {
+        let tf = FetiApp::new(
+            FetiConfig {
+                solver: FetiSolverKind::TotalFeti,
+                ..FetiConfig::default_config()
+            },
+            1.0,
+        )
+        .workload(16);
+        let hf = FetiApp::new(
+            FetiConfig {
+                solver: FetiSolverKind::HybridTotalFeti,
+                ..FetiConfig::default_config()
+            },
+            1.0,
+        )
+        .workload(16);
+        let allreduce = |w: &Workload| {
+            w.phases()
+                .iter()
+                .filter(|p| p.region == "projector_allreduce")
+                .map(|p| p.work)
+                .sum::<f64>()
+        };
+        // Per-iteration cost is 0.45×; even with ~12% more iterations the
+        // total all-reduce work must drop.
+        assert!(allreduce(&hf) < allreduce(&tf));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid FETI configuration")]
+    fn invalid_domain_size_panics() {
+        FetiApp::new(
+            FetiConfig {
+                domain_size: 1000,
+                ..FetiConfig::default_config()
+            },
+            1.0,
+        );
+    }
+}

@@ -1,0 +1,456 @@
+//! Hypre-like linear-solver configuration space and cost model (§3.2.1).
+//!
+//! The paper tunes a 27-point Laplacian from the Hypre test suite, whose knobs
+//! are the solver, preconditioner, sub-solver options and smoother/coarsening
+//! choices — "several thousand combinations ... selected at job launch". Its
+//! empirical finding, which this model is built to reproduce, is that **the
+//! best-case combination of tuning knobs is often inefficient when subject to
+//! a hardware power constraint**: flop-rich preconditioners (ParaSails-style)
+//! win at full frequency, while memory-bound multigrid (BoomerAMG-style)
+//! barely slows down when a power cap clips the core clock.
+//!
+//! The convergence model is first-order: iteration counts by (solver ×
+//! preconditioner) with multiplicative modifiers for the AMG sub-knobs, times
+//! a per-iteration phase breakdown whose mixes drive the hardware model.
+
+use crate::mpi::MpiModel;
+use crate::workload::{AppModel, NodeCountRule, Phase, Workload};
+use pstack_hwmodel::PhaseMix;
+use serde::{Deserialize, Serialize};
+
+/// Krylov solver choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SolverKind {
+    /// Conjugate gradients.
+    Pcg,
+    /// Restarted GMRES.
+    Gmres,
+    /// Stabilized bi-conjugate gradients.
+    BiCgStab,
+}
+
+/// Preconditioner choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Preconditioner {
+    /// No preconditioning.
+    None,
+    /// Diagonal (Jacobi) scaling.
+    Jacobi,
+    /// Sparse approximate inverse — flop-rich application (compute-bound).
+    ParaSails,
+    /// Algebraic multigrid — bandwidth-hungry V-cycles (memory-bound).
+    BoomerAmg,
+}
+
+/// AMG smoother (meaningful only with [`Preconditioner::BoomerAmg`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Smoother {
+    /// Weighted Jacobi: cheap, weaker.
+    Jacobi,
+    /// Hybrid Gauss–Seidel: the balanced default.
+    GaussSeidel,
+    /// Chebyshev polynomial: stronger, costlier.
+    Chebyshev,
+}
+
+/// AMG coarsening (meaningful only with [`Preconditioner::BoomerAmg`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CoarsenType {
+    /// Classical Falgout coarsening: best convergence, densest hierarchy.
+    Falgout,
+    /// PMIS: cheaper cycles, a few more iterations.
+    Pmis,
+    /// HMIS: between the two.
+    Hmis,
+}
+
+/// A full Hypre configuration (one point of the §3.2.1 launch-time space).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HypreConfig {
+    /// Krylov solver.
+    pub solver: SolverKind,
+    /// Preconditioner.
+    pub precond: Preconditioner,
+    /// AMG smoother.
+    pub smoother: Smoother,
+    /// AMG coarsening.
+    pub coarsen: CoarsenType,
+    /// AMG strong threshold (0.25 / 0.5 / 0.7).
+    pub strong_threshold: f64,
+}
+
+impl HypreConfig {
+    /// The library default: AMG-PCG with Falgout/Gauss–Seidel, θ = 0.25.
+    pub fn default_config() -> Self {
+        HypreConfig {
+            solver: SolverKind::Pcg,
+            precond: Preconditioner::BoomerAmg,
+            smoother: Smoother::GaussSeidel,
+            coarsen: CoarsenType::Falgout,
+            strong_threshold: 0.25,
+        }
+    }
+
+    /// Dependency condition (READEX ATP-style): AMG sub-knobs are only
+    /// meaningful when the preconditioner is AMG; non-AMG configurations must
+    /// carry the defaults so the space contains no aliased duplicates.
+    pub fn is_valid(&self) -> bool {
+        if !(0.0..1.0).contains(&self.strong_threshold) {
+            return false;
+        }
+        if self.precond != Preconditioner::BoomerAmg {
+            self.smoother == Smoother::GaussSeidel
+                && self.coarsen == CoarsenType::Falgout
+                && (self.strong_threshold - 0.25).abs() < 1e-9
+        } else {
+            true
+        }
+    }
+
+    /// Enumerate the valid launch-time configuration space.
+    pub fn space() -> Vec<HypreConfig> {
+        let solvers = [SolverKind::Pcg, SolverKind::Gmres, SolverKind::BiCgStab];
+        let preconds = [
+            Preconditioner::None,
+            Preconditioner::Jacobi,
+            Preconditioner::ParaSails,
+            Preconditioner::BoomerAmg,
+        ];
+        let smoothers = [Smoother::Jacobi, Smoother::GaussSeidel, Smoother::Chebyshev];
+        let coarsens = [CoarsenType::Falgout, CoarsenType::Pmis, CoarsenType::Hmis];
+        let thresholds = [0.25, 0.5, 0.7];
+        let mut out = Vec::new();
+        for &solver in &solvers {
+            for &precond in &preconds {
+                if precond == Preconditioner::BoomerAmg {
+                    for &smoother in &smoothers {
+                        for &coarsen in &coarsens {
+                            for &strong_threshold in &thresholds {
+                                out.push(HypreConfig {
+                                    solver,
+                                    precond,
+                                    smoother,
+                                    coarsen,
+                                    strong_threshold,
+                                });
+                            }
+                        }
+                    }
+                } else {
+                    out.push(HypreConfig {
+                        solver,
+                        precond,
+                        ..HypreConfig::default_config()
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Iteration count for this configuration on the 27-point Laplacian.
+    pub fn iterations(&self, n_nodes: usize) -> f64 {
+        let base = match (self.solver, self.precond) {
+            (SolverKind::Pcg, Preconditioner::None) => 900.0,
+            (SolverKind::Gmres, Preconditioner::None) => 760.0,
+            (SolverKind::BiCgStab, Preconditioner::None) => 820.0,
+            (SolverKind::Pcg, Preconditioner::Jacobi) => 420.0,
+            (SolverKind::Gmres, Preconditioner::Jacobi) => 370.0,
+            (SolverKind::BiCgStab, Preconditioner::Jacobi) => 390.0,
+            (SolverKind::Pcg, Preconditioner::ParaSails) => 91.0,
+            (SolverKind::Gmres, Preconditioner::ParaSails) => 82.0,
+            (SolverKind::BiCgStab, Preconditioner::ParaSails) => 86.0,
+            (SolverKind::Pcg, Preconditioner::BoomerAmg) => 18.0,
+            (SolverKind::Gmres, Preconditioner::BoomerAmg) => 16.0,
+            (SolverKind::BiCgStab, Preconditioner::BoomerAmg) => 17.0,
+        };
+        let mut iters = base;
+        if self.precond == Preconditioner::BoomerAmg {
+            iters *= match self.smoother {
+                Smoother::Jacobi => 1.25,
+                Smoother::GaussSeidel => 1.0,
+                Smoother::Chebyshev => 0.88,
+            };
+            iters *= match self.coarsen {
+                CoarsenType::Falgout => 1.0,
+                CoarsenType::Pmis => 1.18,
+                CoarsenType::Hmis => 1.08,
+            };
+            // Larger θ → sparser hierarchy → more iterations.
+            iters *= 1.0 + 0.35 * (self.strong_threshold - 0.25);
+            // AMG is algorithmically scalable: flat in node count.
+        } else {
+            // Krylov-only convergence degrades slowly with scale.
+            iters *= 1.0 + 0.05 * (n_nodes as f64).log2();
+        }
+        iters
+    }
+
+    /// Per-iteration cost multiplier for AMG cycle shape (relative).
+    fn amg_cycle_cost(&self) -> f64 {
+        let smoother = match self.smoother {
+            Smoother::Jacobi => 0.80,
+            Smoother::GaussSeidel => 1.0,
+            Smoother::Chebyshev => 1.22,
+        };
+        let coarsen = match self.coarsen {
+            CoarsenType::Falgout => 1.0,
+            CoarsenType::Pmis => 0.82,
+            CoarsenType::Hmis => 0.90,
+        };
+        // Larger θ → sparser operators → cheaper cycles.
+        let theta = 1.0 - 0.25 * (self.strong_threshold - 0.25);
+        smoother * coarsen * theta
+    }
+}
+
+/// Problem instance: a 27-point Laplacian, weak-scaled (fixed work per node).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HypreProblem {
+    /// Work scale per node: 1.0 ≈ a grid sized so the default config solves
+    /// in O(10 s) per node at the reference frequency.
+    pub size: f64,
+    /// Communication model.
+    pub mpi: MpiModel,
+}
+
+impl HypreProblem {
+    /// Default 27-point Laplacian instance.
+    pub fn laplacian_27pt() -> Self {
+        HypreProblem {
+            size: 1.0,
+            mpi: MpiModel::typical(),
+        }
+    }
+}
+
+/// A runnable Hypre job: configuration + problem.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HypreApp {
+    /// Solver configuration.
+    pub config: HypreConfig,
+    /// Problem instance.
+    pub problem: HypreProblem,
+}
+
+impl HypreApp {
+    /// Construct; panics on an invalid (dependency-violating) configuration.
+    pub fn new(config: HypreConfig, problem: HypreProblem) -> Self {
+        assert!(config.is_valid(), "invalid Hypre configuration: {config:?}");
+        HypreApp { config, problem }
+    }
+}
+
+impl AppModel for HypreApp {
+    fn name(&self) -> &str {
+        "hypre-27pt-laplacian"
+    }
+
+    fn workload(&self, n_nodes: usize) -> Workload {
+        assert!(n_nodes >= 1);
+        let s = self.problem.size;
+        let comm = self.problem.mpi.comm_fraction(n_nodes);
+        let iters = self.config.iterations(n_nodes);
+        let mut w = Workload::new();
+
+        // Setup phase.
+        match self.config.precond {
+            Preconditioner::None => {}
+            Preconditioner::Jacobi => {
+                w.push(Phase::new(
+                    "setup_jacobi",
+                    PhaseMix::new(0.4, 0.6, 0.0, 0.0),
+                    0.10 * s,
+                ));
+            }
+            Preconditioner::ParaSails => {
+                // Sparse approximate inverse construction: flop-rich.
+                w.push(Phase::new(
+                    "setup_parasails",
+                    PhaseMix::new(0.85, 0.15, 0.0, 0.0),
+                    3.0 * s,
+                ));
+            }
+            Preconditioner::BoomerAmg => {
+                // Hierarchy construction: graph + Galerkin products, memory-bound.
+                w.push(Phase::new(
+                    "setup_amg",
+                    PhaseMix::new(0.25, 0.70, 0.05, 0.0),
+                    5.0 * s,
+                ));
+            }
+        }
+
+        // Per-iteration phase group.
+        let mut body: Vec<Phase> = Vec::new();
+        // SpMV: memory-bound with comm halo exchange.
+        body.push(Phase::new(
+            "spmv",
+            PhaseMix::new(0.15, 0.85 - 0.5 * comm, 0.5 * comm, 0.0),
+            0.030 * s,
+        ));
+        // Preconditioner application.
+        match self.config.precond {
+            Preconditioner::None => {}
+            Preconditioner::Jacobi => {
+                body.push(Phase::new(
+                    "apply_jacobi",
+                    PhaseMix::new(0.5, 0.5, 0.0, 0.0),
+                    0.006 * s,
+                ));
+            }
+            Preconditioner::ParaSails => {
+                body.push(Phase::new(
+                    "apply_parasails",
+                    PhaseMix::new(0.85, 0.15, 0.0, 0.0),
+                    0.050 * s,
+                ));
+            }
+            Preconditioner::BoomerAmg => {
+                body.push(Phase::new(
+                    "amg_vcycle",
+                    PhaseMix::new(0.15, 0.75, 0.10, 0.0),
+                    0.46 * s * self.config.amg_cycle_cost(),
+                ));
+            }
+        }
+        // Krylov vector ops + global reductions.
+        let krylov_compute = match self.config.solver {
+            SolverKind::Pcg => 0.010,
+            SolverKind::Gmres => 0.018, // orthogonalization against the basis
+            SolverKind::BiCgStab => 0.014,
+        };
+        body.push(Phase::new(
+            "krylov_ops",
+            PhaseMix::new(0.7, 0.3, 0.0, 0.0),
+            krylov_compute * s,
+        ));
+        body.push(Phase::new(
+            "dot_allreduce",
+            PhaseMix::new(0.0, 0.0, 1.0, 0.0),
+            (0.004 + 0.02 * comm) * s,
+        ));
+
+        w.repeat(&body, iters.round().max(1.0) as usize);
+        w
+    }
+
+    fn node_rule(&self) -> NodeCountRule {
+        NodeCountRule::Any
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pstack_hwmodel::PhaseKind;
+
+    #[test]
+    fn space_size_and_validity() {
+        let space = HypreConfig::space();
+        // 3 solvers × (3 non-AMG + 27 AMG variants) = 90.
+        assert_eq!(space.len(), 90);
+        for c in &space {
+            assert!(c.is_valid(), "{c:?}");
+        }
+        // No duplicates.
+        for (i, a) in space.iter().enumerate() {
+            for b in &space[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn dependency_condition_rejects_aliased_configs() {
+        let bad = HypreConfig {
+            precond: Preconditioner::Jacobi,
+            smoother: Smoother::Chebyshev,
+            ..HypreConfig::default_config()
+        };
+        assert!(!bad.is_valid());
+    }
+
+    #[test]
+    fn amg_converges_fastest() {
+        let amg = HypreConfig::default_config();
+        let jacobi = HypreConfig {
+            precond: Preconditioner::Jacobi,
+            ..HypreConfig::default_config()
+        };
+        assert!(amg.iterations(8) < jacobi.iterations(8) / 5.0);
+    }
+
+    #[test]
+    fn krylov_iterations_grow_with_scale_amg_flat() {
+        let amg = HypreConfig::default_config();
+        let none = HypreConfig {
+            precond: Preconditioner::None,
+            ..HypreConfig::default_config()
+        };
+        assert_eq!(amg.iterations(1), amg.iterations(64));
+        assert!(none.iterations(64) > none.iterations(1));
+    }
+
+    #[test]
+    fn workload_totals_reasonable() {
+        let app = HypreApp::new(HypreConfig::default_config(), HypreProblem::laplacian_27pt());
+        let w = app.workload(8);
+        let t = w.total_work();
+        assert!((5.0..60.0).contains(&t), "AMG total work {t}");
+        assert!(!w.regions().is_empty());
+    }
+
+    #[test]
+    fn parasails_is_compute_dominated_amg_memory_dominated() {
+        let problem = HypreProblem::laplacian_27pt();
+        let para = HypreApp::new(
+            HypreConfig {
+                precond: Preconditioner::ParaSails,
+                ..HypreConfig::default_config()
+            },
+            problem,
+        )
+        .workload(8);
+        let amg =
+            HypreApp::new(HypreConfig::default_config(), problem).workload(8);
+        let para_comp = para.work_by_dominant(PhaseKind::ComputeBound) / para.total_work();
+        let amg_mem = amg.work_by_dominant(PhaseKind::MemoryBound) / amg.total_work();
+        assert!(para_comp > 0.5, "ParaSails compute share {para_comp}");
+        assert!(amg_mem > 0.6, "AMG memory share {amg_mem}");
+    }
+
+    #[test]
+    fn comm_share_grows_with_nodes() {
+        let app = HypreApp::new(HypreConfig::default_config(), HypreProblem::laplacian_27pt());
+        let comm = |n: usize| {
+            let w = app.workload(n);
+            w.work_by_dominant(PhaseKind::CommBound) / w.total_work()
+        };
+        assert!(comm(64) > comm(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid Hypre configuration")]
+    fn constructing_invalid_app_panics() {
+        HypreApp::new(
+            HypreConfig {
+                precond: Preconditioner::None,
+                strong_threshold: 0.7,
+                ..HypreConfig::default_config()
+            },
+            HypreProblem::laplacian_27pt(),
+        );
+    }
+
+    #[test]
+    fn amg_subknobs_change_cost_model() {
+        let base = HypreConfig::default_config();
+        let cheb = HypreConfig {
+            smoother: Smoother::Chebyshev,
+            ..base
+        };
+        assert!(cheb.iterations(8) < base.iterations(8));
+        assert!(cheb.amg_cycle_cost() > base.amg_cycle_cost());
+    }
+}

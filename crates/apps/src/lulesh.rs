@@ -1,0 +1,146 @@
+//! LULESH-like malleable proxy application (§3.2.5).
+//!
+//! The paper's IRM/EPOP use case needs a *dynamic* application whose resources
+//! can be redistributed at phase boundaries, subject to application
+//! constraints — it names LULESH's requirement of a cubic number of processes
+//! explicitly. This model is a Lagrangian-hydrodynamics-shaped timestep loop
+//! (stress/hourglass compute, nodal gather memory traffic, halo exchange)
+//! that strong-scales across the allocated nodes.
+
+use crate::mpi::MpiModel;
+use crate::workload::{AppModel, NodeCountRule, Phase, Workload};
+use pstack_hwmodel::PhaseMix;
+use serde::{Deserialize, Serialize};
+
+/// A LULESH-like timestep-loop application.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Lulesh {
+    /// Total problem work across all nodes, reference node-seconds.
+    pub total_work: f64,
+    /// Number of timesteps the work is divided into.
+    pub timesteps: usize,
+    /// Communication model.
+    pub mpi: MpiModel,
+}
+
+impl Lulesh {
+    /// A medium problem: 600 node-seconds over 150 timesteps.
+    pub fn medium() -> Self {
+        Lulesh {
+            total_work: 600.0,
+            timesteps: 150,
+            mpi: MpiModel::typical(),
+        }
+    }
+
+    /// Construct with explicit size.
+    ///
+    /// # Panics
+    /// Panics on non-positive work or zero timesteps.
+    pub fn new(total_work: f64, timesteps: usize) -> Self {
+        assert!(total_work > 0.0, "work must be positive");
+        assert!(timesteps > 0, "need at least one timestep");
+        Lulesh {
+            total_work,
+            timesteps,
+            mpi: MpiModel::typical(),
+        }
+    }
+}
+
+impl AppModel for Lulesh {
+    fn name(&self) -> &str {
+        "lulesh"
+    }
+
+    /// Strong-scaled: per-node work shrinks with allocation size while the
+    /// communication share grows.
+    fn workload(&self, n_nodes: usize) -> Workload {
+        assert!(
+            self.node_rule().allows(n_nodes),
+            "LULESH requires a cubic node count, got {n_nodes}"
+        );
+        let per_node_total = self.total_work / n_nodes as f64;
+        let per_step = per_node_total / self.timesteps as f64;
+        let comm = self.mpi.comm_fraction(n_nodes);
+        let body = [
+            Phase::new(
+                "calc_force_stress",
+                PhaseMix::new(0.85, 0.15, 0.0, 0.0),
+                per_step * 0.55,
+            ),
+            Phase::new(
+                "nodal_gather_scatter",
+                PhaseMix::new(0.20, 0.80, 0.0, 0.0),
+                per_step * (0.45 - 0.35 * comm),
+            ),
+            Phase::new(
+                "halo_exchange",
+                PhaseMix::new(0.0, 0.10, 0.90, 0.0),
+                (per_step * 0.35 * comm).max(1e-6),
+            ),
+        ];
+        let mut w = Workload::new();
+        w.repeat(&body, self.timesteps);
+        w
+    }
+
+    fn node_rule(&self) -> NodeCountRule {
+        NodeCountRule::Cube
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cubic_rule_enforced() {
+        let app = Lulesh::medium();
+        assert!(app.node_rule().allows(8));
+        assert!(app.node_rule().allows(27));
+        assert!(!app.node_rule().allows(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "cubic")]
+    fn non_cubic_workload_panics() {
+        Lulesh::medium().workload(10);
+    }
+
+    #[test]
+    fn strong_scaling_divides_work() {
+        let app = Lulesh::medium();
+        let w1 = app.workload(1);
+        let w8 = app.workload(8);
+        // Per-node work at 8 nodes ≈ 1/8 of single-node (comm shifts shares).
+        let ratio = w8.total_work() / w1.total_work();
+        assert!((ratio - 0.125).abs() < 0.02, "ratio {ratio}");
+    }
+
+    #[test]
+    fn comm_share_grows_with_scale() {
+        let app = Lulesh::medium();
+        let share = |n: usize| {
+            let w = app.workload(n);
+            w.phases()
+                .iter()
+                .filter(|p| p.region == "halo_exchange")
+                .map(|p| p.work)
+                .sum::<f64>()
+                / w.total_work()
+        };
+        assert!(share(27) > share(1));
+    }
+
+    #[test]
+    fn timestep_structure() {
+        let app = Lulesh::new(100.0, 10);
+        let w = app.workload(1);
+        assert_eq!(w.len(), 30); // 3 phases × 10 steps
+        assert_eq!(
+            w.regions(),
+            vec!["calc_force_stress", "nodal_gather_scatter", "halo_exchange"]
+        );
+    }
+}

@@ -1,0 +1,177 @@
+//! Communication scaling and load imbalance.
+//!
+//! Two first-order effects every job-level power tuner depends on:
+//!
+//! 1. **Communication fraction grows with scale.** Strong-scaled apps divide
+//!    compute across ranks while collectives grow ~logarithmically, so the MPI
+//!    share of runtime rises with node count. COUNTDOWN's savings are
+//!    proportional to this share.
+//! 2. **Load imbalance creates slack.** Ranks finish phases at different times
+//!    (data imbalance + hardware variation); early finishers spin in MPI wait.
+//!    GEOPM's power balancer converts that slack into power for stragglers.
+
+use pstack_sim::SeedTree;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the communication/imbalance model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MpiModel {
+    /// Base communication fraction of runtime on 1 node (boundary exchange).
+    pub base_comm_fraction: f64,
+    /// Growth of comm fraction per doubling of node count.
+    pub comm_growth_per_doubling: f64,
+    /// Ceiling on the communication fraction.
+    pub max_comm_fraction: f64,
+    /// Relative std-dev of per-rank work re-drawn every phase (transient
+    /// imbalance: cache effects, OS noise).
+    pub imbalance_sigma: f64,
+    /// Relative std-dev of a per-rank factor fixed for the whole job
+    /// (persistent imbalance: uneven domain decomposition). This is the
+    /// signal slack-consuming tuners (power balancers, duty-cycle adapters)
+    /// can actually act on.
+    pub persistent_sigma: f64,
+}
+
+impl MpiModel {
+    /// Typical stencil/solver characteristics: 5% comm on one node, +4 pp per
+    /// doubling, capped at 45%, 6% rank imbalance.
+    pub fn typical() -> Self {
+        MpiModel {
+            base_comm_fraction: 0.05,
+            comm_growth_per_doubling: 0.04,
+            max_comm_fraction: 0.45,
+            imbalance_sigma: 0.03,
+            persistent_sigma: 0.06,
+        }
+    }
+
+    /// A communication-heavy variant (e.g. spectral codes, global transposes).
+    pub fn comm_heavy() -> Self {
+        MpiModel {
+            base_comm_fraction: 0.15,
+            comm_growth_per_doubling: 0.08,
+            max_comm_fraction: 0.65,
+            imbalance_sigma: 0.04,
+            persistent_sigma: 0.08,
+        }
+    }
+
+    /// A perfectly balanced, comm-light model (controlled experiments).
+    pub fn balanced_light() -> Self {
+        MpiModel {
+            base_comm_fraction: 0.02,
+            comm_growth_per_doubling: 0.01,
+            max_comm_fraction: 0.10,
+            imbalance_sigma: 0.0,
+            persistent_sigma: 0.0,
+        }
+    }
+
+    /// Fraction of runtime spent in MPI when running on `n_nodes`.
+    pub fn comm_fraction(&self, n_nodes: usize) -> f64 {
+        assert!(n_nodes >= 1, "need at least one node");
+        let doublings = (n_nodes as f64).log2();
+        (self.base_comm_fraction + self.comm_growth_per_doubling * doublings)
+            .min(self.max_comm_fraction)
+    }
+
+    /// Per-node work multipliers for one phase on `n_nodes` nodes: mean 1,
+    /// truncated at ±2.5σ, deterministic in `(seeds, phase_index)`.
+    pub fn imbalance_factors(&self, seeds: &SeedTree, phase_index: u64, n_nodes: usize) -> Vec<f64> {
+        if self.imbalance_sigma == 0.0 || n_nodes == 1 {
+            return vec![1.0; n_nodes];
+        }
+        let mut rng = seeds.rng_indexed("mpi-imbalance", phase_index);
+        Self::truncated_factors(&mut rng, self.imbalance_sigma, n_nodes)
+    }
+
+    /// Per-node work multipliers fixed for the whole job (persistent
+    /// decomposition imbalance), deterministic in `seeds`.
+    pub fn persistent_factors(&self, seeds: &SeedTree, n_nodes: usize) -> Vec<f64> {
+        if self.persistent_sigma == 0.0 || n_nodes == 1 {
+            return vec![1.0; n_nodes];
+        }
+        let mut rng = seeds.rng("mpi-persistent");
+        Self::truncated_factors(&mut rng, self.persistent_sigma, n_nodes)
+    }
+
+    fn truncated_factors(rng: &mut rand::rngs::SmallRng, sigma: f64, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|_| {
+                let z = loop {
+                    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                    let u2: f64 = rng.gen_range(0.0..1.0);
+                    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                    if z.abs() <= 2.5 {
+                        break z;
+                    }
+                };
+                (1.0 + sigma * z).max(0.2)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comm_fraction_grows_with_scale() {
+        let m = MpiModel::typical();
+        assert!((m.comm_fraction(1) - 0.05).abs() < 1e-12);
+        assert!(m.comm_fraction(16) > m.comm_fraction(4));
+        assert!(m.comm_fraction(4096) <= m.max_comm_fraction + 1e-12);
+    }
+
+    #[test]
+    fn comm_fraction_capped() {
+        let m = MpiModel::comm_heavy();
+        assert_eq!(m.comm_fraction(1 << 20), m.max_comm_fraction);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_panics() {
+        MpiModel::typical().comm_fraction(0);
+    }
+
+    #[test]
+    fn imbalance_mean_near_one() {
+        let m = MpiModel::typical();
+        let seeds = SeedTree::new(5);
+        let f = m.imbalance_factors(&seeds, 0, 10_000);
+        let mean: f64 = f.iter().sum::<f64>() / f.len() as f64;
+        assert!((mean - 1.0).abs() < 0.01, "mean {mean}");
+        assert!(f.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn imbalance_deterministic_per_phase() {
+        let m = MpiModel::typical();
+        let seeds = SeedTree::new(5);
+        assert_eq!(
+            m.imbalance_factors(&seeds, 3, 8),
+            m.imbalance_factors(&seeds, 3, 8)
+        );
+        assert_ne!(
+            m.imbalance_factors(&seeds, 3, 8),
+            m.imbalance_factors(&seeds, 4, 8)
+        );
+    }
+
+    #[test]
+    fn balanced_model_is_uniform() {
+        let m = MpiModel::balanced_light();
+        let seeds = SeedTree::new(5);
+        assert_eq!(m.imbalance_factors(&seeds, 0, 4), vec![1.0; 4]);
+    }
+
+    #[test]
+    fn single_node_never_imbalanced() {
+        let m = MpiModel::typical();
+        let seeds = SeedTree::new(5);
+        assert_eq!(m.imbalance_factors(&seeds, 9, 1), vec![1.0]);
+    }
+}

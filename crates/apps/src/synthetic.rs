@@ -1,0 +1,220 @@
+//! Synthetic phase-sequence applications.
+//!
+//! Cluster-level experiments (Figures 1, 3, 6) need a *population* of jobs
+//! with varied characteristics. [`SyntheticApp`] provides canned profiles
+//! (compute-, memory-, comm-heavy, mixed) and [`random_app`] draws arbitrary
+//! phase sequences deterministically from a seed tree.
+
+use crate::mpi::MpiModel;
+use crate::workload::{AppModel, NodeCountRule, Phase, Workload};
+use pstack_hwmodel::PhaseMix;
+use pstack_sim::SeedTree;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Canned application profiles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Profile {
+    /// Dense-linear-algebra-like: mostly compute.
+    ComputeHeavy,
+    /// Stencil/graph-like: mostly memory.
+    MemoryHeavy,
+    /// Tightly coupled at scale: large MPI share.
+    CommHeavy,
+    /// A bit of everything, in alternating phases.
+    Mixed,
+}
+
+impl Profile {
+    /// All canned profiles.
+    pub const ALL: [Profile; 4] = [
+        Profile::ComputeHeavy,
+        Profile::MemoryHeavy,
+        Profile::CommHeavy,
+        Profile::Mixed,
+    ];
+}
+
+/// A synthetic application with a canned profile.
+///
+/// Weak-scaled: per-node work is constant in the node count; the
+/// communication share still grows with scale through [`MpiModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SyntheticApp {
+    /// The profile shaping the phase mix.
+    pub profile: Profile,
+    /// Per-node work, reference node-seconds.
+    pub work_per_node: f64,
+    /// Number of iterations the work is divided into.
+    pub iterations: usize,
+    /// Communication model.
+    pub mpi: MpiModel,
+}
+
+impl SyntheticApp {
+    /// Construct with the profile's default communication model.
+    ///
+    /// # Panics
+    /// Panics on non-positive work or zero iterations.
+    pub fn new(profile: Profile, work_per_node: f64, iterations: usize) -> Self {
+        assert!(work_per_node > 0.0, "work must be positive");
+        assert!(iterations > 0, "need at least one iteration");
+        let mpi = match profile {
+            Profile::CommHeavy => MpiModel::comm_heavy(),
+            _ => MpiModel::typical(),
+        };
+        SyntheticApp {
+            profile,
+            work_per_node,
+            iterations,
+            mpi,
+        }
+    }
+}
+
+impl AppModel for SyntheticApp {
+    fn name(&self) -> &str {
+        match self.profile {
+            Profile::ComputeHeavy => "synthetic-compute",
+            Profile::MemoryHeavy => "synthetic-memory",
+            Profile::CommHeavy => "synthetic-comm",
+            Profile::Mixed => "synthetic-mixed",
+        }
+    }
+
+    fn workload(&self, n_nodes: usize) -> Workload {
+        assert!(n_nodes >= 1);
+        let comm = self.mpi.comm_fraction(n_nodes);
+        let per_iter = self.work_per_node / self.iterations as f64;
+        let body: Vec<Phase> = match self.profile {
+            Profile::ComputeHeavy => vec![
+                Phase::new(
+                    "dgemm_like",
+                    PhaseMix::new(0.92, 0.08, 0.0, 0.0),
+                    per_iter * (1.0 - comm),
+                ),
+                Phase::new(
+                    "exchange",
+                    PhaseMix::pure(pstack_hwmodel::PhaseKind::CommBound),
+                    (per_iter * comm).max(1e-9),
+                ),
+            ],
+            Profile::MemoryHeavy => vec![
+                Phase::new(
+                    "stream_like",
+                    PhaseMix::new(0.12, 0.88, 0.0, 0.0),
+                    per_iter * (1.0 - comm),
+                ),
+                Phase::new(
+                    "exchange",
+                    PhaseMix::pure(pstack_hwmodel::PhaseKind::CommBound),
+                    (per_iter * comm).max(1e-9),
+                ),
+            ],
+            Profile::CommHeavy => vec![
+                Phase::new(
+                    "local_update",
+                    PhaseMix::new(0.55, 0.45, 0.0, 0.0),
+                    per_iter * (1.0 - comm),
+                ),
+                Phase::new(
+                    "alltoall",
+                    PhaseMix::pure(pstack_hwmodel::PhaseKind::CommBound),
+                    (per_iter * comm).max(1e-9),
+                ),
+            ],
+            Profile::Mixed => vec![
+                Phase::new(
+                    "compute",
+                    PhaseMix::new(0.85, 0.15, 0.0, 0.0),
+                    per_iter * 0.4 * (1.0 - comm),
+                ),
+                Phase::new(
+                    "memory",
+                    PhaseMix::new(0.2, 0.8, 0.0, 0.0),
+                    per_iter * 0.4 * (1.0 - comm),
+                ),
+                Phase::new(
+                    "io_dump",
+                    PhaseMix::new(0.05, 0.15, 0.0, 0.80),
+                    per_iter * 0.2 * (1.0 - comm),
+                ),
+                Phase::new(
+                    "exchange",
+                    PhaseMix::pure(pstack_hwmodel::PhaseKind::CommBound),
+                    (per_iter * comm).max(1e-9),
+                ),
+            ],
+        };
+        let mut w = Workload::new();
+        w.repeat(&body, self.iterations);
+        w
+    }
+
+    fn node_rule(&self) -> NodeCountRule {
+        NodeCountRule::Any
+    }
+}
+
+/// Draw a random synthetic app deterministically from `seeds` and `index`:
+/// profile, size (log-uniform over roughly 1–30 minutes of per-node work at
+/// reference speed) and iteration count all vary.
+pub fn random_app(seeds: &SeedTree, index: u64) -> SyntheticApp {
+    let mut rng = seeds.rng_indexed("synthetic-app", index);
+    let profile = Profile::ALL[rng.gen_range(0..Profile::ALL.len())];
+    let work = 60.0 * 30f64.powf(rng.gen_range(0.0..1.0));
+    let iterations = rng.gen_range(20..200);
+    SyntheticApp::new(profile, work, iterations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pstack_hwmodel::PhaseKind;
+
+    #[test]
+    fn profiles_have_expected_dominance() {
+        let share = |p: Profile, kind: PhaseKind| {
+            let w = SyntheticApp::new(p, 100.0, 10).workload(8);
+            w.work_by_dominant(kind) / w.total_work()
+        };
+        assert!(share(Profile::ComputeHeavy, PhaseKind::ComputeBound) > 0.6);
+        assert!(share(Profile::MemoryHeavy, PhaseKind::MemoryBound) > 0.6);
+        assert!(
+            share(Profile::CommHeavy, PhaseKind::CommBound)
+                > share(Profile::ComputeHeavy, PhaseKind::CommBound)
+        );
+        assert!(share(Profile::Mixed, PhaseKind::IoBound) > 0.05);
+    }
+
+    #[test]
+    fn weak_scaling_keeps_per_node_work() {
+        let app = SyntheticApp::new(Profile::ComputeHeavy, 100.0, 10);
+        let w1 = app.workload(1).total_work();
+        let w16 = app.workload(16).total_work();
+        assert!((w1 - 100.0).abs() < 1e-9);
+        assert!((w16 - 100.0).abs() < 1e-9, "total per-node work stays fixed");
+    }
+
+    #[test]
+    fn random_apps_deterministic_and_varied() {
+        let seeds = SeedTree::new(77);
+        let a = random_app(&seeds, 0);
+        let b = random_app(&seeds, 0);
+        assert_eq!(a, b);
+        let apps: Vec<SyntheticApp> = (0..32).map(|i| random_app(&seeds, i)).collect();
+        let profiles: std::collections::HashSet<_> =
+            apps.iter().map(|a| a.profile).collect();
+        assert!(profiles.len() >= 3, "should draw varied profiles");
+        for a in &apps {
+            assert!(a.work_per_node >= 60.0 && a.work_per_node <= 1800.0);
+        }
+    }
+
+    #[test]
+    fn iteration_structure() {
+        let app = SyntheticApp::new(Profile::Mixed, 10.0, 5);
+        let w = app.workload(2);
+        assert_eq!(w.len(), 4 * 5);
+    }
+}

@@ -1,0 +1,264 @@
+//! The common application representation: phase sequences.
+//!
+//! Every application model reduces to a [`Workload`]: an ordered list of
+//! [`Phase`]s, each with a name (its instrumented region, MERIC-style), a
+//! hardware phase mixture, and an amount of per-node work. Work is measured in
+//! *reference node-seconds*: one unit takes one second on a node at the
+//! reference configuration (2.4 GHz, full duty, nominal uncore).
+
+use pstack_hwmodel::PhaseMix;
+use serde::{Deserialize, Serialize};
+
+/// One phase of execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Phase {
+    /// Region name (instrumentation label), e.g. `"assemble"`, `"mpi_allreduce"`.
+    pub region: String,
+    /// Hardware characteristics of the phase.
+    pub mix: PhaseMix,
+    /// Per-node work in reference node-seconds.
+    pub work: f64,
+}
+
+impl Phase {
+    /// Construct a phase.
+    ///
+    /// # Panics
+    /// Panics on non-positive or non-finite work.
+    pub fn new(region: impl Into<String>, mix: PhaseMix, work: f64) -> Self {
+        assert!(work.is_finite() && work > 0.0, "phase work must be positive");
+        Phase {
+            region: region.into(),
+            mix,
+            work,
+        }
+    }
+}
+
+/// A full application run: an ordered phase sequence.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Workload {
+    phases: Vec<Phase>,
+}
+
+impl Workload {
+    /// Empty workload (build up with [`Workload::push`]).
+    pub fn new() -> Self {
+        Workload { phases: Vec::new() }
+    }
+
+    /// Build from a phase list.
+    pub fn from_phases(phases: Vec<Phase>) -> Self {
+        Workload { phases }
+    }
+
+    /// Append a phase.
+    pub fn push(&mut self, phase: Phase) -> &mut Self {
+        self.phases.push(phase);
+        self
+    }
+
+    /// Append `iterations` copies of a phase group (a loop nest).
+    pub fn repeat(&mut self, group: &[Phase], iterations: usize) -> &mut Self {
+        for _ in 0..iterations {
+            self.phases.extend_from_slice(group);
+        }
+        self
+    }
+
+    /// The phases in execution order.
+    pub fn phases(&self) -> &[Phase] {
+        &self.phases
+    }
+
+    /// Number of phases.
+    pub fn len(&self) -> usize {
+        self.phases.len()
+    }
+
+    /// True when the workload has no phases.
+    pub fn is_empty(&self) -> bool {
+        self.phases.is_empty()
+    }
+
+    /// Total per-node work, reference node-seconds.
+    pub fn total_work(&self) -> f64 {
+        self.phases.iter().map(|p| p.work).sum()
+    }
+
+    /// Per-node work spent in regions whose mix is predominantly `kind`-bound.
+    pub fn work_by_dominant(&self, kind: pstack_hwmodel::PhaseKind) -> f64 {
+        self.phases
+            .iter()
+            .filter(|p| p.mix.dominant() == kind)
+            .map(|p| p.work)
+            .sum()
+    }
+
+    /// Distinct region names, in first-appearance order.
+    pub fn regions(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for p in &self.phases {
+            if !out.contains(&p.region.as_str()) {
+                out.push(&p.region);
+            }
+        }
+        out
+    }
+
+    /// Scale every phase's work by `factor` (strong-scaling over nodes).
+    pub fn scaled(&self, factor: f64) -> Workload {
+        assert!(factor.is_finite() && factor > 0.0, "scale must be positive");
+        Workload {
+            phases: self
+                .phases
+                .iter()
+                .map(|p| Phase {
+                    region: p.region.clone(),
+                    mix: p.mix.clone(),
+                    work: p.work * factor,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Valid node/task counts for a job (the paper's moldability constraints;
+/// e.g. LULESH requires a cubic number of tasks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeCountRule {
+    /// Any positive count.
+    Any,
+    /// Powers of two only.
+    PowerOfTwo,
+    /// Perfect cubes only (LULESH-style).
+    Cube,
+    /// Exactly this count (non-moldable).
+    Exactly(usize),
+}
+
+impl NodeCountRule {
+    /// Whether `n` nodes is a legal allocation.
+    pub fn allows(self, n: usize) -> bool {
+        if n == 0 {
+            return false;
+        }
+        match self {
+            NodeCountRule::Any => true,
+            NodeCountRule::PowerOfTwo => n.is_power_of_two(),
+            NodeCountRule::Cube => {
+                let r = (n as f64).cbrt().round() as usize;
+                r * r * r == n
+            }
+            NodeCountRule::Exactly(k) => n == k,
+        }
+    }
+
+    /// Largest legal count at or below `n`, if any.
+    pub fn largest_at_or_below(self, n: usize) -> Option<usize> {
+        (1..=n).rev().find(|&k| self.allows(k))
+    }
+
+    /// Smallest legal count at or above `n`, searching up to `limit`.
+    pub fn smallest_at_or_above(self, n: usize, limit: usize) -> Option<usize> {
+        (n.max(1)..=limit).find(|&k| self.allows(k))
+    }
+}
+
+/// An application model: produces a workload for a given node count.
+pub trait AppModel {
+    /// Human-readable application name.
+    fn name(&self) -> &str;
+
+    /// The per-node workload when run on `n_nodes` nodes.
+    ///
+    /// Implementations decide their scaling: strong-scaled apps divide total
+    /// work by `n_nodes` and grow communication; weak-scaled apps keep
+    /// per-node work constant.
+    fn workload(&self, n_nodes: usize) -> Workload;
+
+    /// Legal node counts.
+    fn node_rule(&self) -> NodeCountRule {
+        NodeCountRule::Any
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pstack_hwmodel::PhaseKind;
+
+    fn mix(kind: PhaseKind) -> PhaseMix {
+        PhaseMix::pure(kind)
+    }
+
+    #[test]
+    fn build_and_total() {
+        let mut w = Workload::new();
+        w.push(Phase::new("a", mix(PhaseKind::ComputeBound), 2.0));
+        w.push(Phase::new("b", mix(PhaseKind::CommBound), 1.0));
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.total_work(), 3.0);
+        assert_eq!(w.regions(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn repeat_builds_loops() {
+        let body = [
+            Phase::new("spmv", mix(PhaseKind::MemoryBound), 0.5),
+            Phase::new("allreduce", mix(PhaseKind::CommBound), 0.1),
+        ];
+        let mut w = Workload::new();
+        w.repeat(&body, 10);
+        assert_eq!(w.len(), 20);
+        assert!((w.total_work() - 6.0).abs() < 1e-12);
+        assert_eq!(w.regions(), vec!["spmv", "allreduce"]);
+    }
+
+    #[test]
+    fn work_by_dominant_kind() {
+        let mut w = Workload::new();
+        w.push(Phase::new("a", mix(PhaseKind::ComputeBound), 2.0));
+        w.push(Phase::new("b", mix(PhaseKind::CommBound), 1.0));
+        w.push(Phase::new("c", mix(PhaseKind::ComputeBound), 3.0));
+        assert_eq!(w.work_by_dominant(PhaseKind::ComputeBound), 5.0);
+        assert_eq!(w.work_by_dominant(PhaseKind::CommBound), 1.0);
+        assert_eq!(w.work_by_dominant(PhaseKind::IoBound), 0.0);
+    }
+
+    #[test]
+    fn scaling() {
+        let mut w = Workload::new();
+        w.push(Phase::new("a", mix(PhaseKind::ComputeBound), 4.0));
+        let half = w.scaled(0.5);
+        assert_eq!(half.total_work(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_work_phase_panics() {
+        Phase::new("a", mix(PhaseKind::ComputeBound), 0.0);
+    }
+
+    #[test]
+    fn node_count_rules() {
+        assert!(NodeCountRule::Any.allows(17));
+        assert!(!NodeCountRule::Any.allows(0));
+        assert!(NodeCountRule::PowerOfTwo.allows(16));
+        assert!(!NodeCountRule::PowerOfTwo.allows(12));
+        assert!(NodeCountRule::Cube.allows(27));
+        assert!(NodeCountRule::Cube.allows(1));
+        assert!(!NodeCountRule::Cube.allows(9));
+        assert!(NodeCountRule::Exactly(4).allows(4));
+        assert!(!NodeCountRule::Exactly(4).allows(5));
+    }
+
+    #[test]
+    fn node_count_rounding() {
+        assert_eq!(NodeCountRule::Cube.largest_at_or_below(30), Some(27));
+        assert_eq!(NodeCountRule::Cube.smallest_at_or_above(28, 100), Some(64));
+        assert_eq!(NodeCountRule::PowerOfTwo.largest_at_or_below(12), Some(8));
+        assert_eq!(NodeCountRule::Cube.largest_at_or_below(0), None);
+        assert_eq!(NodeCountRule::Cube.smallest_at_or_above(65, 100), None);
+    }
+}

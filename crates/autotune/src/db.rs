@@ -1,0 +1,202 @@
+//! The performance database.
+//!
+//! ytopt's loop "outputs the time and the elapsed time with the parameters'
+//! values to a performance database" and post-processes it to "find the
+//! smallest execution time and output the optimal configurations". This is
+//! that database: an append-only observation log with best-so-far queries
+//! and JSON export.
+
+use crate::space::{Config, ParamSpace};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One evaluated configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Observation {
+    /// Evaluation index (0-based arrival order).
+    pub eval: usize,
+    /// The configuration (value indices per parameter).
+    pub config: Config,
+    /// The objective being *minimized* (e.g. runtime seconds, energy joules).
+    pub objective: f64,
+    /// Auxiliary measurements (power, energy, IPC, ...), by name.
+    pub aux: HashMap<String, f64>,
+}
+
+/// Append-only performance database.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PerfDatabase {
+    observations: Vec<Observation>,
+}
+
+impl PerfDatabase {
+    /// Empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record an evaluation; returns its index.
+    ///
+    /// # Panics
+    /// Panics on a non-finite objective — evaluators must map failures to a
+    /// large finite penalty instead.
+    pub fn record(&mut self, config: Config, objective: f64, aux: HashMap<String, f64>) -> usize {
+        assert!(objective.is_finite(), "objective must be finite");
+        let eval = self.observations.len();
+        self.observations.push(Observation {
+            eval,
+            config,
+            objective,
+            aux,
+        });
+        eval
+    }
+
+    /// All observations in arrival order.
+    pub fn observations(&self) -> &[Observation] {
+        &self.observations
+    }
+
+    /// Number of evaluations.
+    pub fn len(&self) -> usize {
+        self.observations.len()
+    }
+
+    /// True when nothing has been evaluated.
+    pub fn is_empty(&self) -> bool {
+        self.observations.is_empty()
+    }
+
+    /// The best (minimum-objective) observation so far, ties broken by
+    /// arrival order.
+    pub fn best(&self) -> Option<&Observation> {
+        self.observations
+            .iter()
+            .min_by(|a, b| a.objective.partial_cmp(&b.objective).expect("finite"))
+    }
+
+    /// Whether `config` has already been evaluated.
+    pub fn contains(&self, config: &Config) -> bool {
+        self.observations.iter().any(|o| &o.config == config)
+    }
+
+    /// The recorded objective for `config`, if evaluated.
+    pub fn lookup(&self, config: &Config) -> Option<f64> {
+        self.observations
+            .iter()
+            .find(|o| &o.config == config)
+            .map(|o| o.objective)
+    }
+
+    /// Best-so-far trajectory: `trajectory()[i]` is the minimum objective
+    /// among the first `i+1` evaluations — the Figure 4 convergence series.
+    pub fn trajectory(&self) -> Vec<f64> {
+        let mut best = f64::INFINITY;
+        self.observations
+            .iter()
+            .map(|o| {
+                best = best.min(o.objective);
+                best
+            })
+            .collect()
+    }
+
+    /// Evaluations needed to reach within `factor` (≥1) of the final best;
+    /// `None` if the database is empty.
+    pub fn evals_to_within(&self, factor: f64) -> Option<usize> {
+        assert!(factor >= 1.0, "factor must be >= 1");
+        let best = self.best()?.objective;
+        self.trajectory()
+            .iter()
+            .position(|&b| b <= best * factor)
+            .map(|i| i + 1)
+    }
+
+    /// JSON export (for EXPERIMENTS.md regeneration).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("serializable")
+    }
+
+    /// Render the best configuration against `space`.
+    pub fn describe_best(&self, space: &ParamSpace) -> Option<String> {
+        self.best()
+            .map(|o| format!("{} -> {:.6}", space.describe(&o.config), o.objective))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::Param;
+
+    fn obs(db: &mut PerfDatabase, cfg: Vec<usize>, obj: f64) {
+        db.record(cfg, obj, HashMap::new());
+    }
+
+    #[test]
+    fn record_and_best() {
+        let mut db = PerfDatabase::new();
+        obs(&mut db, vec![0], 5.0);
+        obs(&mut db, vec![1], 3.0);
+        obs(&mut db, vec![2], 4.0);
+        assert_eq!(db.len(), 3);
+        assert_eq!(db.best().unwrap().objective, 3.0);
+        assert_eq!(db.best().unwrap().config, vec![1]);
+    }
+
+    #[test]
+    fn ties_break_by_arrival() {
+        let mut db = PerfDatabase::new();
+        obs(&mut db, vec![0], 3.0);
+        obs(&mut db, vec![1], 3.0);
+        assert_eq!(db.best().unwrap().eval, 0);
+    }
+
+    #[test]
+    fn trajectory_monotone_nonincreasing() {
+        let mut db = PerfDatabase::new();
+        for (i, &o) in [5.0, 7.0, 3.0, 4.0, 2.0].iter().enumerate() {
+            obs(&mut db, vec![i], o);
+        }
+        assert_eq!(db.trajectory(), vec![5.0, 5.0, 3.0, 3.0, 2.0]);
+        assert_eq!(db.evals_to_within(1.0), Some(5));
+        assert_eq!(db.evals_to_within(1.5), Some(3)); // 3.0 <= 2.0*1.5
+    }
+
+    #[test]
+    fn contains_and_lookup() {
+        let mut db = PerfDatabase::new();
+        obs(&mut db, vec![1, 2], 9.0);
+        assert!(db.contains(&vec![1, 2]));
+        assert!(!db.contains(&vec![2, 1]));
+        assert_eq!(db.lookup(&vec![1, 2]), Some(9.0));
+        assert_eq!(db.lookup(&vec![0, 0]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_objective_panics() {
+        let mut db = PerfDatabase::new();
+        obs(&mut db, vec![0], f64::NAN);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut db = PerfDatabase::new();
+        let mut aux = HashMap::new();
+        aux.insert("power_w".to_string(), 180.0);
+        db.record(vec![1, 0], 2.5, aux);
+        let json = db.to_json();
+        let back: PerfDatabase = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.observations(), db.observations());
+    }
+
+    #[test]
+    fn describe_best() {
+        let space = crate::space::ParamSpace::new().with(Param::ints("x", [10, 20]));
+        let mut db = PerfDatabase::new();
+        obs(&mut db, vec![1], 1.5);
+        assert_eq!(db.describe_best(&space).unwrap(), "x=20 -> 1.500000");
+        assert!(PerfDatabase::new().describe_best(&space).is_none());
+    }
+}

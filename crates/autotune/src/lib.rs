@@ -1,0 +1,32 @@
+//! # pstack-autotune — the auto-tuning framework (ytopt-like)
+//!
+//! Implements the paper's §3.2.3 autotuning loop (Figure 4): an autotuner
+//! assigns values from a parameter space, an evaluator (the paper's `plopper`)
+//! builds and runs the candidate, and the observed objective lands in a
+//! performance database the search refines from. The same machinery drives the
+//! cross-layer tuning of §3.1 — application knobs, system-software knobs and
+//! power knobs are all just parameters.
+//!
+//! - [`space`]: typed discrete parameter spaces with READEX-ATP-style
+//!   dependency constraints ("which combinations of parameters are not
+//!   allowed").
+//! - [`db`]: the performance database — every observation plus the
+//!   best-so-far trajectory that Figure 4-style convergence plots need.
+//! - [`search`]: search algorithms — random, grid/exhaustive, hill-climbing
+//!   with restarts, simulated annealing, and a random-forest surrogate (the
+//!   ytopt default).
+//! - [`tuner`]: the loop itself, with a configurable evaluation budget
+//!   (`--max-evals` in ytopt terms).
+
+pub mod db;
+pub mod search;
+pub mod space;
+pub mod tuner;
+
+pub use db::{Observation, PerfDatabase};
+pub use search::{
+    AnnealingSearch, ExhaustiveSearch, ForestSearch, HillClimbSearch, RandomSearch,
+    SearchAlgorithm,
+};
+pub use space::{Config, Param, ParamSpace, ParamValue};
+pub use tuner::{TuneReport, Tuner};

@@ -1,0 +1,151 @@
+//! Simulated annealing.
+
+use super::SearchAlgorithm;
+use crate::db::PerfDatabase;
+use crate::space::{Config, ParamSpace};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Metropolis-accept simulated annealing with geometric cooling.
+///
+/// State advances one suggestion at a time: the previous suggestion's
+/// objective (read back from the database) decides whether the walker moves.
+#[derive(Debug)]
+pub struct AnnealingSearch {
+    /// Current walker position.
+    state: Option<Config>,
+    /// The configuration suggested last call (its result decides the move).
+    pending: Option<Config>,
+    /// Current temperature (in objective units).
+    temperature: f64,
+    /// Multiplicative cooling per accepted step.
+    cooling: f64,
+    /// Floor temperature.
+    t_min: f64,
+}
+
+impl AnnealingSearch {
+    /// Construct with an initial temperature and cooling rate.
+    ///
+    /// `t0` should be on the order of typical objective differences; the
+    /// default in [`AnnealingSearch::default_schedule`] adapts from the first
+    /// observations instead.
+    pub fn new(t0: f64, cooling: f64) -> Self {
+        assert!(t0 > 0.0 && (0.0..1.0).contains(&cooling));
+        AnnealingSearch {
+            state: None,
+            pending: None,
+            temperature: t0,
+            cooling,
+            t_min: t0 * 1e-4,
+        }
+    }
+
+    /// A general-purpose schedule: starts hot relative to early observations.
+    pub fn default_schedule() -> Self {
+        Self::new(1.0, 0.97)
+    }
+}
+
+impl SearchAlgorithm for AnnealingSearch {
+    fn name(&self) -> &str {
+        "simulated-annealing"
+    }
+
+    fn suggest(
+        &mut self,
+        space: &ParamSpace,
+        db: &PerfDatabase,
+        rng: &mut SmallRng,
+    ) -> Option<Config> {
+        // Resolve the pending move using the database.
+        if let Some(pend) = self.pending.take() {
+            let pend_obj = db.lookup(&pend);
+            let cur_obj = self.state.as_ref().and_then(|s| db.lookup(s));
+            match (pend_obj, cur_obj) {
+                (Some(p), Some(c)) => {
+                    let accept = p <= c || {
+                        let prob = ((c - p) / self.temperature).exp();
+                        rng.gen_bool(prob.clamp(0.0, 1.0))
+                    };
+                    if accept {
+                        self.state = Some(pend);
+                    }
+                    self.temperature = (self.temperature * self.cooling).max(self.t_min);
+                }
+                (Some(_), None) => self.state = Some(pend),
+                _ => {}
+            }
+        }
+        let state = match &self.state {
+            Some(s) => s.clone(),
+            None => {
+                let s = space.sample(rng);
+                self.pending = Some(s.clone());
+                return Some(s);
+            }
+        };
+        // Propose a random valid neighbour (or a jump if isolated).
+        let neighbors = space.neighbors(&state);
+        let proposal = neighbors
+            .choose(rng)
+            .cloned()
+            .unwrap_or_else(|| space.sample(rng));
+        self.pending = Some(proposal.clone());
+        Some(proposal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::Param;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    fn rugged(c: &Config) -> f64 {
+        // A bumpy 1-D landscape with global minimum at 17 of 0..32.
+        let x = c[0] as f64;
+        (x - 17.0).abs() + 3.0 * ((x * 0.9).sin().abs())
+    }
+
+    #[test]
+    fn anneals_to_near_optimum() {
+        let s = ParamSpace::new().with(Param::ints("x", 0..32));
+        let mut db = PerfDatabase::new();
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut alg = AnnealingSearch::default_schedule();
+        for _ in 0..150 {
+            let c = alg.suggest(&s, &db, &mut rng).unwrap();
+            let o = rugged(&c);
+            db.record(c, o, HashMap::new());
+        }
+        let best = db.best().unwrap();
+        assert!(
+            best.objective <= rugged(&vec![17]) + 1.5,
+            "best {} at {:?}",
+            best.objective,
+            best.config
+        );
+    }
+
+    #[test]
+    fn temperature_cools() {
+        let s = ParamSpace::new().with(Param::ints("x", 0..8));
+        let mut db = PerfDatabase::new();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut alg = AnnealingSearch::new(10.0, 0.9);
+        for _ in 0..30 {
+            let c = alg.suggest(&s, &db, &mut rng).unwrap();
+            db.record(c, 1.0, HashMap::new());
+        }
+        assert!(alg.temperature < 10.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_schedule_panics() {
+        AnnealingSearch::new(0.0, 0.9);
+    }
+}

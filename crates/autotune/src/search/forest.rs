@@ -1,0 +1,363 @@
+//! Random-forest surrogate search (the ytopt default).
+//!
+//! The paper (§3.2.3): "autotuner assigns the values in the allowed ranges
+//! (using random forests as default)". The strategy:
+//!
+//! 1. Seed with `n_init` random evaluations.
+//! 2. Fit a bagged ensemble of regression trees on (encoded config → objective).
+//! 3. Score a candidate pool (random samples + neighbours of the incumbent)
+//!    by predicted mean minus an exploration bonus proportional to the
+//!    ensemble's disagreement (a cheap UCB), and suggest the best unseen one.
+
+use super::SearchAlgorithm;
+use crate::db::PerfDatabase;
+use crate::space::{Config, ParamSpace};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// A regression-tree node (stored in a flat arena).
+#[derive(Debug, Clone)]
+enum TreeNode {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// One regression tree.
+#[derive(Debug, Clone)]
+struct RegTree {
+    nodes: Vec<TreeNode>,
+}
+
+impl RegTree {
+    /// Fit on rows `idx` of (x, y) with random feature subsetting.
+    fn fit(
+        x: &[Vec<f64>],
+        y: &[f64],
+        idx: &[usize],
+        max_depth: usize,
+        min_leaf: usize,
+        rng: &mut SmallRng,
+    ) -> RegTree {
+        let mut tree = RegTree { nodes: Vec::new() };
+        tree.build(x, y, idx, max_depth, min_leaf, rng);
+        tree
+    }
+
+    fn build(
+        &mut self,
+        x: &[Vec<f64>],
+        y: &[f64],
+        idx: &[usize],
+        depth: usize,
+        min_leaf: usize,
+        rng: &mut SmallRng,
+    ) -> usize {
+        let mean = idx.iter().map(|&i| y[i]).sum::<f64>() / idx.len() as f64;
+        if depth == 0 || idx.len() < 2 * min_leaf {
+            self.nodes.push(TreeNode::Leaf { value: mean });
+            return self.nodes.len() - 1;
+        }
+        let d = x[0].len();
+        // Random feature subset of size ~sqrt(d), at least 1.
+        let k = ((d as f64).sqrt().ceil() as usize).max(1);
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, sse)
+        for _ in 0..k {
+            let f = rng.gen_range(0..d);
+            // Candidate thresholds: midpoints of sorted unique feature values.
+            let mut vals: Vec<f64> = idx.iter().map(|&i| x[i][f]).collect();
+            vals.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            vals.dedup();
+            for w in vals.windows(2) {
+                let t = 0.5 * (w[0] + w[1]);
+                let (mut ls, mut lc, mut rs, mut rc) = (0.0, 0usize, 0.0, 0usize);
+                for &i in idx {
+                    if x[i][f] <= t {
+                        ls += y[i];
+                        lc += 1;
+                    } else {
+                        rs += y[i];
+                        rc += 1;
+                    }
+                }
+                if lc < min_leaf || rc < min_leaf {
+                    continue;
+                }
+                let (lm, rm) = (ls / lc as f64, rs / rc as f64);
+                let sse: f64 = idx
+                    .iter()
+                    .map(|&i| {
+                        let m = if x[i][f] <= t { lm } else { rm };
+                        (y[i] - m) * (y[i] - m)
+                    })
+                    .sum();
+                if best.is_none_or(|(_, _, b)| sse < b) {
+                    best = Some((f, t, sse));
+                }
+            }
+        }
+        let Some((feature, threshold, _)) = best else {
+            self.nodes.push(TreeNode::Leaf { value: mean });
+            return self.nodes.len() - 1;
+        };
+        let (li, ri): (Vec<usize>, Vec<usize>) =
+            idx.iter().partition(|&&i| x[i][feature] <= threshold);
+        // Reserve this node's slot before recursing.
+        let slot = self.nodes.len();
+        self.nodes.push(TreeNode::Leaf { value: mean });
+        let left = self.build(x, y, &li, depth - 1, min_leaf, rng);
+        let right = self.build(x, y, &ri, depth - 1, min_leaf, rng);
+        self.nodes[slot] = TreeNode::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
+        slot
+    }
+
+    fn predict(&self, x: &[f64]) -> f64 {
+        // Root is at index 0 only when the tree was built root-first; `build`
+        // pushes the root slot first, so index 0 is always the root.
+        let mut node = 0;
+        loop {
+            match &self.nodes[node] {
+                TreeNode::Leaf { value } => return *value,
+                TreeNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if x[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+}
+
+/// Bagged regression forest.
+#[derive(Debug, Clone)]
+struct Forest {
+    trees: Vec<RegTree>,
+}
+
+impl Forest {
+    fn fit(x: &[Vec<f64>], y: &[f64], n_trees: usize, rng: &mut SmallRng) -> Forest {
+        let n = x.len();
+        let trees = (0..n_trees)
+            .map(|_| {
+                // Bootstrap sample.
+                let idx: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
+                RegTree::fit(x, y, &idx, 8, 2, rng)
+            })
+            .collect();
+        Forest { trees }
+    }
+
+    /// Mean and standard deviation of tree predictions.
+    fn predict(&self, x: &[f64]) -> (f64, f64) {
+        let preds: Vec<f64> = self.trees.iter().map(|t| t.predict(x)).collect();
+        let mean = preds.iter().sum::<f64>() / preds.len() as f64;
+        let var = preds.iter().map(|p| (p - mean) * (p - mean)).sum::<f64>()
+            / preds.len() as f64;
+        (mean, var.sqrt())
+    }
+}
+
+/// The ytopt-style surrogate search.
+#[derive(Debug)]
+pub struct ForestSearch {
+    /// Random evaluations before the surrogate activates.
+    n_init: usize,
+    /// Trees in the ensemble.
+    n_trees: usize,
+    /// Candidate pool size per suggestion.
+    n_candidates: usize,
+    /// Exploration weight on ensemble disagreement (UCB-style).
+    kappa: f64,
+}
+
+impl ForestSearch {
+    /// ytopt-like defaults: 8 random seeds, 24 trees, 256 candidates, κ = 1.
+    pub fn new() -> Self {
+        ForestSearch {
+            n_init: 8,
+            n_trees: 24,
+            n_candidates: 256,
+            kappa: 1.0,
+        }
+    }
+
+    /// Override the random-seeding budget.
+    pub fn with_init(mut self, n_init: usize) -> Self {
+        self.n_init = n_init.max(2);
+        self
+    }
+}
+
+impl Default for ForestSearch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SearchAlgorithm for ForestSearch {
+    fn name(&self) -> &str {
+        "random-forest"
+    }
+
+    fn suggest(
+        &mut self,
+        space: &ParamSpace,
+        db: &PerfDatabase,
+        rng: &mut SmallRng,
+    ) -> Option<Config> {
+        if db.len() < self.n_init {
+            for _ in 0..32 {
+                let c = space.sample(rng);
+                if !db.contains(&c) {
+                    return Some(c);
+                }
+            }
+            return Some(space.sample(rng));
+        }
+        // Fit the surrogate on everything observed.
+        let x: Vec<Vec<f64>> = db
+            .observations()
+            .iter()
+            .map(|o| space.encode(&o.config))
+            .collect();
+        let y: Vec<f64> = db.observations().iter().map(|o| o.objective).collect();
+        let forest = Forest::fit(&x, &y, self.n_trees, rng);
+
+        // Candidate pool: random + neighbours of the incumbent.
+        let mut pool: Vec<Config> = (0..self.n_candidates)
+            .map(|_| space.sample(rng))
+            .collect();
+        if let Some(best) = db.best() {
+            pool.extend(space.neighbors(&best.config));
+        }
+        let mut scored: Option<(f64, Config)> = None;
+        for cand in pool {
+            if db.contains(&cand) {
+                continue;
+            }
+            let (mean, std) = forest.predict(&space.encode(&cand));
+            let score = mean - self.kappa * std; // optimistic lower bound
+            if scored.as_ref().is_none_or(|(s, _)| score < *s) {
+                scored = Some((score, cand));
+            }
+        }
+        match scored {
+            Some((_, c)) => Some(c),
+            // Pool fully explored: fall back to a random (possibly repeated) draw.
+            None => Some(space.sample(rng)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::Param;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    /// A separable quadratic bowl over a 5-D lattice (minimum at center).
+    fn bowl(c: &Config) -> f64 {
+        c.iter().map(|&v| (v as f64 - 4.0).powi(2)).sum()
+    }
+
+    fn space5d() -> ParamSpace {
+        let mut s = ParamSpace::new();
+        for name in ["a", "b", "c", "d", "e"] {
+            s = s.with(Param::ints(name, 0..9));
+        }
+        s
+    }
+
+    fn run(alg: &mut dyn SearchAlgorithm, s: &ParamSpace, evals: usize, seed: u64) -> PerfDatabase {
+        let mut db = PerfDatabase::new();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..evals {
+            let c = alg.suggest(s, &db, &mut rng).unwrap();
+            let o = bowl(&c);
+            db.record(c, o, HashMap::new());
+        }
+        db
+    }
+
+    #[test]
+    fn forest_beats_random_on_structured_landscape() {
+        let s = space5d();
+        let budget = 70;
+        let mut wins = 0;
+        for seed in 0..5 {
+            let f = run(&mut ForestSearch::new(), &s, budget, seed);
+            let r = run(&mut super::super::RandomSearch::new(), &s, budget, seed + 100);
+            if f.best().unwrap().objective <= r.best().unwrap().objective {
+                wins += 1;
+            }
+        }
+        assert!(wins >= 4, "forest won only {wins}/5 seeds");
+    }
+
+    #[test]
+    fn forest_converges_near_optimum() {
+        let s = space5d();
+        let db = run(&mut ForestSearch::new(), &s, 80, 9);
+        assert!(
+            db.best().unwrap().objective <= 4.0,
+            "best {:?}",
+            db.best().unwrap()
+        );
+    }
+
+    #[test]
+    fn tree_fits_training_data_roughly() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let x: Vec<Vec<f64>> = (0..50)
+            .map(|i| vec![i as f64 / 49.0])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|v| if v[0] < 0.5 { 1.0 } else { 5.0 }).collect();
+        let idx: Vec<usize> = (0..50).collect();
+        let tree = RegTree::fit(&x, &y, &idx, 8, 2, &mut rng);
+        assert!((tree.predict(&[0.1]) - 1.0).abs() < 0.5);
+        assert!((tree.predict(&[0.9]) - 5.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn forest_prediction_uncertainty_nonnegative() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let x: Vec<Vec<f64>> = (0..30).map(|i| vec![(i % 10) as f64 / 9.0]).collect();
+        let y: Vec<f64> = x.iter().map(|v| v[0] * 3.0).collect();
+        let forest = Forest::fit(&x, &y, 16, &mut rng);
+        let (mean, std) = forest.predict(&[0.5]);
+        assert!(std >= 0.0);
+        assert!((0.0..=3.0).contains(&mean));
+    }
+
+    #[test]
+    fn respects_constraints() {
+        let s = ParamSpace::new()
+            .with(Param::ints("x", 0..6))
+            .with(Param::ints("y", 0..6))
+            .with_constraint("sum<8", |_, c| c[0] + c[1] < 8);
+        let mut db = PerfDatabase::new();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut alg = ForestSearch::new().with_init(4);
+        for _ in 0..30 {
+            let c = alg.suggest(&s, &db, &mut rng).unwrap();
+            assert!(s.is_valid(&c));
+            let o = bowl(&c);
+            db.record(c, o, HashMap::new());
+        }
+    }
+}

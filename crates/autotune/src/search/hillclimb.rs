@@ -1,0 +1,128 @@
+//! Hill climbing with random restarts.
+
+use super::SearchAlgorithm;
+use crate::db::PerfDatabase;
+use crate::space::{Config, ParamSpace};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+
+/// First-improvement hill climbing: evaluate neighbours of the current
+/// incumbent; when a neighbourhood is exhausted without improvement, restart
+/// from a random point.
+#[derive(Debug)]
+pub struct HillClimbSearch {
+    current: Option<Config>,
+    /// Neighbours of `current` not yet suggested.
+    frontier: Vec<Config>,
+}
+
+impl HillClimbSearch {
+    /// Construct.
+    pub fn new() -> Self {
+        HillClimbSearch {
+            current: None,
+            frontier: Vec::new(),
+        }
+    }
+
+    fn restart(&mut self, space: &ParamSpace, rng: &mut SmallRng) -> Config {
+        let start = space.sample(rng);
+        self.current = Some(start.clone());
+        self.frontier = space.neighbors(&start);
+        self.frontier.shuffle(rng);
+        start
+    }
+}
+
+impl Default for HillClimbSearch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SearchAlgorithm for HillClimbSearch {
+    fn name(&self) -> &str {
+        "hill-climb"
+    }
+
+    fn suggest(
+        &mut self,
+        space: &ParamSpace,
+        db: &PerfDatabase,
+        rng: &mut SmallRng,
+    ) -> Option<Config> {
+        // Adopt a better incumbent if the last evaluations found one.
+        if let (Some(cur), Some(best)) = (&self.current, db.best()) {
+            let cur_obj = db.lookup(cur);
+            if cur_obj.is_none_or(|c| best.objective < c) && &best.config != cur {
+                self.current = Some(best.config.clone());
+                self.frontier = space.neighbors(&best.config);
+                self.frontier.shuffle(rng);
+            }
+        }
+        if self.current.is_none() {
+            return Some(self.restart(space, rng));
+        }
+        // Pop unevaluated neighbours; restart when the neighbourhood is dry.
+        while let Some(cand) = self.frontier.pop() {
+            if !db.contains(&cand) {
+                return Some(cand);
+            }
+        }
+        Some(self.restart(space, rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::Param;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    /// Convex objective: distance from (3, 3) on a 7×7 grid.
+    fn objective(c: &Config) -> f64 {
+        let dx = c[0] as f64 - 3.0;
+        let dy = c[1] as f64 - 3.0;
+        dx * dx + dy * dy
+    }
+
+    fn space() -> ParamSpace {
+        ParamSpace::new()
+            .with(Param::ints("x", 0..7))
+            .with(Param::ints("y", 0..7))
+    }
+
+    #[test]
+    fn climbs_to_optimum_on_convex_landscape() {
+        let s = space();
+        let mut db = PerfDatabase::new();
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut alg = HillClimbSearch::new();
+        for _ in 0..60 {
+            let c = alg.suggest(&s, &db, &mut rng).unwrap();
+            let obj = objective(&c);
+            db.record(c, obj, HashMap::new());
+        }
+        assert_eq!(db.best().unwrap().objective, 0.0, "must find (3,3)");
+    }
+
+    #[test]
+    fn never_suggests_invalid() {
+        let s = ParamSpace::new()
+            .with(Param::ints("x", 0..5))
+            .with(Param::ints("y", 0..5))
+            .with_constraint("x<=y", |s, c| {
+                s.value(c, "x").as_int() <= s.value(c, "y").as_int()
+            });
+        let mut db = PerfDatabase::new();
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut alg = HillClimbSearch::new();
+        for _ in 0..40 {
+            let c = alg.suggest(&s, &db, &mut rng).unwrap();
+            assert!(s.is_valid(&c));
+            let obj = objective(&c);
+            db.record(c, obj, HashMap::new());
+        }
+    }
+}

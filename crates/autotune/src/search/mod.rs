@@ -1,0 +1,160 @@
+//! Search algorithms over parameter spaces.
+//!
+//! All algorithms implement [`SearchAlgorithm`]: given the space and the
+//! performance database so far, suggest the next configuration to evaluate.
+//! Determinism comes from the caller-provided RNG.
+
+mod anneal;
+mod forest;
+mod hillclimb;
+
+pub use anneal::AnnealingSearch;
+pub use forest::ForestSearch;
+pub use hillclimb::HillClimbSearch;
+
+use crate::db::PerfDatabase;
+use crate::space::{Config, ParamSpace};
+use rand::rngs::SmallRng;
+
+/// A sequential search strategy.
+pub trait SearchAlgorithm {
+    /// Algorithm name for reports.
+    fn name(&self) -> &str;
+
+    /// Propose the next configuration, or `None` when the strategy is
+    /// exhausted (e.g. grid complete). Implementations should avoid
+    /// re-suggesting configurations already in `db` where feasible; the
+    /// tuner also guards against duplicates.
+    fn suggest(
+        &mut self,
+        space: &ParamSpace,
+        db: &PerfDatabase,
+        rng: &mut SmallRng,
+    ) -> Option<Config>;
+}
+
+/// Uniform random sampling (the baseline every tuner must beat).
+#[derive(Debug, Default)]
+pub struct RandomSearch;
+
+impl RandomSearch {
+    /// Construct.
+    pub fn new() -> Self {
+        RandomSearch
+    }
+}
+
+impl SearchAlgorithm for RandomSearch {
+    fn name(&self) -> &str {
+        "random"
+    }
+
+    fn suggest(
+        &mut self,
+        space: &ParamSpace,
+        db: &PerfDatabase,
+        rng: &mut SmallRng,
+    ) -> Option<Config> {
+        // A few attempts to dodge duplicates, then accept repetition (the
+        // space may be almost fully explored).
+        for _ in 0..32 {
+            let c = space.sample(rng);
+            if !db.contains(&c) {
+                return Some(c);
+            }
+        }
+        Some(space.sample(rng))
+    }
+}
+
+/// Exhaustive lattice sweep (grid search over every valid configuration).
+#[derive(Debug, Default)]
+pub struct ExhaustiveSearch {
+    /// Raw lattice index (mixed-radix over parameter value counts); invalid
+    /// points are skipped at suggest time, keeping each call O(dims)
+    /// amortized instead of re-enumerating the lattice prefix.
+    raw_cursor: u128,
+}
+
+impl ExhaustiveSearch {
+    /// Construct.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Decode a raw lattice index into a configuration (odometer order,
+    /// last parameter fastest — matching `ParamSpace::enumerate`).
+    fn decode(space: &ParamSpace, mut raw: u128) -> Config {
+        let mut cfg = vec![0usize; space.dims()];
+        for (slot, p) in cfg.iter_mut().zip(space.params()).rev() {
+            let radix = p.values.len() as u128;
+            *slot = (raw % radix) as usize;
+            raw /= radix;
+        }
+        cfg
+    }
+}
+
+impl SearchAlgorithm for ExhaustiveSearch {
+    fn name(&self) -> &str {
+        "exhaustive"
+    }
+
+    fn suggest(
+        &mut self,
+        space: &ParamSpace,
+        _db: &PerfDatabase,
+        _rng: &mut SmallRng,
+    ) -> Option<Config> {
+        let total = space.cardinality();
+        while self.raw_cursor < total {
+            let cfg = Self::decode(space, self.raw_cursor);
+            self.raw_cursor += 1;
+            if space.is_valid(&cfg) {
+                return Some(cfg);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::Param;
+    use rand::SeedableRng;
+
+    fn space() -> ParamSpace {
+        ParamSpace::new()
+            .with(Param::ints("a", [0, 1, 2]))
+            .with(Param::ints("b", [0, 1]))
+    }
+
+    #[test]
+    fn random_avoids_duplicates_when_possible() {
+        let s = space();
+        let mut db = PerfDatabase::new();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut alg = RandomSearch::new();
+        for _ in 0..6 {
+            let c = alg.suggest(&s, &db, &mut rng).unwrap();
+            assert!(!db.contains(&c));
+            db.record(c, 1.0, Default::default());
+        }
+        assert_eq!(db.len(), 6); // the whole space, duplicate-free
+    }
+
+    #[test]
+    fn exhaustive_covers_space_then_stops() {
+        let s = space();
+        let db = PerfDatabase::new();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut alg = ExhaustiveSearch::new();
+        let mut seen = Vec::new();
+        while let Some(c) = alg.suggest(&s, &db, &mut rng) {
+            seen.push(c);
+        }
+        assert_eq!(seen.len(), 6);
+        assert!(alg.suggest(&s, &db, &mut rng).is_none());
+    }
+}

@@ -1,0 +1,270 @@
+//! The autotuning loop (Figure 4).
+//!
+//! `Tuner` wires a [`SearchAlgorithm`] to an evaluator closure (the paper's
+//! `plopper`: "compiles the code and executes it to get the execution time")
+//! and repeats suggest → evaluate → record until the evaluation budget
+//! (`--max-evals`, default 100 in ytopt) is spent.
+
+use crate::db::PerfDatabase;
+use crate::search::SearchAlgorithm;
+use crate::space::{Config, ParamSpace};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// Result of a tuning run.
+#[derive(Debug, Clone)]
+pub struct TuneReport {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// The full performance database.
+    pub db: PerfDatabase,
+    /// Best configuration found.
+    pub best_config: Config,
+    /// Best objective found.
+    pub best_objective: f64,
+    /// Number of evaluations actually performed.
+    pub evals: usize,
+}
+
+/// The tuning loop driver.
+///
+/// # Example
+///
+/// ```
+/// use pstack_autotune::{ForestSearch, Param, ParamSpace, Tuner};
+///
+/// let space = ParamSpace::new()
+///     .with(Param::ints("tile", [8, 16, 32, 64]))
+///     .with(Param::ints("unroll", [1, 2, 4]));
+/// let report = Tuner::new(space)
+///     .max_evals(20)
+///     .seed(42)
+///     .run(&mut ForestSearch::new(), |space, cfg| {
+///         // "plopper": evaluate the candidate (here: an analytic stand-in).
+///         let tile = space.value(cfg, "tile").as_int() as f64;
+///         let unroll = space.value(cfg, "unroll").as_int() as f64;
+///         ((tile - 32.0).abs() + unroll, Default::default())
+///     });
+/// // The 12-point space is exhausted before the budget runs out.
+/// assert_eq!(report.evals, 12);
+/// assert_eq!(report.best_objective, 1.0); // tile=32, unroll=1
+/// ```
+pub struct Tuner {
+    space: ParamSpace,
+    max_evals: usize,
+    seed: u64,
+    warm_start: Option<PerfDatabase>,
+}
+
+impl Tuner {
+    /// ytopt-like default budget of 100 evaluations.
+    pub const DEFAULT_MAX_EVALS: usize = 100;
+
+    /// Create a tuner over `space`.
+    pub fn new(space: ParamSpace) -> Self {
+        Tuner {
+            space,
+            max_evals: Self::DEFAULT_MAX_EVALS,
+            seed: 0,
+            warm_start: None,
+        }
+    }
+
+    /// Seed the run with a prior performance database (transfer from earlier
+    /// runs of the same space — the site "historic profile information"
+    /// pattern of the paper's §3.2.2 mode 2, and the warm-start used by
+    /// transfer-learning tuners). Prior observations inform the surrogate
+    /// and are never re-evaluated, but do not count against the budget.
+    ///
+    /// # Panics
+    /// Panics if any prior configuration is invalid in this space.
+    pub fn warm_start(mut self, prior: PerfDatabase) -> Self {
+        for obs in prior.observations() {
+            assert!(
+                self.space.is_valid(&obs.config),
+                "warm-start config {:?} invalid in this space",
+                obs.config
+            );
+        }
+        self.warm_start = Some(prior);
+        self
+    }
+
+    /// Set the evaluation budget (`--max-evals`).
+    ///
+    /// # Panics
+    /// Panics on a zero budget.
+    pub fn max_evals(mut self, n: usize) -> Self {
+        assert!(n > 0, "budget must be positive");
+        self.max_evals = n;
+        self
+    }
+
+    /// Set the RNG seed for reproducible runs.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The space being tuned.
+    pub fn space(&self) -> &ParamSpace {
+        &self.space
+    }
+
+    /// Run the loop. `evaluate` maps a configuration to `(objective, aux)`;
+    /// the objective is minimized.
+    ///
+    /// Configurations the algorithm re-suggests are *not* re-evaluated — the
+    /// cached observation is reused without consuming budget, but after 16
+    /// consecutive duplicates the run ends early (the space is exhausted for
+    /// this strategy).
+    pub fn run(
+        &self,
+        algorithm: &mut dyn SearchAlgorithm,
+        mut evaluate: impl FnMut(&ParamSpace, &Config) -> (f64, HashMap<String, f64>),
+    ) -> TuneReport {
+        let mut db = self.warm_start.clone().unwrap_or_default();
+        let prior_len = db.len();
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut consecutive_dups = 0;
+        while db.len() - prior_len < self.max_evals {
+            let Some(cfg) = algorithm.suggest(&self.space, &db, &mut rng) else {
+                break; // strategy exhausted (e.g. grid complete)
+            };
+            assert!(
+                self.space.is_valid(&cfg),
+                "algorithm {} suggested invalid config {:?}",
+                algorithm.name(),
+                cfg
+            );
+            if db.contains(&cfg) {
+                consecutive_dups += 1;
+                if consecutive_dups >= 16 {
+                    break;
+                }
+                continue;
+            }
+            consecutive_dups = 0;
+            let (objective, aux) = evaluate(&self.space, &cfg);
+            db.record(cfg, objective, aux);
+        }
+        let best = db.best().expect("at least one evaluation").clone();
+        TuneReport {
+            algorithm: algorithm.name().to_string(),
+            // Fresh evaluations only; warm-start priors are free.
+            evals: db.len() - prior_len,
+            best_config: best.config,
+            best_objective: best.objective,
+            db,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::{ExhaustiveSearch, ForestSearch, RandomSearch};
+    use crate::space::Param;
+
+    fn space() -> ParamSpace {
+        ParamSpace::new()
+            .with(Param::ints("x", 0..10))
+            .with(Param::ints("y", 0..10))
+    }
+
+    fn bowl(_s: &ParamSpace, c: &Config) -> (f64, HashMap<String, f64>) {
+        let o = (c[0] as f64 - 6.0).powi(2) + (c[1] as f64 - 2.0).powi(2);
+        (o, HashMap::new())
+    }
+
+    #[test]
+    fn exhaustive_finds_exact_optimum() {
+        let report = Tuner::new(space())
+            .max_evals(1000)
+            .run(&mut ExhaustiveSearch::new(), bowl);
+        assert_eq!(report.best_objective, 0.0);
+        assert_eq!(report.best_config, vec![6, 2]);
+        assert_eq!(report.evals, 100);
+    }
+
+    #[test]
+    fn budget_is_respected() {
+        let report = Tuner::new(space())
+            .max_evals(20)
+            .run(&mut RandomSearch::new(), bowl);
+        assert_eq!(report.evals, 20);
+        assert_eq!(report.db.len(), 20);
+    }
+
+    #[test]
+    fn forest_budget_run_improves_over_initial() {
+        let report = Tuner::new(space())
+            .max_evals(40)
+            .seed(5)
+            .run(&mut ForestSearch::new(), bowl);
+        let traj = report.db.trajectory();
+        assert!(traj.last().unwrap() < &traj[7], "surrogate phase improves");
+    }
+
+    #[test]
+    fn seeded_runs_reproduce() {
+        let a = Tuner::new(space())
+            .max_evals(15)
+            .seed(9)
+            .run(&mut RandomSearch::new(), bowl);
+        let b = Tuner::new(space())
+            .max_evals(15)
+            .seed(9)
+            .run(&mut RandomSearch::new(), bowl);
+        assert_eq!(a.best_config, b.best_config);
+        assert_eq!(a.db.observations(), b.db.observations());
+    }
+
+    #[test]
+    fn warm_start_accelerates_surrogate() {
+        // A prior database near the optimum should let the surrogate find
+        // the basin with a far smaller fresh budget.
+        let cold = Tuner::new(space())
+            .max_evals(12)
+            .seed(3)
+            .run(&mut ForestSearch::new().with_init(4), bowl);
+        let mut prior = crate::db::PerfDatabase::new();
+        for cfg in [vec![5usize, 2], vec![7, 2], vec![6, 3], vec![6, 1], vec![4, 4], vec![8, 8]] {
+            let (o, _) = bowl(&space(), &cfg);
+            prior.record(cfg, o, HashMap::new());
+        }
+        let warm = Tuner::new(space())
+            .max_evals(12)
+            .seed(3)
+            .warm_start(prior)
+            .run(&mut ForestSearch::new().with_init(4), bowl);
+        assert!(
+            warm.best_objective <= cold.best_objective,
+            "warm {} vs cold {}",
+            warm.best_objective,
+            cold.best_objective
+        );
+        assert!(warm.best_objective <= 1.0, "basin found: {}", warm.best_objective);
+        // Budget counts only fresh evaluations.
+        assert_eq!(warm.db.len(), 6 + warm.evals);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid in this space")]
+    fn warm_start_validates_configs() {
+        let mut prior = crate::db::PerfDatabase::new();
+        prior.record(vec![99, 99], 1.0, HashMap::new());
+        let _ = Tuner::new(space()).warm_start(prior);
+    }
+
+    #[test]
+    fn small_space_terminates_early() {
+        let tiny = ParamSpace::new().with(Param::ints("x", 0..3));
+        let report = Tuner::new(tiny)
+            .max_evals(100)
+            .run(&mut RandomSearch::new(), |_, c| (c[0] as f64, HashMap::new()));
+        assert!(report.evals <= 3 + 16);
+        assert_eq!(report.best_objective, 0.0);
+    }
+}

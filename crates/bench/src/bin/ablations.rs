@@ -1,0 +1,27 @@
+//! Regenerate the §4 ablation studies: malleability granularity (A1),
+//! static build variants under power caps (A2), and hardware
+//! overprovisioning (A3).
+
+use powerstack_core::experiments::ablations;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct All {
+    a1: Vec<ablations::MalleabilityRow>,
+    a2: Vec<ablations::VariantRow>,
+    a3: Vec<ablations::OverprovisionRow>,
+}
+
+fn main() {
+    let a1 = pstack_bench::timed("A1 malleability", || {
+        ablations::malleability(&[2, 5, 10, 20, 40], 16, 600.0, 20200910)
+    });
+    let a2 = pstack_bench::timed("A2 static variants", || {
+        ablations::static_variants(&[0.0, 320.0, 260.0, 220.0], 20200911)
+    });
+    let a3 = pstack_bench::timed("A3 overprovisioning", || {
+        ablations::overprovisioning(&[4, 6, 8, 10, 12, 16], 4.0 * 450.0, 8, 80.0, 20200912)
+    });
+    let rendered = ablations::render(&a1, &a2, &a3);
+    pstack_bench::emit("ablations", &rendered, &All { a1, a2, a3 });
+}

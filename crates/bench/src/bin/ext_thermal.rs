@@ -1,0 +1,6 @@
+//! Regenerate extension E2: thermal-aware node selection.
+use powerstack_core::experiments::thermal;
+fn main() {
+    let r = pstack_bench::timed("E2", thermal::run_default);
+    pstack_bench::emit("ext_thermal", &thermal::render(&r), &r);
+}

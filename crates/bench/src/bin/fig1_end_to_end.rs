@@ -1,0 +1,7 @@
+//! Regenerate Figure 1's quantitative counterpart: the end-to-end
+//! opportunity analysis (tuning levels × system power budgets).
+use powerstack_core::experiments::fig1;
+fn main() {
+    let r = pstack_bench::timed("fig1", fig1::run_default);
+    pstack_bench::emit("fig1_end_to_end", &fig1::render(&r), &r);
+}

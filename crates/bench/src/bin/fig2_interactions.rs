@@ -1,0 +1,7 @@
+//! Regenerate Figure 2's quantitative counterpart: job-aware vs
+//! job-agnostic RM-runtime power assignment.
+use powerstack_core::experiments::fig2;
+fn main() {
+    let r = pstack_bench::timed("fig2", fig2::run_default);
+    pstack_bench::emit("fig2_interactions", &fig2::render(&r), &r);
+}

@@ -1,0 +1,6 @@
+//! Regenerate Figure 6: power-corridor enforcement strategies.
+use powerstack_core::experiments::fig6;
+fn main() {
+    let r = pstack_bench::timed("fig6", fig6::run_default);
+    pstack_bench::emit("fig6_power_corridor", &fig6::render(&r), &r);
+}

@@ -1,0 +1,73 @@
+//! Regenerate every paper artifact in one pass (the EXPERIMENTS.md source).
+//!
+//! Run with: `cargo run -p pstack-bench --bin regenerate_all --release`
+//! Outputs land under `results/`.
+
+use powerstack_core::experiments::{
+    ablations, emergency, fig1, fig2, fig3, fig4, fig5, fig6, thermal, uc1, uc6, uc7,
+};
+use powerstack_core::{catalog, registry, vocab};
+
+fn main() {
+    println!("================ TABLES ================\n");
+    pstack_bench::emit(
+        "table1_registry",
+        &registry::render_table1(),
+        &registry::knob_registry(),
+    );
+    pstack_bench::emit(
+        "table2_components",
+        &catalog::render_table2(),
+        &catalog::component_catalog(),
+    );
+    pstack_bench::emit(
+        "table3_vocabulary",
+        &vocab::render_table3(),
+        &vocab::vocabulary(),
+    );
+
+    println!("\n================ FIGURES ================\n");
+    let r = pstack_bench::timed("fig1", fig1::run_default);
+    pstack_bench::emit("fig1_end_to_end", &fig1::render(&r), &r);
+    let r = pstack_bench::timed("fig2", fig2::run_default);
+    pstack_bench::emit("fig2_interactions", &fig2::render(&r), &r);
+    let r = pstack_bench::timed("fig3", fig3::run_default);
+    pstack_bench::emit("fig3_geopm_policy", &fig3::render(&r), &r);
+    let r = pstack_bench::timed("fig4", fig4::run_default);
+    pstack_bench::emit("fig4_ytopt_loop", &fig4::render(&r), &r);
+    let r = pstack_bench::timed("fig5", fig5::run_default);
+    pstack_bench::emit("fig5_feti_regions", &fig5::render(&r), &r);
+    let r = pstack_bench::timed("fig6", fig6::run_default);
+    pstack_bench::emit("fig6_power_corridor", &fig6::render(&r), &r);
+
+    println!("\n================ USE CASES ================\n");
+    let r = pstack_bench::timed("uc1", uc1::run_default);
+    pstack_bench::emit("uc1_hypre_cotune", &uc1::render(&r), &r);
+    let r = pstack_bench::timed("uc6", uc6::run_default);
+    pstack_bench::emit("uc6_countdown", &uc6::render(&r), &r);
+    let r = pstack_bench::timed("uc7", uc7::run_default);
+    pstack_bench::emit("uc7_two_runtimes", &uc7::render(&r), &r);
+
+    println!("\n================ ABLATIONS ================\n");
+    let a1 = pstack_bench::timed("A1", || {
+        ablations::malleability(&[2, 5, 10, 20, 40], 16, 600.0, 20200910)
+    });
+    let a2 = pstack_bench::timed("A2", || {
+        ablations::static_variants(&[0.0, 320.0, 260.0, 220.0], 20200911)
+    });
+    let a3 = pstack_bench::timed("A3", || {
+        ablations::overprovisioning(&[4, 6, 8, 10, 12, 16], 4.0 * 450.0, 8, 80.0, 20200912)
+    });
+    println!("{}", ablations::render(&a1, &a2, &a3));
+    let txt = ablations::render(&a1, &a2, &a3);
+    std::fs::create_dir_all(pstack_bench::results_dir()).ok();
+    std::fs::write(pstack_bench::results_dir().join("ablations.txt"), txt).ok();
+
+    println!("\n================ EXTENSIONS ================\n");
+    let r = pstack_bench::timed("E1", emergency::run_default);
+    pstack_bench::emit("ext_emergency", &emergency::render(&r), &r);
+    let r = pstack_bench::timed("E2", thermal::run_default);
+    pstack_bench::emit("ext_thermal", &thermal::render(&r), &r);
+
+    println!("\nall artifacts written to {}/", pstack_bench::results_dir().display());
+}

@@ -1,0 +1,5 @@
+//! Regenerate Table 1: the per-layer knob registry.
+fn main() {
+    let reg = powerstack_core::knob_registry();
+    pstack_bench::emit("table1_registry", &powerstack_core::registry::render_table1(), &reg);
+}

@@ -1,0 +1,5 @@
+//! Regenerate Table 2: surveyed tools mapped to implemented analogs.
+fn main() {
+    let cat = powerstack_core::component_catalog();
+    pstack_bench::emit("table2_components", &powerstack_core::catalog::render_table2(), &cat);
+}

@@ -1,0 +1,5 @@
+//! Regenerate Table 3: the PowerStack vocabulary.
+fn main() {
+    let vocab = powerstack_core::vocabulary();
+    pstack_bench::emit("table3_vocabulary", &powerstack_core::vocab::render_table3(), &vocab);
+}

@@ -1,0 +1,6 @@
+//! Regenerate use case 3.2.1: SLURM+Conductor+Hypre co-tuning.
+use powerstack_core::experiments::uc1;
+fn main() {
+    let r = pstack_bench::timed("uc1", uc1::run_default);
+    pstack_bench::emit("uc1_hypre_cotune", &uc1::render(&r), &r);
+}

@@ -1,0 +1,69 @@
+//! # pstack-bench — the paper-artifact regeneration harness
+//!
+//! One binary per table/figure/use case (see `src/bin/`), each running the
+//! corresponding `powerstack_core::experiments` module at full scale,
+//! printing the rendered table/series, and writing both the text and a JSON
+//! dump under `results/`. The `regenerate_all` binary runs everything —
+//! its output is the source of EXPERIMENTS.md.
+//!
+//! The Criterion benches in `benches/` measure the simulator's own hot
+//! paths (node stepping, job execution, search algorithms) so performance
+//! regressions in the substrate are caught like any other bug.
+
+use serde::Serialize;
+use std::fs;
+use std::path::PathBuf;
+
+/// Directory experiment outputs are written to (repo-relative).
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("POWERSTACK_RESULTS_DIR").unwrap_or_else(|_| "results".to_string());
+    PathBuf::from(dir)
+}
+
+/// Print `rendered` and persist it (plus a JSON dump of `data`) under
+/// `results/<name>.{txt,json}`.
+pub fn emit<T: Serialize>(name: &str, rendered: &str, data: &T) {
+    println!("{rendered}");
+    let dir = results_dir();
+    if let Err(e) = fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let txt = dir.join(format!("{name}.txt"));
+    let json = dir.join(format!("{name}.json"));
+    if let Err(e) = fs::write(&txt, rendered) {
+        eprintln!("warning: cannot write {}: {e}", txt.display());
+    }
+    match serde_json::to_string_pretty(data) {
+        Ok(s) => {
+            if let Err(e) = fs::write(&json, s) {
+                eprintln!("warning: cannot write {}: {e}", json.display());
+            }
+        }
+        Err(e) => eprintln!("warning: cannot serialize {name}: {e}"),
+    }
+}
+
+/// Wall-clock a closure, printing the elapsed time to stderr.
+pub fn timed<T>(label: &str, f: impl FnOnce() -> T) -> T {
+    let start = std::time::Instant::now();
+    let out = f();
+    eprintln!("[{label}: {:.1}s]", start.elapsed().as_secs_f64());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emit_writes_files() {
+        let tmp = std::env::temp_dir().join("pstack-bench-test");
+        std::env::set_var("POWERSTACK_RESULTS_DIR", &tmp);
+        emit("unit_test_artifact", "hello table", &vec![1, 2, 3]);
+        assert!(tmp.join("unit_test_artifact.txt").exists());
+        assert!(tmp.join("unit_test_artifact.json").exists());
+        std::env::remove_var("POWERSTACK_RESULTS_DIR");
+        let _ = std::fs::remove_dir_all(&tmp);
+    }
+}

@@ -1,0 +1,318 @@
+//! Cross-layer co-tuning spaces (§3.1, §3.2.1, §3.2.3, §4.4).
+//!
+//! The co-tuning thesis of the paper: knobs from *different* layers —
+//! application algorithm choices, runtime power policies, RM resource
+//! sizing, node power caps — interact, so they must be searched **jointly**.
+//! This module builds joint [`ParamSpace`]s over those layers and evaluates
+//! configurations by running the actual simulated stack, making them
+//! directly consumable by every `pstack-autotune` search algorithm.
+
+use crate::interfaces::Objective;
+use pstack_apps::hypre::{
+    CoarsenType, HypreApp, HypreConfig, HypreProblem, Preconditioner, Smoother, SolverKind,
+};
+use pstack_apps::kernelmodel::{Interchange, KernelApp, KernelConfig, KernelModel};
+use pstack_apps::workload::AppModel;
+use pstack_apps::MpiModel;
+use pstack_autotune::{Config, Param, ParamSpace, TuneReport, Tuner};
+use pstack_hwmodel::{Node, NodeConfig, NodeId};
+use pstack_node::NodeManager;
+use pstack_runtime::{ArbiterMode, JobRunner};
+use pstack_sim::{SeedTree, SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// Simulate `app` on `n_nodes` nominal nodes under an optional node power
+/// cap; returns `(time_s, energy_j, work)`.
+pub fn simulate_app(
+    app: &dyn AppModel,
+    n_nodes: usize,
+    node_cap_w: Option<f64>,
+    seed: u64,
+) -> (f64, f64, f64) {
+    let mut nodes: Vec<NodeManager> = (0..n_nodes)
+        .map(|i| NodeManager::new(Node::nominal(NodeId(i), NodeConfig::server_default())))
+        .collect();
+    if let Some(cap) = node_cap_w {
+        for nm in nodes.iter_mut() {
+            nm.set_power_limit(SimTime::ZERO, cap, SimDuration::from_millis(10));
+        }
+    }
+    let seeds = SeedTree::new(seed);
+    let mut runner = JobRunner::new(
+        &app.workload(n_nodes),
+        n_nodes,
+        &MpiModel::typical(),
+        &seeds,
+        ArbiterMode::Gated,
+    );
+    let r = runner.run_to_completion(SimTime::ZERO, &mut nodes, &mut []);
+    (r.makespan.as_secs_f64(), r.energy_j, r.total_work)
+}
+
+/// §3.2.1 joint space: Hypre application knobs × RM node count × node power
+/// cap (the runtime/hardware knob Conductor would manage).
+pub struct HypreCoTune {
+    /// The problem instance.
+    pub problem: HypreProblem,
+    /// RM-layer choices: node counts available to the job.
+    pub node_counts: Vec<i64>,
+    /// Node power caps to consider, watts (`0` encodes "uncapped").
+    pub node_caps_w: Vec<f64>,
+    /// The objective to minimize.
+    pub objective: Objective,
+    /// Simulation seed.
+    pub seed: u64,
+}
+
+impl HypreCoTune {
+    /// Defaults matching the use-case narrative.
+    pub fn new(objective: Objective) -> Self {
+        HypreCoTune {
+            problem: HypreProblem::laplacian_27pt(),
+            node_counts: vec![2, 4, 8],
+            node_caps_w: vec![0.0, 250.0, 300.0, 350.0],
+            objective,
+            seed: 1,
+        }
+    }
+
+    /// The joint parameter space with the AMG dependency conditions.
+    pub fn space(&self) -> ParamSpace {
+        ParamSpace::new()
+            .with(Param::strs("solver", ["pcg", "gmres", "bicgstab"]))
+            .with(Param::strs(
+                "precond",
+                ["none", "jacobi", "parasails", "boomeramg"],
+            ))
+            .with(Param::strs("smoother", ["jacobi", "gauss_seidel", "chebyshev"]))
+            .with(Param::strs("coarsen", ["falgout", "pmis", "hmis"]))
+            .with(Param::floats("strong_threshold", [0.25, 0.5, 0.7]))
+            .with(Param::ints("nodes", self.node_counts.clone()))
+            .with(Param::floats("node_cap_w", self.node_caps_w.clone()))
+            .with_constraint("amg_subknobs_require_amg", |s, c| {
+                s.value(c, "precond").as_str() == "boomeramg"
+                    || (s.value(c, "smoother").as_str() == "gauss_seidel"
+                        && s.value(c, "coarsen").as_str() == "falgout"
+                        && (s.value(c, "strong_threshold").as_float() - 0.25).abs() < 1e-9)
+            })
+    }
+
+    /// Decode a configuration into concrete pieces.
+    pub fn decode(&self, space: &ParamSpace, cfg: &Config) -> (HypreConfig, usize, Option<f64>) {
+        let solver = match space.value(cfg, "solver").as_str() {
+            "pcg" => SolverKind::Pcg,
+            "gmres" => SolverKind::Gmres,
+            _ => SolverKind::BiCgStab,
+        };
+        let precond = match space.value(cfg, "precond").as_str() {
+            "none" => Preconditioner::None,
+            "jacobi" => Preconditioner::Jacobi,
+            "parasails" => Preconditioner::ParaSails,
+            _ => Preconditioner::BoomerAmg,
+        };
+        let smoother = match space.value(cfg, "smoother").as_str() {
+            "jacobi" => Smoother::Jacobi,
+            "chebyshev" => Smoother::Chebyshev,
+            _ => Smoother::GaussSeidel,
+        };
+        let coarsen = match space.value(cfg, "coarsen").as_str() {
+            "pmis" => CoarsenType::Pmis,
+            "hmis" => CoarsenType::Hmis,
+            _ => CoarsenType::Falgout,
+        };
+        let hypre = HypreConfig {
+            solver,
+            precond,
+            smoother,
+            coarsen,
+            strong_threshold: space.value(cfg, "strong_threshold").as_float(),
+        };
+        let nodes = space.value(cfg, "nodes").as_int() as usize;
+        let cap = space.value(cfg, "node_cap_w").as_float();
+        (hypre, nodes, if cap > 0.0 { Some(cap) } else { None })
+    }
+
+    /// Evaluate one configuration by simulation: `(cost, aux)`.
+    pub fn evaluate(&self, space: &ParamSpace, cfg: &Config) -> (f64, HashMap<String, f64>) {
+        let (hypre, nodes, cap) = self.decode(space, cfg);
+        let app = HypreApp::new(hypre, self.problem);
+        let (time_s, energy_j, work) = simulate_app(&app, nodes, cap, self.seed);
+        let mut aux = HashMap::new();
+        aux.insert("time_s".to_string(), time_s);
+        aux.insert("energy_j".to_string(), energy_j);
+        aux.insert("work".to_string(), work);
+        aux.insert("power_w".to_string(), energy_j / time_s.max(1e-9));
+        (self.objective.cost(time_s, energy_j, work), aux)
+    }
+
+    /// Run the tuning loop with the given algorithm and budget.
+    pub fn tune(
+        &self,
+        algorithm: &mut dyn pstack_autotune::SearchAlgorithm,
+        max_evals: usize,
+        seed: u64,
+    ) -> TuneReport {
+        Tuner::new(self.space())
+            .max_evals(max_evals)
+            .seed(seed)
+            .run(algorithm, |space, cfg| self.evaluate(space, cfg))
+    }
+}
+
+/// §3.2.3 joint space: loop-transformation knobs × system parameter
+/// (#threads) × node power cap — ytopt extended "to the end-to-end
+/// auto-tuning ... under a system power cap".
+pub struct KernelCoTune {
+    /// The kernel cost model.
+    pub model: KernelModel,
+    /// Node power caps to consider, watts (`0` = uncapped).
+    pub node_caps_w: Vec<f64>,
+    /// The objective.
+    pub objective: Objective,
+    /// Simulation seed.
+    pub seed: u64,
+}
+
+impl KernelCoTune {
+    /// Defaults: PolyBench-large kernel, three cap levels.
+    pub fn new(objective: Objective) -> Self {
+        KernelCoTune {
+            model: KernelModel::polybench_large(),
+            node_caps_w: vec![0.0, 250.0, 320.0],
+            objective,
+            seed: 1,
+        }
+    }
+
+    /// The joint space with the unroll≤tile_k dependency condition.
+    pub fn space(&self) -> ParamSpace {
+        let tiles: Vec<i64> = KernelConfig::TILES.iter().map(|&t| t as i64).collect();
+        let unrolls: Vec<i64> = KernelConfig::UNROLLS.iter().map(|&u| u as i64).collect();
+        let threads: Vec<i64> = (0..)
+            .map(|i| 1i64 << i)
+            .take_while(|&t| t <= self.model.max_threads as i64)
+            .collect();
+        ParamSpace::new()
+            .with(Param::ints("tile_i", tiles.clone()))
+            .with(Param::ints("tile_j", tiles.clone()))
+            .with(Param::ints("tile_k", tiles))
+            .with(Param::strs(
+                "interchange",
+                ["ijk", "ikj", "jik", "jki", "kij", "kji"],
+            ))
+            .with(Param::ints("unroll", unrolls))
+            .with(Param::boolean("packing"))
+            .with(Param::ints("threads", threads))
+            .with(Param::floats("node_cap_w", self.node_caps_w.clone()))
+            .with_constraint("unroll<=tile_k", |s, c| {
+                s.value(c, "unroll").as_int() <= s.value(c, "tile_k").as_int()
+            })
+    }
+
+    /// Decode to a kernel configuration plus the cap.
+    pub fn decode(&self, space: &ParamSpace, cfg: &Config) -> (KernelConfig, Option<f64>) {
+        let interchange = match space.value(cfg, "interchange").as_str() {
+            "ijk" => Interchange::Ijk,
+            "ikj" => Interchange::Ikj,
+            "jik" => Interchange::Jik,
+            "jki" => Interchange::Jki,
+            "kij" => Interchange::Kij,
+            _ => Interchange::Kji,
+        };
+        let kc = KernelConfig {
+            tile_i: space.value(cfg, "tile_i").as_int() as usize,
+            tile_j: space.value(cfg, "tile_j").as_int() as usize,
+            tile_k: space.value(cfg, "tile_k").as_int() as usize,
+            interchange,
+            unroll: space.value(cfg, "unroll").as_int() as usize,
+            packing: space.value(cfg, "packing").as_bool(),
+            threads: space.value(cfg, "threads").as_int() as usize,
+        };
+        let cap = space.value(cfg, "node_cap_w").as_float();
+        (kc, if cap > 0.0 { Some(cap) } else { None })
+    }
+
+    /// Evaluate by simulating the kernel on one (optionally capped) node.
+    pub fn evaluate(&self, space: &ParamSpace, cfg: &Config) -> (f64, HashMap<String, f64>) {
+        let (kc, cap) = self.decode(space, cfg);
+        let app = KernelApp {
+            model: self.model,
+            config: kc,
+        };
+        let (time_s, energy_j, work) = simulate_app(&app, 1, cap, self.seed);
+        let mut aux = HashMap::new();
+        aux.insert("time_s".to_string(), time_s);
+        aux.insert("energy_j".to_string(), energy_j);
+        aux.insert("power_w".to_string(), energy_j / time_s.max(1e-9));
+        (self.objective.cost(time_s, energy_j, work), aux)
+    }
+
+    /// Run the tuning loop.
+    pub fn tune(
+        &self,
+        algorithm: &mut dyn pstack_autotune::SearchAlgorithm,
+        max_evals: usize,
+        seed: u64,
+    ) -> TuneReport {
+        Tuner::new(self.space())
+            .max_evals(max_evals)
+            .seed(seed)
+            .run(algorithm, |space, cfg| self.evaluate(space, cfg))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pstack_autotune::RandomSearch;
+
+    #[test]
+    fn simulate_app_produces_sane_numbers() {
+        let app = pstack_apps::synthetic::SyntheticApp::new(
+            pstack_apps::synthetic::Profile::ComputeHeavy,
+            10.0,
+            5,
+        );
+        let (t, e, w) = simulate_app(&app, 2, None, 1);
+        assert!(t > 1.0 && t < 20.0, "time {t}");
+        assert!(e > 100.0, "energy {e}");
+        assert!(w > 10.0, "work {w}");
+        // Capped run: slower, and average power below the cap.
+        let (tc, ec, _) = simulate_app(&app, 2, Some(280.0), 1);
+        assert!(tc >= t * 0.99);
+        assert!(ec / tc <= 2.0 * 280.0 * 1.10, "power {}", ec / tc);
+    }
+
+    #[test]
+    fn hypre_space_respects_dependencies() {
+        let ct = HypreCoTune::new(Objective::MinTime);
+        let space = ct.space();
+        // 90 app configs × 3 node counts × 4 caps.
+        assert_eq!(space.enumerate().count(), 90 * 3 * 4);
+        for cfg in space.enumerate().take(50) {
+            let (hc, n, _) = ct.decode(&space, &cfg);
+            assert!(hc.is_valid());
+            assert!(n >= 2);
+        }
+    }
+
+    #[test]
+    fn hypre_evaluation_runs() {
+        let ct = HypreCoTune::new(Objective::MinTime);
+        let space = ct.space();
+        let cfg = space.enumerate().next().unwrap();
+        let (cost, aux) = ct.evaluate(&space, &cfg);
+        assert!(cost.is_finite() && cost > 0.0);
+        assert!(aux["energy_j"] > 0.0);
+    }
+
+    #[test]
+    fn kernel_space_and_tune_smoke() {
+        let ct = KernelCoTune::new(Objective::MinEnergy);
+        let report = ct.tune(&mut RandomSearch::new(), 6, 3);
+        assert_eq!(report.evals, 6);
+        assert!(report.best_objective > 0.0);
+        let (kc, _) = ct.decode(&ct.space(), &report.best_config);
+        assert!(kc.is_valid(ct.model.max_threads));
+    }
+}

@@ -1,0 +1,235 @@
+//! Extension experiment E1 — dynamic system budgets (demand response).
+//!
+//! Table 1's system-layer methods include "canceling running jobs,
+//! pausing/restarting jobs" and dynamic power management; §3.2.5 notes that
+//! dynamic corridors arise "because of renewable energy sources". This
+//! experiment drops the system budget mid-run (a demand-response event) and
+//! compares the RM's responses:
+//!
+//! - **ignore** — keep running (baseline: quantifies the violation);
+//! - **pause** — suspend the newest jobs until the commitment fits, resume
+//!   when the budget returns;
+//! - **tighten-caps** — keep everything running under proportionally
+//!   tightened node power caps.
+//!
+//! Expected shape: both responses eliminate the violation; capping usually
+//! finishes the mix sooner (all jobs progress slowly) while pausing keeps
+//! the surviving jobs at full speed — the trade-off sites actually face.
+
+use pstack_apps::synthetic::{Profile, SyntheticApp};
+use pstack_hwmodel::{NodeConfig, VariationModel};
+use pstack_node::NodeManager;
+use pstack_rm::{EmergencyResponse, JobSpec, PowerAssignment, Scheduler, SystemPowerPolicy};
+use pstack_sim::{SeedTree, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// One response strategy's outcome.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EmergencyRow {
+    /// Strategy label.
+    pub strategy: String,
+    /// Time until every job completed, seconds.
+    pub makespan_s: f64,
+    /// Mean system power during the emergency window, watts.
+    pub power_during_event_w: f64,
+    /// Violation: mean watts above the emergency budget during the window.
+    pub violation_w: f64,
+    /// Jobs paused at any point.
+    pub pauses: usize,
+    /// Total energy, joules.
+    pub energy_j: f64,
+}
+
+/// Full result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EmergencyResult {
+    /// Normal budget, watts.
+    pub normal_budget_w: f64,
+    /// Emergency budget, watts.
+    pub emergency_budget_w: f64,
+    /// Emergency window `(start_s, end_s)`.
+    pub window_s: (f64, f64),
+    /// One row per strategy.
+    pub rows: Vec<EmergencyRow>,
+}
+
+#[allow(clippy::too_many_arguments)] // internal experiment plumbing
+fn run_strategy(
+    strategy: Option<EmergencyResponse>,
+    label: &str,
+    n_nodes: usize,
+    n_jobs: usize,
+    work: f64,
+    normal_w: f64,
+    emergency_w: f64,
+    window: (u64, u64),
+    seed: u64,
+) -> EmergencyRow {
+    let seeds = SeedTree::new(seed);
+    let nodes = NodeManager::fleet(
+        n_nodes,
+        NodeConfig::server_default(),
+        &VariationModel::typical(),
+        &seeds,
+    );
+    let policy = SystemPowerPolicy::budgeted(normal_w, PowerAssignment::Unconstrained);
+    let mut sched = Scheduler::new(nodes, policy, seeds.subtree("sched"));
+    for i in 0..n_jobs {
+        sched.submit(JobSpec::rigid(
+            i as u64,
+            Arc::new(SyntheticApp::new(Profile::ComputeHeavy, work, 20)),
+            1,
+            SimTime::ZERO,
+        ));
+    }
+    let quantum = SimDuration::from_secs(1);
+    let mut event_energy = 0.0;
+    let mut event_seconds = 0.0;
+    let mut in_event = false;
+    while (sched.queued() > 0 || sched.running() > 0)
+        && sched.now() < SimTime::from_secs(4 * 3600)
+    {
+        let t = sched.now().as_secs_f64() as u64;
+        if t == window.0 && !in_event {
+            in_event = true;
+            if let Some(resp) = strategy {
+                sched.set_system_budget(Some(emergency_w), resp);
+            }
+        }
+        if t == window.1 && in_event {
+            in_event = false;
+            if let Some(resp) = strategy {
+                sched.set_system_budget(Some(normal_w), resp);
+            }
+        }
+        let e0 = sched.system_energy_j();
+        sched.step(quantum);
+        if in_event {
+            event_energy += sched.system_energy_j() - e0;
+            event_seconds += quantum.as_secs_f64();
+        }
+    }
+    let power_during = if event_seconds > 0.0 {
+        event_energy / event_seconds
+    } else {
+        0.0
+    };
+    EmergencyRow {
+        strategy: label.to_string(),
+        makespan_s: sched.now().as_secs_f64(),
+        power_during_event_w: power_during,
+        violation_w: (power_during - emergency_w).max(0.0),
+        pauses: sched.trace().of_kind("job_pause").count(),
+        energy_j: sched.metrics().system_energy_j,
+    }
+}
+
+/// Run the demand-response comparison.
+pub fn run(n_nodes: usize, n_jobs: usize, work: f64, seed: u64) -> EmergencyResult {
+    let normal = n_nodes as f64 * 460.0;
+    let emergency = normal * 0.55;
+    let window = (30u64, 150u64);
+    let rows = vec![
+        run_strategy(None, "ignore", n_nodes, n_jobs, work, normal, emergency, window, seed),
+        run_strategy(
+            Some(EmergencyResponse::PauseJobs),
+            "pause-jobs",
+            n_nodes,
+            n_jobs,
+            work,
+            normal,
+            emergency,
+            window,
+            seed,
+        ),
+        run_strategy(
+            Some(EmergencyResponse::TightenCaps),
+            "tighten-caps",
+            n_nodes,
+            n_jobs,
+            work,
+            normal,
+            emergency,
+            window,
+            seed,
+        ),
+    ];
+    EmergencyResult {
+        normal_budget_w: normal,
+        emergency_budget_w: emergency,
+        window_s: (window.0 as f64, window.1 as f64),
+        rows,
+    }
+}
+
+/// Default full-scale run.
+pub fn run_default() -> EmergencyResult {
+    run(8, 8, 120.0, 20200913)
+}
+
+/// Render the comparison.
+pub fn render(r: &EmergencyResult) -> String {
+    let mut out = format!(
+        "EXTENSION E1 / DEMAND RESPONSE: budget {:.0} W -> {:.0} W during t=[{:.0}s, {:.0}s]\n\
+         strategy      | makespan_s | P_event_W | violation_W | pauses | energy_MJ\n",
+        r.normal_budget_w, r.emergency_budget_w, r.window_s.0, r.window_s.1
+    );
+    for row in &r.rows {
+        out.push_str(&format!(
+            "{:<13} | {:>10.0} | {:>9.0} | {:>11.0} | {:>6} | {:>9.2}\n",
+            row.strategy,
+            row.makespan_s,
+            row.power_during_event_w,
+            row.violation_w,
+            row.pauses,
+            row.energy_j / 1e6,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> EmergencyResult {
+        run(4, 4, 120.0, 11)
+    }
+
+    #[test]
+    fn ignore_violates_enforcers_do_not() {
+        let r = small();
+        let get = |name: &str| r.rows.iter().find(|x| x.strategy == name).unwrap();
+        assert!(get("ignore").violation_w > 50.0, "{:?}", get("ignore"));
+        assert!(
+            get("pause-jobs").violation_w < get("ignore").violation_w * 0.3,
+            "{:?}",
+            get("pause-jobs")
+        );
+        assert!(
+            get("tighten-caps").violation_w < get("ignore").violation_w * 0.3,
+            "{:?}",
+            get("tighten-caps")
+        );
+    }
+
+    #[test]
+    fn pausing_actually_pauses() {
+        let r = small();
+        let pause = r.rows.iter().find(|x| x.strategy == "pause-jobs").unwrap();
+        assert!(pause.pauses > 0);
+    }
+
+    #[test]
+    fn all_strategies_finish_all_jobs() {
+        let r = small();
+        for row in &r.rows {
+            assert!(
+                row.makespan_s < 4.0 * 3600.0,
+                "{} hit the horizon",
+                row.strategy
+            );
+        }
+    }
+}

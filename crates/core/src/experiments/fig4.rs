@@ -1,0 +1,215 @@
+//! Figure 4 / §3.2.3 — the ytopt autotuning loop.
+//!
+//! The figure shows the loop: autotuner assigns parameter values → plopper
+//! compiles and runs → execution time lands in the performance database →
+//! repeat until `--max-evals`. The experiment runs that loop over the
+//! tiled-kernel transformation space with each search algorithm and reports
+//! best-found-time vs. evaluation count.
+//!
+//! Expected shape: the random-forest surrogate (ytopt's default) reaches
+//! near-optimal configurations in far fewer evaluations than random
+//! sampling; hill-climbing and annealing fall between.
+
+use pstack_apps::kernelmodel::{KernelConfig, KernelModel};
+use pstack_autotune::{
+    AnnealingSearch, ForestSearch, HillClimbSearch, RandomSearch, SearchAlgorithm, Tuner,
+};
+use pstack_autotune::{Param, ParamSpace};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One algorithm's convergence trajectory.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Trajectory {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Best-so-far objective after each evaluation.
+    pub best_by_eval: Vec<f64>,
+    /// Final best runtime, seconds.
+    pub best_time_s: f64,
+    /// Evaluations to get within 10% of this run's final best.
+    pub evals_to_within_10pct: Option<usize>,
+}
+
+/// Full result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig4Result {
+    /// The true optimum (exhaustive search over the space), seconds.
+    pub exhaustive_best_s: f64,
+    /// The untuned baseline runtime, seconds.
+    pub baseline_s: f64,
+    /// Per-algorithm trajectories.
+    pub trajectories: Vec<Trajectory>,
+}
+
+/// The pure application-layer ytopt space (no power knobs — Figure 4 shows
+/// the single-layer loop; the cross-layer extension is use case 3).
+pub fn kernel_space(model: &KernelModel) -> ParamSpace {
+    let tiles: Vec<i64> = KernelConfig::TILES.iter().map(|&t| t as i64).collect();
+    let unrolls: Vec<i64> = KernelConfig::UNROLLS.iter().map(|&u| u as i64).collect();
+    let threads: Vec<i64> = (0..)
+        .map(|i| 1i64 << i)
+        .take_while(|&t| t <= model.max_threads as i64)
+        .collect();
+    ParamSpace::new()
+        .with(Param::ints("tile_i", tiles.clone()))
+        .with(Param::ints("tile_j", tiles.clone()))
+        .with(Param::ints("tile_k", tiles))
+        .with(Param::strs(
+            "interchange",
+            ["ijk", "ikj", "jik", "jki", "kij", "kji"],
+        ))
+        .with(Param::ints("unroll", unrolls))
+        .with(Param::boolean("packing"))
+        .with(Param::ints("threads", threads))
+        .with_constraint("unroll<=tile_k", |s, c| {
+            s.value(c, "unroll").as_int() <= s.value(c, "tile_k").as_int()
+        })
+}
+
+/// Decode a space configuration into a kernel configuration.
+pub fn decode(space: &ParamSpace, cfg: &[usize]) -> KernelConfig {
+    use pstack_apps::kernelmodel::Interchange;
+    let interchange = match space.value(&cfg.to_vec(), "interchange").as_str() {
+        "ijk" => Interchange::Ijk,
+        "ikj" => Interchange::Ikj,
+        "jik" => Interchange::Jik,
+        "jki" => Interchange::Jki,
+        "kij" => Interchange::Kij,
+        _ => Interchange::Kji,
+    };
+    let cfg = cfg.to_vec();
+    KernelConfig {
+        tile_i: space.value(&cfg, "tile_i").as_int() as usize,
+        tile_j: space.value(&cfg, "tile_j").as_int() as usize,
+        tile_k: space.value(&cfg, "tile_k").as_int() as usize,
+        interchange,
+        unroll: space.value(&cfg, "unroll").as_int() as usize,
+        packing: space.value(&cfg, "packing").as_bool(),
+        threads: space.value(&cfg, "threads").as_int() as usize,
+    }
+}
+
+/// Run the loop with each algorithm at the given evaluation budget
+/// (ytopt's default `--max-evals` is 100).
+pub fn run(model: &KernelModel, max_evals: usize, seed: u64) -> Fig4Result {
+    let space = kernel_space(model);
+    let (_, exhaustive_best_s) = model.exhaustive_best();
+    let baseline_s = model.time(&KernelConfig::baseline(1));
+
+    let mut algorithms: Vec<Box<dyn SearchAlgorithm>> = vec![
+        Box::new(RandomSearch::new()),
+        Box::new(HillClimbSearch::new()),
+        Box::new(AnnealingSearch::default_schedule()),
+        Box::new(ForestSearch::new()),
+    ];
+    let mut trajectories = Vec::new();
+    for alg in algorithms.iter_mut() {
+        let report = Tuner::new(space.clone())
+            .max_evals(max_evals)
+            .seed(seed)
+            .run(alg.as_mut(), |space, cfg| {
+                let kc = decode(space, cfg);
+                (model.time(&kc), HashMap::new())
+            });
+        trajectories.push(Trajectory {
+            algorithm: report.algorithm.clone(),
+            best_by_eval: report.db.trajectory(),
+            best_time_s: report.best_objective,
+            evals_to_within_10pct: report.db.evals_to_within(1.10),
+        });
+    }
+    Fig4Result {
+        exhaustive_best_s,
+        baseline_s,
+        trajectories,
+    }
+}
+
+/// Default full-scale run (100 evals, the ytopt default).
+pub fn run_default() -> Fig4Result {
+    run(&KernelModel::polybench_large(), 100, 20200903)
+}
+
+/// Render the convergence comparison.
+pub fn render(r: &Fig4Result) -> String {
+    let mut out = format!(
+        "FIGURE 4 / YTOPT AUTOTUNING LOOP: best-found kernel time vs evaluations\n\
+         baseline (untransformed, 1 thread): {:.2} s; exhaustive optimum: {:.2} s\n\
+         algorithm           | best_s | vs_opt | evals_to_10pct | best@10 | best@25 | best@50 | best@end\n",
+        r.baseline_s, r.exhaustive_best_s
+    );
+    for t in &r.trajectories {
+        let at = |i: usize| {
+            t.best_by_eval
+                .get(i.saturating_sub(1).min(t.best_by_eval.len().saturating_sub(1)))
+                .copied()
+                .unwrap_or(f64::NAN)
+        };
+        out.push_str(&format!(
+            "{:<19} | {:>6.2} | {:>5.2}x | {:>14} | {:>7.2} | {:>7.2} | {:>7.2} | {:>8.2}\n",
+            t.algorithm,
+            t.best_time_s,
+            t.best_time_s / r.exhaustive_best_s,
+            t.evals_to_within_10pct
+                .map(|e| e.to_string())
+                .unwrap_or_else(|| "-".into()),
+            at(10),
+            at(25),
+            at(50),
+            t.best_by_eval.last().copied().unwrap_or(f64::NAN),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loop_improves_over_baseline_for_every_algorithm() {
+        let model = KernelModel::polybench_large();
+        let r = run(&model, 40, 5);
+        for t in &r.trajectories {
+            assert!(
+                t.best_time_s < r.baseline_s,
+                "{} did not beat baseline",
+                t.algorithm
+            );
+            // Trajectory is monotone non-increasing.
+            for w in t.best_by_eval.windows(2) {
+                assert!(w[1] <= w[0]);
+            }
+        }
+    }
+
+    #[test]
+    fn forest_is_competitive() {
+        let model = KernelModel::polybench_large();
+        let r = run(&model, 60, 9);
+        let best = |name: &str| {
+            r.trajectories
+                .iter()
+                .find(|t| t.algorithm == name)
+                .unwrap()
+                .best_time_s
+        };
+        let forest = best("random-forest");
+        let random = best("random");
+        assert!(
+            forest <= random * 1.10,
+            "forest {forest} should be at least on par with random {random}"
+        );
+        assert!(forest <= r.exhaustive_best_s * 2.0, "forest within 2x of optimum");
+    }
+
+    #[test]
+    fn render_mentions_all_algorithms() {
+        let r = run(&KernelModel::polybench_large(), 12, 2);
+        let s = render(&r);
+        for name in ["random", "hill-climb", "simulated-annealing", "random-forest"] {
+            assert!(s.contains(name), "missing {name}");
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Use case §3.2.1 — co-tuning SLURM (RM) + Conductor (runtime) + Hypre
+//! (application).
+//!
+//! Two findings to reproduce:
+//!
+//! 1. **The optimum moves under power constraints** — "the best-case
+//!    combination of the tuning knobs for Hypre is often inefficient when
+//!    subject to a hardware power constraint." Part A exhaustively evaluates
+//!    the application space capped and uncapped and compares winners.
+//! 2. **Joint search beats layered search** — Part B tunes the application
+//!    space alone (RM choices frozen at defaults) against the joint
+//!    cross-layer space at equal evaluation budget.
+
+use crate::cotune::{simulate_app, HypreCoTune};
+use crate::interfaces::Objective;
+use pstack_apps::hypre::{HypreApp, HypreConfig, HypreProblem};
+use pstack_autotune::ForestSearch;
+use serde::{Deserialize, Serialize};
+
+/// One evaluated application configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RankedConfig {
+    /// Human-readable configuration description.
+    pub config: String,
+    /// Runtime, seconds.
+    pub time_s: f64,
+    /// Energy, joules.
+    pub energy_j: f64,
+}
+
+/// Part A result: capped vs uncapped orderings.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PartA {
+    /// Node power cap used for the capped column, watts.
+    pub cap_w: f64,
+    /// Top-5 configurations, uncapped, by runtime.
+    pub top_uncapped: Vec<RankedConfig>,
+    /// Top-5 configurations under the cap, by runtime.
+    pub top_capped: Vec<RankedConfig>,
+    /// The uncapped winner's runtime when capped, seconds.
+    pub uncapped_winner_time_capped_s: f64,
+    /// The capped winner's runtime, seconds.
+    pub capped_winner_time_s: f64,
+    /// Rank (1-based) of the uncapped winner in the capped ordering.
+    pub uncapped_winner_rank_under_cap: usize,
+}
+
+/// Part B result: joint vs app-only tuning at equal budget.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PartB {
+    /// Evaluation budget used by both searches.
+    pub max_evals: usize,
+    /// Best cost (objective value) from the app-only search.
+    pub app_only_best: f64,
+    /// Description of the app-only best.
+    pub app_only_config: String,
+    /// Best cost from the joint cross-layer search.
+    pub cotune_best: f64,
+    /// Description of the joint best.
+    pub cotune_config: String,
+}
+
+/// Full result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Uc1Result {
+    /// Part A: the moving optimum.
+    pub part_a: PartA,
+    /// Part B: the value of joint tuning.
+    pub part_b: PartB,
+}
+
+fn describe(c: &HypreConfig) -> String {
+    format!(
+        "{:?}/{:?}/{:?}/{:?}/theta={}",
+        c.solver, c.precond, c.smoother, c.coarsen, c.strong_threshold
+    )
+}
+
+/// Part A: exhaustive application space under cap vs no cap.
+pub fn part_a(size: f64, n_nodes: usize, cap_w: f64, seed: u64) -> PartA {
+    let problem = HypreProblem {
+        size,
+        ..HypreProblem::laplacian_27pt()
+    };
+    let mut uncapped: Vec<(HypreConfig, f64, f64)> = Vec::new();
+    let mut capped: Vec<(HypreConfig, f64, f64)> = Vec::new();
+    for cfg in HypreConfig::space() {
+        let app = HypreApp::new(cfg, problem);
+        let (t0, e0, _) = simulate_app(&app, n_nodes, None, seed);
+        let (t1, e1, _) = simulate_app(&app, n_nodes, Some(cap_w), seed);
+        uncapped.push((cfg, t0, e0));
+        capped.push((cfg, t1, e1));
+    }
+    let by_time = |v: &mut Vec<(HypreConfig, f64, f64)>| {
+        v.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+    };
+    by_time(&mut uncapped);
+    by_time(&mut capped);
+    let uncapped_winner = uncapped[0].0;
+    let rank = capped
+        .iter()
+        .position(|(c, _, _)| *c == uncapped_winner)
+        .expect("winner present")
+        + 1;
+    let top = |v: &[(HypreConfig, f64, f64)]| {
+        v.iter()
+            .take(5)
+            .map(|(c, t, e)| RankedConfig {
+                config: describe(c),
+                time_s: *t,
+                energy_j: *e,
+            })
+            .collect::<Vec<_>>()
+    };
+    PartA {
+        cap_w,
+        top_uncapped: top(&uncapped),
+        top_capped: top(&capped),
+        uncapped_winner_time_capped_s: capped
+            .iter()
+            .find(|(c, _, _)| *c == uncapped_winner)
+            .expect("present")
+            .1,
+        capped_winner_time_s: capped[0].1,
+        uncapped_winner_rank_under_cap: rank,
+    }
+}
+
+/// Part B: joint vs app-only search at equal budget.
+pub fn part_b(size: f64, max_evals: usize, seed: u64) -> PartB {
+    let problem = HypreProblem {
+        size,
+        ..HypreProblem::laplacian_27pt()
+    };
+    // Joint space: app knobs × nodes × cap.
+    let mut joint = HypreCoTune::new(Objective::MinTime);
+    joint.problem = problem;
+    let joint_report = joint.tune(&mut ForestSearch::new(), max_evals, seed);
+
+    // App-only: RM/runtime frozen at (4 nodes, 300 W) defaults.
+    let mut app_only = HypreCoTune::new(Objective::MinTime);
+    app_only.problem = problem;
+    app_only.node_counts = vec![4];
+    app_only.node_caps_w = vec![300.0];
+    let app_report = app_only.tune(&mut ForestSearch::new(), max_evals, seed);
+
+    PartB {
+        max_evals,
+        app_only_best: app_report.best_objective,
+        app_only_config: app_only.space().describe(&app_report.best_config),
+        cotune_best: joint_report.best_objective,
+        cotune_config: joint.space().describe(&joint_report.best_config),
+    }
+}
+
+/// Run both parts.
+pub fn run(size: f64, n_nodes: usize, cap_w: f64, max_evals: usize, seed: u64) -> Uc1Result {
+    Uc1Result {
+        part_a: part_a(size, n_nodes, cap_w, seed),
+        part_b: part_b(size, max_evals, seed),
+    }
+}
+
+/// Default full-scale run.
+pub fn run_default() -> Uc1Result {
+    run(1.0, 4, 280.0, 40, 20200906)
+}
+
+/// Render both parts.
+pub fn render(r: &Uc1Result) -> String {
+    let mut out = format!(
+        "USE CASE 3.2.1 / SLURM+CONDUCTOR+HYPRE\n\
+         Part A: best Hypre config, uncapped vs {:.0} W node cap\n\
+         -- top uncapped --\n",
+        r.part_a.cap_w
+    );
+    for (i, c) in r.part_a.top_uncapped.iter().enumerate() {
+        out.push_str(&format!(
+            "  {}. {:<55} {:>7.1}s {:>9.0}J\n",
+            i + 1,
+            c.config,
+            c.time_s,
+            c.energy_j
+        ));
+    }
+    out.push_str("-- top under cap --\n");
+    for (i, c) in r.part_a.top_capped.iter().enumerate() {
+        out.push_str(&format!(
+            "  {}. {:<55} {:>7.1}s {:>9.0}J\n",
+            i + 1,
+            c.config,
+            c.time_s,
+            c.energy_j
+        ));
+    }
+    out.push_str(&format!(
+        "uncapped winner ranks #{} under the cap ({:.1}s vs capped winner {:.1}s)\n\n\
+         Part B: joint vs app-only tuning at {} evals\n\
+         app-only best: {:.2}  [{}]\n\
+         co-tune  best: {:.2}  [{}]\n",
+        r.part_a.uncapped_winner_rank_under_cap,
+        r.part_a.uncapped_winner_time_capped_s,
+        r.part_a.capped_winner_time_s,
+        r.part_b.max_evals,
+        r.part_b.app_only_best,
+        r.part_b.app_only_config,
+        r.part_b.cotune_best,
+        r.part_b.cotune_config,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimum_moves_under_cap() {
+        // Small problem, 2 nodes, firm cap.
+        let a = part_a(0.35, 2, 260.0, 3);
+        assert!(
+            a.uncapped_winner_rank_under_cap > 1,
+            "the uncapped winner should not stay optimal under the cap (rank {})",
+            a.uncapped_winner_rank_under_cap
+        );
+        assert!(a.capped_winner_time_s < a.uncapped_winner_time_capped_s);
+    }
+
+    #[test]
+    fn cotune_at_least_matches_app_only() {
+        let b = part_b(0.35, 14, 5);
+        assert!(
+            b.cotune_best <= b.app_only_best * 1.05,
+            "joint {} vs app-only {}",
+            b.cotune_best,
+            b.app_only_best
+        );
+    }
+}

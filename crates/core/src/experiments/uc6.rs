@@ -1,0 +1,174 @@
+//! Use case §3.2.6 — co-tuning SLURM and COUNTDOWN.
+//!
+//! "At the system level, the resource manager interacts with the COUNTDOWN
+//! configuration to select the level of aggressiveness." The experiment
+//! sweeps job scale (which grows the MPI fraction) × COUNTDOWN mode and
+//! reports energy saved and slowdown versus the profile-only baseline.
+//!
+//! Expected shape: savings grow with the communication fraction; slowdown
+//! stays within a few percent ("performance-neutral"); wait-only saves less
+//! but is the most neutral.
+
+use pstack_apps::synthetic::{Profile, SyntheticApp};
+use pstack_apps::workload::AppModel;
+use pstack_apps::MpiModel;
+use pstack_hwmodel::{Node, NodeConfig, NodeId};
+use pstack_node::NodeManager;
+use pstack_runtime::{ArbiterMode, Countdown, CountdownMode, JobRunner, RuntimeAgent};
+use pstack_sim::{SeedTree, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// One (scale, mode) cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Uc6Row {
+    /// Node count (drives the communication fraction).
+    pub n_nodes: usize,
+    /// Estimated MPI fraction of runtime at this scale.
+    pub comm_fraction: f64,
+    /// COUNTDOWN mode.
+    pub mode: String,
+    /// Runtime, seconds.
+    pub time_s: f64,
+    /// Energy, joules.
+    pub energy_j: f64,
+    /// Energy saved vs the Profile baseline at this scale, percent.
+    pub energy_saving_pct: f64,
+    /// Slowdown vs the Profile baseline, percent (positive = slower).
+    pub slowdown_pct: f64,
+}
+
+/// Full result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Uc6Result {
+    /// One row per (scale, mode).
+    pub rows: Vec<Uc6Row>,
+}
+
+fn run_one(n_nodes: usize, mode: CountdownMode, work: f64, seed: u64) -> (f64, f64) {
+    let app = SyntheticApp::new(Profile::CommHeavy, work, 20);
+    let mut nodes: Vec<NodeManager> = (0..n_nodes)
+        .map(|i| NodeManager::new(Node::nominal(NodeId(i), NodeConfig::server_default())))
+        .collect();
+    let seeds = SeedTree::new(seed);
+    let mut runner = JobRunner::new(
+        &app.workload(n_nodes),
+        n_nodes,
+        &MpiModel::comm_heavy(),
+        &seeds,
+        ArbiterMode::Gated,
+    );
+    let mut cd = Countdown::new(mode);
+    let r = {
+        let mut agents: Vec<&mut dyn RuntimeAgent> = vec![&mut cd];
+        runner.run_to_completion(SimTime::ZERO, &mut nodes, &mut agents)
+    };
+    (r.makespan.as_secs_f64(), r.energy_j)
+}
+
+/// Sweep node counts × modes.
+pub fn run(node_counts: &[usize], work: f64, seed: u64) -> Uc6Result {
+    let mut rows = Vec::new();
+    for &n in node_counts {
+        let (t_base, e_base) = run_one(n, CountdownMode::Profile, work, seed);
+        let comm = MpiModel::comm_heavy().comm_fraction(n);
+        for (mode, name) in [
+            (CountdownMode::Profile, "profile"),
+            (CountdownMode::WaitOnly, "wait-only"),
+            (CountdownMode::WaitAndCopy, "wait+copy"),
+        ] {
+            let (t, e) = if mode == CountdownMode::Profile {
+                (t_base, e_base)
+            } else {
+                run_one(n, mode, work, seed)
+            };
+            rows.push(Uc6Row {
+                n_nodes: n,
+                comm_fraction: comm,
+                mode: name.to_string(),
+                time_s: t,
+                energy_j: e,
+                energy_saving_pct: 100.0 * (e_base - e) / e_base,
+                slowdown_pct: 100.0 * (t - t_base) / t_base,
+            });
+        }
+    }
+    Uc6Result { rows }
+}
+
+/// Default full-scale run.
+pub fn run_default() -> Uc6Result {
+    run(&[2, 8, 32], 30.0, 20200907)
+}
+
+/// Render the sweep.
+pub fn render(r: &Uc6Result) -> String {
+    let mut out = String::from(
+        "USE CASE 3.2.6 / SLURM+COUNTDOWN: energy saving vs slowdown across scales\n\
+         nodes | comm_frac | mode      | time_s | energy_kJ | saving_pct | slowdown_pct\n",
+    );
+    for row in &r.rows {
+        out.push_str(&format!(
+            "{:>5} | {:>9.2} | {:<9} | {:>6.1} | {:>9.2} | {:>+10.1} | {:>+12.2}\n",
+            row.n_nodes,
+            row.comm_fraction,
+            row.mode,
+            row.time_s,
+            row.energy_j / 1e3,
+            row.energy_saving_pct,
+            row.slowdown_pct,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn savings_grow_with_scale() {
+        let r = run(&[2, 16], 10.0, 3);
+        let saving = |n: usize| {
+            r.rows
+                .iter()
+                .find(|x| x.n_nodes == n && x.mode == "wait+copy")
+                .unwrap()
+                .energy_saving_pct
+        };
+        assert!(
+            saving(16) > saving(2),
+            "16-node saving {} vs 2-node {}",
+            saving(16),
+            saving(2)
+        );
+        assert!(saving(16) > 3.0, "meaningful saving at scale: {}", saving(16));
+    }
+
+    #[test]
+    fn performance_neutrality() {
+        let r = run(&[8], 10.0, 4);
+        for row in &r.rows {
+            assert!(
+                row.slowdown_pct < 5.0,
+                "{} slowdown {}%",
+                row.mode,
+                row.slowdown_pct
+            );
+        }
+    }
+
+    #[test]
+    fn wait_only_between_profile_and_waitcopy() {
+        let r = run(&[8], 10.0, 5);
+        let get = |m: &str| {
+            r.rows
+                .iter()
+                .find(|x| x.mode == m)
+                .unwrap()
+                .energy_saving_pct
+        };
+        assert_eq!(get("profile"), 0.0);
+        assert!(get("wait+copy") >= get("wait-only"));
+        assert!(get("wait-only") >= -0.5);
+    }
+}

@@ -1,0 +1,256 @@
+//! Use case §3.2.7 — two co-resident runtimes: COUNTDOWN + MERIC.
+//!
+//! "The challenge is to implement a communication layer ... which guarantees
+//! that both tools keep the system's knowledge of which tool is in charge
+//! ... without creating a conflict." Variants compared:
+//!
+//! - **none** — no runtime;
+//! - **countdown-only** — MPI phases handled, app regions untouched;
+//! - **meric-only** — app regions tuned, barrier slack untouched;
+//! - **both-conflicting** — both actuate core frequency with no coordination
+//!   (MERIC's region measurements get corrupted by COUNTDOWN's overwrites);
+//! - **both-coordinated** — the communication layer: MERIC delegates
+//!   communication regions to COUNTDOWN ([`Meric::with_comm_delegation`])
+//!   and agent ordering lets MERIC own compute/memory regions;
+//! - **both-gated** — the ownership arbiter simply blocks the second tool's
+//!   frequency writes (safe, but forfeits the synergy).
+//!
+//! Expected shape: coordinated ≈ best energy (≥ each alone); conflicting
+//! loses savings or corrupts tuning; gated equals the owning tool alone.
+
+use pstack_apps::workload::{AppModel, Phase, Workload};
+use pstack_apps::MpiModel;
+use pstack_hwmodel::{Node, NodeConfig, NodeId, PhaseMix};
+use pstack_node::NodeManager;
+use pstack_runtime::{
+    ArbiterMode, Countdown, CountdownMode, JobRunner, Meric, RuntimeAgent,
+};
+use pstack_sim::{SeedTree, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// An application with both long tunable regions and substantial MPI phases
+/// — the workload where the two tools are complementary.
+struct HybridApp {
+    iterations: usize,
+    scale: f64,
+}
+
+impl AppModel for HybridApp {
+    fn name(&self) -> &str {
+        "hybrid-regions-mpi"
+    }
+    fn workload(&self, n_nodes: usize) -> Workload {
+        let comm = MpiModel::comm_heavy().comm_fraction(n_nodes).max(0.2);
+        let s = self.scale;
+        let body = [
+            Phase::new("assemble", PhaseMix::new(0.9, 0.1, 0.0, 0.0), 0.5 * s),
+            Phase::new("stream_update", PhaseMix::new(0.1, 0.9, 0.0, 0.0), 0.5 * s),
+            Phase::new(
+                "mpi_exchange",
+                PhaseMix::new(0.02, 0.08, 0.9, 0.0),
+                (s * comm).max(1e-6),
+            ),
+        ];
+        let mut w = Workload::new();
+        w.repeat(&body, self.iterations);
+        w
+    }
+}
+
+/// One variant's outcome.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Uc7Row {
+    /// Variant label.
+    pub variant: String,
+    /// Runtime, seconds.
+    pub time_s: f64,
+    /// Energy, joules.
+    pub energy_j: f64,
+    /// Energy saving vs `none`, percent.
+    pub energy_saving_pct: f64,
+    /// Slowdown vs `none`, percent.
+    pub slowdown_pct: f64,
+}
+
+/// Full result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Uc7Result {
+    /// One row per variant.
+    pub rows: Vec<Uc7Row>,
+}
+
+enum Variant {
+    None,
+    CountdownOnly,
+    MericOnly,
+    BothConflicting,
+    /// Same uncoordinated pair with the hook order reversed — conflicting
+    /// results are *order-dependent*, the hallmark of broken coexistence.
+    BothConflictingReversed,
+    BothCoordinated,
+    BothGated,
+}
+
+fn run_variant(v: &Variant, n_nodes: usize, iterations: usize, scale: f64, seed: u64) -> (f64, f64) {
+    let app = HybridApp { iterations, scale };
+    let mut nodes: Vec<NodeManager> = (0..n_nodes)
+        .map(|i| NodeManager::new(Node::nominal(NodeId(i), NodeConfig::server_default())))
+        .collect();
+    let seeds = SeedTree::new(seed);
+    let arbiter_mode = match v {
+        Variant::BothGated => ArbiterMode::Gated,
+        _ => ArbiterMode::Naive,
+    };
+    let mut runner = JobRunner::new(
+        &app.workload(n_nodes),
+        n_nodes,
+        &MpiModel::comm_heavy(),
+        &seeds,
+        arbiter_mode,
+    );
+    // A lean candidate grid keeps MERIC's online exploration cost small
+    // relative to the job (design-time analysis would amortize it entirely).
+    let lean = || {
+        use pstack_runtime::meric::RegionConfig;
+        let grid = [3.5, 3.0, 2.5, 2.0]
+            .into_iter()
+            .flat_map(|f| {
+                [8usize, 2].into_iter().map(move |u| RegionConfig {
+                    freq_ghz: f,
+                    uncore_idx: u,
+                })
+            })
+            .collect();
+        Meric::with_candidates(grid, 1)
+    };
+    let mut countdown = Countdown::new(CountdownMode::WaitAndCopy);
+    // Legacy COUNTDOWN writes the *base* frequency limit — the §3.2.7
+    // conflict: restoring after MPI clobbers whatever MERIC had applied.
+    let mut countdown_legacy = Countdown::new(CountdownMode::WaitAndCopy).without_override_layer();
+    let mut meric_all = lean();
+    let mut meric_deleg = lean().with_comm_delegation();
+    let result = {
+        let mut agents: Vec<&mut dyn RuntimeAgent> = match v {
+            Variant::None => vec![],
+            Variant::CountdownOnly => vec![&mut countdown],
+            Variant::MericOnly => vec![&mut meric_all],
+            // No communication layer: both tools write the same base knob.
+            Variant::BothConflicting => vec![&mut meric_all, &mut countdown_legacy],
+            Variant::BothConflictingReversed => vec![&mut countdown_legacy, &mut meric_all],
+            // The communication layer: COUNTDOWN stacks an MPI override
+            // under MERIC's base settings; MERIC delegates comm regions.
+            Variant::BothCoordinated => vec![&mut countdown, &mut meric_deleg],
+            // Ownership gating without the layer: COUNTDOWN (second claimant
+            // on CoreFreq) is blocked — safe but synergy-free.
+            Variant::BothGated => vec![&mut meric_all, &mut countdown_legacy],
+        };
+        runner.run_to_completion(SimTime::ZERO, &mut nodes, &mut agents)
+    };
+    (result.makespan.as_secs_f64(), result.energy_j)
+}
+
+/// Run all variants.
+pub fn run(n_nodes: usize, iterations: usize, scale: f64, seed: u64) -> Uc7Result {
+    let variants = [
+        (Variant::None, "none"),
+        (Variant::CountdownOnly, "countdown-only"),
+        (Variant::MericOnly, "meric-only"),
+        (Variant::BothConflicting, "both-conflicting"),
+        (Variant::BothConflictingReversed, "conflicting-rev"),
+        (Variant::BothCoordinated, "both-coordinated"),
+        (Variant::BothGated, "both-gated"),
+    ];
+    let (t0, e0) = run_variant(&Variant::None, n_nodes, iterations, scale, seed);
+    let mut rows = Vec::new();
+    for (v, name) in &variants {
+        let (t, e) = match v {
+            Variant::None => (t0, e0),
+            _ => run_variant(v, n_nodes, iterations, scale, seed),
+        };
+        rows.push(Uc7Row {
+            variant: name.to_string(),
+            time_s: t,
+            energy_j: e,
+            energy_saving_pct: 100.0 * (e0 - e) / e0,
+            slowdown_pct: 100.0 * (t - t0) / t0,
+        });
+    }
+    Uc7Result { rows }
+}
+
+/// Default full-scale run.
+pub fn run_default() -> Uc7Result {
+    run(4, 60, 1.0, 20200908)
+}
+
+/// Render the comparison.
+pub fn render(r: &Uc7Result) -> String {
+    let mut out = String::from(
+        "USE CASE 3.2.7 / COUNTDOWN+MERIC: coordination of two runtimes\n\
+         variant           | time_s | energy_kJ | saving_pct | slowdown_pct\n",
+    );
+    for row in &r.rows {
+        out.push_str(&format!(
+            "{:<17} | {:>6.1} | {:>9.2} | {:>+10.1} | {:>+12.2}\n",
+            row.variant,
+            row.time_s,
+            row.energy_j / 1e3,
+            row.energy_saving_pct,
+            row.slowdown_pct,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Uc7Result {
+        run(2, 40, 0.6, 3)
+    }
+
+    #[test]
+    fn each_tool_alone_saves_energy() {
+        let r = small();
+        let get = |name: &str| r.rows.iter().find(|x| x.variant == name).unwrap();
+        assert!(get("countdown-only").energy_saving_pct > 0.5);
+        assert!(get("meric-only").energy_saving_pct > 0.5);
+    }
+
+    #[test]
+    fn coordination_beats_conflict() {
+        let r = small();
+        let get = |name: &str| r.rows.iter().find(|x| x.variant == name).unwrap();
+        let coord = get("both-coordinated");
+        let confl = get("both-conflicting");
+        assert!(
+            coord.energy_j <= confl.energy_j,
+            "coordinated {} vs conflicting {}",
+            coord.energy_j,
+            confl.energy_j
+        );
+    }
+
+    #[test]
+    fn coordination_at_least_matches_best_single_tool() {
+        let r = small();
+        let get = |name: &str| r.rows.iter().find(|x| x.variant == name).unwrap();
+        let best_single = get("countdown-only")
+            .energy_saving_pct
+            .max(get("meric-only").energy_saving_pct);
+        let coord = get("both-coordinated").energy_saving_pct;
+        assert!(
+            coord >= best_single - 1.0,
+            "coordinated {coord}% vs best single {best_single}%"
+        );
+    }
+
+    #[test]
+    fn gated_mode_is_safe() {
+        let r = small();
+        let get = |name: &str| r.rows.iter().find(|x| x.variant == name).unwrap();
+        // Gated never does worse than no tuning.
+        assert!(get("both-gated").energy_saving_pct >= -1.0);
+    }
+}

@@ -1,0 +1,167 @@
+//! Standardized cross-layer interfaces.
+//!
+//! The paper's framing: "Define the interfaces between these layers to
+//! translate objectives at each layer into actionable items at the adjacent
+//! lower layer." These are the types those interfaces exchange: objectives,
+//! power budgets over windows, and upward telemetry reports.
+
+use pstack_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// An optimization objective a layer can be asked to pursue (paper §3:
+/// "the smallest runtime, the lowest power, or the lowest energy" under a
+/// power cap, plus the throughput/efficiency targets of §3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Objective {
+    /// Minimize time to solution.
+    MinTime,
+    /// Minimize energy to solution.
+    MinEnergy,
+    /// Minimize energy-delay product.
+    MinEdp,
+    /// Minimize mean power draw (the paper's "lowest power" target).
+    MinPower,
+    /// Maximize job throughput (RM level), jobs/hour.
+    MaxThroughput,
+    /// Maximize power efficiency (work per watt / IPC per watt).
+    MaxPowerEfficiency,
+}
+
+impl Objective {
+    /// Score an outcome `(time_s, energy_j, work)` such that **smaller is
+    /// better** (suitable for the minimizing autotuner).
+    pub fn cost(&self, time_s: f64, energy_j: f64, work: f64) -> f64 {
+        match self {
+            Objective::MinTime => time_s,
+            Objective::MinEnergy => energy_j,
+            Objective::MinEdp => energy_j * time_s,
+            Objective::MinPower => {
+                if time_s <= 0.0 {
+                    f64::MAX
+                } else {
+                    energy_j / time_s
+                }
+            }
+            Objective::MaxThroughput => {
+                if work <= 0.0 {
+                    f64::MAX
+                } else {
+                    time_s / work
+                }
+            }
+            Objective::MaxPowerEfficiency => {
+                if work <= 0.0 || time_s <= 0.0 {
+                    f64::MAX
+                } else {
+                    // watts per unit work-rate == energy per work.
+                    energy_j / work
+                }
+            }
+        }
+    }
+}
+
+/// A power budget over an averaging window — the quantity every layer
+/// receives from above and subdivides downward (site → system → job → node).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerBudget {
+    /// Watts allowed on average over the window.
+    pub watts: f64,
+    /// Averaging window (serialized as microseconds).
+    pub window_us: u64,
+}
+
+impl PowerBudget {
+    /// Construct a budget.
+    ///
+    /// # Panics
+    /// Panics on non-positive watts or a zero window.
+    pub fn new(watts: f64, window: SimDuration) -> Self {
+        assert!(watts > 0.0, "budget must be positive");
+        assert!(!window.is_zero(), "window must be positive");
+        PowerBudget {
+            watts,
+            window_us: window.as_micros(),
+        }
+    }
+
+    /// The averaging window.
+    pub fn window(&self) -> SimDuration {
+        SimDuration::from_micros(self.window_us)
+    }
+
+    /// Split evenly over `n` children (e.g. job budget → node budgets).
+    ///
+    /// # Panics
+    /// Panics when `n == 0`.
+    pub fn split_even(&self, n: usize) -> PowerBudget {
+        assert!(n > 0, "cannot split over zero children");
+        PowerBudget {
+            watts: self.watts / n as f64,
+            window_us: self.window_us,
+        }
+    }
+
+    /// Split proportionally to `weights` (power steering). Weights are
+    /// normalized; zero-total weights split evenly.
+    pub fn split_weighted(&self, weights: &[f64]) -> Vec<PowerBudget> {
+        assert!(!weights.is_empty());
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return vec![self.split_even(weights.len()); weights.len()];
+        }
+        weights
+            .iter()
+            .map(|w| PowerBudget {
+                watts: self.watts * w / total,
+                window_us: self.window_us,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn objective_costs() {
+        assert_eq!(Objective::MinTime.cost(10.0, 500.0, 2.0), 10.0);
+        assert_eq!(Objective::MinEnergy.cost(10.0, 500.0, 2.0), 500.0);
+        assert_eq!(Objective::MinEdp.cost(10.0, 500.0, 2.0), 5000.0);
+        assert_eq!(Objective::MinPower.cost(10.0, 500.0, 2.0), 50.0);
+        assert_eq!(Objective::MinPower.cost(0.0, 500.0, 2.0), f64::MAX);
+        assert_eq!(Objective::MaxThroughput.cost(10.0, 500.0, 2.0), 5.0);
+        assert_eq!(Objective::MaxPowerEfficiency.cost(10.0, 500.0, 2.0), 250.0);
+    }
+
+    #[test]
+    fn objective_guards_zero_work() {
+        assert_eq!(Objective::MaxThroughput.cost(1.0, 1.0, 0.0), f64::MAX);
+        assert_eq!(Objective::MaxPowerEfficiency.cost(0.0, 1.0, 1.0), f64::MAX);
+    }
+
+    #[test]
+    fn budget_splitting() {
+        let b = PowerBudget::new(1000.0, SimDuration::from_millis(10));
+        assert_eq!(b.split_even(4).watts, 250.0);
+        let parts = b.split_weighted(&[3.0, 1.0]);
+        assert_eq!(parts[0].watts, 750.0);
+        assert_eq!(parts[1].watts, 250.0);
+        // Conservation.
+        assert!((parts.iter().map(|p| p.watts).sum::<f64>() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_weights_split_evenly() {
+        let b = PowerBudget::new(100.0, SimDuration::from_millis(10));
+        let parts = b.split_weighted(&[0.0, 0.0]);
+        assert_eq!(parts[0].watts, 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_budget_panics() {
+        PowerBudget::new(0.0, SimDuration::from_millis(10));
+    }
+}

@@ -1,0 +1,314 @@
+//! Table 1: the live knob registry.
+//!
+//! The paper's Table 1 surveys "parameters and methods used by the layers of
+//! the PowerStack". Here every row is a [`Knob`] carrying the layer, the
+//! actor that owns it, whether it can change at launch only or during the
+//! run, and — because this is a working implementation, not a survey — the
+//! workspace item that implements it. Tests assert every row names a real
+//! implementation, so the regenerated Table 1 cannot drift from the code.
+
+use serde::{Deserialize, Serialize};
+
+/// PowerStack layer (paper Figure 1/2; Table 1 rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Layer {
+    /// Site/system: the resource manager's scope.
+    System,
+    /// Job-level runtime systems.
+    JobRuntime,
+    /// The application itself.
+    Application,
+    /// Node hardware management.
+    Node,
+}
+
+impl Layer {
+    /// All layers, top-down.
+    pub const ALL: [Layer; 4] = [
+        Layer::System,
+        Layer::JobRuntime,
+        Layer::Application,
+        Layer::Node,
+    ];
+}
+
+/// Who actuates a knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Actor {
+    /// The resource manager / scheduler.
+    ResourceManager,
+    /// A job-level runtime system.
+    RuntimeSystem,
+    /// The application (or its launch configuration).
+    Application,
+    /// The node-level manager (or firmware).
+    NodeManager,
+}
+
+/// When the knob can be changed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Temporal {
+    /// Only at job launch (static interaction).
+    LaunchTime,
+    /// During execution (dynamic interaction).
+    Runtime,
+}
+
+/// One Table 1 row: a tunable parameter and the method that actuates it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Knob {
+    /// Layer owning the knob.
+    pub layer: Layer,
+    /// Parameter name (Table 1 "Parameters" column).
+    pub name: &'static str,
+    /// Method used to actuate it (Table 1 "Methods" column).
+    pub method: &'static str,
+    /// The actor in control.
+    pub actor: Actor,
+    /// Static (launch) or dynamic (runtime) control.
+    pub temporal: Temporal,
+    /// Workspace item implementing the control (`crate::path` form).
+    pub implemented_by: &'static str,
+}
+
+/// The complete registry (every Table 1 row this workspace implements).
+pub fn knob_registry() -> Vec<Knob> {
+    use Actor::Application as AppActor;
+    use Actor::{NodeManager, ResourceManager, RuntimeSystem};
+    use Layer::Application as AppLayer;
+    use Layer::{JobRuntime, Node, System};
+    use Temporal::*;
+    vec![
+        // ---- System layer ----
+        Knob {
+            layer: System,
+            name: "number of nodes to allocate",
+            method: "moldable job sizing at launch",
+            actor: ResourceManager,
+            temporal: LaunchTime,
+            implemented_by: "pstack_rm::spec::JobSpec::fit_nodes",
+        },
+        Knob {
+            layer: System,
+            name: "job power limit / policy",
+            method: "power-aware admission + per-job power assignment",
+            actor: ResourceManager,
+            temporal: Runtime,
+            implemented_by: "pstack_rm::policy::SystemPowerPolicy",
+        },
+        Knob {
+            layer: System,
+            name: "which job to run / backfill",
+            method: "FCFS + EASY backfill",
+            actor: ResourceManager,
+            temporal: Runtime,
+            implemented_by: "pstack_rm::scheduler::Scheduler",
+        },
+        Knob {
+            layer: System,
+            name: "node redistribution among jobs",
+            method: "invasive malleability at EPOP phase boundaries",
+            actor: ResourceManager,
+            temporal: Runtime,
+            implemented_by: "pstack_rm::irm::Irm",
+        },
+        Knob {
+            layer: System,
+            name: "out-of-band node power controls",
+            method: "RM-applied RAPL caps on allocated nodes",
+            actor: ResourceManager,
+            temporal: Runtime,
+            implemented_by: "pstack_node::manager::NodeManager::set_power_limit",
+        },
+        // ---- Job / runtime layer ----
+        Knob {
+            layer: JobRuntime,
+            name: "per-node power budget within job",
+            method: "power balancing toward stragglers",
+            actor: RuntimeSystem,
+            temporal: Runtime,
+            implemented_by: "pstack_runtime::geopm::GeopmPolicy::PowerBalancer",
+        },
+        Knob {
+            layer: JobRuntime,
+            name: "DVFS during MPI phases",
+            method: "MPI interception, frequency reduction in wait/copy",
+            actor: RuntimeSystem,
+            temporal: Runtime,
+            implemented_by: "pstack_runtime::countdown::Countdown",
+        },
+        Knob {
+            layer: JobRuntime,
+            name: "per-region hardware configuration",
+            method: "region instrumentation + per-region best config",
+            actor: RuntimeSystem,
+            temporal: Runtime,
+            implemented_by: "pstack_runtime::meric::Meric",
+        },
+        Knob {
+            layer: JobRuntime,
+            name: "configuration exploration under power bound",
+            method: "online candidate measurement, efficiency selection",
+            actor: RuntimeSystem,
+            temporal: Runtime,
+            implemented_by: "pstack_runtime::conductor::Conductor",
+        },
+        Knob {
+            layer: JobRuntime,
+            name: "uncore frequency under low bandwidth",
+            method: "bandwidth-driven uncore reclamation (scavenging)",
+            actor: RuntimeSystem,
+            temporal: Runtime,
+            implemented_by: "pstack_runtime::scavenger::UncoreScavenger",
+        },
+        Knob {
+            layer: JobRuntime,
+            name: "duty cycle on slack-rich ranks",
+            method: "proportional clock modulation into barrier slack",
+            actor: RuntimeSystem,
+            temporal: Runtime,
+            implemented_by: "pstack_runtime::dutycycle::DutyCycleAdapter",
+        },
+        // ---- Application layer ----
+        Knob {
+            layer: AppLayer,
+            name: "algorithm / sub-algorithm choice",
+            method: "solver + preconditioner + smoother selection",
+            actor: AppActor,
+            temporal: LaunchTime,
+            implemented_by: "pstack_apps::hypre::HypreConfig",
+        },
+        Knob {
+            layer: AppLayer,
+            name: "domain decomposition size",
+            method: "ATP-tuned launch parameter with dependency conditions",
+            actor: AppActor,
+            temporal: LaunchTime,
+            implemented_by: "pstack_apps::feti::FetiConfig",
+        },
+        Knob {
+            layer: AppLayer,
+            name: "loop transformation parameters",
+            method: "tile/interchange/unroll/pack pragmas (ytopt)",
+            actor: AppActor,
+            temporal: LaunchTime,
+            implemented_by: "pstack_apps::kernelmodel::KernelConfig",
+        },
+        Knob {
+            layer: AppLayer,
+            name: "resource redistribution consent",
+            method: "EPOP phase hints to the invasive RM",
+            actor: AppActor,
+            temporal: Runtime,
+            implemented_by: "pstack_apps::epop::EpopApp",
+        },
+        // ---- Node layer ----
+        Knob {
+            layer: Node,
+            name: "node / package power limit",
+            method: "RAPL-style windowed average power capping",
+            actor: NodeManager,
+            temporal: Runtime,
+            implemented_by: "pstack_hwmodel::cap::PowerCap",
+        },
+        Knob {
+            layer: Node,
+            name: "core frequency (DVFS)",
+            method: "P-state ceiling on the V-f ladder",
+            actor: NodeManager,
+            temporal: Runtime,
+            implemented_by: "pstack_hwmodel::package::Package::set_freq_ghz",
+        },
+        Knob {
+            layer: Node,
+            name: "uncore frequency",
+            method: "uncore ladder index",
+            actor: NodeManager,
+            temporal: Runtime,
+            implemented_by: "pstack_hwmodel::package::Package::set_uncore_idx",
+        },
+        Knob {
+            layer: Node,
+            name: "clock modulation",
+            method: "duty-cycle levels 1/16..16/16",
+            actor: NodeManager,
+            temporal: Runtime,
+            implemented_by: "pstack_hwmodel::pstate::DutyCycle",
+        },
+    ]
+}
+
+/// Render Table 1 grouped by layer.
+pub fn render_table1() -> String {
+    let mut out =
+        String::from("TABLE 1. SURVEY OF PARAMETERS AND METHODS USED BY THE LAYERS OF THE POWERSTACK\n");
+    for layer in Layer::ALL {
+        out.push_str(&format!("\n[{:?}]\n", layer));
+        for k in knob_registry().iter().filter(|k| k.layer == layer) {
+            out.push_str(&format!(
+                "  {:<42} | {:<55} | {:?}, {:?}\n    -> {}\n",
+                k.name, k.method, k.actor, k.temporal, k.implemented_by
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_layer_has_knobs() {
+        let reg = knob_registry();
+        for layer in Layer::ALL {
+            assert!(
+                reg.iter().filter(|k| k.layer == layer).count() >= 4,
+                "{layer:?} must have at least 4 registered knobs"
+            );
+        }
+    }
+
+    #[test]
+    fn implementations_are_workspace_paths() {
+        for k in knob_registry() {
+            assert!(
+                k.implemented_by.starts_with("pstack_") || k.implemented_by.starts_with("powerstack_"),
+                "{} has no workspace implementation path",
+                k.name
+            );
+            assert!(k.implemented_by.contains("::"));
+        }
+    }
+
+    #[test]
+    fn both_temporal_kinds_present() {
+        let reg = knob_registry();
+        assert!(reg.iter().any(|k| k.temporal == Temporal::LaunchTime));
+        assert!(reg.iter().any(|k| k.temporal == Temporal::Runtime));
+    }
+
+    #[test]
+    fn knob_names_unique_within_layer() {
+        let reg = knob_registry();
+        for layer in Layer::ALL {
+            let mut names: Vec<&str> = reg
+                .iter()
+                .filter(|k| k.layer == layer)
+                .map(|k| k.name)
+                .collect();
+            let before = names.len();
+            names.sort();
+            names.dedup();
+            assert_eq!(names.len(), before, "duplicate knob in {layer:?}");
+        }
+    }
+
+    #[test]
+    fn renders_grouped_by_layer() {
+        let s = render_table1();
+        assert!(s.contains("[System]"));
+        assert!(s.contains("[Node]"));
+        assert!(s.contains("RAPL"));
+    }
+}

@@ -1,0 +1,117 @@
+//! Table 3: definitions of terms, as a typed catalog.
+//!
+//! The paper fixes a vocabulary for the working group; keeping it as data
+//! (rather than prose) lets the bench harness regenerate Table 3 verbatim
+//! and lets tests assert the vocabulary stays complete.
+
+use serde::{Deserialize, Serialize};
+
+/// One defined term.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Term {
+    /// The term.
+    pub term: &'static str,
+    /// Its definition (condensed from the paper's Table 3).
+    pub definition: &'static str,
+}
+
+/// The Table 3 vocabulary.
+pub fn vocabulary() -> Vec<Term> {
+    vec![
+        Term {
+            term: "Job (or job allocation)",
+            definition: "Allocation with assigned resources that run the application; \
+                         orchestrated by the Resource Manager upon a job-allocation request.",
+        },
+        Term {
+            term: "Application",
+            definition: "User-level codes to conduct science. Control and telemetry are \
+                         limited to metrics the application understands; power-related \
+                         control/telemetry is not included.",
+        },
+        Term {
+            term: "Resource Manager",
+            definition: "Management software with view and control of resources at system \
+                         (cluster) level; performs resource allocation and assignment in \
+                         response to job requests.",
+        },
+        Term {
+            term: "Runtime system",
+            definition: "Management software running within a job allocation, in its own or \
+                         the application's context (e.g. PMPI interception, OMPT callbacks); \
+                         hardware/OS-aware, may be RM-aware and application-aware.",
+        },
+        Term {
+            term: "Job moldability",
+            definition: "Flexibility to change compute resources (tasks, nodes, threads) at \
+                         job launch.",
+        },
+        Term {
+            term: "Job malleability",
+            definition: "Flexibility to change compute resources (tasks, nodes, threads) \
+                         during the runtime of the job.",
+        },
+        Term {
+            term: "Static interactions",
+            definition: "Interactions between the RM and the runtime, application, and the \
+                         rest of the subsystem occurring at job launch.",
+        },
+        Term {
+            term: "Dynamic interactions",
+            definition: "Interactions between RM, runtime, application and the rest of the \
+                         subsystem during job execution / system uptime.",
+        },
+    ]
+}
+
+/// Render Table 3 as fixed-width text.
+pub fn render_table3() -> String {
+    let terms = vocabulary();
+    let mut out = String::from("TABLE 3. DEFINITIONS OF TERMS\n");
+    for t in &terms {
+        out.push_str(&format!("{:<24} | {}\n", t.term, t.definition));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vocabulary_is_complete() {
+        let v = vocabulary();
+        assert_eq!(v.len(), 8, "Table 3 has eight terms");
+        for expected in [
+            "Job (or job allocation)",
+            "Application",
+            "Resource Manager",
+            "Runtime system",
+            "Job moldability",
+            "Job malleability",
+            "Static interactions",
+            "Dynamic interactions",
+        ] {
+            assert!(v.iter().any(|t| t.term == expected), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn definitions_nonempty_and_distinct() {
+        let v = vocabulary();
+        for t in &v {
+            assert!(t.definition.len() > 20);
+        }
+        let mut terms: Vec<&str> = v.iter().map(|t| t.term).collect();
+        terms.sort();
+        terms.dedup();
+        assert_eq!(terms.len(), v.len());
+    }
+
+    #[test]
+    fn renders() {
+        let s = render_table3();
+        assert!(s.contains("TABLE 3"));
+        assert!(s.contains("moldability"));
+    }
+}

@@ -1,0 +1,316 @@
+//! Application phase kinds and the performance-rate model.
+//!
+//! COUNTDOWN, MERIC and GEOPM all exploit the same physical fact: how much an
+//! application phase gains from core frequency depends on what bounds it.
+//! [`SpeedModel`] captures this with a roofline-style two-resource model.
+
+use crate::pstate::DutyCycle;
+use serde::{Deserialize, Serialize};
+
+/// What bounds a phase of execution (paper Table 1, node-layer methods:
+/// "frequency scaling according to application phases (I/O, memory-bound,
+/// communication-bound, compute-bound)").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PhaseKind {
+    /// Retires instructions at core speed; scales ~linearly with frequency.
+    ComputeBound,
+    /// Stalled on DRAM bandwidth/latency; mostly uncore/memory sensitive.
+    MemoryBound,
+    /// Inside MPI communication (wait + copy); insensitive to core frequency.
+    CommBound,
+    /// Blocked on file/network I/O; insensitive to core frequency.
+    IoBound,
+}
+
+impl PhaseKind {
+    /// All phase kinds.
+    pub const ALL: [PhaseKind; 4] = [
+        PhaseKind::ComputeBound,
+        PhaseKind::MemoryBound,
+        PhaseKind::CommBound,
+        PhaseKind::IoBound,
+    ];
+
+    /// Core activity factor for dynamic power: how hard the core toggles
+    /// during this phase. Busy-wait MPI polling keeps cores surprisingly hot —
+    /// that is precisely the energy COUNTDOWN recovers.
+    pub fn core_activity(self) -> f64 {
+        match self {
+            PhaseKind::ComputeBound => 1.00,
+            PhaseKind::MemoryBound => 0.55,
+            PhaseKind::CommBound => 0.70, // spin-wait polling
+            PhaseKind::IoBound => 0.25,
+        }
+    }
+
+    /// DRAM traffic intensity (bytes per unit of work, relative scale).
+    pub fn mem_intensity(self) -> f64 {
+        match self {
+            PhaseKind::ComputeBound => 0.15,
+            PhaseKind::MemoryBound => 1.00,
+            PhaseKind::CommBound => 0.10,
+            PhaseKind::IoBound => 0.05,
+        }
+    }
+
+    /// Core-frequency sensitivity weight used by [`SpeedModel`]: the fraction
+    /// of the phase's critical path that scales with core frequency.
+    pub fn freq_weight(self) -> f64 {
+        match self {
+            PhaseKind::ComputeBound => 0.98,
+            PhaseKind::MemoryBound => 0.25,
+            PhaseKind::CommBound => 0.03,
+            PhaseKind::IoBound => 0.02,
+        }
+    }
+
+    /// Uncore-frequency sensitivity weight (memory path).
+    pub fn uncore_weight(self) -> f64 {
+        match self {
+            PhaseKind::ComputeBound => 0.02,
+            PhaseKind::MemoryBound => 0.65,
+            PhaseKind::CommBound => 0.07,
+            PhaseKind::IoBound => 0.03,
+        }
+    }
+
+    /// Instructions retired per unit of work (relative scale); drives IPC.
+    pub fn instructions_per_work(self) -> f64 {
+        match self {
+            PhaseKind::ComputeBound => 1.0e9,
+            PhaseKind::MemoryBound => 0.6e9,
+            PhaseKind::CommBound => 0.3e9,
+            PhaseKind::IoBound => 0.1e9,
+        }
+    }
+
+    /// FLOPs per unit of work (relative scale).
+    pub fn flops_per_work(self) -> f64 {
+        match self {
+            PhaseKind::ComputeBound => 0.8e9,
+            PhaseKind::MemoryBound => 0.25e9,
+            PhaseKind::CommBound => 0.0,
+            PhaseKind::IoBound => 0.0,
+        }
+    }
+}
+
+/// A convex mixture of phase kinds, for phases that are not pure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseMix {
+    weights: [f64; 4],
+}
+
+impl PhaseMix {
+    /// A pure phase.
+    pub fn pure(kind: PhaseKind) -> Self {
+        let mut weights = [0.0; 4];
+        weights[Self::slot(kind)] = 1.0;
+        PhaseMix { weights }
+    }
+
+    /// A mixture; weights are normalized to sum to 1.
+    ///
+    /// # Panics
+    /// Panics if all weights are zero or any is negative/non-finite.
+    pub fn new(compute: f64, memory: f64, comm: f64, io: f64) -> Self {
+        let raw = [compute, memory, comm, io];
+        for &w in &raw {
+            assert!(w.is_finite() && w >= 0.0, "weights must be non-negative");
+        }
+        let sum: f64 = raw.iter().sum();
+        assert!(sum > 0.0, "at least one weight must be positive");
+        PhaseMix {
+            weights: [raw[0] / sum, raw[1] / sum, raw[2] / sum, raw[3] / sum],
+        }
+    }
+
+    fn slot(kind: PhaseKind) -> usize {
+        match kind {
+            PhaseKind::ComputeBound => 0,
+            PhaseKind::MemoryBound => 1,
+            PhaseKind::CommBound => 2,
+            PhaseKind::IoBound => 3,
+        }
+    }
+
+    /// Weight of `kind` in the mixture.
+    pub fn weight(&self, kind: PhaseKind) -> f64 {
+        self.weights[Self::slot(kind)]
+    }
+
+    /// Weighted average of a per-kind property.
+    pub fn blend(&self, f: impl Fn(PhaseKind) -> f64) -> f64 {
+        PhaseKind::ALL
+            .iter()
+            .map(|&k| self.weight(k) * f(k))
+            .sum()
+    }
+
+    /// The dominant phase kind.
+    pub fn dominant(&self) -> PhaseKind {
+        let mut best = PhaseKind::ComputeBound;
+        let mut bw = -1.0;
+        for k in PhaseKind::ALL {
+            if self.weight(k) > bw {
+                bw = self.weight(k);
+                best = k;
+            }
+        }
+        best
+    }
+}
+
+/// Roofline-style speed model.
+///
+/// The time for one unit of work decomposes into a core-frequency-scaled part,
+/// an uncore-scaled part, and a fixed part:
+///
+/// ```text
+/// t(f, u) = w_f·(f_ref/f) + w_u·(u_ref/u) + (1 − w_f − w_u)
+/// speed   = duty_effect / t(f, u)           (1.0 at reference config)
+/// ```
+///
+/// Duty-cycle modulation gates the core-scaled and fixed parts (the core only
+/// executes during active cycles) but not memory/comm waits.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpeedModel {
+    /// Reference core frequency (GHz) at which speed = 1.
+    pub f_ref_ghz: f64,
+    /// Reference uncore frequency (GHz) at which speed = 1.
+    pub u_ref_ghz: f64,
+}
+
+impl SpeedModel {
+    /// Server default: 2.4 GHz core reference, 2.0 GHz uncore reference
+    /// (a common Xeon nominal operating point).
+    pub fn server_default() -> Self {
+        SpeedModel {
+            f_ref_ghz: 2.4,
+            u_ref_ghz: 2.0,
+        }
+    }
+
+    /// Relative execution speed (1.0 at the reference configuration) for a
+    /// phase mixture at core frequency `f_ghz`, uncore `u_ghz` and `duty`.
+    ///
+    /// # Panics
+    /// Panics on non-positive frequencies.
+    pub fn speed(&self, mix: &PhaseMix, f_ghz: f64, u_ghz: f64, duty: DutyCycle) -> f64 {
+        assert!(f_ghz > 0.0 && u_ghz > 0.0, "frequencies must be positive");
+        let w_f = mix.blend(PhaseKind::freq_weight);
+        let w_u = mix.blend(PhaseKind::uncore_weight);
+        // Demand-aware uncore sensitivity: a slower mesh only stretches the
+        // critical path to the extent the phase actually consumes bandwidth
+        // (low-traffic phases hide uncore latency behind computation — the
+        // physical fact the Uncore Power Scavenger exploits).
+        let intensity = mix.blend(PhaseKind::mem_intensity);
+        let w_u_eff = w_u * (intensity / 0.5).min(1.0);
+        let w_fixed = (1.0 - w_f - w_u_eff).max(0.0);
+        // Active-cycle gating: the core-scaled part stretches by 1/duty.
+        let d = duty.fraction();
+        let t = w_f * (self.f_ref_ghz / f_ghz) / d + w_u_eff * (self.u_ref_ghz / u_ghz) + w_fixed;
+        1.0 / t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pure_mix_weights() {
+        let m = PhaseMix::pure(PhaseKind::MemoryBound);
+        assert_eq!(m.weight(PhaseKind::MemoryBound), 1.0);
+        assert_eq!(m.weight(PhaseKind::ComputeBound), 0.0);
+        assert_eq!(m.dominant(), PhaseKind::MemoryBound);
+    }
+
+    #[test]
+    fn mix_normalizes() {
+        let m = PhaseMix::new(2.0, 2.0, 0.0, 0.0);
+        assert!((m.weight(PhaseKind::ComputeBound) - 0.5).abs() < 1e-12);
+        assert!((m.weight(PhaseKind::MemoryBound) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn all_zero_mix_panics() {
+        PhaseMix::new(0.0, 0.0, 0.0, 0.0);
+    }
+
+    #[test]
+    fn speed_is_one_at_reference() {
+        let sm = SpeedModel::server_default();
+        for kind in PhaseKind::ALL {
+            let s = sm.speed(&PhaseMix::pure(kind), 2.4, 2.0, DutyCycle::FULL);
+            assert!((s - 1.0).abs() < 1e-9, "{kind:?}: {s}");
+        }
+    }
+
+    #[test]
+    fn compute_scales_with_frequency() {
+        let sm = SpeedModel::server_default();
+        let m = PhaseMix::pure(PhaseKind::ComputeBound);
+        let lo = sm.speed(&m, 1.2, 2.0, DutyCycle::FULL);
+        let hi = sm.speed(&m, 3.5, 2.0, DutyCycle::FULL);
+        // Nearly proportional: 3.5/1.2 ≈ 2.9×; expect > 2.4× with the 5% fixed part.
+        assert!(hi / lo > 2.4, "compute speedup too small: {}", hi / lo);
+    }
+
+    #[test]
+    fn comm_insensitive_to_frequency() {
+        let sm = SpeedModel::server_default();
+        let m = PhaseMix::pure(PhaseKind::CommBound);
+        let lo = sm.speed(&m, 1.0, 2.0, DutyCycle::FULL);
+        let hi = sm.speed(&m, 3.5, 2.0, DutyCycle::FULL);
+        assert!(hi / lo < 1.08, "comm phase should barely speed up: {}", hi / lo);
+    }
+
+    #[test]
+    fn memory_prefers_uncore() {
+        let sm = SpeedModel::server_default();
+        let m = PhaseMix::pure(PhaseKind::MemoryBound);
+        let core_boost = sm.speed(&m, 3.5, 2.0, DutyCycle::FULL);
+        let uncore_boost = sm.speed(&m, 2.4, 2.8, DutyCycle::FULL);
+        assert!(
+            uncore_boost > core_boost,
+            "uncore should matter more for memory-bound: {uncore_boost} vs {core_boost}"
+        );
+    }
+
+    #[test]
+    fn duty_cycle_slows_compute_not_comm() {
+        let sm = SpeedModel::server_default();
+        let half = DutyCycle::new(8);
+        let comp = PhaseMix::pure(PhaseKind::ComputeBound);
+        let comm = PhaseMix::pure(PhaseKind::CommBound);
+        let comp_ratio =
+            sm.speed(&comp, 2.4, 2.0, half) / sm.speed(&comp, 2.4, 2.0, DutyCycle::FULL);
+        let comm_ratio =
+            sm.speed(&comm, 2.4, 2.0, half) / sm.speed(&comm, 2.4, 2.0, DutyCycle::FULL);
+        assert!(comp_ratio < 0.6, "compute halves with duty: {comp_ratio}");
+        assert!(comm_ratio > 0.9, "comm barely affected: {comm_ratio}");
+    }
+
+    #[test]
+    fn speed_monotone_in_frequency() {
+        let sm = SpeedModel::server_default();
+        let m = PhaseMix::new(1.0, 1.0, 0.5, 0.1);
+        let mut prev = 0.0;
+        for i in 0..20 {
+            let f = 1.0 + 0.125 * i as f64;
+            let s = sm.speed(&m, f, 2.0, DutyCycle::FULL);
+            assert!(s > prev, "non-monotone at {f}");
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn activity_factors_ordered() {
+        // Compute hottest, I/O coolest; comm hot (spin-wait) — COUNTDOWN's prey.
+        assert!(PhaseKind::ComputeBound.core_activity() > PhaseKind::CommBound.core_activity());
+        assert!(PhaseKind::CommBound.core_activity() > PhaseKind::MemoryBound.core_activity());
+        assert!(PhaseKind::MemoryBound.core_activity() > PhaseKind::IoBound.core_activity());
+    }
+}

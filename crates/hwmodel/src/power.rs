@@ -1,0 +1,164 @@
+//! Package power model.
+//!
+//! First-order CMOS model:
+//!
+//! ```text
+//! P_pkg  = P_uncore(u) + P_leak(T) + n_active · c_dyn · V(f)² · f · activity
+//! P_dram = P_dram_idle + bw_used · e_per_byte
+//! ```
+//!
+//! Calibrated so a 24-core package at 2.4 GHz running compute-bound work draws
+//! ≈120 W and ≈165 W at 3.5 GHz — Xeon-class TDP territory, matching the
+//! systems the surveyed tools were evaluated on.
+
+use crate::phase::PhaseMix;
+use crate::pstate::{DutyCycle, PStateTable};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the package power model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    /// Dynamic-power coefficient per core, W / (V²·GHz).
+    pub c_dyn: f64,
+    /// Leakage power at reference temperature, W per package.
+    pub leak_ref_w: f64,
+    /// Leakage temperature coefficient, fraction per °C above reference.
+    pub leak_temp_coeff: f64,
+    /// Reference temperature for leakage, °C.
+    pub t_ref_c: f64,
+    /// Uncore power coefficient, W / GHz.
+    pub uncore_w_per_ghz: f64,
+    /// Idle DRAM power, W per package's memory channels.
+    pub dram_idle_w: f64,
+    /// DRAM energy per normalized unit of memory traffic, W at intensity 1.
+    pub dram_w_per_intensity: f64,
+}
+
+impl PowerModel {
+    /// Server-class defaults (see module docs for the calibration targets).
+    pub fn server_default() -> Self {
+        PowerModel {
+            c_dyn: 1.1,
+            leak_ref_w: 14.0,
+            leak_temp_coeff: 0.012,
+            t_ref_c: 50.0,
+            uncore_w_per_ghz: 14.0,
+            dram_idle_w: 4.0,
+            dram_w_per_intensity: 14.0,
+        }
+    }
+
+    /// Leakage power at temperature `t_c` (°C). Grows linearly with
+    /// temperature above the reference; clamped non-negative below it.
+    pub fn leakage_w(&self, t_c: f64) -> f64 {
+        (self.leak_ref_w * (1.0 + self.leak_temp_coeff * (t_c - self.t_ref_c))).max(0.0)
+    }
+
+    /// Dynamic power of `n_active` cores in the given phase mix.
+    pub fn core_dynamic_w(
+        &self,
+        pstates: &PStateTable,
+        pstate_idx: usize,
+        duty: DutyCycle,
+        n_active: usize,
+        mix: &PhaseMix,
+    ) -> f64 {
+        let f = pstates.freq(pstate_idx);
+        let v = pstates.voltage(pstate_idx);
+        let activity = mix.blend(crate::phase::PhaseKind::core_activity);
+        n_active as f64 * self.c_dyn * v * v * f * activity * duty.fraction()
+    }
+
+    /// Uncore power at uncore frequency `u_ghz`.
+    pub fn uncore_w(&self, u_ghz: f64) -> f64 {
+        self.uncore_w_per_ghz * u_ghz
+    }
+
+    /// DRAM power for a phase mix (memory intensity scales traffic power),
+    /// scaled by how fast the cores are actually consuming bandwidth.
+    pub fn dram_w(&self, mix: &PhaseMix, relative_speed: f64) -> f64 {
+        let intensity = mix.blend(crate::phase::PhaseKind::mem_intensity);
+        self.dram_idle_w + self.dram_w_per_intensity * intensity * relative_speed.max(0.0)
+    }
+
+    /// Total package power (cores + uncore + leakage), excluding DRAM.
+    #[allow(clippy::too_many_arguments)]
+    pub fn package_w(
+        &self,
+        pstates: &PStateTable,
+        pstate_idx: usize,
+        duty: DutyCycle,
+        n_active: usize,
+        mix: &PhaseMix,
+        u_ghz: f64,
+        t_c: f64,
+    ) -> f64 {
+        self.core_dynamic_w(pstates, pstate_idx, duty, n_active, mix)
+            + self.uncore_w(u_ghz)
+            + self.leakage_w(t_c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phase::{PhaseKind, PhaseMix};
+
+    fn setup() -> (PowerModel, PStateTable) {
+        (PowerModel::server_default(), PStateTable::server_default())
+    }
+
+    #[test]
+    fn calibration_targets() {
+        let (pm, ps) = setup();
+        let mix = PhaseMix::pure(PhaseKind::ComputeBound);
+        // 2.4 GHz is index 14 on the 1.0..3.5/26 ladder.
+        let idx_24 = ps.ladder().index_at_or_below(2.4);
+        let p24 = pm.package_w(&ps, idx_24, DutyCycle::FULL, 24, &mix, 2.0, 60.0);
+        let p35 = pm.package_w(&ps, ps.top_idx(), DutyCycle::FULL, 24, &mix, 2.0, 60.0);
+        assert!((90.0..150.0).contains(&p24), "P(2.4GHz)={p24}");
+        assert!((140.0..210.0).contains(&p35), "P(3.5GHz)={p35}");
+        assert!(p35 > p24 * 1.3, "power should grow superlinearly");
+    }
+
+    #[test]
+    fn leakage_grows_with_temperature() {
+        let (pm, _) = setup();
+        assert!(pm.leakage_w(80.0) > pm.leakage_w(50.0));
+        assert_eq!(pm.leakage_w(50.0), pm.leak_ref_w);
+        assert!(pm.leakage_w(-200.0) >= 0.0);
+    }
+
+    #[test]
+    fn dynamic_power_scales_with_cores_and_duty() {
+        let (pm, ps) = setup();
+        let mix = PhaseMix::pure(PhaseKind::ComputeBound);
+        let p_full = pm.core_dynamic_w(&ps, 10, DutyCycle::FULL, 24, &mix);
+        let p_half_duty = pm.core_dynamic_w(&ps, 10, DutyCycle::new(8), 24, &mix);
+        let p_half_cores = pm.core_dynamic_w(&ps, 10, DutyCycle::FULL, 12, &mix);
+        assert!((p_half_duty - p_full / 2.0).abs() < 1e-9);
+        assert!((p_half_cores - p_full / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phase_power_ordering() {
+        let (pm, ps) = setup();
+        let p = |k| {
+            pm.core_dynamic_w(&ps, ps.top_idx(), DutyCycle::FULL, 24, &PhaseMix::pure(k))
+        };
+        assert!(p(PhaseKind::ComputeBound) > p(PhaseKind::CommBound));
+        assert!(p(PhaseKind::CommBound) > p(PhaseKind::MemoryBound));
+        assert!(p(PhaseKind::MemoryBound) > p(PhaseKind::IoBound));
+    }
+
+    #[test]
+    fn dram_power_tracks_intensity() {
+        let (pm, _) = setup();
+        let mem = pm.dram_w(&PhaseMix::pure(PhaseKind::MemoryBound), 1.0);
+        let comp = pm.dram_w(&PhaseMix::pure(PhaseKind::ComputeBound), 1.0);
+        assert!(mem > comp);
+        // Slower execution → less traffic → less DRAM power.
+        let slow = pm.dram_w(&PhaseMix::pure(PhaseKind::MemoryBound), 0.5);
+        assert!(slow < mem);
+    }
+}

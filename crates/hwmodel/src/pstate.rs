@@ -1,0 +1,256 @@
+//! Frequency ladders: core P-states with a V-f curve, uncore states, and
+//! clock (duty-cycle) modulation.
+//!
+//! These are the node-level knobs of the paper's Table 1: "DVFS", "Core and
+//! uncore frequency scaling", "Clock modulation".
+
+use serde::{Deserialize, Serialize};
+
+/// A discrete ladder of frequencies (GHz), ascending.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FreqLadder {
+    freqs_ghz: Vec<f64>,
+}
+
+impl FreqLadder {
+    /// Build a ladder from ascending, positive frequencies in GHz.
+    ///
+    /// # Panics
+    /// Panics if the list is empty, non-ascending, or contains non-positive
+    /// or non-finite entries.
+    pub fn new(freqs_ghz: Vec<f64>) -> Self {
+        assert!(!freqs_ghz.is_empty(), "ladder must not be empty");
+        for w in freqs_ghz.windows(2) {
+            assert!(w[0] < w[1], "ladder must be strictly ascending");
+        }
+        for &f in &freqs_ghz {
+            assert!(f.is_finite() && f > 0.0, "frequencies must be positive");
+        }
+        FreqLadder { freqs_ghz }
+    }
+
+    /// Evenly spaced ladder from `min` to `max` GHz inclusive with `steps` rungs.
+    pub fn linear(min_ghz: f64, max_ghz: f64, steps: usize) -> Self {
+        assert!(steps >= 2, "need at least two rungs");
+        assert!(min_ghz < max_ghz, "min must be below max");
+        let freqs = (0..steps)
+            .map(|i| min_ghz + (max_ghz - min_ghz) * i as f64 / (steps - 1) as f64)
+            .collect();
+        FreqLadder::new(freqs)
+    }
+
+    /// Number of rungs.
+    pub fn len(&self) -> usize {
+        self.freqs_ghz.len()
+    }
+
+    /// Ladders are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Frequency at rung `idx` (0 = slowest).
+    ///
+    /// # Panics
+    /// Panics if `idx` is out of range.
+    pub fn freq(&self, idx: usize) -> f64 {
+        self.freqs_ghz[idx]
+    }
+
+    /// Lowest frequency.
+    pub fn min(&self) -> f64 {
+        self.freqs_ghz[0]
+    }
+
+    /// Highest frequency.
+    pub fn max(&self) -> f64 {
+        *self.freqs_ghz.last().expect("non-empty")
+    }
+
+    /// Index of the highest rung.
+    pub fn top_idx(&self) -> usize {
+        self.freqs_ghz.len() - 1
+    }
+
+    /// Highest rung whose frequency does not exceed `f_ghz`; rung 0 if all do.
+    pub fn index_at_or_below(&self, f_ghz: f64) -> usize {
+        self.freqs_ghz
+            .iter()
+            .rposition(|&f| f <= f_ghz + 1e-12)
+            .unwrap_or_default()
+    }
+
+    /// All rung frequencies.
+    pub fn freqs(&self) -> &[f64] {
+        &self.freqs_ghz
+    }
+}
+
+/// Core P-state table: a frequency ladder plus the V-f curve.
+///
+/// Voltage scales affinely with frequency between `v_min` (at the ladder
+/// bottom) and `v_max` (at the top) — the usual first-order DVFS model, making
+/// dynamic power `∝ f·V(f)²` superlinear in `f`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PStateTable {
+    ladder: FreqLadder,
+    v_min: f64,
+    v_max: f64,
+}
+
+impl PStateTable {
+    /// Build from a ladder and voltage endpoints.
+    ///
+    /// # Panics
+    /// Panics if voltages are non-positive or `v_max < v_min`.
+    pub fn new(ladder: FreqLadder, v_min: f64, v_max: f64) -> Self {
+        assert!(v_min > 0.0 && v_max >= v_min, "invalid voltage range");
+        PStateTable {
+            ladder,
+            v_min,
+            v_max,
+        }
+    }
+
+    /// A server-class default: 1.0–3.5 GHz in 100 MHz steps, 0.70–1.25 V.
+    ///
+    /// Matches the knob ranges of the Xeon-class systems the surveyed tools
+    /// (GEOPM, Conductor, COUNTDOWN, MERIC) were evaluated on.
+    pub fn server_default() -> Self {
+        PStateTable::new(FreqLadder::linear(1.0, 3.5, 26), 0.70, 1.25)
+    }
+
+    /// Underlying frequency ladder.
+    pub fn ladder(&self) -> &FreqLadder {
+        &self.ladder
+    }
+
+    /// Frequency (GHz) at P-state `idx`.
+    pub fn freq(&self, idx: usize) -> f64 {
+        self.ladder.freq(idx)
+    }
+
+    /// Voltage (V) at P-state `idx`, from the affine V-f curve.
+    pub fn voltage(&self, idx: usize) -> f64 {
+        if self.ladder.len() == 1 {
+            return self.v_max;
+        }
+        let t = idx as f64 / (self.ladder.len() - 1) as f64;
+        self.v_min + (self.v_max - self.v_min) * t
+    }
+
+    /// Number of P-states.
+    pub fn len(&self) -> usize {
+        self.ladder.len()
+    }
+
+    /// Tables are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Index of the fastest P-state.
+    pub fn top_idx(&self) -> usize {
+        self.ladder.top_idx()
+    }
+}
+
+/// Clock (duty-cycle) modulation: the fraction of cycles the core executes.
+///
+/// Models Intel T-states / IDA clock modulation as used by e.g. Bhalachandra's
+/// duty-cycle work cited in the paper. Levels run 1/16 .. 16/16.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DutyCycle {
+    sixteenths: u8,
+}
+
+impl DutyCycle {
+    /// Full-speed (16/16) duty cycle.
+    pub const FULL: DutyCycle = DutyCycle { sixteenths: 16 };
+
+    /// Build from sixteenths in `1..=16`.
+    ///
+    /// # Panics
+    /// Panics outside that range.
+    pub fn new(sixteenths: u8) -> Self {
+        assert!(
+            (1..=16).contains(&sixteenths),
+            "duty cycle must be 1..=16 sixteenths"
+        );
+        DutyCycle { sixteenths }
+    }
+
+    /// The duty fraction in `(0, 1]`.
+    pub fn fraction(self) -> f64 {
+        self.sixteenths as f64 / 16.0
+    }
+
+    /// Raw level in sixteenths.
+    pub fn level(self) -> u8 {
+        self.sixteenths
+    }
+}
+
+impl Default for DutyCycle {
+    fn default() -> Self {
+        DutyCycle::FULL
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_ladder_endpoints() {
+        let l = FreqLadder::linear(1.0, 3.5, 26);
+        assert_eq!(l.len(), 26);
+        assert!((l.min() - 1.0).abs() < 1e-12);
+        assert!((l.max() - 3.5).abs() < 1e-12);
+        assert!((l.freq(1) - 1.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn index_at_or_below() {
+        let l = FreqLadder::linear(1.0, 2.0, 11); // 1.0, 1.1, ... 2.0
+        assert_eq!(l.index_at_or_below(1.55), 5); // 1.5
+        assert_eq!(l.index_at_or_below(1.5), 5); // exact hit
+        assert_eq!(l.index_at_or_below(0.5), 0); // below bottom clamps
+        assert_eq!(l.index_at_or_below(9.9), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn non_ascending_ladder_panics() {
+        FreqLadder::new(vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn voltage_curve_monotone() {
+        let t = PStateTable::server_default();
+        assert!((t.voltage(0) - 0.70).abs() < 1e-12);
+        assert!((t.voltage(t.top_idx()) - 1.25).abs() < 1e-12);
+        for i in 1..t.len() {
+            assert!(t.voltage(i) > t.voltage(i - 1));
+        }
+    }
+
+    #[test]
+    fn duty_cycle_fraction() {
+        assert_eq!(DutyCycle::FULL.fraction(), 1.0);
+        assert_eq!(DutyCycle::new(8).fraction(), 0.5);
+        assert_eq!(DutyCycle::new(1).fraction(), 1.0 / 16.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=16")]
+    fn zero_duty_panics() {
+        DutyCycle::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=16")]
+    fn over_duty_panics() {
+        DutyCycle::new(17);
+    }
+}

@@ -1,0 +1,156 @@
+//! Manufacturing variation.
+//!
+//! Identical SKUs differ chip-to-chip in power at iso-frequency (process
+//! variation affects leakage and switching capacitance). Under a power cap this
+//! turns into *performance* variation — the basis for the paper's §3.1.1
+//! "which nodes to select ... processor manufacturing variation" interaction
+//! and for GEOPM's node-outlier detection (§3.2.2).
+//!
+//! The model draws a per-package efficiency factor from a truncated normal
+//! distribution; dynamic and leakage power are scaled by it.
+
+use rand::Rng;
+use rand::rngs::SmallRng;
+use serde::{Deserialize, Serialize};
+
+/// Per-package variation factors.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VariationFactors {
+    /// Multiplier on dynamic power (1.0 = nominal).
+    pub dynamic: f64,
+    /// Multiplier on leakage power (1.0 = nominal).
+    pub leakage: f64,
+}
+
+impl VariationFactors {
+    /// The nominal (no-variation) package.
+    pub const NOMINAL: VariationFactors = VariationFactors {
+        dynamic: 1.0,
+        leakage: 1.0,
+    };
+}
+
+/// Distribution of manufacturing variation across a fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VariationModel {
+    /// Std-dev of the dynamic-power multiplier (e.g. 0.04 = 4%).
+    pub sigma_dynamic: f64,
+    /// Std-dev of the leakage multiplier (leakage varies more; e.g. 0.12).
+    pub sigma_leakage: f64,
+    /// Truncation bound in std-devs (samples clamp to ±bound·σ).
+    pub truncate_sigmas: f64,
+}
+
+impl VariationModel {
+    /// Literature-typical defaults: ~4% dynamic σ, ~12% leakage σ, ±3σ.
+    ///
+    /// Patki et al. and the GEOPM papers report 10–20% node power spread at
+    /// iso-frequency on production Xeon fleets, consistent with these values.
+    pub fn typical() -> Self {
+        VariationModel {
+            sigma_dynamic: 0.04,
+            sigma_leakage: 0.12,
+            truncate_sigmas: 3.0,
+        }
+    }
+
+    /// A fleet with no variation (for controlled ablations).
+    pub fn none() -> Self {
+        VariationModel {
+            sigma_dynamic: 0.0,
+            sigma_leakage: 0.0,
+            truncate_sigmas: 3.0,
+        }
+    }
+
+    /// Sample one package's factors.
+    pub fn sample(&self, rng: &mut SmallRng) -> VariationFactors {
+        VariationFactors {
+            dynamic: sample_truncated_lognormal_ish(rng, self.sigma_dynamic, self.truncate_sigmas),
+            leakage: sample_truncated_lognormal_ish(rng, self.sigma_leakage, self.truncate_sigmas),
+        }
+    }
+}
+
+/// Sample `max(ε, 1 + σ·z)` with `z` standard-normal truncated to ±bound.
+///
+/// Box–Muller over the crate-local RNG; avoids pulling in `rand_distr` for a
+/// single distribution.
+fn sample_truncated_lognormal_ish(rng: &mut SmallRng, sigma: f64, bound: f64) -> f64 {
+    if sigma == 0.0 {
+        return 1.0;
+    }
+    let z = loop {
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        if z.abs() <= bound {
+            break z;
+        }
+    };
+    (1.0 + sigma * z).max(0.05)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pstack_sim::SeedTree;
+
+    #[test]
+    fn no_variation_is_nominal() {
+        let mut rng = SeedTree::new(1).rng("var");
+        let m = VariationModel::none();
+        for _ in 0..10 {
+            let f = m.sample(&mut rng);
+            assert_eq!(f, VariationFactors::NOMINAL);
+        }
+    }
+
+    #[test]
+    fn sample_statistics_match_model() {
+        let mut rng = SeedTree::new(2).rng("var");
+        let m = VariationModel::typical();
+        let n = 20_000;
+        let samples: Vec<VariationFactors> = (0..n).map(|_| m.sample(&mut rng)).collect();
+        let mean_dyn: f64 = samples.iter().map(|s| s.dynamic).sum::<f64>() / n as f64;
+        let var_dyn: f64 = samples
+            .iter()
+            .map(|s| (s.dynamic - mean_dyn).powi(2))
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean_dyn - 1.0).abs() < 0.01, "mean {mean_dyn}");
+        assert!(
+            (var_dyn.sqrt() - 0.04).abs() < 0.01,
+            "sigma {}",
+            var_dyn.sqrt()
+        );
+    }
+
+    #[test]
+    fn truncation_bounds_hold() {
+        let mut rng = SeedTree::new(3).rng("var");
+        let m = VariationModel::typical();
+        for _ in 0..50_000 {
+            let f = m.sample(&mut rng);
+            assert!(f.dynamic >= 1.0 - 3.0 * 0.04 - 1e-9);
+            assert!(f.dynamic <= 1.0 + 3.0 * 0.04 + 1e-9);
+            assert!(f.leakage >= 1.0 - 3.0 * 0.12 - 1e-9);
+            assert!(f.leakage <= 1.0 + 3.0 * 0.12 + 1e-9);
+            assert!(f.dynamic > 0.0 && f.leakage > 0.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let m = VariationModel::typical();
+        let a: Vec<_> = {
+            let mut rng = SeedTree::new(9).rng("v");
+            (0..16).map(|_| m.sample(&mut rng)).collect()
+        };
+        let b: Vec<_> = {
+            let mut rng = SeedTree::new(9).rng("v");
+            (0..16).map(|_| m.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,229 @@
+//! Per-node workload cursor.
+//!
+//! A [`WorkloadCursor`] walks one node's copy of an application's phase
+//! sequence. The job runtime advances it in time slices: the cursor converts
+//! elapsed time × node speed into phase progress and reports phase boundaries
+//! (where MPI barriers synchronize ranks and region-tuners switch configs).
+
+use pstack_apps::workload::{Phase, Workload};
+use pstack_hwmodel::PhaseMix;
+
+/// Progress report from advancing a cursor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdvanceResult {
+    /// Work completed during the slice.
+    pub work_done: f64,
+    /// Whether the current phase finished within the slice.
+    pub phase_completed: bool,
+    /// Unused fraction of the slice (0 unless the phase finished early).
+    pub leftover_fraction: f64,
+}
+
+/// Cursor over one node's phase list.
+#[derive(Debug, Clone)]
+pub struct WorkloadCursor {
+    phases: Vec<Phase>,
+    idx: usize,
+    remaining: f64,
+}
+
+impl WorkloadCursor {
+    /// Build from a workload (the node's already-imbalance-scaled copy).
+    pub fn new(workload: Workload) -> Self {
+        let phases: Vec<Phase> = workload.phases().to_vec();
+        let remaining = phases.first().map(|p| p.work).unwrap_or(0.0);
+        WorkloadCursor {
+            phases,
+            idx: 0,
+            remaining,
+        }
+    }
+
+    /// True once every phase has completed.
+    pub fn is_complete(&self) -> bool {
+        self.idx >= self.phases.len()
+    }
+
+    /// The current phase, or `None` when complete.
+    pub fn current_phase(&self) -> Option<&Phase> {
+        self.phases.get(self.idx)
+    }
+
+    /// The current phase's mixture, or `None` when complete.
+    pub fn current_mix(&self) -> Option<&PhaseMix> {
+        self.current_phase().map(|p| &p.mix)
+    }
+
+    /// The current region name, or `None` when complete.
+    pub fn current_region(&self) -> Option<&str> {
+        self.current_phase().map(|p| p.region.as_str())
+    }
+
+    /// Index of the current phase.
+    pub fn phase_index(&self) -> usize {
+        self.idx
+    }
+
+    /// Work remaining in the current phase.
+    pub fn remaining_in_phase(&self) -> f64 {
+        if self.is_complete() {
+            0.0
+        } else {
+            self.remaining
+        }
+    }
+
+    /// Total work remaining across all phases.
+    pub fn remaining_total(&self) -> f64 {
+        if self.is_complete() {
+            return 0.0;
+        }
+        self.remaining
+            + self.phases[self.idx + 1..]
+                .iter()
+                .map(|p| p.work)
+                .sum::<f64>()
+    }
+
+    /// Advance by a time slice during which the node completes work at
+    /// `speed` (work units per second). Stops at the phase boundary: the
+    /// caller decides whether the barrier allows entering the next phase.
+    ///
+    /// # Panics
+    /// Panics on negative inputs.
+    pub fn advance(&mut self, speed: f64, dt_s: f64) -> AdvanceResult {
+        assert!(speed >= 0.0 && dt_s >= 0.0, "negative advance");
+        if self.is_complete() {
+            return AdvanceResult {
+                work_done: 0.0,
+                phase_completed: false,
+                leftover_fraction: 1.0,
+            };
+        }
+        let capacity = speed * dt_s;
+        // Relative tolerance so a sub-step sized exactly remaining/speed
+        // completes the phase despite microsecond rounding of the step.
+        let close_enough = capacity >= self.remaining * (1.0 - 1e-9);
+        if close_enough && speed > 0.0 {
+            let done = self.remaining;
+            let used_s = self.remaining / speed;
+            self.remaining = 0.0;
+            AdvanceResult {
+                work_done: done,
+                phase_completed: true,
+                leftover_fraction: ((dt_s - used_s) / dt_s).clamp(0.0, 1.0),
+            }
+        } else {
+            self.remaining -= capacity;
+            AdvanceResult {
+                work_done: capacity,
+                phase_completed: false,
+                leftover_fraction: 0.0,
+            }
+        }
+    }
+
+    /// Move to the next phase (call after the job-wide barrier releases).
+    ///
+    /// # Panics
+    /// Panics if the current phase still has work or the cursor is complete.
+    pub fn enter_next_phase(&mut self) {
+        assert!(!self.is_complete(), "cursor already complete");
+        assert!(
+            self.remaining <= 1e-12,
+            "current phase not finished: {} left",
+            self.remaining
+        );
+        self.idx += 1;
+        self.remaining = self.phases.get(self.idx).map(|p| p.work).unwrap_or(0.0);
+    }
+
+    /// Whether the node is waiting at a barrier (phase work done, next phase
+    /// not yet entered).
+    pub fn at_barrier(&self) -> bool {
+        !self.is_complete() && self.remaining <= 1e-12
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pstack_apps::workload::Phase;
+    use pstack_hwmodel::{PhaseKind, PhaseMix};
+
+    fn two_phase() -> WorkloadCursor {
+        WorkloadCursor::new(Workload::from_phases(vec![
+            Phase::new("a", PhaseMix::pure(PhaseKind::ComputeBound), 2.0),
+            Phase::new("b", PhaseMix::pure(PhaseKind::CommBound), 1.0),
+        ]))
+    }
+
+    #[test]
+    fn advances_within_phase() {
+        let mut c = two_phase();
+        let r = c.advance(1.0, 0.5);
+        assert_eq!(r.work_done, 0.5);
+        assert!(!r.phase_completed);
+        assert_eq!(c.remaining_in_phase(), 1.5);
+        assert_eq!(c.current_region(), Some("a"));
+    }
+
+    #[test]
+    fn stops_at_phase_boundary() {
+        let mut c = two_phase();
+        let r = c.advance(1.0, 5.0); // capacity 5 > 2 remaining
+        assert_eq!(r.work_done, 2.0);
+        assert!(r.phase_completed);
+        assert!((r.leftover_fraction - 0.6).abs() < 1e-12);
+        assert!(c.at_barrier());
+        assert_eq!(c.current_region(), Some("a"), "still at a until barrier");
+    }
+
+    #[test]
+    fn barrier_then_next_phase() {
+        let mut c = two_phase();
+        c.advance(1.0, 2.0);
+        assert!(c.at_barrier());
+        c.enter_next_phase();
+        assert_eq!(c.current_region(), Some("b"));
+        assert!(!c.at_barrier());
+        c.advance(2.0, 0.5);
+        assert!(c.at_barrier());
+        c.enter_next_phase();
+        assert!(c.is_complete());
+    }
+
+    #[test]
+    fn remaining_total() {
+        let mut c = two_phase();
+        assert_eq!(c.remaining_total(), 3.0);
+        c.advance(1.0, 1.0);
+        assert_eq!(c.remaining_total(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not finished")]
+    fn next_phase_before_done_panics() {
+        let mut c = two_phase();
+        c.advance(1.0, 0.5);
+        c.enter_next_phase();
+    }
+
+    #[test]
+    fn complete_cursor_is_inert() {
+        let mut c = WorkloadCursor::new(Workload::new());
+        assert!(c.is_complete());
+        let r = c.advance(1.0, 1.0);
+        assert_eq!(r.work_done, 0.0);
+        assert_eq!(c.remaining_total(), 0.0);
+        assert!(!c.at_barrier());
+    }
+
+    #[test]
+    fn zero_speed_makes_no_progress() {
+        let mut c = two_phase();
+        let r = c.advance(0.0, 10.0);
+        assert_eq!(r.work_done, 0.0);
+        assert!(!r.phase_completed);
+    }
+}

@@ -1,0 +1,26 @@
+//! # pstack-rm — power-aware resource management
+//!
+//! The system layer of the PowerStack (paper Table 2: "SLURM, FLUX, PBS,
+//! ..."). Two resource managers are provided:
+//!
+//! - [`scheduler`]: a SLURM-like power-aware batch scheduler — FCFS with EASY
+//!   backfill, moldable jobs, a system power budget with per-job power
+//!   assignment, job-attached runtime systems, and full accounting (job
+//!   records, throughput, utilization, energy).
+//! - [`irm`]: an IRM-like *invasive* resource manager (§3.2.5, Figure 6) that
+//!   keeps system power inside a corridor by dynamically redistributing
+//!   nodes among malleable EPOP applications, with power capping and DVFS as
+//!   fallback strategies.
+//!
+//! Shared pieces: [`spec`] (job specifications and runtime-attachment kinds)
+//! and [`policy`] (site/system power policies).
+
+pub mod irm;
+pub mod policy;
+pub mod scheduler;
+pub mod spec;
+
+pub use irm::{CorridorStrategy, Irm, IrmReport};
+pub use policy::{PowerAssignment, SystemPowerPolicy};
+pub use scheduler::{EmergencyResponse, JobRecord, NodeSelection, Scheduler, SchedulerMetrics};
+pub use spec::{AgentKind, JobId, JobSpec};

@@ -1,0 +1,1401 @@
+//! Power-aware batch scheduler (SLURM-like).
+//!
+//! FCFS with EASY backfill over a fleet of managed nodes, extended with the
+//! power-awareness the paper's system layer requires:
+//!
+//! - a **system power budget**: a job is admitted only when its power
+//!   reservation fits next to the running jobs' reservations and the idle
+//!   fleet's draw;
+//! - **per-job power assignment** ([`crate::policy::PowerAssignment`]): the
+//!   budget handed to the job's runtime system (§3.1.1 "how much power to
+//!   reassign to a running job"), enforced out-of-band with node power caps
+//!   when the job carries no power-aware runtime;
+//! - **moldability**: node counts chosen at launch within the job's range
+//!   and the application's node-count rule;
+//! - job-attached runtime systems ([`crate::spec::AgentKind`]).
+//!
+//! Allocation moves `NodeManager`s out of the idle pool into the running job
+//! and back on completion, which keeps borrow-handling trivial and mirrors
+//! real exclusive node allocation.
+
+use crate::policy::{PowerAssignment, SystemPowerPolicy};
+use crate::spec::{JobId, JobSpec};
+use pstack_apps::MpiModel;
+use pstack_node::{NodeManager, Signal};
+use pstack_runtime::geopm::{Endpoint, PolicyUpdate};
+use pstack_runtime::{ArbiterMode, GeopmPolicy, JobRunner, RuntimeAgent};
+use pstack_sim::{SeedTree, SimDuration, SimTime, TraceRecorder};
+use std::collections::VecDeque;
+
+/// Completed-job accounting record.
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    /// Job identifier.
+    pub id: JobId,
+    /// Submission time.
+    pub submit: SimTime,
+    /// Launch time.
+    pub start: SimTime,
+    /// Completion time.
+    pub end: SimTime,
+    /// Nodes the job ran on.
+    pub nodes: usize,
+    /// Power budget assigned at launch, if any.
+    pub power_budget_w: Option<f64>,
+    /// Energy the job's nodes consumed while allocated, joules.
+    pub energy_j: f64,
+    /// Total application work completed.
+    pub work: f64,
+}
+
+impl JobRecord {
+    /// Queue wait time.
+    pub fn wait(&self) -> SimDuration {
+        self.start.since(self.submit)
+    }
+
+    /// Execution time.
+    pub fn runtime(&self) -> SimDuration {
+        self.end.since(self.start)
+    }
+}
+
+/// Which idle nodes the RM hands to a new job (paper §3.1.1 static
+/// interaction: "which nodes (or compute resources) to select for job launch
+/// for managing inefficiencies in the system such as thermal hot spots, and
+/// processor manufacturing variation").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeSelection {
+    /// Whatever happens to be at the end of the idle pool.
+    Arbitrary,
+    /// Prefer the nodes with the lowest package temperature (thermal-aware).
+    CoolestFirst,
+    /// Prefer the nodes drawing the least idle power (variation-aware: low
+    /// leakage silicon runs cheaper at iso-frequency).
+    MostEfficientFirst,
+}
+
+/// How the RM sheds load when the system budget drops below what is already
+/// committed (paper Table 1, system layer: "canceling running jobs,
+/// pausing/restarting jobs" and out-of-band power controls).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EmergencyResponse {
+    /// Suspend the most recently started jobs until the rest fits.
+    PauseJobs,
+    /// Keep everything running but tighten every job's power cap
+    /// proportionally (out-of-band enforcement).
+    TightenCaps,
+}
+
+/// Aggregate metrics over a scheduling run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchedulerMetrics {
+    /// Jobs completed.
+    pub completed: usize,
+    /// Jobs completed per hour of simulated time.
+    pub jobs_per_hour: f64,
+    /// Mean queue wait, seconds.
+    pub mean_wait_s: f64,
+    /// Node-seconds allocated / node-seconds available.
+    pub utilization: f64,
+    /// Total system energy (all nodes, whole horizon), joules.
+    pub system_energy_j: f64,
+    /// Mean system power over the horizon, watts.
+    pub mean_system_power_w: f64,
+    /// Total application work completed.
+    pub total_work: f64,
+}
+
+struct RunningJob {
+    spec: JobSpec,
+    nodes: Vec<NodeManager>,
+    runner: JobRunner,
+    agents: Vec<Box<dyn RuntimeAgent>>,
+    start: SimTime,
+    start_energy_j: f64,
+    reservation_w: f64,
+    budget_w: Option<f64>,
+    /// Paused by a power emergency: execution suspended, nodes idling, the
+    /// pre-pause reservation remembered for resume.
+    paused: Option<f64>,
+    /// GEOPM endpoint for dynamic policy renegotiation, when the job's
+    /// runtime provides one.
+    endpoint: Option<Endpoint>,
+    /// Efficiency tracking for dynamic reassignment: last sampled
+    /// (work, energy).
+    last_sample: (f64, f64),
+    /// Smoothed efficiency, work per joule.
+    efficiency_ema: Option<f64>,
+}
+
+/// The power-aware scheduler.
+///
+/// # Example
+///
+/// ```
+/// use pstack_hwmodel::{NodeConfig, VariationModel};
+/// use pstack_node::NodeManager;
+/// use pstack_rm::{JobSpec, PowerAssignment, Scheduler, SystemPowerPolicy};
+/// use pstack_apps::synthetic::{Profile, SyntheticApp};
+/// use pstack_sim::{SeedTree, SimDuration, SimTime};
+/// use std::sync::Arc;
+///
+/// let seeds = SeedTree::new(7);
+/// let fleet = NodeManager::fleet(
+///     4, NodeConfig::server_default(), &VariationModel::typical(), &seeds,
+/// );
+/// let policy = SystemPowerPolicy::budgeted(4.0 * 320.0, PowerAssignment::FairShare);
+/// let mut sched = Scheduler::new(fleet, policy, seeds.subtree("sched"));
+/// sched.submit(JobSpec::rigid(
+///     1,
+///     Arc::new(SyntheticApp::new(Profile::Mixed, 5.0, 5)),
+///     2,
+///     SimTime::ZERO,
+/// ));
+/// sched.run_until_drained(SimDuration::from_secs(1), SimTime::from_secs(600));
+/// assert_eq!(sched.records().len(), 1);
+/// ```
+pub struct Scheduler {
+    now: SimTime,
+    idle: Vec<NodeManager>,
+    total_nodes: usize,
+    queue: VecDeque<JobSpec>,
+    running: Vec<RunningJob>,
+    records: Vec<JobRecord>,
+    policy: SystemPowerPolicy,
+    mpi: MpiModel,
+    seeds: SeedTree,
+    trace: TraceRecorder,
+    rejected: Vec<JobId>,
+    allocated_node_seconds: f64,
+    /// Node power floor for viable FairShare admission, watts per node.
+    min_viable_node_w: f64,
+    backfill: bool,
+    selection: NodeSelection,
+    /// Dynamic power reassignment: re-divide the system budget across
+    /// endpoint-carrying jobs by measured efficiency, at this period.
+    reassign_period: Option<SimDuration>,
+    next_reassign: SimTime,
+}
+
+impl Scheduler {
+    /// Create a scheduler over `nodes` with `policy`.
+    pub fn new(nodes: Vec<NodeManager>, policy: SystemPowerPolicy, seeds: SeedTree) -> Self {
+        assert!(!nodes.is_empty(), "cluster needs nodes");
+        let total_nodes = nodes.len();
+        Scheduler {
+            now: SimTime::ZERO,
+            idle: nodes,
+            total_nodes,
+            queue: VecDeque::new(),
+            running: Vec::new(),
+            records: Vec::new(),
+            policy,
+            mpi: MpiModel::typical(),
+            seeds,
+            trace: TraceRecorder::new(),
+            rejected: Vec::new(),
+            allocated_node_seconds: 0.0,
+            min_viable_node_w: 180.0,
+            backfill: true,
+            selection: NodeSelection::Arbitrary,
+            reassign_period: None,
+            next_reassign: SimTime::ZERO,
+        }
+    }
+
+    /// Enable fully dynamic power reassignment (§3.2.2 mode 3 / §3.1.4): at
+    /// each `period`, the RM measures every endpoint-carrying job's power
+    /// efficiency (work per joule), re-divides the system budget in
+    /// proportion to `nodes × efficiency`, and pushes the new budgets to the
+    /// jobs' GEOPM balancers through their endpoints.
+    pub fn with_dynamic_power_reassignment(mut self, period: SimDuration) -> Self {
+        assert!(!period.is_zero(), "period must be positive");
+        self.reassign_period = Some(period);
+        self
+    }
+
+    /// Choose the node-selection policy for launches.
+    pub fn with_node_selection(mut self, selection: NodeSelection) -> Self {
+        self.selection = selection;
+        self
+    }
+
+    /// Disable EASY backfill (pure FCFS), for ablation experiments.
+    pub fn without_backfill(mut self) -> Self {
+        self.backfill = false;
+        self
+    }
+
+    /// Override the communication/imbalance model for executed jobs.
+    pub fn with_mpi(mut self, mpi: MpiModel) -> Self {
+        self.mpi = mpi;
+        self
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Jobs waiting in the queue.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Jobs currently running.
+    pub fn running(&self) -> usize {
+        self.running.len()
+    }
+
+    /// Completed-job records.
+    pub fn records(&self) -> &[JobRecord] {
+        &self.records
+    }
+
+    /// Jobs rejected as infeasible under the machine size or power policy.
+    pub fn rejected(&self) -> &[JobId] {
+        &self.rejected
+    }
+
+    /// The event trace (job starts/ends, power decisions).
+    pub fn trace(&self) -> &TraceRecorder {
+        &self.trace
+    }
+
+    /// Package temperatures of the currently idle nodes (diagnostics).
+    pub fn idle_temperatures(&self) -> Vec<f64> {
+        self.idle
+            .iter()
+            .map(|n| n.read(Signal::MaxTemperatureC))
+            .collect()
+    }
+
+    /// Cancel a job (paper Table 1, system layer: "canceling running
+    /// jobs"). Queued jobs are dropped; running jobs are terminated and
+    /// their nodes returned. Returns whether the job was found.
+    pub fn cancel(&mut self, id: JobId) -> bool {
+        if let Some(pos) = self.queue.iter().position(|j| j.id == id) {
+            self.queue.remove(pos);
+            self.trace.record(
+                self.now,
+                "rm",
+                "job_cancel",
+                id.0 as f64,
+                format!("{id} cancelled while queued"),
+            );
+            return true;
+        }
+        if let Some(pos) = self.running.iter().position(|j| j.spec.id == id) {
+            let job = self.running.remove(pos);
+            self.trace.record(
+                self.now,
+                "rm",
+                "job_cancel",
+                id.0 as f64,
+                format!("{id} cancelled while running"),
+            );
+            for mut nm in job.nodes {
+                // The runtime never ran its on_job_end: reset everything.
+                nm.reset_all_knobs();
+                self.idle.push(nm);
+            }
+            return true;
+        }
+        false
+    }
+
+    /// Submit a job (enqueued in arrival order).
+    pub fn submit(&mut self, spec: JobSpec) {
+        self.trace.record(
+            self.now.max(spec.submit),
+            "rm",
+            "job_submit",
+            spec.id.0 as f64,
+            format!("{} min={} max={}", spec.id, spec.min_nodes, spec.max_nodes),
+        );
+        self.queue.push_back(spec);
+    }
+
+    /// Instantaneous system power: running nodes + idle nodes, watts.
+    pub fn system_power_w(&self) -> f64 {
+        let running: f64 = self
+            .running
+            .iter()
+            .flat_map(|j| j.nodes.iter())
+            .map(|n| n.read(Signal::NodePowerWatts))
+            .sum();
+        let idle: f64 = self
+            .idle
+            .iter()
+            .map(|n| n.read(Signal::NodePowerWatts))
+            .sum();
+        running + idle
+    }
+
+    /// Total energy consumed by every node so far, joules.
+    pub fn system_energy_j(&self) -> f64 {
+        self.running
+            .iter()
+            .flat_map(|j| j.nodes.iter())
+            .chain(self.idle.iter())
+            .map(|n| n.read(Signal::NodeEnergyJoules))
+            .sum()
+    }
+
+    /// Power currently reserved (running jobs + idle estimate), watts.
+    /// Paused jobs reserve only their nodes' idle draw.
+    fn reserved_w(&self) -> f64 {
+        let jobs: f64 = self
+            .running
+            .iter()
+            .map(|j| {
+                if j.paused.is_some() {
+                    self.policy.node_idle_estimate_w * j.nodes.len() as f64
+                } else {
+                    j.reservation_w
+                }
+            })
+            .sum();
+        jobs + self.policy.node_idle_estimate_w * self.idle.len() as f64
+    }
+
+    /// Change the system power budget at runtime (demand-response events,
+    /// corridor renegotiation). If the new budget no longer covers committed
+    /// reservations, `response` decides how load is shed; a later call with
+    /// a looser budget resumes paused jobs and relaxes caps.
+    pub fn set_system_budget(&mut self, budget_w: Option<f64>, response: EmergencyResponse) {
+        self.policy.system_budget_w = budget_w;
+        self.trace.record(
+            self.now,
+            "rm",
+            "budget_change",
+            budget_w.unwrap_or(f64::NAN),
+            format!("{response:?}"),
+        );
+        let Some(budget) = budget_w else {
+            self.resume_paused();
+            return;
+        };
+        match response {
+            EmergencyResponse::PauseJobs => {
+                // Suspend newest-first until the commitment fits.
+                while self.reserved_w() > budget {
+                    let Some(victim) = self
+                        .running
+                        .iter_mut()
+                        .filter(|j| j.paused.is_none())
+                        .max_by_key(|j| j.start)
+                    else {
+                        break;
+                    };
+                    victim.paused = Some(victim.reservation_w);
+                    let id = victim.spec.id;
+                    self.trace.record(
+                        self.now,
+                        "rm",
+                        "job_pause",
+                        id.0 as f64,
+                        format!("{id} paused by power emergency"),
+                    );
+                }
+                self.resume_paused();
+            }
+            EmergencyResponse::TightenCaps => {
+                let idle_w = self.policy.node_idle_estimate_w
+                    * (self.idle.len()
+                        + self
+                            .running
+                            .iter()
+                            .filter(|j| j.paused.is_some())
+                            .map(|j| j.nodes.len())
+                            .sum::<usize>()) as f64;
+                let busy_nodes: usize = self
+                    .running
+                    .iter()
+                    .filter(|j| j.paused.is_none())
+                    .map(|j| j.nodes.len())
+                    .sum();
+                if busy_nodes == 0 {
+                    return;
+                }
+                let per_node = ((budget - idle_w) / busy_nodes as f64)
+                    .max(self.policy.node_idle_estimate_w + 20.0);
+                let now = self.now;
+                for job in self.running.iter_mut().filter(|j| j.paused.is_none()) {
+                    job.reservation_w = per_node * job.nodes.len() as f64;
+                    job.budget_w = Some(job.reservation_w);
+                    for nm in job.nodes.iter_mut() {
+                        nm.set_power_limit(now, per_node, SimDuration::from_millis(10));
+                    }
+                    // A budget-consuming runtime would reassert its old caps
+                    // at its next control tick; renegotiate through the
+                    // endpoint so the tightened budget sticks.
+                    if let Some(ep) = &job.endpoint {
+                        ep.send(PolicyUpdate {
+                            policy: GeopmPolicy::PowerBalancer {
+                                job_budget_w: job.reservation_w,
+                            },
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Resume paused jobs (oldest first) while the budget allows.
+    fn resume_paused(&mut self) {
+        loop {
+            let budget = self.policy.system_budget_w;
+            // Find the oldest paused job whose reservation now fits.
+            let reserved = self.reserved_w();
+            let candidate = self
+                .running
+                .iter_mut()
+                .filter(|j| j.paused.is_some())
+                .min_by_key(|j| j.start);
+            let Some(job) = candidate else { break };
+            let resume_res = job.paused.expect("paused");
+            let idle_equiv = self.policy.node_idle_estimate_w * job.nodes.len() as f64;
+            let fits = match budget {
+                None => true,
+                Some(b) => reserved - idle_equiv + resume_res <= b,
+            };
+            if !fits {
+                break;
+            }
+            job.reservation_w = resume_res;
+            job.paused = None;
+            let id = job.spec.id;
+            self.trace.record(
+                self.now,
+                "rm",
+                "job_resume",
+                id.0 as f64,
+                format!("{id} resumed"),
+            );
+        }
+    }
+
+    /// Try to admit `spec` right now. Returns `(nodes, reservation, budget)`.
+    ///
+    /// Power-aware moldable sizing: when the preferred (largest) node count
+    /// fails power admission, smaller legal counts are tried — the RM trades
+    /// width for watts rather than leaving the job queued (§3.1.1: "how many
+    /// nodes ... which nodes" are power decisions, not just placement).
+    fn try_admit(&mut self, spec: &JobSpec) -> Option<(usize, f64, Option<f64>)> {
+        let largest = spec.fit_nodes(self.idle.len())?;
+        let rule = spec.app.node_rule();
+        let candidates = (spec.min_nodes..=largest)
+            .rev()
+            .filter(|&n| rule.allows(n));
+        for n in candidates {
+            if let Some(rb) = self.admit_power_check(n) {
+                return Some((n, rb.0, rb.1));
+            }
+        }
+        None
+    }
+
+    /// Power admission for a prospective `n`-node launch.
+    fn admit_power_check(&self, n: usize) -> Option<(f64, Option<f64>)> {
+        // Power admission: nodes move from idle draw to job reservation.
+        let headroom = match self.policy.system_budget_w {
+            None => f64::INFINITY,
+            Some(budget) => {
+                budget - self.reserved_w() + self.policy.node_idle_estimate_w * n as f64
+            }
+        };
+        let peak = self.policy.node_peak_estimate_w * n as f64;
+        match self.policy.assignment {
+            PowerAssignment::Unconstrained => {
+                if peak > headroom {
+                    return None;
+                }
+                Some((peak, None))
+            }
+            PowerAssignment::PerNodeCap(w) => {
+                let r = w * n as f64;
+                if r > headroom {
+                    return None;
+                }
+                Some((r, Some(r)))
+            }
+            PowerAssignment::FairShare => {
+                // Equal watts per allocated node across the whole system; the
+                // admission triggers a re-division over running jobs (§3.1.1
+                // dynamic interaction: "how much power to reassign to a
+                // running job").
+                let budget = self
+                    .policy
+                    .system_budget_w
+                    .expect("FairShare requires a system budget");
+                let busy: usize = self.running.iter().map(|j| j.nodes.len()).sum();
+                let idle_after = self.idle.len() - n;
+                let available = budget - self.policy.node_idle_estimate_w * idle_after as f64;
+                let per_node = (available / (busy + n) as f64).min(self.policy.node_peak_estimate_w);
+                if per_node < self.min_viable_node_w {
+                    return None;
+                }
+                let r = per_node * n as f64;
+                Some((r, Some(r)))
+            }
+        }
+    }
+
+    /// Re-divide the system budget equally per allocated node and push the
+    /// new budgets to running jobs (out-of-band caps for agentless jobs).
+    fn rebalance_fair_share(&mut self) {
+        let Some(budget) = self.policy.system_budget_w else {
+            return;
+        };
+        let busy: usize = self.running.iter().map(|j| j.nodes.len()).sum();
+        if busy == 0 {
+            return;
+        }
+        let available = budget - self.policy.node_idle_estimate_w * self.idle.len() as f64;
+        let per_node = (available / busy as f64)
+            .min(self.policy.node_peak_estimate_w)
+            .max(self.min_viable_node_w);
+        let now = self.now;
+        for job in &mut self.running {
+            let n = job.nodes.len();
+            job.reservation_w = per_node * n as f64;
+            job.budget_w = Some(job.reservation_w);
+            if matches!(job.spec.agent, crate::spec::AgentKind::None) {
+                for nm in job.nodes.iter_mut() {
+                    nm.set_power_limit(now, per_node, SimDuration::from_millis(10));
+                }
+            }
+        }
+    }
+
+    fn launch(&mut self, spec: JobSpec, n: usize, reservation_w: f64, budget_w: Option<f64>) {
+        // Node selection: order the idle pool so the preferred nodes sit at
+        // the tail (which `split_off` hands to the job).
+        match self.selection {
+            NodeSelection::Arbitrary => {}
+            NodeSelection::CoolestFirst => {
+                self.idle.sort_by(|a, b| {
+                    let ta = a.read(Signal::MaxTemperatureC);
+                    let tb = b.read(Signal::MaxTemperatureC);
+                    tb.partial_cmp(&ta).expect("finite temperatures")
+                });
+            }
+            NodeSelection::MostEfficientFirst => {
+                self.idle.sort_by(|a, b| {
+                    let pa = a.read(Signal::NodePowerWatts);
+                    let pb = b.read(Signal::NodePowerWatts);
+                    pb.partial_cmp(&pa).expect("finite power")
+                });
+            }
+        }
+        let split_at = self.idle.len() - n;
+        let nodes: Vec<NodeManager> = self.idle.split_off(split_at);
+        let workload = spec.app.workload(n);
+        let job_seeds = self.seeds.subtree(&format!("job-{}", spec.id.0));
+        let runner = JobRunner::new(&workload, n, &self.mpi, &job_seeds, ArbiterMode::Gated);
+        let mut nodes = nodes;
+        // Out-of-band enforcement when the job has no power-aware runtime:
+        // the RM caps the nodes directly (paper Table 1, system layer:
+        // "Out-of-band power and/or energy controls").
+        if let (Some(w), crate::spec::AgentKind::None) = (budget_w, &spec.agent) {
+            let per_node = w / n as f64;
+            for nm in nodes.iter_mut() {
+                nm.set_power_limit(self.now, per_node, SimDuration::from_millis(10));
+            }
+        }
+        let (agents, endpoint) = spec.agent.make_agents_with_endpoint(budget_w, n);
+        let start_energy_j: f64 = nodes.iter().map(|nm| nm.read(Signal::NodeEnergyJoules)).sum();
+        self.trace.record(
+            self.now,
+            "rm",
+            "job_start",
+            spec.id.0 as f64,
+            format!(
+                "{} on {} nodes, reservation {:.0} W, budget {:?}",
+                spec.id, n, reservation_w, budget_w
+            ),
+        );
+        self.running.push(RunningJob {
+            spec,
+            nodes,
+            runner,
+            agents,
+            start: self.now,
+            start_energy_j,
+            reservation_w,
+            budget_w,
+            paused: None,
+            endpoint,
+            last_sample: (0.0, start_energy_j),
+            efficiency_ema: None,
+        });
+        if matches!(self.policy.assignment, PowerAssignment::FairShare) {
+            self.rebalance_fair_share();
+        }
+    }
+
+    /// Estimated completion time of a running job from progress so far.
+    fn estimated_end(&self, job: &RunningJob) -> SimTime {
+        let p = job.runner.progress_fraction();
+        let elapsed = self.now.since(job.start).as_secs_f64();
+        if p <= 1e-6 {
+            // No information yet; guess generously.
+            return self.now + SimDuration::from_secs(3600);
+        }
+        let total = elapsed / p;
+        job.start + SimDuration::from_secs_f64(total.max(elapsed))
+    }
+
+    /// Whether `spec` could ever be admitted, even on a fully idle system
+    /// (any legal node count within the mold range counts).
+    fn feasible(&self, spec: &JobSpec) -> bool {
+        let Some(largest) = spec.fit_nodes(self.total_nodes) else {
+            return false;
+        };
+        let Some(budget) = self.policy.system_budget_w else {
+            return true;
+        };
+        let rule = spec.app.node_rule();
+        (spec.min_nodes..=largest)
+            .filter(|&n| rule.allows(n))
+            .any(|n| {
+                let idle_rest =
+                    self.policy.node_idle_estimate_w * (self.total_nodes - n) as f64;
+                let headroom = budget - idle_rest;
+                match self.policy.assignment {
+                    PowerAssignment::Unconstrained => {
+                        self.policy.node_peak_estimate_w * n as f64 <= headroom
+                    }
+                    PowerAssignment::PerNodeCap(w) => w * n as f64 <= headroom,
+                    PowerAssignment::FairShare => {
+                        self.min_viable_node_w * n as f64 <= headroom
+                    }
+                }
+            })
+    }
+
+    /// Run the scheduling pass: resume paused jobs, FCFS head, then EASY
+    /// backfill.
+    fn schedule(&mut self) {
+        self.resume_paused();
+        // Launch from the head while it fits; reject jobs that can never run
+        // (too wide for the machine or power-infeasible under the policy).
+        while let Some(head) = self.queue.front() {
+            if head.submit > self.now {
+                break;
+            }
+            let head = head.clone();
+            if !self.feasible(&head) {
+                self.queue.pop_front();
+                self.rejected.push(head.id);
+                self.trace.record(
+                    self.now,
+                    "rm",
+                    "job_reject",
+                    head.id.0 as f64,
+                    format!("{} infeasible under policy", head.id),
+                );
+                continue;
+            }
+            match self.try_admit(&head) {
+                Some((n, r, b)) => {
+                    self.queue.pop_front();
+                    self.launch(head, n, r, b);
+                }
+                None => break,
+            }
+        }
+        if !self.backfill || self.queue.is_empty() {
+            return;
+        }
+        // EASY backfill: jobs behind the head may start now if they are
+        // projected to finish before the head's earliest possible start.
+        let head_ready = self
+            .queue
+            .front()
+            .map(|h| h.submit <= self.now)
+            .unwrap_or(false);
+        if !head_ready {
+            return;
+        }
+        // Head's earliest start ≈ when enough running jobs have finished.
+        let head = self.queue.front().expect("nonempty").clone();
+        let mut avail = self.idle.len();
+        let mut shadow = SimTime::MAX;
+        for (job, end) in self
+            .running
+            .iter()
+            .map(|j| (j, self.estimated_end(j)))
+            .collect::<Vec<_>>()
+        {
+            if head.fit_nodes(avail).is_some() {
+                break;
+            }
+            avail += job.nodes.len();
+            shadow = end;
+        }
+        if head.fit_nodes(self.idle.len()).is_some() {
+            return; // head only blocked on power; skip backfill this pass
+        }
+        let mut i = 1; // skip the head
+        while i < self.queue.len() {
+            let cand = self.queue[i].clone();
+            if cand.submit > self.now {
+                i += 1;
+                continue;
+            }
+            // Conservative completion estimate for an unstarted job: derive
+            // from its workload at reference speed with 50% margin.
+            let est = {
+                let n = cand.fit_nodes(self.idle.len());
+                match n {
+                    Some(n) => {
+                        let w = cand.app.workload(n).total_work();
+                        self.now + SimDuration::from_secs_f64(w * 1.5)
+                    }
+                    None => SimTime::MAX,
+                }
+            };
+            if est <= shadow {
+                if let Some((n, r, b)) = self.try_admit(&cand) {
+                    self.queue.remove(i);
+                    self.trace.record(
+                        self.now,
+                        "rm",
+                        "backfill",
+                        cand.id.0 as f64,
+                        format!("{}", cand.id),
+                    );
+                    self.launch(cand, n, r, b);
+                    continue;
+                }
+            }
+            i += 1;
+        }
+    }
+
+    /// Measure per-job efficiency and push renegotiated budgets through the
+    /// GEOPM endpoints (the §3.1.4 downward translation, live).
+    fn dynamic_reassign(&mut self) {
+        let Some(budget) = self.policy.system_budget_w else {
+            return;
+        };
+        // Update efficiency EMAs from (work, energy) deltas.
+        for job in self.running.iter_mut().filter(|j| j.paused.is_none()) {
+            let work = job.runner.work_done_total();
+            let energy: f64 = job
+                .nodes
+                .iter()
+                .map(|nm| nm.read(Signal::NodeEnergyJoules))
+                .sum();
+            let (w0, e0) = job.last_sample;
+            job.last_sample = (work, energy);
+            let (dw, de) = (work - w0, energy - e0);
+            if de > 1e-6 && dw >= 0.0 {
+                let eff = dw / de;
+                job.efficiency_ema = Some(match job.efficiency_ema {
+                    Some(prev) => 0.6 * prev + 0.4 * eff,
+                    None => eff,
+                });
+            }
+        }
+        // Re-divide over endpoint-carrying jobs with known efficiency.
+        let idle_w = self.policy.node_idle_estimate_w * self.idle.len() as f64;
+        let fixed: f64 = self
+            .running
+            .iter()
+            .map(|j| match (&j.endpoint, j.efficiency_ema, j.paused) {
+                (Some(_), Some(_), None) => 0.0,
+                _ if j.paused.is_some() => {
+                    self.policy.node_idle_estimate_w * j.nodes.len() as f64
+                }
+                _ => j.reservation_w,
+            })
+            .sum();
+        let divisible = budget - idle_w - fixed;
+        let weights: Vec<(usize, f64)> = self
+            .running
+            .iter()
+            .enumerate()
+            .filter_map(|(i, j)| match (&j.endpoint, j.efficiency_ema, j.paused) {
+                (Some(_), Some(eff), None) => {
+                    Some((i, j.nodes.len() as f64 * eff.max(1e-12)))
+                }
+                _ => None,
+            })
+            .collect();
+        let total_weight: f64 = weights.iter().map(|(_, w)| w).sum();
+        if weights.is_empty() || total_weight <= 0.0 || divisible <= 0.0 {
+            return;
+        }
+        let now = self.now;
+        for (i, w) in weights {
+            let job = &mut self.running[i];
+            let share = (divisible * w / total_weight)
+                .max(balancer_floor_w(job.nodes.len()));
+            job.reservation_w = share;
+            job.budget_w = Some(share);
+            let ep = job.endpoint.as_ref().expect("endpoint-carrying");
+            ep.send(PolicyUpdate {
+                policy: GeopmPolicy::PowerBalancer { job_budget_w: share },
+            });
+            self.trace.record(
+                now,
+                "rm",
+                "power_reassign",
+                share,
+                format!("{} budget -> {share:.0} W", job.spec.id),
+            );
+        }
+    }
+
+    /// Advance the whole system by `quantum`.
+    pub fn step(&mut self, quantum: SimDuration) {
+        self.schedule();
+        if let Some(period) = self.reassign_period {
+            if self.now >= self.next_reassign {
+                self.dynamic_reassign();
+                self.next_reassign = self.now + period;
+            }
+        }
+        let end = self.now + quantum;
+        // Advance running jobs (paused jobs idle their nodes instead).
+        for job in &mut self.running {
+            if job.paused.is_some() {
+                for nm in job.nodes.iter_mut() {
+                    nm.step_idle(self.now, quantum);
+                }
+                continue;
+            }
+            let mut agent_refs: Vec<&mut dyn RuntimeAgent> = job
+                .agents
+                .iter_mut()
+                .map(|b| b.as_mut() as &mut dyn RuntimeAgent)
+                .collect();
+            let reached = job.runner.advance(self.now, end, &mut job.nodes, &mut agent_refs);
+            // Nodes idle out the remainder of the quantum after completion.
+            if job.runner.is_complete() && reached < end {
+                let mut t = reached;
+                for nm in job.nodes.iter_mut() {
+                    nm.step_idle(t, end.since(t));
+                }
+                t = end;
+                let _ = t;
+            }
+            self.allocated_node_seconds +=
+                job.nodes.len() as f64 * quantum.as_secs_f64();
+        }
+        // Advance idle nodes.
+        for nm in &mut self.idle {
+            nm.step_idle(self.now, quantum);
+        }
+        self.now = end;
+        // Collect completions.
+        let mut i = 0;
+        while i < self.running.len() {
+            if self.running[i].runner.is_complete() {
+                let job = self.running.remove(i);
+                let energy_now: f64 = job
+                    .nodes
+                    .iter()
+                    .map(|nm| nm.read(Signal::NodeEnergyJoules))
+                    .sum();
+                let end_time = job.runner.completed_at().expect("complete");
+                self.trace.record(
+                    end_time,
+                    "rm",
+                    "job_end",
+                    job.spec.id.0 as f64,
+                    format!("{}", job.spec.id),
+                );
+                self.records.push(JobRecord {
+                    id: job.spec.id,
+                    submit: job.spec.submit,
+                    start: job.start,
+                    end: end_time,
+                    nodes: job.nodes.len(),
+                    power_budget_w: job.budget_w,
+                    energy_j: energy_now - job.start_energy_j,
+                    work: job
+                        .runner
+                        .result(&job.nodes)
+                        .map(|r| r.total_work)
+                        .unwrap_or(0.0),
+                });
+                // Return nodes with all knobs at defaults (agents restored
+                // their own, but RM-applied caps and any leftovers must go).
+                for mut nm in job.nodes {
+                    nm.reset_all_knobs();
+                    self.idle.push(nm);
+                }
+            } else {
+                i += 1;
+            }
+        }
+        // Post-completion scheduling so freed nodes are reused promptly.
+        self.schedule();
+    }
+
+    /// Run until all submitted jobs complete or `horizon` passes.
+    pub fn run_until_drained(&mut self, quantum: SimDuration, horizon: SimTime) {
+        while (!self.queue.is_empty() || !self.running.is_empty()) && self.now < horizon {
+            self.step(quantum);
+        }
+    }
+
+    /// Aggregate metrics at the current time.
+    pub fn metrics(&self) -> SchedulerMetrics {
+        let hours = self.now.as_secs_f64() / 3600.0;
+        let completed = self.records.len();
+        let mean_wait_s = if completed == 0 {
+            0.0
+        } else {
+            self.records
+                .iter()
+                .map(|r| r.wait().as_secs_f64())
+                .sum::<f64>()
+                / completed as f64
+        };
+        let capacity = self.total_nodes as f64 * self.now.as_secs_f64();
+        SchedulerMetrics {
+            completed,
+            jobs_per_hour: if hours > 0.0 {
+                completed as f64 / hours
+            } else {
+                0.0
+            },
+            mean_wait_s,
+            utilization: if capacity > 0.0 {
+                self.allocated_node_seconds / capacity
+            } else {
+                0.0
+            },
+            system_energy_j: self.system_energy_j(),
+            mean_system_power_w: if self.now.as_secs_f64() > 0.0 {
+                self.system_energy_j() / self.now.as_secs_f64()
+            } else {
+                0.0
+            },
+            total_work: self.records.iter().map(|r| r.work).sum(),
+        }
+    }
+}
+
+/// Per-job power floor for balancer budgets (`Geopm::MIN_NODE_CAP_W` per node).
+fn balancer_floor_w(n_nodes: usize) -> f64 {
+    pstack_runtime::Geopm::MIN_NODE_CAP_W * n_nodes as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    
+    use pstack_apps::synthetic::{Profile, SyntheticApp};
+    use pstack_hwmodel::{NodeConfig, VariationModel};
+    use std::sync::Arc;
+
+    fn sched(n_nodes: usize, policy: SystemPowerPolicy) -> Scheduler {
+        let seeds = SeedTree::new(42);
+        let nodes = NodeManager::fleet(
+            n_nodes,
+            NodeConfig::server_default(),
+            &VariationModel::none(),
+            &seeds,
+        );
+        Scheduler::new(nodes, policy, seeds.subtree("sched"))
+    }
+
+    fn small_job(id: u64, nodes: usize, submit_s: u64) -> JobSpec {
+        JobSpec::rigid(
+            id,
+            Arc::new(SyntheticApp::new(Profile::ComputeHeavy, 20.0, 10)),
+            nodes,
+            SimTime::from_secs(submit_s),
+        )
+    }
+
+    #[test]
+    fn runs_single_job_to_completion() {
+        let mut s = sched(4, SystemPowerPolicy::unlimited());
+        s.submit(small_job(1, 2, 0));
+        s.run_until_drained(SimDuration::from_secs(1), SimTime::from_secs(600));
+        assert_eq!(s.records().len(), 1);
+        let r = &s.records()[0];
+        assert_eq!(r.nodes, 2);
+        assert!(r.runtime().as_secs_f64() > 5.0);
+        assert!(r.energy_j > 0.0);
+        assert_eq!(s.running(), 0);
+        assert_eq!(s.queued(), 0);
+    }
+
+    #[test]
+    fn fcfs_order_without_contention() {
+        let mut s = sched(8, SystemPowerPolicy::unlimited());
+        for id in 1..=4 {
+            s.submit(small_job(id, 2, 0));
+        }
+        s.run_until_drained(SimDuration::from_secs(1), SimTime::from_secs(3600));
+        assert_eq!(s.records().len(), 4);
+        // All fit simultaneously: starts within the first quantum.
+        for r in s.records() {
+            assert!(r.wait().as_secs_f64() <= 1.0, "{:?}", r);
+        }
+    }
+
+    #[test]
+    fn node_contention_queues_jobs() {
+        let mut s = sched(2, SystemPowerPolicy::unlimited());
+        s.submit(small_job(1, 2, 0));
+        s.submit(small_job(2, 2, 0));
+        s.run_until_drained(SimDuration::from_secs(1), SimTime::from_secs(3600));
+        assert_eq!(s.records().len(), 2);
+        let r2 = s.records().iter().find(|r| r.id == JobId(2)).unwrap();
+        assert!(
+            r2.wait().as_secs_f64() > 5.0,
+            "second job must wait: {:?}",
+            r2
+        );
+    }
+
+    #[test]
+    fn power_budget_limits_concurrency() {
+        // 8 nodes available, but power for only ~2 at peak (450 W each):
+        // 2×450 + 6×130 idle = 1680.
+        let policy = SystemPowerPolicy::budgeted(1700.0, PowerAssignment::Unconstrained);
+        let mut s = sched(8, policy);
+        for id in 1..=4 {
+            s.submit(small_job(id, 1, 0));
+        }
+        s.step(SimDuration::from_secs(1));
+        assert!(
+            s.running() <= 2,
+            "power admission must throttle: {} running",
+            s.running()
+        );
+        s.run_until_drained(SimDuration::from_secs(1), SimTime::from_secs(3600));
+        assert_eq!(s.records().len(), 4);
+    }
+
+    #[test]
+    fn fair_share_admits_more_jobs_at_lower_power() {
+        // Same tight budget, but FairShare capping lets more jobs in.
+        let tight = 8.0 * 250.0;
+        let uncon = {
+            let mut s = sched(8, SystemPowerPolicy::budgeted(tight, PowerAssignment::Unconstrained));
+            for id in 1..=8 {
+                s.submit(small_job(id, 1, 0));
+            }
+            s.step(SimDuration::from_secs(1));
+            s.running()
+        };
+        let fair = {
+            let mut s = sched(8, SystemPowerPolicy::budgeted(tight, PowerAssignment::FairShare));
+            for id in 1..=8 {
+                s.submit(small_job(id, 1, 0));
+            }
+            s.step(SimDuration::from_secs(1));
+            s.running()
+        };
+        assert!(
+            fair > uncon,
+            "fair-share admits more: {fair} vs {uncon}"
+        );
+    }
+
+    #[test]
+    fn per_node_cap_is_enforced_out_of_band() {
+        let policy = SystemPowerPolicy::budgeted(10_000.0, PowerAssignment::PerNodeCap(280.0));
+        let mut s = sched(2, policy);
+        s.submit(small_job(1, 2, 0));
+        s.run_until_drained(SimDuration::from_secs(1), SimTime::from_secs(3600));
+        let r = &s.records()[0];
+        let mean_node_w = r.energy_j / r.runtime().as_secs_f64() / r.nodes as f64;
+        assert!(
+            mean_node_w < 280.0 * 1.10,
+            "node caps must bind: {mean_node_w} W/node"
+        );
+    }
+
+    #[test]
+    fn backfill_improves_short_job_wait() {
+        // Head job needs 4 nodes (never available until the long job ends);
+        // a 1-node short job behind it should backfill.
+        let long = JobSpec::rigid(
+            1,
+            Arc::new(SyntheticApp::new(Profile::ComputeHeavy, 120.0, 10)),
+            3,
+            SimTime::ZERO,
+        );
+        let wide = JobSpec::rigid(
+            2,
+            Arc::new(SyntheticApp::new(Profile::ComputeHeavy, 20.0, 10)),
+            4,
+            SimTime::ZERO,
+        );
+        let short = JobSpec::rigid(
+            3,
+            Arc::new(SyntheticApp::new(Profile::ComputeHeavy, 5.0, 5)),
+            1,
+            SimTime::ZERO,
+        );
+        let run = |backfill: bool| {
+            let mut s = sched(4, SystemPowerPolicy::unlimited());
+            if !backfill {
+                s = s.without_backfill();
+            }
+            s.submit(long.clone());
+            s.submit(wide.clone());
+            s.submit(short.clone());
+            s.run_until_drained(SimDuration::from_secs(1), SimTime::from_secs(3600));
+            s.records()
+                .iter()
+                .find(|r| r.id == JobId(3))
+                .unwrap()
+                .wait()
+                .as_secs_f64()
+        };
+        let with_bf = run(true);
+        let without_bf = run(false);
+        assert!(
+            with_bf < without_bf,
+            "backfill should cut the short job's wait: {with_bf} vs {without_bf}"
+        );
+    }
+
+    #[test]
+    fn moldable_job_takes_what_is_free() {
+        let mut s = sched(6, SystemPowerPolicy::unlimited());
+        let j = JobSpec::moldable(
+            1,
+            Arc::new(SyntheticApp::new(Profile::ComputeHeavy, 20.0, 10)),
+            2,
+            16,
+            SimTime::ZERO,
+        );
+        s.submit(j);
+        s.run_until_drained(SimDuration::from_secs(1), SimTime::from_secs(3600));
+        assert_eq!(s.records()[0].nodes, 6);
+    }
+
+    #[test]
+    fn metrics_accounting() {
+        let mut s = sched(4, SystemPowerPolicy::unlimited());
+        s.submit(small_job(1, 2, 0));
+        s.submit(small_job(2, 2, 0));
+        s.run_until_drained(SimDuration::from_secs(1), SimTime::from_secs(3600));
+        let m = s.metrics();
+        assert_eq!(m.completed, 2);
+        assert!(m.jobs_per_hour > 0.0);
+        assert!(m.utilization > 0.0 && m.utilization <= 1.0);
+        assert!(m.system_energy_j > 0.0);
+        assert!(m.total_work > 0.0);
+        // Trace has matching start/end events.
+        assert_eq!(s.trace().of_kind("job_start").count(), 2);
+        assert_eq!(s.trace().of_kind("job_end").count(), 2);
+    }
+
+    #[test]
+    fn budget_drop_pauses_and_restores_resumes() {
+        // Two 1-node jobs under a loose budget; the budget then collapses so
+        // only one job's reservation fits.
+        let policy = SystemPowerPolicy::budgeted(2000.0, PowerAssignment::Unconstrained);
+        let mut s = sched(2, policy);
+        s.submit(small_job(1, 1, 0));
+        s.submit(small_job(2, 1, 0));
+        s.step(SimDuration::from_secs(1));
+        assert_eq!(s.running(), 2);
+        // Emergency: 700 W covers one peak job (450) + nothing else at peak.
+        s.set_system_budget(Some(700.0), EmergencyResponse::PauseJobs);
+        assert_eq!(s.trace().of_kind("job_pause").count(), 1);
+        // Paused jobs make no progress: run a while, only one job finishes.
+        for _ in 0..120 {
+            s.step(SimDuration::from_secs(1));
+            if s.records().len() == 1 {
+                break;
+            }
+        }
+        assert_eq!(s.records().len(), 1, "exactly one job proceeds while paused");
+        // Restore the budget: the paused job resumes and completes.
+        s.set_system_budget(Some(2000.0), EmergencyResponse::PauseJobs);
+        assert!(s.trace().of_kind("job_resume").count() >= 1);
+        s.run_until_drained(SimDuration::from_secs(1), SimTime::from_secs(3600));
+        assert_eq!(s.records().len(), 2);
+    }
+
+    #[test]
+    fn budget_drop_with_cap_tightening_keeps_all_running() {
+        let policy = SystemPowerPolicy::budgeted(2000.0, PowerAssignment::Unconstrained);
+        let mut s = sched(2, policy);
+        s.submit(small_job(1, 1, 0));
+        s.submit(small_job(2, 1, 0));
+        s.step(SimDuration::from_secs(1));
+        assert_eq!(s.running(), 2);
+        s.set_system_budget(Some(700.0), EmergencyResponse::TightenCaps);
+        assert_eq!(s.trace().of_kind("job_pause").count(), 0);
+        // Both jobs keep running (slower) and the system respects the budget.
+        let e0 = s.system_energy_j();
+        let t0 = s.now();
+        for _ in 0..30 {
+            s.step(SimDuration::from_secs(1));
+        }
+        let avg = (s.system_energy_j() - e0) / s.now().since(t0).as_secs_f64();
+        assert!(avg <= 700.0 * 1.10, "tightened system draws {avg} W");
+        s.run_until_drained(SimDuration::from_secs(1), SimTime::from_secs(7200));
+        assert_eq!(s.records().len(), 2);
+    }
+
+    #[test]
+    fn coolest_first_selection_picks_cool_nodes() {
+        use pstack_hwmodel::VariationModel;
+        let seeds = SeedTree::new(31);
+        // Gradient 22..40 °C across 6 nodes; a 2-node job should land on the
+        // coolest pair (node ids 0 and 1).
+        let nodes = NodeManager::fleet_with_thermal_gradient(
+            6,
+            NodeConfig::server_default(),
+            &VariationModel::none(),
+            &seeds,
+            22.0,
+            40.0,
+        );
+        let mut s = Scheduler::new(nodes, SystemPowerPolicy::unlimited(), seeds.subtree("s"))
+            .with_node_selection(NodeSelection::CoolestFirst);
+        s.submit(small_job(1, 2, 0));
+        s.run_until_drained(SimDuration::from_secs(1), SimTime::from_secs(3600));
+        assert_eq!(s.records().len(), 1);
+        // The remaining idle pool must hold the four hottest nodes.
+        let mut idle_temps: Vec<f64> = s
+            .idle_temperatures()
+            .into_iter()
+            .collect();
+        idle_temps.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!(
+            idle_temps[0] > 24.0,
+            "coolest nodes (22.0, 25.6 °C ambient) went to the job: {idle_temps:?}"
+        );
+    }
+
+    #[test]
+    fn dynamic_reassignment_steers_watts_to_efficient_jobs() {
+        use crate::spec::AgentKind;
+        use pstack_runtime::GeopmPolicy;
+        // Two 2-node balancer jobs under a tight budget: one compute-bound
+        // (converts watts to work), one memory-bound (saturates).
+        let budget = 4.0 * 300.0 + 0.0;
+        let policy = SystemPowerPolicy::budgeted(budget, PowerAssignment::FairShare);
+        let mut s = sched(4, policy).with_dynamic_power_reassignment(SimDuration::from_secs(5));
+        let balancer = AgentKind::Geopm(GeopmPolicy::PowerBalancer { job_budget_w: 1.0 });
+        s.submit(
+            JobSpec::rigid(
+                1,
+                Arc::new(SyntheticApp::new(Profile::ComputeHeavy, 60.0, 20)),
+                2,
+                SimTime::ZERO,
+            )
+            .with_agent(balancer.clone()),
+        );
+        s.submit(
+            JobSpec::rigid(
+                2,
+                Arc::new(SyntheticApp::new(Profile::MemoryHeavy, 60.0, 20)),
+                2,
+                SimTime::ZERO,
+            )
+            .with_agent(balancer),
+        );
+        s.run_until_drained(SimDuration::from_secs(1), SimTime::from_secs(3600));
+        assert_eq!(s.records().len(), 2);
+        // Reassignments happened and eventually favored the compute job.
+        let reassigns: Vec<_> = s.trace().of_kind("power_reassign").collect();
+        assert!(reassigns.len() >= 2, "reassignment events: {}", reassigns.len());
+        let last_job1 = reassigns
+            .iter()
+            .rev()
+            .find(|e| e.detail.starts_with("job1"))
+            .expect("job1 reassigned");
+        let last_job2 = reassigns
+            .iter()
+            .rev()
+            .find(|e| e.detail.starts_with("job2"))
+            .expect("job2 reassigned");
+        assert!(
+            last_job1.value > last_job2.value,
+            "compute job should end with the larger budget: {} vs {}",
+            last_job1.value,
+            last_job2.value
+        );
+    }
+
+    #[test]
+    fn cancellation_frees_resources() {
+        let mut s = sched(2, SystemPowerPolicy::unlimited());
+        s.submit(small_job(1, 2, 0));
+        s.submit(small_job(2, 2, 0));
+        s.step(SimDuration::from_secs(1));
+        assert_eq!(s.running(), 1);
+        assert_eq!(s.queued(), 1);
+        // Cancel the running job: the queued one takes its place.
+        assert!(s.cancel(JobId(1)));
+        s.step(SimDuration::from_secs(1));
+        assert_eq!(s.running(), 1);
+        assert_eq!(s.queued(), 0);
+        s.run_until_drained(SimDuration::from_secs(1), SimTime::from_secs(3600));
+        assert_eq!(s.records().len(), 1, "only job 2 completes");
+        assert_eq!(s.records()[0].id, JobId(2));
+        // Cancelling an unknown job reports false.
+        assert!(!s.cancel(JobId(99)));
+        // Cancelling a queued job drops it silently.
+        let mut s2 = sched(2, SystemPowerPolicy::unlimited());
+        s2.submit(small_job(1, 2, 0));
+        s2.submit(small_job(2, 2, 0));
+        s2.step(SimDuration::from_secs(1));
+        assert!(s2.cancel(JobId(2)));
+        s2.run_until_drained(SimDuration::from_secs(1), SimTime::from_secs(3600));
+        assert_eq!(s2.records().len(), 1);
+    }
+
+    #[test]
+    fn cancelled_job_leaves_no_knob_residue() {
+        use crate::spec::AgentKind;
+        use pstack_runtime::CountdownMode;
+        // A COUNTDOWN job lowers frequency via the MPI override; cancelling
+        // mid-run must not leak that state to the next tenant of the nodes.
+        let mut s = sched(2, SystemPowerPolicy::unlimited());
+        s.submit(
+            JobSpec::rigid(
+                1,
+                Arc::new(SyntheticApp::new(Profile::CommHeavy, 60.0, 30)),
+                2,
+                SimTime::ZERO,
+            )
+            .with_agent(AgentKind::Countdown(CountdownMode::WaitAndCopy)),
+        );
+        for _ in 0..5 {
+            s.step(SimDuration::from_secs(1));
+        }
+        assert!(s.cancel(JobId(1)));
+        // Returned nodes: no cap, no freq limit, no override, top uncore,
+        // full duty (observable via the signal surface + a probe step).
+        s.submit(small_job(2, 2, 0));
+        s.run_until_drained(SimDuration::from_secs(1), SimTime::from_secs(3600));
+        let r = s.records().iter().find(|r| r.id == JobId(2)).unwrap();
+        // A residue-free compute job at full tilt draws well above 350 W/node.
+        let mean_node_w = r.energy_j / r.runtime().as_secs_f64() / r.nodes as f64;
+        assert!(
+            mean_node_w > 350.0,
+            "knob residue suppressed the next job: {mean_node_w} W/node"
+        );
+    }
+
+    #[test]
+    fn future_submissions_wait_for_their_time() {
+        let mut s = sched(4, SystemPowerPolicy::unlimited());
+        s.submit(small_job(1, 1, 100));
+        s.step(SimDuration::from_secs(1));
+        assert_eq!(s.running(), 0, "job must not start before submit time");
+        s.run_until_drained(SimDuration::from_secs(1), SimTime::from_secs(3600));
+        assert!(s.records()[0].start >= SimTime::from_secs(100));
+    }
+}

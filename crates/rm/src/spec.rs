@@ -1,0 +1,226 @@
+//! Job specifications.
+
+use pstack_apps::workload::AppModel;
+use pstack_runtime::geopm::Endpoint;
+use pstack_runtime::{
+    Conductor, Countdown, CountdownMode, Geopm, GeopmPolicy, Meric, RuntimeAgent,
+};
+use pstack_sim::SimTime;
+use std::fmt;
+use std::sync::Arc;
+
+/// Job identifier assigned at submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobId(pub u64);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job{}", self.0)
+    }
+}
+
+/// Which job-level runtime system the RM attaches at launch — the RM-side
+/// half of the §3.1.1 static interaction ("which binary dependencies to pick
+/// given the situation on the cluster").
+#[derive(Debug, Clone, PartialEq)]
+pub enum AgentKind {
+    /// No runtime: raw execution.
+    None,
+    /// COUNTDOWN at the given aggressiveness (§3.2.6: the RM selects it).
+    Countdown(CountdownMode),
+    /// GEOPM with a launch policy (§3.2.2). The job's power budget substitutes
+    /// into `PowerGovernor`/`PowerBalancer` watts when the RM assigns one.
+    Geopm(GeopmPolicy),
+    /// Conductor under the job power budget assigned by the RM (§3.2.1).
+    Conductor,
+    /// MERIC per-region tuning (§3.2.4).
+    Meric,
+}
+
+impl AgentKind {
+    /// Instantiate the runtime agents for a job given the RM-assigned job
+    /// power budget (if any) and the node count the job launches on.
+    pub fn make_agents(
+        &self,
+        job_budget_w: Option<f64>,
+        n_nodes: usize,
+    ) -> Vec<Box<dyn RuntimeAgent>> {
+        self.make_agents_with_endpoint(job_budget_w, n_nodes).0
+    }
+
+    /// Like [`AgentKind::make_agents`], but also returns the GEOPM endpoint
+    /// handle when the runtime has one — the RM keeps it for dynamic policy
+    /// renegotiation (§3.2.2 "Interfaces to system-level agents").
+    pub fn make_agents_with_endpoint(
+        &self,
+        job_budget_w: Option<f64>,
+        n_nodes: usize,
+    ) -> (Vec<Box<dyn RuntimeAgent>>, Option<Endpoint>) {
+        assert!(n_nodes >= 1);
+        match self {
+            AgentKind::None => (vec![], None),
+            AgentKind::Countdown(mode) => (vec![Box::new(Countdown::new(*mode))], None),
+            AgentKind::Geopm(policy) => {
+                // An RM-assigned budget overrides the policy's watts.
+                let policy = match (policy.clone(), job_budget_w) {
+                    (GeopmPolicy::PowerBalancer { .. }, Some(w)) => {
+                        GeopmPolicy::PowerBalancer { job_budget_w: w }
+                    }
+                    (GeopmPolicy::PowerGovernor { .. }, Some(w)) => GeopmPolicy::PowerGovernor {
+                        node_cap_w: w / n_nodes as f64,
+                    },
+                    (p, _) => p,
+                };
+                let geopm = Geopm::new(policy);
+                let endpoint = geopm.endpoint();
+                (vec![Box::new(geopm)], Some(endpoint))
+            }
+            AgentKind::Conductor => {
+                let budget = job_budget_w.unwrap_or(f64::INFINITY);
+                let budget = if budget.is_finite() { budget } else { 1e9 };
+                (
+                    vec![Box::new(Conductor::new(
+                        pstack_runtime::conductor::ConductorConfig::with_budget(budget),
+                    ))],
+                    None,
+                )
+            }
+            AgentKind::Meric => (vec![Box::new(Meric::new())], None),
+        }
+    }
+}
+
+/// A job submission.
+#[derive(Clone)]
+pub struct JobSpec {
+    /// Identifier.
+    pub id: JobId,
+    /// The application to run.
+    pub app: Arc<dyn AppModel + Send + Sync>,
+    /// Minimum acceptable node count (moldability lower bound).
+    pub min_nodes: usize,
+    /// Maximum useful node count (moldability upper bound).
+    pub max_nodes: usize,
+    /// Submission time.
+    pub submit: SimTime,
+    /// The runtime system the RM attaches at launch.
+    pub agent: AgentKind,
+}
+
+impl fmt::Debug for JobSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JobSpec")
+            .field("id", &self.id)
+            .field("app", &self.app.name())
+            .field("min_nodes", &self.min_nodes)
+            .field("max_nodes", &self.max_nodes)
+            .field("submit", &self.submit)
+            .field("agent", &self.agent)
+            .finish()
+    }
+}
+
+impl JobSpec {
+    /// Build a rigid (non-moldable) job.
+    pub fn rigid(
+        id: u64,
+        app: Arc<dyn AppModel + Send + Sync>,
+        nodes: usize,
+        submit: SimTime,
+    ) -> Self {
+        assert!(nodes >= 1);
+        JobSpec {
+            id: JobId(id),
+            app,
+            min_nodes: nodes,
+            max_nodes: nodes,
+            submit,
+            agent: AgentKind::None,
+        }
+    }
+
+    /// Build a moldable job accepting `min..=max` nodes.
+    pub fn moldable(
+        id: u64,
+        app: Arc<dyn AppModel + Send + Sync>,
+        min_nodes: usize,
+        max_nodes: usize,
+        submit: SimTime,
+    ) -> Self {
+        assert!(min_nodes >= 1 && max_nodes >= min_nodes, "bad mold range");
+        JobSpec {
+            id: JobId(id),
+            app,
+            min_nodes,
+            max_nodes,
+            submit,
+            agent: AgentKind::None,
+        }
+    }
+
+    /// Attach a runtime system.
+    pub fn with_agent(mut self, agent: AgentKind) -> Self {
+        self.agent = agent;
+        self
+    }
+
+    /// Largest node count ≤ `avail` that is legal for the app and within the
+    /// mold range; `None` if even `min_nodes` does not fit.
+    pub fn fit_nodes(&self, avail: usize) -> Option<usize> {
+        let upper = self.max_nodes.min(avail);
+        if upper < self.min_nodes {
+            return None;
+        }
+        let rule = self.app.node_rule();
+        (self.min_nodes..=upper).rev().find(|&n| rule.allows(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pstack_apps::synthetic::{Profile, SyntheticApp};
+    use pstack_apps::Lulesh;
+
+    fn app() -> Arc<dyn AppModel + Send + Sync> {
+        Arc::new(SyntheticApp::new(Profile::Mixed, 10.0, 5))
+    }
+
+    #[test]
+    fn rigid_fit() {
+        let j = JobSpec::rigid(1, app(), 4, SimTime::ZERO);
+        assert_eq!(j.fit_nodes(8), Some(4));
+        assert_eq!(j.fit_nodes(3), None);
+    }
+
+    #[test]
+    fn moldable_fit_prefers_largest() {
+        let j = JobSpec::moldable(1, app(), 2, 16, SimTime::ZERO);
+        assert_eq!(j.fit_nodes(10), Some(10));
+        assert_eq!(j.fit_nodes(100), Some(16));
+        assert_eq!(j.fit_nodes(1), None);
+    }
+
+    #[test]
+    fn fit_respects_app_rule() {
+        let j = JobSpec::moldable(1, Arc::new(Lulesh::medium()), 1, 30, SimTime::ZERO);
+        assert_eq!(j.fit_nodes(30), Some(27), "cubic rule");
+        assert_eq!(j.fit_nodes(7), Some(1));
+    }
+
+    #[test]
+    fn agent_kind_instantiation() {
+        assert!(AgentKind::None.make_agents(None, 1).is_empty());
+        assert_eq!(
+            AgentKind::Countdown(CountdownMode::WaitOnly)
+                .make_agents(None, 1)
+                .len(),
+            1
+        );
+        let agents = AgentKind::Geopm(GeopmPolicy::PowerBalancer { job_budget_w: 1.0 })
+            .make_agents(Some(2000.0), 4);
+        assert_eq!(agents.len(), 1);
+        assert_eq!(AgentKind::Conductor.make_agents(Some(1000.0), 2).len(), 1);
+        assert_eq!(AgentKind::Meric.make_agents(None, 1).len(), 1);
+    }
+}

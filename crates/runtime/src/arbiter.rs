@@ -1,0 +1,120 @@
+//! Knob-ownership arbitration between co-resident runtimes (§3.2.7).
+//!
+//! The paper's COUNTDOWN+MERIC use case requires "a communication layer ...
+//! which guarantees that both tools keep the system's knowledge of which tool
+//! is in charge and what the current and future hardware settings are,
+//! without creating a conflict". The [`Arbiter`] is that layer: each hardware
+//! knob kind has at most one owner; writes from non-owners are rejected.
+//! The `Naive` mode disables the guarantee so experiments can quantify what
+//! conflicts cost (the use case's motivating failure mode).
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+use crate::agent::KnobKind;
+
+/// Agent identifier within one job (index into the agent list).
+pub type AgentId = usize;
+
+/// Arbitration policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ArbiterMode {
+    /// First claim wins; non-owners' writes are rejected.
+    Gated,
+    /// No arbitration: every write goes through (conflict study mode).
+    Naive,
+}
+
+/// The knob-ownership ledger.
+#[derive(Debug, Clone)]
+pub struct Arbiter {
+    mode: ArbiterMode,
+    owners: HashMap<KnobKind, AgentId>,
+}
+
+impl Arbiter {
+    /// Create an arbiter in the given mode.
+    pub fn new(mode: ArbiterMode) -> Self {
+        Arbiter {
+            mode,
+            owners: HashMap::new(),
+        }
+    }
+
+    /// The arbitration mode.
+    pub fn mode(&self) -> ArbiterMode {
+        self.mode
+    }
+
+    /// Claim `knob` for `agent`. Returns `true` if the claim holds afterwards
+    /// (fresh claim or already owned by the same agent).
+    pub fn claim(&mut self, agent: AgentId, knob: KnobKind) -> bool {
+        match self.owners.get(&knob) {
+            Some(&owner) => owner == agent,
+            None => {
+                self.owners.insert(knob, agent);
+                true
+            }
+        }
+    }
+
+    /// Whether `agent` may write `knob` right now.
+    pub fn allows(&self, agent: AgentId, knob: KnobKind) -> bool {
+        match self.mode {
+            ArbiterMode::Naive => true,
+            ArbiterMode::Gated => match self.owners.get(&knob) {
+                Some(&owner) => owner == agent,
+                // Unclaimed knobs are writable (implicitly claimed on write
+                // by JobRunner registration, which claims up front).
+                None => true,
+            },
+        }
+    }
+
+    /// The current owner of `knob`, if claimed.
+    pub fn owner(&self, knob: KnobKind) -> Option<AgentId> {
+        self.owners.get(&knob).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_claim_wins() {
+        let mut a = Arbiter::new(ArbiterMode::Gated);
+        assert!(a.claim(0, KnobKind::CoreFreq));
+        assert!(!a.claim(1, KnobKind::CoreFreq));
+        assert!(a.claim(0, KnobKind::CoreFreq), "re-claim by owner ok");
+        assert_eq!(a.owner(KnobKind::CoreFreq), Some(0));
+    }
+
+    #[test]
+    fn gated_blocks_non_owner() {
+        let mut a = Arbiter::new(ArbiterMode::Gated);
+        a.claim(0, KnobKind::CoreFreq);
+        assert!(a.allows(0, KnobKind::CoreFreq));
+        assert!(!a.allows(1, KnobKind::CoreFreq));
+        // Unclaimed knobs writable by anyone.
+        assert!(a.allows(1, KnobKind::Uncore));
+    }
+
+    #[test]
+    fn naive_allows_everything() {
+        let mut a = Arbiter::new(ArbiterMode::Naive);
+        a.claim(0, KnobKind::CoreFreq);
+        assert!(a.allows(1, KnobKind::CoreFreq));
+    }
+
+    #[test]
+    fn distinct_knobs_distinct_owners() {
+        let mut a = Arbiter::new(ArbiterMode::Gated);
+        assert!(a.claim(0, KnobKind::CoreFreq));
+        assert!(a.claim(1, KnobKind::Uncore));
+        assert!(a.allows(0, KnobKind::CoreFreq));
+        assert!(a.allows(1, KnobKind::Uncore));
+        assert!(!a.allows(1, KnobKind::CoreFreq));
+        assert!(!a.allows(0, KnobKind::Uncore));
+    }
+}

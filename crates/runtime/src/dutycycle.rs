@@ -1,0 +1,220 @@
+//! Adaptive duty-cycle runtime (clock modulation).
+//!
+//! The paper's Table 1 lists "Clock modulation" among the node-layer
+//! parameters, and cites Bhalachandra et al.'s duty-cycle work (IPDPSW'15,
+//! IPDPS'17): ranks that persistently arrive early at collectives can run at
+//! a reduced duty cycle — they finish just in time instead of early, at
+//! lower power — while laggards keep full throughle. Duty-cycle modulation
+//! acts in ~1 µs (vs ~10 µs+ for DVFS) and composes with any frequency
+//! setting, so it claims its own knob in the arbitration layer.
+//!
+//! The controller: an EMA of each node's barrier-wait *rate*; nodes whose
+//! smoothed slack exceeds `engage_threshold` step their duty cycle down one
+//! level per control period; nodes below `release_threshold` step back up.
+
+use crate::agent::{ArbitratedNodes, JobTelemetry, KnobKind, RuntimeAgent};
+use pstack_hwmodel::DutyCycle;
+use pstack_sim::{SimDuration, SimTime};
+
+/// The adaptive duty-cycle agent.
+#[derive(Debug)]
+pub struct DutyCycleAdapter {
+    /// Smoothed per-node wait rate (seconds of slack per second).
+    slack_ema: Vec<f64>,
+    last_wait_s: Vec<f64>,
+    last_time: Option<SimTime>,
+    /// Current duty level per node, sixteenths.
+    level: Vec<u8>,
+    /// Lowest duty level the adapter will reach.
+    min_level: u8,
+    /// Level changes applied (for reports).
+    adjustments: usize,
+}
+
+impl DutyCycleAdapter {
+    /// Defaults: consume 70% of smoothed slack, floor at 10/16 duty.
+    pub fn new() -> Self {
+        DutyCycleAdapter {
+            slack_ema: Vec::new(),
+            last_wait_s: Vec::new(),
+            last_time: None,
+            level: Vec::new(),
+            min_level: 10,
+            adjustments: 0,
+        }
+    }
+
+    /// Duty-level changes applied so far.
+    pub fn adjustments(&self) -> usize {
+        self.adjustments
+    }
+}
+
+impl Default for DutyCycleAdapter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RuntimeAgent for DutyCycleAdapter {
+    fn name(&self) -> &str {
+        "duty-cycle-adapter"
+    }
+
+    fn knobs(&self) -> Vec<KnobKind> {
+        vec![KnobKind::Duty]
+    }
+
+    fn control_period(&self) -> SimDuration {
+        SimDuration::from_millis(250)
+    }
+
+    fn on_job_start(&mut self, ctl: &mut ArbitratedNodes<'_>) {
+        let n = ctl.n_nodes();
+        self.slack_ema = vec![0.0; n];
+        self.last_wait_s = vec![0.0; n];
+        self.level = vec![16; n];
+        self.last_time = None;
+    }
+
+    fn on_control(
+        &mut self,
+        now: SimTime,
+        telemetry: &JobTelemetry,
+        ctl: &mut ArbitratedNodes<'_>,
+    ) {
+        let Some(last) = self.last_time else {
+            self.last_time = Some(now);
+            self.last_wait_s = telemetry.node_wait_s.clone();
+            return;
+        };
+        let dt = now.since(last).as_secs_f64();
+        self.last_time = Some(now);
+        if dt <= 0.0 {
+            return;
+        }
+        let alpha = 0.3;
+        for i in 0..ctl.n_nodes() {
+            let slack = (telemetry.node_wait_s[i] - self.last_wait_s[i]).max(0.0) / dt;
+            self.last_wait_s[i] = telemetry.node_wait_s[i];
+            self.slack_ema[i] = (1.0 - alpha) * self.slack_ema[i] + alpha * slack;
+            // Proportional control: consume at most 70% of the observed
+            // slack, so an over-estimate never turns this node into the
+            // straggler. One duty level is 1/16 = 6.25% of throughput, so
+            // modulation only engages once smoothed slack clears ~9%.
+            let consumable = 0.7 * self.slack_ema[i];
+            let desired = ((1.0 - consumable) * 16.0).ceil() as u8;
+            let desired = desired.clamp(self.min_level, 16);
+            let lvl = &mut self.level[i];
+            if desired != *lvl {
+                // Move one level per period toward the target (downward);
+                // release upward immediately (latency matters when demand
+                // returns).
+                let next = if desired < *lvl { *lvl - 1 } else { desired };
+                *lvl = next;
+                if ctl.set_duty(i, DutyCycle::new(*lvl)) {
+                    self.adjustments += 1;
+                }
+            }
+        }
+    }
+
+    fn on_job_end(&mut self, ctl: &mut ArbitratedNodes<'_>) {
+        for i in 0..ctl.n_nodes() {
+            ctl.set_duty(i, DutyCycle::FULL);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbiter::ArbiterMode;
+    use crate::exec::{JobResult, JobRunner};
+    use pstack_apps::synthetic::{Profile, SyntheticApp};
+    use pstack_apps::workload::AppModel;
+    use pstack_apps::MpiModel;
+    use pstack_hwmodel::{NodeConfig, VariationModel};
+    use pstack_node::NodeManager;
+    use pstack_sim::SeedTree;
+
+    fn run(with_adapter: bool, seed: u64) -> (JobResult, usize) {
+        // Variation + imbalance create persistent early-arrivers.
+        let app = SyntheticApp::new(Profile::ComputeHeavy, 30.0, 25);
+        let n = 4;
+        let seeds = SeedTree::new(seed);
+        let mut nodes = NodeManager::fleet(
+            n,
+            NodeConfig::server_default(),
+            &VariationModel::typical(),
+            &seeds,
+        );
+        let mut runner = JobRunner::new(
+            &app.workload(n),
+            n,
+            &MpiModel::typical(),
+            &seeds.subtree("job"),
+            ArbiterMode::Gated,
+        );
+        let mut adapter = DutyCycleAdapter::new();
+        let r = if with_adapter {
+            let mut agents: Vec<&mut dyn RuntimeAgent> = vec![&mut adapter];
+            runner.run_to_completion(SimTime::ZERO, &mut nodes, &mut agents)
+        } else {
+            runner.run_to_completion(SimTime::ZERO, &mut nodes, &mut [])
+        };
+        (r, adapter.adjustments())
+    }
+
+    #[test]
+    fn engages_on_imbalanced_job_and_saves_energy() {
+        let (base, _) = run(false, 7);
+        let (adapted, adjustments) = run(true, 7);
+        assert!(adjustments > 0, "slack must trigger modulation");
+        assert!(
+            adapted.energy_j < base.energy_j,
+            "duty modulation saves energy: {} vs {}",
+            adapted.energy_j,
+            base.energy_j
+        );
+        let slowdown = adapted.makespan.as_secs_f64() / base.makespan.as_secs_f64();
+        assert!(
+            slowdown < 1.04,
+            "early-arrivers slowed into their slack only: {slowdown}"
+        );
+    }
+
+    #[test]
+    fn composes_with_countdown_frequency_control() {
+        // Different knobs → both claims succeed under the gated arbiter.
+        let app = SyntheticApp::new(Profile::CommHeavy, 15.0, 15);
+        let n = 2;
+        let seeds = SeedTree::new(9);
+        let mut nodes = NodeManager::fleet(
+            n,
+            NodeConfig::server_default(),
+            &VariationModel::typical(),
+            &seeds,
+        );
+        let mut runner = JobRunner::new(
+            &app.workload(n),
+            n,
+            &MpiModel::comm_heavy(),
+            &seeds.subtree("job"),
+            ArbiterMode::Gated,
+        );
+        let mut adapter = DutyCycleAdapter::new();
+        let mut countdown = crate::Countdown::new(crate::CountdownMode::WaitAndCopy);
+        let mut agents: Vec<&mut dyn RuntimeAgent> = vec![&mut countdown, &mut adapter];
+        let r = runner.run_to_completion(SimTime::ZERO, &mut nodes, &mut agents);
+        drop(agents);
+        assert!(r.energy_j > 0.0);
+        // Both tools kept their knobs.
+        assert_eq!(
+            runner.arbiter().owner(KnobKind::Duty),
+            Some(1),
+            "adapter owns duty"
+        );
+        assert!(runner.arbiter().owner(KnobKind::MpiFreqOverride).is_some());
+    }
+}

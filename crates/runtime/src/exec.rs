@@ -1,0 +1,623 @@
+//! Job execution: co-simulating an application across its nodes.
+//!
+//! [`JobRunner`] owns per-node [`WorkloadCursor`]s over the application's
+//! phase sequence (imbalance-scaled per node), advances them against the
+//! node hardware with MPI barrier semantics — every rank must finish phase
+//! *j* before any enters *j+1*; early finishers spin in communication wait —
+//! and fires [`RuntimeAgent`] hooks at region entries and control intervals.
+//!
+//! The runner micro-steps adaptively: each sub-step ends at the earliest of
+//! (a) the next phase completion on any node, (b) the next agent control
+//! tick, or (c) the caller's horizon. This keeps phase accounting exact even
+//! when application phases are much shorter than the caller's quantum.
+
+use crate::agent::{ArbitratedNodes, JobTelemetry, RuntimeAgent, BARRIER_REGION};
+use crate::arbiter::{Arbiter, ArbiterMode};
+use pstack_apps::workload::{Phase, Workload};
+use pstack_apps::MpiModel;
+use pstack_hwmodel::{PhaseKind, PhaseMix};
+use pstack_node::{NodeManager, Signal, WorkloadCursor};
+use pstack_sim::{SeedTree, SimDuration, SimTime};
+
+/// Summary of a completed job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobResult {
+    /// Wall-clock duration from start to completion.
+    pub makespan: SimDuration,
+    /// Total energy consumed by the job's nodes during the job, joules.
+    pub energy_j: f64,
+    /// Mean job power (energy / makespan), watts.
+    pub avg_power_w: f64,
+    /// Total application work completed.
+    pub total_work: f64,
+    /// Per-node seconds spent in barrier wait (the slack runtimes exploit).
+    pub node_wait_s: Vec<f64>,
+}
+
+impl JobResult {
+    /// Energy-delay product, J·s.
+    pub fn edp(&self) -> f64 {
+        self.energy_j * self.makespan.as_secs_f64()
+    }
+
+    /// Mean barrier-wait fraction across nodes.
+    pub fn mean_wait_fraction(&self) -> f64 {
+        let span = self.makespan.as_secs_f64();
+        if span <= 0.0 {
+            return 0.0;
+        }
+        self.node_wait_s.iter().sum::<f64>() / (span * self.node_wait_s.len() as f64)
+    }
+}
+
+/// The per-job execution driver.
+///
+/// # Example
+///
+/// ```
+/// use pstack_apps::synthetic::{Profile, SyntheticApp};
+/// use pstack_apps::workload::AppModel;
+/// use pstack_apps::MpiModel;
+/// use pstack_hwmodel::{Node, NodeConfig, NodeId};
+/// use pstack_node::NodeManager;
+/// use pstack_runtime::{ArbiterMode, JobRunner};
+/// use pstack_sim::{SeedTree, SimTime};
+///
+/// let app = SyntheticApp::new(Profile::ComputeHeavy, 5.0, 5);
+/// let mut nodes: Vec<NodeManager> = (0..2)
+///     .map(|i| NodeManager::new(Node::nominal(NodeId(i), NodeConfig::server_default())))
+///     .collect();
+/// let seeds = SeedTree::new(1);
+/// let mut runner = JobRunner::new(
+///     &app.workload(2), 2, &MpiModel::typical(), &seeds, ArbiterMode::Gated,
+/// );
+/// let result = runner.run_to_completion(SimTime::ZERO, &mut nodes, &mut []);
+/// assert!(result.makespan.as_secs_f64() > 0.0);
+/// assert!(result.energy_j > 0.0);
+/// ```
+pub struct JobRunner {
+    cursors: Vec<WorkloadCursor>,
+    cores_per_node: usize,
+    wait_mix: PhaseMix,
+    arbiter: Arbiter,
+    /// Whether region-entry hooks fired for each node's current region.
+    region_fired: Vec<bool>,
+    started: Option<SimTime>,
+    completed_at: Option<SimTime>,
+    start_energy: Vec<f64>,
+    wait_s: Vec<f64>,
+    work_done: Vec<f64>,
+    next_control: Vec<SimTime>,
+    /// Upper bound on one micro-step. Keeps the RAPL cap controllers and
+    /// thermal integration responsive inside long application phases.
+    max_substep: SimDuration,
+}
+
+impl JobRunner {
+    /// Build a runner for `workload` replicated across `n_nodes` nodes with
+    /// per-phase load imbalance drawn from `mpi` under `seeds`.
+    ///
+    /// Communication-dominant phases are not imbalance-scaled (their duration
+    /// is synchronization, not local work).
+    pub fn new(
+        workload: &Workload,
+        n_nodes: usize,
+        mpi: &MpiModel,
+        seeds: &SeedTree,
+        arbiter_mode: ArbiterMode,
+    ) -> Self {
+        assert!(n_nodes >= 1, "job needs at least one node");
+        let mut per_node: Vec<Vec<Phase>> = vec![Vec::with_capacity(workload.len()); n_nodes];
+        // Persistent decomposition imbalance (fixed per rank for the whole
+        // job) composes with transient per-phase noise. Communication phases
+        // are imbalanced too (message sizes and arrival times differ); early
+        // finishers spin in barrier wait — the slack COUNTDOWN's wait-only
+        // mode and the duty-cycle adapter target.
+        let persistent = mpi.persistent_factors(seeds, n_nodes);
+        for (j, phase) in workload.phases().iter().enumerate() {
+            let factors = mpi.imbalance_factors(seeds, j as u64, n_nodes);
+            for (i, f) in factors.iter().enumerate() {
+                per_node[i].push(Phase {
+                    region: phase.region.clone(),
+                    mix: phase.mix.clone(),
+                    work: phase.work * f * persistent[i],
+                });
+            }
+        }
+        let cursors = per_node
+            .into_iter()
+            .map(|phases| WorkloadCursor::new(Workload::from_phases(phases)))
+            .collect::<Vec<_>>();
+        JobRunner {
+            region_fired: vec![false; n_nodes],
+            start_energy: vec![0.0; n_nodes],
+            wait_s: vec![0.0; n_nodes],
+            work_done: vec![0.0; n_nodes],
+            next_control: Vec::new(),
+            cursors,
+            cores_per_node: usize::MAX, // set at start from node config
+            wait_mix: PhaseMix::pure(PhaseKind::CommBound),
+            arbiter: Arbiter::new(arbiter_mode),
+            started: None,
+            completed_at: None,
+            max_substep: SimDuration::from_millis(250),
+        }
+    }
+
+    /// Number of nodes this job runs on.
+    pub fn n_nodes(&self) -> usize {
+        self.cursors.len()
+    }
+
+    /// Whether every phase on every node has completed.
+    pub fn is_complete(&self) -> bool {
+        self.completed_at.is_some()
+    }
+
+    /// When the job completed, if it has.
+    pub fn completed_at(&self) -> Option<SimTime> {
+        self.completed_at
+    }
+
+    /// The knob-ownership arbiter (inspectable for tests).
+    pub fn arbiter(&self) -> &Arbiter {
+        &self.arbiter
+    }
+
+    /// Total application work completed so far across all nodes.
+    pub fn work_done_total(&self) -> f64 {
+        self.work_done.iter().sum()
+    }
+
+    /// Fraction of total work completed so far, in `[0, 1]`.
+    pub fn progress_fraction(&self) -> f64 {
+        let done: f64 = self.work_done.iter().sum();
+        let remaining: f64 = self.cursors.iter().map(|c| c.remaining_total()).sum();
+        if done + remaining <= 0.0 {
+            1.0
+        } else {
+            done / (done + remaining)
+        }
+    }
+
+    fn start(&mut self, now: SimTime, nodes: &mut [NodeManager], agents: &mut [&mut dyn RuntimeAgent]) {
+        self.started = Some(now);
+        self.cores_per_node = nodes
+            .first()
+            .map(|n| n.node().config().total_cores())
+            .unwrap_or(0);
+        for (i, n) in nodes.iter().enumerate() {
+            self.start_energy[i] = n.read(Signal::NodeEnergyJoules);
+        }
+        self.next_control = agents
+            .iter()
+            .map(|a| now + a.control_period())
+            .collect();
+        for (ai, agent) in agents.iter_mut().enumerate() {
+            for knob in agent.knobs() {
+                self.arbiter.claim(ai, knob);
+            }
+            let mut ctl = ArbitratedNodes::new(nodes, &self.arbiter, ai, now);
+            agent.on_job_start(&mut ctl);
+        }
+    }
+
+    fn telemetry(&self, now: SimTime, nodes: &[NodeManager]) -> JobTelemetry {
+        JobTelemetry {
+            now,
+            elapsed: now.since(self.started.expect("started")),
+            node_power_w: nodes.iter().map(|n| n.read(Signal::NodePowerWatts)).collect(),
+            node_progress: self.work_done.clone(),
+            node_wait_s: self.wait_s.clone(),
+            node_freq_ghz: nodes.iter().map(|n| n.read(Signal::CoreFreqGhz)).collect(),
+            node_energy_j: nodes
+                .iter()
+                .enumerate()
+                .map(|(i, n)| n.read(Signal::NodeEnergyJoules) - self.start_energy[i])
+                .collect(),
+            current_regions: self
+                .cursors
+                .iter()
+                .map(|c| {
+                    if c.is_complete() {
+                        None
+                    } else if c.at_barrier() {
+                        Some(BARRIER_REGION.to_string())
+                    } else {
+                        c.current_region().map(str::to_string)
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Advance the job from `now` toward `horizon`.
+    ///
+    /// Returns the simulated time actually reached: `horizon`, or earlier if
+    /// the job completed. `nodes` must be the same slice (same order) on
+    /// every call; `agents` likewise.
+    ///
+    /// # Panics
+    /// Panics if `horizon < now` or if node/cursor counts mismatch.
+    pub fn advance(
+        &mut self,
+        now: SimTime,
+        horizon: SimTime,
+        nodes: &mut [NodeManager],
+        agents: &mut [&mut dyn RuntimeAgent],
+    ) -> SimTime {
+        assert!(horizon >= now, "horizon before now");
+        assert_eq!(nodes.len(), self.cursors.len(), "node count mismatch");
+        if self.is_complete() {
+            return now;
+        }
+        if self.started.is_none() {
+            self.start(now, nodes, agents);
+        }
+        let mut t = now;
+        while t < horizon && !self.is_complete() {
+            self.fire_region_hooks(t, nodes, agents);
+
+            // Choose the sub-step.
+            let mut sub = horizon.since(t).min(self.max_substep);
+            for (i, c) in self.cursors.iter().enumerate() {
+                if c.is_complete() || c.at_barrier() {
+                    continue;
+                }
+                let mix = c.current_mix().expect("in phase").clone();
+                let rate = nodes[i].node().work_rate(&mix, self.cores_per_node);
+                if rate > 0.0 {
+                    let to_finish =
+                        SimDuration::from_secs_f64_ceil(c.remaining_in_phase() / rate);
+                    sub = sub.min(to_finish);
+                }
+            }
+            for &nc in &self.next_control {
+                if nc > t {
+                    sub = sub.min(nc.since(t));
+                }
+            }
+            if sub.is_zero() {
+                sub = SimDuration::from_micros(1);
+            }
+
+            // Step every node for the sub-interval.
+            for (i, c) in self.cursors.iter_mut().enumerate() {
+                if c.is_complete() {
+                    nodes[i].step_idle(t, sub);
+                    continue;
+                }
+                if c.at_barrier() {
+                    nodes[i].step(t, sub, &self.wait_mix.clone(), self.cores_per_node);
+                    self.wait_s[i] += sub.as_secs_f64();
+                    continue;
+                }
+                let mix = c.current_mix().expect("in phase").clone();
+                let rate = nodes[i].node().work_rate(&mix, self.cores_per_node);
+                nodes[i].step(t, sub, &mix, self.cores_per_node);
+                let adv = c.advance(rate, sub.as_secs_f64());
+                self.work_done[i] += adv.work_done;
+                if adv.phase_completed {
+                    // The tail of the sub-step beyond completion is wait,
+                    // and the node "enters" the barrier-wait pseudo-region —
+                    // the MPI_Wait interception point for runtimes.
+                    self.wait_s[i] += adv.leftover_fraction * sub.as_secs_f64();
+                    self.region_fired[i] = false;
+                }
+            }
+            t += sub;
+
+            // Barrier release: all live cursors waiting → everyone advances.
+            let all_at_barrier = self
+                .cursors
+                .iter()
+                .all(|c| c.is_complete() || c.at_barrier());
+            let any_live = self.cursors.iter().any(|c| !c.is_complete());
+            if all_at_barrier && any_live {
+                for (i, c) in self.cursors.iter_mut().enumerate() {
+                    if !c.is_complete() {
+                        c.enter_next_phase();
+                        self.region_fired[i] = false;
+                    }
+                }
+            }
+            if self.cursors.iter().all(|c| c.is_complete()) {
+                self.completed_at = Some(t);
+                for (ai, agent) in agents.iter_mut().enumerate() {
+                    let mut ctl = ArbitratedNodes::new(nodes, &self.arbiter, ai, t);
+                    agent.on_job_end(&mut ctl);
+                }
+                break;
+            }
+
+            // Control ticks.
+            for (ai, agent) in agents.iter_mut().enumerate() {
+                if self.next_control[ai] <= t {
+                    let telemetry = self.telemetry(t, nodes);
+                    let mut ctl = ArbitratedNodes::new(nodes, &self.arbiter, ai, t);
+                    agent.on_control(t, &telemetry, &mut ctl);
+                    self.next_control[ai] = t + agent.control_period();
+                }
+            }
+        }
+        t
+    }
+
+    fn fire_region_hooks(
+        &mut self,
+        t: SimTime,
+        nodes: &mut [NodeManager],
+        agents: &mut [&mut dyn RuntimeAgent],
+    ) {
+        for i in 0..self.cursors.len() {
+            if self.region_fired[i] || self.cursors[i].is_complete() {
+                continue;
+            }
+            let (region, mix) = if self.cursors[i].at_barrier() {
+                (BARRIER_REGION.to_string(), self.wait_mix.clone())
+            } else {
+                let p = self.cursors[i].current_phase().expect("in phase");
+                (p.region.clone(), p.mix.clone())
+            };
+            for (ai, agent) in agents.iter_mut().enumerate() {
+                let mut ctl = ArbitratedNodes::new(nodes, &self.arbiter, ai, t);
+                agent.on_region_enter(t, i, &region, &mix, &mut ctl);
+            }
+            self.region_fired[i] = true;
+        }
+    }
+
+    /// Run the job to completion with no horizon (convenience for tests,
+    /// examples, and single-job experiments).
+    pub fn run_to_completion(
+        &mut self,
+        start: SimTime,
+        nodes: &mut [NodeManager],
+        agents: &mut [&mut dyn RuntimeAgent],
+    ) -> JobResult {
+        let mut t = start;
+        while !self.is_complete() {
+            let next = self.advance(t, t + SimDuration::from_secs(60), nodes, agents);
+            assert!(
+                next > t || self.is_complete(),
+                "job made no progress in a 60 s quantum"
+            );
+            t = next;
+        }
+        self.result(nodes).expect("complete")
+    }
+
+    /// The job's result once complete; `None` while still running.
+    pub fn result(&self, nodes: &[NodeManager]) -> Option<JobResult> {
+        let end = self.completed_at?;
+        let start = self.started?;
+        let makespan = end.since(start);
+        let energy_j: f64 = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| n.read(Signal::NodeEnergyJoules) - self.start_energy[i])
+            .sum();
+        let span = makespan.as_secs_f64();
+        Some(JobResult {
+            makespan,
+            energy_j,
+            avg_power_w: if span > 0.0 { energy_j / span } else { 0.0 },
+            total_work: self.work_done.iter().sum(),
+            node_wait_s: self.wait_s.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pstack_apps::synthetic::{Profile, SyntheticApp};
+    use pstack_apps::workload::AppModel;
+    use pstack_hwmodel::{Node, NodeConfig, NodeId};
+
+    fn fleet(n: usize) -> Vec<NodeManager> {
+        (0..n)
+            .map(|i| NodeManager::new(Node::nominal(NodeId(i), NodeConfig::server_default())))
+            .collect()
+    }
+
+    fn run_app(app: &dyn AppModel, n_nodes: usize, seed: u64) -> JobResult {
+        let mut nodes = fleet(n_nodes);
+        let seeds = SeedTree::new(seed);
+        let mut runner = JobRunner::new(
+            &app.workload(n_nodes),
+            n_nodes,
+            &MpiModel::typical(),
+            &seeds,
+            ArbiterMode::Gated,
+        );
+        runner.run_to_completion(SimTime::ZERO, &mut nodes, &mut [])
+    }
+
+    #[test]
+    fn single_node_job_completes_with_expected_makespan() {
+        // 60 work units of compute at reference speed ≈ 60 s at 2.4 GHz;
+        // nodes default to 3.5 GHz so it should be meaningfully faster.
+        let app = SyntheticApp::new(Profile::ComputeHeavy, 60.0, 10);
+        let r = run_app(&app, 1, 1);
+        let secs = r.makespan.as_secs_f64();
+        assert!(
+            (30.0..60.0).contains(&secs),
+            "makespan {secs}s at turbo for 60 ref-seconds of compute"
+        );
+        assert!(r.energy_j > 0.0);
+        assert!(r.avg_power_w > 100.0);
+    }
+
+    #[test]
+    fn multi_node_job_has_barrier_wait() {
+        let app = SyntheticApp::new(Profile::ComputeHeavy, 30.0, 20);
+        let r = run_app(&app, 4, 2);
+        // Imbalance guarantees nonzero slack on the faster ranks.
+        assert!(
+            r.mean_wait_fraction() > 0.005,
+            "wait fraction {}",
+            r.mean_wait_fraction()
+        );
+        assert!(r.mean_wait_fraction() < 0.5);
+    }
+
+    #[test]
+    fn work_conservation() {
+        let app = SyntheticApp::new(Profile::Mixed, 20.0, 10);
+        let n = 2;
+        let mut nodes = fleet(n);
+        let seeds = SeedTree::new(3);
+        let w = app.workload(n);
+        let mut runner = JobRunner::new(&w, n, &MpiModel::typical(), &seeds, ArbiterMode::Gated);
+        let r = runner.run_to_completion(SimTime::ZERO, &mut nodes, &mut []);
+        // Total completed work ≈ sum of imbalance-scaled per-node workloads,
+        // which is within the imbalance spread of n × per-node work.
+        assert!(
+            (r.total_work - n as f64 * w.total_work()).abs() / (n as f64 * w.total_work()) < 0.1,
+            "work {} vs expected {}",
+            r.total_work,
+            n as f64 * w.total_work()
+        );
+        assert!(runner.is_complete());
+        assert!((runner.progress_fraction() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let app = SyntheticApp::new(Profile::Mixed, 15.0, 8);
+        let a = run_app(&app, 3, 7);
+        let b = run_app(&app, 3, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn horizon_is_respected() {
+        let app = SyntheticApp::new(Profile::ComputeHeavy, 600.0, 10);
+        let mut nodes = fleet(1);
+        let seeds = SeedTree::new(4);
+        let mut runner = JobRunner::new(
+            &app.workload(1),
+            1,
+            &MpiModel::typical(),
+            &seeds,
+            ArbiterMode::Gated,
+        );
+        let reached = runner.advance(
+            SimTime::ZERO,
+            SimTime::from_secs(10),
+            &mut nodes,
+            &mut [],
+        );
+        assert_eq!(reached, SimTime::from_secs(10));
+        assert!(!runner.is_complete());
+        let p = runner.progress_fraction();
+        assert!(p > 0.0 && p < 0.2, "progress {p}");
+    }
+
+    #[test]
+    fn region_hooks_fire_in_order() {
+        struct Recorder {
+            regions: Vec<String>,
+        }
+        impl RuntimeAgent for Recorder {
+            fn name(&self) -> &str {
+                "recorder"
+            }
+            fn knobs(&self) -> Vec<crate::agent::KnobKind> {
+                vec![]
+            }
+            fn on_region_enter(
+                &mut self,
+                _now: SimTime,
+                node: usize,
+                region: &str,
+                _mix: &PhaseMix,
+                _ctl: &mut ArbitratedNodes<'_>,
+            ) {
+                if node == 0 {
+                    self.regions.push(region.to_string());
+                }
+            }
+        }
+        let app = SyntheticApp::new(Profile::ComputeHeavy, 4.0, 2);
+        let mut nodes = fleet(1);
+        let seeds = SeedTree::new(5);
+        let mut runner = JobRunner::new(
+            &app.workload(1),
+            1,
+            &MpiModel::typical(),
+            &seeds,
+            ArbiterMode::Gated,
+        );
+        let mut rec = Recorder { regions: vec![] };
+        {
+            let mut agents: Vec<&mut dyn RuntimeAgent> = vec![&mut rec];
+            runner.run_to_completion(SimTime::ZERO, &mut nodes, &mut agents);
+        }
+        // 2 iterations × (dgemm_like, exchange); single node barriers release
+        // instantly so no barrier regions are observed between phases.
+        let non_barrier: Vec<&String> = rec
+            .regions
+            .iter()
+            .filter(|r| r.as_str() != BARRIER_REGION)
+            .collect();
+        assert_eq!(
+            non_barrier
+                .iter()
+                .map(|s| s.as_str())
+                .collect::<Vec<&str>>(),
+            vec!["dgemm_like", "exchange", "dgemm_like", "exchange"]
+        );
+    }
+
+    #[test]
+    fn control_hook_fires_periodically() {
+        struct Counter {
+            calls: usize,
+        }
+        impl RuntimeAgent for Counter {
+            fn name(&self) -> &str {
+                "counter"
+            }
+            fn knobs(&self) -> Vec<crate::agent::KnobKind> {
+                vec![]
+            }
+            fn control_period(&self) -> SimDuration {
+                SimDuration::from_secs(1)
+            }
+            fn on_control(
+                &mut self,
+                _now: SimTime,
+                telemetry: &JobTelemetry,
+                _ctl: &mut ArbitratedNodes<'_>,
+            ) {
+                assert!(telemetry.total_power_w() > 0.0);
+                self.calls += 1;
+            }
+        }
+        let app = SyntheticApp::new(Profile::ComputeHeavy, 30.0, 5);
+        let mut nodes = fleet(1);
+        let seeds = SeedTree::new(6);
+        let mut runner = JobRunner::new(
+            &app.workload(1),
+            1,
+            &MpiModel::typical(),
+            &seeds,
+            ArbiterMode::Gated,
+        );
+        let mut counter = Counter { calls: 0 };
+        let makespan;
+        {
+            let mut agents: Vec<&mut dyn RuntimeAgent> = vec![&mut counter];
+            let r = runner.run_to_completion(SimTime::ZERO, &mut nodes, &mut agents);
+            makespan = r.makespan.as_secs_f64();
+        }
+        let expected = makespan.floor() as usize;
+        assert!(
+            (counter.calls as i64 - expected as i64).abs() <= 2,
+            "{} control calls over {makespan}s",
+            counter.calls
+        );
+    }
+}

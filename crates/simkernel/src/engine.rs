@@ -1,0 +1,219 @@
+//! Generic event-loop driver.
+//!
+//! A [`Process`] is a state machine that reacts to its own event type and may
+//! schedule further events. The [`Engine`] owns the queue and drives the
+//! process until quiescence or a time horizon. Higher layers (resource manager,
+//! co-tuning orchestrators) implement `Process` and keep all mutable state in
+//! `self`, which sidesteps shared-ownership cycles entirely.
+
+use crate::event::{EventEntry, EventQueue};
+use crate::time::SimTime;
+
+/// Scheduling context handed to a [`Process`] on every event.
+pub struct Ctx<'a, E> {
+    queue: &'a mut EventQueue<E>,
+    stop: &'a mut bool,
+}
+
+impl<'a, E> Ctx<'a, E> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Schedule a follow-up event at absolute time `time`.
+    pub fn schedule(&mut self, time: SimTime, payload: E) -> crate::event::EventId {
+        self.queue.schedule(time, payload)
+    }
+
+    /// Cancel a pending event.
+    pub fn cancel(&mut self, id: crate::event::EventId) -> bool {
+        self.queue.cancel(id)
+    }
+
+    /// Request that the engine stop after this event is handled.
+    pub fn stop(&mut self) {
+        *self.stop = true;
+    }
+}
+
+/// A simulated state machine driven by events of type `E`.
+pub trait Process {
+    /// Event payload type.
+    type Event;
+
+    /// Called once before the first event; seed the queue here.
+    fn init(&mut self, ctx: &mut Ctx<'_, Self::Event>);
+
+    /// Handle one event.
+    fn handle(&mut self, event: EventEntry<Self::Event>, ctx: &mut Ctx<'_, Self::Event>);
+}
+
+/// Outcome of an engine run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The event queue drained.
+    Quiescent,
+    /// The time horizon was reached with events still pending.
+    HorizonReached,
+    /// The process requested a stop via [`Ctx::stop`].
+    Stopped,
+}
+
+/// Event-loop driver owning the queue.
+pub struct Engine<P: Process> {
+    queue: EventQueue<P::Event>,
+    process: P,
+}
+
+impl<P: Process> Engine<P> {
+    /// Wrap `process` with a fresh queue.
+    pub fn new(process: P) -> Self {
+        Engine {
+            queue: EventQueue::new(),
+            process,
+        }
+    }
+
+    /// Run until the queue drains, the process stops, or `horizon` is passed.
+    ///
+    /// Events stamped after `horizon` remain queued; the clock stops at the
+    /// last handled event.
+    pub fn run_until(&mut self, horizon: SimTime) -> RunOutcome {
+        let mut stop = false;
+        {
+            let mut ctx = Ctx {
+                queue: &mut self.queue,
+                stop: &mut stop,
+            };
+            self.process.init(&mut ctx);
+        }
+        if stop {
+            return RunOutcome::Stopped;
+        }
+        loop {
+            match self.queue.peek_time() {
+                None => return RunOutcome::Quiescent,
+                Some(t) if t > horizon => return RunOutcome::HorizonReached,
+                Some(_) => {}
+            }
+            let entry = self.queue.pop().expect("peeked event must pop");
+            let mut ctx = Ctx {
+                queue: &mut self.queue,
+                stop: &mut stop,
+            };
+            self.process.handle(entry, &mut ctx);
+            if stop {
+                return RunOutcome::Stopped;
+            }
+        }
+    }
+
+    /// Run until quiescence or stop, with no horizon.
+    pub fn run(&mut self) -> RunOutcome {
+        self.run_until(SimTime::MAX)
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Immutable access to the wrapped process (for result extraction).
+    pub fn process(&self) -> &P {
+        &self.process
+    }
+
+    /// Mutable access to the wrapped process.
+    pub fn process_mut(&mut self) -> &mut P {
+        &mut self.process
+    }
+
+    /// Consume the engine and return the process.
+    pub fn into_process(self) -> P {
+        self.process
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    /// Counts ticks at a fixed period until a limit.
+    struct Ticker {
+        period: SimDuration,
+        limit: u32,
+        ticks: u32,
+        stop_at: Option<u32>,
+    }
+
+    impl Process for Ticker {
+        type Event = ();
+
+        fn init(&mut self, ctx: &mut Ctx<'_, ()>) {
+            ctx.schedule(SimTime::ZERO + self.period, ());
+        }
+
+        fn handle(&mut self, event: EventEntry<()>, ctx: &mut Ctx<'_, ()>) {
+            self.ticks += 1;
+            if Some(self.ticks) == self.stop_at {
+                ctx.stop();
+                return;
+            }
+            if self.ticks < self.limit {
+                ctx.schedule(event.time + self.period, ());
+            }
+        }
+    }
+
+    #[test]
+    fn runs_to_quiescence() {
+        let mut eng = Engine::new(Ticker {
+            period: SimDuration::from_secs(1),
+            limit: 10,
+            ticks: 0,
+            stop_at: None,
+        });
+        assert_eq!(eng.run(), RunOutcome::Quiescent);
+        assert_eq!(eng.process().ticks, 10);
+        assert_eq!(eng.now(), SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn horizon_cuts_run_short() {
+        let mut eng = Engine::new(Ticker {
+            period: SimDuration::from_secs(1),
+            limit: 100,
+            ticks: 0,
+            stop_at: None,
+        });
+        assert_eq!(eng.run_until(SimTime::from_secs(5)), RunOutcome::HorizonReached);
+        assert_eq!(eng.process().ticks, 5);
+    }
+
+    #[test]
+    fn stop_request_honoured() {
+        let mut eng = Engine::new(Ticker {
+            period: SimDuration::from_secs(1),
+            limit: 100,
+            ticks: 0,
+            stop_at: Some(3),
+        });
+        assert_eq!(eng.run(), RunOutcome::Stopped);
+        assert_eq!(eng.process().ticks, 3);
+    }
+
+    #[test]
+    fn empty_process_is_quiescent() {
+        struct Idle;
+        impl Process for Idle {
+            type Event = ();
+            fn init(&mut self, _ctx: &mut Ctx<'_, ()>) {}
+            fn handle(&mut self, _e: EventEntry<()>, _ctx: &mut Ctx<'_, ()>) {}
+        }
+        let mut eng = Engine::new(Idle);
+        assert_eq!(eng.run(), RunOutcome::Quiescent);
+        assert_eq!(eng.now(), SimTime::ZERO);
+    }
+}

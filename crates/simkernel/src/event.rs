@@ -1,0 +1,258 @@
+//! Deterministic event queue.
+//!
+//! A binary-heap priority queue of `(SimTime, payload)` entries. Two entries at
+//! the same timestamp pop in insertion (FIFO) order, guaranteed by a
+//! monotonically increasing sequence number — this is what makes whole-cluster
+//! simulations bit-reproducible across runs.
+//!
+//! Events can be cancelled by [`EventId`]; cancellation is lazy (the entry is
+//! skipped when it reaches the top) which keeps both scheduling and
+//! cancellation O(log n) amortized.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::collections::HashSet;
+
+use crate::time::SimTime;
+
+/// Opaque handle identifying a scheduled event, usable to cancel it.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EventId(u64);
+
+/// A scheduled event, as returned by [`EventQueue::pop`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventEntry<E> {
+    /// The time at which the event fires.
+    pub time: SimTime,
+    /// The event identifier assigned at scheduling time.
+    pub id: EventId,
+    /// The event payload.
+    pub payload: E,
+}
+
+struct HeapEntry<E> {
+    time: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for HeapEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for HeapEntry<E> {}
+impl<E> PartialOrd for HeapEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for HeapEntry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Deterministic min-queue of timestamped events.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<HeapEntry<E>>,
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Create an empty queue with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The current simulated time (the timestamp of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `payload` to fire at absolute time `time`.
+    ///
+    /// # Panics
+    /// Panics if `time` is in the simulated past — scheduling backwards is
+    /// always a logic bug in the caller.
+    pub fn schedule(&mut self, time: SimTime, payload: E) -> EventId {
+        assert!(
+            time >= self.now,
+            "event scheduled in the past: {:?} < {:?}",
+            time,
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(HeapEntry { time, seq, payload });
+        EventId(seq)
+    }
+
+    /// Cancel a previously scheduled event. Returns `true` if the event was
+    /// still pending (i.e. had not fired and had not already been cancelled).
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_seq {
+            return false;
+        }
+        self.cancelled.insert(id.0)
+    }
+
+    /// Pop the earliest pending event, advancing the clock to its timestamp.
+    /// Returns `None` when the queue is exhausted.
+    pub fn pop(&mut self) -> Option<EventEntry<E>> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            self.now = entry.time;
+            return Some(EventEntry {
+                time: entry.time,
+                id: EventId(entry.seq),
+                payload: entry.payload,
+            });
+        }
+        None
+    }
+
+    /// Timestamp of the earliest pending (non-cancelled) event, if any.
+    ///
+    /// Does not advance the clock. O(k) in the number of cancelled entries at
+    /// the head, amortized O(1).
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(entry) = self.heap.peek() {
+            if self.cancelled.contains(&entry.seq) {
+                let seq = entry.seq;
+                self.heap.pop();
+                self.cancelled.remove(&seq);
+                continue;
+            }
+            return Some(entry.time);
+        }
+        None
+    }
+
+    /// Number of live (non-cancelled) pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len().saturating_sub(self.cancelled.len())
+    }
+
+    /// True if no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(3), "c");
+        q.schedule(SimTime::from_secs(1), "a");
+        q.schedule(SimTime::from_secs(2), "b");
+        assert_eq!(q.pop().unwrap().payload, "a");
+        assert_eq!(q.pop().unwrap().payload, "b");
+        assert_eq!(q.pop().unwrap().payload, "c");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn fifo_tie_break_at_same_time() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(5);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().payload, i);
+        }
+    }
+
+    #[test]
+    fn clock_advances_on_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(7), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_secs(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn scheduling_in_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(10), ());
+        q.pop();
+        q.schedule(SimTime::from_secs(5), ());
+    }
+
+    #[test]
+    fn cancellation_skips_event() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_secs(1), "a");
+        q.schedule(SimTime::from_secs(2), "b");
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double-cancel reports false");
+        assert_eq!(q.pop().unwrap().payload, "b");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_false() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(!q.cancel(EventId(42)));
+    }
+
+    #[test]
+    fn peek_respects_cancellation() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_secs(1), "a");
+        q.schedule(SimTime::from_secs(2), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(2)));
+        // peek must not advance the clock
+        assert_eq!(q.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn is_empty_accounts_for_cancellations() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_secs(1), ());
+        assert!(!q.is_empty());
+        q.cancel(a);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1), 1u32);
+        let e = q.pop().unwrap();
+        assert_eq!(e.payload, 1);
+        // Re-scheduling relative to current time works.
+        q.schedule(e.time + SimDuration::from_secs(1), 2u32);
+        q.schedule(e.time + SimDuration::from_millis(500), 3u32);
+        assert_eq!(q.pop().unwrap().payload, 3);
+        assert_eq!(q.pop().unwrap().payload, 2);
+    }
+}

@@ -1,0 +1,266 @@
+//! Simulated time.
+//!
+//! Time is an integer number of microseconds since simulation start. Integer
+//! time keeps event ordering exact and makes long-horizon simulations (days of
+//! simulated cluster uptime) immune to floating-point accumulation error.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// Absolute simulated time: microseconds since simulation start.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+/// A span of simulated time, in microseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+    /// The maximum representable time; used as an "infinitely far" sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Construct from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000)
+    }
+
+    /// Construct from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000)
+    }
+
+    /// Construct from whole microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us)
+    }
+
+    /// Time as fractional seconds (for reporting; never feed back into ordering).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Raw microsecond count.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Duration elapsed since `earlier`. Saturates at zero if `earlier` is later.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Checked addition of a duration.
+    pub fn checked_add(self, d: SimDuration) -> Option<SimTime> {
+        self.0.checked_add(d.0).map(SimTime)
+    }
+}
+
+impl SimDuration {
+    /// Zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Construct from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000)
+    }
+
+    /// Construct from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000)
+    }
+
+    /// Construct from whole microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us)
+    }
+
+    /// Construct from fractional seconds, rounding to the nearest microsecond.
+    ///
+    /// Negative or non-finite inputs clamp to zero: durations are never negative.
+    pub fn from_secs_f64(s: f64) -> Self {
+        if !s.is_finite() || s <= 0.0 {
+            return SimDuration(0);
+        }
+        SimDuration((s * 1e6).round() as u64)
+    }
+
+    /// Construct from fractional seconds, rounding *up* to the next whole
+    /// microsecond (never yields a shorter span than requested).
+    pub fn from_secs_f64_ceil(s: f64) -> Self {
+        if !s.is_finite() || s <= 0.0 {
+            return SimDuration(0);
+        }
+        SimDuration((s * 1e6).ceil() as u64)
+    }
+
+    /// Duration as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Raw microsecond count.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// True if this duration is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    /// The smaller of two durations.
+    pub fn min(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.min(other.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_sub(rhs.0);
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_roundtrips() {
+        assert_eq!(SimTime::from_secs(3), SimTime(3_000_000));
+        assert_eq!(SimTime::from_millis(3), SimTime(3_000));
+        assert_eq!(SimTime::from_micros(3), SimTime(3));
+        assert_eq!(SimDuration::from_secs(2).as_micros(), 2_000_000);
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let t = SimTime::from_secs(10);
+        let d = SimDuration::from_millis(500);
+        assert_eq!((t + d).as_micros(), 10_500_000);
+        assert_eq!((t + d) - t, d);
+    }
+
+    #[test]
+    fn subtraction_saturates() {
+        let a = SimTime::from_secs(1);
+        let b = SimTime::from_secs(2);
+        assert_eq!(a - b, SimDuration::ZERO);
+        assert_eq!(a.since(b), SimDuration::ZERO);
+        assert_eq!(b.since(a), SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn float_conversion() {
+        let d = SimDuration::from_secs_f64(1.5);
+        assert_eq!(d.as_micros(), 1_500_000);
+        assert!((d.as_secs_f64() - 1.5).abs() < 1e-12);
+        assert_eq!(SimDuration::from_secs_f64(-3.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::INFINITY), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn duration_scaling() {
+        let d = SimDuration::from_millis(100);
+        assert_eq!(d * 10, SimDuration::from_secs(1));
+        assert_eq!(d / 4, SimDuration::from_micros(25_000));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::from_secs(1) < SimTime::from_secs(2));
+        assert!(SimTime::MAX > SimTime::from_secs(u32::MAX as u64));
+        assert!(SimDuration::from_millis(999) < SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", SimTime::from_millis(1500)), "1.500s");
+        assert_eq!(format!("{}", SimDuration::from_micros(2500)), "0.003s");
+    }
+}

@@ -1,0 +1,156 @@
+//! Structured trace recording.
+//!
+//! Experiments record typed trace events (scheduling decisions, power budget
+//! changes, reconfigurations, corridor violations, ...) which the bench harness
+//! post-processes into the paper's figures. A trace is an append-only log of
+//! `(time, subsystem, kind, value, detail)` rows with cheap filtering helpers.
+
+use crate::time::SimTime;
+
+/// One trace record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// When the event occurred.
+    pub time: SimTime,
+    /// Emitting subsystem, e.g. `"rm"`, `"geopm"`, `"node3"`.
+    pub subsystem: String,
+    /// Event kind, e.g. `"job_start"`, `"power_budget"`, `"reconfig"`.
+    pub kind: String,
+    /// Primary numeric value (meaning depends on `kind`); NaN when not applicable.
+    pub value: f64,
+    /// Free-form human-readable detail.
+    pub detail: String,
+}
+
+/// Append-only trace log with filtering helpers.
+#[derive(Debug, Default)]
+pub struct TraceRecorder {
+    events: Vec<TraceEvent>,
+    enabled: bool,
+}
+
+impl TraceRecorder {
+    /// New, enabled recorder.
+    pub fn new() -> Self {
+        TraceRecorder {
+            events: Vec::new(),
+            enabled: true,
+        }
+    }
+
+    /// New recorder that discards all records (zero-cost experiments).
+    pub fn disabled() -> Self {
+        TraceRecorder {
+            events: Vec::new(),
+            enabled: false,
+        }
+    }
+
+    /// Whether records are currently retained.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record an event. No-op when disabled.
+    pub fn record(
+        &mut self,
+        time: SimTime,
+        subsystem: impl Into<String>,
+        kind: impl Into<String>,
+        value: f64,
+        detail: impl Into<String>,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        self.events.push(TraceEvent {
+            time,
+            subsystem: subsystem.into(),
+            kind: kind.into(),
+            value,
+            detail: detail.into(),
+        });
+    }
+
+    /// All records, in emission order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Records matching `kind`, in emission order.
+    pub fn of_kind<'a>(&'a self, kind: &'a str) -> impl Iterator<Item = &'a TraceEvent> {
+        self.events.iter().filter(move |e| e.kind == kind)
+    }
+
+    /// Records emitted by `subsystem`, in emission order.
+    pub fn of_subsystem<'a>(&'a self, subsystem: &'a str) -> impl Iterator<Item = &'a TraceEvent> {
+        self.events.iter().filter(move |e| e.subsystem == subsystem)
+    }
+
+    /// `(seconds, value)` series for `kind` — the shape figures are drawn from.
+    pub fn series(&self, kind: &str) -> Vec<(f64, f64)> {
+        self.of_kind(kind)
+            .map(|e| (e.time.as_secs_f64(), e.value))
+            .collect()
+    }
+
+    /// Number of records retained.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Drop all records, keeping the enabled/disabled state.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_filters() {
+        let mut tr = TraceRecorder::new();
+        tr.record(SimTime::from_secs(1), "rm", "job_start", 1.0, "job 1");
+        tr.record(SimTime::from_secs(2), "node0", "power", 180.0, "");
+        tr.record(SimTime::from_secs(3), "rm", "job_end", 1.0, "job 1");
+        assert_eq!(tr.len(), 3);
+        assert_eq!(tr.of_kind("power").count(), 1);
+        assert_eq!(tr.of_subsystem("rm").count(), 2);
+    }
+
+    #[test]
+    fn series_extraction() {
+        let mut tr = TraceRecorder::new();
+        for i in 0..5u64 {
+            tr.record(SimTime::from_secs(i), "sys", "power", 100.0 + i as f64, "");
+        }
+        let s = tr.series("power");
+        assert_eq!(s.len(), 5);
+        assert_eq!(s[0], (0.0, 100.0));
+        assert_eq!(s[4], (4.0, 104.0));
+    }
+
+    #[test]
+    fn disabled_recorder_discards() {
+        let mut tr = TraceRecorder::disabled();
+        tr.record(SimTime::ZERO, "x", "y", 0.0, "");
+        assert!(tr.is_empty());
+        assert!(!tr.is_enabled());
+    }
+
+    #[test]
+    fn clear_keeps_state() {
+        let mut tr = TraceRecorder::new();
+        tr.record(SimTime::ZERO, "x", "y", 0.0, "");
+        tr.clear();
+        assert!(tr.is_empty());
+        assert!(tr.is_enabled());
+    }
+}

@@ -1,0 +1,164 @@
+//! Scalar and tree-hierarchical aggregation.
+//!
+//! GEOPM aggregates telemetry up a balanced tree of controllers (leaf = node,
+//! root = job) and pushes policy down the same tree. [`TreeAggregator`] models
+//! that topology: values enter at the leaves and are reduced level by level,
+//! with the per-level reduction op chosen by signal semantics (power sums,
+//! frequency averages, progress takes the minimum across ranks, …).
+
+/// Reduction operators for telemetry aggregation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Reduce {
+    /// Sum of children (e.g. power, energy).
+    Sum,
+    /// Arithmetic mean of children (e.g. frequency, IPC).
+    Mean,
+    /// Minimum of children (e.g. application progress — stragglers dominate).
+    Min,
+    /// Maximum of children (e.g. temperature hot spots).
+    Max,
+}
+
+impl Reduce {
+    /// Apply the reduction to a non-empty slice.
+    ///
+    /// # Panics
+    /// Panics on an empty slice — aggregating nothing is a caller bug.
+    pub fn apply(self, values: &[f64]) -> f64 {
+        assert!(!values.is_empty(), "cannot reduce an empty slice");
+        match self {
+            Reduce::Sum => values.iter().sum(),
+            Reduce::Mean => values.iter().sum::<f64>() / values.len() as f64,
+            Reduce::Min => values.iter().copied().fold(f64::INFINITY, f64::min),
+            Reduce::Max => values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+}
+
+/// A balanced aggregation tree with a fixed fan-out, GEOPM-style.
+///
+/// Only the topology is modelled (level count, per-level message counts) plus
+/// the reduction itself; message latency is charged by the runtime layer.
+#[derive(Debug, Clone)]
+pub struct TreeAggregator {
+    fanout: usize,
+    leaves: usize,
+}
+
+impl TreeAggregator {
+    /// Build a tree over `leaves` leaf agents with the given `fanout`.
+    ///
+    /// # Panics
+    /// Panics if `fanout < 2` or `leaves == 0`.
+    pub fn new(leaves: usize, fanout: usize) -> Self {
+        assert!(fanout >= 2, "fanout must be at least 2");
+        assert!(leaves > 0, "tree needs at least one leaf");
+        TreeAggregator { fanout, leaves }
+    }
+
+    /// Number of leaf agents.
+    pub fn leaves(&self) -> usize {
+        self.leaves
+    }
+
+    /// Number of tree levels above the leaves (0 when a single leaf is root).
+    pub fn levels(&self) -> usize {
+        let mut n = self.leaves;
+        let mut levels = 0;
+        while n > 1 {
+            n = n.div_ceil(self.fanout);
+            levels += 1;
+        }
+        levels
+    }
+
+    /// Total messages for one upward reduction (each non-root sends one).
+    pub fn messages_per_reduction(&self) -> usize {
+        let mut n = self.leaves;
+        let mut msgs = 0;
+        while n > 1 {
+            msgs += n;
+            n = n.div_ceil(self.fanout);
+        }
+        msgs
+    }
+
+    /// Reduce leaf values to the root value.
+    ///
+    /// For [`Reduce::Sum`]/[`Reduce::Min`]/[`Reduce::Max`] the tree shape is
+    /// irrelevant; for [`Reduce::Mean`] the reduction is weighted correctly so
+    /// the result equals the flat mean regardless of tree arity.
+    ///
+    /// # Panics
+    /// Panics if `values.len() != self.leaves()`.
+    pub fn reduce(&self, op: Reduce, values: &[f64]) -> f64 {
+        assert_eq!(
+            values.len(),
+            self.leaves,
+            "value count must match leaf count"
+        );
+        // Mean must stay weighted; do it flat. Others reduce hierarchically to
+        // mirror the real message pattern (and are associative anyway).
+        if op == Reduce::Mean {
+            return Reduce::Mean.apply(values);
+        }
+        let mut level: Vec<f64> = values.to_vec();
+        while level.len() > 1 {
+            level = level.chunks(self.fanout).map(|c| op.apply(c)).collect();
+        }
+        level[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduce_ops() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(Reduce::Sum.apply(&v), 10.0);
+        assert_eq!(Reduce::Mean.apply(&v), 2.5);
+        assert_eq!(Reduce::Min.apply(&v), 1.0);
+        assert_eq!(Reduce::Max.apply(&v), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn reduce_empty_panics() {
+        Reduce::Sum.apply(&[]);
+    }
+
+    #[test]
+    fn tree_levels() {
+        assert_eq!(TreeAggregator::new(1, 2).levels(), 0);
+        assert_eq!(TreeAggregator::new(2, 2).levels(), 1);
+        assert_eq!(TreeAggregator::new(8, 2).levels(), 3);
+        assert_eq!(TreeAggregator::new(9, 2).levels(), 4);
+        assert_eq!(TreeAggregator::new(64, 8).levels(), 2);
+    }
+
+    #[test]
+    fn tree_message_counts() {
+        // 4 leaves fanout 2: 4 + 2 = 6 messages.
+        assert_eq!(TreeAggregator::new(4, 2).messages_per_reduction(), 6);
+        assert_eq!(TreeAggregator::new(1, 2).messages_per_reduction(), 0);
+    }
+
+    #[test]
+    fn tree_reduce_matches_flat() {
+        let vals: Vec<f64> = (1..=13).map(|i| i as f64).collect();
+        let tree = TreeAggregator::new(13, 3);
+        assert_eq!(tree.reduce(Reduce::Sum, &vals), vals.iter().sum::<f64>());
+        assert_eq!(tree.reduce(Reduce::Min, &vals), 1.0);
+        assert_eq!(tree.reduce(Reduce::Max, &vals), 13.0);
+        let flat_mean = vals.iter().sum::<f64>() / 13.0;
+        assert!((tree.reduce(Reduce::Mean, &vals) - flat_mean).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "match leaf count")]
+    fn wrong_leaf_count_panics() {
+        TreeAggregator::new(4, 2).reduce(Reduce::Sum, &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,156 @@
+//! Derived efficiency metrics (paper §2.2) and the energy integrator.
+
+use pstack_sim::SimTime;
+
+/// Energy-delay product: `energy_j × time_s`. Lower is better.
+pub fn edp(energy_j: f64, time_s: f64) -> f64 {
+    energy_j * time_s
+}
+
+/// Energy-delay-squared product: `energy_j × time_s²`. Lower is better.
+pub fn ed2p(energy_j: f64, time_s: f64) -> f64 {
+    energy_j * time_s * time_s
+}
+
+/// Power efficiency in FLOPS per watt; 0 when power is non-positive.
+pub fn flops_per_watt(flops_rate: f64, power_w: f64) -> f64 {
+    if power_w <= 0.0 {
+        0.0
+    } else {
+        flops_rate / power_w
+    }
+}
+
+/// Power efficiency in IPC per watt; 0 when power is non-positive.
+pub fn ipc_per_watt(ipc: f64, power_w: f64) -> f64 {
+    if power_w <= 0.0 {
+        0.0
+    } else {
+        ipc / power_w
+    }
+}
+
+/// Energy efficiency in FLOPs per joule; 0 when energy is non-positive.
+pub fn flops_per_joule(flops_total: f64, energy_j: f64) -> f64 {
+    if energy_j <= 0.0 {
+        0.0
+    } else {
+        flops_total / energy_j
+    }
+}
+
+/// Instructions per cycle; 0 when cycles is non-positive.
+pub fn ipc(instructions: f64, cycles: f64) -> f64 {
+    if cycles <= 0.0 {
+        0.0
+    } else {
+        instructions / cycles
+    }
+}
+
+/// Streaming energy integrator: feeds on `(time, power)` updates and
+/// accumulates exact step-function energy. Used by every power domain.
+#[derive(Debug, Clone)]
+pub struct EnergyIntegrator {
+    last_time: SimTime,
+    last_power_w: f64,
+    energy_j: f64,
+}
+
+impl EnergyIntegrator {
+    /// Start integrating at `start` with initial power `power_w`.
+    pub fn new(start: SimTime, power_w: f64) -> Self {
+        assert!(power_w >= 0.0, "power must be non-negative");
+        EnergyIntegrator {
+            last_time: start,
+            last_power_w: power_w,
+            energy_j: 0.0,
+        }
+    }
+
+    /// Advance to `now`, accumulating energy at the previous power level, then
+    /// switch to `power_w`.
+    ///
+    /// # Panics
+    /// Panics if `now` precedes the previous update or power is negative.
+    pub fn update(&mut self, now: SimTime, power_w: f64) {
+        assert!(now >= self.last_time, "time went backwards");
+        assert!(power_w >= 0.0, "power must be non-negative");
+        self.energy_j += self.last_power_w * now.since(self.last_time).as_secs_f64();
+        self.last_time = now;
+        self.last_power_w = power_w;
+    }
+
+    /// Advance to `now` without changing the power level.
+    pub fn advance(&mut self, now: SimTime) {
+        let p = self.last_power_w;
+        self.update(now, p);
+    }
+
+    /// Total energy accumulated so far, joules.
+    pub fn energy_j(&self) -> f64 {
+        self.energy_j
+    }
+
+    /// Power level currently being integrated.
+    pub fn current_power_w(&self) -> f64 {
+        self.last_power_w
+    }
+
+    /// Time of the last update.
+    pub fn last_time(&self) -> SimTime {
+        self.last_time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edp_family() {
+        assert_eq!(edp(100.0, 10.0), 1000.0);
+        assert_eq!(ed2p(100.0, 10.0), 10_000.0);
+    }
+
+    #[test]
+    fn efficiency_guards_divide_by_zero() {
+        assert_eq!(flops_per_watt(1e9, 0.0), 0.0);
+        assert_eq!(ipc_per_watt(2.0, -5.0), 0.0);
+        assert_eq!(flops_per_joule(1e9, 0.0), 0.0);
+        assert_eq!(ipc(100.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn efficiency_values() {
+        assert_eq!(flops_per_watt(1e9, 100.0), 1e7);
+        assert_eq!(ipc_per_watt(2.0, 100.0), 0.02);
+        assert_eq!(flops_per_joule(5e9, 2.5), 2e9);
+        assert_eq!(ipc(300.0, 100.0), 3.0);
+    }
+
+    #[test]
+    fn integrator_accumulates_steps() {
+        let mut e = EnergyIntegrator::new(SimTime::ZERO, 100.0);
+        e.update(SimTime::from_secs(10), 200.0); // 100 W × 10 s
+        e.update(SimTime::from_secs(15), 0.0); // 200 W × 5 s
+        e.advance(SimTime::from_secs(100)); // 0 W × 85 s
+        assert!((e.energy_j() - 2000.0).abs() < 1e-9);
+        assert_eq!(e.current_power_w(), 0.0);
+    }
+
+    #[test]
+    fn zero_length_updates_ok() {
+        let mut e = EnergyIntegrator::new(SimTime::from_secs(1), 50.0);
+        e.update(SimTime::from_secs(1), 75.0);
+        assert_eq!(e.energy_j(), 0.0);
+        assert_eq!(e.current_power_w(), 75.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "time went backwards")]
+    fn backwards_time_panics() {
+        let mut e = EnergyIntegrator::new(SimTime::from_secs(5), 50.0);
+        e.update(SimTime::from_secs(4), 50.0);
+    }
+}

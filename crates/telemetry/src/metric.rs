@@ -1,0 +1,163 @@
+//! Metric vocabulary (paper §2.2).
+
+use pstack_sim::SimTime;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The measured / derived metric kinds enumerated in the paper's §2.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MetricKind {
+    /// Instantaneous power draw, watts.
+    PowerWatts,
+    /// Accumulated energy, joules.
+    EnergyJoules,
+    /// Execution / elapsed time, seconds.
+    TimeSeconds,
+    /// Operating core frequency, hertz.
+    FrequencyHz,
+    /// Uncore (mesh/LLC) frequency, hertz.
+    UncoreFrequencyHz,
+    /// Floating-point operations per second.
+    Flops,
+    /// Instructions per cycle.
+    Ipc,
+    /// Instructions per second.
+    Ips,
+    /// Power efficiency: FLOPS per watt.
+    FlopsPerWatt,
+    /// Power efficiency: IPC per watt.
+    IpcPerWatt,
+    /// Energy efficiency: FLOPS per joule.
+    FlopsPerJoule,
+    /// Energy-delay product, J·s.
+    Edp,
+    /// Energy-delay-squared product, J·s².
+    Ed2p,
+    /// Temperature, degrees Celsius.
+    TemperatureC,
+    /// Fraction of resource in use, 0..=1.
+    Utilization,
+    /// Application-defined progress units per second (e.g. timesteps/s).
+    ProgressRate,
+    /// Job throughput at the resource manager, jobs per hour.
+    JobsPerHour,
+}
+
+impl MetricKind {
+    /// Unit string for reports.
+    pub fn unit(self) -> &'static str {
+        use MetricKind::*;
+        match self {
+            PowerWatts => "W",
+            EnergyJoules => "J",
+            TimeSeconds => "s",
+            FrequencyHz | UncoreFrequencyHz => "Hz",
+            Flops => "FLOP/s",
+            Ipc => "IPC",
+            Ips => "inst/s",
+            FlopsPerWatt => "FLOP/s/W",
+            IpcPerWatt => "IPC/W",
+            FlopsPerJoule => "FLOP/J",
+            Edp => "J*s",
+            Ed2p => "J*s^2",
+            TemperatureC => "degC",
+            Utilization => "frac",
+            ProgressRate => "prog/s",
+            JobsPerHour => "jobs/h",
+        }
+    }
+
+    /// Whether *larger* values of this metric are better for a maximizing tuner.
+    ///
+    /// Time-, energy- and EDP-like metrics are costs (smaller is better).
+    pub fn higher_is_better(self) -> bool {
+        use MetricKind::*;
+        !matches!(
+            self,
+            TimeSeconds | EnergyJoules | Edp | Ed2p | PowerWatts | TemperatureC
+        )
+    }
+}
+
+impl fmt::Display for MetricKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self)
+    }
+}
+
+/// A single timestamped measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// When the sample was taken.
+    pub time: SimTime,
+    /// Measured value in the metric's canonical unit.
+    pub value: f64,
+}
+
+/// A named metric value used in cross-layer reporting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Metric {
+    /// What is measured.
+    pub kind: MetricKind,
+    /// Measured value in the metric's canonical unit.
+    pub value: f64,
+}
+
+impl Metric {
+    /// Construct a metric value.
+    pub fn new(kind: MetricKind, value: f64) -> Self {
+        Metric { kind, value }
+    }
+}
+
+impl fmt::Display for Metric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4} {}", self.value, self.kind.unit())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn units_are_nonempty() {
+        for kind in [
+            MetricKind::PowerWatts,
+            MetricKind::EnergyJoules,
+            MetricKind::TimeSeconds,
+            MetricKind::FrequencyHz,
+            MetricKind::UncoreFrequencyHz,
+            MetricKind::Flops,
+            MetricKind::Ipc,
+            MetricKind::Ips,
+            MetricKind::FlopsPerWatt,
+            MetricKind::IpcPerWatt,
+            MetricKind::FlopsPerJoule,
+            MetricKind::Edp,
+            MetricKind::Ed2p,
+            MetricKind::TemperatureC,
+            MetricKind::Utilization,
+            MetricKind::ProgressRate,
+            MetricKind::JobsPerHour,
+        ] {
+            assert!(!kind.unit().is_empty());
+        }
+    }
+
+    #[test]
+    fn cost_metrics_minimize() {
+        assert!(!MetricKind::TimeSeconds.higher_is_better());
+        assert!(!MetricKind::EnergyJoules.higher_is_better());
+        assert!(!MetricKind::Edp.higher_is_better());
+        assert!(MetricKind::Flops.higher_is_better());
+        assert!(MetricKind::IpcPerWatt.higher_is_better());
+        assert!(MetricKind::JobsPerHour.higher_is_better());
+    }
+
+    #[test]
+    fn display_formats() {
+        let m = Metric::new(MetricKind::PowerWatts, 180.5);
+        assert_eq!(format!("{m}"), "180.5000 W");
+    }
+}

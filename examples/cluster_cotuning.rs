@@ -1,0 +1,37 @@
+//! End-to-end opportunity analysis (paper Figure 1 / §3.1) and the moving
+//! optimum of use case §3.2.1.
+//!
+//! Part 1: the same job mix, the same power budget, four levels of tuning
+//! integration — none, node-only, runtime-only, end-to-end.
+//!
+//! Part 2: why co-tuning matters at all — the best Hypre configuration
+//! changes when a power cap appears.
+//!
+//! Run with: `cargo run --release --example cluster_cotuning`
+
+use powerstack::core::experiments::{fig1, uc1};
+
+fn main() {
+    println!("== Part 1: opportunity analysis (16 nodes, 12 jobs) ==================\n");
+    let full = 16.0 * 450.0;
+    let result = fig1::run(&[None, Some(full * 0.60)], 16, 12, 0.6, 20200901);
+    print!("{}", fig1::render(&result));
+
+    println!("\n== Part 2: the optimum moves under a power cap (Hypre, §3.2.1) ======\n");
+    let a = uc1::part_a(0.5, 4, 280.0, 20200906);
+    println!("top-3 configurations, unconstrained:");
+    for (i, c) in a.top_uncapped.iter().take(3).enumerate() {
+        println!("  {}. {:<52} {:>6.1} s", i + 1, c.config, c.time_s);
+    }
+    println!("top-3 configurations under a {:.0} W node cap:", a.cap_w);
+    for (i, c) in a.top_capped.iter().take(3).enumerate() {
+        println!("  {}. {:<52} {:>6.1} s", i + 1, c.config, c.time_s);
+    }
+    println!(
+        "\nthe unconstrained winner drops to rank #{} under the cap \
+         ({:.1} s vs the capped winner's {:.1} s)",
+        a.uncapped_winner_rank_under_cap,
+        a.uncapped_winner_time_capped_s,
+        a.capped_winner_time_s,
+    );
+}

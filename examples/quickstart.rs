@@ -1,0 +1,119 @@
+//! Quickstart: a guided tour of the PowerStack layers.
+//!
+//! Builds one simulated node, pokes its knobs, runs a job through the
+//! runtime layer, and finishes with a tiny power-capped cluster run.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use powerstack::prelude::*;
+
+fn main() {
+    println!("== 1. Node layer: knobs and telemetry =================================");
+    let mut node = NodeManager::new(Node::nominal(NodeId(0), NodeConfig::server_default()));
+    let compute = PhaseMix::pure(PhaseKind::ComputeBound);
+
+    // Run one second of compute-bound work at full tilt.
+    node.step(SimTime::ZERO, SimDuration::from_secs(1), &compute, 48);
+    println!(
+        "full tilt: {:6.1} W at {:.2} GHz, {:.2e} instructions retired",
+        node.read(Signal::NodePowerWatts),
+        node.read(Signal::CoreFreqGhz),
+        node.read(Signal::InstructionsRetired),
+    );
+
+    // Apply a RAPL-style 300 W node power cap and watch it settle.
+    node.set_power_limit(SimTime::from_secs(1), 300.0, SimDuration::from_millis(10));
+    let mut t = SimTime::from_secs(1);
+    for _ in 0..50 {
+        node.step(t, SimDuration::from_millis(100), &compute, 48);
+        t += SimDuration::from_millis(100);
+    }
+    println!(
+        "capped at 300 W: {:6.1} W at {:.2} GHz (controller settled)",
+        node.read(Signal::NodePowerWatts),
+        node.read(Signal::CoreFreqGhz),
+    );
+    node.clear_power_limit();
+
+    println!("\n== 2. Job layer: an application across nodes with a runtime ==========");
+    let app = SyntheticApp::new(Profile::CommHeavy, 20.0, 15);
+    let (t_raw, e_raw, _) = simulate_app(&app, 4, None, 1);
+    println!("raw run            : {t_raw:6.1} s, {:7.1} kJ", e_raw / 1e3);
+
+    // Attach COUNTDOWN: frequency drops inside MPI phases, energy drops too.
+    let seeds = SeedTree::new(1);
+    let mut nodes: Vec<NodeManager> = (0..4)
+        .map(|i| NodeManager::new(Node::nominal(NodeId(i), NodeConfig::server_default())))
+        .collect();
+    let mut runner = JobRunner::new(
+        &app.workload(4),
+        4,
+        &MpiModel::comm_heavy(),
+        &seeds,
+        ArbiterMode::Gated,
+    );
+    let mut countdown = Countdown::new(CountdownMode::WaitAndCopy);
+    let result = {
+        let mut agents: Vec<&mut dyn RuntimeAgent> = vec![&mut countdown];
+        runner.run_to_completion(SimTime::ZERO, &mut nodes, &mut agents)
+    };
+    println!(
+        "with COUNTDOWN     : {:6.1} s, {:7.1} kJ ({:+.1}% energy)",
+        result.makespan.as_secs_f64(),
+        result.energy_j / 1e3,
+        100.0 * (result.energy_j - e_raw) / e_raw,
+    );
+
+    println!("\n== 3. System layer: a power-aware scheduler ===========================");
+    let seeds = SeedTree::new(7);
+    let fleet = NodeManager::fleet(
+        8,
+        NodeConfig::server_default(),
+        &VariationModel::typical(),
+        &seeds,
+    );
+    let budget = 8.0 * 320.0;
+    let policy = SystemPowerPolicy::budgeted(budget, PowerAssignment::FairShare);
+    let mut sched = Scheduler::new(fleet, policy, seeds.subtree("sched"));
+    for i in 0..6 {
+        let app = random_app(&seeds, i);
+        sched.submit(
+            JobSpec::rigid(i, std::sync::Arc::new(app), 1 + (i as usize % 3), SimTime::ZERO)
+                .with_agent(AgentKind::Geopm(GeopmPolicy::PowerBalancer {
+                    job_budget_w: 1.0,
+                })),
+        );
+    }
+    sched.run_until_drained(SimDuration::from_secs(1), SimTime::from_secs(24 * 3600));
+    let m = sched.metrics();
+    println!(
+        "completed {} jobs in {:.0} s at {:.0} W mean system power (budget {budget:.0} W)",
+        m.completed,
+        sched.now().as_secs_f64(),
+        m.mean_system_power_w,
+    );
+    println!(
+        "throughput {:.1} jobs/h, utilization {:.0}%, energy {:.2} MJ",
+        m.jobs_per_hour,
+        m.utilization * 100.0,
+        m.system_energy_j / 1e6,
+    );
+
+    println!("\n== 4. The end-to-end view =============================================");
+    for tuning in [TuningLevel::None, TuningLevel::EndToEnd] {
+        let r = powerstack::core::framework::Scenario {
+            n_nodes: 8,
+            system_budget_w: Some(8.0 * 330.0),
+            tuning,
+            n_jobs: 6,
+            seed: 99,
+            job_scale: 0.5,
+        }
+        .run();
+        println!(
+            "{:>9?}: {} jobs, makespan {:6.0} s, {:6.2} work/kJ",
+            tuning, r.completed, r.makespan_s, r.work_per_kj
+        );
+    }
+    println!("\nDone. Next: try `cargo run --example power_corridor`.");
+}

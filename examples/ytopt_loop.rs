@@ -1,0 +1,43 @@
+//! The ytopt autotuning loop (paper Figure 4, use case §3.2.3) — and its
+//! cross-layer extension under a power cap.
+//!
+//! Part 1 runs the classic single-layer loop: search algorithms race over a
+//! tiled-loop transformation space (tile sizes × interchange × unroll ×
+//! packing × threads).
+//!
+//! Part 2 extends the space across layers: the node power cap becomes a knob
+//! and the objective switches to energy, reproducing the paper's point that
+//! the best configuration depends on the power regime.
+//!
+//! Run with: `cargo run --release --example ytopt_loop`
+
+use powerstack::core::cotune::KernelCoTune;
+use powerstack::core::experiments::fig4;
+use powerstack::prelude::*;
+
+fn main() {
+    println!("== Part 1: the Figure 4 loop (minimize runtime, 100 evals) ==========\n");
+    let result = fig4::run(&KernelModel::polybench_large(), 100, 20200903);
+    print!("{}", fig4::render(&result));
+
+    println!("\n== Part 2: cross-layer — add the power cap, minimize energy =========\n");
+    let cotune = KernelCoTune::new(Objective::MinEnergy);
+    let space = cotune.space();
+    println!(
+        "joint space: {} parameters, {} configurations",
+        space.dims(),
+        space.cardinality()
+    );
+    let report = cotune.tune(&mut ForestSearch::new(), 40, 7);
+    let (kc, cap) = cotune.decode(&space, &report.best_config);
+    println!(
+        "best after {} evals: {:.0} J  ->  {:?} under cap {:?} W",
+        report.evals, report.best_objective, kc, cap
+    );
+    println!("\ntrajectory (best energy so far, every 5 evals):");
+    for (i, best) in report.db.trajectory().iter().enumerate() {
+        if (i + 1) % 5 == 0 {
+            println!("  eval {:>3}: {:>10.0} J", i + 1, best);
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Integration tests: the full stack wired together, exercised through the
+//! facade crate's public API.
+
+use powerstack::core::experiments::{fig1, fig3, fig6, uc6, uc7};
+use powerstack::core::framework::{Scenario, TuningLevel};
+use powerstack::prelude::*;
+use std::sync::Arc;
+
+/// The headline claim: under a tight budget, end-to-end tuning improves
+/// system efficiency over no tuning, and never loses jobs.
+#[test]
+fn opportunity_analysis_shape() {
+    let budget = 8.0 * 330.0;
+    let r = fig1::run(&[Some(budget)], 8, 8, 0.5, 1001);
+    let get = |t: TuningLevel| r.rows.iter().find(|x| x.tuning == t).unwrap();
+    let none = get(TuningLevel::None);
+    let e2e = get(TuningLevel::EndToEnd);
+    assert_eq!(none.completed, 8);
+    assert_eq!(e2e.completed, 8);
+    assert!(e2e.work_per_kj > none.work_per_kj);
+    assert!(e2e.mean_power_w <= budget * 1.10);
+}
+
+/// Figure 3: every GEOPM policy mode respects the budget; the dynamic mode
+/// is competitive with the static one.
+#[test]
+fn geopm_policy_modes_respect_budget() {
+    let r = fig3::run(&[6.0 * 320.0], 6, 5, 0.4, 1002);
+    assert_eq!(r.rows.len(), 3);
+    for row in &r.rows {
+        assert_eq!(row.completed, 5, "{:?}", row.mode);
+        assert!(row.mean_power_w <= row.budget_w * 1.10);
+    }
+}
+
+/// Figure 6: the corridor experiment completes and redistribution helps.
+#[test]
+fn corridor_enforcement_shape() {
+    let r = fig6::run(8, 150.0, 1003);
+    let base = r.rows.iter().find(|x| x.strategy == "None").unwrap();
+    let redis = r
+        .rows
+        .iter()
+        .find(|x| x.strategy == "NodeRedistribution")
+        .unwrap();
+    assert!(
+        redis.upper_violations < base.upper_violations
+            || redis.in_corridor_fraction > base.in_corridor_fraction,
+        "redistribution must improve corridor adherence: {redis:?} vs {base:?}"
+    );
+    assert!(redis.redistributions > 0);
+    assert!(!redis.power_series.is_empty());
+}
+
+/// §3.2.6: COUNTDOWN stays performance-neutral while saving energy.
+#[test]
+fn countdown_performance_neutrality() {
+    let r = uc6::run(&[8], 10.0, 1004);
+    for row in &r.rows {
+        assert!(row.slowdown_pct < 5.0, "{}: {}%", row.mode, row.slowdown_pct);
+    }
+    let wc = r.rows.iter().find(|x| x.mode == "wait+copy").unwrap();
+    assert!(wc.energy_saving_pct > 3.0);
+}
+
+/// §3.2.7: the communication layer composes both runtimes' savings.
+#[test]
+fn two_runtimes_coordination() {
+    let r = uc7::run(2, 40, 0.6, 1005);
+    let get = |name: &str| r.rows.iter().find(|x| x.variant == name).unwrap();
+    let coord = get("both-coordinated").energy_saving_pct;
+    let best_single = get("countdown-only")
+        .energy_saving_pct
+        .max(get("meric-only").energy_saving_pct);
+    assert!(coord >= best_single - 1.0);
+}
+
+/// The whole cluster simulation is bit-deterministic from the master seed.
+#[test]
+fn full_stack_determinism() {
+    let scenario = Scenario {
+        n_nodes: 6,
+        system_budget_w: Some(6.0 * 350.0),
+        tuning: TuningLevel::EndToEnd,
+        n_jobs: 5,
+        seed: 12345,
+        job_scale: 0.4,
+    };
+    let a = scenario.run();
+    let b = scenario.run();
+    assert_eq!(a, b);
+}
+
+/// Moldable jobs, the app node-count rule, and power admission interact
+/// correctly: a LULESH job on a 30-node fleet takes a cube.
+#[test]
+fn moldability_respects_cubic_rule_in_full_scheduler() {
+    let seeds = SeedTree::new(77);
+    let fleet = NodeManager::fleet(
+        30,
+        NodeConfig::server_default(),
+        &VariationModel::none(),
+        &seeds,
+    );
+    let mut sched = Scheduler::new(
+        fleet,
+        SystemPowerPolicy::unlimited(),
+        seeds.subtree("sched"),
+    );
+    sched.submit(JobSpec::moldable(
+        1,
+        Arc::new(Lulesh::new(100.0, 20)),
+        1,
+        30,
+        SimTime::ZERO,
+    ));
+    sched.run_until_drained(SimDuration::from_secs(1), SimTime::from_secs(3600));
+    assert_eq!(sched.records().len(), 1);
+    assert_eq!(sched.records()[0].nodes, 27, "largest cube ≤ 30");
+}
+
+/// The RM→GEOPM endpoint: a mid-run policy change reaches the hardware.
+#[test]
+fn endpoint_policy_update_through_full_stack() {
+    let seeds = SeedTree::new(88);
+    let mut nodes = NodeManager::fleet(
+        2,
+        NodeConfig::server_default(),
+        &VariationModel::none(),
+        &seeds,
+    );
+    let app = SyntheticApp::new(Profile::ComputeHeavy, 60.0, 30);
+    let mut runner = JobRunner::new(
+        &app.workload(2),
+        2,
+        &MpiModel::typical(),
+        &seeds,
+        ArbiterMode::Gated,
+    );
+    let mut geopm = Geopm::new(GeopmPolicy::Monitor);
+    let endpoint = geopm.endpoint();
+    let mut agents: Vec<&mut dyn RuntimeAgent> = vec![&mut geopm];
+    let t = runner.advance(SimTime::ZERO, SimTime::from_secs(5), &mut nodes, &mut agents);
+    // The "site" tightens power mid-run.
+    endpoint.send(powerstack::runtime::geopm::PolicyUpdate {
+        policy: GeopmPolicy::PowerGovernor { node_cap_w: 260.0 },
+    });
+    runner.advance(t, t + SimDuration::from_secs(2), &mut nodes, &mut agents);
+    drop(agents);
+    for nm in &nodes {
+        assert_eq!(nm.read(Signal::PowerCapWatts), 260.0);
+    }
+}
+
+/// Energy accounting is consistent across layers: the sum of per-job
+/// energies plus idle energy equals total system energy.
+#[test]
+fn energy_accounting_consistency() {
+    let seeds = SeedTree::new(99);
+    let fleet = NodeManager::fleet(
+        4,
+        NodeConfig::server_default(),
+        &VariationModel::none(),
+        &seeds,
+    );
+    let mut sched = Scheduler::new(
+        fleet,
+        SystemPowerPolicy::unlimited(),
+        seeds.subtree("sched"),
+    );
+    for i in 0..3 {
+        sched.submit(JobSpec::rigid(
+            i,
+            Arc::new(SyntheticApp::new(Profile::Mixed, 10.0, 5)),
+            1,
+            SimTime::ZERO,
+        ));
+    }
+    sched.run_until_drained(SimDuration::from_secs(1), SimTime::from_secs(3600));
+    let job_energy: f64 = sched.records().iter().map(|r| r.energy_j).sum();
+    let total = sched.metrics().system_energy_j;
+    assert!(
+        job_energy < total,
+        "job energy {job_energy} must be below system total {total} (idle draw exists)"
+    );
+    assert!(job_energy > 0.3 * total, "jobs dominate: {job_energy} vs {total}");
+}
