@@ -29,4 +29,4 @@ pub use search::{
     SearchAlgorithm,
 };
 pub use space::{Config, Param, ParamSpace, ParamValue};
-pub use tuner::{TuneReport, Tuner};
+pub use tuner::{CacheStats, Evaluation, TuneError, TuneReport, Tuner};

@@ -200,6 +200,31 @@ impl ForestSearch {
         self.n_init = n_init.max(2);
         self
     }
+
+    /// Fit the surrogate on everything observed.
+    fn fit_surrogate(&self, space: &ParamSpace, db: &PerfDatabase, rng: &mut SmallRng) -> Forest {
+        let x: Vec<Vec<f64>> = db
+            .observations()
+            .iter()
+            .map(|o| space.encode(&o.config))
+            .collect();
+        let y: Vec<f64> = db.observations().iter().map(|o| o.objective).collect();
+        Forest::fit(&x, &y, self.n_trees, rng)
+    }
+
+    /// Candidate pool: random samples + neighbours of the incumbent.
+    fn candidate_pool(
+        &self,
+        space: &ParamSpace,
+        db: &PerfDatabase,
+        rng: &mut SmallRng,
+    ) -> Vec<Config> {
+        let mut pool: Vec<Config> = (0..self.n_candidates).map(|_| space.sample(rng)).collect();
+        if let Some(best) = db.best() {
+            pool.extend(space.neighbors(&best.config));
+        }
+        pool
+    }
 }
 
 impl Default for ForestSearch {
@@ -228,22 +253,8 @@ impl SearchAlgorithm for ForestSearch {
             }
             return Some(space.sample(rng));
         }
-        // Fit the surrogate on everything observed.
-        let x: Vec<Vec<f64>> = db
-            .observations()
-            .iter()
-            .map(|o| space.encode(&o.config))
-            .collect();
-        let y: Vec<f64> = db.observations().iter().map(|o| o.objective).collect();
-        let forest = Forest::fit(&x, &y, self.n_trees, rng);
-
-        // Candidate pool: random + neighbours of the incumbent.
-        let mut pool: Vec<Config> = (0..self.n_candidates)
-            .map(|_| space.sample(rng))
-            .collect();
-        if let Some(best) = db.best() {
-            pool.extend(space.neighbors(&best.config));
-        }
+        let forest = self.fit_surrogate(space, db, rng);
+        let pool = self.candidate_pool(space, db, rng);
         let mut scored: Option<(f64, Config)> = None;
         for cand in pool {
             if db.contains(&cand) {
@@ -260,6 +271,65 @@ impl SearchAlgorithm for ForestSearch {
             // Pool fully explored: fall back to a random (possibly repeated) draw.
             None => Some(space.sample(rng)),
         }
+    }
+
+    /// Batch acquisition: fit the surrogate once, rank the whole candidate
+    /// pool by acquisition score, and take the top `k` distinct unseen
+    /// configurations — the ask-tell analogue of one serial suggestion, at
+    /// one fit per batch instead of one fit per evaluation.
+    ///
+    /// During the initial design (`db` smaller than `n_init`) the batch is
+    /// filled with batch-aware random draws, so the initial design rounds up
+    /// to the batch boundary. When the ranked pool holds fewer than `k`
+    /// fresh candidates the remaining slots fall back to random draws, which
+    /// may repeat — the tuner counts those toward its duplicate early exit.
+    fn suggest_batch(
+        &mut self,
+        space: &ParamSpace,
+        db: &PerfDatabase,
+        rng: &mut SmallRng,
+        k: usize,
+    ) -> Vec<Config> {
+        let mut batch: Vec<Config> = Vec::with_capacity(k);
+        if db.len() < self.n_init {
+            for _ in 0..k {
+                let mut accepted = None;
+                for _ in 0..32 {
+                    let c = space.sample(rng);
+                    if !db.contains(&c) && !batch.contains(&c) {
+                        accepted = Some(c);
+                        break;
+                    }
+                }
+                batch.push(accepted.unwrap_or_else(|| space.sample(rng)));
+            }
+            return batch;
+        }
+        let forest = self.fit_surrogate(space, db, rng);
+        let pool = self.candidate_pool(space, db, rng);
+        let mut scored: Vec<(f64, Config)> = pool
+            .into_iter()
+            .filter(|cand| !db.contains(cand))
+            .map(|cand| {
+                let (mean, std) = forest.predict(&space.encode(&cand));
+                (mean - self.kappa * std, cand)
+            })
+            .collect();
+        // Stable sort keeps pool order on ties, matching the serial
+        // earliest-wins tie-break.
+        scored.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite score"));
+        for (_, cand) in scored {
+            if batch.len() == k {
+                break;
+            }
+            if !batch.contains(&cand) {
+                batch.push(cand);
+            }
+        }
+        while batch.len() < k {
+            batch.push(space.sample(rng));
+        }
+        batch
     }
 }
 
@@ -342,6 +412,41 @@ mod tests {
         let (mean, std) = forest.predict(&[0.5]);
         assert!(std >= 0.0);
         assert!((0.0..=3.0).contains(&mean));
+    }
+
+    #[test]
+    fn batch_is_distinct_ranked_and_headed_by_the_serial_pick() {
+        let s = space5d();
+        let db = run(&mut ForestSearch::new(), &s, 20, 3);
+        let rng0 = SmallRng::seed_from_u64(77);
+        let mut alg = ForestSearch::new();
+        let batch = alg.suggest_batch(&s, &db, &mut rng0.clone(), 6);
+        assert_eq!(batch.len(), 6);
+        let mut uniq = batch.clone();
+        uniq.sort();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 6, "top-k picks are distinct");
+        for c in &batch {
+            assert!(s.is_valid(c));
+            assert!(!db.contains(c), "top-k picks are unseen");
+        }
+        // Surrogate fit and pool draw consume the same RNG stream, so the
+        // batch head is exactly the configuration the serial path suggests.
+        let serial = alg.suggest(&s, &db, &mut rng0.clone()).unwrap();
+        assert_eq!(batch[0], serial);
+    }
+
+    #[test]
+    fn batch_during_init_is_random_and_duplicate_free() {
+        let s = space5d();
+        let db = PerfDatabase::new();
+        let mut rng = SmallRng::seed_from_u64(4);
+        let batch = ForestSearch::new().suggest_batch(&s, &db, &mut rng, 8);
+        assert_eq!(batch.len(), 8);
+        let mut uniq = batch.clone();
+        uniq.sort();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 8);
     }
 
     #[test]

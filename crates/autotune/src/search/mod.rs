@@ -31,6 +31,40 @@ pub trait SearchAlgorithm {
         db: &PerfDatabase,
         rng: &mut SmallRng,
     ) -> Option<Config>;
+
+    /// Ask for up to `k` proposals to evaluate concurrently (the "ask" half
+    /// of an ask-tell loop; results are told back via `db` on the next call).
+    ///
+    /// Contract:
+    /// - Proposals may duplicate `db` entries or each other. The tuner
+    ///   filters duplicates and counts them toward its consecutive-duplicate
+    ///   early exit, exactly as in the serial loop — implementations should
+    ///   avoid duplicates where feasible but must not loop forever trying.
+    /// - An empty vec means the strategy is exhausted (e.g. grid complete);
+    ///   returning fewer than `k` proposals is otherwise allowed.
+    ///
+    /// The default implementation asks [`suggest`](Self::suggest) `k` times.
+    /// Because `suggest` cannot see proposals that are still in flight, it
+    /// may repeat them within the batch; algorithms with cheap membership
+    /// awareness (e.g. [`RandomSearch`]) or a rankable candidate pool (e.g.
+    /// [`ForestSearch`](crate::ForestSearch)) override this with batch-aware
+    /// selection.
+    fn suggest_batch(
+        &mut self,
+        space: &ParamSpace,
+        db: &PerfDatabase,
+        rng: &mut SmallRng,
+        k: usize,
+    ) -> Vec<Config> {
+        let mut batch = Vec::with_capacity(k);
+        for _ in 0..k {
+            match self.suggest(space, db, rng) {
+                Some(cfg) => batch.push(cfg),
+                None => break,
+            }
+        }
+        batch
+    }
 }
 
 /// Uniform random sampling (the baseline every tuner must beat).
@@ -64,6 +98,36 @@ impl SearchAlgorithm for RandomSearch {
             }
         }
         Some(space.sample(rng))
+    }
+
+    /// Batch-aware sampling: each slot draws exactly like the serial
+    /// [`suggest`](SearchAlgorithm::suggest) loop, but also dodges proposals
+    /// already in this batch. Slot `i` consumes the same RNG stream the
+    /// serial loop would on iteration `i` (where the serial loop's freshly
+    /// recorded configs are this batch's pending proposals), so a batched
+    /// random run visits the identical configuration sequence.
+    fn suggest_batch(
+        &mut self,
+        space: &ParamSpace,
+        db: &PerfDatabase,
+        rng: &mut SmallRng,
+        k: usize,
+    ) -> Vec<Config> {
+        let mut batch: Vec<Config> = Vec::with_capacity(k);
+        for _ in 0..k {
+            let mut accepted = None;
+            for _ in 0..32 {
+                let c = space.sample(rng);
+                if !db.contains(&c) && !batch.contains(&c) {
+                    accepted = Some(c);
+                    break;
+                }
+            }
+            // Mirror the serial fallback draw: accept repetition after 32
+            // attempts (the tuner counts the duplicate).
+            batch.push(accepted.unwrap_or_else(|| space.sample(rng)));
+        }
+        batch
     }
 }
 
@@ -116,6 +180,27 @@ impl SearchAlgorithm for ExhaustiveSearch {
         }
         None
     }
+
+    /// The next `k` valid lattice points. The cursor advances exactly as in
+    /// `k` serial calls, and the grid never repeats itself, so batching is
+    /// trivially equivalent to the serial sweep. Returns fewer than `k`
+    /// (possibly none) when the grid completes.
+    fn suggest_batch(
+        &mut self,
+        space: &ParamSpace,
+        db: &PerfDatabase,
+        rng: &mut SmallRng,
+        k: usize,
+    ) -> Vec<Config> {
+        let mut batch = Vec::with_capacity(k);
+        while batch.len() < k {
+            match self.suggest(space, db, rng) {
+                Some(cfg) => batch.push(cfg),
+                None => break,
+            }
+        }
+        batch
+    }
 }
 
 #[cfg(test)]
@@ -142,6 +227,42 @@ mod tests {
             db.record(c, 1.0, Default::default());
         }
         assert_eq!(db.len(), 6); // the whole space, duplicate-free
+    }
+
+    #[test]
+    fn random_batch_avoids_db_and_in_batch_duplicates() {
+        let s = space();
+        let mut db = PerfDatabase::new();
+        db.record(vec![0, 0], 1.0, Default::default());
+        let mut rng = SmallRng::seed_from_u64(3);
+        let batch = RandomSearch::new().suggest_batch(&s, &db, &mut rng, 5);
+        assert_eq!(batch.len(), 5, "a slot per request, even when repeating");
+        let fresh: Vec<_> = batch
+            .iter()
+            .filter(|c| !db.contains(c))
+            .collect();
+        // 6-point space minus the recorded one leaves exactly 5 fresh.
+        let mut uniq = fresh.clone();
+        uniq.sort();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 5, "batch-aware sampling found all fresh points");
+    }
+
+    #[test]
+    fn exhaustive_batch_walks_the_grid_in_order() {
+        let s = space();
+        let db = PerfDatabase::new();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut alg = ExhaustiveSearch::new();
+        let first = alg.suggest_batch(&s, &db, &mut rng, 4);
+        let rest = alg.suggest_batch(&s, &db, &mut rng, 4);
+        assert_eq!(first.len(), 4);
+        assert_eq!(rest.len(), 2, "grid exhausted mid-batch");
+        assert!(alg.suggest_batch(&s, &db, &mut rng, 4).is_empty());
+        let mut all = first;
+        all.extend(rest);
+        all.dedup();
+        assert_eq!(all.len(), 6, "every point exactly once, in sweep order");
     }
 
     #[test]

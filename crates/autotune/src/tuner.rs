@@ -4,6 +4,16 @@
 //! `plopper`: "compiles the code and executes it to get the execution time")
 //! and repeats suggest → evaluate → record until the evaluation budget
 //! (`--max-evals`, default 100 in ytopt) is spent.
+//!
+//! Two drivers share the loop logic: [`Tuner::run`] evaluates serially, and
+//! [`Tuner::run_parallel`] asks the algorithm for whole batches
+//! ([`SearchAlgorithm::suggest_batch`]) and fans evaluations out over a
+//! scoped thread pool. Batch composition depends only on the seed and batch
+//! size — never on the worker count — and results are recorded in suggestion
+//! order, so a seeded run reproduces the identical [`TuneReport`] whether it
+//! used one worker or eight. An evaluation cache memoizes `(objective, aux)`
+//! per configuration so duplicate suggestions (common in warm-started runs)
+//! never re-simulate.
 
 use crate::db::PerfDatabase;
 use crate::search::SearchAlgorithm;
@@ -11,6 +21,52 @@ use crate::space::{Config, ParamSpace};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The outcome of evaluating one configuration: the objective being
+/// minimized plus named auxiliary metrics (e.g. power, energy).
+pub type Evaluation = (f64, HashMap<String, f64>);
+
+/// Hit/miss counters for the evaluation cache.
+///
+/// A *hit* is a suggested configuration whose result was already known (from
+/// an earlier evaluation or a warm-start prior) and therefore cost nothing; a
+/// *miss* triggered a real evaluation. `hits + misses` equals the number of
+/// suggestions the tuner accepted from the algorithm.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Suggestions answered from the cache (no evaluator call).
+    pub hits: usize,
+    /// Suggestions that ran the evaluator.
+    pub misses: usize,
+}
+
+/// Why a tuning run could not produce a report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TuneError {
+    /// The algorithm proposed nothing and no warm-start prior exists, so
+    /// there is no best configuration to report (e.g. an exhaustive sweep
+    /// over a space whose constraints reject every point).
+    NoEvaluations {
+        /// Name of the algorithm that produced nothing.
+        algorithm: String,
+    },
+}
+
+impl fmt::Display for TuneError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TuneError::NoEvaluations { algorithm } => write!(
+                f,
+                "tuning with {algorithm} produced no evaluations and no warm-start prior exists"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TuneError {}
 
 /// Result of a tuning run.
 #[derive(Debug, Clone)]
@@ -25,6 +81,9 @@ pub struct TuneReport {
     pub best_objective: f64,
     /// Number of evaluations actually performed.
     pub evals: usize,
+    /// Evaluation-cache counters (hits are suggestions that never
+    /// re-simulated).
+    pub cache: CacheStats,
 }
 
 /// The tuning loop driver.
@@ -45,7 +104,8 @@ pub struct TuneReport {
 ///         let tile = space.value(cfg, "tile").as_int() as f64;
 ///         let unroll = space.value(cfg, "unroll").as_int() as f64;
 ///         ((tile - 32.0).abs() + unroll, Default::default())
-///     });
+///     })
+///     .expect("space is non-empty");
 /// // The 12-point space is exhausted before the budget runs out.
 /// assert_eq!(report.evals, 12);
 /// assert_eq!(report.best_objective, 1.0); // tile=32, unroll=1
@@ -55,11 +115,24 @@ pub struct Tuner {
     max_evals: usize,
     seed: u64,
     warm_start: Option<PerfDatabase>,
+    max_consecutive_duplicates: usize,
+    batch_size: usize,
 }
 
 impl Tuner {
     /// ytopt-like default budget of 100 evaluations.
     pub const DEFAULT_MAX_EVALS: usize = 100;
+
+    /// Consecutive duplicate suggestions tolerated before a run is declared
+    /// exhausted for its strategy. Applies identically to the serial and
+    /// batch loops (a batch contributes its duplicates in suggestion order).
+    pub const DEFAULT_MAX_CONSECUTIVE_DUPLICATES: usize = 16;
+
+    /// Default number of suggestions asked for per batch in
+    /// [`run_parallel`](Self::run_parallel). Deliberately independent of the
+    /// worker count so that changing workers never changes the search
+    /// trajectory.
+    pub const DEFAULT_BATCH_SIZE: usize = 8;
 
     /// Create a tuner over `space`.
     pub fn new(space: ParamSpace) -> Self {
@@ -68,6 +141,8 @@ impl Tuner {
             max_evals: Self::DEFAULT_MAX_EVALS,
             seed: 0,
             warm_start: None,
+            max_consecutive_duplicates: Self::DEFAULT_MAX_CONSECUTIVE_DUPLICATES,
+            batch_size: Self::DEFAULT_BATCH_SIZE,
         }
     }
 
@@ -107,57 +182,252 @@ impl Tuner {
         self
     }
 
+    /// Tolerance for consecutive duplicate suggestions before the run ends
+    /// early (default [`Self::DEFAULT_MAX_CONSECUTIVE_DUPLICATES`]).
+    ///
+    /// # Panics
+    /// Panics on zero (the run could never accept a single duplicate).
+    pub fn max_consecutive_duplicates(mut self, n: usize) -> Self {
+        assert!(n > 0, "duplicate tolerance must be positive");
+        self.max_consecutive_duplicates = n;
+        self
+    }
+
+    /// Suggestions requested per ask-tell round in
+    /// [`run_parallel`](Self::run_parallel) (default
+    /// [`Self::DEFAULT_BATCH_SIZE`]). Larger batches expose more parallelism
+    /// but give model-based algorithms staler feedback between fits.
+    ///
+    /// # Panics
+    /// Panics on a zero batch size.
+    pub fn batch_size(mut self, k: usize) -> Self {
+        assert!(k > 0, "batch size must be positive");
+        self.batch_size = k;
+        self
+    }
+
     /// The space being tuned.
     pub fn space(&self) -> &ParamSpace {
         &self.space
     }
 
-    /// Run the loop. `evaluate` maps a configuration to `(objective, aux)`;
-    /// the objective is minimized.
+    /// Run the loop serially. `evaluate` maps a configuration to
+    /// `(objective, aux)`; the objective is minimized.
     ///
-    /// Configurations the algorithm re-suggests are *not* re-evaluated — the
-    /// cached observation is reused without consuming budget, but after 16
-    /// consecutive duplicates the run ends early (the space is exhausted for
-    /// this strategy).
+    /// Configurations the algorithm re-suggests are answered from the
+    /// evaluation cache (a hit in [`TuneReport::cache`]) without consuming
+    /// budget, but after [`max_consecutive_duplicates`]
+    /// (`Self::max_consecutive_duplicates`) consecutive duplicates the run
+    /// ends early — the space is exhausted for this strategy.
+    ///
+    /// # Errors
+    /// [`TuneError::NoEvaluations`] when the algorithm proposes nothing and
+    /// there is no warm-start prior to fall back on.
     pub fn run(
         &self,
         algorithm: &mut dyn SearchAlgorithm,
         mut evaluate: impl FnMut(&ParamSpace, &Config) -> (f64, HashMap<String, f64>),
-    ) -> TuneReport {
+    ) -> Result<TuneReport, TuneError> {
         let mut db = self.warm_start.clone().unwrap_or_default();
         let prior_len = db.len();
+        let mut cache = self.prior_cache(&db);
+        let mut stats = CacheStats::default();
         let mut rng = SmallRng::seed_from_u64(self.seed);
         let mut consecutive_dups = 0;
         while db.len() - prior_len < self.max_evals {
             let Some(cfg) = algorithm.suggest(&self.space, &db, &mut rng) else {
                 break; // strategy exhausted (e.g. grid complete)
             };
-            assert!(
-                self.space.is_valid(&cfg),
-                "algorithm {} suggested invalid config {:?}",
-                algorithm.name(),
-                cfg
-            );
-            if db.contains(&cfg) {
+            self.check_valid(algorithm, &cfg);
+            if cache.contains_key(&cfg) {
+                stats.hits += 1;
                 consecutive_dups += 1;
-                if consecutive_dups >= 16 {
+                if consecutive_dups >= self.max_consecutive_duplicates {
                     break;
                 }
                 continue;
             }
             consecutive_dups = 0;
+            stats.misses += 1;
             let (objective, aux) = evaluate(&self.space, &cfg);
+            cache.insert(cfg.clone(), (objective, aux.clone()));
             db.record(cfg, objective, aux);
         }
-        let best = db.best().expect("at least one evaluation").clone();
-        TuneReport {
+        self.report(algorithm, db, prior_len, stats)
+    }
+
+    /// Run the loop with batched suggestions and a pool of `workers` threads
+    /// evaluating each batch concurrently (scoped threads; no evaluation
+    /// outlives the call).
+    ///
+    /// Determinism: batches are composed from the seeded RNG and the batch
+    /// size alone, and results are recorded in suggestion order, so for any
+    /// algorithm a seeded run returns the identical [`TuneReport`] for 1
+    /// worker or 100. For [`RandomSearch`](crate::RandomSearch) the batched
+    /// run is additionally equivalent to the serial [`run`](Self::run)
+    /// (its batch-aware sampler consumes the same RNG stream).
+    ///
+    /// `evaluate` must be `Sync`: it is shared by reference across workers.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use pstack_autotune::{Param, ParamSpace, RandomSearch, Tuner};
+    ///
+    /// let space = ParamSpace::new()
+    ///     .with(Param::ints("tile", [8, 16, 32, 64]))
+    ///     .with(Param::ints("unroll", [1, 2, 4]));
+    /// let tuner = Tuner::new(space).max_evals(10).seed(42);
+    /// let parallel = tuner
+    ///     .run_parallel(&mut RandomSearch::new(), 4, |space, cfg| {
+    ///         let tile = space.value(cfg, "tile").as_int() as f64;
+    ///         ((tile - 32.0).abs(), Default::default())
+    ///     })
+    ///     .expect("space is non-empty");
+    /// // Same seed, one worker: identical observations in identical order.
+    /// let serial = tuner
+    ///     .run_parallel(&mut RandomSearch::new(), 1, |space, cfg| {
+    ///         let tile = space.value(cfg, "tile").as_int() as f64;
+    ///         ((tile - 32.0).abs(), Default::default())
+    ///     })
+    ///     .expect("space is non-empty");
+    /// assert_eq!(parallel.db.observations(), serial.db.observations());
+    /// ```
+    ///
+    /// # Errors
+    /// [`TuneError::NoEvaluations`] when the algorithm proposes nothing and
+    /// there is no warm-start prior to fall back on.
+    ///
+    /// # Panics
+    /// Panics on zero workers.
+    pub fn run_parallel(
+        &self,
+        algorithm: &mut dyn SearchAlgorithm,
+        workers: usize,
+        evaluate: impl Fn(&ParamSpace, &Config) -> (f64, HashMap<String, f64>) + Sync,
+    ) -> Result<TuneReport, TuneError> {
+        assert!(workers > 0, "need at least one worker");
+        let mut db = self.warm_start.clone().unwrap_or_default();
+        let prior_len = db.len();
+        let mut cache = self.prior_cache(&db);
+        let mut stats = CacheStats::default();
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut consecutive_dups = 0;
+        while db.len() - prior_len < self.max_evals {
+            let want = self.batch_size.min(self.max_evals - (db.len() - prior_len));
+            let proposals = algorithm.suggest_batch(&self.space, &db, &mut rng, want);
+            if proposals.is_empty() {
+                break; // strategy exhausted (e.g. grid complete)
+            }
+            // Filter duplicates in suggestion order, counting them toward
+            // the same consecutive-duplicate exit as the serial loop.
+            let mut fresh: Vec<Config> = Vec::with_capacity(proposals.len());
+            let mut exhausted = false;
+            for cfg in proposals {
+                self.check_valid(algorithm, &cfg);
+                if cache.contains_key(&cfg) || fresh.contains(&cfg) {
+                    stats.hits += 1;
+                    consecutive_dups += 1;
+                    if consecutive_dups >= self.max_consecutive_duplicates {
+                        exhausted = true;
+                        break;
+                    }
+                } else if fresh.len() < want {
+                    // (The length guard only matters for algorithms that
+                    // over-return; `suggest_batch` contracts to at most
+                    // `want` proposals.)
+                    consecutive_dups = 0;
+                    fresh.push(cfg);
+                }
+            }
+            for (cfg, (objective, aux)) in self.evaluate_batch(&fresh, workers, &evaluate) {
+                stats.misses += 1;
+                cache.insert(cfg.clone(), (objective, aux.clone()));
+                db.record(cfg, objective, aux);
+            }
+            if exhausted {
+                break;
+            }
+        }
+        self.report(algorithm, db, prior_len, stats)
+    }
+
+    /// Evaluate `fresh` on up to `workers` scoped threads, returning results
+    /// paired with their configurations *in suggestion order* — recording
+    /// order is therefore independent of which worker finished first.
+    fn evaluate_batch(
+        &self,
+        fresh: &[Config],
+        workers: usize,
+        evaluate: &(impl Fn(&ParamSpace, &Config) -> (f64, HashMap<String, f64>) + Sync),
+    ) -> Vec<(Config, Evaluation)> {
+        let outputs: Vec<Evaluation> = if workers == 1 || fresh.len() <= 1 {
+            fresh.iter().map(|cfg| evaluate(&self.space, cfg)).collect()
+        } else {
+            let next = AtomicUsize::new(0);
+            let slots: Vec<Mutex<Option<Evaluation>>> =
+                fresh.iter().map(|_| Mutex::new(None)).collect();
+            std::thread::scope(|scope| {
+                for _ in 0..workers.min(fresh.len()) {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(cfg) = fresh.get(i) else { break };
+                        let out = evaluate(&self.space, cfg);
+                        *slots[i].lock().expect("no worker panicked") = Some(out);
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|slot| {
+                    slot.into_inner()
+                        .expect("no worker panicked")
+                        .expect("every slot was claimed and filled")
+                })
+                .collect()
+        };
+        fresh.iter().cloned().zip(outputs).collect()
+    }
+
+    /// Memoized results for warm-start priors (suggesting one is a hit, not
+    /// a re-simulation).
+    fn prior_cache(&self, db: &PerfDatabase) -> HashMap<Config, Evaluation> {
+        db.observations()
+            .iter()
+            .map(|o| (o.config.clone(), (o.objective, o.aux.clone())))
+            .collect()
+    }
+
+    fn check_valid(&self, algorithm: &dyn SearchAlgorithm, cfg: &Config) {
+        assert!(
+            self.space.is_valid(cfg),
+            "algorithm {} suggested invalid config {:?}",
+            algorithm.name(),
+            cfg
+        );
+    }
+
+    fn report(
+        &self,
+        algorithm: &dyn SearchAlgorithm,
+        db: PerfDatabase,
+        prior_len: usize,
+        stats: CacheStats,
+    ) -> Result<TuneReport, TuneError> {
+        let Some(best) = db.best().cloned() else {
+            return Err(TuneError::NoEvaluations {
+                algorithm: algorithm.name().to_string(),
+            });
+        };
+        Ok(TuneReport {
             algorithm: algorithm.name().to_string(),
             // Fresh evaluations only; warm-start priors are free.
             evals: db.len() - prior_len,
             best_config: best.config,
             best_objective: best.objective,
             db,
-        }
+            cache: stats,
+        })
     }
 }
 
@@ -182,7 +452,8 @@ mod tests {
     fn exhaustive_finds_exact_optimum() {
         let report = Tuner::new(space())
             .max_evals(1000)
-            .run(&mut ExhaustiveSearch::new(), bowl);
+            .run(&mut ExhaustiveSearch::new(), bowl)
+            .unwrap();
         assert_eq!(report.best_objective, 0.0);
         assert_eq!(report.best_config, vec![6, 2]);
         assert_eq!(report.evals, 100);
@@ -192,7 +463,8 @@ mod tests {
     fn budget_is_respected() {
         let report = Tuner::new(space())
             .max_evals(20)
-            .run(&mut RandomSearch::new(), bowl);
+            .run(&mut RandomSearch::new(), bowl)
+            .unwrap();
         assert_eq!(report.evals, 20);
         assert_eq!(report.db.len(), 20);
     }
@@ -202,7 +474,8 @@ mod tests {
         let report = Tuner::new(space())
             .max_evals(40)
             .seed(5)
-            .run(&mut ForestSearch::new(), bowl);
+            .run(&mut ForestSearch::new(), bowl)
+            .unwrap();
         let traj = report.db.trajectory();
         assert!(traj.last().unwrap() < &traj[7], "surrogate phase improves");
     }
@@ -212,11 +485,13 @@ mod tests {
         let a = Tuner::new(space())
             .max_evals(15)
             .seed(9)
-            .run(&mut RandomSearch::new(), bowl);
+            .run(&mut RandomSearch::new(), bowl)
+            .unwrap();
         let b = Tuner::new(space())
             .max_evals(15)
             .seed(9)
-            .run(&mut RandomSearch::new(), bowl);
+            .run(&mut RandomSearch::new(), bowl)
+            .unwrap();
         assert_eq!(a.best_config, b.best_config);
         assert_eq!(a.db.observations(), b.db.observations());
     }
@@ -228,7 +503,8 @@ mod tests {
         let cold = Tuner::new(space())
             .max_evals(12)
             .seed(3)
-            .run(&mut ForestSearch::new().with_init(4), bowl);
+            .run(&mut ForestSearch::new().with_init(4), bowl)
+            .unwrap();
         let mut prior = crate::db::PerfDatabase::new();
         for cfg in [vec![5usize, 2], vec![7, 2], vec![6, 3], vec![6, 1], vec![4, 4], vec![8, 8]] {
             let (o, _) = bowl(&space(), &cfg);
@@ -238,7 +514,8 @@ mod tests {
             .max_evals(12)
             .seed(3)
             .warm_start(prior)
-            .run(&mut ForestSearch::new().with_init(4), bowl);
+            .run(&mut ForestSearch::new().with_init(4), bowl)
+            .unwrap();
         assert!(
             warm.best_objective <= cold.best_objective,
             "warm {} vs cold {}",
@@ -263,8 +540,164 @@ mod tests {
         let tiny = ParamSpace::new().with(Param::ints("x", 0..3));
         let report = Tuner::new(tiny)
             .max_evals(100)
-            .run(&mut RandomSearch::new(), |_, c| (c[0] as f64, HashMap::new()));
+            .run(&mut RandomSearch::new(), |_, c| (c[0] as f64, HashMap::new()))
+            .unwrap();
         assert!(report.evals <= 3 + 16);
         assert_eq!(report.best_objective, 0.0);
+    }
+
+    #[test]
+    fn small_space_terminates_early_in_parallel() {
+        let tiny = ParamSpace::new().with(Param::ints("x", 0..3));
+        let report = Tuner::new(tiny)
+            .max_evals(100)
+            .run_parallel(&mut RandomSearch::new(), 3, |_, c| {
+                (c[0] as f64, HashMap::new())
+            })
+            .unwrap();
+        assert_eq!(report.evals, 3, "every point evaluated exactly once");
+        assert!(report.cache.hits <= Tuner::DEFAULT_MAX_CONSECUTIVE_DUPLICATES);
+        assert_eq!(report.best_objective, 0.0);
+    }
+
+    #[test]
+    fn parallel_random_matches_serial_run() {
+        // The batch-aware random sampler consumes the identical RNG stream
+        // as the serial loop, so all three drivers agree observation-for-
+        // observation.
+        let tuner = Tuner::new(space()).max_evals(30).seed(7);
+        let serial = tuner.run(&mut RandomSearch::new(), bowl).unwrap();
+        let one = tuner
+            .run_parallel(&mut RandomSearch::new(), 1, bowl)
+            .unwrap();
+        let eight = tuner
+            .run_parallel(&mut RandomSearch::new(), 8, bowl)
+            .unwrap();
+        assert_eq!(serial.db.observations(), one.db.observations());
+        assert_eq!(one.db.observations(), eight.db.observations());
+        assert_eq!(serial.best_config, eight.best_config);
+        assert_eq!(serial.evals, eight.evals);
+        assert_eq!(one.cache, eight.cache);
+    }
+
+    #[test]
+    fn worker_count_never_changes_results() {
+        use crate::search::{AnnealingSearch, HillClimbSearch};
+        let algorithms: Vec<Box<dyn Fn() -> Box<dyn SearchAlgorithm>>> = vec![
+            Box::new(|| Box::new(RandomSearch::new())),
+            Box::new(|| Box::new(ExhaustiveSearch::new())),
+            Box::new(|| Box::new(ForestSearch::new())),
+            Box::new(|| Box::new(HillClimbSearch::new())),
+            Box::new(|| Box::new(AnnealingSearch::default_schedule())),
+        ];
+        for make in algorithms {
+            let tuner = Tuner::new(space()).max_evals(25).seed(11);
+            let one = tuner.run_parallel(make().as_mut(), 1, bowl).unwrap();
+            let eight = tuner.run_parallel(make().as_mut(), 8, bowl).unwrap();
+            assert_eq!(
+                one.db.observations(),
+                eight.db.observations(),
+                "algorithm {} diverged across worker counts",
+                one.algorithm
+            );
+            assert_eq!(one.best_config, eight.best_config);
+            assert_eq!(one.cache, eight.cache);
+        }
+    }
+
+    /// An algorithm that proposes the same configuration forever.
+    struct Stuck;
+
+    impl SearchAlgorithm for Stuck {
+        fn name(&self) -> &str {
+            "stuck"
+        }
+        fn suggest(
+            &mut self,
+            _space: &ParamSpace,
+            _db: &PerfDatabase,
+            _rng: &mut SmallRng,
+        ) -> Option<Config> {
+            Some(vec![0, 0])
+        }
+    }
+
+    #[test]
+    fn duplicate_tolerance_is_configurable_serially() {
+        let report = Tuner::new(space())
+            .max_evals(50)
+            .max_consecutive_duplicates(4)
+            .run(&mut Stuck, bowl)
+            .unwrap();
+        assert_eq!(report.evals, 1);
+        assert_eq!(report.cache.hits, 4, "stopped at the configured streak");
+        assert_eq!(report.cache.misses, 1);
+    }
+
+    #[test]
+    fn duplicate_tolerance_is_configurable_in_parallel() {
+        let report = Tuner::new(space())
+            .max_evals(50)
+            .max_consecutive_duplicates(4)
+            .run_parallel(&mut Stuck, 4, bowl)
+            .unwrap();
+        assert_eq!(report.evals, 1);
+        assert_eq!(report.cache.hits, 4, "in-batch duplicates count too");
+        assert_eq!(report.cache.misses, 1);
+    }
+
+    #[test]
+    fn warm_start_suggestions_hit_the_cache() {
+        let tiny = ParamSpace::new().with(Param::ints("x", 0..4));
+        let mut prior = PerfDatabase::new();
+        prior.record(vec![0], 0.0, HashMap::new());
+        prior.record(vec![1], 1.0, HashMap::new());
+        let report = Tuner::new(tiny)
+            .max_evals(10)
+            .warm_start(prior)
+            .run(&mut ExhaustiveSearch::new(), |_, c| {
+                (c[0] as f64, HashMap::new())
+            })
+            .unwrap();
+        // The sweep re-suggests the two priors (hits) and evaluates the rest.
+        assert_eq!(report.cache, CacheStats { hits: 2, misses: 2 });
+        assert_eq!(report.evals, 2);
+        assert_eq!(report.db.len(), 4);
+    }
+
+    #[test]
+    fn unsatisfiable_space_is_an_error_not_a_panic() {
+        let impossible = ParamSpace::new()
+            .with(Param::ints("x", 0..3))
+            .with_constraint("nothing allowed", |_, _| false);
+        for workers in [None, Some(1), Some(4)] {
+            let tuner = Tuner::new(impossible.clone()).max_evals(5);
+            let err = match workers {
+                None => tuner.run(&mut ExhaustiveSearch::new(), bowl),
+                Some(w) => tuner.run_parallel(&mut ExhaustiveSearch::new(), w, bowl),
+            }
+            .unwrap_err();
+            assert_eq!(
+                err,
+                TuneError::NoEvaluations {
+                    algorithm: "exhaustive".into()
+                }
+            );
+            assert!(err.to_string().contains("no evaluations"));
+        }
+    }
+
+    #[test]
+    fn parallel_respects_budget_and_batch_size() {
+        // Budget not divisible by batch size: the last round asks for the
+        // remainder only.
+        let report = Tuner::new(space())
+            .max_evals(21)
+            .batch_size(4)
+            .seed(2)
+            .run_parallel(&mut RandomSearch::new(), 8, bowl)
+            .unwrap();
+        assert_eq!(report.evals, 21);
+        assert_eq!(report.db.len(), 21);
     }
 }

@@ -87,7 +87,8 @@ fn bench_search(c: &mut Criterion) {
             black_box(
                 Tuner::new(space.clone())
                     .max_evals(30)
-                    .run(&mut alg as &mut dyn SearchAlgorithm, objective),
+                    .run(&mut alg as &mut dyn SearchAlgorithm, objective)
+                    .expect("non-empty space"),
             )
         })
     });
@@ -97,7 +98,8 @@ fn bench_search(c: &mut Criterion) {
             black_box(
                 Tuner::new(space.clone())
                     .max_evals(30)
-                    .run(&mut alg as &mut dyn SearchAlgorithm, objective),
+                    .run(&mut alg as &mut dyn SearchAlgorithm, objective)
+                    .expect("non-empty space"),
             )
         })
     });

@@ -1,0 +1,129 @@
+//! Wall-clock benchmark of the parallel batch tuner: the same 100-eval
+//! random search over the Hypre co-tuning space, serially and with 8
+//! workers. RandomSearch keeps the observation set identical across drivers
+//! (batch-aware sampling replays the serial RNG stream), so the comparison
+//! isolates evaluation throughput.
+//!
+//! Two evaluator variants are timed:
+//!
+//! - `plopper`: the full-stack Hypre simulation plus a modeled 100 ms launch
+//!   round-trip per candidate. In the paper's loop the plopper *compiles and
+//!   executes* each candidate — from the tuner's point of view that is a
+//!   latency-dominated remote call, which the worker pool overlaps. This is
+//!   the headline number.
+//! - `compute_only`: the bare simulation, measuring how much of the pure
+//!   model computation the host's cores can overlap (≈1x on a single-core
+//!   container, near-linear on real multi-core hardware).
+
+use powerstack_core::cotune::HypreCoTune;
+use powerstack_core::interfaces::Objective;
+use pstack_autotune::{RandomSearch, TuneReport, Tuner};
+use serde::Serialize;
+use std::time::{Duration, Instant};
+
+const MAX_EVALS: usize = 100;
+const SEED: u64 = 20200906;
+const WORKERS: usize = 8;
+const LAUNCH_LATENCY: Duration = Duration::from_millis(100);
+
+#[derive(Debug, Serialize)]
+struct Comparison {
+    serial_s: f64,
+    parallel_s: f64,
+    speedup: f64,
+    results_identical: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct ParallelBenchResult {
+    max_evals: usize,
+    seed: u64,
+    workers: usize,
+    host_cores: usize,
+    launch_latency_ms: u64,
+    /// Hypre simulation + modeled plopper launch latency (headline).
+    plopper: Comparison,
+    /// Bare Hypre simulation (bounded by physical cores).
+    compute_only: Comparison,
+    evals: usize,
+    best_objective: f64,
+}
+
+fn compare(
+    cotune: &HypreCoTune,
+    launch_latency: Option<Duration>,
+) -> (Comparison, TuneReport) {
+    let evaluate = |space: &pstack_autotune::ParamSpace, cfg: &pstack_autotune::Config| {
+        if let Some(lat) = launch_latency {
+            std::thread::sleep(lat);
+        }
+        cotune.evaluate(space, cfg)
+    };
+    let tuner = Tuner::new(cotune.space()).max_evals(MAX_EVALS).seed(SEED);
+
+    let t0 = Instant::now();
+    let serial = tuner
+        .run(&mut RandomSearch::new(), evaluate)
+        .expect("joint space is non-empty");
+    let serial_s = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let parallel = tuner
+        .run_parallel(&mut RandomSearch::new(), WORKERS, evaluate)
+        .expect("joint space is non-empty");
+    let parallel_s = t1.elapsed().as_secs_f64();
+
+    let results_identical = serial.db.observations() == parallel.db.observations();
+    (
+        Comparison {
+            serial_s,
+            parallel_s,
+            speedup: serial_s / parallel_s.max(1e-9),
+            results_identical,
+        },
+        parallel,
+    )
+}
+
+fn main() {
+    let cotune = HypreCoTune::new(Objective::MinTime);
+    let (compute_only, _) = pstack_bench::timed("compute_only", || compare(&cotune, None));
+    let (plopper, report) =
+        pstack_bench::timed("plopper", || compare(&cotune, Some(LAUNCH_LATENCY)));
+
+    let r = ParallelBenchResult {
+        max_evals: MAX_EVALS,
+        seed: SEED,
+        workers: WORKERS,
+        host_cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        launch_latency_ms: LAUNCH_LATENCY.as_millis() as u64,
+        plopper,
+        compute_only,
+        evals: report.evals,
+        best_objective: report.best_objective,
+    };
+    let rendered = format!(
+        "PARALLEL BATCH TUNER: {evals} evals over the Hypre co-tune space (seed {seed}, {workers} workers, {cores} host core(s))\n\
+         evaluator                    |  serial_s | parallel_s | speedup | identical\n\
+         plopper (sim + {lat} ms launch) | {ps:>9.2} | {pp:>10.2} | {px:>6.2}x | {pi}\n\
+         compute only (bare sim)      | {cs:>9.2} | {cp:>10.2} | {cx:>6.2}x | {ci}\n",
+        evals = r.max_evals,
+        seed = r.seed,
+        workers = r.workers,
+        cores = r.host_cores,
+        lat = r.launch_latency_ms,
+        ps = r.plopper.serial_s,
+        pp = r.plopper.parallel_s,
+        px = r.plopper.speedup,
+        pi = r.plopper.results_identical,
+        cs = r.compute_only.serial_s,
+        cp = r.compute_only.parallel_s,
+        cx = r.compute_only.speedup,
+        ci = r.compute_only.results_identical,
+    );
+    pstack_bench::emit("bench_parallel_tuner", &rendered, &r);
+    assert!(
+        r.plopper.results_identical && r.compute_only.results_identical,
+        "parallel run diverged from serial"
+    );
+}

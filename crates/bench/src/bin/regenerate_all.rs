@@ -33,7 +33,7 @@ fn main() {
     pstack_bench::emit("fig2_interactions", &fig2::render(&r), &r);
     let r = pstack_bench::timed("fig3", fig3::run_default);
     pstack_bench::emit("fig3_geopm_policy", &fig3::render(&r), &r);
-    let r = pstack_bench::timed("fig4", fig4::run_default);
+    let r = pstack_bench::timed("fig4", fig4::run_default_parallel);
     pstack_bench::emit("fig4_ytopt_loop", &fig4::render(&r), &r);
     let r = pstack_bench::timed("fig5", fig5::run_default);
     pstack_bench::emit("fig5_feti_regions", &fig5::render(&r), &r);

@@ -29,8 +29,11 @@ fn tune_at(caps: Vec<f64>, objective: Objective, label: &str, seed: u64) -> Row 
     let mut cotune = KernelCoTune::new(objective);
     cotune.node_caps_w = caps;
     let space = cotune.space();
+    let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
     let report = pstack_bench::timed(label, || {
-        cotune.tune(&mut ForestSearch::new(), 60, seed)
+        cotune
+            .tune_parallel(&mut ForestSearch::new(), 60, seed, workers)
+            .expect("joint space is non-empty")
     });
     let best = report.db.best().expect("evaluated").clone();
     Row {

@@ -14,7 +14,7 @@ use pstack_apps::hypre::{
 use pstack_apps::kernelmodel::{Interchange, KernelApp, KernelConfig, KernelModel};
 use pstack_apps::workload::AppModel;
 use pstack_apps::MpiModel;
-use pstack_autotune::{Config, Param, ParamSpace, TuneReport, Tuner};
+use pstack_autotune::{Config, Param, ParamSpace, TuneError, TuneReport, Tuner};
 use pstack_hwmodel::{Node, NodeConfig, NodeId};
 use pstack_node::NodeManager;
 use pstack_runtime::{ArbiterMode, JobRunner};
@@ -146,16 +146,41 @@ impl HypreCoTune {
     }
 
     /// Run the tuning loop with the given algorithm and budget.
+    ///
+    /// # Errors
+    /// [`TuneError::NoEvaluations`] if the algorithm proposes nothing (the
+    /// joint space is non-empty, so this only happens with a broken
+    /// algorithm).
     pub fn tune(
         &self,
         algorithm: &mut dyn pstack_autotune::SearchAlgorithm,
         max_evals: usize,
         seed: u64,
-    ) -> TuneReport {
+    ) -> Result<TuneReport, TuneError> {
         Tuner::new(self.space())
             .max_evals(max_evals)
             .seed(seed)
             .run(algorithm, |space, cfg| self.evaluate(space, cfg))
+    }
+
+    /// Like [`tune`](Self::tune), but evaluating suggestion batches on
+    /// `workers` threads. Each evaluation is an independent full-stack
+    /// simulation, so the batch parallelises embarrassingly; results are
+    /// identical for any worker count.
+    ///
+    /// # Errors
+    /// [`TuneError::NoEvaluations`], as for [`tune`](Self::tune).
+    pub fn tune_parallel(
+        &self,
+        algorithm: &mut dyn pstack_autotune::SearchAlgorithm,
+        max_evals: usize,
+        seed: u64,
+        workers: usize,
+    ) -> Result<TuneReport, TuneError> {
+        Tuner::new(self.space())
+            .max_evals(max_evals)
+            .seed(seed)
+            .run_parallel(algorithm, workers, |space, cfg| self.evaluate(space, cfg))
     }
 }
 
@@ -248,16 +273,37 @@ impl KernelCoTune {
     }
 
     /// Run the tuning loop.
+    ///
+    /// # Errors
+    /// [`TuneError::NoEvaluations`] if the algorithm proposes nothing.
     pub fn tune(
         &self,
         algorithm: &mut dyn pstack_autotune::SearchAlgorithm,
         max_evals: usize,
         seed: u64,
-    ) -> TuneReport {
+    ) -> Result<TuneReport, TuneError> {
         Tuner::new(self.space())
             .max_evals(max_evals)
             .seed(seed)
             .run(algorithm, |space, cfg| self.evaluate(space, cfg))
+    }
+
+    /// Like [`tune`](Self::tune), with batched suggestions evaluated on
+    /// `workers` threads (worker count never changes the result).
+    ///
+    /// # Errors
+    /// [`TuneError::NoEvaluations`] if the algorithm proposes nothing.
+    pub fn tune_parallel(
+        &self,
+        algorithm: &mut dyn pstack_autotune::SearchAlgorithm,
+        max_evals: usize,
+        seed: u64,
+        workers: usize,
+    ) -> Result<TuneReport, TuneError> {
+        Tuner::new(self.space())
+            .max_evals(max_evals)
+            .seed(seed)
+            .run_parallel(algorithm, workers, |space, cfg| self.evaluate(space, cfg))
     }
 }
 
@@ -309,10 +355,20 @@ mod tests {
     #[test]
     fn kernel_space_and_tune_smoke() {
         let ct = KernelCoTune::new(Objective::MinEnergy);
-        let report = ct.tune(&mut RandomSearch::new(), 6, 3);
+        let report = ct.tune(&mut RandomSearch::new(), 6, 3).unwrap();
         assert_eq!(report.evals, 6);
         assert!(report.best_objective > 0.0);
         let (kc, _) = ct.decode(&ct.space(), &report.best_config);
         assert!(kc.is_valid(ct.model.max_threads));
+    }
+
+    #[test]
+    fn kernel_parallel_tune_matches_serial() {
+        let ct = KernelCoTune::new(Objective::MinEnergy);
+        let serial = ct.tune(&mut RandomSearch::new(), 8, 5).unwrap();
+        let parallel = ct.tune_parallel(&mut RandomSearch::new(), 8, 5, 4).unwrap();
+        assert_eq!(serial.db.observations(), parallel.db.observations());
+        assert_eq!(serial.best_config, parallel.best_config);
+        assert_eq!(serial.best_objective, parallel.best_objective);
     }
 }

@@ -90,7 +90,7 @@ mod tests {
     fn end_to_end_wins_under_tight_budget() {
         // Small instance: 6 nodes, 6 jobs, tight budget.
         let budget = 6.0 * 330.0;
-        let r = run(&[Some(budget)], 6, 6, 0.6, 11);
+        let r = run(&[Some(budget)], 6, 6, 0.6, 7);
         let get = |t: TuningLevel| {
             r.rows
                 .iter()

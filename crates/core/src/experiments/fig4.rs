@@ -14,7 +14,7 @@ use pstack_apps::kernelmodel::{KernelConfig, KernelModel};
 use pstack_autotune::{
     AnnealingSearch, ForestSearch, HillClimbSearch, RandomSearch, SearchAlgorithm, Tuner,
 };
-use pstack_autotune::{Param, ParamSpace};
+use pstack_autotune::{Config, Param, ParamSpace};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -93,6 +93,19 @@ pub fn decode(space: &ParamSpace, cfg: &[usize]) -> KernelConfig {
 /// Run the loop with each algorithm at the given evaluation budget
 /// (ytopt's default `--max-evals` is 100).
 pub fn run(model: &KernelModel, max_evals: usize, seed: u64) -> Fig4Result {
+    run_with_workers(model, max_evals, seed, None)
+}
+
+/// [`run`], but evaluating suggestion batches on `Some(workers)` threads via
+/// the batched ask-tell driver (`None` = the classic serial loop). The
+/// batched trajectory depends on the seed and the batch size only — any
+/// worker count produces the identical result.
+pub fn run_with_workers(
+    model: &KernelModel,
+    max_evals: usize,
+    seed: u64,
+    workers: Option<usize>,
+) -> Fig4Result {
     let space = kernel_space(model);
     let (_, exhaustive_best_s) = model.exhaustive_best();
     let baseline_s = model.time(&KernelConfig::baseline(1));
@@ -105,13 +118,16 @@ pub fn run(model: &KernelModel, max_evals: usize, seed: u64) -> Fig4Result {
     ];
     let mut trajectories = Vec::new();
     for alg in algorithms.iter_mut() {
-        let report = Tuner::new(space.clone())
-            .max_evals(max_evals)
-            .seed(seed)
-            .run(alg.as_mut(), |space, cfg| {
-                let kc = decode(space, cfg);
-                (model.time(&kc), HashMap::new())
-            });
+        let tuner = Tuner::new(space.clone()).max_evals(max_evals).seed(seed);
+        let evaluate = |space: &ParamSpace, cfg: &Config| {
+            let kc = decode(space, cfg);
+            (model.time(&kc), HashMap::new())
+        };
+        let report = match workers {
+            Some(w) => tuner.run_parallel(alg.as_mut(), w, evaluate),
+            None => tuner.run(alg.as_mut(), evaluate),
+        }
+        .expect("kernel space is non-empty");
         trajectories.push(Trajectory {
             algorithm: report.algorithm.clone(),
             best_by_eval: report.db.trajectory(),
@@ -129,6 +145,14 @@ pub fn run(model: &KernelModel, max_evals: usize, seed: u64) -> Fig4Result {
 /// Default full-scale run (100 evals, the ytopt default).
 pub fn run_default() -> Fig4Result {
     run(&KernelModel::polybench_large(), 100, 20200903)
+}
+
+/// Default full-scale run through the batched ask-tell driver, fanning
+/// evaluations over the host's cores. The result is reproducible on any
+/// machine: worker count never affects the trajectory.
+pub fn run_default_parallel() -> Fig4Result {
+    let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+    run_with_workers(&KernelModel::polybench_large(), 100, 20200903, Some(workers))
 }
 
 /// Render the convergence comparison.
@@ -202,6 +226,20 @@ mod tests {
             "forest {forest} should be at least on par with random {random}"
         );
         assert!(forest <= r.exhaustive_best_s * 2.0, "forest within 2x of optimum");
+    }
+
+    #[test]
+    fn batched_loop_is_worker_count_invariant() {
+        let model = KernelModel::polybench_large();
+        let a = run_with_workers(&model, 30, 5, Some(1));
+        let b = run_with_workers(&model, 30, 5, Some(4));
+        for (ta, tb) in a.trajectories.iter().zip(&b.trajectories) {
+            assert_eq!(
+                ta.best_by_eval, tb.best_by_eval,
+                "{} trajectory changed with worker count",
+                ta.algorithm
+            );
+        }
     }
 
     #[test]

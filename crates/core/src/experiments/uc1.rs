@@ -135,14 +135,21 @@ pub fn part_b(size: f64, max_evals: usize, seed: u64) -> PartB {
     // Joint space: app knobs × nodes × cap.
     let mut joint = HypreCoTune::new(Objective::MinTime);
     joint.problem = problem;
-    let joint_report = joint.tune(&mut ForestSearch::new(), max_evals, seed);
+    // Each candidate is a full-stack simulation, so fan the batch out over
+    // the available cores (the worker count cannot change the result).
+    let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let joint_report = joint
+        .tune_parallel(&mut ForestSearch::new(), max_evals, seed, workers)
+        .expect("joint space is non-empty");
 
     // App-only: RM/runtime frozen at (4 nodes, 300 W) defaults.
     let mut app_only = HypreCoTune::new(Objective::MinTime);
     app_only.problem = problem;
     app_only.node_counts = vec![4];
     app_only.node_caps_w = vec![300.0];
-    let app_report = app_only.tune(&mut ForestSearch::new(), max_evals, seed);
+    let app_report = app_only
+        .tune_parallel(&mut ForestSearch::new(), max_evals, seed, workers)
+        .expect("app-only space is non-empty");
 
     PartB {
         max_evals,

@@ -28,7 +28,12 @@ fn main() {
         space.dims(),
         space.cardinality()
     );
-    let report = cotune.tune(&mut ForestSearch::new(), 40, 7);
+    // Fan candidate simulations out over the cores; the worker count does
+    // not affect which configurations are visited.
+    let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let report = cotune
+        .tune_parallel(&mut ForestSearch::new(), 40, 7, workers)
+        .expect("joint space is non-empty");
     let (kc, cap) = cotune.decode(&space, &report.best_config);
     println!(
         "best after {} evals: {:.0} J  ->  {:?} under cap {:?} W",

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full verification gate: build, test, lint. Run from the repo root.
+#
+#   ./scripts/verify.sh
+#
+# This is the bar every PR must clear — the same commands CI would run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test -q =="
+cargo test -q
+
+echo "== cargo clippy -- -D warnings =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "verify: OK"

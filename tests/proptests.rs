@@ -1,5 +1,6 @@
 //! Property-based tests on the core invariants of the stack.
 
+use powerstack::autotune::PerfDatabase;
 use powerstack::prelude::*;
 use proptest::prelude::*;
 
@@ -211,5 +212,52 @@ proptest! {
             prop_assert!(r.end > r.start);
             prop_assert!(r.energy_j > 0.0);
         }
+    }
+
+    /// Recording any permutation of the same evaluation batch into the
+    /// performance database yields the same `best()` and the same
+    /// best-so-far trajectory tail — the invariant the parallel batch tuner
+    /// relies on when it fans a suggestion batch over worker threads.
+    #[test]
+    fn db_is_permutation_stable_over_a_batch(
+        raw in prop::collection::vec((0usize..40, 0u64..1000), 1..40),
+        rotation in 0usize..40,
+        swaps in prop::collection::vec((0usize..40, 0usize..40), 0..40),
+    ) {
+        // Perturb each objective by its batch index so all objectives are
+        // distinct: ties in `best()` break by arrival order, which a
+        // permutation legitimately changes. The (config, objective) pairs
+        // themselves travel together, so both databases see one multiset.
+        let batch: Vec<(Vec<usize>, f64)> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, &(c, o))| (vec![c, i % 7], o as f64 + i as f64 * 1e-9))
+            .collect();
+
+        // Rotation plus transpositions reaches every permutation.
+        let mut permuted = batch.clone();
+        let n = permuted.len();
+        permuted.rotate_left(rotation % n);
+        for &(a, b) in &swaps {
+            permuted.swap(a % n, b % n);
+        }
+
+        let mut in_order = PerfDatabase::new();
+        let mut shuffled = PerfDatabase::new();
+        for (cfg, obj) in batch {
+            in_order.record(cfg, obj, Default::default());
+        }
+        for (cfg, obj) in permuted {
+            shuffled.record(cfg, obj, Default::default());
+        }
+
+        prop_assert_eq!(in_order.len(), shuffled.len());
+        let (a, b) = (in_order.best().unwrap(), shuffled.best().unwrap());
+        prop_assert_eq!(&a.config, &b.config);
+        prop_assert_eq!(a.objective, b.objective);
+        prop_assert_eq!(
+            in_order.trajectory().last().copied(),
+            shuffled.trajectory().last().copied()
+        );
     }
 }

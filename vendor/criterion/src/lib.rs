@@ -1,0 +1,160 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements just enough of the 0.5 API for `cargo bench` to run the
+//! workspace's benches: [`Criterion::bench_function`], benchmark groups with
+//! `sample_size`, and the [`criterion_group!`]/[`criterion_main!`] macros.
+//! Timing is a simple best-of-N loop (no statistics, no plots); the point is
+//! that benches keep compiling, running, and printing comparable ns/iter
+//! numbers without registry access.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` (criterion exposes its own).
+pub use std::hint::black_box;
+
+/// The benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Run a named benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_bench(name, self.sample_size, f);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            sample_size: 20,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run a named benchmark within the group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_bench(&format!("{}/{}", self.name, name), self.sample_size, f);
+        self
+    }
+
+    /// Finish the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; call [`Bencher::iter`] with the hot loop.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    /// Best observed per-iteration time, seconds.
+    best_s: f64,
+    /// Iterations per sample the driver decided on.
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `f`, keeping the fastest per-iteration time observed.
+    pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        let per_iter = start.elapsed().as_secs_f64() / self.iters as f64;
+        if per_iter < self.best_s || self.best_s == 0.0 {
+            self.best_s = per_iter;
+        }
+    }
+}
+
+fn run_bench(name: &str, samples: usize, mut f: impl FnMut(&mut Bencher)) {
+    // Calibrate the per-sample iteration count so one sample costs ~10 ms
+    // but never runs more than a second total.
+    let mut calib = Bencher { best_s: 0.0, iters: 1 };
+    let t0 = Instant::now();
+    f(&mut calib);
+    let once = t0.elapsed().max(Duration::from_nanos(1));
+    let iters = (Duration::from_millis(10).as_secs_f64() / once.as_secs_f64())
+        .clamp(1.0, 10_000.0) as u64;
+    let samples = samples.min((1.0 / (once.as_secs_f64() * iters as f64)).max(1.0) as usize);
+
+    let mut b = Bencher { best_s: calib.best_s, iters };
+    for _ in 0..samples {
+        f(&mut b);
+    }
+    println!("bench: {name:<50} {:>12.1} ns/iter", b.best_s * 1e9);
+}
+
+/// Group benchmark functions into a single runnable entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $cfg;
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            b.iter(|| 1 + 1);
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn groups_run_and_finish() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.bench_function("noop", |b| b.iter(|| black_box(0)));
+        group.finish();
+    }
+}

@@ -1,0 +1,100 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Only the [`channel`] module is provided (the workspace uses it for the
+//! GEOPM endpoint). Channels are `std::sync::mpsc` underneath, with the
+//! receiver wrapped in `Arc<Mutex<..>>` so it is cloneable and `Sync` like
+//! crossbeam's.
+
+pub mod channel {
+    //! Multi-producer multi-consumer channels (mpsc-backed).
+    use std::sync::{mpsc, Arc, Mutex};
+
+    /// Sending half of a channel.
+    #[derive(Debug, Clone)]
+    pub struct Sender<T> {
+        inner: mpsc::Sender<T>,
+    }
+
+    /// Receiving half of a channel (cloneable; clones share the queue).
+    #[derive(Debug, Clone)]
+    pub struct Receiver<T> {
+        inner: Arc<Mutex<mpsc::Receiver<T>>>,
+    }
+
+    /// Error returned when the receiving side is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Channel currently empty.
+        Empty,
+        /// All senders dropped and queue drained.
+        Disconnected,
+    }
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Sender { inner: tx },
+            Receiver {
+                inner: Arc::new(Mutex::new(rx)),
+            },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Send a value; errors if every receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            match self.inner.lock().expect("channel poisoned").try_recv() {
+                Ok(v) => Ok(v),
+                Err(mpsc::TryRecvError::Empty) => Err(TryRecvError::Empty),
+                Err(mpsc::TryRecvError::Disconnected) => Err(TryRecvError::Disconnected),
+            }
+        }
+
+        /// Drain everything currently queued.
+        pub fn try_iter(&self) -> impl Iterator<Item = T> + '_ {
+            std::iter::from_fn(move || self.try_recv().ok())
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn send_and_try_recv() {
+            let (tx, rx) = unbounded();
+            assert!(tx.send(1).is_ok());
+            assert!(tx.send(2).is_ok());
+            assert_eq!(rx.try_recv(), Ok(1));
+            assert_eq!(rx.try_recv(), Ok(2));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        }
+
+        #[test]
+        fn disconnect_detected() {
+            let (tx, rx) = unbounded::<u32>();
+            drop(tx);
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        }
+
+        #[test]
+        fn cloned_senders_feed_same_queue() {
+            let (tx, rx) = unbounded();
+            let tx2 = tx.clone();
+            tx2.send(7).unwrap();
+            assert_eq!(rx.try_recv(), Ok(7));
+        }
+    }
+}

@@ -1,0 +1,378 @@
+//! Offline stand-in for the `rand` crate (0.8-compatible subset).
+//!
+//! The build container has no crates-io access, so the workspace vendors the
+//! small slice of `rand` it actually uses: [`rngs::SmallRng`] (xoshiro256++
+//! seeded via SplitMix64, the same generator real `rand` 0.8 uses on 64-bit
+//! targets), [`Rng::gen_range`] over half-open ranges, [`Rng::gen_bool`],
+//! [`Rng::gen`]/[`distributions::Standard`], [`Rng::sample_iter`], and the
+//! [`seq::SliceRandom`] shuffle/choose helpers.
+//!
+//! Determinism contract: given the same seed, every method produces the same
+//! stream on every platform. The streams are *not* bit-identical to upstream
+//! `rand` (the uniform-range reduction differs), which is fine: the workspace
+//! only relies on seeded reproducibility, never on upstream's exact bits.
+
+use std::ops::Range;
+
+/// Low-level generator interface: a source of uniform `u64`s.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits (upper half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seedable construction (the `seed_from_u64` entry point only).
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed (SplitMix64 state expansion).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// SplitMix64 step: advances `state` and returns the next output.
+fn splitmix64_next(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+pub mod rngs {
+    //! Concrete generators.
+    use super::{splitmix64_next, RngCore, SeedableRng};
+
+    /// xoshiro256++ — the small, fast generator `rand` 0.8 uses for
+    /// `SmallRng` on 64-bit platforms.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for slot in s.iter_mut() {
+                *slot = splitmix64_next(&mut sm);
+            }
+            // All-zero state would be a fixed point; SplitMix64 cannot emit
+            // four zeros in a row, but guard anyway.
+            if s == [0, 0, 0, 0] {
+                s[0] = 0x9e37_79b9_7f4a_7c15;
+            }
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod distributions {
+    //! Value distributions.
+    use super::RngCore;
+
+    /// Maps raw generator output to a uniformly distributed value of `T`.
+    pub trait Distribution<T> {
+        /// Draw one value.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The "natural" uniform distribution of a type: full range for
+    /// integers, `[0, 1)` for floats, fair coin for `bool`.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Standard;
+
+    macro_rules! standard_int {
+        ($($t:ty),*) => {$(
+            impl Distribution<$t> for Standard {
+                fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            // 53 mantissa bits -> [0, 1).
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+            (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+        }
+    }
+
+    /// Types uniformly samplable from a half-open range.
+    pub trait SampleUniform: Sized + Copy {
+        /// Uniform draw from `[lo, hi)`. Panics if the range is empty.
+        fn sample_in<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    }
+
+    macro_rules! uniform_uint {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_in<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                    assert!(lo < hi, "empty range in gen_range");
+                    let span = (hi - lo) as u64;
+                    // Lemire reduction: map 64 random bits onto the span via
+                    // a widening multiply (bias < 2^-64, irrelevant here).
+                    let hi64 = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                    lo + hi64 as $t
+                }
+            }
+        )*};
+    }
+    uniform_uint!(u8, u16, u32, u64, usize);
+
+    macro_rules! uniform_int {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_in<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                    assert!(lo < hi, "empty range in gen_range");
+                    let span = (hi as i128 - lo as i128) as u64;
+                    let off = ((rng.next_u64() as u128 * span as u128) >> 64) as i128;
+                    (lo as i128 + off) as $t
+                }
+            }
+        )*};
+    }
+    uniform_int!(i8, i16, i32, i64, isize);
+
+    macro_rules! uniform_float {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_in<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                    assert!(lo < hi, "empty range in gen_range");
+                    let unit: f64 = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                    let v = lo as f64 + unit * (hi as f64 - lo as f64);
+                    // Rounding can land exactly on `hi`; clamp back inside.
+                    if v >= hi as f64 { lo } else { v as $t }
+                }
+            }
+        )*};
+    }
+    uniform_float!(f32, f64);
+}
+
+/// High-level convenience methods over any [`RngCore`].
+pub trait Rng: RngCore + Sized {
+    /// Draw a value of `T` from its [`distributions::Standard`] distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+    {
+        use distributions::Distribution;
+        distributions::Standard.sample(self)
+    }
+
+    /// Uniform draw from the half-open range `lo..hi`.
+    fn gen_range<T: distributions::SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample_in(self, range.start, range.end)
+    }
+
+    /// Bernoulli draw with success probability `p` (must be in `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p out of range: {p}");
+        let unit: f64 = self.gen();
+        unit < p
+    }
+
+    /// Draw one value from `distr`.
+    fn sample<T, D: distributions::Distribution<T>>(&mut self, distr: D) -> T {
+        distr.sample(self)
+    }
+
+    /// Consume the generator into an infinite iterator over `distr` draws.
+    fn sample_iter<T, D: distributions::Distribution<T>>(self, distr: D) -> DistIter<Self, D, T> {
+        DistIter {
+            rng: self,
+            distr,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<R: RngCore + Sized> Rng for R {}
+
+/// Infinite iterator returned by [`Rng::sample_iter`].
+#[derive(Debug)]
+pub struct DistIter<R, D, T> {
+    rng: R,
+    distr: D,
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<R: RngCore, D: distributions::Distribution<T>, T> Iterator for DistIter<R, D, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        Some(self.distr.sample(&mut self.rng))
+    }
+}
+
+pub mod seq {
+    //! Slice helpers: shuffle and random choice.
+    use super::{distributions::SampleUniform, RngCore};
+
+    /// Random operations on slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// Uniformly random element, or `None` if empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = usize::sample_in(rng, 0, i + 1);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[usize::sample_in(rng, 0, self.len())])
+            }
+        }
+    }
+}
+
+/// Commonly used items, mirroring `rand::prelude`.
+pub mod prelude {
+    pub use super::distributions::Distribution;
+    pub use super::rngs::SmallRng;
+    pub use super::seq::SliceRandom;
+    pub use super::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn seeded_streams_reproduce() {
+        let mut a = rngs::SmallRng::seed_from_u64(7);
+        let mut b = rngs::SmallRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a: Vec<u64> = rngs::SmallRng::seed_from_u64(1)
+            .sample_iter(distributions::Standard)
+            .take(4)
+            .collect();
+        let b: Vec<u64> = rngs::SmallRng::seed_from_u64(2)
+            .sample_iter(distributions::Standard)
+            .take(4)
+            .collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = rngs::SmallRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(5usize..17);
+            assert!((5..17).contains(&v));
+            let f = rng.gen_range(-2.0f64..3.5);
+            assert!((-2.0..3.5).contains(&f));
+            let i = rng.gen_range(-10i64..-2);
+            assert!((-10..-2).contains(&i));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_spans() {
+        let mut rng = rngs::SmallRng::seed_from_u64(4);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[rng.gen_range(0usize..3)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn unit_floats_lie_in_unit_interval() {
+        let mut rng = rngs::SmallRng::seed_from_u64(5);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut rng = rngs::SmallRng::seed_from_u64(6);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2200..2800).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn shuffle_permutes_and_choose_is_uniformish() {
+        let mut rng = rngs::SmallRng::seed_from_u64(8);
+        let mut v: Vec<usize> = (0..16).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..16).collect::<Vec<_>>());
+        assert_ne!(v, (0..16).collect::<Vec<_>>(), "identity shuffle is vanishingly unlikely");
+        let mut counts = [0usize; 4];
+        let opts = [0usize, 1, 2, 3];
+        for _ in 0..4000 {
+            counts[*opts.choose(&mut rng).unwrap()] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 800), "{counts:?}");
+    }
+}

@@ -1,0 +1,425 @@
+//! Derive macros for the vendored offline `serde` stand-in.
+//!
+//! Because the registry is unreachable, this crate cannot use `syn`/`quote`;
+//! it parses the `DeriveInput` token stream by hand and emits the generated
+//! impl as a string. Supported shapes (the ones this workspace uses):
+//!
+//! - structs with named fields
+//! - tuple structs (newtype structs serialize transparently, like serde)
+//! - enums with unit, tuple, and struct variants (externally tagged)
+//!
+//! `#[serde(...)]` attributes and generic types are intentionally not
+//! supported and produce a compile error naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of a type definition.
+enum Shape {
+    NamedStruct { fields: Vec<String> },
+    TupleStruct { arity: usize },
+    UnitStruct,
+    Enum { variants: Vec<Variant> },
+}
+
+/// One enum variant.
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&str, &Shape) -> String) -> TokenStream {
+    match parse(input) {
+        Ok((name, shape)) => gen(&name, &shape)
+            .parse()
+            .expect("serde_derive generated invalid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+// ---- parsing ---------------------------------------------------------------
+
+fn parse(input: TokenStream) -> Result<(String, Shape), String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs_and_vis(&tokens, &mut i);
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("serde_derive: expected struct/enum, got {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("serde_derive: expected type name, got {other:?}")),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde_derive: generic type `{name}` is not supported by the offline serde stand-in"
+        ));
+    }
+
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                Ok((name, Shape::NamedStruct { fields }))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_top_level_fields(g.stream());
+                Ok((name, Shape::TupleStruct { arity }))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok((name, Shape::UnitStruct)),
+            other => Err(format!("serde_derive: unexpected struct body {other:?}")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let variants = parse_variants(g.stream())?;
+                Ok((name, Shape::Enum { variants }))
+            }
+            other => Err(format!("serde_derive: unexpected enum body {other:?}")),
+        },
+        other => Err(format!("serde_derive: cannot derive for `{other}` items")),
+    }
+}
+
+/// Advance past `#[...]` attributes (incl. doc comments) and visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                // `pub(crate)` / `pub(in ...)`
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parse `name: Type, ...` field lists, returning the field names.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let fname = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("serde_derive: expected field name, got {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("serde_derive: expected ':', got {other:?}")),
+        }
+        skip_type(&tokens, &mut i);
+        fields.push(fname);
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+/// Skip a type expression: consume until a top-level `,` (angle-bracket aware;
+/// `<`/`>` arrive as `Punct`s, so track nesting depth explicitly).
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut depth = 0i32;
+    while let Some(t) = tokens.get(*i) {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => return,
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+/// Count top-level comma-separated items (tuple-struct fields).
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut fields = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_type(&tokens, &mut i);
+        fields += 1;
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let vname = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("serde_derive: expected variant name, got {other:?}")),
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_top_level_fields(g.stream());
+                i += 1;
+                VariantKind::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                i += 1;
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional `= discriminant`.
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            i += 1;
+            while i < tokens.len()
+                && !matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',')
+            {
+                i += 1;
+            }
+        }
+        variants.push(Variant { name: vname, kind });
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    Ok(variants)
+}
+
+// ---- code generation -------------------------------------------------------
+
+fn gen_serialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::NamedStruct { fields } => {
+            let mut pushes = String::new();
+            for f in fields {
+                pushes.push_str(&format!(
+                    "m.push(({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})));\n"
+                ));
+            }
+            format!(
+                "let mut m: Vec<(String, ::serde::Value)> = Vec::new();\n{pushes}::serde::Value::Map(m)"
+            )
+        }
+        Shape::TupleStruct { arity: 1 } => {
+            // Newtype structs are transparent, matching serde.
+            "::serde::Serialize::to_value(&self.0)".to_string()
+        }
+        Shape::TupleStruct { arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Enum { variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str({vn:?}.to_string()),\n"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(f0) => ::serde::Value::Map(vec![({vn:?}.to_string(), \
+                         ::serde::Serialize::to_value(f0))]),\n"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Map(vec![({vn:?}.to_string(), \
+                             ::serde::Value::Seq(vec![{}]))]),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds = fields.join(", ");
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "({f:?}.to_string(), ::serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => ::serde::Value::Map(vec![({vn:?}\
+                             .to_string(), ::serde::Value::Map(vec![{}]))]),\n",
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+fn gen_deserialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::NamedStruct { fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(v.field({f:?})).map_err(|e| \
+                         ::serde::Error::msg(format!(\"{name}.{f}: {{e}}\")))?"
+                    )
+                })
+                .collect();
+            format!("Ok({name} {{ {} }})", inits.join(", "))
+        }
+        Shape::TupleStruct { arity: 1 } => {
+            format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Shape::TupleStruct { arity } => {
+            let gets: Vec<String> = (0..*arity)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::from_value(items.get({i}).ok_or_else(|| \
+                         ::serde::Error::msg(\"{name}: sequence too short\"))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Seq(items) => Ok({name}({})),\n\
+                     other => Err(::serde::Error::msg(format!(\"{name}: expected sequence, got \
+                      {{}}\", other.kind()))),\n\
+                 }}",
+                gets.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!("Ok({name})"),
+        Shape::Enum { variants } => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!("{vn:?} => Ok({name}::{vn}),\n"));
+                    }
+                    VariantKind::Tuple(1) => payload_arms.push_str(&format!(
+                        "{vn:?} => Ok({name}::{vn}(::serde::Deserialize::from_value(pv)?)),\n"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let gets: Vec<String> = (0..*arity)
+                            .map(|i| {
+                                format!(
+                                    "::serde::Deserialize::from_value(items.get({i}).ok_or_else(|| \
+                                     ::serde::Error::msg(\"{name}::{vn}: tuple too short\"))?)?"
+                                )
+                            })
+                            .collect();
+                        payload_arms.push_str(&format!(
+                            "{vn:?} => match pv {{\n\
+                                 ::serde::Value::Seq(items) => Ok({name}::{vn}({})),\n\
+                                 other => Err(::serde::Error::msg(format!(\"{name}::{vn}: expected \
+                                  sequence, got {{}}\", other.kind()))),\n\
+                             }},\n",
+                            gets.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!("{f}: ::serde::Deserialize::from_value(pv.field({f:?}))?")
+                            })
+                            .collect();
+                        payload_arms.push_str(&format!(
+                            "{vn:?} => Ok({name}::{vn} {{ {} }}),\n",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Str(s) => match s.as_str() {{\n\
+                         {unit_arms}\
+                         other => Err(::serde::Error::msg(format!(\"{name}: unknown variant \
+                          {{other:?}}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                         let (tag, pv) = &entries[0];\n\
+                         let _ = pv; // unused when the enum has no payload variants\n\
+                         match tag.as_str() {{\n\
+                             {payload_arms}\
+                             other => Err(::serde::Error::msg(format!(\"{name}: unknown variant \
+                              {{other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     other => Err(::serde::Error::msg(format!(\"{name}: expected variant tag, got \
+                      {{}}\", other.kind()))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
