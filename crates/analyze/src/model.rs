@@ -1,0 +1,98 @@
+//! The static view of the framework the lint rules inspect.
+//!
+//! [`FrameworkModel`] is a plain-data snapshot of everything the stack
+//! declares about itself before a single simulation tick runs: the Table 1
+//! knob registry, the component catalog, the vocabulary, the node hardware
+//! description, and every search specification (parameter space + tuner
+//! budget + warm-start priors) the experiments use. Rules read the model;
+//! they never construct framework objects themselves, so tests can hand
+//! them deliberately-broken snapshots.
+
+use powerstack_core::cotune::{HypreCoTune, KernelCoTune};
+use powerstack_core::experiments::{self, ExperimentInfo};
+use powerstack_core::{
+    component_catalog, knob_registry, vocabulary, CatalogEntry, Knob, Objective, Term,
+};
+use pstack_autotune::{Config, ParamSpace};
+use pstack_hwmodel::NodeConfig;
+
+/// One search configuration the framework will run: a parameter space plus
+/// the tuner budget and warm-start priors aimed at it.
+pub struct SearchSpec {
+    /// Name used in diagnostic paths, e.g. `"cotune.hypre"`.
+    pub name: String,
+    /// The space the search runs over.
+    pub space: ParamSpace,
+    /// Evaluation budget (`Tuner::max_evals`).
+    pub max_evals: usize,
+    /// Parallel batch size (`Tuner::batch_size`).
+    pub batch_size: usize,
+    /// Warm-start prior configurations, if any.
+    pub warm_start: Vec<Config>,
+}
+
+impl SearchSpec {
+    /// Build a spec with no warm-start priors.
+    pub fn new(
+        name: impl Into<String>,
+        space: ParamSpace,
+        max_evals: usize,
+        batch_size: usize,
+    ) -> Self {
+        SearchSpec {
+            name: name.into(),
+            space,
+            max_evals,
+            batch_size,
+            warm_start: Vec::new(),
+        }
+    }
+}
+
+/// Everything the analyzer looks at, as data.
+pub struct FrameworkModel {
+    /// Hardware description the power/thermal rules check against.
+    pub node: NodeConfig,
+    /// The Table 1 knob registry.
+    pub knobs: Vec<Knob>,
+    /// The Table 2 component catalog.
+    pub catalog: Vec<CatalogEntry>,
+    /// The Table 3 vocabulary.
+    pub vocabulary: Vec<Term>,
+    /// The experiment manifest.
+    pub experiments: Vec<ExperimentInfo>,
+    /// Every search configuration the experiments run.
+    pub searches: Vec<SearchSpec>,
+    /// Control resources that have an arbiter mediating concurrent writers
+    /// (the in-job `pstack_runtime::Arbiter` plus the RAPL hardware cap
+    /// taking the min of requests). Multiple writers of an arbitrated
+    /// resource is a warning; of an unarbitrated one, an error.
+    pub arbitrated_controls: Vec<&'static str>,
+    /// The system power reserve fraction
+    /// (`ObjectiveTranslator::system_reserve_fraction`).
+    pub system_reserve_fraction: f64,
+}
+
+impl FrameworkModel {
+    /// The model of the shipped framework: everything the experiments in
+    /// this workspace actually construct. `pstack_lint` and the startup
+    /// gates run the rules over this snapshot.
+    pub fn shipped() -> Self {
+        let hypre = HypreCoTune::new(Objective::MinEdp);
+        let kernel = KernelCoTune::new(Objective::MinEnergy);
+        FrameworkModel {
+            node: NodeConfig::server_default(),
+            knobs: knob_registry(),
+            catalog: component_catalog(),
+            vocabulary: vocabulary(),
+            experiments: experiments::manifest(),
+            searches: vec![
+                SearchSpec::new("cotune.hypre", hypre.space(), 100, 8),
+                SearchSpec::new("cotune.kernel", kernel.space(), 100, 8),
+            ],
+            arbitrated_controls: vec!["rapl-cap", "core-freq", "uncore-freq", "duty-cycle"],
+            system_reserve_fraction: powerstack_core::ObjectiveTranslator::default()
+                .system_reserve_fraction,
+        }
+    }
+}

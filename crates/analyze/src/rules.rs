@@ -1,0 +1,1008 @@
+//! The lint rules.
+//!
+//! Every rule is a [`Lint`] with a stable ID (`PSA001`..`PSA011`), a
+//! one-line description, and a pure `check` over a [`FrameworkModel`].
+//! Rules never mutate anything and never read the environment, so the
+//! report for a given model is byte-deterministic. [`registry`] returns
+//! them in fixed ID order; [`crate::analyze`] runs them all.
+
+use std::collections::BTreeMap;
+
+use powerstack_core::translate::JobShare;
+use powerstack_core::{Actor, Knob, Layer, ObjectiveTranslator, PowerBudget, Temporal};
+use pstack_autotune::{ParamSpace, ParamValue};
+use pstack_diag::Diagnostic;
+use pstack_hwmodel::{PhaseKind, PhaseMix};
+use pstack_node::Signal;
+
+use crate::model::{FrameworkModel, SearchSpec};
+
+/// One static-analysis rule.
+pub trait Lint {
+    /// Stable rule ID, e.g. `"PSA004"`.
+    fn id(&self) -> &'static str;
+    /// Short kebab-case name, e.g. `"space-well-formed"`.
+    fn name(&self) -> &'static str;
+    /// One-line description of what the rule enforces.
+    fn description(&self) -> &'static str;
+    /// Run the rule over a model snapshot.
+    fn check(&self, model: &FrameworkModel) -> Vec<Diagnostic>;
+}
+
+/// All rules, in fixed ID order. The report order (and therefore the JSON
+/// and text renderings) follows this sequence.
+pub fn registry() -> Vec<Box<dyn Lint>> {
+    vec![
+        Box::new(KnobBoundContainment),
+        Box::new(KnobOwnershipConflicts),
+        Box::new(UnitConsistency),
+        Box::new(SpaceWellFormedness),
+        Box::new(PowerModelSanity),
+        Box::new(SearchFeasibility),
+        Box::new(CatalogIntegrity),
+        Box::new(ExperimentIntegrity),
+        Box::new(TranslatorSanity),
+        Box::new(RegistryWellFormedness),
+        Box::new(LayerInvariants),
+    ]
+}
+
+/// Crates an `implemented_by`/`analog` path may reference.
+const KNOWN_CRATES: [&str; 12] = [
+    "powerstack_core",
+    "pstack_rm",
+    "pstack_runtime",
+    "pstack_apps",
+    "pstack_node",
+    "pstack_hwmodel",
+    "pstack_autotune",
+    "pstack_sim",
+    "pstack_telemetry",
+    "pstack_bench",
+    "pstack_diag",
+    "pstack_analyze",
+];
+
+/// Enumerating constraints beyond this lattice size is skipped (reported as
+/// an Info diagnostic, never silently).
+const ENUMERATION_LIMIT: u128 = 1_000_000;
+
+/// Diagnostic layer tag for a registry layer.
+fn layer_tag(layer: Layer) -> &'static str {
+    match layer {
+        Layer::System => "system",
+        Layer::JobRuntime => "job-runtime",
+        Layer::Application => "application",
+        Layer::Node => "node",
+    }
+}
+
+fn actor_tag(actor: Actor) -> &'static str {
+    match actor {
+        Actor::ResourceManager => "resource-manager",
+        Actor::RuntimeSystem => "runtime-system",
+        Actor::Application => "application",
+        Actor::NodeManager => "node-manager",
+    }
+}
+
+/// Numeric view of a parameter value, if it has one.
+fn numeric(v: &ParamValue) -> Option<f64> {
+    match v {
+        ParamValue::Int(i) => Some(*i as f64),
+        ParamValue::Float(f) => Some(*f),
+        ParamValue::Str(_) | ParamValue::Bool(_) => None,
+    }
+}
+
+/// Count of valid grid points, or `None` when the lattice is too large to
+/// enumerate within [`ENUMERATION_LIMIT`].
+fn valid_cardinality(space: &ParamSpace) -> Option<u128> {
+    if space.dims() == 0 || space.cardinality() > ENUMERATION_LIMIT {
+        return None;
+    }
+    Some(space.enumerate().count() as u128)
+}
+
+// ---------------------------------------------------------------------------
+// PSA001 — knob-bound containment
+// ---------------------------------------------------------------------------
+
+/// Search-space knob values must sit inside the physical envelopes the
+/// hardware model declares (power caps inside `[idle, peak]`, frequencies
+/// inside the plausible DVFS band, thread counts inside the core count).
+pub struct KnobBoundContainment;
+
+impl Lint for KnobBoundContainment {
+    fn id(&self) -> &'static str {
+        "PSA001"
+    }
+    fn name(&self) -> &'static str {
+        "knob-bound-containment"
+    }
+    fn description(&self) -> &'static str {
+        "search-space knob values stay inside hwmodel physical envelopes"
+    }
+    fn check(&self, model: &FrameworkModel) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        let (f_lo, f_hi) = pstack_hwmodel::invariants::FREQ_ENVELOPE_GHZ;
+        let total_cores = model.node.total_cores();
+        for spec in &model.searches {
+            for p in spec.space.params() {
+                let path = format!("{}/{}", spec.name, p.name);
+                if p.name.ends_with("cap_w") {
+                    for v in &p.values {
+                        let Some(w) = numeric(v) else { continue };
+                        // 0.0 is the "uncapped" sentinel throughout the
+                        // co-tuning spaces; only real caps are checked.
+                        if w == 0.0 {
+                            continue;
+                        }
+                        out.extend(pstack_hwmodel::invariants::check_cap_in_envelope(
+                            self.id(),
+                            w,
+                            &model.node,
+                            &path,
+                        ));
+                    }
+                } else if p.name.contains("freq") || p.name.ends_with("_ghz") {
+                    for v in &p.values {
+                        let Some(f) = numeric(v) else { continue };
+                        if !(f_lo..=f_hi).contains(&f) {
+                            out.push(Diagnostic::error(
+                                self.id(),
+                                "cross-layer",
+                                &path,
+                                format!(
+                                    "frequency {f} GHz outside the plausible DVFS envelope \
+                                     [{f_lo}, {f_hi}] GHz"
+                                ),
+                            ));
+                        }
+                    }
+                } else if p.name == "threads" {
+                    for v in &p.values {
+                        let Some(t) = numeric(v) else { continue };
+                        if t < 1.0 || t > total_cores as f64 {
+                            out.push(Diagnostic::error(
+                                self.id(),
+                                "cross-layer",
+                                &path,
+                                format!(
+                                    "thread count {t} outside [1, {total_cores}] \
+                                     (node has {total_cores} cores)"
+                                ),
+                            ));
+                        }
+                    }
+                } else if p.name == "nodes" {
+                    for v in &p.values {
+                        let Some(n) = numeric(v) else { continue };
+                        if n < 1.0 {
+                            out.push(Diagnostic::error(
+                                self.id(),
+                                "cross-layer",
+                                &path,
+                                format!("node count {n} must be at least 1"),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PSA002 — cross-layer knob ownership conflicts
+// ---------------------------------------------------------------------------
+
+/// The control resource a registry knob actuates, when it is unambiguous.
+///
+/// This is the mapping the ownership-conflict rule (the paper's §3.2
+/// hazard) runs on: two distinct (layer, actor) pairs writing the same
+/// resource is a conflict. Knobs whose target is ambiguous (e.g. MERIC's
+/// whole-configuration control) map to `None` and are exempt.
+pub fn control_resource(knob: &Knob) -> Option<&'static str> {
+    let ib = knob.implemented_by;
+    let name = knob.name;
+    if ib.contains("set_power_limit")
+        || ib.contains("::cap::")
+        || knob.method.contains("power balancing")
+    {
+        Some("rapl-cap")
+    } else if ib.contains("set_freq") || ib.contains("countdown") || name.contains("DVFS") {
+        Some("core-freq")
+    } else if ib.contains("set_uncore") || ib.contains("scavenger") || name.contains("uncore") {
+        Some("uncore-freq")
+    } else if ib.contains("dutycycle")
+        || ib.contains("DutyCycle")
+        || name.contains("clock modulation")
+    {
+        Some("duty-cycle")
+    } else if ib.contains("fit_nodes") || ib.contains("irm") {
+        Some("node-assignment")
+    } else {
+        None
+    }
+}
+
+/// Two distinct (layer, actor) pairs writing the same control is the §3.2
+/// interaction hazard. If the stack declares an arbiter for the resource
+/// the overlap is a warning (arbitration is exactly what makes co-residency
+/// legal); without one it is an error.
+pub struct KnobOwnershipConflicts;
+
+impl Lint for KnobOwnershipConflicts {
+    fn id(&self) -> &'static str {
+        "PSA002"
+    }
+    fn name(&self) -> &'static str {
+        "knob-ownership-conflicts"
+    }
+    fn description(&self) -> &'static str {
+        "no two (layer, actor) pairs write the same control without an arbiter"
+    }
+    fn check(&self, model: &FrameworkModel) -> Vec<Diagnostic> {
+        let mut writers: BTreeMap<&'static str, Vec<&Knob>> = BTreeMap::new();
+        for k in &model.knobs {
+            if let Some(res) = control_resource(k) {
+                writers.entry(res).or_default().push(k);
+            }
+        }
+        let mut out = Vec::new();
+        for (resource, knobs) in writers {
+            let mut pairs: Vec<(Layer, Actor)> = knobs.iter().map(|k| (k.layer, k.actor)).collect();
+            pairs.sort_by_key(|(l, a)| (layer_tag(*l), actor_tag(*a)));
+            pairs.dedup();
+            if pairs.len() <= 1 {
+                continue;
+            }
+            let who: Vec<String> = knobs
+                .iter()
+                .map(|k| format!("{}/{} ({})", layer_tag(k.layer), actor_tag(k.actor), k.name))
+                .collect();
+            let arbitrated = model.arbitrated_controls.contains(&resource);
+            let msg = format!(
+                "{} distinct (layer, actor) pairs write `{resource}`: {}",
+                pairs.len(),
+                who.join("; ")
+            );
+            let path = format!("registry/{resource}");
+            if arbitrated {
+                out.push(Diagnostic::warn(
+                    self.id(),
+                    "cross-layer",
+                    path,
+                    format!("{msg} — arbitrated, first claim wins at runtime"),
+                ));
+            } else {
+                out.push(Diagnostic::error(
+                    self.id(),
+                    "cross-layer",
+                    path,
+                    format!("{msg} — no arbiter declared for this control"),
+                ));
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PSA003 — unit consistency
+// ---------------------------------------------------------------------------
+
+/// The stack speaks watts, joules, and gigahertz — never milliwatts. Every
+/// telemetry signal must use a vocabulary unit, and power-valued search
+/// parameters must be plausible watt quantities.
+pub struct UnitConsistency;
+
+impl Lint for UnitConsistency {
+    fn id(&self) -> &'static str {
+        "PSA003"
+    }
+    fn name(&self) -> &'static str {
+        "unit-consistency"
+    }
+    fn description(&self) -> &'static str {
+        "signals and power parameters use the shared unit vocabulary (W, not mW)"
+    }
+    fn check(&self, model: &FrameworkModel) -> Vec<Diagnostic> {
+        let mut out =
+            pstack_node::invariants::check_signal_units(self.id(), &Signal::ALL, "node::signals");
+        for spec in &model.searches {
+            for p in spec.space.params() {
+                let path = format!("{}/{}", spec.name, p.name);
+                if p.name.ends_with("_mw") || p.name.ends_with("_uw") {
+                    out.push(Diagnostic::error(
+                        self.id(),
+                        "cross-layer",
+                        &path,
+                        "parameter is named in milliwatts/microwatts; the stack's power \
+                         unit is watts everywhere (vocab `power bound`)",
+                    ));
+                }
+                if p.name.ends_with("cap_w") || p.name.ends_with("power_w") {
+                    for v in &p.values {
+                        let Some(w) = numeric(v) else { continue };
+                        if w < 0.0 {
+                            out.push(Diagnostic::error(
+                                self.id(),
+                                "cross-layer",
+                                &path,
+                                format!("negative power value {w} W"),
+                            ));
+                        } else if w >= 10_000.0 {
+                            out.push(Diagnostic::error(
+                                self.id(),
+                                "cross-layer",
+                                &path,
+                                format!(
+                                    "power value {w} is implausible for a node-level watt \
+                                     quantity; looks like a milliwatt value leaked in"
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PSA004 — parameter-space well-formedness
+// ---------------------------------------------------------------------------
+
+/// A search space must have at least one parameter, no duplicate or
+/// non-finite values inside a parameter, and constraints that leave the
+/// grid reachable.
+pub struct SpaceWellFormedness;
+
+impl SpaceWellFormedness {
+    /// The full check over one named space, shared with the proptest suite.
+    pub fn check_space(rule: &str, name: &str, space: &ParamSpace) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        if space.dims() == 0 {
+            out.push(Diagnostic::error(
+                rule,
+                "cross-layer",
+                name,
+                "parameter space has no parameters; nothing to tune",
+            ));
+            return out;
+        }
+        for p in space.params() {
+            let path = format!("{name}/{}", p.name);
+            if p.values.len() == 1 {
+                out.push(Diagnostic::info(
+                    rule,
+                    "cross-layer",
+                    &path,
+                    "degenerate parameter with a single value; consider folding it \
+                     into the objective",
+                ));
+            }
+            for (i, v) in p.values.iter().enumerate() {
+                if let ParamValue::Float(f) = v {
+                    if !f.is_finite() {
+                        out.push(Diagnostic::error(
+                            rule,
+                            "cross-layer",
+                            &path,
+                            format!("non-finite value {f} at index {i}"),
+                        ));
+                    }
+                }
+                if p.values[..i].contains(v) {
+                    out.push(Diagnostic::error(
+                        rule,
+                        "cross-layer",
+                        &path,
+                        format!("duplicate value {v} at index {i}; grid points alias"),
+                    ));
+                }
+            }
+        }
+        match valid_cardinality(space) {
+            None => out.push(Diagnostic::info(
+                rule,
+                "cross-layer",
+                name,
+                format!(
+                    "lattice cardinality {} exceeds the enumeration limit; constraint \
+                     reachability not checked",
+                    space.cardinality()
+                ),
+            )),
+            Some(0) => out.push(Diagnostic::error(
+                rule,
+                "cross-layer",
+                name,
+                "constraints reject every grid point; the space is unsatisfiable",
+            )),
+            Some(valid) => {
+                let lattice = space.cardinality();
+                if (valid as f64) < 0.10 * lattice as f64 {
+                    out.push(Diagnostic::warn(
+                        rule,
+                        "cross-layer",
+                        name,
+                        format!(
+                            "only {valid} of {lattice} grid points satisfy the \
+                             constraints; random sampling will mostly reject"
+                        ),
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Lint for SpaceWellFormedness {
+    fn id(&self) -> &'static str {
+        "PSA004"
+    }
+    fn name(&self) -> &'static str {
+        "space-well-formed"
+    }
+    fn description(&self) -> &'static str {
+        "param spaces are non-empty, duplicate-free, and constraint-reachable"
+    }
+    fn check(&self, model: &FrameworkModel) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for spec in &model.searches {
+            out.extend(Self::check_space(self.id(), &spec.name, &spec.space));
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PSA005 — power-model sanity
+// ---------------------------------------------------------------------------
+
+/// The node power model must be physically plausible: monotone P(f) at a
+/// fixed phase mix, non-negative leakage, a well-ordered idle/peak
+/// envelope, and a monotone P-state table.
+pub struct PowerModelSanity;
+
+impl Lint for PowerModelSanity {
+    fn id(&self) -> &'static str {
+        "PSA005"
+    }
+    fn name(&self) -> &'static str {
+        "power-model-sanity"
+    }
+    fn description(&self) -> &'static str {
+        "power model is monotone in f, leakage >= 0, envelope well-ordered"
+    }
+    fn check(&self, model: &FrameworkModel) -> Vec<Diagnostic> {
+        let pkg = &model.node.package;
+        let mut out =
+            pstack_hwmodel::invariants::check_pstate_table(self.id(), &pkg.pstates, "node.pstates");
+        out.extend(pstack_hwmodel::invariants::check_freq_ladder(
+            self.id(),
+            &pkg.uncore,
+            "node.uncore",
+        ));
+        out.extend(pstack_hwmodel::invariants::check_power_model(
+            self.id(),
+            &pkg.power,
+            &pkg.pstates,
+            "node.power_model",
+        ));
+        let env = pstack_hwmodel::power_envelope(&model.node);
+        if !(env.idle_w.is_finite() && env.peak_w.is_finite() && env.idle_w < env.peak_w) {
+            out.push(Diagnostic::error(
+                self.id(),
+                "node",
+                "node.envelope",
+                format!(
+                    "power envelope is not well-ordered: idle {:.1} W, peak {:.1} W",
+                    env.idle_w, env.peak_w
+                ),
+            ));
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PSA006 — search-config feasibility
+// ---------------------------------------------------------------------------
+
+/// Tuner budgets must make sense against the space they aim at: nonzero
+/// budget and batch, batch no larger than the reachable space, and
+/// warm-start priors that are actually inside the space.
+pub struct SearchFeasibility;
+
+impl SearchFeasibility {
+    /// The full check over one spec, shared with fixture tests.
+    pub fn check_spec(rule: &str, spec: &SearchSpec) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        if spec.max_evals == 0 {
+            out.push(Diagnostic::error(
+                rule,
+                "cross-layer",
+                &spec.name,
+                "max_evals is 0; the search can never evaluate anything",
+            ));
+        }
+        if spec.batch_size == 0 {
+            out.push(Diagnostic::error(
+                rule,
+                "cross-layer",
+                &spec.name,
+                "batch_size is 0; the parallel evaluator would deadlock",
+            ));
+        }
+        let reachable = valid_cardinality(&spec.space);
+        if let Some(valid) = reachable {
+            if spec.batch_size as u128 > valid {
+                out.push(Diagnostic::warn(
+                    rule,
+                    "cross-layer",
+                    &spec.name,
+                    format!(
+                        "batch_size {} exceeds the {valid} reachable grid points; \
+                         batches will be padded with duplicates",
+                        spec.batch_size
+                    ),
+                ));
+            }
+            if spec.max_evals as u128 > valid {
+                out.push(Diagnostic::info(
+                    rule,
+                    "cross-layer",
+                    &spec.name,
+                    format!(
+                        "max_evals {} exceeds the {valid} reachable grid points; an \
+                         exhaustive sweep is cheaper than search",
+                        spec.max_evals
+                    ),
+                ));
+            }
+        }
+        for (i, cfg) in spec.warm_start.iter().enumerate() {
+            let ok = cfg.len() == spec.space.dims()
+                && cfg
+                    .iter()
+                    .zip(spec.space.params())
+                    .all(|(&idx, p)| idx < p.values.len())
+                && spec.space.is_valid(cfg);
+            if !ok {
+                out.push(Diagnostic::error(
+                    rule,
+                    "cross-layer",
+                    format!("{}/warm_start[{i}]", spec.name),
+                    format!(
+                        "warm-start prior {cfg:?} is not a valid configuration of this \
+                         {}-dimensional space",
+                        spec.space.dims()
+                    ),
+                ));
+            }
+        }
+        out
+    }
+}
+
+impl Lint for SearchFeasibility {
+    fn id(&self) -> &'static str {
+        "PSA006"
+    }
+    fn name(&self) -> &'static str {
+        "search-feasibility"
+    }
+    fn description(&self) -> &'static str {
+        "tuner budgets and warm-start priors are feasible for their spaces"
+    }
+    fn check(&self, model: &FrameworkModel) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for spec in &model.searches {
+            out.extend(Self::check_spec(self.id(), spec));
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PSA007 — catalog referential integrity
+// ---------------------------------------------------------------------------
+
+/// Every Table 2 catalog entry must point at crates that exist in this
+/// workspace, and every layer must be covered by at least one entry.
+pub struct CatalogIntegrity;
+
+impl Lint for CatalogIntegrity {
+    fn id(&self) -> &'static str {
+        "PSA007"
+    }
+    fn name(&self) -> &'static str {
+        "catalog-integrity"
+    }
+    fn description(&self) -> &'static str {
+        "catalog analogs resolve to workspace crates; every layer covered"
+    }
+    fn check(&self, model: &FrameworkModel) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for entry in &model.catalog {
+            let path = format!("catalog/{}", entry.paper_component);
+            if entry.paper_component.is_empty() {
+                out.push(Diagnostic::error(
+                    self.id(),
+                    layer_tag(entry.layer),
+                    "catalog",
+                    "catalog entry with an empty paper_component name",
+                ));
+            }
+            for analog in entry.analog.split(',') {
+                let analog = analog.trim();
+                if analog.is_empty() {
+                    continue;
+                }
+                let krate = analog.split("::").next().unwrap_or(analog);
+                if !KNOWN_CRATES.contains(&krate) {
+                    out.push(Diagnostic::error(
+                        self.id(),
+                        layer_tag(entry.layer),
+                        &path,
+                        format!("analog `{analog}` references unknown crate `{krate}`"),
+                    ));
+                }
+            }
+        }
+        for layer in Layer::ALL {
+            if !model.catalog.iter().any(|e| e.layer == layer) {
+                out.push(Diagnostic::warn(
+                    self.id(),
+                    layer_tag(layer),
+                    "catalog",
+                    format!("no catalog entry covers the {} layer", layer_tag(layer)),
+                ));
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PSA008 — experiment referential integrity
+// ---------------------------------------------------------------------------
+
+/// The experiment manifest must have unique, non-empty names and cover the
+/// artifacts DESIGN.md promises (all six figures plus the three use cases).
+pub struct ExperimentIntegrity;
+
+/// Artifacts the manifest must cover (the DESIGN.md §3 index).
+const REQUIRED_EXPERIMENTS: [&str; 9] = [
+    "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "uc1", "uc6", "uc7",
+];
+
+impl Lint for ExperimentIntegrity {
+    fn id(&self) -> &'static str {
+        "PSA008"
+    }
+    fn name(&self) -> &'static str {
+        "experiment-integrity"
+    }
+    fn description(&self) -> &'static str {
+        "experiment manifest is unique, complete, and fully described"
+    }
+    fn check(&self, model: &FrameworkModel) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for (i, e) in model.experiments.iter().enumerate() {
+            let path = format!("experiments/{}", e.name);
+            if e.name.is_empty() {
+                out.push(Diagnostic::error(
+                    self.id(),
+                    "cross-layer",
+                    format!("experiments[{i}]"),
+                    "experiment with an empty name",
+                ));
+            }
+            if e.artifact.is_empty() {
+                out.push(Diagnostic::error(
+                    self.id(),
+                    "cross-layer",
+                    &path,
+                    "experiment does not say which paper artifact it regenerates",
+                ));
+            }
+            if model.experiments[..i].iter().any(|p| p.name == e.name) {
+                out.push(Diagnostic::error(
+                    self.id(),
+                    "cross-layer",
+                    &path,
+                    "duplicate experiment name in the manifest",
+                ));
+            }
+        }
+        for required in REQUIRED_EXPERIMENTS {
+            if !model.experiments.iter().any(|e| e.name == required) {
+                out.push(Diagnostic::error(
+                    self.id(),
+                    "cross-layer",
+                    format!("experiments/{required}"),
+                    "required experiment missing from the manifest (DESIGN.md §3 index)",
+                ));
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PSA009 — objective-translator sanity
+// ---------------------------------------------------------------------------
+
+/// Top-down budget translation must conserve watts (usable = budget minus
+/// the reserve, nothing created), keep the reserve fraction sane, and map
+/// larger node budgets to frequencies that never decrease.
+pub struct TranslatorSanity;
+
+impl Lint for TranslatorSanity {
+    fn id(&self) -> &'static str {
+        "PSA009"
+    }
+    fn name(&self) -> &'static str {
+        "translator-sanity"
+    }
+    fn description(&self) -> &'static str {
+        "budget translation conserves watts and is monotone in budget"
+    }
+    fn check(&self, model: &FrameworkModel) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        let reserve = model.system_reserve_fraction;
+        if !(0.0..0.5).contains(&reserve) {
+            out.push(Diagnostic::error(
+                self.id(),
+                "system",
+                "translator.system_reserve_fraction",
+                format!(
+                    "reserve fraction {reserve} outside [0, 0.5); the system would \
+                     withhold most of its own budget"
+                ),
+            ));
+            return out;
+        }
+        let mut tr = ObjectiveTranslator::default();
+        tr.system_reserve_fraction = reserve;
+        let budget = PowerBudget {
+            watts: 10_000.0,
+            window_us: 1_000_000,
+        };
+        let jobs = [
+            JobShare {
+                nodes: 3,
+                efficiency: None,
+            },
+            JobShare {
+                nodes: 1,
+                efficiency: None,
+            },
+        ];
+        let shares = tr.system_to_jobs(budget, &jobs);
+        let granted: f64 = shares.iter().map(|b| b.watts).sum();
+        let usable = budget.watts * (1.0 - reserve);
+        if granted > usable + 1e-6 {
+            out.push(Diagnostic::error(
+                self.id(),
+                "system",
+                "translator.system_to_jobs",
+                format!(
+                    "translation grants {granted:.3} W from a usable budget of \
+                     {usable:.3} W; watts are being created"
+                ),
+            ));
+        }
+        if (granted - usable).abs() > 1e-6 {
+            out.push(Diagnostic::warn(
+                self.id(),
+                "system",
+                "translator.system_to_jobs",
+                format!(
+                    "translation strands {:.3} W of the usable budget",
+                    usable - granted
+                ),
+            ));
+        }
+        let mix = PhaseMix::pure(PhaseKind::ComputeBound);
+        let mut prev = f64::NEG_INFINITY;
+        for budget_w in [150.0, 200.0, 250.0, 300.0, 400.0, 500.0] {
+            let f = tr.node_budget_to_freq(
+                budget_w,
+                &mix,
+                model.node.package.n_cores,
+                model.node.n_packages,
+                model.node.misc_power_w,
+            );
+            if f < prev {
+                out.push(Diagnostic::error(
+                    self.id(),
+                    "system",
+                    "translator.node_budget_to_freq",
+                    format!(
+                        "advisory frequency decreases ({prev} -> {f} GHz) as the node \
+                         budget grows to {budget_w} W"
+                    ),
+                ));
+                break;
+            }
+            prev = f;
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PSA010 — knob-registry well-formedness
+// ---------------------------------------------------------------------------
+
+/// Table 1 must be internally coherent: unique (layer, name) rows,
+/// `implemented_by` paths that resolve to workspace crates, every layer
+/// represented, and actors that match their layer.
+pub struct RegistryWellFormedness;
+
+impl Lint for RegistryWellFormedness {
+    fn id(&self) -> &'static str {
+        "PSA010"
+    }
+    fn name(&self) -> &'static str {
+        "registry-well-formed"
+    }
+    fn description(&self) -> &'static str {
+        "knob registry rows are unique, resolvable, and actor-coherent"
+    }
+    fn check(&self, model: &FrameworkModel) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for (i, k) in model.knobs.iter().enumerate() {
+            let path = format!("registry/{}/{}", layer_tag(k.layer), k.name);
+            if model.knobs[..i]
+                .iter()
+                .any(|p| p.layer == k.layer && p.name == k.name)
+            {
+                out.push(Diagnostic::error(
+                    self.id(),
+                    layer_tag(k.layer),
+                    &path,
+                    "duplicate (layer, name) row in the knob registry",
+                ));
+            }
+            let krate = k.implemented_by.split("::").next().unwrap_or("");
+            if !k.implemented_by.contains("::") || !KNOWN_CRATES.contains(&krate) {
+                out.push(Diagnostic::error(
+                    self.id(),
+                    layer_tag(k.layer),
+                    &path,
+                    format!(
+                        "implemented_by `{}` does not resolve to a workspace crate",
+                        k.implemented_by
+                    ),
+                ));
+            }
+            let expected = match k.layer {
+                Layer::System => Actor::ResourceManager,
+                Layer::JobRuntime => Actor::RuntimeSystem,
+                Layer::Application => Actor::Application,
+                Layer::Node => Actor::NodeManager,
+            };
+            if k.actor != expected {
+                out.push(Diagnostic::warn(
+                    self.id(),
+                    layer_tag(k.layer),
+                    &path,
+                    format!(
+                        "actor {} is unusual for the {} layer",
+                        actor_tag(k.actor),
+                        layer_tag(k.layer)
+                    ),
+                ));
+            }
+        }
+        for layer in Layer::ALL {
+            if !model.knobs.iter().any(|k| k.layer == layer) {
+                out.push(Diagnostic::error(
+                    self.id(),
+                    layer_tag(layer),
+                    "registry",
+                    format!("no knob registered for the {} layer", layer_tag(layer)),
+                ));
+            }
+        }
+        for temporal in [Temporal::LaunchTime, Temporal::Runtime] {
+            if !model.knobs.iter().any(|k| k.temporal == temporal) {
+                out.push(Diagnostic::warn(
+                    self.id(),
+                    "cross-layer",
+                    "registry",
+                    format!("no knob with {temporal:?} temporality; Table 1 covers both"),
+                ));
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PSA011 — layer-provided invariants
+// ---------------------------------------------------------------------------
+
+/// Runs every `invariants()` provider the layer crates export. The emitted
+/// diagnostics keep their provider rule IDs (`INV-HW-001`, ...), so a
+/// failure names the layer that owns the broken invariant.
+pub struct LayerInvariants;
+
+impl LayerInvariants {
+    /// All layer invariant checks, in layer order.
+    pub fn providers() -> Vec<pstack_diag::InvariantCheck> {
+        let mut all = pstack_hwmodel::invariants();
+        all.extend(pstack_rm::invariants());
+        all.extend(pstack_runtime::invariants());
+        all.extend(pstack_node::invariants());
+        all.extend(pstack_apps::invariants());
+        all
+    }
+}
+
+impl Lint for LayerInvariants {
+    fn id(&self) -> &'static str {
+        "PSA011"
+    }
+    fn name(&self) -> &'static str {
+        "layer-invariants"
+    }
+    fn description(&self) -> &'static str {
+        "every layer's declared invariants hold over its shipped defaults"
+    }
+    fn check(&self, _model: &FrameworkModel) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for inv in Self::providers() {
+            out.extend(inv.run());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_sorted_and_unique() {
+        let rules = registry();
+        let ids: Vec<&str> = rules.iter().map(|r| r.id()).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(ids, sorted, "rule IDs must be unique and in order");
+        assert_eq!(ids.len(), 11);
+        for r in &rules {
+            assert!(!r.name().is_empty() && !r.description().is_empty());
+        }
+    }
+
+    #[test]
+    fn control_resource_maps_shipped_registry() {
+        let knobs = powerstack_core::knob_registry();
+        let mapped = knobs.iter().filter_map(control_resource).count();
+        // The shipped Table 1 has writers for all five control resources.
+        assert!(mapped >= 8, "expected >= 8 mapped knobs, got {mapped}");
+        let resources: std::collections::BTreeSet<_> =
+            knobs.iter().filter_map(control_resource).collect();
+        for r in [
+            "rapl-cap",
+            "core-freq",
+            "uncore-freq",
+            "duty-cycle",
+            "node-assignment",
+        ] {
+            assert!(resources.contains(r), "missing resource {r}");
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Property tests for PSA004 (space well-formedness): any randomly
+//! generated *valid* parameter space lints clean, and any of the three
+//! invalidating mutations (duplicated value, unsatisfiable constraint,
+//! non-finite value) makes it fail.
+
+#![allow(clippy::disallowed_methods)]
+
+use proptest::prelude::*;
+use pstack_analyze::rules::SpaceWellFormedness;
+use pstack_analyze::Severity;
+use pstack_autotune::{Param, ParamSpace};
+
+/// Build a space from a shape: one int parameter per entry, `n` distinct
+/// values each, offset by `base` so value ranges vary between cases.
+fn build_space(shape: &[usize], base: i64) -> ParamSpace {
+    let mut space = ParamSpace::new();
+    for (i, &n) in shape.iter().enumerate() {
+        space = space.with(Param::ints(
+            format!("p{i}"),
+            (0..n as i64).map(|v| base + 3 * v),
+        ));
+    }
+    space
+}
+
+fn error_count(space: &ParamSpace) -> usize {
+    SpaceWellFormedness::check_space("PSA004", "prop.space", space)
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn any_valid_space_passes(
+        shape in collection::vec(2usize..6, 1..5),
+        base in -100i64..100,
+    ) {
+        let space = build_space(&shape, base);
+        let ds = SpaceWellFormedness::check_space("PSA004", "prop.space", &space);
+        prop_assert!(
+            ds.is_empty(),
+            "valid space {shape:?} base {base} produced {ds:?}"
+        );
+    }
+
+    #[test]
+    fn duplicated_value_always_fails(
+        shape in collection::vec(2usize..6, 1..5),
+        base in -100i64..100,
+        pick in 0usize..1000,
+    ) {
+        let target = pick % shape.len();
+        let mut space = ParamSpace::new();
+        for (i, &n) in shape.iter().enumerate() {
+            let mut values: Vec<i64> = (0..n as i64).map(|v| base + 3 * v).collect();
+            if i == target {
+                // Re-append an existing value: two grid points now alias.
+                values.push(values[pick % values.len()]);
+            }
+            space = space.with(Param::ints(format!("p{i}"), values));
+        }
+        prop_assert!(error_count(&space) > 0, "duplicate in p{target} not flagged");
+    }
+
+    #[test]
+    fn unsatisfiable_constraint_always_fails(
+        shape in collection::vec(2usize..6, 1..5),
+        base in -100i64..100,
+    ) {
+        let space = build_space(&shape, base)
+            .with_constraint("never satisfiable", |_, _| false);
+        prop_assert!(error_count(&space) > 0, "unsatisfiable space not flagged");
+    }
+
+    #[test]
+    fn non_finite_value_always_fails(
+        shape in collection::vec(2usize..6, 1..5),
+        base in -100i64..100,
+        which in 0usize..3,
+    ) {
+        let bad = [f64::NAN, f64::INFINITY, f64::NEG_INFINITY][which];
+        let space = build_space(&shape, base)
+            .with(Param::floats("cap_w", [250.0, bad]));
+        prop_assert!(error_count(&space) > 0, "non-finite {bad} not flagged");
+    }
+}

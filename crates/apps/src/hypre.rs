@@ -394,7 +394,10 @@ mod tests {
 
     #[test]
     fn workload_totals_reasonable() {
-        let app = HypreApp::new(HypreConfig::default_config(), HypreProblem::laplacian_27pt());
+        let app = HypreApp::new(
+            HypreConfig::default_config(),
+            HypreProblem::laplacian_27pt(),
+        );
         let w = app.workload(8);
         let t = w.total_work();
         assert!((5.0..60.0).contains(&t), "AMG total work {t}");
@@ -412,8 +415,7 @@ mod tests {
             problem,
         )
         .workload(8);
-        let amg =
-            HypreApp::new(HypreConfig::default_config(), problem).workload(8);
+        let amg = HypreApp::new(HypreConfig::default_config(), problem).workload(8);
         let para_comp = para.work_by_dominant(PhaseKind::ComputeBound) / para.total_work();
         let amg_mem = amg.work_by_dominant(PhaseKind::MemoryBound) / amg.total_work();
         assert!(para_comp > 0.5, "ParaSails compute share {para_comp}");
@@ -422,7 +424,10 @@ mod tests {
 
     #[test]
     fn comm_share_grows_with_nodes() {
-        let app = HypreApp::new(HypreConfig::default_config(), HypreProblem::laplacian_27pt());
+        let app = HypreApp::new(
+            HypreConfig::default_config(),
+            HypreProblem::laplacian_27pt(),
+        );
         let comm = |n: usize| {
             let w = app.workload(n);
             w.work_by_dominant(PhaseKind::CommBound) / w.total_work()

@@ -1,0 +1,87 @@
+//! Application-layer invariants: configuration-space legality.
+//!
+//! The ytopt use case (§3.2.3) searches a constrained transformation space;
+//! if the enumerated space violated its own dependency condition
+//! (`unroll ≤ tile_k`, legal tile/unroll sets, thread bounds) the tuner
+//! would chase phantom configurations. Parameterized `check_*` functions
+//! stay public for `pstack-analyze` fixtures; [`invariants`] packages them
+//! over the shipped spaces.
+
+use crate::kernelmodel::KernelConfig;
+use pstack_diag::{Diagnostic, InvariantCheck};
+
+/// Layer tag used by all application diagnostics.
+pub const LAYER: &str = "application";
+
+/// Check the kernel transformation space for `max_threads`: non-empty,
+/// contains the baseline, and every enumerated point satisfies its own
+/// dependency condition.
+pub fn check_kernel_space(rule: &str, max_threads: usize, path: &str) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if max_threads == 0 {
+        out.push(Diagnostic::error(
+            rule,
+            LAYER,
+            path,
+            "kernel space with max_threads = 0 is empty".to_string(),
+        ));
+        return out;
+    }
+    let space = KernelConfig::space(max_threads);
+    if space.is_empty() {
+        out.push(Diagnostic::error(
+            rule,
+            LAYER,
+            path,
+            format!("enumerated kernel space for max_threads={max_threads} is empty"),
+        ));
+    }
+    for cfg in &space {
+        if !cfg.is_valid(max_threads) {
+            out.push(Diagnostic::error(
+                rule,
+                LAYER,
+                path,
+                format!("enumerated config violates its own dependency condition: {cfg:?}"),
+            ));
+            break;
+        }
+    }
+    if !space.contains(&KernelConfig::baseline(1)) {
+        out.push(Diagnostic::warn(
+            rule,
+            LAYER,
+            path,
+            "baseline (-O2) configuration is not reachable in the enumerated space".to_string(),
+        ));
+    }
+    out
+}
+
+/// The application layer's invariant contributions, over shipped spaces.
+pub fn invariants() -> Vec<InvariantCheck> {
+    vec![InvariantCheck::new(
+        "INV-AP-001",
+        LAYER,
+        "pstack_apps::KernelConfig::space(24)",
+        "the kernel transformation space is non-empty and self-consistent",
+        || check_kernel_space("INV-AP-001", 24, "pstack_apps::KernelConfig::space(24)"),
+    )]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shipped_space_holds() {
+        for inv in invariants() {
+            assert!(inv.run().is_empty(), "{} violated: {:?}", inv.id, inv.run());
+        }
+    }
+
+    #[test]
+    fn zero_threads_flagged() {
+        assert!(!check_kernel_space("X", 0, "p").is_empty());
+    }
+}

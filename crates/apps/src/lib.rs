@@ -22,9 +22,12 @@
 //!   which an app reports progress and accepts resource redistribution.
 //! - [`synthetic`]: randomized phase-sequence generators for workload mixes.
 
+#![cfg_attr(test, allow(clippy::disallowed_methods))]
+
 pub mod epop;
 pub mod feti;
 pub mod hypre;
+pub mod invariants;
 pub mod kernelmodel;
 pub mod lulesh;
 pub mod mpi;
@@ -34,6 +37,7 @@ pub mod workload;
 pub use epop::{EpopApp, PhaseHint};
 pub use feti::{FetiConfig, FetiPreconditioner, FetiSolverKind};
 pub use hypre::{HypreConfig, HypreProblem, Preconditioner, Smoother, SolverKind};
+pub use invariants::invariants;
 pub use kernelmodel::{KernelConfig, KernelModel};
 pub use lulesh::Lulesh;
 pub use mpi::MpiModel;

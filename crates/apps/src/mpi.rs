@@ -78,7 +78,12 @@ impl MpiModel {
 
     /// Per-node work multipliers for one phase on `n_nodes` nodes: mean 1,
     /// truncated at ±2.5σ, deterministic in `(seeds, phase_index)`.
-    pub fn imbalance_factors(&self, seeds: &SeedTree, phase_index: u64, n_nodes: usize) -> Vec<f64> {
+    pub fn imbalance_factors(
+        &self,
+        seeds: &SeedTree,
+        phase_index: u64,
+        n_nodes: usize,
+    ) -> Vec<f64> {
         if self.imbalance_sigma == 0.0 || n_nodes == 1 {
             return vec![1.0; n_nodes];
         }

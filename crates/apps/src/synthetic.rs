@@ -193,7 +193,10 @@ mod tests {
         let w1 = app.workload(1).total_work();
         let w16 = app.workload(16).total_work();
         assert!((w1 - 100.0).abs() < 1e-9);
-        assert!((w16 - 100.0).abs() < 1e-9, "total per-node work stays fixed");
+        assert!(
+            (w16 - 100.0).abs() < 1e-9,
+            "total per-node work stays fixed"
+        );
     }
 
     #[test]
@@ -203,8 +206,7 @@ mod tests {
         let b = random_app(&seeds, 0);
         assert_eq!(a, b);
         let apps: Vec<SyntheticApp> = (0..32).map(|i| random_app(&seeds, i)).collect();
-        let profiles: std::collections::HashSet<_> =
-            apps.iter().map(|a| a.profile).collect();
+        let profiles: std::collections::HashSet<_> = apps.iter().map(|a| a.profile).collect();
         assert!(profiles.len() >= 3, "should draw varied profiles");
         for a in &apps {
             assert!(a.work_per_node >= 60.0 && a.work_per_node <= 1800.0);

@@ -26,7 +26,10 @@ impl Phase {
     /// # Panics
     /// Panics on non-positive or non-finite work.
     pub fn new(region: impl Into<String>, mix: PhaseMix, work: f64) -> Self {
-        assert!(work.is_finite() && work > 0.0, "phase work must be positive");
+        assert!(
+            work.is_finite() && work > 0.0,
+            "phase work must be positive"
+        );
         Phase {
             region: region.into(),
             mix,

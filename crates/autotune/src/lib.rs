@@ -18,6 +18,8 @@
 //! - [`tuner`]: the loop itself, with a configurable evaluation budget
 //!   (`--max-evals` in ytopt terms).
 
+#![cfg_attr(test, allow(clippy::disallowed_methods))]
+
 pub mod db;
 pub mod search;
 pub mod space;
@@ -25,8 +27,7 @@ pub mod tuner;
 
 pub use db::{Observation, PerfDatabase};
 pub use search::{
-    AnnealingSearch, ExhaustiveSearch, ForestSearch, HillClimbSearch, RandomSearch,
-    SearchAlgorithm,
+    AnnealingSearch, ExhaustiveSearch, ForestSearch, HillClimbSearch, RandomSearch, SearchAlgorithm,
 };
 pub use space::{Config, Param, ParamSpace, ParamValue};
 pub use tuner::{CacheStats, Evaluation, TuneError, TuneReport, Tuner};

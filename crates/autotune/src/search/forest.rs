@@ -135,7 +135,11 @@ impl RegTree {
                     left,
                     right,
                 } => {
-                    node = if x[*feature] <= *threshold { *left } else { *right };
+                    node = if x[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -165,8 +169,7 @@ impl Forest {
     fn predict(&self, x: &[f64]) -> (f64, f64) {
         let preds: Vec<f64> = self.trees.iter().map(|t| t.predict(x)).collect();
         let mean = preds.iter().sum::<f64>() / preds.len() as f64;
-        let var = preds.iter().map(|p| (p - mean) * (p - mean)).sum::<f64>()
-            / preds.len() as f64;
+        let var = preds.iter().map(|p| (p - mean) * (p - mean)).sum::<f64>() / preds.len() as f64;
         (mean, var.sqrt())
     }
 }
@@ -371,7 +374,12 @@ mod tests {
         let mut wins = 0;
         for seed in 0..5 {
             let f = run(&mut ForestSearch::new(), &s, budget, seed);
-            let r = run(&mut super::super::RandomSearch::new(), &s, budget, seed + 100);
+            let r = run(
+                &mut super::super::RandomSearch::new(),
+                &s,
+                budget,
+                seed + 100,
+            );
             if f.best().unwrap().objective <= r.best().unwrap().objective {
                 wins += 1;
             }
@@ -393,10 +401,11 @@ mod tests {
     #[test]
     fn tree_fits_training_data_roughly() {
         let mut rng = SmallRng::seed_from_u64(5);
-        let x: Vec<Vec<f64>> = (0..50)
-            .map(|i| vec![i as f64 / 49.0])
+        let x: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64 / 49.0]).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|v| if v[0] < 0.5 { 1.0 } else { 5.0 })
             .collect();
-        let y: Vec<f64> = x.iter().map(|v| if v[0] < 0.5 { 1.0 } else { 5.0 }).collect();
         let idx: Vec<usize> = (0..50).collect();
         let tree = RegTree::fit(&x, &y, &idx, 8, 2, &mut rng);
         assert!((tree.predict(&[0.1]) - 1.0).abs() < 0.5);

@@ -152,6 +152,8 @@ impl ExhaustiveSearch {
         let mut cfg = vec![0usize; space.dims()];
         for (slot, p) in cfg.iter_mut().zip(space.params()).rev() {
             let radix = p.values.len() as u128;
+            // `raw % radix` is < radix, which itself came from a usize, so
+            // the narrowing cast cannot truncate.
             *slot = (raw % radix) as usize;
             raw /= radix;
         }
@@ -237,10 +239,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(3);
         let batch = RandomSearch::new().suggest_batch(&s, &db, &mut rng, 5);
         assert_eq!(batch.len(), 5, "a slot per request, even when repeating");
-        let fresh: Vec<_> = batch
-            .iter()
-            .filter(|c| !db.contains(c))
-            .collect();
+        let fresh: Vec<_> = batch.iter().filter(|c| !db.contains(c)).collect();
         // 6-point space minus the recorded one leaves exactly 5 fresh.
         let mut uniq = fresh.clone();
         uniq.sort();

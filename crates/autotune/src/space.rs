@@ -43,6 +43,8 @@ impl ParamValue {
     pub fn as_float(&self) -> f64 {
         match self {
             ParamValue::Float(v) => *v,
+            // Grid values are small; precision loss above 2^53 cannot occur
+            // for any space this workspace builds.
             ParamValue::Int(v) => *v as f64,
             other => panic!("expected numeric, got {other:?}"),
         }
@@ -128,10 +130,7 @@ impl Param {
 
     /// Boolean parameter.
     pub fn boolean(name: impl Into<String>) -> Self {
-        Param::new(
-            name,
-            vec![ParamValue::Bool(false), ParamValue::Bool(true)],
-        )
+        Param::new(name, vec![ParamValue::Bool(false), ParamValue::Bool(true)])
     }
 }
 
@@ -246,10 +245,7 @@ impl ParamSpace {
 
     /// Total lattice size ignoring constraints.
     pub fn cardinality(&self) -> u128 {
-        self.params
-            .iter()
-            .map(|p| p.values.len() as u128)
-            .product()
+        self.params.iter().map(|p| p.values.len() as u128).product()
     }
 
     /// Whether `cfg` is inside the lattice and passes all constraints.

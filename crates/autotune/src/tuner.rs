@@ -53,6 +53,17 @@ pub enum TuneError {
         /// Name of the algorithm that produced nothing.
         algorithm: String,
     },
+    /// Static analysis of the run's inputs failed: the warm-start prior
+    /// contains configurations outside the space, or the algorithm
+    /// suggested an invalid configuration. Carries one rendered diagnostic
+    /// per finding so lint failures propagate through `run`/`run_parallel`
+    /// as errors instead of panics.
+    Diagnostic {
+        /// What was being checked, e.g. `"warm-start prior"`.
+        context: String,
+        /// One human-readable line per finding.
+        diagnostics: Vec<String>,
+    },
 }
 
 impl fmt::Display for TuneError {
@@ -61,6 +72,14 @@ impl fmt::Display for TuneError {
             TuneError::NoEvaluations { algorithm } => write!(
                 f,
                 "tuning with {algorithm} produced no evaluations and no warm-start prior exists"
+            ),
+            TuneError::Diagnostic {
+                context,
+                diagnostics,
+            } => write!(
+                f,
+                "tuning rejected by static checks ({context}): {}",
+                diagnostics.join("; ")
             ),
         }
     }
@@ -152,16 +171,10 @@ impl Tuner {
     /// transfer-learning tuners). Prior observations inform the surrogate
     /// and are never re-evaluated, but do not count against the budget.
     ///
-    /// # Panics
-    /// Panics if any prior configuration is invalid in this space.
+    /// Prior configurations are validated against the space when the run
+    /// starts; invalid ones surface as [`TuneError::Diagnostic`] from
+    /// [`Tuner::run`] / [`Tuner::run_parallel`].
     pub fn warm_start(mut self, prior: PerfDatabase) -> Self {
-        for obs in prior.observations() {
-            assert!(
-                self.space.is_valid(&obs.config),
-                "warm-start config {:?} invalid in this space",
-                obs.config
-            );
-        }
         self.warm_start = Some(prior);
         self
     }
@@ -228,6 +241,7 @@ impl Tuner {
         algorithm: &mut dyn SearchAlgorithm,
         mut evaluate: impl FnMut(&ParamSpace, &Config) -> (f64, HashMap<String, f64>),
     ) -> Result<TuneReport, TuneError> {
+        self.preflight()?;
         let mut db = self.warm_start.clone().unwrap_or_default();
         let prior_len = db.len();
         let mut cache = self.prior_cache(&db);
@@ -238,7 +252,7 @@ impl Tuner {
             let Some(cfg) = algorithm.suggest(&self.space, &db, &mut rng) else {
                 break; // strategy exhausted (e.g. grid complete)
             };
-            self.check_valid(algorithm, &cfg);
+            self.check_valid(algorithm, &cfg)?;
             if cache.contains_key(&cfg) {
                 stats.hits += 1;
                 consecutive_dups += 1;
@@ -307,6 +321,7 @@ impl Tuner {
         evaluate: impl Fn(&ParamSpace, &Config) -> (f64, HashMap<String, f64>) + Sync,
     ) -> Result<TuneReport, TuneError> {
         assert!(workers > 0, "need at least one worker");
+        self.preflight()?;
         let mut db = self.warm_start.clone().unwrap_or_default();
         let prior_len = db.len();
         let mut cache = self.prior_cache(&db);
@@ -324,7 +339,7 @@ impl Tuner {
             let mut fresh: Vec<Config> = Vec::with_capacity(proposals.len());
             let mut exhausted = false;
             for cfg in proposals {
-                self.check_valid(algorithm, &cfg);
+                self.check_valid(algorithm, &cfg)?;
                 if cache.contains_key(&cfg) || fresh.contains(&cfg) {
                     stats.hits += 1;
                     consecutive_dups += 1;
@@ -398,13 +413,40 @@ impl Tuner {
             .collect()
     }
 
-    fn check_valid(&self, algorithm: &dyn SearchAlgorithm, cfg: &Config) {
-        assert!(
-            self.space.is_valid(cfg),
-            "algorithm {} suggested invalid config {:?}",
-            algorithm.name(),
-            cfg
-        );
+    /// Static checks on the run's inputs, before any evaluation happens.
+    fn preflight(&self) -> Result<(), TuneError> {
+        if self.space.dims() == 0 {
+            return Err(TuneError::Diagnostic {
+                context: "parameter space".to_string(),
+                diagnostics: vec!["space has no parameters; nothing to tune".to_string()],
+            });
+        }
+        if let Some(prior) = &self.warm_start {
+            let bad: Vec<String> = prior
+                .observations()
+                .iter()
+                .filter(|o| o.config.len() != self.space.dims() || !self.space.is_valid(&o.config))
+                .map(|o| format!("warm-start config {:?} invalid in this space", o.config))
+                .collect();
+            if !bad.is_empty() {
+                return Err(TuneError::Diagnostic {
+                    context: "warm-start prior".to_string(),
+                    diagnostics: bad,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn check_valid(&self, algorithm: &dyn SearchAlgorithm, cfg: &Config) -> Result<(), TuneError> {
+        if self.space.is_valid(cfg) {
+            Ok(())
+        } else {
+            Err(TuneError::Diagnostic {
+                context: format!("algorithm {}", algorithm.name()),
+                diagnostics: vec![format!("suggested invalid config {cfg:?}")],
+            })
+        }
     }
 
     fn report(
@@ -506,7 +548,14 @@ mod tests {
             .run(&mut ForestSearch::new().with_init(4), bowl)
             .unwrap();
         let mut prior = crate::db::PerfDatabase::new();
-        for cfg in [vec![5usize, 2], vec![7, 2], vec![6, 3], vec![6, 1], vec![4, 4], vec![8, 8]] {
+        for cfg in [
+            vec![5usize, 2],
+            vec![7, 2],
+            vec![6, 3],
+            vec![6, 1],
+            vec![4, 4],
+            vec![8, 8],
+        ] {
             let (o, _) = bowl(&space(), &cfg);
             prior.record(cfg, o, HashMap::new());
         }
@@ -522,17 +571,40 @@ mod tests {
             warm.best_objective,
             cold.best_objective
         );
-        assert!(warm.best_objective <= 1.0, "basin found: {}", warm.best_objective);
+        assert!(
+            warm.best_objective <= 1.0,
+            "basin found: {}",
+            warm.best_objective
+        );
         // Budget counts only fresh evaluations.
         assert_eq!(warm.db.len(), 6 + warm.evals);
     }
 
     #[test]
-    #[should_panic(expected = "invalid in this space")]
     fn warm_start_validates_configs() {
         let mut prior = crate::db::PerfDatabase::new();
         prior.record(vec![99, 99], 1.0, HashMap::new());
-        let _ = Tuner::new(space()).warm_start(prior);
+        let err = Tuner::new(space())
+            .warm_start(prior)
+            .run(&mut RandomSearch::new(), |_, _| (0.0, HashMap::new()))
+            .expect_err("invalid prior must be rejected");
+        match err {
+            TuneError::Diagnostic {
+                context,
+                diagnostics,
+            } => {
+                assert_eq!(context, "warm-start prior");
+                assert_eq!(diagnostics.len(), 1);
+                assert!(diagnostics[0].contains("invalid in this space"));
+            }
+            other => panic!("expected Diagnostic, got {other:?}"),
+        }
+        // The error implements std::error::Error with a readable message.
+        let err: Box<dyn std::error::Error> = Box::new(TuneError::Diagnostic {
+            context: "warm-start prior".into(),
+            diagnostics: vec!["x".into()],
+        });
+        assert!(err.to_string().contains("rejected by static checks"));
     }
 
     #[test]
@@ -540,7 +612,9 @@ mod tests {
         let tiny = ParamSpace::new().with(Param::ints("x", 0..3));
         let report = Tuner::new(tiny)
             .max_evals(100)
-            .run(&mut RandomSearch::new(), |_, c| (c[0] as f64, HashMap::new()))
+            .run(&mut RandomSearch::new(), |_, c| {
+                (c[0] as f64, HashMap::new())
+            })
             .unwrap();
         assert!(report.evals <= 3 + 16);
         assert_eq!(report.best_objective, 0.0);

@@ -13,6 +13,7 @@ struct All {
 }
 
 fn main() {
+    pstack_analyze::startup_gate();
     let a1 = pstack_bench::timed("A1 malleability", || {
         ablations::malleability(&[2, 5, 10, 20, 40], 16, 600.0, 20200910)
     });

@@ -49,10 +49,7 @@ struct ParallelBenchResult {
     best_objective: f64,
 }
 
-fn compare(
-    cotune: &HypreCoTune,
-    launch_latency: Option<Duration>,
-) -> (Comparison, TuneReport) {
+fn compare(cotune: &HypreCoTune, launch_latency: Option<Duration>) -> (Comparison, TuneReport) {
     let evaluate = |space: &pstack_autotune::ParamSpace, cfg: &pstack_autotune::Config| {
         if let Some(lat) = launch_latency {
             std::thread::sleep(lat);
@@ -86,6 +83,7 @@ fn compare(
 }
 
 fn main() {
+    pstack_analyze::startup_gate();
     let cotune = HypreCoTune::new(Objective::MinTime);
     let (compute_only, _) = pstack_bench::timed("compute_only", || compare(&cotune, None));
     let (plopper, report) =
@@ -96,7 +94,8 @@ fn main() {
         seed: SEED,
         workers: WORKERS,
         host_cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
-        launch_latency_ms: LAUNCH_LATENCY.as_millis() as u64,
+        launch_latency_ms: u64::try_from(LAUNCH_LATENCY.as_millis())
+            .expect("launch latency fits in u64 milliseconds"),
         plopper,
         compute_only,
         evals: report.evals,

@@ -1,6 +1,7 @@
 //! Regenerate extension E1: demand-response budget drops.
 use powerstack_core::experiments::emergency;
 fn main() {
+    pstack_analyze::startup_gate();
     let r = pstack_bench::timed("E1", emergency::run_default);
     pstack_bench::emit("ext_emergency", &emergency::render(&r), &r);
 }

@@ -55,6 +55,7 @@ fn run(variant: &str, seed: u64) -> (f64, f64) {
 }
 
 fn main() {
+    pstack_analyze::startup_gate();
     let seed = 20200915;
     let (t0, e0) = run("none", seed);
     let mut rows = Vec::new();

@@ -1,6 +1,7 @@
 //! Regenerate extension E2: thermal-aware node selection.
 use powerstack_core::experiments::thermal;
 fn main() {
+    pstack_analyze::startup_gate();
     let r = pstack_bench::timed("E2", thermal::run_default);
     pstack_bench::emit("ext_thermal", &thermal::render(&r), &r);
 }

@@ -2,6 +2,7 @@
 //! opportunity analysis (tuning levels × system power budgets).
 use powerstack_core::experiments::fig1;
 fn main() {
+    pstack_analyze::startup_gate();
     let r = pstack_bench::timed("fig1", fig1::run_default);
     pstack_bench::emit("fig1_end_to_end", &fig1::render(&r), &r);
 }

@@ -2,6 +2,7 @@
 //! job-agnostic RM-runtime power assignment.
 use powerstack_core::experiments::fig2;
 fn main() {
+    pstack_analyze::startup_gate();
     let r = pstack_bench::timed("fig2", fig2::run_default);
     pstack_bench::emit("fig2_interactions", &fig2::render(&r), &r);
 }

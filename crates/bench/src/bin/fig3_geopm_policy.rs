@@ -1,6 +1,7 @@
 //! Regenerate Figure 3: multijob GEOPM policy assignment across budgets.
 use powerstack_core::experiments::fig3;
 fn main() {
+    pstack_analyze::startup_gate();
     let r = pstack_bench::timed("fig3", fig3::run_default);
     pstack_bench::emit("fig3_geopm_policy", &fig3::render(&r), &r);
 }

@@ -1,6 +1,7 @@
 //! Regenerate Figure 4: the ytopt autotuning loop, algorithm comparison.
 use powerstack_core::experiments::fig4;
 fn main() {
+    pstack_analyze::startup_gate();
     let r = pstack_bench::timed("fig4", fig4::run_default_parallel);
     pstack_bench::emit("fig4_ytopt_loop", &fig4::render(&r), &r);
 }

@@ -1,6 +1,7 @@
 //! Regenerate Figure 5: FETI region graph under per-region tuning.
 use powerstack_core::experiments::fig5;
 fn main() {
+    pstack_analyze::startup_gate();
     let r = pstack_bench::timed("fig5", fig5::run_default);
     pstack_bench::emit("fig5_feti_regions", &fig5::render(&r), &r);
 }

@@ -1,6 +1,7 @@
 //! Regenerate Figure 6: power-corridor enforcement strategies.
 use powerstack_core::experiments::fig6;
 fn main() {
+    pstack_analyze::startup_gate();
     let r = pstack_bench::timed("fig6", fig6::run_default);
     pstack_bench::emit("fig6_power_corridor", &fig6::render(&r), &r);
 }

@@ -9,7 +9,11 @@ use powerstack_core::experiments::{
 use powerstack_core::{catalog, registry, vocab};
 
 fn main() {
-    println!("================ TABLES ================\n");
+    let lint = pstack_analyze::startup_gate();
+    println!("================ STATIC ANALYSIS ================\n");
+    pstack_bench::emit("lint_report", &lint.render_text(), &lint);
+
+    println!("\n================ TABLES ================\n");
     pstack_bench::emit(
         "table1_registry",
         &registry::render_table1(),
@@ -69,5 +73,8 @@ fn main() {
     let r = pstack_bench::timed("E2", thermal::run_default);
     pstack_bench::emit("ext_thermal", &thermal::render(&r), &r);
 
-    println!("\nall artifacts written to {}/", pstack_bench::results_dir().display());
+    println!(
+        "\nall artifacts written to {}/",
+        pstack_bench::results_dir().display()
+    );
 }

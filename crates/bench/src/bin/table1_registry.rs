@@ -1,5 +1,10 @@
 //! Regenerate Table 1: the per-layer knob registry.
 fn main() {
+    pstack_analyze::startup_gate();
     let reg = powerstack_core::knob_registry();
-    pstack_bench::emit("table1_registry", &powerstack_core::registry::render_table1(), &reg);
+    pstack_bench::emit(
+        "table1_registry",
+        &powerstack_core::registry::render_table1(),
+        &reg,
+    );
 }

@@ -1,5 +1,10 @@
 //! Regenerate Table 2: surveyed tools mapped to implemented analogs.
 fn main() {
+    pstack_analyze::startup_gate();
     let cat = powerstack_core::component_catalog();
-    pstack_bench::emit("table2_components", &powerstack_core::catalog::render_table2(), &cat);
+    pstack_bench::emit(
+        "table2_components",
+        &powerstack_core::catalog::render_table2(),
+        &cat,
+    );
 }

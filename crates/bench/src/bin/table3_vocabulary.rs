@@ -1,5 +1,10 @@
 //! Regenerate Table 3: the PowerStack vocabulary.
 fn main() {
+    pstack_analyze::startup_gate();
     let vocab = powerstack_core::vocabulary();
-    pstack_bench::emit("table3_vocabulary", &powerstack_core::vocab::render_table3(), &vocab);
+    pstack_bench::emit(
+        "table3_vocabulary",
+        &powerstack_core::vocab::render_table3(),
+        &vocab,
+    );
 }

@@ -1,6 +1,7 @@
 //! Regenerate use case 3.2.1: SLURM+Conductor+Hypre co-tuning.
 use powerstack_core::experiments::uc1;
 fn main() {
+    pstack_analyze::startup_gate();
     let r = pstack_bench::timed("uc1", uc1::run_default);
     pstack_bench::emit("uc1_hypre_cotune", &uc1::render(&r), &r);
 }

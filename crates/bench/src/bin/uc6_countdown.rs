@@ -1,6 +1,7 @@
 //! Regenerate use case 3.2.6: RM-selected COUNTDOWN aggressiveness.
 use powerstack_core::experiments::uc6;
 fn main() {
+    pstack_analyze::startup_gate();
     let r = pstack_bench::timed("uc6", uc6::run_default);
     pstack_bench::emit("uc6_countdown", &uc6::render(&r), &r);
 }

@@ -1,6 +1,7 @@
 //! Regenerate use case 3.2.7: COUNTDOWN+MERIC coexistence.
 use powerstack_core::experiments::uc7;
 fn main() {
+    pstack_analyze::startup_gate();
     let r = pstack_bench::timed("uc7", uc7::run_default);
     pstack_bench::emit("uc7_two_runtimes", &uc7::render(&r), &r);
 }

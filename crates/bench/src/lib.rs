@@ -10,6 +10,8 @@
 //! paths (node stepping, job execution, search algorithms) so performance
 //! regressions in the substrate are caught like any other bug.
 
+#![cfg_attr(test, allow(clippy::disallowed_methods))]
+
 use serde::Serialize;
 use std::fs;
 use std::path::PathBuf;

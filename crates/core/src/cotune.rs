@@ -84,7 +84,10 @@ impl HypreCoTune {
                 "precond",
                 ["none", "jacobi", "parasails", "boomeramg"],
             ))
-            .with(Param::strs("smoother", ["jacobi", "gauss_seidel", "chebyshev"]))
+            .with(Param::strs(
+                "smoother",
+                ["jacobi", "gauss_seidel", "chebyshev"],
+            ))
             .with(Param::strs("coarsen", ["falgout", "pmis", "hmis"]))
             .with(Param::floats("strong_threshold", [0.25, 0.5, 0.7]))
             .with(Param::ints("nodes", self.node_counts.clone()))
@@ -127,7 +130,8 @@ impl HypreCoTune {
             coarsen,
             strong_threshold: space.value(cfg, "strong_threshold").as_float(),
         };
-        let nodes = space.value(cfg, "nodes").as_int() as usize;
+        let nodes = usize::try_from(space.value(cfg, "nodes").as_int())
+            .expect("node counts in the space are positive");
         let cap = space.value(cfg, "node_cap_w").as_float();
         (hypre, nodes, if cap > 0.0 { Some(cap) } else { None })
     }
@@ -211,11 +215,19 @@ impl KernelCoTune {
 
     /// The joint space with the unroll≤tile_k dependency condition.
     pub fn space(&self) -> ParamSpace {
-        let tiles: Vec<i64> = KernelConfig::TILES.iter().map(|&t| t as i64).collect();
-        let unrolls: Vec<i64> = KernelConfig::UNROLLS.iter().map(|&u| u as i64).collect();
+        let tiles: Vec<i64> = KernelConfig::TILES
+            .iter()
+            .map(|&t| i64::try_from(t).expect("tile size fits i64"))
+            .collect();
+        let unrolls: Vec<i64> = KernelConfig::UNROLLS
+            .iter()
+            .map(|&u| i64::try_from(u).expect("unroll factor fits i64"))
+            .collect();
         let threads: Vec<i64> = (0..)
             .map(|i| 1i64 << i)
-            .take_while(|&t| t <= self.model.max_threads as i64)
+            .take_while(|&t| {
+                t <= i64::try_from(self.model.max_threads).expect("thread count fits i64")
+            })
             .collect();
         ParamSpace::new()
             .with(Param::ints("tile_i", tiles.clone()))
@@ -244,14 +256,18 @@ impl KernelCoTune {
             "kij" => Interchange::Kij,
             _ => Interchange::Kji,
         };
+        let dim = |name: &str| {
+            usize::try_from(space.value(cfg, name).as_int())
+                .expect("kernel space dimensions are positive")
+        };
         let kc = KernelConfig {
-            tile_i: space.value(cfg, "tile_i").as_int() as usize,
-            tile_j: space.value(cfg, "tile_j").as_int() as usize,
-            tile_k: space.value(cfg, "tile_k").as_int() as usize,
+            tile_i: dim("tile_i"),
+            tile_j: dim("tile_j"),
+            tile_k: dim("tile_k"),
             interchange,
-            unroll: space.value(cfg, "unroll").as_int() as usize,
+            unroll: dim("unroll"),
             packing: space.value(cfg, "packing").as_bool(),
-            threads: space.value(cfg, "threads").as_int() as usize,
+            threads: dim("threads"),
         };
         let cap = space.value(cfg, "node_cap_w").as_float();
         (kc, if cap > 0.0 { Some(cap) } else { None })

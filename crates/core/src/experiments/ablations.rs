@@ -36,7 +36,12 @@ pub struct MalleabilityRow {
 
 /// A1: sweep the number of EPOP blocks (i.e. how often redistribution may
 /// happen) and measure corridor adherence.
-pub fn malleability(blocks_sweep: &[usize], n_nodes: usize, work: f64, seed: u64) -> Vec<MalleabilityRow> {
+pub fn malleability(
+    blocks_sweep: &[usize],
+    n_nodes: usize,
+    work: f64,
+    seed: u64,
+) -> Vec<MalleabilityRow> {
     let peak = n_nodes as f64 * 450.0;
     let corridor = (peak * 0.35, peak * 0.72);
     blocks_sweep
@@ -141,8 +146,7 @@ pub fn static_variants(caps_w: &[f64], seed: u64) -> Vec<VariantRow> {
                 model,
                 config: *cfg,
             };
-            let (t, e, _) =
-                simulate_app(&app, 1, if cap > 0.0 { Some(cap) } else { None }, seed);
+            let (t, e, _) = simulate_app(&app, 1, if cap > 0.0 { Some(cap) } else { None }, seed);
             rows.push(VariantRow {
                 variant: name.to_string(),
                 cap_w: cap,
@@ -184,9 +188,7 @@ impl pstack_apps::workload::AppModel for StrongScaled {
         "strong-scaled-synthetic"
     }
     fn workload(&self, n_nodes: usize) -> pstack_apps::workload::Workload {
-        self.inner
-            .workload(n_nodes)
-            .scaled(1.0 / n_nodes as f64)
+        self.inner.workload(n_nodes).scaled(1.0 / n_nodes as f64)
     }
 }
 
@@ -246,11 +248,7 @@ pub fn overprovisioning(
 }
 
 /// Render all three ablations.
-pub fn render(
-    a1: &[MalleabilityRow],
-    a2: &[VariantRow],
-    a3: &[OverprovisionRow],
-) -> String {
+pub fn render(a1: &[MalleabilityRow], a2: &[VariantRow], a3: &[OverprovisionRow]) -> String {
     let mut out = String::from(
         "ABLATION A1 (§4.1): corridor adherence vs redistribution granularity\n\
          blocks | in_corridor | redistributions | makespan_s\n",

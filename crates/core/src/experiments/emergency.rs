@@ -87,9 +87,10 @@ fn run_strategy(
     let mut event_energy = 0.0;
     let mut event_seconds = 0.0;
     let mut in_event = false;
-    while (sched.queued() > 0 || sched.running() > 0)
-        && sched.now() < SimTime::from_secs(4 * 3600)
+    while (sched.queued() > 0 || sched.running() > 0) && sched.now() < SimTime::from_secs(4 * 3600)
     {
+        // Truncation toward zero is the wanted behaviour: the event window
+        // is specified in whole seconds.
         let t = sched.now().as_secs_f64() as u64;
         if t == window.0 && !in_event {
             in_event = true;
@@ -131,7 +132,9 @@ pub fn run(n_nodes: usize, n_jobs: usize, work: f64, seed: u64) -> EmergencyResu
     let emergency = normal * 0.55;
     let window = (30u64, 150u64);
     let rows = vec![
-        run_strategy(None, "ignore", n_nodes, n_jobs, work, normal, emergency, window, seed),
+        run_strategy(
+            None, "ignore", n_nodes, n_jobs, work, normal, emergency, window, seed,
+        ),
         run_strategy(
             Some(EmergencyResponse::PauseJobs),
             "pause-jobs",

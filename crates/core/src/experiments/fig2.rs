@@ -57,7 +57,11 @@ fn run_pair(split: (f64, f64), label: &str, work: f64, seed: u64) -> Interaction
             .map(|k| NodeManager::new(Node::nominal(NodeId(k), NodeConfig::server_default())))
             .collect();
         for nm in nodes.iter_mut() {
-            nm.set_power_limit(SimTime::ZERO, caps[i] / n as f64, SimDuration::from_millis(10));
+            nm.set_power_limit(
+                SimTime::ZERO,
+                caps[i] / n as f64,
+                SimDuration::from_millis(10),
+            );
         }
         let seeds = SeedTree::new(seed + i as u64);
         let mut runner = JobRunner::new(
@@ -88,7 +92,12 @@ fn run_pair(split: (f64, f64), label: &str, work: f64, seed: u64) -> Interaction
 /// exactly what a site's historic job database amortizes — picks the
 /// assignment, always weighted toward the job whose speed responds to watts.
 pub fn run(total_w: f64, work: f64, seed: u64) -> Fig2Result {
-    let agnostic = run_pair((total_w / 2.0, total_w / 2.0), "job-agnostic (uniform)", work, seed);
+    let agnostic = run_pair(
+        (total_w / 2.0, total_w / 2.0),
+        "job-agnostic (uniform)",
+        work,
+        seed,
+    );
     // Profile sweep (run at reduced scale offline in practice; deterministic
     // here, so the full problem doubles as its own profile).
     let mut best: Option<(f64, f64)> = None; // (makespan, compute_share)

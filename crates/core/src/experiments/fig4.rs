@@ -45,11 +45,17 @@ pub struct Fig4Result {
 /// The pure application-layer ytopt space (no power knobs — Figure 4 shows
 /// the single-layer loop; the cross-layer extension is use case 3).
 pub fn kernel_space(model: &KernelModel) -> ParamSpace {
-    let tiles: Vec<i64> = KernelConfig::TILES.iter().map(|&t| t as i64).collect();
-    let unrolls: Vec<i64> = KernelConfig::UNROLLS.iter().map(|&u| u as i64).collect();
+    let tiles: Vec<i64> = KernelConfig::TILES
+        .iter()
+        .map(|&t| i64::try_from(t).expect("tile size fits i64"))
+        .collect();
+    let unrolls: Vec<i64> = KernelConfig::UNROLLS
+        .iter()
+        .map(|&u| i64::try_from(u).expect("unroll factor fits i64"))
+        .collect();
     let threads: Vec<i64> = (0..)
         .map(|i| 1i64 << i)
-        .take_while(|&t| t <= model.max_threads as i64)
+        .take_while(|&t| t <= i64::try_from(model.max_threads).expect("thread count fits i64"))
         .collect();
     ParamSpace::new()
         .with(Param::ints("tile_i", tiles.clone()))
@@ -152,7 +158,12 @@ pub fn run_default() -> Fig4Result {
 /// machine: worker count never affects the trajectory.
 pub fn run_default_parallel() -> Fig4Result {
     let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
-    run_with_workers(&KernelModel::polybench_large(), 100, 20200903, Some(workers))
+    run_with_workers(
+        &KernelModel::polybench_large(),
+        100,
+        20200903,
+        Some(workers),
+    )
 }
 
 /// Render the convergence comparison.
@@ -166,7 +177,10 @@ pub fn render(r: &Fig4Result) -> String {
     for t in &r.trajectories {
         let at = |i: usize| {
             t.best_by_eval
-                .get(i.saturating_sub(1).min(t.best_by_eval.len().saturating_sub(1)))
+                .get(
+                    i.saturating_sub(1)
+                        .min(t.best_by_eval.len().saturating_sub(1)),
+                )
                 .copied()
                 .unwrap_or(f64::NAN)
         };
@@ -225,7 +239,10 @@ mod tests {
             forest <= random * 1.10,
             "forest {forest} should be at least on par with random {random}"
         );
-        assert!(forest <= r.exhaustive_best_s * 2.0, "forest within 2x of optimum");
+        assert!(
+            forest <= r.exhaustive_best_s * 2.0,
+            "forest within 2x of optimum"
+        );
     }
 
     #[test]
@@ -246,7 +263,12 @@ mod tests {
     fn render_mentions_all_algorithms() {
         let r = run(&KernelModel::polybench_large(), 12, 2);
         let s = render(&r);
-        for name in ["random", "hill-climb", "simulated-annealing", "random-forest"] {
+        for name in [
+            "random",
+            "hill-climb",
+            "simulated-annealing",
+            "random-forest",
+        ] {
             assert!(s.contains(name), "missing {name}");
         }
     }

@@ -159,10 +159,14 @@ pub fn run(size: f64, n_nodes: usize, seed: u64) -> Fig5Result {
             row("default", t0, e0),
             row(&format!("static-best ({best_freq:.1} GHz)"), ts, es),
             row("meric per-region", tm, em),
-            row(&format!(
-                "meric + ATP ({:?}/{:?}/dom{})",
-                atp_cfg.solver, atp_cfg.precond, atp_cfg.domain_size
-            ), t_atp, e_atp),
+            row(
+                &format!(
+                    "meric + ATP ({:?}/{:?}/dom{})",
+                    atp_cfg.solver, atp_cfg.precond, atp_cfg.domain_size
+                ),
+                t_atp,
+                e_atp,
+            ),
         ],
         tuned_regions,
     }

@@ -79,10 +79,7 @@ pub fn run(n_nodes: usize, work: f64, seed: u64) -> Fig6Result {
             EpopApp::uniform("epop-b", work, 20, NodeCountRule::Any),
             small,
         );
-        let report: IrmReport = irm.run(
-            SimDuration::from_secs(1),
-            SimTime::from_secs(4 * 3600),
-        );
+        let report: IrmReport = irm.run(SimDuration::from_secs(1), SimTime::from_secs(4 * 3600));
         rows.push(Fig6Row {
             strategy: format!("{strategy:?}"),
             in_corridor_fraction: report.in_corridor_fraction,
@@ -155,7 +152,11 @@ mod tests {
         let r = run(8, 100.0, 5);
         // Makespans finite (inside the horizon) for every strategy.
         for row in &r.rows {
-            assert!(row.makespan_s < 4.0 * 3600.0, "{} hit horizon", row.strategy);
+            assert!(
+                row.makespan_s < 4.0 * 3600.0,
+                "{} hit horizon",
+                row.strategy
+            );
         }
     }
 }

@@ -63,10 +63,8 @@ fn run_policy(
     );
     // A per-node cap makes the thermal difference performance-relevant:
     // hot nodes lose more frequency to the same cap (leakage eats budget).
-    let policy = SystemPowerPolicy::budgeted(
-        n_nodes as f64 * 450.0,
-        PowerAssignment::PerNodeCap(280.0),
-    );
+    let policy =
+        SystemPowerPolicy::budgeted(n_nodes as f64 * 450.0, PowerAssignment::PerNodeCap(280.0));
     let mut sched =
         Scheduler::new(fleet, policy, seeds.subtree("sched")).with_node_selection(selection);
     for i in 0..n_jobs {

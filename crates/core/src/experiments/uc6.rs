@@ -141,7 +141,11 @@ mod tests {
             saving(16),
             saving(2)
         );
-        assert!(saving(16) > 3.0, "meaningful saving at scale: {}", saving(16));
+        assert!(
+            saving(16) > 3.0,
+            "meaningful saving at scale: {}",
+            saving(16)
+        );
     }
 
     #[test]

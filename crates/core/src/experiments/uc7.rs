@@ -22,9 +22,7 @@ use pstack_apps::workload::{AppModel, Phase, Workload};
 use pstack_apps::MpiModel;
 use pstack_hwmodel::{Node, NodeConfig, NodeId, PhaseMix};
 use pstack_node::NodeManager;
-use pstack_runtime::{
-    ArbiterMode, Countdown, CountdownMode, JobRunner, Meric, RuntimeAgent,
-};
+use pstack_runtime::{ArbiterMode, Countdown, CountdownMode, JobRunner, Meric, RuntimeAgent};
 use pstack_sim::{SeedTree, SimTime};
 use serde::{Deserialize, Serialize};
 
@@ -91,7 +89,13 @@ enum Variant {
     BothGated,
 }
 
-fn run_variant(v: &Variant, n_nodes: usize, iterations: usize, scale: f64, seed: u64) -> (f64, f64) {
+fn run_variant(
+    v: &Variant,
+    n_nodes: usize,
+    iterations: usize,
+    scale: f64,
+    seed: u64,
+) -> (f64, f64) {
     let app = HybridApp { iterations, scale };
     let mut nodes: Vec<NodeManager> = (0..n_nodes)
         .map(|i| NodeManager::new(Node::nominal(NodeId(i), NodeConfig::server_default())))

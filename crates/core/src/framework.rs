@@ -122,7 +122,13 @@ impl Scenario {
     }
 
     /// Generate the job mix and run the scenario to completion.
+    ///
+    /// The first call in a process runs the layer-invariant gate
+    /// ([`crate::validate::enforce`]): a configuration that violates a
+    /// declared physical invariant panics here instead of simulating
+    /// garbage (set `PSTACK_LINT_SKIP=1` to override).
     pub fn run(&self) -> ScenarioResult {
+        crate::validate::enforce();
         let seeds = SeedTree::new(self.seed);
         let nodes = NodeManager::fleet(
             self.n_nodes,
@@ -138,11 +144,11 @@ impl Scenario {
             app.work_per_node *= self.job_scale * 0.2; // keep experiments tractable
             let profile = app.profile;
             let nodes_wanted = 1usize << rng.gen_range(0..3); // 1, 2 or 4
-            // Every level runs the same rigid sizes: the apps are
-            // weak-scaled, so identical sizes keep completed work identical
-            // across rows and make throughput/energy directly comparable.
-            // (Moldability under power pressure is studied separately in the
-            // §4.3 overprovisioning ablation, where sizing is the subject.)
+                                                              // Every level runs the same rigid sizes: the apps are
+                                                              // weak-scaled, so identical sizes keep completed work identical
+                                                              // across rows and make throughput/energy directly comparable.
+                                                              // (Moldability under power pressure is studied separately in the
+                                                              // §4.3 overprovisioning ablation, where sizing is the subject.)
             let spec = JobSpec::rigid(i as u64, Arc::new(app), nodes_wanted, SimTime::from_secs(t))
                 .with_agent(self.agent_for(profile));
             sched.submit(spec);

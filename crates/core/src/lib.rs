@@ -22,6 +22,8 @@
 //! - [`experiments`] — one module per paper table/figure/use case, each
 //!   regenerating the corresponding result (see DESIGN.md's index).
 
+#![cfg_attr(test, allow(clippy::disallowed_methods))]
+
 pub mod catalog;
 pub mod cotune;
 pub mod experiments;
@@ -29,6 +31,7 @@ pub mod framework;
 pub mod interfaces;
 pub mod registry;
 pub mod translate;
+pub mod validate;
 pub mod vocab;
 
 pub use catalog::{component_catalog, CatalogEntry};

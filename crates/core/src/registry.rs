@@ -240,8 +240,9 @@ pub fn knob_registry() -> Vec<Knob> {
 
 /// Render Table 1 grouped by layer.
 pub fn render_table1() -> String {
-    let mut out =
-        String::from("TABLE 1. SURVEY OF PARAMETERS AND METHODS USED BY THE LAYERS OF THE POWERSTACK\n");
+    let mut out = String::from(
+        "TABLE 1. SURVEY OF PARAMETERS AND METHODS USED BY THE LAYERS OF THE POWERSTACK\n",
+    );
     for layer in Layer::ALL {
         out.push_str(&format!("\n[{:?}]\n", layer));
         for k in knob_registry().iter().filter(|k| k.layer == layer) {
@@ -273,7 +274,8 @@ mod tests {
     fn implementations_are_workspace_paths() {
         for k in knob_registry() {
             assert!(
-                k.implemented_by.starts_with("pstack_") || k.implemented_by.starts_with("powerstack_"),
+                k.implemented_by.starts_with("pstack_")
+                    || k.implemented_by.starts_with("powerstack_"),
                 "{} has no workspace implementation path",
                 k.name
             );

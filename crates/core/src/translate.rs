@@ -13,7 +13,7 @@
 //! (application progress/s → job efficiency → system throughput).
 
 use crate::interfaces::PowerBudget;
-use pstack_hwmodel::{PhaseMix, PStateTable, SpeedModel};
+use pstack_hwmodel::{PStateTable, PhaseMix, SpeedModel};
 use serde::{Deserialize, Serialize};
 
 /// A job's share request for power subdivision.
@@ -90,7 +90,9 @@ impl ObjectiveTranslator {
         let mut best = self.pstates.freq(0);
         for idx in 0..self.pstates.len() {
             let f = self.pstates.freq(idx);
-            let speed = self.speed.speed(mix, f, 2.0, pstack_hwmodel::DutyCycle::FULL);
+            let speed = self
+                .speed
+                .speed(mix, f, 2.0, pstack_hwmodel::DutyCycle::FULL);
             let p = pm.core_dynamic_w(
                 &self.pstates,
                 idx,
@@ -205,26 +207,19 @@ mod tests {
         // Memory-bound phases draw less core power, so the same budget
         // admits a higher clock.
         let t = ObjectiveTranslator::default();
-        let f_comp = t.node_budget_to_freq(
-            300.0,
-            &PhaseMix::pure(PhaseKind::ComputeBound),
-            24,
-            2,
-            60.0,
-        );
-        let f_mem = t.node_budget_to_freq(
-            300.0,
-            &PhaseMix::pure(PhaseKind::MemoryBound),
-            24,
-            2,
-            60.0,
-        );
+        let f_comp =
+            t.node_budget_to_freq(300.0, &PhaseMix::pure(PhaseKind::ComputeBound), 24, 2, 60.0);
+        let f_mem =
+            t.node_budget_to_freq(300.0, &PhaseMix::pure(PhaseKind::MemoryBound), 24, 2, 60.0);
         assert!(f_mem >= f_comp);
     }
 
     #[test]
     fn upward_translations() {
-        assert_eq!(ObjectiveTranslator::app_to_job_efficiency(10.0, 200.0), 0.05);
+        assert_eq!(
+            ObjectiveTranslator::app_to_job_efficiency(10.0, 200.0),
+            0.05
+        );
         assert_eq!(ObjectiveTranslator::app_to_job_efficiency(10.0, 0.0), 0.0);
         assert_eq!(
             ObjectiveTranslator::jobs_to_system_throughput(6, 7200.0),

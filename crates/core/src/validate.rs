@@ -1,0 +1,87 @@
+//! The framework-construction gate.
+//!
+//! Before the first scenario runs, every layer's declared invariants
+//! ([`pstack_hwmodel::invariants`], `pstack_rm`, `pstack_runtime`,
+//! `pstack_node`, `pstack_apps`) are checked once per process. Errors deny
+//! construction (panic with the rendered report) so a physically
+//! impossible configuration fails loudly at startup instead of producing
+//! quietly wrong results hours later; `PSTACK_LINT_SKIP=1` downgrades the
+//! gate to report-only.
+//!
+//! This gate runs the *layer* invariants only — the full cross-layer rule
+//! engine lives in `pstack-analyze`, which depends on this crate and
+//! therefore cannot be called from it. Binaries get the complete analysis
+//! by calling `pstack_analyze::startup_gate()` first; this in-crate gate is
+//! the backstop for library users who construct a [`crate::Scenario`]
+//! directly.
+
+use std::sync::Once;
+
+use pstack_diag::Report;
+
+/// Environment variable that downgrades the gate to report-only.
+pub const SKIP_ENV: &str = "PSTACK_LINT_SKIP";
+
+/// Run every layer crate's `invariants()` provider and collect the results.
+pub fn layer_invariants_report() -> Report {
+    let mut report = Report::new();
+    let providers = pstack_hwmodel::invariants()
+        .into_iter()
+        .chain(pstack_rm::invariants())
+        .chain(pstack_runtime::invariants())
+        .chain(pstack_node::invariants())
+        .chain(pstack_apps::invariants());
+    for inv in providers {
+        report.extend(inv.run());
+    }
+    report
+}
+
+fn skip_requested() -> bool {
+    std::env::var(SKIP_ENV).map(|v| v == "1").unwrap_or(false)
+}
+
+/// Enforce the layer invariants, once per process.
+///
+/// Subsequent calls are free; the first call runs the checks. Returns
+/// whether the checks ran clean (always `true` once the process survived
+/// the first call, since errors panic unless skipped).
+///
+/// # Panics
+/// Panics when any invariant reports an error-severity diagnostic and
+/// `PSTACK_LINT_SKIP=1` is not set.
+pub fn enforce() {
+    static GATE: Once = Once::new();
+    GATE.call_once(|| {
+        let report = layer_invariants_report();
+        if report.has_errors() && !skip_requested() {
+            panic!(
+                "layer invariants denied framework construction ({} error(s)); \
+                 set {SKIP_ENV}=1 to override\n{}",
+                report.summary().errors,
+                report.render_text()
+            );
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shipped_layers_pass() {
+        let report = layer_invariants_report();
+        assert!(
+            !report.has_errors(),
+            "layer invariants must hold on shipped defaults:\n{}",
+            report.render_text()
+        );
+    }
+
+    #[test]
+    fn enforce_is_idempotent_and_clean() {
+        enforce();
+        enforce();
+    }
+}

@@ -1,0 +1,299 @@
+//! Node-hardware invariants: the physical feasibility envelope.
+//!
+//! The analyzer's knob-bound and power-model rules are grounded here, where
+//! the hardware knowledge lives: what frequency range is physically
+//! plausible, what a node can draw between idle and peak, and which shapes a
+//! power model must have (monotone `P(f)`, non-negative leakage). The
+//! parameterized `check_*` functions are public so `pstack-analyze` fixtures
+//! can feed deliberately-broken inputs; [`invariants`] packages them over
+//! the shipped server defaults.
+
+use crate::node::NodeConfig;
+use crate::phase::{PhaseKind, PhaseMix};
+use crate::power::PowerModel;
+use crate::pstate::{DutyCycle, FreqLadder, PStateTable};
+use pstack_diag::{Diagnostic, InvariantCheck};
+
+/// Layer tag used by all hwmodel diagnostics.
+pub const LAYER: &str = "node";
+
+/// Physically plausible core/uncore frequency range, GHz. Anything a ladder
+/// offers outside this band is a configuration bug, not a real P-state.
+pub const FREQ_ENVELOPE_GHZ: (f64, f64) = (0.4, 6.0);
+
+/// The power envelope of a node: what it draws doing nothing and the most
+/// it can draw flat out. Power caps only make sense inside this band.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerEnvelope {
+    /// All-idle node power, watts.
+    pub idle_w: f64,
+    /// Peak node power (all cores busy, top P-state, hot), watts.
+    pub peak_w: f64,
+}
+
+/// Compute the power envelope of a node configuration.
+pub fn power_envelope(cfg: &NodeConfig) -> PowerEnvelope {
+    let pkg = &cfg.package;
+    let pm = &pkg.power;
+    let compute = PhaseMix::pure(PhaseKind::ComputeBound);
+    let peak_pkg = pm.package_w(
+        &pkg.pstates,
+        pkg.pstates.top_idx(),
+        DutyCycle::FULL,
+        pkg.n_cores,
+        &compute,
+        pkg.uncore.max(),
+        85.0,
+    ) + pm.dram_w(&PhaseMix::pure(PhaseKind::MemoryBound), 1.0);
+    let idle_pkg = pm.uncore_w(pkg.uncore.min())
+        + pm.leakage_w(pm.t_ref_c)
+        + pm.dram_w(&PhaseMix::pure(PhaseKind::ComputeBound), 0.0);
+    PowerEnvelope {
+        idle_w: cfg.n_packages as f64 * idle_pkg + cfg.misc_power_w,
+        peak_w: cfg.n_packages as f64 * peak_pkg + cfg.misc_power_w,
+    }
+}
+
+/// Check a frequency ladder against the physical envelope.
+pub fn check_freq_ladder(rule: &str, ladder: &FreqLadder, path: &str) -> Vec<Diagnostic> {
+    let (lo, hi) = FREQ_ENVELOPE_GHZ;
+    let mut out = Vec::new();
+    for &f in ladder.freqs() {
+        if !(lo..=hi).contains(&f) {
+            out.push(Diagnostic::error(
+                rule,
+                LAYER,
+                path,
+                format!("ladder rung {f} GHz outside the physical envelope [{lo}, {hi}] GHz"),
+            ));
+        }
+    }
+    out
+}
+
+/// Check a P-state table: ladder inside the envelope and a sane V-f range.
+pub fn check_pstate_table(rule: &str, ps: &PStateTable, path: &str) -> Vec<Diagnostic> {
+    let mut out = check_freq_ladder(rule, ps.ladder(), path);
+    let (v_bottom, v_top) = (ps.voltage(0), ps.voltage(ps.top_idx()));
+    if !(0.4..=1.6).contains(&v_bottom) || !(0.4..=1.6).contains(&v_top) {
+        out.push(Diagnostic::error(
+            rule,
+            LAYER,
+            path,
+            format!("V-f curve endpoints ({v_bottom} V, {v_top} V) outside plausible 0.4–1.6 V"),
+        ));
+    }
+    out
+}
+
+/// Check a power model against a P-state table: `P(f)` must be monotone
+/// non-decreasing at a fixed phase mix, leakage must be non-negative over
+/// the operating temperature range, and all coefficients non-negative.
+pub fn check_power_model(
+    rule: &str,
+    pm: &PowerModel,
+    ps: &PStateTable,
+    path: &str,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mix = PhaseMix::pure(PhaseKind::ComputeBound);
+    let mut prev = f64::NEG_INFINITY;
+    for idx in 0..ps.len() {
+        let p = pm.core_dynamic_w(ps, idx, DutyCycle::FULL, 24, &mix);
+        if p < prev - 1e-9 {
+            out.push(Diagnostic::error(
+                rule,
+                LAYER,
+                path,
+                format!(
+                    "P(f) not monotone: core power drops to {p:.2} W at rung {idx} ({} GHz)",
+                    ps.freq(idx)
+                ),
+            ));
+            break;
+        }
+        prev = p;
+    }
+    for t_c in [-20.0, 25.0, 50.0, 85.0, 110.0] {
+        let leak = pm.leakage_w(t_c);
+        if leak < 0.0 || !leak.is_finite() {
+            out.push(Diagnostic::error(
+                rule,
+                LAYER,
+                path,
+                format!("leakage {leak} W at {t_c} °C must be finite and non-negative"),
+            ));
+        }
+    }
+    if pm.c_dyn <= 0.0 {
+        out.push(Diagnostic::error(
+            rule,
+            LAYER,
+            path,
+            format!(
+                "dynamic-power coefficient c_dyn = {} must be positive",
+                pm.c_dyn
+            ),
+        ));
+    }
+    if pm.uncore_w_per_ghz < 0.0 || pm.dram_idle_w < 0.0 || pm.dram_w_per_intensity < 0.0 {
+        out.push(Diagnostic::error(
+            rule,
+            LAYER,
+            path,
+            "uncore/DRAM power coefficients must be non-negative".to_string(),
+        ));
+    }
+    out
+}
+
+/// Check that a power cap sits inside the node's feasibility envelope:
+/// above the idle floor (a lower cap can never be honoured) and at or below
+/// peak ("cap ≤ TDP" — a higher cap never binds and usually encodes a unit
+/// mistake).
+pub fn check_cap_in_envelope(
+    rule: &str,
+    cap_w: f64,
+    cfg: &NodeConfig,
+    path: &str,
+) -> Vec<Diagnostic> {
+    let env = power_envelope(cfg);
+    let mut out = Vec::new();
+    if cap_w < env.idle_w {
+        out.push(Diagnostic::error(
+            rule,
+            LAYER,
+            path,
+            format!(
+                "cap {cap_w} W is below the idle floor {:.0} W and can never be honoured",
+                env.idle_w
+            ),
+        ));
+    } else if cap_w > env.peak_w {
+        out.push(Diagnostic::error(
+            rule,
+            LAYER,
+            path,
+            format!(
+                "cap {cap_w} W exceeds node peak {:.0} W (cap ≤ TDP); likely a unit mistake",
+                env.peak_w
+            ),
+        ));
+    }
+    out
+}
+
+/// The hwmodel layer's invariant contributions, over the shipped defaults.
+pub fn invariants() -> Vec<InvariantCheck> {
+    vec![
+        InvariantCheck::new(
+            "INV-HW-001",
+            LAYER,
+            "pstack_hwmodel::PStateTable::server_default",
+            "core P-state ladder lies inside the physical frequency/voltage envelope",
+            || {
+                check_pstate_table(
+                    "INV-HW-001",
+                    &PStateTable::server_default(),
+                    "pstack_hwmodel::PStateTable::server_default",
+                )
+            },
+        ),
+        InvariantCheck::new(
+            "INV-HW-002",
+            LAYER,
+            "pstack_hwmodel::NodeConfig::server_default.uncore",
+            "uncore ladder lies inside the physical frequency envelope",
+            || {
+                check_freq_ladder(
+                    "INV-HW-002",
+                    &NodeConfig::server_default().package.uncore,
+                    "pstack_hwmodel::NodeConfig::server_default.uncore",
+                )
+            },
+        ),
+        InvariantCheck::new(
+            "INV-HW-003",
+            LAYER,
+            "pstack_hwmodel::PowerModel::server_default",
+            "package power is monotone in frequency with non-negative leakage",
+            || {
+                check_power_model(
+                    "INV-HW-003",
+                    &PowerModel::server_default(),
+                    &PStateTable::server_default(),
+                    "pstack_hwmodel::PowerModel::server_default",
+                )
+            },
+        ),
+        InvariantCheck::new(
+            "INV-HW-004",
+            LAYER,
+            "pstack_hwmodel::NodeConfig::server_default",
+            "node envelope is well-ordered: 0 < idle < peak",
+            || {
+                let env = power_envelope(&NodeConfig::server_default());
+                if env.idle_w > 0.0 && env.idle_w < env.peak_w {
+                    Vec::new()
+                } else {
+                    vec![Diagnostic::error(
+                        "INV-HW-004",
+                        LAYER,
+                        "pstack_hwmodel::NodeConfig::server_default",
+                        format!(
+                            "degenerate envelope: idle {:.0} W vs peak {:.0} W",
+                            env.idle_w, env.peak_w
+                        ),
+                    )]
+                }
+            },
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shipped_defaults_hold() {
+        for inv in invariants() {
+            assert!(inv.run().is_empty(), "{} violated: {:?}", inv.id, inv.run());
+        }
+    }
+
+    #[test]
+    fn envelope_is_sane() {
+        let env = power_envelope(&NodeConfig::server_default());
+        assert!((80.0..200.0).contains(&env.idle_w), "idle {}", env.idle_w);
+        assert!((380.0..650.0).contains(&env.peak_w), "peak {}", env.peak_w);
+    }
+
+    #[test]
+    fn broken_power_model_is_flagged() {
+        let mut pm = PowerModel::server_default();
+        pm.c_dyn = -1.0;
+        let ds = check_power_model("X", &pm, &PStateTable::server_default(), "p");
+        assert!(!ds.is_empty());
+        assert!(ds
+            .iter()
+            .any(|d| d.message.contains("monotone") || d.message.contains("c_dyn")));
+    }
+
+    #[test]
+    fn out_of_envelope_cap_is_flagged() {
+        let cfg = NodeConfig::server_default();
+        assert!(!check_cap_in_envelope("X", 50.0, &cfg, "p").is_empty());
+        assert!(!check_cap_in_envelope("X", 250_000.0, &cfg, "p").is_empty());
+        assert!(check_cap_in_envelope("X", 300.0, &cfg, "p").is_empty());
+    }
+
+    #[test]
+    fn negative_coefficients_are_flagged() {
+        // leakage_w clamps non-negative, so the coefficient checks are the
+        // definitive signal for sign mistakes.
+        let mut pm = PowerModel::server_default();
+        pm.uncore_w_per_ghz = -1.0;
+        assert!(!check_power_model("X", &pm, &PStateTable::server_default(), "p").is_empty());
+    }
+}

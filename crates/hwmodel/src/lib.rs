@@ -23,7 +23,10 @@
 //! memory-bound phases gain little from core frequency; communication slack
 //! gains nothing; capping power costs performance only once it binds.
 
+#![cfg_attr(test, allow(clippy::disallowed_methods))]
+
 pub mod cap;
+pub mod invariants;
 pub mod node;
 pub mod package;
 pub mod phase;
@@ -33,6 +36,7 @@ pub mod thermal;
 pub mod variation;
 
 pub use cap::{PowerCap, RaplWindow};
+pub use invariants::{invariants, power_envelope, PowerEnvelope};
 pub use node::{Node, NodeConfig, NodeId, StepOutput};
 pub use package::{Package, PackageConfig};
 pub use phase::{PhaseKind, PhaseMix, SpeedModel};

@@ -375,10 +375,7 @@ mod tests {
         let seeds = SeedTree::new(1234);
         let model = VariationModel::typical();
         let powers: Vec<f64> = (0..32)
-            .map(|i| {
-                Node::new(NodeId(i), cfg.clone(), &model, &seeds)
-                    .power_w(&compute(), 48)
-            })
+            .map(|i| Node::new(NodeId(i), cfg.clone(), &model, &seeds).power_w(&compute(), 48))
             .collect();
         let min = powers.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = powers.iter().cloned().fold(f64::NEG_INFINITY, f64::max);

@@ -143,7 +143,10 @@ impl Package {
             _ => {
                 let mut win = RaplWindow::new(window);
                 win.record(now, 0.0);
-                self.cap = Some((PowerCap::new(cap_w, window, self.cfg.pstates.top_idx()), win));
+                self.cap = Some((
+                    PowerCap::new(cap_w, window, self.cfg.pstates.top_idx()),
+                    win,
+                ));
             }
         }
     }
@@ -218,11 +221,11 @@ impl Package {
             self.uncore_ghz(),
             self.duty,
         );
-        let core_dyn = self
-            .cfg
-            .power
-            .core_dynamic_w(&self.cfg.pstates, idx, self.duty, active, mix)
-            * self.variation.dynamic;
+        let core_dyn =
+            self.cfg
+                .power
+                .core_dynamic_w(&self.cfg.pstates, idx, self.duty, active, mix)
+                * self.variation.dynamic;
         let leak = self.cfg.power.leakage_w(self.thermal.temperature_c()) * self.variation.leakage;
         let uncore = self.cfg.power.uncore_w(self.uncore_ghz());
         let dram = self.cfg.power.dram_w(mix, speed);
@@ -269,10 +272,14 @@ impl Package {
             CounterKind::Instructions,
             work * mix.blend(PhaseKind::instructions_per_work),
         );
-        self.counters
-            .add(CounterKind::Cycles, f * 1e9 * dt_s * self.duty.fraction() * share);
-        self.counters
-            .add(CounterKind::Flops, work * mix.blend(PhaseKind::flops_per_work));
+        self.counters.add(
+            CounterKind::Cycles,
+            f * 1e9 * dt_s * self.duty.fraction() * share,
+        );
+        self.counters.add(
+            CounterKind::Flops,
+            work * mix.blend(PhaseKind::flops_per_work),
+        );
         self.counters.add(
             CounterKind::MemBytes,
             work * mix.blend(PhaseKind::mem_intensity) * 1e9,
@@ -317,7 +324,11 @@ mod tests {
         let mut p = pkg();
         let out = p.step(SimTime::ZERO, SimDuration::from_secs(1), &compute(), 24);
         assert!(out.work > 0.0);
-        assert!(out.power_w > 50.0 && out.power_w < 300.0, "P={}", out.power_w);
+        assert!(
+            out.power_w > 50.0 && out.power_w < 300.0,
+            "P={}",
+            out.power_w
+        );
         assert!((p.energy_j() - out.power_w).abs() < 1e-9, "E = P·1s");
     }
 
@@ -388,7 +399,10 @@ mod tests {
         };
         let free = run(None);
         let capped = run(Some(90.0));
-        assert!(capped < free, "cap must cost performance: {capped} vs {free}");
+        assert!(
+            capped < free,
+            "cap must cost performance: {capped} vs {free}"
+        );
         assert!(capped > 0.3 * free, "cap should not stall the package");
     }
 

@@ -141,10 +141,7 @@ impl PhaseMix {
 
     /// Weighted average of a per-kind property.
     pub fn blend(&self, f: impl Fn(PhaseKind) -> f64) -> f64 {
-        PhaseKind::ALL
-            .iter()
-            .map(|&k| self.weight(k) * f(k))
-            .sum()
+        PhaseKind::ALL.iter().map(|&k| self.weight(k) * f(k)).sum()
     }
 
     /// The dominant phase kind.
@@ -264,7 +261,11 @@ mod tests {
         let m = PhaseMix::pure(PhaseKind::CommBound);
         let lo = sm.speed(&m, 1.0, 2.0, DutyCycle::FULL);
         let hi = sm.speed(&m, 3.5, 2.0, DutyCycle::FULL);
-        assert!(hi / lo < 1.08, "comm phase should barely speed up: {}", hi / lo);
+        assert!(
+            hi / lo < 1.08,
+            "comm phase should barely speed up: {}",
+            hi / lo
+        );
     }
 
     #[test]

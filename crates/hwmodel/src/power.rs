@@ -143,9 +143,7 @@ mod tests {
     #[test]
     fn phase_power_ordering() {
         let (pm, ps) = setup();
-        let p = |k| {
-            pm.core_dynamic_w(&ps, ps.top_idx(), DutyCycle::FULL, 24, &PhaseMix::pure(k))
-        };
+        let p = |k| pm.core_dynamic_w(&ps, ps.top_idx(), DutyCycle::FULL, 24, &PhaseMix::pure(k));
         assert!(p(PhaseKind::ComputeBound) > p(PhaseKind::CommBound));
         assert!(p(PhaseKind::CommBound) > p(PhaseKind::MemoryBound));
         assert!(p(PhaseKind::MemoryBound) > p(PhaseKind::IoBound));

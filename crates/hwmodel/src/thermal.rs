@@ -126,7 +126,12 @@ mod tests {
             th.advance(160.0, 1.0);
         }
         let ss = th.steady_state_c(160.0);
-        assert!((th.temperature_c() - ss).abs() < 0.01, "T={} ss={}", th.temperature_c(), ss);
+        assert!(
+            (th.temperature_c() - ss).abs() < 0.01,
+            "T={} ss={}",
+            th.temperature_c(),
+            ss
+        );
         assert!((ss - 65.0).abs() < 1e-9);
     }
 

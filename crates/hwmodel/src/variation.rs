@@ -9,8 +9,8 @@
 //! The model draws a per-package efficiency factor from a truncated normal
 //! distribution; dynamic and leakage power are scaled by it.
 
-use rand::Rng;
 use rand::rngs::SmallRng;
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// Per-package variation factors.

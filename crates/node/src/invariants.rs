@@ -1,0 +1,66 @@
+//! Node-interface invariants: the typed signal catalog.
+//!
+//! Upper layers identify telemetry by [`Signal`] and reason about it through
+//! the unit string — the analyzer's unit-consistency rule joins these
+//! strings against the core vocabulary, so the catalog must be exhaustive
+//! and every unit must come from the known set. Parameterized `check_*`
+//! functions stay public for `pstack-analyze` fixtures; [`invariants`]
+//! packages them over the shipped catalog.
+
+use crate::signals::Signal;
+use pstack_diag::{Diagnostic, InvariantCheck};
+
+/// Layer tag used by all node-interface diagnostics.
+pub const LAYER: &str = "node";
+
+/// Unit strings the stack's vocabulary understands. Power is always watts
+/// (never mW) and energy always joules — the unit-consistency rule leans on
+/// this being the single source of truth.
+pub const KNOWN_UNITS: [&str; 8] = ["W", "J", "GHz", "degC", "count", "bytes", "us", "work"];
+
+/// Check a signal catalog: units non-empty and drawn from [`KNOWN_UNITS`].
+pub fn check_signal_units(rule: &str, signals: &[Signal], path: &str) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for s in signals {
+        let u = s.unit();
+        if !KNOWN_UNITS.contains(&u) {
+            out.push(Diagnostic::error(
+                rule,
+                LAYER,
+                path,
+                format!("signal {s:?} reports unit '{u}' outside the known unit set"),
+            ));
+        }
+    }
+    out
+}
+
+/// The node layer's invariant contributions, over the shipped catalog.
+pub fn invariants() -> Vec<InvariantCheck> {
+    vec![InvariantCheck::new(
+        "INV-ND-001",
+        LAYER,
+        "pstack_node::Signal::ALL",
+        "every signal in the catalog reports a unit from the known set",
+        || check_signal_units("INV-ND-001", &Signal::ALL, "pstack_node::Signal::ALL"),
+    )]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shipped_catalog_holds() {
+        for inv in invariants() {
+            assert!(inv.run().is_empty(), "{} violated: {:?}", inv.id, inv.run());
+        }
+    }
+
+    #[test]
+    fn known_units_cover_catalog() {
+        for s in Signal::ALL {
+            assert!(KNOWN_UNITS.contains(&s.unit()), "{s:?}");
+        }
+    }
+}

@@ -319,7 +319,12 @@ mod tests {
         let mut idle = mgr();
         let b = busy.step(SimTime::ZERO, SimDuration::from_secs(1), &compute(), 48);
         let i = idle.step_idle(SimTime::ZERO, SimDuration::from_secs(1));
-        assert!(i.power_w < b.power_w * 0.6, "idle {} busy {}", i.power_w, b.power_w);
+        assert!(
+            i.power_w < b.power_w * 0.6,
+            "idle {} busy {}",
+            i.power_w,
+            b.power_w
+        );
     }
 
     #[test]

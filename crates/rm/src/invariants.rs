@@ -1,0 +1,138 @@
+//! System-layer invariants: the RM's power-policy arithmetic.
+//!
+//! Admission and per-job budgeting (§3, Figure 1) assume the policy's node
+//! estimates bracket reality — idle strictly below peak, budgets positive and
+//! at least one idle-node wide. Parameterized `check_*` functions stay public
+//! for `pstack-analyze` fixtures; [`invariants`] packages them over the
+//! shipped defaults.
+
+use crate::policy::{PowerAssignment, SystemPowerPolicy};
+use pstack_diag::{Diagnostic, InvariantCheck};
+
+/// Layer tag used by all resource-manager diagnostics.
+pub const LAYER: &str = "system";
+
+/// Check a system power policy: ordered node estimates, a positive budget
+/// wide enough for at least one idle node, and a per-node cap inside the
+/// policy's own [idle, peak] estimate band.
+pub fn check_policy(rule: &str, p: &SystemPowerPolicy, path: &str) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if !(p.node_idle_estimate_w > 0.0 && p.node_idle_estimate_w < p.node_peak_estimate_w) {
+        out.push(Diagnostic::error(
+            rule,
+            LAYER,
+            path,
+            format!(
+                "node estimates must satisfy 0 < idle < peak (idle {}, peak {})",
+                p.node_idle_estimate_w, p.node_peak_estimate_w
+            ),
+        ));
+    }
+    if let Some(b) = p.system_budget_w {
+        if !(b.is_finite() && b > 0.0) {
+            out.push(Diagnostic::error(
+                rule,
+                LAYER,
+                path,
+                format!("system budget {b} W must be finite and positive"),
+            ));
+        } else if b < p.node_idle_estimate_w {
+            out.push(Diagnostic::error(
+                rule,
+                LAYER,
+                path,
+                format!(
+                    "system budget {b} W is below one idle node ({} W); nothing can run",
+                    p.node_idle_estimate_w
+                ),
+            ));
+        }
+    }
+    if let PowerAssignment::PerNodeCap(w) = p.assignment {
+        if !(w.is_finite() && w > 0.0) {
+            out.push(Diagnostic::error(
+                rule,
+                LAYER,
+                path,
+                format!("per-node cap {w} W must be finite and positive"),
+            ));
+        } else if w < p.node_idle_estimate_w || w > p.node_peak_estimate_w {
+            out.push(Diagnostic::warn(
+                rule,
+                LAYER,
+                path,
+                format!(
+                    "per-node cap {w} W outside the policy's own estimate band [{}, {}] W",
+                    p.node_idle_estimate_w, p.node_peak_estimate_w
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// The system layer's invariant contributions, over shipped defaults.
+pub fn invariants() -> Vec<InvariantCheck> {
+    vec![
+        InvariantCheck::new(
+            "INV-RM-001",
+            LAYER,
+            "pstack_rm::SystemPowerPolicy::unlimited",
+            "the baseline policy's node estimates are ordered: 0 < idle < peak",
+            || {
+                check_policy(
+                    "INV-RM-001",
+                    &SystemPowerPolicy::unlimited(),
+                    "pstack_rm::SystemPowerPolicy::unlimited",
+                )
+            },
+        ),
+        InvariantCheck::new(
+            "INV-RM-002",
+            LAYER,
+            "pstack_rm::SystemPowerPolicy::budgeted",
+            "a representative budgeted policy is feasible (budget ≥ one idle node, cap in band)",
+            || {
+                check_policy(
+                    "INV-RM-002",
+                    &SystemPowerPolicy::budgeted(10_000.0, PowerAssignment::PerNodeCap(300.0)),
+                    "pstack_rm::SystemPowerPolicy::budgeted",
+                )
+            },
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shipped_defaults_hold() {
+        for inv in invariants() {
+            assert!(inv.run().is_empty(), "{} violated: {:?}", inv.id, inv.run());
+        }
+    }
+
+    #[test]
+    fn inverted_estimates_flagged() {
+        let mut p = SystemPowerPolicy::unlimited();
+        p.node_idle_estimate_w = 500.0; // above peak estimate 450
+        assert!(!check_policy("X", &p, "p").is_empty());
+    }
+
+    #[test]
+    fn starved_budget_flagged() {
+        let mut p = SystemPowerPolicy::budgeted(50.0, PowerAssignment::FairShare);
+        p.node_idle_estimate_w = 130.0;
+        let ds = check_policy("X", &p, "p");
+        assert!(ds.iter().any(|d| d.message.contains("below one idle node")));
+    }
+
+    #[test]
+    fn out_of_band_cap_warns() {
+        let p = SystemPowerPolicy::budgeted(10_000.0, PowerAssignment::PerNodeCap(40.0));
+        let ds = check_policy("X", &p, "p");
+        assert!(ds.iter().any(|d| d.severity == pstack_diag::Severity::Warn));
+    }
+}

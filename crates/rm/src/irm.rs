@@ -261,10 +261,7 @@ impl Irm {
             return;
         }
         if job.at_boundary() {
-            let boundary_ok = job.block == 0
-                || job
-                    .app
-                    .can_redistribute_after(job.block - 1);
+            let boundary_ok = job.block == 0 || job.app.can_redistribute_after(job.block - 1);
             if let (Some(target), true) = (job.pending_resize, boundary_ok) {
                 let current = job.nodes.len();
                 if target > current {
@@ -343,8 +340,10 @@ impl Irm {
                         .max_by_key(|j| j.nodes.len())
                     {
                         let cur = job.nodes.len();
-                        if let Some(smaller) =
-                            job.app.node_rule().largest_at_or_below(cur.saturating_sub(1))
+                        if let Some(smaller) = job
+                            .app
+                            .node_rule()
+                            .largest_at_or_below(cur.saturating_sub(1))
                         {
                             job.pending_resize = Some(smaller);
                         }
@@ -381,13 +380,8 @@ impl Irm {
                                 nm.set_power_limit(now, per_node, window);
                             }
                         }
-                        self.trace.record(
-                            self.now,
-                            "irm",
-                            "power_cap",
-                            per_node,
-                            "per-node cap",
-                        );
+                        self.trace
+                            .record(self.now, "irm", "power_cap", per_node, "per-node cap");
                     }
                 }
                 // A lower-bound violation cannot be fixed by capping.
@@ -479,7 +473,11 @@ mod tests {
             redis.in_corridor_fraction,
             base.in_corridor_fraction
         );
-        assert!(redis.in_corridor_fraction > 0.7, "{}", redis.in_corridor_fraction);
+        assert!(
+            redis.in_corridor_fraction > 0.7,
+            "{}",
+            redis.in_corridor_fraction
+        );
     }
 
     #[test]

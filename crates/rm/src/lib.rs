@@ -15,11 +15,15 @@
 //! Shared pieces: [`spec`] (job specifications and runtime-attachment kinds)
 //! and [`policy`] (site/system power policies).
 
+#![cfg_attr(test, allow(clippy::disallowed_methods))]
+
+pub mod invariants;
 pub mod irm;
 pub mod policy;
 pub mod scheduler;
 pub mod spec;
 
+pub use invariants::invariants;
 pub use irm::{CorridorStrategy, Irm, IrmReport};
 pub use policy::{PowerAssignment, SystemPowerPolicy};
 pub use scheduler::{EmergencyResponse, JobRecord, NodeSelection, Scheduler, SchedulerMetrics};

@@ -486,9 +486,7 @@ impl Scheduler {
     fn try_admit(&mut self, spec: &JobSpec) -> Option<(usize, f64, Option<f64>)> {
         let largest = spec.fit_nodes(self.idle.len())?;
         let rule = spec.app.node_rule();
-        let candidates = (spec.min_nodes..=largest)
-            .rev()
-            .filter(|&n| rule.allows(n));
+        let candidates = (spec.min_nodes..=largest).rev().filter(|&n| rule.allows(n));
         for n in candidates {
             if let Some(rb) = self.admit_power_check(n) {
                 return Some((n, rb.0, rb.1));
@@ -533,7 +531,8 @@ impl Scheduler {
                 let busy: usize = self.running.iter().map(|j| j.nodes.len()).sum();
                 let idle_after = self.idle.len() - n;
                 let available = budget - self.policy.node_idle_estimate_w * idle_after as f64;
-                let per_node = (available / (busy + n) as f64).min(self.policy.node_peak_estimate_w);
+                let per_node =
+                    (available / (busy + n) as f64).min(self.policy.node_peak_estimate_w);
                 if per_node < self.min_viable_node_w {
                     return None;
                 }
@@ -606,7 +605,10 @@ impl Scheduler {
             }
         }
         let (agents, endpoint) = spec.agent.make_agents_with_endpoint(budget_w, n);
-        let start_energy_j: f64 = nodes.iter().map(|nm| nm.read(Signal::NodeEnergyJoules)).sum();
+        let start_energy_j: f64 = nodes
+            .iter()
+            .map(|nm| nm.read(Signal::NodeEnergyJoules))
+            .sum();
         self.trace.record(
             self.now,
             "rm",
@@ -661,17 +663,14 @@ impl Scheduler {
         (spec.min_nodes..=largest)
             .filter(|&n| rule.allows(n))
             .any(|n| {
-                let idle_rest =
-                    self.policy.node_idle_estimate_w * (self.total_nodes - n) as f64;
+                let idle_rest = self.policy.node_idle_estimate_w * (self.total_nodes - n) as f64;
                 let headroom = budget - idle_rest;
                 match self.policy.assignment {
                     PowerAssignment::Unconstrained => {
                         self.policy.node_peak_estimate_w * n as f64 <= headroom
                     }
                     PowerAssignment::PerNodeCap(w) => w * n as f64 <= headroom,
-                    PowerAssignment::FairShare => {
-                        self.min_viable_node_w * n as f64 <= headroom
-                    }
+                    PowerAssignment::FairShare => self.min_viable_node_w * n as f64 <= headroom,
                 }
             })
     }
@@ -808,9 +807,7 @@ impl Scheduler {
             .iter()
             .map(|j| match (&j.endpoint, j.efficiency_ema, j.paused) {
                 (Some(_), Some(_), None) => 0.0,
-                _ if j.paused.is_some() => {
-                    self.policy.node_idle_estimate_w * j.nodes.len() as f64
-                }
+                _ if j.paused.is_some() => self.policy.node_idle_estimate_w * j.nodes.len() as f64,
                 _ => j.reservation_w,
             })
             .sum();
@@ -820,9 +817,7 @@ impl Scheduler {
             .iter()
             .enumerate()
             .filter_map(|(i, j)| match (&j.endpoint, j.efficiency_ema, j.paused) {
-                (Some(_), Some(eff), None) => {
-                    Some((i, j.nodes.len() as f64 * eff.max(1e-12)))
-                }
+                (Some(_), Some(eff), None) => Some((i, j.nodes.len() as f64 * eff.max(1e-12))),
                 _ => None,
             })
             .collect();
@@ -833,13 +828,14 @@ impl Scheduler {
         let now = self.now;
         for (i, w) in weights {
             let job = &mut self.running[i];
-            let share = (divisible * w / total_weight)
-                .max(balancer_floor_w(job.nodes.len()));
+            let share = (divisible * w / total_weight).max(balancer_floor_w(job.nodes.len()));
             job.reservation_w = share;
             job.budget_w = Some(share);
             let ep = job.endpoint.as_ref().expect("endpoint-carrying");
             ep.send(PolicyUpdate {
-                policy: GeopmPolicy::PowerBalancer { job_budget_w: share },
+                policy: GeopmPolicy::PowerBalancer {
+                    job_budget_w: share,
+                },
             });
             self.trace.record(
                 now,
@@ -874,7 +870,9 @@ impl Scheduler {
                 .iter_mut()
                 .map(|b| b.as_mut() as &mut dyn RuntimeAgent)
                 .collect();
-            let reached = job.runner.advance(self.now, end, &mut job.nodes, &mut agent_refs);
+            let reached = job
+                .runner
+                .advance(self.now, end, &mut job.nodes, &mut agent_refs);
             // Nodes idle out the remainder of the quantum after completion.
             if job.runner.is_complete() && reached < end {
                 let mut t = reached;
@@ -884,8 +882,7 @@ impl Scheduler {
                 t = end;
                 let _ = t;
             }
-            self.allocated_node_seconds +=
-                job.nodes.len() as f64 * quantum.as_secs_f64();
+            self.allocated_node_seconds += job.nodes.len() as f64 * quantum.as_secs_f64();
         }
         // Advance idle nodes.
         for nm in &mut self.idle {
@@ -991,7 +988,7 @@ fn balancer_floor_w(n_nodes: usize) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
+
     use pstack_apps::synthetic::{Profile, SyntheticApp};
     use pstack_hwmodel::{NodeConfig, VariationModel};
     use std::sync::Arc;
@@ -1083,7 +1080,10 @@ mod tests {
         // Same tight budget, but FairShare capping lets more jobs in.
         let tight = 8.0 * 250.0;
         let uncon = {
-            let mut s = sched(8, SystemPowerPolicy::budgeted(tight, PowerAssignment::Unconstrained));
+            let mut s = sched(
+                8,
+                SystemPowerPolicy::budgeted(tight, PowerAssignment::Unconstrained),
+            );
             for id in 1..=8 {
                 s.submit(small_job(id, 1, 0));
             }
@@ -1091,17 +1091,17 @@ mod tests {
             s.running()
         };
         let fair = {
-            let mut s = sched(8, SystemPowerPolicy::budgeted(tight, PowerAssignment::FairShare));
+            let mut s = sched(
+                8,
+                SystemPowerPolicy::budgeted(tight, PowerAssignment::FairShare),
+            );
             for id in 1..=8 {
                 s.submit(small_job(id, 1, 0));
             }
             s.step(SimDuration::from_secs(1));
             s.running()
         };
-        assert!(
-            fair > uncon,
-            "fair-share admits more: {fair} vs {uncon}"
-        );
+        assert!(fair > uncon, "fair-share admits more: {fair} vs {uncon}");
     }
 
     #[test]
@@ -1216,7 +1216,11 @@ mod tests {
                 break;
             }
         }
-        assert_eq!(s.records().len(), 1, "exactly one job proceeds while paused");
+        assert_eq!(
+            s.records().len(),
+            1,
+            "exactly one job proceeds while paused"
+        );
         // Restore the budget: the paused job resumes and completes.
         s.set_system_budget(Some(2000.0), EmergencyResponse::PauseJobs);
         assert!(s.trace().of_kind("job_resume").count() >= 1);
@@ -1266,10 +1270,7 @@ mod tests {
         s.run_until_drained(SimDuration::from_secs(1), SimTime::from_secs(3600));
         assert_eq!(s.records().len(), 1);
         // The remaining idle pool must hold the four hottest nodes.
-        let mut idle_temps: Vec<f64> = s
-            .idle_temperatures()
-            .into_iter()
-            .collect();
+        let mut idle_temps: Vec<f64> = s.idle_temperatures().into_iter().collect();
         idle_temps.sort_by(|a, b| a.partial_cmp(b).unwrap());
         assert!(
             idle_temps[0] > 24.0,
@@ -1309,7 +1310,11 @@ mod tests {
         assert_eq!(s.records().len(), 2);
         // Reassignments happened and eventually favored the compute job.
         let reassigns: Vec<_> = s.trace().of_kind("power_reassign").collect();
-        assert!(reassigns.len() >= 2, "reassignment events: {}", reassigns.len());
+        assert!(
+            reassigns.len() >= 2,
+            "reassignment events: {}",
+            reassigns.len()
+        );
         let last_job1 = reassigns
             .iter()
             .rev()

@@ -164,13 +164,8 @@ impl RuntimeAgent for Conductor {
                 let progress = telemetry.node_progress.clone();
                 let energy = telemetry.node_energy_j.clone();
                 if let Some((p0, e0)) = &self.window_start {
-                    let dwork: f64 = progress
-                        .iter()
-                        .zip(p0)
-                        .map(|(a, b)| (a - b).max(0.0))
-                        .sum();
-                    let denergy: f64 =
-                        energy.iter().zip(e0).map(|(a, b)| (a - b).max(0.0)).sum();
+                    let dwork: f64 = progress.iter().zip(p0).map(|(a, b)| (a - b).max(0.0)).sum();
+                    let denergy: f64 = energy.iter().zip(e0).map(|(a, b)| (a - b).max(0.0)).sum();
                     let m = &mut self.measurements[candidate];
                     m.work += dwork;
                     m.energy_j += denergy;

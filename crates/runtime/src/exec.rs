@@ -180,7 +180,12 @@ impl JobRunner {
         }
     }
 
-    fn start(&mut self, now: SimTime, nodes: &mut [NodeManager], agents: &mut [&mut dyn RuntimeAgent]) {
+    fn start(
+        &mut self,
+        now: SimTime,
+        nodes: &mut [NodeManager],
+        agents: &mut [&mut dyn RuntimeAgent],
+    ) {
         self.started = Some(now);
         self.cores_per_node = nodes
             .first()
@@ -189,10 +194,7 @@ impl JobRunner {
         for (i, n) in nodes.iter().enumerate() {
             self.start_energy[i] = n.read(Signal::NodeEnergyJoules);
         }
-        self.next_control = agents
-            .iter()
-            .map(|a| now + a.control_period())
-            .collect();
+        self.next_control = agents.iter().map(|a| now + a.control_period()).collect();
         for (ai, agent) in agents.iter_mut().enumerate() {
             for knob in agent.knobs() {
                 self.arbiter.claim(ai, knob);
@@ -206,7 +208,10 @@ impl JobRunner {
         JobTelemetry {
             now,
             elapsed: now.since(self.started.expect("started")),
-            node_power_w: nodes.iter().map(|n| n.read(Signal::NodePowerWatts)).collect(),
+            node_power_w: nodes
+                .iter()
+                .map(|n| n.read(Signal::NodePowerWatts))
+                .collect(),
             node_progress: self.work_done.clone(),
             node_wait_s: self.wait_s.clone(),
             node_freq_ghz: nodes.iter().map(|n| n.read(Signal::CoreFreqGhz)).collect(),
@@ -267,8 +272,7 @@ impl JobRunner {
                 let mix = c.current_mix().expect("in phase").clone();
                 let rate = nodes[i].node().work_rate(&mix, self.cores_per_node);
                 if rate > 0.0 {
-                    let to_finish =
-                        SimDuration::from_secs_f64_ceil(c.remaining_in_phase() / rate);
+                    let to_finish = SimDuration::from_secs_f64_ceil(c.remaining_in_phase() / rate);
                     sub = sub.min(to_finish);
                 }
             }
@@ -503,12 +507,7 @@ mod tests {
             &seeds,
             ArbiterMode::Gated,
         );
-        let reached = runner.advance(
-            SimTime::ZERO,
-            SimTime::from_secs(10),
-            &mut nodes,
-            &mut [],
-        );
+        let reached = runner.advance(SimTime::ZERO, SimTime::from_secs(10), &mut nodes, &mut []);
         assert_eq!(reached, SimTime::from_secs(10));
         assert!(!runner.is_complete());
         let p = runner.progress_fraction();

@@ -433,7 +433,10 @@ mod tests {
             6,
         );
         let (free, _) = run_policy(GeopmPolicy::Monitor, 6);
-        assert!(mapped.energy_j < free.energy_j, "mapping comm low saves energy");
+        assert!(
+            mapped.energy_j < free.energy_j,
+            "mapping comm low saves energy"
+        );
     }
 
     #[test]
@@ -483,7 +486,12 @@ mod tests {
         let endpoint = geopm.endpoint();
         let mut agents: Vec<&mut dyn RuntimeAgent> = vec![&mut geopm];
         // Run 10 s uncapped, then the "RM" pushes a power governor policy.
-        let t = runner.advance(SimTime::ZERO, SimTime::from_secs(10), &mut nodes, &mut agents);
+        let t = runner.advance(
+            SimTime::ZERO,
+            SimTime::from_secs(10),
+            &mut nodes,
+            &mut agents,
+        );
         assert!(endpoint.send(PolicyUpdate {
             policy: GeopmPolicy::PowerGovernor { node_cap_w: 250.0 },
         }));

@@ -1,0 +1,153 @@
+//! Job-runtime invariants: controller configurations and knob coexistence.
+//!
+//! The §3.2.7 use case (COUNTDOWN + MERIC on one job) only works because the
+//! two runtimes actuate disjoint knob kinds; these checks pin that down,
+//! along with the threshold ordering every hysteresis controller assumes.
+//! Parameterized `check_*` functions stay public for `pstack-analyze`
+//! fixtures; [`invariants`] packages them over the shipped defaults.
+
+use crate::agent::RuntimeAgent;
+use crate::countdown::{Countdown, CountdownMode};
+use crate::meric::Meric;
+use crate::scavenger::ScavengerConfig;
+use pstack_diag::{Diagnostic, InvariantCheck};
+
+/// Layer tag used by all runtime diagnostics.
+pub const LAYER: &str = "job-runtime";
+
+/// Check a scavenger configuration: ordered hysteresis thresholds and an
+/// ordered, non-degenerate uncore index window.
+pub fn check_scavenger_config(rule: &str, cfg: &ScavengerConfig, path: &str) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if !(cfg.low_bw.is_finite() && cfg.high_bw.is_finite() && cfg.low_bw > 0.0) {
+        out.push(Diagnostic::error(
+            rule,
+            LAYER,
+            path,
+            format!(
+                "bandwidth thresholds must be finite and positive (low {}, high {})",
+                cfg.low_bw, cfg.high_bw
+            ),
+        ));
+    }
+    if cfg.low_bw >= cfg.high_bw {
+        out.push(Diagnostic::error(
+            rule,
+            LAYER,
+            path,
+            format!(
+                "hysteresis band inverted: low_bw {} must be strictly below high_bw {}",
+                cfg.low_bw, cfg.high_bw
+            ),
+        ));
+    }
+    if cfg.min_idx > cfg.max_idx {
+        out.push(Diagnostic::error(
+            rule,
+            LAYER,
+            path,
+            format!(
+                "uncore window inverted: min_idx {} above max_idx {}",
+                cfg.min_idx, cfg.max_idx
+            ),
+        ));
+    }
+    out
+}
+
+/// Check that a set of co-resident runtimes claims disjoint knob kinds
+/// (the §3.2.7 coexistence requirement). `agents` pairs a display name with
+/// the knob list the runtime would claim at job start.
+pub fn check_knob_coexistence(
+    rule: &str,
+    agents: &[(&str, Vec<crate::agent::KnobKind>)],
+    path: &str,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (i, (name_a, knobs_a)) in agents.iter().enumerate() {
+        for (name_b, knobs_b) in agents.iter().skip(i + 1) {
+            for k in knobs_a {
+                if knobs_b.contains(k) {
+                    out.push(Diagnostic::error(
+                        rule,
+                        LAYER,
+                        path,
+                        format!(
+                            "runtimes '{name_a}' and '{name_b}' both claim knob {k:?}; \
+                             co-residency requires disjoint claims"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The job-runtime layer's invariant contributions, over shipped defaults.
+pub fn invariants() -> Vec<InvariantCheck> {
+    vec![
+        InvariantCheck::new(
+            "INV-RT-001",
+            LAYER,
+            "pstack_runtime::ScavengerConfig::default",
+            "scavenger hysteresis thresholds and uncore window are ordered",
+            || {
+                check_scavenger_config(
+                    "INV-RT-001",
+                    &ScavengerConfig::default(),
+                    "pstack_runtime::ScavengerConfig::default",
+                )
+            },
+        ),
+        InvariantCheck::new(
+            "INV-RT-002",
+            LAYER,
+            "pstack_runtime::{Countdown,Meric}",
+            "the shipped COUNTDOWN+MERIC pairing claims disjoint knob kinds",
+            || {
+                let pair = [
+                    ("countdown", Countdown::new(CountdownMode::WaitOnly).knobs()),
+                    ("meric", Meric::new().knobs()),
+                ];
+                check_knob_coexistence("INV-RT-002", &pair, "pstack_runtime::{Countdown,Meric}")
+            },
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agent::KnobKind;
+
+    #[test]
+    fn shipped_defaults_hold() {
+        for inv in invariants() {
+            assert!(inv.run().is_empty(), "{} violated: {:?}", inv.id, inv.run());
+        }
+    }
+
+    #[test]
+    fn inverted_thresholds_flagged() {
+        let cfg = ScavengerConfig {
+            low_bw: 2.0e9,
+            high_bw: 1.0e9,
+            min_idx: 5,
+            max_idx: 2,
+        };
+        let ds = check_scavenger_config("X", &cfg, "p");
+        assert_eq!(ds.len(), 2, "{ds:?}");
+    }
+
+    #[test]
+    fn overlapping_claims_flagged() {
+        let agents = [
+            ("a", vec![KnobKind::CoreFreq, KnobKind::Uncore]),
+            ("b", vec![KnobKind::CoreFreq]),
+        ];
+        let ds = check_knob_coexistence("X", &agents, "p");
+        assert_eq!(ds.len(), 1);
+        assert!(ds[0].message.contains("CoreFreq"));
+    }
+}

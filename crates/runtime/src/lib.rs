@@ -26,6 +26,8 @@
 //!   cycle knob; Bhalachandra et al.) — early-arriving ranks run at reduced
 //!   duty cycle.
 
+#![cfg_attr(test, allow(clippy::disallowed_methods))]
+
 pub mod agent;
 pub mod arbiter;
 pub mod conductor;
@@ -33,6 +35,7 @@ pub mod countdown;
 pub mod dutycycle;
 pub mod exec;
 pub mod geopm;
+pub mod invariants;
 pub mod meric;
 pub mod scavenger;
 
@@ -40,8 +43,9 @@ pub use agent::{ArbitratedNodes, JobTelemetry, KnobKind, RuntimeAgent};
 pub use arbiter::{Arbiter, ArbiterMode};
 pub use conductor::Conductor;
 pub use countdown::{Countdown, CountdownMode};
+pub use dutycycle::DutyCycleAdapter;
 pub use exec::{JobResult, JobRunner};
 pub use geopm::{Geopm, GeopmPolicy};
-pub use dutycycle::DutyCycleAdapter;
+pub use invariants::invariants;
 pub use meric::Meric;
 pub use scavenger::UncoreScavenger;

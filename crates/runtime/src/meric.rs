@@ -242,9 +242,7 @@ impl RuntimeAgent for Meric {
         if region == BARRIER_REGION {
             return;
         }
-        if self.delegate_comm
-            && mix.dominant() == pstack_hwmodel::PhaseKind::CommBound
-        {
+        if self.delegate_comm && mix.dominant() == pstack_hwmodel::PhaseKind::CommBound {
             return; // COUNTDOWN's territory
         }
         let n_cand = self.candidates.len();
@@ -417,8 +415,7 @@ mod tests {
         }
         let untunable = meric.untunable_regions();
         assert!(
-            untunable.contains(&"tiny_a".to_string())
-                || untunable.contains(&"tiny_b".to_string()),
+            untunable.contains(&"tiny_a".to_string()) || untunable.contains(&"tiny_b".to_string()),
             "sub-100ms regions must be rejected: {untunable:?}"
         );
         assert!(meric.tuned_regions().is_empty());

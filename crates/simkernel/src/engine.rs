@@ -188,7 +188,10 @@ mod tests {
             ticks: 0,
             stop_at: None,
         });
-        assert_eq!(eng.run_until(SimTime::from_secs(5)), RunOutcome::HorizonReached);
+        assert_eq!(
+            eng.run_until(SimTime::from_secs(5)),
+            RunOutcome::HorizonReached
+        );
         assert_eq!(eng.process().ticks, 5);
     }
 

@@ -16,6 +16,8 @@
 //! application progress) by integrating across the intervals between discrete
 //! events, so the kernel itself only needs exact ordering and bookkeeping.
 
+#![cfg_attr(test, allow(clippy::disallowed_methods))]
+
 pub mod engine;
 pub mod event;
 pub mod rng;

@@ -78,8 +78,16 @@ mod tests {
     #[test]
     fn same_label_same_stream() {
         let tree = SeedTree::new(42);
-        let a: Vec<u64> = tree.rng("node").sample_iter(rand::distributions::Standard).take(8).collect();
-        let b: Vec<u64> = tree.rng("node").sample_iter(rand::distributions::Standard).take(8).collect();
+        let a: Vec<u64> = tree
+            .rng("node")
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
+        let b: Vec<u64> = tree
+            .rng("node")
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
         assert_eq!(a, b);
     }
 
@@ -115,10 +123,7 @@ mod tests {
         let j2 = tree.subtree("job2");
         assert_ne!(j1.seed_for("phase"), j2.seed_for("phase"));
         // Subtree derivation is itself deterministic.
-        assert_eq!(
-            tree.subtree("job1").seed_for("phase"),
-            j1.seed_for("phase")
-        );
+        assert_eq!(tree.subtree("job1").seed_for("phase"), j1.seed_for("phase"));
     }
 
     #[test]

@@ -16,6 +16,8 @@
 //! - [`derived`]: the derived efficiency metrics.
 //! - [`agg`]: scalar and tree-hierarchical aggregation (GEOPM-style).
 
+#![cfg_attr(test, allow(clippy::disallowed_methods))]
+
 pub mod agg;
 pub mod counters;
 pub mod derived;
@@ -24,7 +26,9 @@ pub mod sampler;
 pub mod series;
 
 pub use counters::{CounterBank, CounterDelta, CounterKind, CounterSnapshot};
-pub use derived::{edp, ed2p, flops_per_joule, flops_per_watt, ipc, ipc_per_watt, EnergyIntegrator};
+pub use derived::{
+    ed2p, edp, flops_per_joule, flops_per_watt, ipc, ipc_per_watt, EnergyIntegrator,
+};
 pub use metric::{Metric, MetricKind, Sample};
 pub use sampler::{PowerSampler, SampleQuality};
 pub use series::TimeSeries;

@@ -68,10 +68,7 @@ impl TimeSeries {
     /// Step-function value at time `t`: the value of the latest sample at or
     /// before `t`, or `None` before the first sample.
     pub fn value_at(&self, t: SimTime) -> Option<f64> {
-        match self
-            .samples
-            .binary_search_by(|s| s.time.cmp(&t))
-        {
+        match self.samples.binary_search_by(|s| s.time.cmp(&t)) {
             Ok(mut i) => {
                 // Multiple samples may share a timestamp; take the last one.
                 while i + 1 < self.samples.len() && self.samples[i + 1].time == t {

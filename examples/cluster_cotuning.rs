@@ -30,8 +30,6 @@ fn main() {
     println!(
         "\nthe unconstrained winner drops to rank #{} under the cap \
          ({:.1} s vs the capped winner's {:.1} s)",
-        a.uncapped_winner_rank_under_cap,
-        a.uncapped_winner_time_capped_s,
-        a.capped_winner_time_s,
+        a.uncapped_winner_rank_under_cap, a.uncapped_winner_time_capped_s, a.capped_winner_time_s,
     );
 }

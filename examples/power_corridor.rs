@@ -16,9 +16,15 @@ fn sparkline(series: &[(f64, f64)], lo: f64, hi: f64, width: usize) -> String {
     if series.is_empty() {
         return String::new();
     }
-    let glyphs = ['\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}'];
+    let glyphs = [
+        '\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}',
+    ];
     let n = series.len();
-    let max_p = series.iter().map(|&(_, p)| p).fold(0.0, f64::max).max(hi * 1.1);
+    let max_p = series
+        .iter()
+        .map(|&(_, p)| p)
+        .fold(0.0, f64::max)
+        .max(hi * 1.1);
     (0..width)
         .map(|i| {
             let idx = i * n / width;

@@ -78,10 +78,15 @@ fn main() {
     for i in 0..6 {
         let app = random_app(&seeds, i);
         sched.submit(
-            JobSpec::rigid(i, std::sync::Arc::new(app), 1 + (i as usize % 3), SimTime::ZERO)
-                .with_agent(AgentKind::Geopm(GeopmPolicy::PowerBalancer {
-                    job_budget_w: 1.0,
-                })),
+            JobSpec::rigid(
+                i,
+                std::sync::Arc::new(app),
+                1 + (i as usize % 3),
+                SimTime::ZERO,
+            )
+            .with_agent(AgentKind::Geopm(GeopmPolicy::PowerBalancer {
+                job_budget_w: 1.0,
+            })),
         );
     }
     sched.run_until_drained(SimDuration::from_secs(1), SimTime::from_secs(24 * 3600));

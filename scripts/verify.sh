@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Full verification gate: build, test, lint. Run from the repo root.
+# Full verification gate: format, build, test, lint, static analysis.
+# Run from the repo root.
 #
 #   ./scripts/verify.sh
 #
@@ -7,13 +8,19 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
 echo "== cargo build --release =="
 cargo build --release
 
-echo "== cargo test -q =="
-cargo test -q
+echo "== cargo test -q --workspace =="
+cargo test -q --workspace
 
 echo "== cargo clippy -- -D warnings =="
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== pstack_lint =="
+cargo run -q --release -p pstack-analyze --bin pstack_lint
 
 echo "verify: OK"

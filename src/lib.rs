@@ -31,19 +31,25 @@
 //! | Hardware | [`hwmodel`] (`pstack-hwmodel`) |
 //! | Auto-tuning | [`autotune`] (`pstack-autotune`) |
 //! | End-to-end framework | [`core`] (`powerstack-core`) |
+//! | Diagnostics model | [`diag`] (`pstack-diag`) |
+//! | Static analysis / lint | [`analyze`] (`pstack-analyze`) |
 //!
 //! See `DESIGN.md` for the substitution table (what each simulated substrate
 //! stands in for) and `EXPERIMENTS.md` for the paper-vs-measured record.
 
+#![cfg_attr(test, allow(clippy::disallowed_methods))]
+
+pub use powerstack_core as core;
+pub use pstack_analyze as analyze;
 pub use pstack_apps as apps;
 pub use pstack_autotune as autotune;
+pub use pstack_diag as diag;
 pub use pstack_hwmodel as hwmodel;
 pub use pstack_node as node;
 pub use pstack_rm as rm;
 pub use pstack_runtime as runtime;
 pub use pstack_sim as sim;
 pub use pstack_telemetry as telemetry;
-pub use powerstack_core as core;
 
 /// The most commonly used items, re-exported flat.
 pub mod prelude {

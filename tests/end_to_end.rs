@@ -1,6 +1,9 @@
 //! Integration tests: the full stack wired together, exercised through the
 //! facade crate's public API.
 
+// Integration tests are exempt from the workspace unwrap policy.
+#![allow(clippy::disallowed_methods)]
+
 use powerstack::core::experiments::{fig1, fig3, fig6, uc6, uc7};
 use powerstack::core::framework::{Scenario, TuningLevel};
 use powerstack::prelude::*;
@@ -57,7 +60,12 @@ fn corridor_enforcement_shape() {
 fn countdown_performance_neutrality() {
     let r = uc6::run(&[8], 10.0, 1004);
     for row in &r.rows {
-        assert!(row.slowdown_pct < 5.0, "{}: {}%", row.mode, row.slowdown_pct);
+        assert!(
+            row.slowdown_pct < 5.0,
+            "{}: {}%",
+            row.mode,
+            row.slowdown_pct
+        );
     }
     let wc = r.rows.iter().find(|x| x.mode == "wait+copy").unwrap();
     assert!(wc.energy_saving_pct > 3.0);
@@ -140,7 +148,12 @@ fn endpoint_policy_update_through_full_stack() {
     let mut geopm = Geopm::new(GeopmPolicy::Monitor);
     let endpoint = geopm.endpoint();
     let mut agents: Vec<&mut dyn RuntimeAgent> = vec![&mut geopm];
-    let t = runner.advance(SimTime::ZERO, SimTime::from_secs(5), &mut nodes, &mut agents);
+    let t = runner.advance(
+        SimTime::ZERO,
+        SimTime::from_secs(5),
+        &mut nodes,
+        &mut agents,
+    );
     // The "site" tightens power mid-run.
     endpoint.send(powerstack::runtime::geopm::PolicyUpdate {
         policy: GeopmPolicy::PowerGovernor { node_cap_w: 260.0 },
@@ -183,5 +196,8 @@ fn energy_accounting_consistency() {
         job_energy < total,
         "job energy {job_energy} must be below system total {total} (idle draw exists)"
     );
-    assert!(job_energy > 0.3 * total, "jobs dominate: {job_energy} vs {total}");
+    assert!(
+        job_energy > 0.3 * total,
+        "jobs dominate: {job_energy} vs {total}"
+    );
 }

@@ -1,6 +1,9 @@
 //! Additional property tests: windowed capping, arbitration, imbalance
 //! statistics, objective-translation conservation, and failure handling.
 
+// Integration tests are exempt from the workspace unwrap policy.
+#![allow(clippy::disallowed_methods)]
+
 use powerstack::hwmodel::{PowerCap, RaplWindow};
 use powerstack::prelude::*;
 use powerstack::runtime::KnobKind;

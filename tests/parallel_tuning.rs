@@ -3,6 +3,9 @@
 //! memoize duplicate suggestions in the evaluation cache, and surface empty
 //! searches as errors rather than panics.
 
+// Integration tests are exempt from the workspace unwrap policy.
+#![allow(clippy::disallowed_methods)]
+
 use powerstack::autotune::{
     AnnealingSearch, CacheStats, Config, ExhaustiveSearch, ForestSearch, HillClimbSearch, Param,
     ParamSpace, RandomSearch, SearchAlgorithm, TuneError, Tuner,
@@ -89,7 +92,10 @@ fn duplicate_suggestions_hit_the_cache_not_the_evaluator() {
     assert_eq!(report.evals, 3);
     assert_eq!(calls.load(Ordering::SeqCst), 3);
     assert_eq!(report.cache.misses, 3);
-    assert!(report.cache.hits > 0, "exhausting a 3-point space must hit the cache");
+    assert!(
+        report.cache.hits > 0,
+        "exhausting a 3-point space must hit the cache"
+    );
 }
 
 fn objective_1d(space: &ParamSpace, cfg: &Config) -> (f64, HashMap<String, f64>) {

@@ -1,5 +1,8 @@
 //! Property-based tests on the core invariants of the stack.
 
+// Integration tests are exempt from the workspace unwrap policy.
+#![allow(clippy::disallowed_methods)]
+
 use powerstack::autotune::PerfDatabase;
 use powerstack::prelude::*;
 use proptest::prelude::*;

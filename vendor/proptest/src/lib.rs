@@ -8,6 +8,9 @@
 //! persistence (`*.proptest-regressions` files are ignored), and rejected
 //! assumptions simply skip the case.
 
+// Vendored offline stand-in: exempt from the workspace unwrap policy.
+#![allow(clippy::disallowed_methods)]
+
 use rand::prelude::*;
 use std::ops::Range;
 

@@ -12,6 +12,9 @@
 //! `rand` (the uniform-range reduction differs), which is fine: the workspace
 //! only relies on seeded reproducibility, never on upstream's exact bits.
 
+// Vendored offline stand-in: exempt from the workspace unwrap policy.
+#![allow(clippy::disallowed_methods)]
+
 use std::ops::Range;
 
 /// Low-level generator interface: a source of uniform `u64`s.
@@ -76,10 +79,7 @@ pub mod rngs {
     impl RngCore for SmallRng {
         fn next_u64(&mut self) -> u64 {
             let s = &mut self.s;
-            let result = s[0]
-                .wrapping_add(s[3])
-                .rotate_left(23)
-                .wrapping_add(s[0]);
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
             let t = s[1] << 17;
             s[2] ^= s[0];
             s[3] ^= s[1];
@@ -367,7 +367,11 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..16).collect::<Vec<_>>());
-        assert_ne!(v, (0..16).collect::<Vec<_>>(), "identity shuffle is vanishingly unlikely");
+        assert_ne!(
+            v,
+            (0..16).collect::<Vec<_>>(),
+            "identity shuffle is vanishingly unlikely"
+        );
         let mut counts = [0usize; 4];
         let opts = [0usize, 1, 2, 3];
         for _ in 0..4000 {

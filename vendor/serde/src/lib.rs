@@ -10,6 +10,9 @@
 //! structs, and enums with unit/tuple/struct variants — the shapes this
 //! workspace uses. `#[serde(...)]` attributes are not supported.
 
+// Vendored offline stand-in: exempt from the workspace unwrap policy.
+#![allow(clippy::disallowed_methods)]
+
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::hash::Hash;
@@ -247,7 +250,10 @@ impl<T: Deserialize> Deserialize for Vec<T> {
     fn from_value(v: &Value) -> Result<Self, Error> {
         match v {
             Value::Seq(items) => items.iter().map(T::from_value).collect(),
-            other => Err(Error::msg(format!("expected sequence, got {}", other.kind()))),
+            other => Err(Error::msg(format!(
+                "expected sequence, got {}",
+                other.kind()
+            ))),
         }
     }
 }
@@ -268,8 +274,7 @@ impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
     fn from_value(v: &Value) -> Result<Self, Error> {
         let items = Vec::<T>::from_value(v)?;
         let n = items.len();
-        <[T; N]>::try_from(items)
-            .map_err(|_| Error::msg(format!("expected {N} elements, got {n}")))
+        <[T; N]>::try_from(items).map_err(|_| Error::msg(format!("expected {N} elements, got {n}")))
     }
 }
 

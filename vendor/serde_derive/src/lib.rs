@@ -11,6 +11,9 @@
 //! `#[serde(...)]` attributes and generic types are intentionally not
 //! supported and produce a compile error naming the limitation.
 
+// Vendored offline stand-in: exempt from the workspace unwrap policy.
+#![allow(clippy::disallowed_methods)]
+
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// The parsed shape of a type definition.
@@ -201,7 +204,11 @@ fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
         }
         let vname = match &tokens[i] {
             TokenTree::Ident(id) => id.to_string(),
-            other => return Err(format!("serde_derive: expected variant name, got {other:?}")),
+            other => {
+                return Err(format!(
+                    "serde_derive: expected variant name, got {other:?}"
+                ))
+            }
         };
         i += 1;
         let kind = match tokens.get(i) {
@@ -290,9 +297,7 @@ fn gen_serialize(name: &str, shape: &Shape) -> String {
                         let items: Vec<String> = fields
                             .iter()
                             .map(|f| {
-                                format!(
-                                    "({f:?}.to_string(), ::serde::Serialize::to_value({f}))"
-                                )
+                                format!("({f:?}.to_string(), ::serde::Serialize::to_value({f}))")
                             })
                             .collect();
                         arms.push_str(&format!(

@@ -5,6 +5,9 @@
 //! (`to_string`) and 2-space-indented (`to_string_pretty`) output, shortest
 //! round-trip float formatting, and non-finite floats rendered as `null`.
 
+// Vendored offline stand-in: exempt from the workspace unwrap policy.
+#![allow(clippy::disallowed_methods)]
+
 pub use serde::Error;
 use serde::{Deserialize, Serialize, Value};
 use std::fmt::Write as _;
@@ -25,7 +28,10 @@ pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Erro
 
 /// Deserialize from JSON text.
 pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
-    let mut p = Parser { b: s.as_bytes(), i: 0 };
+    let mut p = Parser {
+        b: s.as_bytes(),
+        i: 0,
+    };
     let v = p.parse_value()?;
     p.skip_ws();
     if p.i != p.b.len() {
