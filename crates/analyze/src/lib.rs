@@ -21,6 +21,8 @@
 //! | PSA009 | translator-sanity      | budget translation conserves watts, monotone |
 //! | PSA010 | registry-well-formed   | Table 1 unique, resolvable, actor-coherent |
 //! | PSA011 | layer-invariants       | every layer's `invariants()` provider holds |
+//! | PSA012 | fault-plan-sanity      | chaos fault plans have coherent rates, unique names |
+//! | PSA013 | retry-budget-feasible  | the resilient loop's retry policy terminates in budget |
 //!
 //! Entry points:
 //!

@@ -13,7 +13,8 @@ use powerstack_core::experiments::{self, ExperimentInfo};
 use powerstack_core::{
     component_catalog, knob_registry, vocabulary, CatalogEntry, Knob, Objective, Term,
 };
-use pstack_autotune::{Config, ParamSpace};
+use pstack_autotune::{Config, ParamSpace, RetryPolicy};
+use pstack_faults::FaultPlan;
 use pstack_hwmodel::NodeConfig;
 
 /// One search configuration the framework will run: a parameter space plus
@@ -71,6 +72,12 @@ pub struct FrameworkModel {
     /// The system power reserve fraction
     /// (`ObjectiveTranslator::system_reserve_fraction`).
     pub system_reserve_fraction: f64,
+    /// Every fault plan the chaos experiments run (PSA012 checks rates and
+    /// factors; unique names).
+    pub fault_plans: Vec<FaultPlan>,
+    /// The retry policy the resilient tuning loop runs with (PSA013 checks
+    /// its budgets are feasible).
+    pub retry: RetryPolicy,
 }
 
 impl FrameworkModel {
@@ -93,6 +100,8 @@ impl FrameworkModel {
             arbitrated_controls: vec!["rapl-cap", "core-freq", "uncore-freq", "duty-cycle"],
             system_reserve_fraction: powerstack_core::ObjectiveTranslator::default()
                 .system_reserve_fraction,
+            fault_plans: FaultPlan::catalog(),
+            retry: RetryPolicy::default(),
         }
     }
 }

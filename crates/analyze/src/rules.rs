@@ -44,6 +44,8 @@ pub fn registry() -> Vec<Box<dyn Lint>> {
         Box::new(TranslatorSanity),
         Box::new(RegistryWellFormedness),
         Box::new(LayerInvariants),
+        Box::new(FaultPlanSanity),
+        Box::new(RetryBudgetFeasibility),
     ]
 }
 
@@ -969,6 +971,164 @@ impl Lint for LayerInvariants {
     }
 }
 
+// ---------------------------------------------------------------------------
+// PSA012 — fault-plan sanity
+// ---------------------------------------------------------------------------
+
+/// Every fault plan the chaos experiments run must be internally coherent:
+/// probabilities in `[0, 1]`, amplification factors ≥ 1, lag and restart
+/// windows positive, emergencies inside `(0, 1]` of budget — plus unique
+/// plan names across the model (duplicate names make fault logs and result
+/// rows ambiguous). The per-plan substance lives in
+/// [`pstack_faults::FaultPlan::check`]; this rule runs it over the model and
+/// adds the cross-plan checks.
+pub struct FaultPlanSanity;
+
+impl Lint for FaultPlanSanity {
+    fn id(&self) -> &'static str {
+        "PSA012"
+    }
+    fn name(&self) -> &'static str {
+        "fault-plan-sanity"
+    }
+    fn description(&self) -> &'static str {
+        "every fault plan has coherent rates/factors and a unique name"
+    }
+    fn check(&self, model: &FrameworkModel) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        let mut seen: std::collections::BTreeMap<&str, usize> = std::collections::BTreeMap::new();
+        for plan in &model.fault_plans {
+            let path = format!("faults.plan.{}", plan.name);
+            out.extend(plan.check(self.id(), &path));
+            *seen.entry(plan.name.as_str()).or_insert(0) += 1;
+        }
+        for (name, n) in seen {
+            if n > 1 {
+                out.push(Diagnostic::error(
+                    self.id(),
+                    "cross-layer",
+                    format!("faults.plan.{name}"),
+                    format!("fault plan name {name:?} appears {n} times; names must be unique"),
+                ));
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PSA013 — retry-budget feasibility
+// ---------------------------------------------------------------------------
+
+/// The resilient loop's retry policy must be able to terminate and its own
+/// budgets must be mutually consistent: at least one attempt, finite
+/// non-negative backoffs, a schedule that respects the total-backoff cap,
+/// and — against each plan's evaluation timeout — a worst-case
+/// per-configuration stall that stays bounded.
+pub struct RetryBudgetFeasibility;
+
+impl Lint for RetryBudgetFeasibility {
+    fn id(&self) -> &'static str {
+        "PSA013"
+    }
+    fn name(&self) -> &'static str {
+        "retry-budget-feasible"
+    }
+    fn description(&self) -> &'static str {
+        "the retry policy terminates and respects its own backoff budgets"
+    }
+    fn check(&self, model: &FrameworkModel) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        let r = &model.retry;
+        let path = "autotune.retry";
+        if r.max_attempts == 0 {
+            out.push(Diagnostic::error(
+                self.id(),
+                "cross-layer",
+                path,
+                "max_attempts = 0: the loop could never evaluate anything",
+            ));
+        }
+        for (what, v) in [
+            ("backoff_base_s", r.backoff_base_s),
+            ("backoff_factor", r.backoff_factor),
+            ("max_total_backoff_s", r.max_total_backoff_s),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                out.push(Diagnostic::error(
+                    self.id(),
+                    "cross-layer",
+                    path,
+                    format!("{what} = {v} must be finite and non-negative"),
+                ));
+            }
+        }
+        if r.backoff_factor < 1.0 && r.backoff_factor.is_finite() && r.backoff_factor >= 0.0 {
+            out.push(Diagnostic::warn(
+                self.id(),
+                "cross-layer",
+                path,
+                format!(
+                    "backoff_factor = {} < 1: backoffs shrink instead of growing",
+                    r.backoff_factor
+                ),
+            ));
+        }
+        // The schedule must honour its own contract (the proptest target,
+        // re-checked statically over the shipped policy).
+        if r.max_attempts >= 1 && r.max_total_backoff_s.is_finite() && r.max_total_backoff_s >= 0.0
+        {
+            let schedule = r.schedule();
+            if schedule.len() != r.max_attempts - 1 {
+                out.push(Diagnostic::error(
+                    self.id(),
+                    "cross-layer",
+                    path,
+                    format!(
+                        "schedule has {} backoffs for {} attempts (want {})",
+                        schedule.len(),
+                        r.max_attempts,
+                        r.max_attempts - 1
+                    ),
+                ));
+            }
+            let total: f64 = schedule.iter().sum();
+            if total > r.max_total_backoff_s + 1e-9 {
+                out.push(Diagnostic::error(
+                    self.id(),
+                    "cross-layer",
+                    path,
+                    format!(
+                        "summed backoff {total:.1}s exceeds max_total_backoff_s {:.1}s",
+                        r.max_total_backoff_s
+                    ),
+                ));
+            }
+            // Worst-case stall per configuration against each plan's
+            // evaluation timeout: attempts × timeout + summed backoff. An
+            // unbounded stall starves the whole tuning run.
+            for plan in &model.fault_plans {
+                if plan.evals.timeout_prob > 0.0 {
+                    let stall = r.max_attempts as f64 * plan.evals.timeout_s + total;
+                    if !stall.is_finite() || stall > 3600.0 {
+                        out.push(Diagnostic::warn(
+                            self.id(),
+                            "cross-layer",
+                            format!("faults.plan.{}", plan.name),
+                            format!(
+                                "worst-case per-config stall {stall:.0}s under plan {:?} \
+                                 exceeds an hour",
+                                plan.name
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -981,7 +1141,7 @@ mod tests {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(ids, sorted, "rule IDs must be unique and in order");
-        assert_eq!(ids.len(), 11);
+        assert_eq!(ids.len(), 13);
         for r in &rules {
             assert!(!r.name().is_empty() && !r.description().is_empty());
         }

@@ -500,3 +500,80 @@ fn json_report_has_stable_rule_ids() {
         );
     }
 }
+
+// --- PSA012: fault-plan sanity ---------------------------------------------
+
+#[test]
+fn psa012_passes_on_shipped_catalog() {
+    assert!(errors_of(&shipped(), "PSA012").is_empty());
+}
+
+#[test]
+fn psa012_flags_out_of_range_probability() {
+    let mut m = shipped();
+    let mut bad = pstack_faults::FaultPlan::default_rates();
+    bad.name = "broken".to_string();
+    bad.telemetry.drop_prob = 1.5;
+    m.fault_plans.push(bad);
+    let errs = errors_of(&m, "PSA012");
+    assert!(
+        errs.iter().any(|e| e.contains("drop_prob")),
+        "out-of-range probability not flagged: {errs:?}"
+    );
+}
+
+#[test]
+fn psa012_flags_duplicate_plan_names() {
+    let mut m = shipped();
+    m.fault_plans
+        .push(pstack_faults::FaultPlan::default_rates());
+    let errs = errors_of(&m, "PSA012");
+    assert!(
+        errs.iter().any(|e| e.contains("unique")),
+        "duplicate plan name not flagged: {errs:?}"
+    );
+}
+
+// --- PSA013: retry-budget feasibility --------------------------------------
+
+#[test]
+fn psa013_passes_on_shipped_policy() {
+    assert!(errors_of(&shipped(), "PSA013").is_empty());
+}
+
+#[test]
+fn psa013_flags_zero_attempts() {
+    let mut m = shipped();
+    m.retry.max_attempts = 0;
+    let errs = errors_of(&m, "PSA013");
+    assert!(
+        errs.iter().any(|e| e.contains("max_attempts")),
+        "zero attempts not flagged: {errs:?}"
+    );
+}
+
+#[test]
+fn psa013_flags_negative_backoff() {
+    let mut m = shipped();
+    m.retry.backoff_base_s = -1.0;
+    let errs = errors_of(&m, "PSA013");
+    assert!(
+        errs.iter().any(|e| e.contains("backoff_base_s")),
+        "negative backoff not flagged: {errs:?}"
+    );
+}
+
+#[test]
+fn psa013_warns_on_shrinking_backoff() {
+    let mut m = shipped();
+    m.retry.backoff_factor = 0.5;
+    let warns: Vec<String> = analyze(&m)
+        .by_rule("PSA013")
+        .filter(|d| d.severity == Severity::Warn)
+        .map(|d| format!("{d}"))
+        .collect();
+    assert!(
+        warns.iter().any(|w| w.contains("backoff_factor")),
+        "shrinking backoff not warned: {warns:?}"
+    );
+}

@@ -17,15 +17,24 @@
 //!   ytopt default).
 //! - [`tuner`]: the loop itself, with a configurable evaluation budget
 //!   (`--max-evals` in ytopt terms).
+//! - [`resilient`]: fault-tolerant drivers — bounded retry-with-backoff,
+//!   quarantine of repeatedly failing configurations, graceful degradation
+//!   to a fallback search when the database is poisoned.
+//! - [`faultlog`]: the [`FaultLog`] carried by every [`TuneReport`] stating
+//!   what was injected and what was survived.
 
 #![cfg_attr(test, allow(clippy::disallowed_methods))]
 
 pub mod db;
+pub mod faultlog;
+pub mod resilient;
 pub mod search;
 pub mod space;
 pub mod tuner;
 
 pub use db::{Observation, PerfDatabase};
+pub use faultlog::{FaultCounts, FaultEvent, FaultKind, FaultLog};
+pub use resilient::{EvalError, RetryPolicy, Robustness};
 pub use search::{
     AnnealingSearch, ExhaustiveSearch, ForestSearch, HillClimbSearch, RandomSearch, SearchAlgorithm,
 };

@@ -1,0 +1,814 @@
+//! Fault-tolerant tuning: retry, quarantine, graceful degradation.
+//!
+//! Real evaluations fail: jobs crash, nodes drop out, measurements come back
+//! as garbage (PAPERS.md: READEX and GEOPM both report noise/dropout as the
+//! dominant field failure mode for dynamic tuning). The resilient drivers
+//! [`Tuner::run_resilient`] / [`Tuner::run_parallel_resilient`] accept an
+//! evaluator that may *fail* — returning [`EvalError`] or a non-finite
+//! objective — and keep the search loop alive:
+//!
+//! - each failed configuration is retried under a bounded
+//!   [`RetryPolicy`] (exponential backoff, capped attempts and total
+//!   backoff time);
+//! - a configuration that exhausts its retries is **quarantined**: never
+//!   evaluated again, never recorded, and skipped if re-suggested;
+//! - when the performance database looks **poisoned** (too large a fraction
+//!   of observations are outliers vs. the median), the search degrades
+//!   permanently from the primary algorithm to a robust fallback (e.g.
+//!   `ForestSearch` → `RandomSearch`), because a surrogate fit to garbage
+//!   is worse than no surrogate at all;
+//! - a run-level fault budget (`max_evals × max_attempts` failed attempts)
+//!   bounds the total work a hostile evaluator can consume; when it is
+//!   spent the run is abandoned with whatever was observed so far.
+//!
+//! Everything injected and survived is tallied in the
+//! [`FaultLog`](crate::FaultLog) carried by [`TuneReport`], so a report
+//! always states the conditions it was produced under. Backoff time is
+//! *accounted* (`FaultLog::total_backoff_s`), never slept: the substrate is
+//! simulated, and sleeping would break both determinism and test speed —
+//! [`RetryPolicy::schedule`] is what a real deployment would sleep.
+//!
+//! Determinism: with an evaluator whose outcome is a pure function of
+//! `(config, attempt)` — which `pstack-faults` guarantees via stateless
+//! hashing — a seeded resilient run reproduces the identical report
+//! byte-for-byte for any worker count, exactly like the fault-free drivers.
+
+use crate::db::PerfDatabase;
+use crate::faultlog::{FaultKind, FaultLog};
+use crate::search::SearchAlgorithm;
+use crate::space::{Config, ParamSpace};
+use crate::tuner::{CacheStats, Evaluation, TuneError, TuneReport, Tuner};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::HashSet;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Why a single evaluation attempt produced no result.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalError {
+    /// The evaluation failed outright (crash, rejected job, lost node).
+    Failed(String),
+    /// The evaluation exceeded its (virtual) time allowance.
+    TimedOut {
+        /// How long the evaluation ran before being declared dead, seconds.
+        waited_s: f64,
+    },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Failed(why) => write!(f, "evaluation failed: {why}"),
+            EvalError::TimedOut { waited_s } => {
+                write!(f, "evaluation timed out after {waited_s:.1}s")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Bounded retry-with-backoff policy for failed evaluations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts per configuration (first try included). Must be ≥ 1.
+    pub max_attempts: usize,
+    /// Backoff before the first retry, seconds.
+    pub backoff_base_s: f64,
+    /// Multiplier applied to the backoff after each retry (≥ 1 for
+    /// exponential backoff).
+    pub backoff_factor: f64,
+    /// Hard cap on the *summed* backoff per configuration, seconds.
+    pub max_total_backoff_s: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff_base_s: 0.5,
+            backoff_factor: 2.0,
+            max_total_backoff_s: 30.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff schedule: `schedule()[i]` is the wait before retry `i+1`.
+    ///
+    /// Guarantees (the proptest targets): the schedule has exactly
+    /// `max_attempts - 1` entries, every entry is non-negative, and the sum
+    /// never exceeds `max_total_backoff_s`.
+    pub fn schedule(&self) -> Vec<f64> {
+        let mut remaining = self.max_total_backoff_s.max(0.0);
+        let mut delays = Vec::with_capacity(self.max_attempts.saturating_sub(1));
+        for i in 0..self.max_attempts.saturating_sub(1) {
+            // powi over a small loop index; i is bounded by max_attempts.
+            let nominal =
+                self.backoff_base_s.max(0.0) * self.backoff_factor.max(0.0).powi(i as i32);
+            let d = nominal.min(remaining);
+            remaining -= d;
+            delays.push(d);
+        }
+        delays
+    }
+}
+
+/// Knobs of the resilient loop: retry, outlier detection, degradation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Robustness {
+    /// Per-configuration retry policy.
+    pub retry: RetryPolicy,
+    /// An observation is an outlier when its objective exceeds
+    /// `outlier_factor ×` the database median.
+    pub outlier_factor: f64,
+    /// The database counts as poisoned (→ degrade the search) when at least
+    /// this fraction of observations are outliers.
+    pub poison_fraction: f64,
+    /// Outlier/poison checks only engage once the database holds this many
+    /// observations (medians over tiny samples are meaningless).
+    pub min_observations: usize,
+}
+
+impl Default for Robustness {
+    fn default() -> Self {
+        Robustness {
+            retry: RetryPolicy::default(),
+            outlier_factor: 8.0,
+            poison_fraction: 0.25,
+            min_observations: 8,
+        }
+    }
+}
+
+/// Per-configuration outcome of the bounded retry loop.
+struct ConfigOutcome {
+    /// The successful evaluation, or `None` when every attempt failed.
+    result: Option<Evaluation>,
+    /// Fault events in occurrence order: `(kind, attempt, detail)`.
+    events: Vec<(FaultKind, usize, String)>,
+    /// Attempts that failed (counts against the run-level fault budget).
+    failed_attempts: usize,
+    /// Virtual backoff accounted while retrying, seconds.
+    backoff_s: f64,
+}
+
+/// Run the retry loop for one configuration. Pure given a deterministic
+/// evaluator: outcome depends only on `(cfg, attempt)` results.
+fn attempt_config(
+    space: &ParamSpace,
+    cfg: &Config,
+    retry: &RetryPolicy,
+    evaluate: &mut dyn FnMut(&ParamSpace, &Config, usize) -> Result<Evaluation, EvalError>,
+) -> ConfigOutcome {
+    let schedule = retry.schedule();
+    let mut out = ConfigOutcome {
+        result: None,
+        events: Vec::new(),
+        failed_attempts: 0,
+        backoff_s: 0.0,
+    };
+    for attempt in 0..retry.max_attempts.max(1) {
+        match evaluate(space, cfg, attempt) {
+            Ok((objective, aux)) if objective.is_finite() => {
+                out.result = Some((objective, aux));
+                return out;
+            }
+            Ok((objective, _)) => {
+                out.failed_attempts += 1;
+                out.events.push((
+                    FaultKind::NonFiniteObjective,
+                    attempt,
+                    format!("objective {objective} discarded"),
+                ));
+            }
+            Err(EvalError::Failed(why)) => {
+                out.failed_attempts += 1;
+                out.events.push((FaultKind::EvalFailure, attempt, why));
+            }
+            Err(EvalError::TimedOut { waited_s }) => {
+                out.failed_attempts += 1;
+                out.events.push((
+                    FaultKind::EvalTimeout,
+                    attempt,
+                    format!("gave up after {waited_s:.1}s"),
+                ));
+            }
+        }
+        if let Some(&delay) = schedule.get(attempt) {
+            out.backoff_s += delay;
+            out.events.push((
+                FaultKind::Retry,
+                attempt,
+                format!("backoff {delay:.2}s before attempt {}", attempt + 1),
+            ));
+        }
+    }
+    out
+}
+
+/// Median of the recorded objectives (`None` when empty).
+fn median_objective(db: &PerfDatabase) -> Option<f64> {
+    if db.is_empty() {
+        return None;
+    }
+    let mut objs: Vec<f64> = db.observations().iter().map(|o| o.objective).collect();
+    objs.sort_by(|a, b| a.partial_cmp(b).expect("objectives are finite"));
+    Some(objs[objs.len() / 2])
+}
+
+/// Shared bookkeeping of the serial and parallel resilient loops.
+struct ResilientState<'a> {
+    robustness: &'a Robustness,
+    faults: FaultLog,
+    stats: CacheStats,
+    quarantined: HashSet<Config>,
+    /// Ordinal of the next fresh (non-cached, non-quarantined) configuration.
+    fresh_idx: usize,
+    /// Failed attempts so far vs. the run-level budget.
+    failed_attempts: usize,
+    fault_budget: usize,
+    /// Once degraded, the fallback drives every later suggestion.
+    degraded: bool,
+}
+
+impl<'a> ResilientState<'a> {
+    fn new(robustness: &'a Robustness, max_evals: usize) -> Self {
+        ResilientState {
+            robustness,
+            faults: FaultLog::new(),
+            stats: CacheStats::default(),
+            quarantined: HashSet::new(),
+            fresh_idx: 0,
+            failed_attempts: 0,
+            fault_budget: max_evals.max(1) * robustness.retry.max_attempts.max(1),
+            degraded: false,
+        }
+    }
+
+    /// Fold one configuration's retry outcome into the log. Returns the
+    /// successful evaluation, if any; quarantines otherwise.
+    fn absorb(&mut self, cfg: &Config, outcome: ConfigOutcome) -> Option<Evaluation> {
+        let idx = self.fresh_idx;
+        self.fresh_idx += 1;
+        for (kind, attempt, detail) in outcome.events {
+            self.faults
+                .record(kind, format!("eval {idx} attempt {attempt}"), detail);
+        }
+        self.failed_attempts += outcome.failed_attempts;
+        self.faults.total_backoff_s += outcome.backoff_s;
+        if outcome.result.is_none() {
+            self.quarantined.insert(cfg.clone());
+            self.faults.record(
+                FaultKind::Quarantined,
+                format!("eval {idx}"),
+                format!(
+                    "config {cfg:?} failed {} attempts",
+                    self.robustness.retry.max_attempts.max(1)
+                ),
+            );
+        }
+        outcome.result
+    }
+
+    /// After a successful record: flag outliers and decide degradation.
+    /// Returns `true` when the loop should switch to the fallback now.
+    fn observe_recorded(&mut self, db: &PerfDatabase, objective: f64, has_fallback: bool) -> bool {
+        if db.len() < self.robustness.min_observations {
+            return false;
+        }
+        let Some(median) = median_objective(db) else {
+            return false;
+        };
+        let threshold = self.robustness.outlier_factor * median.max(f64::MIN_POSITIVE);
+        if objective > threshold {
+            self.faults.record(
+                FaultKind::Outlier,
+                format!("eval {}", db.len() - 1),
+                format!(
+                    "objective {objective:.3} > {:.1}x median",
+                    self.robustness.outlier_factor
+                ),
+            );
+        }
+        if self.degraded || !has_fallback {
+            return false;
+        }
+        let outliers = db
+            .observations()
+            .iter()
+            .filter(|o| o.objective > threshold)
+            .count();
+        let frac = outliers as f64 / db.len() as f64;
+        frac >= self.robustness.poison_fraction
+    }
+
+    /// True when the run-level fault budget is spent (logs the abandonment).
+    fn budget_spent(&mut self) -> bool {
+        if self.failed_attempts >= self.fault_budget {
+            self.faults.record(
+                FaultKind::RunAbandoned,
+                format!("eval {}", self.fresh_idx),
+                format!(
+                    "fault budget spent: {} failed attempts (budget {})",
+                    self.failed_attempts, self.fault_budget
+                ),
+            );
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl Tuner {
+    /// Serial fault-tolerant tuning loop.
+    ///
+    /// `evaluate` maps `(space, config, attempt)` to a result; failures and
+    /// non-finite objectives are retried under `robustness.retry`, then
+    /// quarantined. When the database looks poisoned (see [`Robustness`])
+    /// and a `fallback` algorithm is supplied, the search degrades to it
+    /// permanently. Everything is tallied in [`TuneReport::faults`].
+    ///
+    /// The `attempt` argument lets a deterministic evaluator vary its fault
+    /// decision per retry (so retries are not pointless replays).
+    ///
+    /// # Errors
+    /// [`TuneError::NoEvaluations`] when not a single configuration could be
+    /// evaluated (hostile evaluator, empty strategy) and no warm-start prior
+    /// exists; [`TuneError::Diagnostic`] on invalid inputs — never a panic.
+    pub fn run_resilient(
+        &self,
+        algorithm: &mut dyn SearchAlgorithm,
+        mut fallback: Option<&mut dyn SearchAlgorithm>,
+        robustness: &Robustness,
+        mut evaluate: impl FnMut(&ParamSpace, &Config, usize) -> Result<Evaluation, EvalError>,
+    ) -> Result<TuneReport, TuneError> {
+        self.preflight()?;
+        let mut db = self.warm_start.clone().unwrap_or_default();
+        let prior_len = db.len();
+        let mut cache = self.prior_cache(&db);
+        let mut state = ResilientState::new(robustness, self.max_evals);
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut consecutive_dups = 0;
+        while db.len() - prior_len < self.max_evals {
+            let active: &mut dyn SearchAlgorithm = if state.degraded {
+                fallback
+                    .as_deref_mut()
+                    .expect("degraded only with fallback")
+            } else {
+                &mut *algorithm
+            };
+            let Some(cfg) = active.suggest(&self.space, &db, &mut rng) else {
+                break; // strategy exhausted
+            };
+            self.check_valid(active, &cfg)?;
+            if state.quarantined.contains(&cfg) {
+                state.faults.record(
+                    FaultKind::QuarantineSkip,
+                    format!("eval {}", state.fresh_idx),
+                    format!("config {cfg:?} re-suggested while quarantined"),
+                );
+                consecutive_dups += 1;
+                if consecutive_dups >= self.max_consecutive_duplicates {
+                    break;
+                }
+                continue;
+            }
+            if cache.contains_key(&cfg) {
+                state.stats.hits += 1;
+                consecutive_dups += 1;
+                if consecutive_dups >= self.max_consecutive_duplicates {
+                    break;
+                }
+                continue;
+            }
+            consecutive_dups = 0;
+            let outcome = attempt_config(&self.space, &cfg, &robustness.retry, &mut evaluate);
+            if let Some((objective, aux)) = state.absorb(&cfg, outcome) {
+                state.stats.misses += 1;
+                cache.insert(cfg.clone(), (objective, aux.clone()));
+                db.record(cfg, objective, aux);
+                if state.observe_recorded(&db, objective, fallback.is_some()) {
+                    state.degraded = true;
+                    state.faults.record(
+                        FaultKind::SearchDegraded,
+                        format!("eval {}", db.len() - 1),
+                        format!(
+                            "database poisoned; {} -> {}",
+                            algorithm.name(),
+                            fallback.as_deref().map(|f| f.name()).unwrap_or("?")
+                        ),
+                    );
+                }
+            }
+            if state.budget_spent() {
+                break;
+            }
+        }
+        let mut report = self.report(
+            if state.degraded {
+                fallback.as_deref().expect("degraded only with fallback")
+            } else {
+                &*algorithm
+            },
+            db,
+            prior_len,
+            state.stats,
+        )?;
+        report.faults = state.faults;
+        Ok(report)
+    }
+
+    /// Parallel fault-tolerant tuning loop: batched suggestions, a scoped
+    /// worker pool, and the full retry/quarantine/degradation machinery of
+    /// [`run_resilient`](Self::run_resilient).
+    ///
+    /// `evaluate` must be `Sync` and — for reproducible reports — a pure
+    /// function of `(config, attempt)`: the `pstack-faults` evaluator
+    /// guarantees this by hashing rather than sharing RNG state. Under that
+    /// contract the report is byte-identical for any worker count: batches
+    /// are composed from the seed alone, retries happen inside each
+    /// worker's slot, and all bookkeeping is replayed in suggestion order
+    /// on the driving thread.
+    ///
+    /// # Errors
+    /// As [`run_resilient`](Self::run_resilient).
+    ///
+    /// # Panics
+    /// Panics on zero workers.
+    pub fn run_parallel_resilient(
+        &self,
+        algorithm: &mut dyn SearchAlgorithm,
+        mut fallback: Option<&mut dyn SearchAlgorithm>,
+        robustness: &Robustness,
+        workers: usize,
+        evaluate: impl Fn(&ParamSpace, &Config, usize) -> Result<Evaluation, EvalError> + Sync,
+    ) -> Result<TuneReport, TuneError> {
+        assert!(workers > 0, "need at least one worker");
+        self.preflight()?;
+        let mut db = self.warm_start.clone().unwrap_or_default();
+        let prior_len = db.len();
+        let mut cache = self.prior_cache(&db);
+        let mut state = ResilientState::new(robustness, self.max_evals);
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut consecutive_dups = 0;
+        'rounds: while db.len() - prior_len < self.max_evals {
+            let want = self.batch_size.min(self.max_evals - (db.len() - prior_len));
+            let active: &mut dyn SearchAlgorithm = if state.degraded {
+                fallback
+                    .as_deref_mut()
+                    .expect("degraded only with fallback")
+            } else {
+                &mut *algorithm
+            };
+            let mut proposals = active.suggest_batch(&self.space, &db, &mut rng, want);
+            if proposals.is_empty() {
+                break; // strategy exhausted
+            }
+            proposals.truncate(want);
+            let mut fresh: Vec<Config> = Vec::with_capacity(proposals.len());
+            let mut exhausted = false;
+            for cfg in proposals {
+                self.check_valid(active, &cfg)?;
+                if state.quarantined.contains(&cfg) {
+                    state.faults.record(
+                        FaultKind::QuarantineSkip,
+                        format!("eval {}", state.fresh_idx),
+                        format!("config {cfg:?} re-suggested while quarantined"),
+                    );
+                    consecutive_dups += 1;
+                } else if cache.contains_key(&cfg) || fresh.contains(&cfg) {
+                    state.stats.hits += 1;
+                    consecutive_dups += 1;
+                } else {
+                    consecutive_dups = 0;
+                    fresh.push(cfg);
+                    continue;
+                }
+                if consecutive_dups >= self.max_consecutive_duplicates {
+                    exhausted = true;
+                    break;
+                }
+            }
+            // Retry loops run inside each worker's slot; outcomes surface in
+            // suggestion order regardless of which worker finished first.
+            let outcomes = evaluate_batch_resilient(
+                &self.space,
+                &fresh,
+                &robustness.retry,
+                workers,
+                &evaluate,
+            );
+            for (cfg, outcome) in fresh.iter().zip(outcomes) {
+                if let Some((objective, aux)) = state.absorb(cfg, outcome) {
+                    state.stats.misses += 1;
+                    cache.insert(cfg.clone(), (objective, aux.clone()));
+                    db.record(cfg.clone(), objective, aux);
+                    if state.observe_recorded(&db, objective, fallback.is_some()) {
+                        state.degraded = true;
+                        state.faults.record(
+                            FaultKind::SearchDegraded,
+                            format!("eval {}", db.len() - 1),
+                            format!(
+                                "database poisoned; {} -> {}",
+                                algorithm.name(),
+                                fallback.as_deref().map(|f| f.name()).unwrap_or("?")
+                            ),
+                        );
+                    }
+                }
+            }
+            if state.budget_spent() || exhausted {
+                break 'rounds;
+            }
+        }
+        let mut report = self.report(
+            if state.degraded {
+                fallback.as_deref().expect("degraded only with fallback")
+            } else {
+                &*algorithm
+            },
+            db,
+            prior_len,
+            state.stats,
+        )?;
+        report.faults = state.faults;
+        Ok(report)
+    }
+}
+
+/// Run the retry loop for every fresh configuration on up to `workers`
+/// scoped threads; outcomes return in suggestion order.
+fn evaluate_batch_resilient(
+    space: &ParamSpace,
+    fresh: &[Config],
+    retry: &RetryPolicy,
+    workers: usize,
+    evaluate: &(impl Fn(&ParamSpace, &Config, usize) -> Result<Evaluation, EvalError> + Sync),
+) -> Vec<ConfigOutcome> {
+    let run_one = |cfg: &Config| {
+        attempt_config(space, cfg, retry, &mut |s, c, attempt| {
+            evaluate(s, c, attempt)
+        })
+    };
+    if workers == 1 || fresh.len() <= 1 {
+        return fresh.iter().map(run_one).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<ConfigOutcome>>> = fresh.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(fresh.len()) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(cfg) = fresh.get(i) else { break };
+                let out = run_one(cfg);
+                *slots[i].lock().expect("no worker panicked") = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("no worker panicked")
+                .expect("every slot was claimed and filled")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::{ForestSearch, RandomSearch};
+    use crate::space::Param;
+    use std::collections::HashMap;
+
+    fn space() -> ParamSpace {
+        ParamSpace::new()
+            .with(Param::ints("x", 0..10))
+            .with(Param::ints("y", 0..10))
+    }
+
+    fn bowl(c: &Config) -> f64 {
+        (c[0] as f64 - 6.0).powi(2) + (c[1] as f64 - 2.0).powi(2)
+    }
+
+    #[test]
+    fn clean_evaluator_matches_fault_free_run() {
+        let tuner = Tuner::new(space()).max_evals(20).seed(3);
+        let plain = tuner
+            .run(&mut RandomSearch::new(), |_, c| (bowl(c), HashMap::new()))
+            .unwrap();
+        let resilient = tuner
+            .run_resilient(
+                &mut RandomSearch::new(),
+                None,
+                &Robustness::default(),
+                |_, c, _| Ok((bowl(c), HashMap::new())),
+            )
+            .unwrap();
+        assert_eq!(plain.db.observations(), resilient.db.observations());
+        assert_eq!(plain.cache, resilient.cache);
+        assert!(resilient.faults.is_clean());
+    }
+
+    #[test]
+    fn transient_failures_are_retried() {
+        // Every config fails its first attempt and succeeds on retry.
+        let report = Tuner::new(space())
+            .max_evals(10)
+            .seed(1)
+            .run_resilient(
+                &mut RandomSearch::new(),
+                None,
+                &Robustness::default(),
+                |_, c, attempt| {
+                    if attempt == 0 {
+                        Err(EvalError::Failed("transient".into()))
+                    } else {
+                        Ok((bowl(c), HashMap::new()))
+                    }
+                },
+            )
+            .unwrap();
+        assert_eq!(report.evals, 10);
+        assert_eq!(report.faults.counts.eval_failures, 10);
+        assert_eq!(report.faults.counts.retries, 10);
+        assert_eq!(report.faults.counts.quarantined, 0);
+        assert!(report.faults.total_backoff_s > 0.0);
+    }
+
+    #[test]
+    fn hostile_evaluator_yields_typed_error_not_panic() {
+        let err = Tuner::new(space())
+            .max_evals(5)
+            .seed(2)
+            .run_resilient(
+                &mut RandomSearch::new(),
+                None,
+                &Robustness::default(),
+                |_, _, _| Err(EvalError::Failed("always down".into())),
+            )
+            .unwrap_err();
+        assert!(matches!(err, TuneError::NoEvaluations { .. }));
+    }
+
+    #[test]
+    fn hostile_evaluator_abandons_within_fault_budget() {
+        // 100% failure: the run must stop after max_evals*max_attempts
+        // failed attempts, not loop forever.
+        let robustness = Robustness::default();
+        let counted = std::sync::atomic::AtomicUsize::new(0);
+        let _ = Tuner::new(space()).max_evals(5).seed(2).run_resilient(
+            &mut RandomSearch::new(),
+            None,
+            &robustness,
+            |_, _, _| {
+                counted.fetch_add(1, Ordering::Relaxed);
+                Err(EvalError::TimedOut { waited_s: 1.0 })
+            },
+        );
+        assert!(counted.load(Ordering::Relaxed) <= 5 * robustness.retry.max_attempts);
+    }
+
+    #[test]
+    fn nan_objectives_never_reach_the_database() {
+        let report = Tuner::new(space())
+            .max_evals(10)
+            .seed(4)
+            .run_resilient(
+                &mut RandomSearch::new(),
+                None,
+                &Robustness::default(),
+                |_, c, attempt| {
+                    if c[0] % 2 == 0 && attempt == 0 {
+                        Ok((f64::NAN, HashMap::new()))
+                    } else {
+                        Ok((bowl(c), HashMap::new()))
+                    }
+                },
+            )
+            .unwrap();
+        assert!(report
+            .db
+            .observations()
+            .iter()
+            .all(|o| o.objective.is_finite()));
+        assert!(report.faults.counts.non_finite > 0);
+    }
+
+    #[test]
+    fn quarantine_prevents_re_evaluation() {
+        // One poisoned config fails forever; it must be attempted at most
+        // max_attempts times in total, then skipped.
+        let attempts_on_poison = AtomicUsize::new(0);
+        let poison = vec![0usize, 0];
+        let report = Tuner::new(space())
+            .max_evals(30)
+            .seed(6)
+            .run_resilient(
+                &mut RandomSearch::new(),
+                None,
+                &Robustness::default(),
+                |_, c, _| {
+                    if *c == poison {
+                        attempts_on_poison.fetch_add(1, Ordering::Relaxed);
+                        Err(EvalError::Failed("bad node".into()))
+                    } else {
+                        Ok((bowl(c), HashMap::new()))
+                    }
+                },
+            )
+            .unwrap();
+        assert!(
+            attempts_on_poison.load(Ordering::Relaxed) <= Robustness::default().retry.max_attempts
+        );
+        if attempts_on_poison.load(Ordering::Relaxed) > 0 {
+            assert_eq!(report.faults.counts.quarantined, 1);
+        }
+    }
+
+    #[test]
+    fn poisoned_database_degrades_forest_to_random() {
+        // Outlier objectives on a third of the space poison the surrogate.
+        let robustness = Robustness {
+            min_observations: 6,
+            ..Robustness::default()
+        };
+        let report = Tuner::new(space())
+            .max_evals(40)
+            .seed(8)
+            .run_resilient(
+                &mut ForestSearch::new(),
+                Some(&mut RandomSearch::new()),
+                &robustness,
+                |_, c, _| {
+                    let o = if c[0] % 3 == 0 {
+                        1e6 + bowl(c) // wild outlier band
+                    } else {
+                        bowl(c)
+                    };
+                    Ok((o, HashMap::new()))
+                },
+            )
+            .unwrap();
+        assert_eq!(report.faults.counts.search_degradations, 1);
+        assert_eq!(
+            report.algorithm, "random",
+            "report names the active algorithm"
+        );
+        assert!(report.faults.counts.outliers > 0);
+    }
+
+    #[test]
+    fn parallel_resilient_is_worker_count_invariant() {
+        let robustness = Robustness::default();
+        let eval = |_: &ParamSpace, c: &Config, attempt: usize| {
+            // Deterministic per (config, attempt): fail first attempt on odd x.
+            if c[0] % 2 == 1 && attempt == 0 {
+                Err(EvalError::Failed("flaky".into()))
+            } else {
+                Ok((bowl(c), HashMap::new()))
+            }
+        };
+        let tuner = Tuner::new(space()).max_evals(24).seed(9);
+        let one = tuner
+            .run_parallel_resilient(&mut RandomSearch::new(), None, &robustness, 1, eval)
+            .unwrap();
+        let eight = tuner
+            .run_parallel_resilient(&mut RandomSearch::new(), None, &robustness, 8, eval)
+            .unwrap();
+        assert_eq!(one.db.observations(), eight.db.observations());
+        assert_eq!(one.cache, eight.cache);
+        assert_eq!(one.faults, eight.faults);
+        assert_eq!(
+            serde_json::to_string(&one).unwrap(),
+            serde_json::to_string(&eight).unwrap(),
+            "reports serialize byte-identically across worker counts"
+        );
+    }
+
+    #[test]
+    fn retry_schedule_respects_budgets() {
+        let policy = RetryPolicy {
+            max_attempts: 6,
+            backoff_base_s: 10.0,
+            backoff_factor: 3.0,
+            max_total_backoff_s: 25.0,
+        };
+        let schedule = policy.schedule();
+        assert_eq!(schedule.len(), 5);
+        assert!(schedule.iter().all(|d| *d >= 0.0));
+        assert!(schedule.iter().sum::<f64>() <= 25.0 + 1e-9);
+        // Single-attempt policies never back off.
+        assert!(RetryPolicy {
+            max_attempts: 1,
+            ..policy
+        }
+        .schedule()
+        .is_empty());
+    }
+}

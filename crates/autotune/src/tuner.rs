@@ -16,10 +16,12 @@
 //! never re-simulate.
 
 use crate::db::PerfDatabase;
+use crate::faultlog::FaultLog;
 use crate::search::SearchAlgorithm;
 use crate::space::{Config, ParamSpace};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -35,7 +37,7 @@ pub type Evaluation = (f64, HashMap<String, f64>);
 /// an earlier evaluation or a warm-start prior) and therefore cost nothing; a
 /// *miss* triggered a real evaluation. `hits + misses` equals the number of
 /// suggestions the tuner accepted from the algorithm.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CacheStats {
     /// Suggestions answered from the cache (no evaluator call).
     pub hits: usize,
@@ -88,9 +90,14 @@ impl fmt::Display for TuneError {
 impl std::error::Error for TuneError {}
 
 /// Result of a tuning run.
-#[derive(Debug, Clone)]
+///
+/// Serializes deterministically (the vendored serde sorts map keys), so two
+/// identically-seeded runs render byte-identical JSON — the replayability
+/// contract the chaos suite asserts.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TuneReport {
-    /// Algorithm name.
+    /// Algorithm name (the *active* algorithm: the fallback's name when a
+    /// resilient run degraded).
     pub algorithm: String,
     /// The full performance database.
     pub db: PerfDatabase,
@@ -103,6 +110,10 @@ pub struct TuneReport {
     /// Evaluation-cache counters (hits are suggestions that never
     /// re-simulated).
     pub cache: CacheStats,
+    /// What was injected and survived. Empty for the fault-free drivers;
+    /// populated by [`Tuner::run_resilient`] /
+    /// [`Tuner::run_parallel_resilient`].
+    pub faults: FaultLog,
 }
 
 /// The tuning loop driver.
@@ -130,12 +141,12 @@ pub struct TuneReport {
 /// assert_eq!(report.best_objective, 1.0); // tile=32, unroll=1
 /// ```
 pub struct Tuner {
-    space: ParamSpace,
-    max_evals: usize,
-    seed: u64,
-    warm_start: Option<PerfDatabase>,
-    max_consecutive_duplicates: usize,
-    batch_size: usize,
+    pub(crate) space: ParamSpace,
+    pub(crate) max_evals: usize,
+    pub(crate) seed: u64,
+    pub(crate) warm_start: Option<PerfDatabase>,
+    pub(crate) max_consecutive_duplicates: usize,
+    pub(crate) batch_size: usize,
 }
 
 impl Tuner {
@@ -330,10 +341,15 @@ impl Tuner {
         let mut consecutive_dups = 0;
         while db.len() - prior_len < self.max_evals {
             let want = self.batch_size.min(self.max_evals - (db.len() - prior_len));
-            let proposals = algorithm.suggest_batch(&self.space, &db, &mut rng, want);
+            let mut proposals = algorithm.suggest_batch(&self.space, &db, &mut rng, want);
             if proposals.is_empty() {
                 break; // strategy exhausted (e.g. grid complete)
             }
+            // `suggest_batch` contracts to at most `want` proposals; an
+            // over-returning algorithm has its tail dropped *before* the
+            // duplicate filter so every processed proposal lands in exactly
+            // one cache counter (hits + misses == accepted suggestions).
+            proposals.truncate(want);
             // Filter duplicates in suggestion order, counting them toward
             // the same consecutive-duplicate exit as the serial loop.
             let mut fresh: Vec<Config> = Vec::with_capacity(proposals.len());
@@ -347,10 +363,7 @@ impl Tuner {
                         exhausted = true;
                         break;
                     }
-                } else if fresh.len() < want {
-                    // (The length guard only matters for algorithms that
-                    // over-return; `suggest_batch` contracts to at most
-                    // `want` proposals.)
+                } else {
                     consecutive_dups = 0;
                     fresh.push(cfg);
                 }
@@ -406,7 +419,7 @@ impl Tuner {
 
     /// Memoized results for warm-start priors (suggesting one is a hit, not
     /// a re-simulation).
-    fn prior_cache(&self, db: &PerfDatabase) -> HashMap<Config, Evaluation> {
+    pub(crate) fn prior_cache(&self, db: &PerfDatabase) -> HashMap<Config, Evaluation> {
         db.observations()
             .iter()
             .map(|o| (o.config.clone(), (o.objective, o.aux.clone())))
@@ -414,7 +427,7 @@ impl Tuner {
     }
 
     /// Static checks on the run's inputs, before any evaluation happens.
-    fn preflight(&self) -> Result<(), TuneError> {
+    pub(crate) fn preflight(&self) -> Result<(), TuneError> {
         if self.space.dims() == 0 {
             return Err(TuneError::Diagnostic {
                 context: "parameter space".to_string(),
@@ -438,7 +451,11 @@ impl Tuner {
         Ok(())
     }
 
-    fn check_valid(&self, algorithm: &dyn SearchAlgorithm, cfg: &Config) -> Result<(), TuneError> {
+    pub(crate) fn check_valid(
+        &self,
+        algorithm: &dyn SearchAlgorithm,
+        cfg: &Config,
+    ) -> Result<(), TuneError> {
         if self.space.is_valid(cfg) {
             Ok(())
         } else {
@@ -449,7 +466,7 @@ impl Tuner {
         }
     }
 
-    fn report(
+    pub(crate) fn report(
         &self,
         algorithm: &dyn SearchAlgorithm,
         db: PerfDatabase,
@@ -469,6 +486,7 @@ impl Tuner {
             best_objective: best.objective,
             db,
             cache: stats,
+            faults: FaultLog::default(),
         })
     }
 }

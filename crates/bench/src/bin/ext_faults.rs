@@ -1,0 +1,7 @@
+//! Regenerate extension E3: auto-tuning recovery under injected faults.
+use powerstack_core::experiments::faults;
+fn main() {
+    pstack_analyze::startup_gate();
+    let r = pstack_bench::timed("E6", faults::run_default);
+    pstack_bench::emit("ext_faults", &faults::render(&r), &r);
+}

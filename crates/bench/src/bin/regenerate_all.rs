@@ -4,7 +4,7 @@
 //! Outputs land under `results/`.
 
 use powerstack_core::experiments::{
-    ablations, emergency, fig1, fig2, fig3, fig4, fig5, fig6, thermal, uc1, uc6, uc7,
+    ablations, emergency, faults, fig1, fig2, fig3, fig4, fig5, fig6, thermal, uc1, uc6, uc7,
 };
 use powerstack_core::{catalog, registry, vocab};
 
@@ -72,6 +72,8 @@ fn main() {
     pstack_bench::emit("ext_emergency", &emergency::render(&r), &r);
     let r = pstack_bench::timed("E2", thermal::run_default);
     pstack_bench::emit("ext_thermal", &thermal::render(&r), &r);
+    let r = pstack_bench::timed("E6", faults::run_default);
+    pstack_bench::emit("ext_faults", &faults::render(&r), &r);
 
     println!(
         "\nall artifacts written to {}/",

@@ -1,0 +1,154 @@
+//! Evaluation-path fault injection for the tuning loop.
+//!
+//! [`FaultyEvaluator`] wraps any clean evaluator (a `plopper`) and injects
+//! the [`EvalFaults`](crate::plan::EvalFaults) of a plan: outright failures,
+//! virtual timeouts, non-finite objectives, and slow (inflated)
+//! measurements. Every decision is a pure function of `(config, attempt)`
+//! via [`FaultDice`], which is exactly the contract
+//! [`Tuner::run_parallel_resilient`](pstack_autotune::Tuner::run_parallel_resilient)
+//! needs for worker-count-invariant, byte-replayable reports.
+
+use crate::dice::FaultDice;
+use crate::plan::{EvalFaults, FaultPlan};
+use pstack_autotune::{Config, EvalError, Evaluation, ParamSpace};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A fault-injecting wrapper around a clean evaluator.
+pub struct FaultyEvaluator<F> {
+    base: F,
+    faults: EvalFaults,
+    dice: FaultDice,
+    slowdowns: AtomicUsize,
+}
+
+impl<F> FaultyEvaluator<F>
+where
+    F: Fn(&ParamSpace, &Config) -> Evaluation + Sync,
+{
+    /// Wrap `base` with the evaluation faults of `plan`, seeded at `seed`.
+    pub fn new(base: F, plan: &FaultPlan, seed: u64) -> Self {
+        FaultyEvaluator {
+            base,
+            faults: plan.evals,
+            dice: FaultDice::new(seed),
+            slowdowns: AtomicUsize::new(0),
+        }
+    }
+
+    /// Evaluate `cfg` on retry `attempt`, possibly injecting a fault.
+    ///
+    /// The outcome depends only on `(cfg, attempt)` and the seed — never on
+    /// call order or thread — so retries genuinely re-roll (a transiently
+    /// failing configuration can succeed on attempt 1) while replays of the
+    /// same attempt reproduce exactly.
+    pub fn evaluate(
+        &self,
+        space: &ParamSpace,
+        cfg: &Config,
+        attempt: usize,
+    ) -> Result<Evaluation, EvalError> {
+        let key = FaultDice::key_of(cfg);
+        let a = attempt as u64;
+        if self.dice.chance(self.faults.fail_prob, "eval_fail", key, a) {
+            return Err(EvalError::Failed(format!(
+                "injected failure on config {cfg:?}"
+            )));
+        }
+        if self
+            .dice
+            .chance(self.faults.timeout_prob, "eval_timeout", key, a)
+        {
+            return Err(EvalError::TimedOut {
+                waited_s: self.faults.timeout_s,
+            });
+        }
+        if self.dice.chance(self.faults.nan_prob, "eval_nan", key, a) {
+            // A garbage measurement: the resilient loop must catch this
+            // before it reaches the database (which panics on non-finite).
+            return Ok((f64::NAN, HashMap::new()));
+        }
+        let (mut objective, aux) = (self.base)(space, cfg);
+        if self.dice.chance(self.faults.slow_prob, "eval_slow", key, a) {
+            objective *= self.faults.slow_factor;
+            self.slowdowns.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok((objective, aux))
+    }
+
+    /// Slow evaluations injected so far (successful-but-inflated results the
+    /// tuner cannot distinguish from honest measurements).
+    pub fn slowdowns(&self) -> usize {
+        self.slowdowns.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pstack_autotune::Param;
+
+    fn space() -> ParamSpace {
+        ParamSpace::new().with(Param::ints("x", 0..20))
+    }
+
+    fn base(_s: &ParamSpace, c: &Config) -> Evaluation {
+        (c[0] as f64 + 1.0, HashMap::new())
+    }
+
+    #[test]
+    fn clean_plan_is_transparent() {
+        let ev = FaultyEvaluator::new(base, &FaultPlan::none(), 1);
+        let s = space();
+        for x in 0..20 {
+            let out = ev.evaluate(&s, &vec![x], 0).unwrap();
+            assert_eq!(out.0, x as f64 + 1.0);
+        }
+        assert_eq!(ev.slowdowns(), 0);
+    }
+
+    #[test]
+    fn decisions_are_pure_in_config_and_attempt() {
+        let ev = FaultyEvaluator::new(base, &FaultPlan::evals_only(), 5);
+        let s = space();
+        for x in 0..20 {
+            for attempt in 0..3 {
+                let a = ev.evaluate(&s, &vec![x], attempt);
+                let b = ev.evaluate(&s, &vec![x], attempt);
+                match (a, b) {
+                    (Ok(x), Ok(y)) => assert_eq!(x.0.to_bits(), y.0.to_bits()),
+                    (Err(x), Err(y)) => assert_eq!(x, y),
+                    other => panic!("replay diverged: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_fault_modes_fire_at_evals_only_rates() {
+        let ev = FaultyEvaluator::new(base, &FaultPlan::evals_only(), 2);
+        let s = space();
+        let (mut fails, mut timeouts, mut nans, mut slows) = (0, 0, 0, 0);
+        for x in 0..20 {
+            for attempt in 0..40 {
+                match ev.evaluate(&s, &vec![x], attempt) {
+                    Err(EvalError::Failed(_)) => fails += 1,
+                    Err(EvalError::TimedOut { waited_s }) => {
+                        assert_eq!(waited_s, 120.0);
+                        timeouts += 1;
+                    }
+                    Ok((o, _)) if o.is_nan() => nans += 1,
+                    // Any honest result is exactly x+1; anything else was
+                    // inflated by slow_factor.
+                    Ok((o, _)) if (o - (x as f64 + 1.0)).abs() > 1e-9 => slows += 1,
+                    Ok(_) => {}
+                }
+            }
+        }
+        assert!(fails > 0, "fail_prob 0.10 over 800 rolls");
+        assert!(timeouts > 0, "timeout_prob 0.05 over 800 rolls");
+        assert!(nans > 0, "nan_prob 0.05 over 800 rolls");
+        assert!(slows > 0, "slow_prob 0.10 over 800 rolls");
+        assert_eq!(ev.slowdowns(), slows);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property tests for the fault layer's two safety contracts:
+//!
+//! 1. **Envelope invariant** — whatever telemetry corruption a plan injects
+//!    (noise, spikes, drops, at any rate), every sample that survives the
+//!    injector stays inside the node's physical power envelope
+//!    `[0, peak_w]`. Faults corrupt measurements; they never fabricate
+//!    physically impossible ones.
+//! 2. **Retry budget** — a [`RetryPolicy`] schedule never exceeds its own
+//!    budgets: exactly `max_attempts − 1` backoffs, all non-negative, whose
+//!    sum never exceeds `max_total_backoff_s`, for any policy parameters.
+
+#![allow(clippy::disallowed_methods)]
+
+use proptest::prelude::*;
+use pstack_faults::{
+    AgentFaults, EmergencyFault, EvalFaults, FaultInjector, FaultPlan, KnobFaults, RetryPolicy,
+    TelemetryFaults,
+};
+use pstack_hwmodel::{invariants::power_envelope, NodeConfig};
+
+fn plan_from(noise: f64, drop: f64, spike: f64, spike_factor: f64) -> FaultPlan {
+    FaultPlan {
+        name: "prop".to_string(),
+        telemetry: TelemetryFaults {
+            noise_frac: noise,
+            drop_prob: drop,
+            spike_prob: spike,
+            spike_factor,
+        },
+        knobs: KnobFaults::none(),
+        agent: AgentFaults::none(),
+        emergency: None::<EmergencyFault>,
+        evals: EvalFaults::none(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any telemetry plan, any seed, any in-envelope raw reading stream:
+    /// surviving samples stay inside `[0, peak_w]` and are always finite.
+    #[test]
+    fn injected_samples_never_escape_the_power_envelope(
+        seed in 0u64..10_000,
+        noise in 0.0f64..1.0,
+        drop in 0.0f64..0.5,
+        spike in 0.0f64..0.5,
+        spike_factor in 1.0f64..20.0,
+        raws in collection::vec(0.0f64..700.0, 1..200),
+    ) {
+        let envelope = power_envelope(&NodeConfig::server_default());
+        let plan = plan_from(noise, drop, spike, spike_factor);
+        let mut inj = FaultInjector::new(&plan, seed);
+        for &raw in &raws {
+            // Raw readings themselves are clamped to physical output range
+            // by the hw model; feed the envelope-bounded portion.
+            let raw = raw.min(envelope.peak_w);
+            if let Some(w) = inj.observe_power(raw, &envelope) {
+                prop_assert!(w.is_finite(), "non-finite sample {w}");
+                prop_assert!(
+                    (0.0..=envelope.peak_w).contains(&w),
+                    "sample {w} escaped [0, {}] (raw {raw})",
+                    envelope.peak_w
+                );
+            }
+        }
+        // Dropped + surviving samples account for every reading.
+        prop_assert_eq!(inj.samples_taken(), raws.len() as u64);
+    }
+
+    /// The retry schedule respects all three budgets for any policy.
+    #[test]
+    fn retry_schedule_never_exceeds_its_budgets(
+        max_attempts in 1usize..12,
+        base in 0.0f64..10.0,
+        factor in 0.5f64..8.0,
+        total_cap in 0.0f64..120.0,
+    ) {
+        let policy = RetryPolicy {
+            max_attempts,
+            backoff_base_s: base,
+            backoff_factor: factor,
+            max_total_backoff_s: total_cap,
+        };
+        let schedule = policy.schedule();
+        prop_assert_eq!(
+            schedule.len(),
+            max_attempts.saturating_sub(1),
+            "one backoff between each consecutive attempt pair"
+        );
+        let mut total = 0.0;
+        for (i, &b) in schedule.iter().enumerate() {
+            prop_assert!(b >= 0.0, "negative backoff {b} at step {i}");
+            prop_assert!(b.is_finite(), "non-finite backoff at step {i}");
+            total += b;
+        }
+        prop_assert!(
+            total <= total_cap + 1e-9,
+            "total backoff {total} exceeds cap {total_cap}"
+        );
+    }
+
+    /// Monotone growth until the cap bites: each backoff is at least as long
+    /// as the previous one unless the total cap truncated it.
+    #[test]
+    fn retry_schedule_is_monotone_until_capped(
+        max_attempts in 2usize..10,
+        base in 0.01f64..5.0,
+        factor in 1.0f64..4.0,
+    ) {
+        let policy = RetryPolicy {
+            max_attempts,
+            backoff_base_s: base,
+            backoff_factor: factor,
+            max_total_backoff_s: f64::MAX,
+        };
+        let schedule = policy.schedule();
+        for w in schedule.windows(2) {
+            prop_assert!(w[1] >= w[0] - 1e-12, "backoffs shrank: {:?}", w);
+        }
+    }
+}

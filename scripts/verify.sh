@@ -17,6 +17,13 @@ cargo build --release
 echo "== cargo test -q --workspace =="
 cargo test -q --workspace
 
+echo "== chaos suite (determinism: two runs must agree) =="
+cargo test -q --test chaos_tuning
+cargo test -q --test chaos_tuning
+
+echo "== golden artifact regression =="
+cargo test -q --test golden_results
+
 echo "== cargo clippy -- -D warnings =="
 cargo clippy --workspace --all-targets -- -D warnings
 

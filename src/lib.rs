@@ -33,6 +33,7 @@
 //! | End-to-end framework | [`core`] (`powerstack-core`) |
 //! | Diagnostics model | [`diag`] (`pstack-diag`) |
 //! | Static analysis / lint | [`analyze`] (`pstack-analyze`) |
+//! | Fault injection / chaos | [`faults`] (`pstack-faults`) |
 //!
 //! See `DESIGN.md` for the substitution table (what each simulated substrate
 //! stands in for) and `EXPERIMENTS.md` for the paper-vs-measured record.
@@ -44,6 +45,7 @@ pub use pstack_analyze as analyze;
 pub use pstack_apps as apps;
 pub use pstack_autotune as autotune;
 pub use pstack_diag as diag;
+pub use pstack_faults as faults;
 pub use pstack_hwmodel as hwmodel;
 pub use pstack_node as node;
 pub use pstack_rm as rm;
@@ -64,9 +66,10 @@ pub mod prelude {
     pub use pstack_apps::workload::{AppModel, NodeCountRule, Phase, Workload};
     pub use pstack_apps::{Lulesh, MpiModel};
     pub use pstack_autotune::{
-        AnnealingSearch, ExhaustiveSearch, ForestSearch, HillClimbSearch, Param, ParamSpace,
-        RandomSearch, Tuner,
+        AnnealingSearch, ExhaustiveSearch, FaultLog, ForestSearch, HillClimbSearch, Param,
+        ParamSpace, RandomSearch, RetryPolicy, Robustness, Tuner,
     };
+    pub use pstack_faults::{run_faulted_job, FaultPlan, FaultyEvaluator};
     pub use pstack_hwmodel::{Node, NodeConfig, NodeId, PhaseKind, PhaseMix, VariationModel};
     pub use pstack_node::{NodeManager, Signal};
     pub use pstack_rm::{

@@ -1,0 +1,176 @@
+//! Chaos suite: the resilient tuning loop under every fault plan in the
+//! catalog, over a grid of seeds.
+//!
+//! Contracts asserted here:
+//!
+//! - `run_resilient` / `run_parallel_resilient` **never panic** under any
+//!   catalog plan — they return `Ok(report)` or a typed `TuneError`;
+//! - identical `(seed, plan)` pairs produce **byte-identical** serialized
+//!   reports across repeated runs (the determinism the golden suite and
+//!   `ext_faults` rely on);
+//! - worker count never changes a resilient parallel result;
+//! - the cache/quarantine ledger balances: every accepted suggestion is a
+//!   hit, a miss, or a quarantine skip.
+
+// Integration tests are exempt from the workspace unwrap policy.
+#![allow(clippy::disallowed_methods)]
+
+use powerstack::autotune::{
+    Config, Evaluation, ForestSearch, ParamSpace, RandomSearch, Robustness, TuneError, TuneReport,
+    Tuner,
+};
+use powerstack::faults::{FaultPlan, FaultyEvaluator};
+use powerstack::prelude::*;
+
+const SEEDS: [u64; 3] = [1, 7, 42];
+
+fn space() -> ParamSpace {
+    ParamSpace::new()
+        .with(Param::ints("tile", [8, 16, 32, 64]))
+        .with(Param::ints("unroll", [1, 2, 4, 8]))
+        .with(Param::boolean("packing"))
+        .with_constraint("unroll<=tile", |s, c| {
+            s.value(c, "unroll").as_int() <= s.value(c, "tile").as_int()
+        })
+}
+
+fn objective(space: &ParamSpace, cfg: &Config) -> Evaluation {
+    let tile = space.value(cfg, "tile").as_int() as f64;
+    let unroll = space.value(cfg, "unroll").as_int() as f64;
+    let packing = space.value(cfg, "packing").as_bool();
+    let time = (tile - 32.0).abs() / 8.0 + (unroll - 4.0).abs() + if packing { 0.0 } else { 1.5 };
+    (1.0 + time, std::collections::HashMap::new())
+}
+
+fn run_once(seed: u64, plan: &FaultPlan, workers: Option<usize>) -> Result<String, TuneError> {
+    let evaluator = FaultyEvaluator::new(objective, plan, seed ^ 0xC0FFEE);
+    let mut primary = ForestSearch::new();
+    let mut fallback = RandomSearch::new();
+    let tuner = Tuner::new(space()).max_evals(30).seed(seed);
+    let report = match workers {
+        None => tuner.run_resilient(
+            &mut primary,
+            Some(&mut fallback),
+            &Robustness::default(),
+            |s, c, a| evaluator.evaluate(s, c, a),
+        )?,
+        Some(w) => tuner.run_parallel_resilient(
+            &mut primary,
+            Some(&mut fallback),
+            &Robustness::default(),
+            w,
+            |s, c, a| evaluator.evaluate(s, c, a),
+        )?,
+    };
+    // The ledger: every evaluation that actually ran is a cache miss, and
+    // nothing else is — hits and quarantine skips never re-simulate.
+    assert_eq!(report.cache.misses, report.evals, "misses must equal evals");
+    assert!(report.best_objective.is_finite());
+    Ok(serde_json::to_string(&report).expect("reports serialize"))
+}
+
+#[test]
+fn every_seed_and_plan_completes_or_errors_typed() {
+    for plan in FaultPlan::catalog() {
+        for seed in SEEDS {
+            match run_once(seed, &plan, None) {
+                Ok(_) => {}
+                Err(e) => {
+                    // Typed errors are acceptable; panics are not (reaching
+                    // here at all proves no panic). Display must be clean.
+                    assert!(!format!("{e}").is_empty(), "{}/{seed}", plan.name);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn identical_seed_and_plan_replay_byte_identically() {
+    for plan in FaultPlan::catalog() {
+        for seed in SEEDS {
+            let a = run_once(seed, &plan, None);
+            let b = run_once(seed, &plan, None);
+            match (a, b) {
+                (Ok(x), Ok(y)) => assert_eq!(x, y, "{}/{seed} diverged", plan.name),
+                (Err(_), Err(_)) => {}
+                other => panic!("{}/{seed} replay changed outcome: {other:?}", plan.name),
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_resilient_is_worker_count_invariant() {
+    for plan in [
+        FaultPlan::none(),
+        FaultPlan::evals_only(),
+        FaultPlan::default_rates(),
+    ] {
+        for seed in SEEDS {
+            let one = run_once(seed, &plan, Some(1));
+            let eight = run_once(seed, &plan, Some(8));
+            match (one, eight) {
+                (Ok(x), Ok(y)) => {
+                    assert_eq!(x, y, "{}/{seed}: workers changed the report", plan.name)
+                }
+                (Err(_), Err(_)) => {}
+                other => panic!(
+                    "{}/{seed} worker count changed outcome: {other:?}",
+                    plan.name
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_replay_is_byte_identical() {
+    // The parallel driver replays byte-identically for the same
+    // (seed, plan, workers) — the contract `ext_faults` and the golden
+    // suite rely on. (Serial vs parallel byte-equality is NOT a contract:
+    // batched suggestion flow orders quarantine decisions differently.)
+    for seed in SEEDS {
+        let plan = FaultPlan::evals_only();
+        let a = run_once(seed, &plan, Some(4)).expect("parallel run");
+        let b = run_once(seed, &plan, Some(4)).expect("parallel run");
+        assert_eq!(a, b, "seed {seed}: parallel replay diverged");
+    }
+}
+
+#[test]
+fn total_failure_plan_returns_typed_error_not_panic() {
+    let mut plan = FaultPlan::none();
+    plan.name = "always-fail".to_string();
+    plan.evals.fail_prob = 1.0;
+    for seed in SEEDS {
+        match run_once(seed, &plan, None) {
+            Err(TuneError::NoEvaluations { .. }) => {}
+            Err(other) => panic!("unexpected error type: {other:?}"),
+            Ok(_) => panic!("a 100%-failure plan cannot produce a report"),
+        }
+        // The parallel driver must agree.
+        match run_once(seed, &plan, Some(4)) {
+            Err(TuneError::NoEvaluations { .. }) => {}
+            other => panic!("parallel disagreed: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn faulted_reports_carry_their_fault_log() {
+    let plan = FaultPlan::evals_only();
+    for seed in SEEDS {
+        let json = run_once(seed, &plan, None).expect("evals_only completes");
+        assert!(
+            json.contains("\"faults\""),
+            "report JSON must embed the fault log"
+        );
+        // At the evals_only rates over 30 evals, something always fires —
+        // and the JSON round-trips into the typed report.
+        let report: TuneReport = serde_json::from_str(&json).unwrap();
+        let counts = &report.faults.counts;
+        let injected = counts.eval_failures + counts.eval_timeouts + counts.non_finite;
+        assert!(injected > 0, "seed {seed}: no faults logged");
+    }
+}

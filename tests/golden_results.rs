@@ -1,0 +1,408 @@
+//! Golden-file regression suite for the paper artifacts.
+//!
+//! Every figure / use-case / extension generator is re-run with its shipped
+//! seeds and the serialized JSON is compared against the blessed copy in
+//! `tests/goldens/`. Numeric leaves are compared with a relative tolerance
+//! band (default 2%) so that benign float churn — e.g. a different but
+//! equivalent summation order — does not fail the suite, while real drift
+//! in the experiment outcomes does.
+//!
+//! To re-bless after an intentional change:
+//!
+//! ```text
+//! UPDATE_GOLDENS=1 cargo test --test golden_results
+//! ```
+//!
+//! then commit the updated `tests/goldens/*.json` alongside the change that
+//! caused them.
+
+// Integration tests are exempt from the workspace unwrap policy.
+#![allow(clippy::disallowed_methods)]
+
+use powerstack::core::experiments::{
+    emergency, faults, fig1, fig2, fig3, fig4, fig5, fig6, thermal, uc1, uc6, uc7,
+};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// Relative tolerance for numeric leaves. 2% absorbs benign float churn;
+/// anything larger is a real behavioural change that should re-bless.
+const REL_TOL: f64 = 0.02;
+/// Absolute floor so values near zero don't demand impossible precision.
+const ABS_TOL: f64 = 1e-9;
+
+// ---------------------------------------------------------------------------
+// A minimal JSON representation + parser. The vendored `serde_json` shim has
+// no public `Value` type, so the tolerance-aware comparison parses the two
+// serialized documents itself. Only the subset our artifacts emit is
+// supported: objects, arrays, strings, numbers, booleans and null.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> u8 {
+        self.skip_ws();
+        assert!(self.pos < self.bytes.len(), "unexpected end of JSON");
+        self.bytes[self.pos]
+    }
+
+    fn eat(&mut self, b: u8) {
+        let got = self.peek();
+        assert_eq!(
+            got as char, b as char,
+            "JSON parse error at byte {}",
+            self.pos
+        );
+        self.pos += 1;
+    }
+
+    fn value(&mut self) -> Json {
+        match self.peek() {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Json::Str(self.string()),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'n' => self.literal("null", Json::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Json {
+        self.skip_ws();
+        assert!(
+            self.bytes[self.pos..].starts_with(word.as_bytes()),
+            "bad literal at {}",
+            self.pos
+        );
+        self.pos += word.len();
+        v
+    }
+
+    fn object(&mut self) -> Json {
+        self.eat(b'{');
+        let mut entries = Vec::new();
+        if self.peek() == b'}' {
+            self.pos += 1;
+            return Json::Obj(entries);
+        }
+        loop {
+            let key = self.string();
+            self.eat(b':');
+            entries.push((key, self.value()));
+            match self.peek() {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Json::Obj(entries);
+                }
+                c => panic!(
+                    "expected ',' or '}}' at byte {}, got {:?}",
+                    self.pos, c as char
+                ),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Json {
+        self.eat(b'[');
+        let mut items = Vec::new();
+        if self.peek() == b']' {
+            self.pos += 1;
+            return Json::Arr(items);
+        }
+        loop {
+            items.push(self.value());
+            match self.peek() {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Json::Arr(items);
+                }
+                c => panic!(
+                    "expected ',' or ']' at byte {}, got {:?}",
+                    self.pos, c as char
+                ),
+            }
+        }
+    }
+
+    fn string(&mut self) -> String {
+        self.eat(b'"');
+        let mut out = String::new();
+        loop {
+            assert!(self.pos < self.bytes.len(), "unterminated string");
+            match self.bytes[self.pos] {
+                b'"' => {
+                    self.pos += 1;
+                    return out;
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let esc = self.bytes[self.pos];
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex =
+                                std::str::from_utf8(&self.bytes[self.pos..self.pos + 4]).unwrap();
+                            self.pos += 4;
+                            let code = u32::from_str_radix(hex, 16).unwrap();
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => panic!("unsupported escape \\{}", other as char),
+                    }
+                }
+                b => {
+                    // Multi-byte UTF-8 sequences pass through verbatim.
+                    let start = self.pos;
+                    let len = match b {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    self.pos += len;
+                    out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).unwrap());
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Json {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.bytes.len()
+            && matches!(
+                self.bytes[self.pos],
+                b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'
+            )
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        Json::Num(
+            text.parse()
+                .unwrap_or_else(|_| panic!("bad number {text:?}")),
+        )
+    }
+}
+
+fn parse(s: &str) -> Json {
+    let mut p = Parser::new(s);
+    let v = p.value();
+    p.skip_ws();
+    assert_eq!(p.pos, p.bytes.len(), "trailing bytes after JSON document");
+    v
+}
+
+// ---------------------------------------------------------------------------
+// Tolerance-aware structural diff.
+// ---------------------------------------------------------------------------
+
+fn numbers_close(a: f64, b: f64) -> bool {
+    if a == b {
+        return true;
+    }
+    let scale = a.abs().max(b.abs());
+    (a - b).abs() <= ABS_TOL.max(REL_TOL * scale)
+}
+
+/// Collect every mismatch between `got` and `want` into `diffs`, tracking the
+/// JSON path so failures point at the exact drifted leaf.
+fn diff(path: &str, got: &Json, want: &Json, diffs: &mut Vec<String>) {
+    match (got, want) {
+        (Json::Num(a), Json::Num(b)) => {
+            if !numbers_close(*a, *b) {
+                let _ = writeln!(diffs_entry(diffs), "{path}: {a} vs golden {b}");
+            }
+        }
+        (Json::Obj(a), Json::Obj(b)) => {
+            for (key, wv) in b {
+                match a.iter().find(|(k, _)| k == key) {
+                    Some((_, gv)) => diff(&format!("{path}.{key}"), gv, wv, diffs),
+                    None => diffs.push(format!("{path}.{key}: missing from output")),
+                }
+            }
+            for (key, _) in a {
+                if !b.iter().any(|(k, _)| k == key) {
+                    diffs.push(format!(
+                        "{path}.{key}: not in golden (new field — re-bless?)"
+                    ));
+                }
+            }
+        }
+        (Json::Arr(a), Json::Arr(b)) => {
+            if a.len() != b.len() {
+                diffs.push(format!("{path}: length {} vs golden {}", a.len(), b.len()));
+            }
+            for (i, (gv, wv)) in a.iter().zip(b.iter()).enumerate() {
+                diff(&format!("{path}[{i}]"), gv, wv, diffs);
+            }
+        }
+        (g, w) if g == w => {}
+        (g, w) => diffs.push(format!("{path}: {g:?} vs golden {w:?}")),
+    }
+}
+
+/// `writeln!` needs a `fmt::Write` target; give it the last pushed String.
+fn diffs_entry(diffs: &mut Vec<String>) -> &mut String {
+    diffs.push(String::new());
+    diffs.last_mut().unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Harness.
+// ---------------------------------------------------------------------------
+
+fn goldens_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/goldens")
+}
+
+fn check(name: &str, produced: String) {
+    let path = goldens_dir().join(format!("{name}.json"));
+    if std::env::var("UPDATE_GOLDENS").is_ok() {
+        std::fs::create_dir_all(goldens_dir()).unwrap();
+        std::fs::write(&path, produced + "\n").unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); run `UPDATE_GOLDENS=1 cargo test --test golden_results` to bless",
+            path.display()
+        )
+    });
+    let mut diffs = Vec::new();
+    diff("$", &parse(&produced), &parse(&golden), &mut diffs);
+    assert!(
+        diffs.is_empty(),
+        "{name} drifted from its golden (tolerance {:.0}%):\n  {}\nIf intentional, re-bless with UPDATE_GOLDENS=1.",
+        REL_TOL * 100.0,
+        diffs.join("\n  ")
+    );
+}
+
+fn to_json<T: serde::Serialize>(v: &T) -> String {
+    serde_json::to_string_pretty(v).unwrap()
+}
+
+#[test]
+fn golden_fig1_end_to_end() {
+    check("fig1_end_to_end", to_json(&fig1::run_default()));
+}
+
+#[test]
+fn golden_fig2_interactions() {
+    check("fig2_interactions", to_json(&fig2::run_default()));
+}
+
+#[test]
+fn golden_fig3_geopm_policy() {
+    check("fig3_geopm_policy", to_json(&fig3::run_default()));
+}
+
+#[test]
+fn golden_fig4_ytopt_loop() {
+    check("fig4_ytopt_loop", to_json(&fig4::run_default_parallel()));
+}
+
+#[test]
+fn golden_fig5_feti_regions() {
+    check("fig5_feti_regions", to_json(&fig5::run_default()));
+}
+
+#[test]
+fn golden_fig6_power_corridor() {
+    check("fig6_power_corridor", to_json(&fig6::run_default()));
+}
+
+#[test]
+fn golden_uc1_hypre_cotune() {
+    check("uc1_hypre_cotune", to_json(&uc1::run_default()));
+}
+
+#[test]
+fn golden_uc6_countdown() {
+    check("uc6_countdown", to_json(&uc6::run_default()));
+}
+
+#[test]
+fn golden_uc7_two_runtimes() {
+    check("uc7_two_runtimes", to_json(&uc7::run_default()));
+}
+
+#[test]
+fn golden_ext_emergency() {
+    check("ext_emergency", to_json(&emergency::run_default()));
+}
+
+#[test]
+fn golden_ext_thermal() {
+    check("ext_thermal", to_json(&thermal::run_default()));
+}
+
+#[test]
+fn golden_ext_faults() {
+    check("ext_faults", to_json(&faults::run_default()));
+}
+
+// -- self-tests for the comparison machinery --------------------------------
+
+#[test]
+fn tolerance_band_accepts_small_drift_and_rejects_large() {
+    let golden = r#"{"a": 100.0, "b": [1.0, 2.0], "c": "x"}"#;
+    let close = r#"{"a": 101.0, "b": [1.001, 2.0], "c": "x"}"#;
+    let far = r#"{"a": 110.0, "b": [1.0, 2.0], "c": "x"}"#;
+    let mut diffs = Vec::new();
+    diff("$", &parse(close), &parse(golden), &mut diffs);
+    assert!(diffs.is_empty(), "1% drift must pass: {diffs:?}");
+    diff("$", &parse(far), &parse(golden), &mut diffs);
+    assert!(!diffs.is_empty(), "10% drift must fail");
+}
+
+#[test]
+fn structural_changes_are_always_reported() {
+    let golden = r#"{"rows": [{"x": 1.0}], "name": "n"}"#;
+    let missing_key = r#"{"rows": [{}], "name": "n"}"#;
+    let wrong_len = r#"{"rows": [{"x": 1.0}, {"x": 1.0}], "name": "n"}"#;
+    let wrong_str = r#"{"rows": [{"x": 1.0}], "name": "m"}"#;
+    for bad in [missing_key, wrong_len, wrong_str] {
+        let mut diffs = Vec::new();
+        diff("$", &parse(bad), &parse(golden), &mut diffs);
+        assert!(!diffs.is_empty(), "must flag: {bad}");
+    }
+}

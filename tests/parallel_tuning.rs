@@ -8,7 +8,7 @@
 
 use powerstack::autotune::{
     AnnealingSearch, CacheStats, Config, ExhaustiveSearch, ForestSearch, HillClimbSearch, Param,
-    ParamSpace, RandomSearch, SearchAlgorithm, TuneError, Tuner,
+    ParamSpace, PerfDatabase, RandomSearch, SearchAlgorithm, TuneError, Tuner,
 };
 use powerstack::prelude::*;
 use std::collections::HashMap;
@@ -149,4 +149,89 @@ fn warm_start_prior_seeds_the_cache() {
     assert_eq!(second.cache.misses, 0);
     assert_eq!(second.best_objective, first.best_objective);
     assert_ne!(second.cache, CacheStats::default());
+}
+
+/// An adversarial algorithm that over-returns: every `suggest_batch(k)`
+/// yields MORE than `k` proposals (in violation of the polite contract,
+/// which the tuner must tolerate by truncation, not by counter drift).
+struct OverReturning {
+    inner: RandomSearch,
+    extra: usize,
+}
+
+impl SearchAlgorithm for OverReturning {
+    fn name(&self) -> &str {
+        "over-returning"
+    }
+    fn suggest(
+        &mut self,
+        space: &ParamSpace,
+        db: &PerfDatabase,
+        rng: &mut rand::rngs::SmallRng,
+    ) -> Option<Config> {
+        self.inner.suggest(space, db, rng)
+    }
+    fn suggest_batch(
+        &mut self,
+        space: &ParamSpace,
+        db: &PerfDatabase,
+        rng: &mut rand::rngs::SmallRng,
+        k: usize,
+    ) -> Vec<Config> {
+        self.inner.suggest_batch(space, db, rng, k + self.extra)
+    }
+}
+
+#[test]
+fn over_returning_batches_keep_the_cache_ledger_balanced() {
+    // Regression: proposals beyond the remaining budget used to be dropped
+    // silently — neither a hit nor a miss — so hits + misses drifted away
+    // from the number of accepted suggestions under batch-happy algorithms.
+    for workers in [1, 3, 8] {
+        let report = Tuner::new(kernel_space())
+            .max_evals(17) // deliberately not a multiple of any batch size
+            .seed(9)
+            .run_parallel(
+                &mut OverReturning {
+                    inner: RandomSearch::new(),
+                    extra: 5,
+                },
+                workers,
+                objective,
+            )
+            .unwrap();
+        assert_eq!(
+            report.cache.misses, report.evals,
+            "workers={workers}: every eval is a miss"
+        );
+        assert!(report.evals <= 17, "workers={workers}: budget exceeded");
+        assert!(report.best_objective.is_finite());
+    }
+}
+
+#[test]
+fn cache_counters_stable_under_worker_contention() {
+    // The same tuning problem at every worker count must produce identical
+    // counters: contention in the evaluation pool must never skew the
+    // hit/miss ledger (they are tallied in suggestion order, not completion
+    // order).
+    let baseline = Tuner::new(kernel_space())
+        .max_evals(40)
+        .seed(13)
+        .run_parallel(&mut RandomSearch::new(), 1, objective)
+        .unwrap();
+    for workers in [2, 4, 8, 16] {
+        let report = Tuner::new(kernel_space())
+            .max_evals(40)
+            .seed(13)
+            .run_parallel(&mut RandomSearch::new(), workers, objective)
+            .unwrap();
+        assert_eq!(report.cache, baseline.cache, "workers={workers}");
+        assert_eq!(report.evals, baseline.evals, "workers={workers}");
+        assert_eq!(
+            report.db.observations(),
+            baseline.db.observations(),
+            "workers={workers}"
+        );
+    }
 }
