@@ -23,6 +23,7 @@
 //! | PSA011 | layer-invariants       | every layer's `invariants()` provider holds |
 //! | PSA012 | fault-plan-sanity      | chaos fault plans have coherent rates, unique names |
 //! | PSA013 | retry-budget-feasible  | the resilient loop's retry policy terminates in budget |
+//! | PSA014 | trace-exporter-coverage | every JSON-writing bench bin registers a trace exporter |
 //!
 //! Entry points:
 //!

@@ -1,6 +1,6 @@
 //! The lint rules.
 //!
-//! Every rule is a [`Lint`] with a stable ID (`PSA001`..`PSA011`), a
+//! Every rule is a [`Lint`] with a stable ID (`PSA001`..`PSA014`), a
 //! one-line description, and a pure `check` over a [`FrameworkModel`].
 //! Rules never mutate anything and never read the environment, so the
 //! report for a given model is byte-deterministic. [`registry`] returns
@@ -46,6 +46,7 @@ pub fn registry() -> Vec<Box<dyn Lint>> {
         Box::new(LayerInvariants),
         Box::new(FaultPlanSanity),
         Box::new(RetryBudgetFeasibility),
+        Box::new(TraceExporterCoverage),
     ]
 }
 
@@ -1129,6 +1130,66 @@ impl Lint for RetryBudgetFeasibility {
     }
 }
 
+// ---------------------------------------------------------------------------
+// PSA014 — trace-exporter coverage
+// ---------------------------------------------------------------------------
+
+/// Every bench binary that writes a `results/*.json` artifact must also
+/// register a trace exporter (`results/trace_*.json`): an artifact with no
+/// trace cannot be attributed when a regeneration slows down or diverges.
+/// Duplicate bin registrations are errors too — the manifest is the lint's
+/// ground truth, so it must be internally consistent.
+pub struct TraceExporterCoverage;
+
+impl Lint for TraceExporterCoverage {
+    fn id(&self) -> &'static str {
+        "PSA014"
+    }
+    fn name(&self) -> &'static str {
+        "trace-exporter-coverage"
+    }
+    fn description(&self) -> &'static str {
+        "every JSON-writing bench bin registers a trace exporter"
+    }
+    fn check(&self, model: &FrameworkModel) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        let mut seen = BTreeMap::new();
+        for a in &model.artifacts {
+            let path = format!("bench.bin.{}", a.bin);
+            if *seen.entry(a.bin).or_insert(0usize) >= 1 {
+                out.push(Diagnostic::error(
+                    self.id(),
+                    "cross-layer",
+                    &path,
+                    format!("bin {} registered more than once", a.bin),
+                ));
+            }
+            *seen.get_mut(a.bin).expect("just inserted") += 1;
+            if a.writes_json && !a.trace_exporter {
+                out.push(Diagnostic::error(
+                    self.id(),
+                    "cross-layer",
+                    &path,
+                    format!(
+                        "{} writes results/*.json but registers no trace exporter \
+                         (wrap its work in pstack_bench::traced)",
+                        a.bin
+                    ),
+                ));
+            }
+        }
+        if model.artifacts.is_empty() {
+            out.push(Diagnostic::warn(
+                self.id(),
+                "cross-layer",
+                "bench.bin",
+                "artifact registry is empty: no bench bins are declared",
+            ));
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1141,7 +1202,7 @@ mod tests {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(ids, sorted, "rule IDs must be unique and in order");
-        assert_eq!(ids.len(), 13);
+        assert_eq!(ids.len(), 14);
         for r in &rules {
             assert!(!r.name().is_empty() && !r.description().is_empty());
         }

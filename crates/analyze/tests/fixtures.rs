@@ -4,7 +4,7 @@
 
 #![allow(clippy::disallowed_methods)]
 
-use powerstack_core::experiments::ExperimentInfo;
+use powerstack_core::experiments::{ArtifactInfo, ExperimentInfo};
 use powerstack_core::registry::{Actor, Knob, Layer, Temporal};
 use pstack_analyze::rules::{SearchFeasibility, SpaceWellFormedness};
 use pstack_analyze::{analyze, FrameworkModel, SearchSpec, Severity};
@@ -575,5 +575,66 @@ fn psa013_warns_on_shrinking_backoff() {
     assert!(
         warns.iter().any(|w| w.contains("backoff_factor")),
         "shrinking backoff not warned: {warns:?}"
+    );
+}
+
+// --- PSA014: trace-exporter coverage ---------------------------------------
+
+#[test]
+fn psa014_passes_on_shipped_artifacts() {
+    assert!(errors_of(&shipped(), "PSA014").is_empty());
+}
+
+#[test]
+fn psa014_flags_json_writer_without_trace_exporter() {
+    let mut m = shipped();
+    m.artifacts.push(ArtifactInfo {
+        bin: "rogue_dump",
+        writes_json: true,
+        trace_exporter: false,
+    });
+    let errs = errors_of(&m, "PSA014");
+    assert!(
+        errs.iter()
+            .any(|e| e.contains("rogue_dump") && e.contains("trace exporter")),
+        "untraced JSON writer not flagged: {errs:?}"
+    );
+}
+
+#[test]
+fn psa014_accepts_textonly_bin_without_trace() {
+    let mut m = shipped();
+    m.artifacts.push(ArtifactInfo {
+        bin: "text_only_report",
+        writes_json: false,
+        trace_exporter: false,
+    });
+    assert!(errors_of(&m, "PSA014").is_empty());
+}
+
+#[test]
+fn psa014_flags_duplicate_bin_registration() {
+    let mut m = shipped();
+    let first = m.artifacts[0].clone();
+    m.artifacts.push(first);
+    let errs = errors_of(&m, "PSA014");
+    assert!(
+        errs.iter().any(|e| e.contains("more than once")),
+        "duplicate registration not flagged: {errs:?}"
+    );
+}
+
+#[test]
+fn psa014_warns_on_empty_registry() {
+    let mut m = shipped();
+    m.artifacts.clear();
+    let warns: Vec<String> = analyze(&m)
+        .by_rule("PSA014")
+        .filter(|d| d.severity == Severity::Warn)
+        .map(|d| format!("{d}"))
+        .collect();
+    assert!(
+        warns.iter().any(|w| w.contains("empty")),
+        "empty registry not warned: {warns:?}"
     );
 }

@@ -22,6 +22,13 @@
 //!   to a fallback search when the database is poisoned.
 //! - [`faultlog`]: the [`FaultLog`] carried by every [`TuneReport`] stating
 //!   what was injected and what was survived.
+//!
+//! Every driver self-profiles into [`TuneReport::profile`] (per-stage
+//! count/total/mean/p95, cache and retry attribution), and
+//! [`Tuner::with_trace`] attaches a `pstack-trace` collector for full span
+//! traces of the loop: one `eval` span per real evaluation (worker id,
+//! config fingerprint, retry/fault verdicts) plus cache-hit, quarantine,
+//! and degradation events on the root span.
 
 #![cfg_attr(test, allow(clippy::disallowed_methods))]
 
@@ -39,4 +46,9 @@ pub use search::{
     AnnealingSearch, ExhaustiveSearch, ForestSearch, HillClimbSearch, RandomSearch, SearchAlgorithm,
 };
 pub use space::{Config, Param, ParamSpace, ParamValue};
-pub use tuner::{CacheStats, Evaluation, TuneError, TuneReport, Tuner};
+pub use tuner::{config_fingerprint, CacheStats, Evaluation, TuneError, TuneReport, Tuner};
+
+// The tracing vocabulary used in this crate's public API, re-exported so
+// downstream crates don't need a direct `pstack-trace` dependency to attach
+// a collector or render a profile.
+pub use pstack_trace::{ProfileSummary, StageStats, TraceCollector};

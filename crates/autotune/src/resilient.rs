@@ -37,13 +37,15 @@ use crate::db::PerfDatabase;
 use crate::faultlog::{FaultKind, FaultLog};
 use crate::search::SearchAlgorithm;
 use crate::space::{Config, ParamSpace};
-use crate::tuner::{CacheStats, Evaluation, TuneError, TuneReport, Tuner};
+use crate::tuner::{config_fingerprint, CacheStats, Evaluation, TuneError, TuneReport, Tuner};
+use pstack_trace::{AttrValue, ProfileBuilder, SpanGuard, SpanId, TraceCollector};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::collections::HashSet;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// Why a single evaluation attempt produced no result.
 #[derive(Debug, Clone, PartialEq)]
@@ -153,6 +155,41 @@ struct ConfigOutcome {
     failed_attempts: usize,
     /// Virtual backoff accounted while retrying, seconds.
     backoff_s: f64,
+    /// Wall time spent across all attempts, seconds (profiling only).
+    dur_s: f64,
+}
+
+impl ConfigOutcome {
+    /// Write this outcome onto its evaluation span: final verdict, attempt
+    /// count, and one event per injected fault (in occurrence order).
+    fn annotate(&self, span: &mut SpanGuard<'_>) {
+        span.attr(
+            "verdict",
+            if self.result.is_some() {
+                "ok"
+            } else {
+                "quarantined"
+            },
+        );
+        span.attr("failed_attempts", self.failed_attempts);
+        if let Some((objective, _)) = &self.result {
+            span.attr("objective", *objective);
+        }
+        for (kind, attempt, _) in &self.events {
+            span.event_with(
+                kind.name(),
+                vec![("attempt".to_string(), AttrValue::from(*attempt))],
+            );
+        }
+    }
+
+    /// Retry waits accounted by the retry loop (the `Retry` events).
+    fn retry_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|(kind, _, _)| *kind == FaultKind::Retry)
+            .count()
+    }
 }
 
 /// Run the retry loop for one configuration. Pure given a deterministic
@@ -163,18 +200,20 @@ fn attempt_config(
     retry: &RetryPolicy,
     evaluate: &mut dyn FnMut(&ParamSpace, &Config, usize) -> Result<Evaluation, EvalError>,
 ) -> ConfigOutcome {
+    let t0 = Instant::now();
     let schedule = retry.schedule();
     let mut out = ConfigOutcome {
         result: None,
         events: Vec::new(),
         failed_attempts: 0,
         backoff_s: 0.0,
+        dur_s: 0.0,
     };
-    for attempt in 0..retry.max_attempts.max(1) {
+    'attempts: for attempt in 0..retry.max_attempts.max(1) {
         match evaluate(space, cfg, attempt) {
             Ok((objective, aux)) if objective.is_finite() => {
                 out.result = Some((objective, aux));
-                return out;
+                break 'attempts;
             }
             Ok((objective, _)) => {
                 out.failed_attempts += 1;
@@ -206,6 +245,7 @@ fn attempt_config(
             ));
         }
     }
+    out.dur_s = t0.elapsed().as_secs_f64();
     out
 }
 
@@ -347,6 +387,8 @@ impl Tuner {
         mut evaluate: impl FnMut(&ParamSpace, &Config, usize) -> Result<Evaluation, EvalError>,
     ) -> Result<TuneReport, TuneError> {
         self.preflight()?;
+        let mut profile = ProfileBuilder::new();
+        let mut root = self.open_root("tuner.run_resilient", algorithm.name());
         let mut db = self.warm_start.clone().unwrap_or_default();
         let prior_len = db.len();
         let mut cache = self.prior_cache(&db);
@@ -361,7 +403,10 @@ impl Tuner {
             } else {
                 &mut *algorithm
             };
-            let Some(cfg) = active.suggest(&self.space, &db, &mut rng) else {
+            let t_suggest = Instant::now();
+            let suggestion = active.suggest(&self.space, &db, &mut rng);
+            profile.sample("suggest", t_suggest.elapsed().as_secs_f64());
+            let Some(cfg) = suggestion else {
                 break; // strategy exhausted
             };
             self.check_valid(active, &cfg)?;
@@ -371,6 +416,15 @@ impl Tuner {
                     format!("eval {}", state.fresh_idx),
                     format!("config {cfg:?} re-suggested while quarantined"),
                 );
+                if let Some(root) = root.as_mut() {
+                    root.event_with(
+                        "quarantine_skip",
+                        vec![(
+                            "config".to_string(),
+                            AttrValue::Str(config_fingerprint(&cfg)),
+                        )],
+                    );
+                }
                 consecutive_dups += 1;
                 if consecutive_dups >= self.max_consecutive_duplicates {
                     break;
@@ -379,6 +433,15 @@ impl Tuner {
             }
             if cache.contains_key(&cfg) {
                 state.stats.hits += 1;
+                if let Some(root) = root.as_mut() {
+                    root.event_with(
+                        "cache_hit",
+                        vec![(
+                            "config".to_string(),
+                            AttrValue::Str(config_fingerprint(&cfg)),
+                        )],
+                    );
+                }
                 consecutive_dups += 1;
                 if consecutive_dups >= self.max_consecutive_duplicates {
                     break;
@@ -386,7 +449,19 @@ impl Tuner {
                 continue;
             }
             consecutive_dups = 0;
+            let mut span = root.as_ref().map(|r| {
+                let mut s = r.child("eval");
+                s.attr("worker", 0usize);
+                s.attr("config", config_fingerprint(&cfg));
+                s
+            });
             let outcome = attempt_config(&self.space, &cfg, &robustness.retry, &mut evaluate);
+            profile.sample("evaluate", outcome.dur_s);
+            profile.retries(outcome.retry_count());
+            if let Some(s) = span.as_mut() {
+                outcome.annotate(s);
+            }
+            drop(span);
             if let Some((objective, aux)) = state.absorb(&cfg, outcome) {
                 state.stats.misses += 1;
                 cache.insert(cfg.clone(), (objective, aux.clone()));
@@ -402,6 +477,17 @@ impl Tuner {
                             fallback.as_deref().map(|f| f.name()).unwrap_or("?")
                         ),
                     );
+                    if let Some(root) = root.as_mut() {
+                        root.event_with(
+                            "search_degraded",
+                            vec![(
+                                "fallback".to_string(),
+                                AttrValue::Str(
+                                    fallback.as_deref().map(|f| f.name()).unwrap_or("?").into(),
+                                ),
+                            )],
+                        );
+                    }
                 }
             }
             if state.budget_spent() {
@@ -417,8 +503,14 @@ impl Tuner {
             db,
             prior_len,
             state.stats,
+            profile,
         )?;
         report.faults = state.faults;
+        if let Some(root) = root.as_mut() {
+            root.attr("evals", report.evals);
+            root.attr("best_objective", report.best_objective);
+            root.attr("degraded", state.degraded);
+        }
         Ok(report)
     }
 
@@ -449,6 +541,12 @@ impl Tuner {
     ) -> Result<TuneReport, TuneError> {
         assert!(workers > 0, "need at least one worker");
         self.preflight()?;
+        let mut profile = ProfileBuilder::new();
+        let mut root = self.open_root("tuner.run_parallel_resilient", algorithm.name());
+        if let Some(root) = root.as_mut() {
+            root.attr("workers", workers);
+            root.attr("batch_size", self.batch_size);
+        }
         let mut db = self.warm_start.clone().unwrap_or_default();
         let prior_len = db.len();
         let mut cache = self.prior_cache(&db);
@@ -464,7 +562,17 @@ impl Tuner {
             } else {
                 &mut *algorithm
             };
-            let mut proposals = active.suggest_batch(&self.space, &db, &mut rng, want);
+            let mut proposals = {
+                let _span = root.as_ref().map(|r| {
+                    let mut s = r.child("suggest_batch");
+                    s.attr("want", want);
+                    s
+                });
+                let t_suggest = Instant::now();
+                let proposals = active.suggest_batch(&self.space, &db, &mut rng, want);
+                profile.sample("suggest", t_suggest.elapsed().as_secs_f64());
+                proposals
+            };
             if proposals.is_empty() {
                 break; // strategy exhausted
             }
@@ -479,9 +587,27 @@ impl Tuner {
                         format!("eval {}", state.fresh_idx),
                         format!("config {cfg:?} re-suggested while quarantined"),
                     );
+                    if let Some(root) = root.as_mut() {
+                        root.event_with(
+                            "quarantine_skip",
+                            vec![(
+                                "config".to_string(),
+                                AttrValue::Str(config_fingerprint(&cfg)),
+                            )],
+                        );
+                    }
                     consecutive_dups += 1;
                 } else if cache.contains_key(&cfg) || fresh.contains(&cfg) {
                     state.stats.hits += 1;
+                    if let Some(root) = root.as_mut() {
+                        root.event_with(
+                            "cache_hit",
+                            vec![(
+                                "config".to_string(),
+                                AttrValue::Str(config_fingerprint(&cfg)),
+                            )],
+                        );
+                    }
                     consecutive_dups += 1;
                 } else {
                     consecutive_dups = 0;
@@ -495,14 +621,21 @@ impl Tuner {
             }
             // Retry loops run inside each worker's slot; outcomes surface in
             // suggestion order regardless of which worker finished first.
+            let trace = match (self.trace.as_deref(), root.as_ref()) {
+                (Some(t), Some(r)) => Some((t, r.id())),
+                _ => None,
+            };
             let outcomes = evaluate_batch_resilient(
                 &self.space,
                 &fresh,
                 &robustness.retry,
                 workers,
                 &evaluate,
+                trace,
             );
             for (cfg, outcome) in fresh.iter().zip(outcomes) {
+                profile.sample("evaluate", outcome.dur_s);
+                profile.retries(outcome.retry_count());
                 if let Some((objective, aux)) = state.absorb(cfg, outcome) {
                     state.stats.misses += 1;
                     cache.insert(cfg.clone(), (objective, aux.clone()));
@@ -518,6 +651,17 @@ impl Tuner {
                                 fallback.as_deref().map(|f| f.name()).unwrap_or("?")
                             ),
                         );
+                        if let Some(root) = root.as_mut() {
+                            root.event_with(
+                                "search_degraded",
+                                vec![(
+                                    "fallback".to_string(),
+                                    AttrValue::Str(
+                                        fallback.as_deref().map(|f| f.name()).unwrap_or("?").into(),
+                                    ),
+                                )],
+                            );
+                        }
                     }
                 }
             }
@@ -534,37 +678,59 @@ impl Tuner {
             db,
             prior_len,
             state.stats,
+            profile,
         )?;
         report.faults = state.faults;
+        if let Some(root) = root.as_mut() {
+            root.attr("evals", report.evals);
+            root.attr("best_objective", report.best_objective);
+            root.attr("degraded", state.degraded);
+        }
         Ok(report)
     }
 }
 
 /// Run the retry loop for every fresh configuration on up to `workers`
-/// scoped threads; outcomes return in suggestion order.
+/// scoped threads; outcomes return in suggestion order. With a trace
+/// target, each configuration records an `eval` span (worker id, config
+/// fingerprint, verdict, one event per injected fault).
 fn evaluate_batch_resilient(
     space: &ParamSpace,
     fresh: &[Config],
     retry: &RetryPolicy,
     workers: usize,
     evaluate: &(impl Fn(&ParamSpace, &Config, usize) -> Result<Evaluation, EvalError> + Sync),
+    trace: Option<(&TraceCollector, SpanId)>,
 ) -> Vec<ConfigOutcome> {
-    let run_one = |cfg: &Config| {
-        attempt_config(space, cfg, retry, &mut |s, c, attempt| {
+    let run_one = |cfg: &Config, worker: usize| {
+        let mut span = trace.map(|(t, parent)| {
+            let mut s = t.child("eval", parent);
+            s.attr("worker", worker);
+            s.attr("config", config_fingerprint(cfg));
+            s
+        });
+        let out = attempt_config(space, cfg, retry, &mut |s, c, attempt| {
             evaluate(s, c, attempt)
-        })
+        });
+        if let Some(s) = span.as_mut() {
+            out.annotate(s);
+        }
+        out
     };
     if workers == 1 || fresh.len() <= 1 {
-        return fresh.iter().map(run_one).collect();
+        return fresh.iter().map(|cfg| run_one(cfg, 0)).collect();
     }
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<ConfigOutcome>>> = fresh.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
-        for _ in 0..workers.min(fresh.len()) {
-            scope.spawn(|| loop {
+        for worker in 0..workers.min(fresh.len()) {
+            let next = &next;
+            let slots = &slots;
+            let run_one = &run_one;
+            scope.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(cfg) = fresh.get(i) else { break };
-                let out = run_one(cfg);
+                let out = run_one(cfg, worker);
                 *slots[i].lock().expect("no worker panicked") = Some(out);
             });
         }
@@ -594,6 +760,91 @@ mod tests {
 
     fn bowl(c: &Config) -> f64 {
         (c[0] as f64 - 6.0).powi(2) + (c[1] as f64 - 2.0).powi(2)
+    }
+
+    #[test]
+    fn resilient_drivers_profile_retries() {
+        use std::cell::Cell;
+        // Every config fails its first attempt and succeeds on retry, so the
+        // profile must attribute exactly one retry per distinct config.
+        let seen = Cell::new(0usize);
+        let mut attempts: HashMap<String, usize> = HashMap::new();
+        let report = Tuner::new(space())
+            .max_evals(8)
+            .seed(1)
+            .run_resilient(
+                &mut RandomSearch::new(),
+                None,
+                &Robustness::default(),
+                |_, c, _| {
+                    seen.set(seen.get() + 1);
+                    let n = attempts.entry(format!("{c:?}")).or_insert(0);
+                    *n += 1;
+                    if *n == 1 {
+                        Err(EvalError::Failed("first attempt flakes".into()))
+                    } else {
+                        Ok((bowl(c), HashMap::new()))
+                    }
+                },
+            )
+            .unwrap();
+        assert!(!report.profile.is_empty());
+        assert_eq!(report.profile.retries, report.cache.misses);
+        assert_eq!(report.profile.retries, report.faults.counts.retries);
+        assert_eq!(
+            report.profile.stages["evaluate"].count, report.cache.misses,
+            "one evaluate sample per configuration, retries folded in"
+        );
+    }
+
+    #[test]
+    fn parallel_resilient_traces_fault_verdicts() {
+        use pstack_trace::{AttrValue, TraceCollector};
+        use std::sync::Arc;
+        let collector = Arc::new(TraceCollector::new());
+        // Configs with even x fail permanently; the rest succeed.
+        let report = Tuner::new(space())
+            .max_evals(12)
+            .seed(5)
+            .with_trace(Arc::clone(&collector))
+            .run_parallel_resilient(
+                &mut RandomSearch::new(),
+                None,
+                &Robustness::default(),
+                4,
+                |_, c, _| {
+                    if c[0] % 2 == 0 {
+                        Err(EvalError::Failed("even x always crashes".into()))
+                    } else {
+                        Ok((bowl(c), HashMap::new()))
+                    }
+                },
+            )
+            .unwrap();
+        let trace = collector.snapshot();
+        let root = trace
+            .by_name("tuner.run_parallel_resilient")
+            .next()
+            .expect("root span recorded");
+        assert_eq!(root.attr("workers"), Some(&AttrValue::Int(4)));
+        let evals: Vec<_> = trace.by_name("eval").collect();
+        // One span per attempted config: successes count as cache misses,
+        // permanently failing configs end up quarantined instead.
+        assert_eq!(
+            evals.len(),
+            report.cache.misses + report.faults.counts.quarantined
+        );
+        let quarantined = evals
+            .iter()
+            .filter(|s| s.attr("verdict") == Some(&AttrValue::Str("quarantined".into())))
+            .count();
+        assert_eq!(quarantined, report.faults.counts.quarantined);
+        assert!(
+            evals
+                .iter()
+                .all(|s| s.attr("verdict").is_some() && s.attr("worker").is_some()),
+            "every eval span carries a fault verdict and worker id"
+        );
     }
 
     #[test]

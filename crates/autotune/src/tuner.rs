@@ -19,13 +19,25 @@ use crate::db::PerfDatabase;
 use crate::faultlog::FaultLog;
 use crate::search::SearchAlgorithm;
 use crate::space::{Config, ParamSpace};
+use pstack_trace::{AttrValue, ProfileBuilder, ProfileSummary, SpanId, TraceCollector};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Stable 16-hex-digit fingerprint of a configuration, used as the `config`
+/// attribute on trace spans (FNV-1a over the index vector).
+pub fn config_fingerprint(cfg: &Config) -> String {
+    let mut bytes = Vec::with_capacity(cfg.len() * 8);
+    for &v in cfg {
+        bytes.extend_from_slice(&(v as u64).to_le_bytes());
+    }
+    format!("{:016x}", pstack_trace::hash64(&bytes))
+}
 
 /// The outcome of evaluating one configuration: the objective being
 /// minimized plus named auxiliary metrics (e.g. power, energy).
@@ -94,7 +106,7 @@ impl std::error::Error for TuneError {}
 /// Serializes deterministically (the vendored serde sorts map keys), so two
 /// identically-seeded runs render byte-identical JSON — the replayability
 /// contract the chaos suite asserts.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TuneReport {
     /// Algorithm name (the *active* algorithm: the fallback's name when a
     /// resilient run degraded).
@@ -114,6 +126,52 @@ pub struct TuneReport {
     /// populated by [`Tuner::run_resilient`] /
     /// [`Tuner::run_parallel_resilient`].
     pub faults: FaultLog,
+    /// Where the run spent its time: per-stage count/total/mean/p95 plus
+    /// cache and retry attribution. Populated by every driver.
+    ///
+    /// **Not serialized**: timing is a wall-clock measurement, so including
+    /// it would break the byte-identical-replay contract (and the golden
+    /// artifacts' tolerance). Render it via
+    /// [`ProfileSummary::render`]/[`ProfileSummary::to_json`]; a
+    /// deserialized report carries an empty summary.
+    pub profile: ProfileSummary,
+}
+
+// Manual serde impls: exactly the seven canonical fields, in declaration
+// order, matching what the derive produced before `profile` existed. The
+// vendored serde has no `#[serde(skip)]`, and `profile` must stay out of
+// the canonical JSON (see its doc comment).
+impl Serialize for TuneReport {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("algorithm".to_string(), self.algorithm.to_value()),
+            ("db".to_string(), self.db.to_value()),
+            ("best_config".to_string(), self.best_config.to_value()),
+            ("best_objective".to_string(), self.best_objective.to_value()),
+            ("evals".to_string(), self.evals.to_value()),
+            ("cache".to_string(), self.cache.to_value()),
+            ("faults".to_string(), self.faults.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for TuneReport {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let field = |k: &str| {
+            v.get(k)
+                .ok_or_else(|| serde::Error::msg(format!("TuneReport missing field `{k}`")))
+        };
+        Ok(TuneReport {
+            algorithm: String::from_value(field("algorithm")?)?,
+            db: PerfDatabase::from_value(field("db")?)?,
+            best_config: Config::from_value(field("best_config")?)?,
+            best_objective: f64::from_value(field("best_objective")?)?,
+            evals: usize::from_value(field("evals")?)?,
+            cache: CacheStats::from_value(field("cache")?)?,
+            faults: FaultLog::from_value(field("faults")?)?,
+            profile: ProfileSummary::default(),
+        })
+    }
 }
 
 /// The tuning loop driver.
@@ -147,6 +205,7 @@ pub struct Tuner {
     pub(crate) warm_start: Option<PerfDatabase>,
     pub(crate) max_consecutive_duplicates: usize,
     pub(crate) batch_size: usize,
+    pub(crate) trace: Option<Arc<TraceCollector>>,
 }
 
 impl Tuner {
@@ -173,7 +232,19 @@ impl Tuner {
             warm_start: None,
             max_consecutive_duplicates: Self::DEFAULT_MAX_CONSECUTIVE_DUPLICATES,
             batch_size: Self::DEFAULT_BATCH_SIZE,
+            trace: None,
         }
+    }
+
+    /// Attach a trace collector: every driver then records a root span, one
+    /// `eval` span per real evaluation (worker id, config fingerprint,
+    /// objective, retry/fault attribution), and cache-hit events. Tracing
+    /// never changes the search trajectory — an untraced run is merely
+    /// unobserved. The [`TuneReport::profile`] summary is populated with or
+    /// without a collector.
+    pub fn with_trace(mut self, collector: Arc<TraceCollector>) -> Self {
+        self.trace = Some(collector);
+        self
     }
 
     /// Seed the run with a prior performance database (transfer from earlier
@@ -235,6 +306,22 @@ impl Tuner {
         &self.space
     }
 
+    /// Open the driver's root span on the attached collector, if any, with
+    /// the attributes every driver shares.
+    pub(crate) fn open_root(
+        &self,
+        driver: &str,
+        algorithm: &str,
+    ) -> Option<pstack_trace::SpanGuard<'_>> {
+        self.trace.as_deref().map(|t| {
+            let mut s = t.span(driver);
+            s.attr("algorithm", algorithm);
+            s.attr("seed", self.seed);
+            s.attr("max_evals", self.max_evals);
+            s
+        })
+    }
+
     /// Run the loop serially. `evaluate` maps a configuration to
     /// `(objective, aux)`; the objective is minimized.
     ///
@@ -253,6 +340,8 @@ impl Tuner {
         mut evaluate: impl FnMut(&ParamSpace, &Config) -> (f64, HashMap<String, f64>),
     ) -> Result<TuneReport, TuneError> {
         self.preflight()?;
+        let mut profile = ProfileBuilder::new();
+        let mut root = self.open_root("tuner.run", algorithm.name());
         let mut db = self.warm_start.clone().unwrap_or_default();
         let prior_len = db.len();
         let mut cache = self.prior_cache(&db);
@@ -260,12 +349,24 @@ impl Tuner {
         let mut rng = SmallRng::seed_from_u64(self.seed);
         let mut consecutive_dups = 0;
         while db.len() - prior_len < self.max_evals {
-            let Some(cfg) = algorithm.suggest(&self.space, &db, &mut rng) else {
+            let t_suggest = Instant::now();
+            let suggestion = algorithm.suggest(&self.space, &db, &mut rng);
+            profile.sample("suggest", t_suggest.elapsed().as_secs_f64());
+            let Some(cfg) = suggestion else {
                 break; // strategy exhausted (e.g. grid complete)
             };
             self.check_valid(algorithm, &cfg)?;
             if cache.contains_key(&cfg) {
                 stats.hits += 1;
+                if let Some(root) = root.as_mut() {
+                    root.event_with(
+                        "cache_hit",
+                        vec![(
+                            "config".to_string(),
+                            AttrValue::Str(config_fingerprint(&cfg)),
+                        )],
+                    );
+                }
                 consecutive_dups += 1;
                 if consecutive_dups >= self.max_consecutive_duplicates {
                     break;
@@ -274,11 +375,28 @@ impl Tuner {
             }
             consecutive_dups = 0;
             stats.misses += 1;
+            let mut span = root.as_ref().map(|r| {
+                let mut s = r.child("eval");
+                s.attr("worker", 0usize);
+                s.attr("config", config_fingerprint(&cfg));
+                s
+            });
+            let t_eval = Instant::now();
             let (objective, aux) = evaluate(&self.space, &cfg);
+            profile.sample("evaluate", t_eval.elapsed().as_secs_f64());
+            if let Some(s) = span.as_mut() {
+                s.attr("objective", objective);
+            }
+            drop(span);
             cache.insert(cfg.clone(), (objective, aux.clone()));
             db.record(cfg, objective, aux);
         }
-        self.report(algorithm, db, prior_len, stats)
+        let report = self.report(algorithm, db, prior_len, stats, profile);
+        if let (Some(root), Ok(report)) = (root.as_mut(), &report) {
+            root.attr("evals", report.evals);
+            root.attr("best_objective", report.best_objective);
+        }
+        report
     }
 
     /// Run the loop with batched suggestions and a pool of `workers` threads
@@ -333,6 +451,12 @@ impl Tuner {
     ) -> Result<TuneReport, TuneError> {
         assert!(workers > 0, "need at least one worker");
         self.preflight()?;
+        let mut profile = ProfileBuilder::new();
+        let mut root = self.open_root("tuner.run_parallel", algorithm.name());
+        if let Some(root) = root.as_mut() {
+            root.attr("workers", workers);
+            root.attr("batch_size", self.batch_size);
+        }
         let mut db = self.warm_start.clone().unwrap_or_default();
         let prior_len = db.len();
         let mut cache = self.prior_cache(&db);
@@ -341,7 +465,17 @@ impl Tuner {
         let mut consecutive_dups = 0;
         while db.len() - prior_len < self.max_evals {
             let want = self.batch_size.min(self.max_evals - (db.len() - prior_len));
-            let mut proposals = algorithm.suggest_batch(&self.space, &db, &mut rng, want);
+            let mut proposals = {
+                let _span = root.as_ref().map(|r| {
+                    let mut s = r.child("suggest_batch");
+                    s.attr("want", want);
+                    s
+                });
+                let t_suggest = Instant::now();
+                let proposals = algorithm.suggest_batch(&self.space, &db, &mut rng, want);
+                profile.sample("suggest", t_suggest.elapsed().as_secs_f64());
+                proposals
+            };
             if proposals.is_empty() {
                 break; // strategy exhausted (e.g. grid complete)
             }
@@ -358,6 +492,15 @@ impl Tuner {
                 self.check_valid(algorithm, &cfg)?;
                 if cache.contains_key(&cfg) || fresh.contains(&cfg) {
                     stats.hits += 1;
+                    if let Some(root) = root.as_mut() {
+                        root.event_with(
+                            "cache_hit",
+                            vec![(
+                                "config".to_string(),
+                                AttrValue::Str(config_fingerprint(&cfg)),
+                            )],
+                        );
+                    }
                     consecutive_dups += 1;
                     if consecutive_dups >= self.max_consecutive_duplicates {
                         exhausted = true;
@@ -368,8 +511,15 @@ impl Tuner {
                     fresh.push(cfg);
                 }
             }
-            for (cfg, (objective, aux)) in self.evaluate_batch(&fresh, workers, &evaluate) {
+            let trace = match (self.trace.as_deref(), root.as_ref()) {
+                (Some(t), Some(r)) => Some((t, r.id())),
+                _ => None,
+            };
+            for (cfg, (objective, aux), dur_s) in
+                self.evaluate_batch(&fresh, workers, &evaluate, trace)
+            {
                 stats.misses += 1;
+                profile.sample("evaluate", dur_s);
                 cache.insert(cfg.clone(), (objective, aux.clone()));
                 db.record(cfg, objective, aux);
             }
@@ -377,30 +527,56 @@ impl Tuner {
                 break;
             }
         }
-        self.report(algorithm, db, prior_len, stats)
+        let report = self.report(algorithm, db, prior_len, stats, profile);
+        if let (Some(root), Ok(report)) = (root.as_mut(), &report) {
+            root.attr("evals", report.evals);
+            root.attr("best_objective", report.best_objective);
+        }
+        report
     }
 
     /// Evaluate `fresh` on up to `workers` scoped threads, returning results
-    /// paired with their configurations *in suggestion order* — recording
-    /// order is therefore independent of which worker finished first.
+    /// paired with their configurations and per-evaluation durations *in
+    /// suggestion order* — recording order is therefore independent of which
+    /// worker finished first. With a trace target, each evaluation records
+    /// an `eval` span (worker id, config fingerprint, objective).
     fn evaluate_batch(
         &self,
         fresh: &[Config],
         workers: usize,
         evaluate: &(impl Fn(&ParamSpace, &Config) -> (f64, HashMap<String, f64>) + Sync),
-    ) -> Vec<(Config, Evaluation)> {
-        let outputs: Vec<Evaluation> = if workers == 1 || fresh.len() <= 1 {
-            fresh.iter().map(|cfg| evaluate(&self.space, cfg)).collect()
+        trace: Option<(&TraceCollector, SpanId)>,
+    ) -> Vec<(Config, Evaluation, f64)> {
+        let eval_traced = |cfg: &Config, worker: usize| {
+            let mut span = trace.map(|(t, parent)| {
+                let mut s = t.child("eval", parent);
+                s.attr("worker", worker);
+                s.attr("config", config_fingerprint(cfg));
+                s
+            });
+            let t_eval = Instant::now();
+            let out = evaluate(&self.space, cfg);
+            let dur_s = t_eval.elapsed().as_secs_f64();
+            if let Some(s) = span.as_mut() {
+                s.attr("objective", out.0);
+            }
+            (out, dur_s)
+        };
+        let outputs: Vec<(Evaluation, f64)> = if workers == 1 || fresh.len() <= 1 {
+            fresh.iter().map(|cfg| eval_traced(cfg, 0)).collect()
         } else {
             let next = AtomicUsize::new(0);
-            let slots: Vec<Mutex<Option<Evaluation>>> =
+            let slots: Vec<Mutex<Option<(Evaluation, f64)>>> =
                 fresh.iter().map(|_| Mutex::new(None)).collect();
             std::thread::scope(|scope| {
-                for _ in 0..workers.min(fresh.len()) {
-                    scope.spawn(|| loop {
+                for worker in 0..workers.min(fresh.len()) {
+                    let next = &next;
+                    let slots = &slots;
+                    let eval_traced = &eval_traced;
+                    scope.spawn(move || loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(cfg) = fresh.get(i) else { break };
-                        let out = evaluate(&self.space, cfg);
+                        let out = eval_traced(cfg, worker);
                         *slots[i].lock().expect("no worker panicked") = Some(out);
                     });
                 }
@@ -414,7 +590,12 @@ impl Tuner {
                 })
                 .collect()
         };
-        fresh.iter().cloned().zip(outputs).collect()
+        fresh
+            .iter()
+            .cloned()
+            .zip(outputs)
+            .map(|(cfg, (out, dur_s))| (cfg, out, dur_s))
+            .collect()
     }
 
     /// Memoized results for warm-start priors (suggesting one is a hit, not
@@ -472,12 +653,17 @@ impl Tuner {
         db: PerfDatabase,
         prior_len: usize,
         stats: CacheStats,
+        mut profile: ProfileBuilder,
     ) -> Result<TuneReport, TuneError> {
         let Some(best) = db.best().cloned() else {
             return Err(TuneError::NoEvaluations {
                 algorithm: algorithm.name().to_string(),
             });
         };
+        // Cache attribution mirrors the canonical counters exactly, so the
+        // profile agrees with `TuneReport::cache` on every driver.
+        profile.cache_hits(stats.hits);
+        profile.cache_misses(stats.misses);
         Ok(TuneReport {
             algorithm: algorithm.name().to_string(),
             // Fresh evaluations only; warm-start priors are free.
@@ -487,6 +673,7 @@ impl Tuner {
             db,
             cache: stats,
             faults: FaultLog::default(),
+            profile: profile.finish(),
         })
     }
 }
@@ -777,6 +964,108 @@ mod tests {
             );
             assert!(err.to_string().contains("no evaluations"));
         }
+    }
+
+    #[test]
+    fn every_fault_free_driver_populates_the_profile() {
+        let tuner = Tuner::new(space()).max_evals(15).seed(4);
+        let serial = tuner.run(&mut RandomSearch::new(), bowl).unwrap();
+        let parallel = tuner
+            .run_parallel(&mut RandomSearch::new(), 4, bowl)
+            .unwrap();
+        for (label, report) in [("run", &serial), ("run_parallel", &parallel)] {
+            assert!(!report.profile.is_empty(), "{label}: profile populated");
+            assert!(report.profile.wall_s > 0.0, "{label}: wall clock ran");
+            assert_eq!(
+                report.profile.stages["evaluate"].count, report.cache.misses,
+                "{label}: one evaluate sample per real evaluation"
+            );
+            assert_eq!(report.profile.cache_hits, report.cache.hits, "{label}");
+            assert_eq!(report.profile.cache_misses, report.cache.misses, "{label}");
+            assert!(report.profile.stages.contains_key("suggest"), "{label}");
+        }
+    }
+
+    #[test]
+    fn profile_stays_out_of_the_canonical_json() {
+        let report = Tuner::new(space())
+            .max_evals(5)
+            .seed(1)
+            .run(&mut RandomSearch::new(), bowl)
+            .unwrap();
+        assert!(!report.profile.is_empty());
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(
+            !json.contains("profile") && !json.contains("wall_s"),
+            "profile must not leak into the replay-stable JSON"
+        );
+        let back: TuneReport = serde_json::from_str(&json).unwrap();
+        assert!(back.profile.is_empty(), "deserialized profile is empty");
+        assert_eq!(back.cache, report.cache);
+        assert_eq!(back.best_config, report.best_config);
+    }
+
+    #[test]
+    fn attached_collector_records_the_loop() {
+        use std::sync::Arc;
+        let collector = Arc::new(pstack_trace::TraceCollector::new());
+        let report = Tuner::new(space())
+            .max_evals(10)
+            .seed(3)
+            .with_trace(Arc::clone(&collector))
+            .run_parallel(&mut RandomSearch::new(), 4, bowl)
+            .unwrap();
+        let trace = collector.snapshot();
+        let root = trace
+            .by_name("tuner.run_parallel")
+            .next()
+            .expect("root span recorded");
+        assert_eq!(
+            root.attr("algorithm"),
+            Some(&AttrValue::Str("random".into()))
+        );
+        assert_eq!(root.attr("workers"), Some(&AttrValue::Int(4)));
+        let evals: Vec<_> = trace.by_name("eval").collect();
+        assert_eq!(evals.len(), report.cache.misses, "one span per real eval");
+        for eval in &evals {
+            assert_eq!(eval.parent, Some(root.id));
+            assert!(eval.attr("worker").is_some());
+            assert!(eval.attr("config").is_some());
+            assert!(eval.attr("objective").is_some());
+        }
+        assert!(trace.by_name("suggest_batch").next().is_some());
+    }
+
+    #[test]
+    fn tracing_never_changes_the_search_trajectory() {
+        use std::sync::Arc;
+        let collector = Arc::new(pstack_trace::TraceCollector::new());
+        let untraced = Tuner::new(space())
+            .max_evals(20)
+            .seed(9)
+            .run_parallel(&mut ForestSearch::new(), 4, bowl)
+            .unwrap();
+        let traced = Tuner::new(space())
+            .max_evals(20)
+            .seed(9)
+            .with_trace(collector)
+            .run_parallel(&mut ForestSearch::new(), 4, bowl)
+            .unwrap();
+        assert_eq!(untraced.db.observations(), traced.db.observations());
+        assert_eq!(untraced.cache, traced.cache);
+    }
+
+    #[test]
+    fn config_fingerprints_are_stable_and_distinct() {
+        assert_eq!(
+            config_fingerprint(&vec![1, 2]),
+            config_fingerprint(&vec![1, 2])
+        );
+        assert_ne!(
+            config_fingerprint(&vec![1, 2]),
+            config_fingerprint(&vec![2, 1])
+        );
+        assert_eq!(config_fingerprint(&vec![1, 2]).len(), 16);
     }
 
     #[test]

@@ -14,14 +14,17 @@ struct All {
 
 fn main() {
     pstack_analyze::startup_gate();
-    let a1 = pstack_bench::timed("A1 malleability", || {
-        ablations::malleability(&[2, 5, 10, 20, 40], 16, 600.0, 20200910)
-    });
-    let a2 = pstack_bench::timed("A2 static variants", || {
-        ablations::static_variants(&[0.0, 320.0, 260.0, 220.0], 20200911)
-    });
-    let a3 = pstack_bench::timed("A3 overprovisioning", || {
-        ablations::overprovisioning(&[4, 6, 8, 10, 12, 16], 4.0 * 450.0, 8, 80.0, 20200912)
+    let (a1, a2, a3) = pstack_bench::traced("ablations", |_tc| {
+        let a1 = pstack_bench::timed("A1 malleability", || {
+            ablations::malleability(&[2, 5, 10, 20, 40], 16, 600.0, 20200910)
+        });
+        let a2 = pstack_bench::timed("A2 static variants", || {
+            ablations::static_variants(&[0.0, 320.0, 260.0, 220.0], 20200911)
+        });
+        let a3 = pstack_bench::timed("A3 overprovisioning", || {
+            ablations::overprovisioning(&[4, 6, 8, 10, 12, 16], 4.0 * 450.0, 8, 80.0, 20200912)
+        });
+        (a1, a2, a3)
     });
     let rendered = ablations::render(&a1, &a2, &a3);
     pstack_bench::emit("ablations", &rendered, &All { a1, a2, a3 });

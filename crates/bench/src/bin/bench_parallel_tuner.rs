@@ -49,14 +49,21 @@ struct ParallelBenchResult {
     best_objective: f64,
 }
 
-fn compare(cotune: &HypreCoTune, launch_latency: Option<Duration>) -> (Comparison, TuneReport) {
+fn compare(
+    cotune: &HypreCoTune,
+    launch_latency: Option<Duration>,
+    trace: &std::sync::Arc<pstack_autotune::TraceCollector>,
+) -> (Comparison, TuneReport) {
     let evaluate = |space: &pstack_autotune::ParamSpace, cfg: &pstack_autotune::Config| {
         if let Some(lat) = launch_latency {
             std::thread::sleep(lat);
         }
         cotune.evaluate(space, cfg)
     };
-    let tuner = Tuner::new(cotune.space()).max_evals(MAX_EVALS).seed(SEED);
+    let tuner = Tuner::new(cotune.space())
+        .max_evals(MAX_EVALS)
+        .seed(SEED)
+        .with_trace(std::sync::Arc::clone(trace));
 
     let t0 = Instant::now();
     let serial = tuner
@@ -85,9 +92,13 @@ fn compare(cotune: &HypreCoTune, launch_latency: Option<Duration>) -> (Compariso
 fn main() {
     pstack_analyze::startup_gate();
     let cotune = HypreCoTune::new(Objective::MinTime);
-    let (compute_only, _) = pstack_bench::timed("compute_only", || compare(&cotune, None));
-    let (plopper, report) =
-        pstack_bench::timed("plopper", || compare(&cotune, Some(LAUNCH_LATENCY)));
+    let ((compute_only, _), (plopper, report)) =
+        pstack_bench::traced("bench_parallel_tuner", |tc| {
+            let compute = pstack_bench::timed("compute_only", || compare(&cotune, None, tc));
+            let plopper =
+                pstack_bench::timed("plopper", || compare(&cotune, Some(LAUNCH_LATENCY), tc));
+            (compute, plopper)
+        });
 
     let r = ParallelBenchResult {
         max_evals: MAX_EVALS,

@@ -2,6 +2,8 @@
 use powerstack_core::experiments::emergency;
 fn main() {
     pstack_analyze::startup_gate();
-    let r = pstack_bench::timed("E1", emergency::run_default);
+    let r = pstack_bench::traced("ext_emergency", |_tc| {
+        pstack_bench::timed("E1", emergency::run_default)
+    });
     pstack_bench::emit("ext_emergency", &emergency::render(&r), &r);
 }

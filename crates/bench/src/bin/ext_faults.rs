@@ -2,6 +2,8 @@
 use powerstack_core::experiments::faults;
 fn main() {
     pstack_analyze::startup_gate();
-    let r = pstack_bench::timed("E6", faults::run_default);
+    let r = pstack_bench::traced("ext_faults", |_tc| {
+        pstack_bench::timed("E6", faults::run_default)
+    });
     pstack_bench::emit("ext_faults", &faults::render(&r), &r);
 }

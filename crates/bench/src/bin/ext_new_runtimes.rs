@@ -57,18 +57,21 @@ fn run(variant: &str, seed: u64) -> (f64, f64) {
 fn main() {
     pstack_analyze::startup_gate();
     let seed = 20200915;
-    let (t0, e0) = run("none", seed);
-    let mut rows = Vec::new();
-    for v in ["none", "scavenger", "duty-cycle", "countdown", "all-three"] {
-        let (t, e) = if v == "none" { (t0, e0) } else { run(v, seed) };
-        rows.push(Row {
-            variant: v.to_string(),
-            time_s: t,
-            energy_kj: e / 1e3,
-            saving_pct: 100.0 * (e0 - e) / e0,
-            slowdown_pct: 100.0 * (t - t0) / t0,
-        });
-    }
+    let rows = pstack_bench::traced("ext_new_runtimes", |_tc| {
+        let (t0, e0) = run("none", seed);
+        let mut rows = Vec::new();
+        for v in ["none", "scavenger", "duty-cycle", "countdown", "all-three"] {
+            let (t, e) = if v == "none" { (t0, e0) } else { run(v, seed) };
+            rows.push(Row {
+                variant: v.to_string(),
+                time_s: t,
+                energy_kj: e / 1e3,
+                saving_pct: 100.0 * (e0 - e) / e0,
+                slowdown_pct: 100.0 * (t - t0) / t0,
+            });
+        }
+        rows
+    });
     let mut out = String::from(
         "EXTENSION E3 / COMPOSED RUNTIMES: scavenger + duty-cycle + COUNTDOWN on disjoint knobs\n\
          variant     | time_s | energy_kJ | saving_pct | slowdown_pct\n",

@@ -2,6 +2,8 @@
 use powerstack_core::experiments::thermal;
 fn main() {
     pstack_analyze::startup_gate();
-    let r = pstack_bench::timed("E2", thermal::run_default);
+    let r = pstack_bench::traced("ext_thermal", |_tc| {
+        pstack_bench::timed("E2", thermal::run_default)
+    });
     pstack_bench::emit("ext_thermal", &thermal::render(&r), &r);
 }

@@ -3,6 +3,8 @@
 use powerstack_core::experiments::fig1;
 fn main() {
     pstack_analyze::startup_gate();
-    let r = pstack_bench::timed("fig1", fig1::run_default);
+    let r = pstack_bench::traced("fig1_end_to_end", |tc| {
+        pstack_bench::timed("fig1", || fig1::run_default_traced(tc))
+    });
     pstack_bench::emit("fig1_end_to_end", &fig1::render(&r), &r);
 }

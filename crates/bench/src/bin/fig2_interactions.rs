@@ -3,6 +3,8 @@
 use powerstack_core::experiments::fig2;
 fn main() {
     pstack_analyze::startup_gate();
-    let r = pstack_bench::timed("fig2", fig2::run_default);
+    let r = pstack_bench::traced("fig2_interactions", |_tc| {
+        pstack_bench::timed("fig2", fig2::run_default)
+    });
     pstack_bench::emit("fig2_interactions", &fig2::render(&r), &r);
 }

@@ -2,6 +2,8 @@
 use powerstack_core::experiments::fig3;
 fn main() {
     pstack_analyze::startup_gate();
-    let r = pstack_bench::timed("fig3", fig3::run_default);
+    let r = pstack_bench::traced("fig3_geopm_policy", |_tc| {
+        pstack_bench::timed("fig3", fig3::run_default)
+    });
     pstack_bench::emit("fig3_geopm_policy", &fig3::render(&r), &r);
 }

@@ -2,6 +2,8 @@
 use powerstack_core::experiments::fig4;
 fn main() {
     pstack_analyze::startup_gate();
-    let r = pstack_bench::timed("fig4", fig4::run_default_parallel);
+    let r = pstack_bench::traced("fig4_ytopt_loop", |tc| {
+        pstack_bench::timed("fig4", || fig4::run_default_parallel_traced(tc))
+    });
     pstack_bench::emit("fig4_ytopt_loop", &fig4::render(&r), &r);
 }

@@ -2,6 +2,8 @@
 use powerstack_core::experiments::fig5;
 fn main() {
     pstack_analyze::startup_gate();
-    let r = pstack_bench::timed("fig5", fig5::run_default);
+    let r = pstack_bench::traced("fig5_feti_regions", |_tc| {
+        pstack_bench::timed("fig5", fig5::run_default)
+    });
     pstack_bench::emit("fig5_feti_regions", &fig5::render(&r), &r);
 }

@@ -2,6 +2,8 @@
 use powerstack_core::experiments::fig6;
 fn main() {
     pstack_analyze::startup_gate();
-    let r = pstack_bench::timed("fig6", fig6::run_default);
+    let r = pstack_bench::traced("fig6_power_corridor", |_tc| {
+        pstack_bench::timed("fig6", fig6::run_default)
+    });
     pstack_bench::emit("fig6_power_corridor", &fig6::render(&r), &r);
 }

@@ -31,25 +31,46 @@ fn main() {
     );
 
     println!("\n================ FIGURES ================\n");
-    let r = pstack_bench::timed("fig1", fig1::run_default);
+    // Each figure exports its own Chrome-format trace artifact
+    // (results/trace_<name>.json); fig1 and fig4 carry deep span trees
+    // (scenario control loops, per-eval tuner spans), the rest a stage root.
+    let r = pstack_bench::traced("fig1_end_to_end", |tc| {
+        pstack_bench::timed("fig1", || fig1::run_default_traced(tc))
+    });
     pstack_bench::emit("fig1_end_to_end", &fig1::render(&r), &r);
-    let r = pstack_bench::timed("fig2", fig2::run_default);
+    let r = pstack_bench::traced("fig2_interactions", |_tc| {
+        pstack_bench::timed("fig2", fig2::run_default)
+    });
     pstack_bench::emit("fig2_interactions", &fig2::render(&r), &r);
-    let r = pstack_bench::timed("fig3", fig3::run_default);
+    let r = pstack_bench::traced("fig3_geopm_policy", |_tc| {
+        pstack_bench::timed("fig3", fig3::run_default)
+    });
     pstack_bench::emit("fig3_geopm_policy", &fig3::render(&r), &r);
-    let r = pstack_bench::timed("fig4", fig4::run_default_parallel);
+    let r = pstack_bench::traced("fig4_ytopt_loop", |tc| {
+        pstack_bench::timed("fig4", || fig4::run_default_parallel_traced(tc))
+    });
     pstack_bench::emit("fig4_ytopt_loop", &fig4::render(&r), &r);
-    let r = pstack_bench::timed("fig5", fig5::run_default);
+    let r = pstack_bench::traced("fig5_feti_regions", |_tc| {
+        pstack_bench::timed("fig5", fig5::run_default)
+    });
     pstack_bench::emit("fig5_feti_regions", &fig5::render(&r), &r);
-    let r = pstack_bench::timed("fig6", fig6::run_default);
+    let r = pstack_bench::traced("fig6_power_corridor", |_tc| {
+        pstack_bench::timed("fig6", fig6::run_default)
+    });
     pstack_bench::emit("fig6_power_corridor", &fig6::render(&r), &r);
 
     println!("\n================ USE CASES ================\n");
-    let r = pstack_bench::timed("uc1", uc1::run_default);
+    let r = pstack_bench::traced("uc1_hypre_cotune", |_tc| {
+        pstack_bench::timed("uc1", uc1::run_default)
+    });
     pstack_bench::emit("uc1_hypre_cotune", &uc1::render(&r), &r);
-    let r = pstack_bench::timed("uc6", uc6::run_default);
+    let r = pstack_bench::traced("uc6_countdown", |_tc| {
+        pstack_bench::timed("uc6", uc6::run_default)
+    });
     pstack_bench::emit("uc6_countdown", &uc6::render(&r), &r);
-    let r = pstack_bench::timed("uc7", uc7::run_default);
+    let r = pstack_bench::traced("uc7_two_runtimes", |_tc| {
+        pstack_bench::timed("uc7", uc7::run_default)
+    });
     pstack_bench::emit("uc7_two_runtimes", &uc7::render(&r), &r);
 
     println!("\n================ ABLATIONS ================\n");
@@ -68,11 +89,17 @@ fn main() {
     std::fs::write(pstack_bench::results_dir().join("ablations.txt"), txt).ok();
 
     println!("\n================ EXTENSIONS ================\n");
-    let r = pstack_bench::timed("E1", emergency::run_default);
+    let r = pstack_bench::traced("ext_emergency", |_tc| {
+        pstack_bench::timed("E1", emergency::run_default)
+    });
     pstack_bench::emit("ext_emergency", &emergency::render(&r), &r);
-    let r = pstack_bench::timed("E2", thermal::run_default);
+    let r = pstack_bench::traced("ext_thermal", |_tc| {
+        pstack_bench::timed("E2", thermal::run_default)
+    });
     pstack_bench::emit("ext_thermal", &thermal::render(&r), &r);
-    let r = pstack_bench::timed("E6", faults::run_default);
+    let r = pstack_bench::traced("ext_faults", |_tc| {
+        pstack_bench::timed("E6", faults::run_default)
+    });
     pstack_bench::emit("ext_faults", &faults::render(&r), &r);
 
     println!(

@@ -1,7 +1,7 @@
 //! Regenerate Table 1: the per-layer knob registry.
 fn main() {
     pstack_analyze::startup_gate();
-    let reg = powerstack_core::knob_registry();
+    let reg = pstack_bench::traced("table1_registry", |_tc| powerstack_core::knob_registry());
     pstack_bench::emit(
         "table1_registry",
         &powerstack_core::registry::render_table1(),

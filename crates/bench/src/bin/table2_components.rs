@@ -1,7 +1,9 @@
 //! Regenerate Table 2: surveyed tools mapped to implemented analogs.
 fn main() {
     pstack_analyze::startup_gate();
-    let cat = powerstack_core::component_catalog();
+    let cat = pstack_bench::traced("table2_components", |_tc| {
+        powerstack_core::component_catalog()
+    });
     pstack_bench::emit(
         "table2_components",
         &powerstack_core::catalog::render_table2(),

@@ -1,7 +1,7 @@
 //! Regenerate Table 3: the PowerStack vocabulary.
 fn main() {
     pstack_analyze::startup_gate();
-    let vocab = powerstack_core::vocabulary();
+    let vocab = pstack_bench::traced("table3_vocabulary", |_tc| powerstack_core::vocabulary());
     pstack_bench::emit(
         "table3_vocabulary",
         &powerstack_core::vocab::render_table3(),

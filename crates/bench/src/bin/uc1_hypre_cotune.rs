@@ -2,6 +2,8 @@
 use powerstack_core::experiments::uc1;
 fn main() {
     pstack_analyze::startup_gate();
-    let r = pstack_bench::timed("uc1", uc1::run_default);
+    let r = pstack_bench::traced("uc1_hypre_cotune", |_tc| {
+        pstack_bench::timed("uc1", uc1::run_default)
+    });
     pstack_bench::emit("uc1_hypre_cotune", &uc1::render(&r), &r);
 }

@@ -49,33 +49,36 @@ fn tune_at(caps: Vec<f64>, objective: Objective, label: &str, seed: u64) -> Row 
 fn main() {
     pstack_analyze::startup_gate();
     let seed = 20200909;
-    // Part A: min-time at three imposed cap levels.
-    let mut rows = vec![
-        tune_at(vec![0.0], Objective::MinTime, "uncapped/min-time", seed),
-        tune_at(vec![300.0], Objective::MinTime, "cap300W/min-time", seed),
-        tune_at(vec![240.0], Objective::MinTime, "cap240W/min-time", seed),
-    ];
-    // Part B: the cap itself becomes a knob; the paper's three objectives
-    // ("smallest runtime, lowest power, lowest energy") pick different caps.
-    let all_caps = || vec![0.0, 300.0, 240.0];
-    rows.push(tune_at(
-        all_caps(),
-        Objective::MinTime,
-        "free-cap/min-time",
-        seed,
-    ));
-    rows.push(tune_at(
-        all_caps(),
-        Objective::MinEnergy,
-        "free-cap/min-energy",
-        seed,
-    ));
-    rows.push(tune_at(
-        all_caps(),
-        Objective::MinPower,
-        "free-cap/min-power",
-        seed,
-    ));
+    let rows = pstack_bench::traced("uc3_cross_layer_ytopt", |_tc| {
+        // Part A: min-time at three imposed cap levels.
+        let mut rows = vec![
+            tune_at(vec![0.0], Objective::MinTime, "uncapped/min-time", seed),
+            tune_at(vec![300.0], Objective::MinTime, "cap300W/min-time", seed),
+            tune_at(vec![240.0], Objective::MinTime, "cap240W/min-time", seed),
+        ];
+        // Part B: the cap itself becomes a knob; the paper's three objectives
+        // ("smallest runtime, lowest power, lowest energy") pick different caps.
+        let all_caps = || vec![0.0, 300.0, 240.0];
+        rows.push(tune_at(
+            all_caps(),
+            Objective::MinTime,
+            "free-cap/min-time",
+            seed,
+        ));
+        rows.push(tune_at(
+            all_caps(),
+            Objective::MinEnergy,
+            "free-cap/min-energy",
+            seed,
+        ));
+        rows.push(tune_at(
+            all_caps(),
+            Objective::MinPower,
+            "free-cap/min-power",
+            seed,
+        ));
+        rows
+    });
 
     let mut out = String::from(
         "USE CASE 3.2.3 / CROSS-LAYER YTOPT UNDER IMPOSED POWER CAPS (60 evals each)\n\

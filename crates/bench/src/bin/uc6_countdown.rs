@@ -2,6 +2,8 @@
 use powerstack_core::experiments::uc6;
 fn main() {
     pstack_analyze::startup_gate();
-    let r = pstack_bench::timed("uc6", uc6::run_default);
+    let r = pstack_bench::traced("uc6_countdown", |_tc| {
+        pstack_bench::timed("uc6", uc6::run_default)
+    });
     pstack_bench::emit("uc6_countdown", &uc6::render(&r), &r);
 }

@@ -2,6 +2,8 @@
 use powerstack_core::experiments::uc7;
 fn main() {
     pstack_analyze::startup_gate();
-    let r = pstack_bench::timed("uc7", uc7::run_default);
+    let r = pstack_bench::traced("uc7_two_runtimes", |_tc| {
+        pstack_bench::timed("uc7", uc7::run_default)
+    });
     pstack_bench::emit("uc7_two_runtimes", &uc7::render(&r), &r);
 }

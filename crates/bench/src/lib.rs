@@ -12,9 +12,11 @@
 
 #![cfg_attr(test, allow(clippy::disallowed_methods))]
 
+use pstack_trace::{Trace, TraceCollector};
 use serde::Serialize;
 use std::fs;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 /// Directory experiment outputs are written to (repo-relative).
 pub fn results_dir() -> PathBuf {
@@ -46,6 +48,44 @@ pub fn emit<T: Serialize>(name: &str, rendered: &str, data: &T) {
     }
 }
 
+/// Persist `trace` as `results/trace_<name>.json` in Chrome `trace_event`
+/// format — open the file in `chrome://tracing` or Perfetto. This is the
+/// trace exporter PSA014 requires of every JSON-writing bench bin.
+pub fn emit_trace(name: &str, trace: &Trace) {
+    let dir = results_dir();
+    if let Err(e) = fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("trace_{name}.json"));
+    match fs::write(&path, pstack_trace::to_chrome(trace)) {
+        Ok(()) => eprintln!(
+            "[trace: {} spans ({} dropped) -> {}]",
+            trace.len(),
+            trace.dropped,
+            path.display()
+        ),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+}
+
+/// Run `f` against a fresh trace collector (wrapped in a root span named
+/// `name`), then export everything collected via [`emit_trace`].
+///
+/// The collector arrives as an `&Arc` so the closure can hand clones to
+/// [`pstack_autotune::Tuner::with_trace`]-style sinks; plain
+/// `&TraceCollector` consumers (e.g. `Scenario::run_traced`) take it by
+/// deref coercion.
+pub fn traced<T>(name: &str, f: impl FnOnce(&Arc<TraceCollector>) -> T) -> T {
+    let collector = Arc::new(TraceCollector::new());
+    let out = {
+        let _root = collector.span(name);
+        f(&collector)
+    };
+    emit_trace(name, &collector.snapshot());
+    out
+}
+
 /// Wall-clock a closure, printing the elapsed time to stderr.
 pub fn timed<T>(label: &str, f: impl FnOnce() -> T) -> T {
     let start = std::time::Instant::now();
@@ -57,6 +97,25 @@ pub fn timed<T>(label: &str, f: impl FnOnce() -> T) -> T {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn traced_emits_a_round_trippable_chrome_trace() {
+        let tmp = std::env::temp_dir().join("pstack-bench-trace-test");
+        std::env::set_var("POWERSTACK_RESULTS_DIR", &tmp);
+        let out = traced("unit_test_trace", |tc| {
+            let mut span = tc.span("work");
+            span.attr("step", 1i64);
+            42
+        });
+        assert_eq!(out, 42);
+        let path = tmp.join("trace_unit_test_trace.json");
+        let raw = std::fs::read_to_string(&path).expect("trace artifact written");
+        let back = pstack_trace::from_chrome(&raw).expect("valid Chrome trace");
+        assert!(back.by_name("unit_test_trace").next().is_some());
+        assert!(back.by_name("work").next().is_some());
+        std::env::remove_var("POWERSTACK_RESULTS_DIR");
+        let _ = std::fs::remove_dir_all(&tmp);
+    }
 
     #[test]
     fn emit_writes_files() {

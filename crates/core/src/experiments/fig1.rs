@@ -9,6 +9,7 @@
 //! as the budget tightens.
 
 use crate::framework::{Scenario, ScenarioResult, TuningLevel};
+use pstack_trace::TraceCollector;
 use serde::{Deserialize, Serialize};
 
 /// Result: one row per (budget, tuning level).
@@ -29,6 +30,30 @@ pub fn run(
     job_scale: f64,
     seed: u64,
 ) -> Fig1Result {
+    run_inner(budgets_w, n_nodes, n_jobs, job_scale, seed, None)
+}
+
+/// [`run`], recording one `scenario.run` span tree per (budget, level) row
+/// into `trace` via [`Scenario::run_traced`].
+pub fn run_traced(
+    budgets_w: &[Option<f64>],
+    n_nodes: usize,
+    n_jobs: usize,
+    job_scale: f64,
+    seed: u64,
+    trace: &TraceCollector,
+) -> Fig1Result {
+    run_inner(budgets_w, n_nodes, n_jobs, job_scale, seed, Some(trace))
+}
+
+fn run_inner(
+    budgets_w: &[Option<f64>],
+    n_nodes: usize,
+    n_jobs: usize,
+    job_scale: f64,
+    seed: u64,
+    trace: Option<&TraceCollector>,
+) -> Fig1Result {
     let mut rows = Vec::new();
     for &budget in budgets_w {
         for tuning in TuningLevel::ALL {
@@ -40,22 +65,29 @@ pub fn run(
                 seed,
                 job_scale,
             };
-            rows.push(scenario.run());
+            rows.push(match trace {
+                Some(t) => scenario.run_traced(t),
+                None => scenario.run(),
+            });
         }
     }
     Fig1Result { rows }
 }
 
+/// The full-scale sweep parameters (16 nodes, 12 jobs, three budgets).
+fn default_budgets() -> [Option<f64>; 3] {
+    let full = 16.0 * 450.0;
+    [None, Some(full * 0.75), Some(full * 0.55)]
+}
+
 /// Default full-scale configuration (16 nodes, 12 jobs, three budgets).
 pub fn run_default() -> Fig1Result {
-    let full = 16.0 * 450.0;
-    run(
-        &[None, Some(full * 0.75), Some(full * 0.55)],
-        16,
-        12,
-        1.0,
-        20200901,
-    )
+    run(&default_budgets(), 16, 12, 1.0, 20200901)
+}
+
+/// [`run_default`] with scenario span trees recorded into `trace`.
+pub fn run_default_traced(trace: &TraceCollector) -> Fig1Result {
+    run_traced(&default_budgets(), 16, 12, 1.0, 20200901, trace)
 }
 
 /// Render the figure as a table.

@@ -14,9 +14,10 @@ use pstack_apps::kernelmodel::{KernelConfig, KernelModel};
 use pstack_autotune::{
     AnnealingSearch, ForestSearch, HillClimbSearch, RandomSearch, SearchAlgorithm, Tuner,
 };
-use pstack_autotune::{Config, Param, ParamSpace};
+use pstack_autotune::{Config, Param, ParamSpace, TraceCollector};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// One algorithm's convergence trajectory.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -112,6 +113,19 @@ pub fn run_with_workers(
     seed: u64,
     workers: Option<usize>,
 ) -> Fig4Result {
+    run_with_workers_traced(model, max_evals, seed, workers, None)
+}
+
+/// [`run_with_workers`], attaching `trace` to every tuner so each
+/// algorithm's loop records its span tree (suggest batches, per-eval spans
+/// with worker ids and config fingerprints, cache-hit events).
+pub fn run_with_workers_traced(
+    model: &KernelModel,
+    max_evals: usize,
+    seed: u64,
+    workers: Option<usize>,
+    trace: Option<&Arc<TraceCollector>>,
+) -> Fig4Result {
     let space = kernel_space(model);
     let (_, exhaustive_best_s) = model.exhaustive_best();
     let baseline_s = model.time(&KernelConfig::baseline(1));
@@ -124,7 +138,10 @@ pub fn run_with_workers(
     ];
     let mut trajectories = Vec::new();
     for alg in algorithms.iter_mut() {
-        let tuner = Tuner::new(space.clone()).max_evals(max_evals).seed(seed);
+        let mut tuner = Tuner::new(space.clone()).max_evals(max_evals).seed(seed);
+        if let Some(t) = trace {
+            tuner = tuner.with_trace(Arc::clone(t));
+        }
         let evaluate = |space: &ParamSpace, cfg: &Config| {
             let kc = decode(space, cfg);
             (model.time(&kc), HashMap::new())
@@ -163,6 +180,18 @@ pub fn run_default_parallel() -> Fig4Result {
         100,
         20200903,
         Some(workers),
+    )
+}
+
+/// [`run_default_parallel`] with the loop's span trees recorded into `trace`.
+pub fn run_default_parallel_traced(trace: &Arc<TraceCollector>) -> Fig4Result {
+    let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+    run_with_workers_traced(
+        &KernelModel::polybench_large(),
+        100,
+        20200903,
+        Some(workers),
+        Some(trace),
     )
 }
 

@@ -13,6 +13,7 @@ use pstack_node::NodeManager;
 use pstack_rm::{AgentKind, JobSpec, PowerAssignment, Scheduler, SystemPowerPolicy};
 use pstack_runtime::{CountdownMode, GeopmPolicy};
 use pstack_sim::{SeedTree, SimDuration, SimTime};
+use pstack_trace::{AttrValue, TraceCollector};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -128,7 +129,35 @@ impl Scenario {
     /// declared physical invariant panics here instead of simulating
     /// garbage (set `PSTACK_LINT_SKIP=1` to override).
     pub fn run(&self) -> ScenarioResult {
+        self.run_inner(None)
+    }
+
+    /// Like [`Scenario::run`], but records framework spans into `trace`:
+    /// a `scenario.run` root (tuning level, fleet, budget, seed), a
+    /// `workload_gen` child covering job-mix generation, and a
+    /// `scheduler.drain` child covering the control loop with the tick
+    /// count and periodic queue-depth progress events.
+    ///
+    /// Tracing never changes the simulation: the same seeds drive the same
+    /// control ticks, so the returned [`ScenarioResult`] is byte-identical
+    /// to an untraced run.
+    pub fn run_traced(&self, trace: &TraceCollector) -> ScenarioResult {
+        self.run_inner(Some(trace))
+    }
+
+    fn run_inner(&self, trace: Option<&TraceCollector>) -> ScenarioResult {
         crate::validate::enforce();
+        let mut root = trace.map(|t| {
+            let mut s = t.span("scenario.run");
+            s.attr("tuning", format!("{:?}", self.tuning));
+            s.attr("n_nodes", self.n_nodes);
+            s.attr("n_jobs", self.n_jobs);
+            s.attr("seed", self.seed);
+            if let Some(b) = self.system_budget_w {
+                s.attr("system_budget_w", b);
+            }
+            s
+        });
         let seeds = SeedTree::new(self.seed);
         let nodes = NodeManager::fleet(
             self.n_nodes,
@@ -137,27 +166,64 @@ impl Scenario {
             &seeds,
         );
         let mut sched = Scheduler::new(nodes, self.policy(), seeds.subtree("sched"));
-        let mut rng = seeds.rng("arrivals");
-        let mut t = 0u64;
-        for i in 0..self.n_jobs {
-            let mut app = random_app(&seeds, i as u64);
-            app.work_per_node *= self.job_scale * 0.2; // keep experiments tractable
-            let profile = app.profile;
-            let nodes_wanted = 1usize << rng.gen_range(0..3); // 1, 2 or 4
-                                                              // Every level runs the same rigid sizes: the apps are
-                                                              // weak-scaled, so identical sizes keep completed work identical
-                                                              // across rows and make throughput/energy directly comparable.
-                                                              // (Moldability under power pressure is studied separately in the
-                                                              // §4.3 overprovisioning ablation, where sizing is the subject.)
-            let spec = JobSpec::rigid(i as u64, Arc::new(app), nodes_wanted, SimTime::from_secs(t))
-                .with_agent(self.agent_for(profile));
-            sched.submit(spec);
-            t += rng.gen_range(5..30);
+        {
+            let mut gen_span = root.as_ref().map(|r| r.child("workload_gen"));
+            let mut rng = seeds.rng("arrivals");
+            let mut t = 0u64;
+            for i in 0..self.n_jobs {
+                let mut app = random_app(&seeds, i as u64);
+                app.work_per_node *= self.job_scale * 0.2; // keep experiments tractable
+                let profile = app.profile;
+                let nodes_wanted = 1usize << rng.gen_range(0..3); // 1, 2 or 4
+                                                                  // Every level runs the same rigid sizes: the apps are
+                                                                  // weak-scaled, so identical sizes keep completed work identical
+                                                                  // across rows and make throughput/energy directly comparable.
+                                                                  // (Moldability under power pressure is studied separately in the
+                                                                  // §4.3 overprovisioning ablation, where sizing is the subject.)
+                let spec =
+                    JobSpec::rigid(i as u64, Arc::new(app), nodes_wanted, SimTime::from_secs(t))
+                        .with_agent(self.agent_for(profile));
+                sched.submit(spec);
+                t += rng.gen_range(5..30);
+            }
+            if let Some(span) = gen_span.as_mut() {
+                span.attr("jobs", self.n_jobs);
+            }
         }
-        sched.run_until_drained(SimDuration::from_secs(1), SimTime::from_secs(24 * 3600));
+        let quantum = SimDuration::from_secs(1);
+        let horizon = SimTime::from_secs(24 * 3600);
+        match root.as_ref() {
+            Some(r) => {
+                // Drive the control loop tick by tick so the drain span can
+                // account for it; `run_until_drained` does exactly this.
+                let mut drain = r.child("scheduler.drain");
+                let mut ticks: u64 = 0;
+                while (sched.queued() > 0 || sched.running() > 0) && sched.now() < horizon {
+                    sched.step(quantum);
+                    ticks += 1;
+                    if ticks.is_multiple_of(4096) {
+                        drain.event_with(
+                            "progress",
+                            vec![
+                                ("ticks".to_string(), AttrValue::from(ticks)),
+                                ("queued".to_string(), AttrValue::from(sched.queued())),
+                                ("running".to_string(), AttrValue::from(sched.running())),
+                                (
+                                    "sim_s".to_string(),
+                                    AttrValue::from(sched.now().as_secs_f64()),
+                                ),
+                            ],
+                        );
+                    }
+                }
+                drain.attr("ticks", ticks);
+                drain.attr("sim_end_s", sched.now().as_secs_f64());
+            }
+            None => sched.run_until_drained(quantum, horizon),
+        }
         let m = sched.metrics();
         let makespan_s = sched.now().as_secs_f64();
-        ScenarioResult {
+        let result = ScenarioResult {
             tuning: self.tuning,
             system_budget_w: self.system_budget_w,
             completed: m.completed,
@@ -172,7 +238,13 @@ impl Scenario {
             } else {
                 0.0
             },
+        };
+        if let Some(r) = root.as_mut() {
+            r.attr("completed", result.completed);
+            r.attr("makespan_s", result.makespan_s);
+            r.attr("energy_j", result.energy_j);
         }
+        result
     }
 }
 
@@ -253,6 +325,29 @@ mod tests {
         let a = tiny(TuningLevel::EndToEnd, Some(1200.0)).run();
         let b = tiny(TuningLevel::EndToEnd, Some(1200.0)).run();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_records_the_control_loop() {
+        let scenario = tiny(TuningLevel::EndToEnd, Some(1200.0));
+        let plain = scenario.run();
+        let collector = TraceCollector::new();
+        let traced = scenario.run_traced(&collector);
+        assert_eq!(plain, traced, "tracing must not perturb the simulation");
+        let trace = collector.snapshot();
+        let root = trace.by_name("scenario.run").next().expect("root span");
+        assert_eq!(root.attr("n_nodes"), Some(&AttrValue::Int(4)));
+        assert_eq!(
+            root.attr("completed"),
+            Some(&AttrValue::Int(traced.completed as i64))
+        );
+        let drain = trace.by_name("scheduler.drain").next().expect("drain span");
+        assert_eq!(drain.parent, Some(root.id));
+        match drain.attr("ticks") {
+            Some(AttrValue::Int(t)) => assert!(*t > 0, "control loop ticked"),
+            other => panic!("ticks attr missing or mistyped: {other:?}"),
+        }
+        assert!(trace.by_name("workload_gen").next().is_some());
     }
 
     #[test]

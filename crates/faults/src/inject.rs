@@ -13,6 +13,8 @@ use pstack_autotune::{FaultKind, FaultLog};
 use pstack_hwmodel::{PhaseMix, PowerEnvelope};
 use pstack_runtime::{ArbitratedNodes, JobTelemetry, KnobKind, RuntimeAgent};
 use pstack_sim::SimTime;
+use pstack_trace::{AttrValue, TraceCollector};
+use std::sync::Arc;
 
 /// Fate of one knob write under injection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,6 +35,7 @@ pub struct FaultInjector {
     dice: FaultDice,
     sample_idx: u64,
     write_idx: u64,
+    trace: Option<Arc<TraceCollector>>,
     /// Everything injected so far.
     pub log: FaultLog,
 }
@@ -46,7 +49,30 @@ impl FaultInjector {
             dice: FaultDice::new(seed),
             sample_idx: 0,
             write_idx: 0,
+            trace: None,
             log: FaultLog::new(),
+        }
+    }
+
+    /// Mirror every injection decision into `collector` as a zero-duration
+    /// `fault` span (kind + decision index attrs). The dice are untouched:
+    /// a traced injector replays the identical fault sequence.
+    pub fn with_trace(mut self, collector: Arc<TraceCollector>) -> Self {
+        self.trace = Some(collector);
+        self
+    }
+
+    fn trace_fault(&self, kind: FaultKind, path: &str, idx: u64) {
+        if let Some(t) = self.trace.as_deref() {
+            t.instant(
+                None,
+                "fault",
+                vec![
+                    ("kind".to_string(), AttrValue::from(kind.name())),
+                    ("path".to_string(), AttrValue::from(path)),
+                    ("idx".to_string(), AttrValue::from(idx)),
+                ],
+            );
         }
     }
 
@@ -61,6 +87,7 @@ impl FaultInjector {
         self.sample_idx += 1;
         if self.dice.chance(self.telemetry.drop_prob, "drop", i, 0) {
             self.log.note(FaultKind::DroppedSample);
+            self.trace_fault(FaultKind::DroppedSample, "telemetry", i);
             return None;
         }
         let mut w = raw_w;
@@ -69,11 +96,14 @@ impl FaultInjector {
         {
             w *= self.telemetry.spike_factor;
             self.log.note(FaultKind::TelemetryNoise);
+            self.trace_fault(FaultKind::TelemetryNoise, "telemetry", i);
         } else if self.telemetry.noise_frac > 0.0 {
             w += self
                 .dice
                 .jitter(self.telemetry.noise_frac * raw_w, "noise", i, 0);
             self.log.note(FaultKind::TelemetryNoise);
+            // Per-sample gaussian noise is not traced: it fires on ~every
+            // sample and would evict real spans from the ring buffer.
         }
         Some(w.clamp(0.0, envelope.peak_w))
     }
@@ -85,6 +115,7 @@ impl FaultInjector {
         if self.dice.chance(self.knobs.stick_prob, "stick", i, 0) {
             self.log
                 .record(FaultKind::StuckKnob, format!("write {i}"), what.to_string());
+            self.trace_fault(FaultKind::StuckKnob, "knob", i);
             return KnobWrite::Stuck;
         }
         if self.dice.chance(self.knobs.lag_prob, "lag", i, 0) {
@@ -94,6 +125,7 @@ impl FaultInjector {
                 format!("write {i}"),
                 format!("{what} delayed {steps} ticks"),
             );
+            self.trace_fault(FaultKind::LaggedKnob, "knob", i);
             return KnobWrite::Lagged(steps);
         }
         KnobWrite::Applied
@@ -329,6 +361,42 @@ mod tests {
         assert!(stuck > 0 && lagged > 0 && applied > 0);
         assert_eq!(inj.log.counts.stuck_knobs, stuck);
         assert_eq!(inj.log.counts.lagged_knobs, lagged);
+    }
+
+    #[test]
+    fn traced_injector_mirrors_decisions_without_changing_them() {
+        let env = envelope();
+        let run = |trace: Option<Arc<TraceCollector>>| {
+            let mut inj = FaultInjector::new(&FaultPlan::default_rates(), 11);
+            if let Some(t) = trace {
+                inj = inj.with_trace(t);
+            }
+            let samples: Vec<_> = (0..500)
+                .map(|i| inj.observe_power(200.0 + i as f64, &env))
+                .collect();
+            let writes: Vec<_> = (0..200).map(|_| inj.gate_write("cap")).collect();
+            (samples, writes, inj.log.clone())
+        };
+        let collector = Arc::new(TraceCollector::new());
+        let plain = run(None);
+        let traced = run(Some(Arc::clone(&collector)));
+        assert_eq!(plain, traced, "tracing must not perturb the dice");
+        let trace = collector.snapshot();
+        let faults: Vec<_> = trace.by_name("fault").collect();
+        let expected = traced.2.counts.dropped_samples
+            + traced.2.counts.stuck_knobs
+            + traced.2.counts.lagged_knobs;
+        // Spike events are also traced but default_rates has no spikes;
+        // per-sample noise is deliberately untraced.
+        assert!(
+            faults.len() >= expected,
+            "{} fault spans vs {} logged discrete faults",
+            faults.len(),
+            expected
+        );
+        assert!(faults
+            .iter()
+            .all(|s| s.attr("kind").is_some() && s.attr("path").is_some()));
     }
 
     #[test]

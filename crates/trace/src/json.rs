@@ -1,0 +1,413 @@
+//! Minimal JSON codec for the exporters.
+//!
+//! `pstack-trace` is dependency-free by design (see the crate docs), so it
+//! carries its own small JSON value type, writer, and recursive-descent
+//! parser. The codec preserves the integer/float distinction (`7` parses as
+//! [`Json::Int`], `7.0` as [`Json::Float`]) so typed span attributes
+//! round-trip exactly; objects preserve insertion order.
+
+use std::fmt::Write as _;
+
+/// A parsed or to-be-written JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number written without `.`/`e` (an integer literal).
+    Int(i64),
+    /// A number written with a fractional or exponent part.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order is preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member of an object by key (first match).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as an i64, accepting integral floats.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Int(i) => Some(*i),
+            Json::Float(f) if f.fract() == 0.0 && f.abs() < 9.0e18 => Some(*f as i64),
+            _ => None,
+        }
+    }
+
+    /// The value as a u64 (non-negative integers only).
+    pub fn as_u64(&self) -> Option<u64> {
+        self.as_i64().and_then(|i| u64::try_from(i).ok())
+    }
+
+    /// The value as an f64 (integers widen).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(i) => Some(*i as f64),
+            Json::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Render compactly (no whitespace). Non-finite floats render as `null`,
+    /// matching the workspace's serde stand-in.
+    pub fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::Float(f) => {
+                if f.is_finite() {
+                    // `{:?}` is the shortest representation that parses back
+                    // to the same f64, and always carries `.` or `e`.
+                    let _ = write!(out, "{f:?}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_str(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_str(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Json {
+    /// Renders compactly, identical to [`Json::write`].
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out);
+        f.write_str(&out)
+    }
+}
+
+fn write_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parse one JSON document. Returns a rendered error (with byte offset) on
+/// malformed input; trailing whitespace is allowed, trailing garbage is not.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'n') => parse_lit(bytes, pos, "null", Json::Null),
+        Some(b't') => parse_lit(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(bytes, pos, "false", Json::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut members = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(members));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                let value = parse_value(bytes, pos)?;
+                members.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(members));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {pos}"))
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}"));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hi = parse_hex4(bytes, *pos + 1)?;
+                        *pos += 4;
+                        let code = if (0xD800..0xDC00).contains(&hi)
+                            && bytes.get(*pos + 1) == Some(&b'\\')
+                            && bytes.get(*pos + 2) == Some(&b'u')
+                        {
+                            let lo = parse_hex4(bytes, *pos + 3)?;
+                            *pos += 6;
+                            0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                        } else {
+                            hi
+                        };
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (input is a &str, so boundaries
+                // are sound).
+                let start = *pos;
+                *pos += 1;
+                while *pos < bytes.len() && (bytes[*pos] & 0xC0) == 0x80 {
+                    *pos += 1;
+                }
+                out.push_str(std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?);
+            }
+        }
+    }
+}
+
+fn parse_hex4(bytes: &[u8], at: usize) -> Result<u32, String> {
+    let chunk = bytes
+        .get(at..at + 4)
+        .ok_or_else(|| "truncated \\u escape".to_string())?;
+    let s = std::str::from_utf8(chunk).map_err(|e| e.to_string())?;
+    u32::from_str_radix(s, 16).map_err(|e| format!("bad \\u escape: {e}"))
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    let mut fractional = false;
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'0'..=b'9' | b'-' | b'+' => *pos += 1,
+            b'.' | b'e' | b'E' => {
+                fractional = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    if text.is_empty() {
+        return Err(format!("expected value at byte {start}"));
+    }
+    if fractional {
+        text.parse::<f64>()
+            .map(Json::Float)
+            .map_err(|e| format!("bad number {text:?}: {e}"))
+    } else {
+        // Integer literal; fall back to float on i64 overflow.
+        text.parse::<i64>().map(Json::Int).or_else(|_| {
+            text.parse::<f64>()
+                .map(Json::Float)
+                .map_err(|e| format!("bad number {text:?}: {e}"))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        for text in ["null", "true", "false", "0", "-7", "1.5", "\"hi\""] {
+            let v = parse(text).expect(text);
+            assert_eq!(v.to_string(), text, "{text}");
+        }
+    }
+
+    #[test]
+    fn integers_and_floats_stay_distinct() {
+        assert_eq!(parse("7").expect("int"), Json::Int(7));
+        assert_eq!(parse("7.0").expect("float"), Json::Float(7.0));
+        assert_eq!(parse("1e3").expect("exp"), Json::Float(1000.0));
+        // Writer keeps the distinction on the way out.
+        assert_eq!(Json::Float(7.0).to_string(), "7.0");
+        assert_eq!(Json::Int(7).to_string(), "7");
+    }
+
+    #[test]
+    fn containers_round_trip_preserving_order() {
+        let text = r#"{"b":1,"a":[true,null,{"x":2.5}],"c":"s"}"#;
+        let v = parse(text).expect("parses");
+        assert_eq!(
+            v.to_string(),
+            r#"{"b":1,"a":[true,null,{"x":2.5}],"c":"s"}"#
+        );
+        assert_eq!(v.get("b").and_then(Json::as_i64), Some(1));
+        assert_eq!(
+            v.get("a").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let original = Json::Str("a\"b\\c\nd\te\u{0001}f\u{1F600}".to_string());
+        let text = original.to_string();
+        assert_eq!(parse(&text).expect("parses"), original);
+    }
+
+    #[test]
+    fn surrogate_pair_escapes_decode() {
+        // U+1F600 written as an escaped surrogate pair.
+        let v = parse("\"\\uD83D\\uDE00\"").expect("parses");
+        assert_eq!(v, Json::Str("\u{1F600}".to_string()));
+    }
+
+    #[test]
+    fn float_precision_survives() {
+        for f in [0.1, 1.0 / 3.0, 1e-12, 123456789.123456] {
+            let text = Json::Float(f).to_string();
+            assert_eq!(parse(&text).expect("parses"), Json::Float(f), "{text}");
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_render_null() {
+        assert_eq!(Json::Float(f64::NAN).to_string(), "null");
+        assert_eq!(Json::Float(f64::INFINITY).to_string(), "null");
+    }
+
+    #[test]
+    fn malformed_inputs_error_cleanly() {
+        for bad in ["", "{", "[1,", "tru", "\"x", "{\"a\" 1}", "1 2", "{1:2}"] {
+            assert!(parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn large_integers_overflow_to_float() {
+        let v = parse("99999999999999999999999").expect("parses");
+        assert!(matches!(v, Json::Float(_)));
+    }
+}

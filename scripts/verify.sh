@@ -2,32 +2,87 @@
 # Full verification gate: format, build, test, lint, static analysis.
 # Run from the repo root.
 #
-#   ./scripts/verify.sh
+#   ./scripts/verify.sh                 # run every stage (the PR bar)
+#   ./scripts/verify.sh build test      # run only the named stages
+#   ./scripts/verify.sh --list          # list available stages
 #
-# This is the bar every PR must clear — the same commands CI would run.
+# Stages run in the order given; each is the exact command CI runs for the
+# matching job in .github/workflows/ci.yml, so a stage passing here passes
+# there and vice versa.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== cargo fmt --check =="
-cargo fmt --all -- --check
+stage_fmt() {
+    echo "== cargo fmt --check =="
+    cargo fmt --all -- --check
+}
 
-echo "== cargo build --release =="
-cargo build --release
+stage_build() {
+    echo "== cargo build --release =="
+    cargo build --release
+}
 
-echo "== cargo test -q --workspace =="
-cargo test -q --workspace
+stage_test() {
+    echo "== cargo test -q --workspace =="
+    cargo test -q --workspace
+}
 
-echo "== chaos suite (determinism: two runs must agree) =="
-cargo test -q --test chaos_tuning
-cargo test -q --test chaos_tuning
+stage_chaos() {
+    echo "== chaos suite (determinism: two runs must agree) =="
+    cargo test -q --test chaos_tuning
+    cargo test -q --test chaos_tuning
+}
 
-echo "== golden artifact regression =="
-cargo test -q --test golden_results
+stage_golden() {
+    echo "== golden artifact regression =="
+    cargo test -q --test golden_results
+}
 
-echo "== cargo clippy -- -D warnings =="
-cargo clippy --workspace --all-targets -- -D warnings
+stage_clippy() {
+    echo "== cargo clippy -- -D warnings =="
+    cargo clippy --workspace --all-targets -- -D warnings
+}
 
-echo "== pstack_lint =="
-cargo run -q --release -p pstack-analyze --bin pstack_lint
+stage_lint() {
+    echo "== pstack_lint =="
+    cargo run -q --release -p pstack-analyze --bin pstack_lint
+}
 
-echo "verify: OK"
+ALL_STAGES=(fmt build test chaos golden clippy lint)
+
+list_stages() {
+    for s in "${ALL_STAGES[@]}"; do
+        echo "$s"
+    done
+}
+
+if [[ "${1:-}" == "--list" ]]; then
+    list_stages
+    exit 0
+fi
+
+if [[ $# -eq 0 ]]; then
+    stages=("${ALL_STAGES[@]}")
+    summary="verify: OK"
+else
+    stages=("$@")
+    summary="verify: OK ($*)"
+fi
+
+for s in "${stages[@]}"; do
+    case "$s" in
+        fmt | fmt-check) stage_fmt ;;
+        build) stage_build ;;
+        test) stage_test ;;
+        chaos) stage_chaos ;;
+        golden | goldens) stage_golden ;;
+        clippy) stage_clippy ;;
+        lint | pstack_lint) stage_lint ;;
+        *)
+            echo "verify: unknown stage '$s' (available: ${ALL_STAGES[*]})" >&2
+            exit 2
+            ;;
+    esac
+done
+
+echo "$summary"

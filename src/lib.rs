@@ -34,6 +34,7 @@
 //! | Diagnostics model | [`diag`] (`pstack-diag`) |
 //! | Static analysis / lint | [`analyze`] (`pstack-analyze`) |
 //! | Fault injection / chaos | [`faults`] (`pstack-faults`) |
+//! | Framework tracing / self-profiling | [`trace`] (`pstack-trace`) |
 //!
 //! See `DESIGN.md` for the substitution table (what each simulated substrate
 //! stands in for) and `EXPERIMENTS.md` for the paper-vs-measured record.
@@ -52,6 +53,7 @@ pub use pstack_rm as rm;
 pub use pstack_runtime as runtime;
 pub use pstack_sim as sim;
 pub use pstack_telemetry as telemetry;
+pub use pstack_trace as trace;
 
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
@@ -80,4 +82,5 @@ pub mod prelude {
         RuntimeAgent,
     };
     pub use pstack_sim::{SeedTree, SimDuration, SimTime};
+    pub use pstack_trace::{ProfileSummary, TraceCollector};
 }
