@@ -3,7 +3,7 @@
 //! The paper's §3.2 interaction hazards (two actors writing one knob, a cap
 //! outside what the silicon can honour, a tuner aimed at an unsatisfiable
 //! space) are all detectable *before* a single simulation tick runs. This
-//! crate is that detector: eleven [`Lint`] rules over a [`FrameworkModel`]
+//! crate is that detector: fifteen [`Lint`] rules over a [`FrameworkModel`]
 //! snapshot of everything the stack declares about itself, producing a
 //! [`Report`] of [`Diagnostic`]s with stable rule IDs, severities, and
 //! source locations.
@@ -24,6 +24,7 @@
 //! | PSA012 | fault-plan-sanity      | chaos fault plans have coherent rates, unique names |
 //! | PSA013 | retry-budget-feasible  | the resilient loop's retry policy terminates in budget |
 //! | PSA014 | trace-exporter-coverage | every JSON-writing bench bin registers a trace exporter |
+//! | PSA015 | checkpoint-schema      | shipped algorithms honour the checkpoint-schema versioning contract |
 //!
 //! Entry points:
 //!
@@ -40,7 +41,7 @@
 pub mod model;
 pub mod rules;
 
-pub use model::{FrameworkModel, SearchSpec};
+pub use model::{AlgorithmSchema, FrameworkModel, SearchSpec};
 pub use pstack_diag::{Diagnostic, InvariantCheck, Report, Severity, Summary};
 pub use rules::{control_resource, registry, Lint};
 

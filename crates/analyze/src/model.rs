@@ -13,7 +13,10 @@ use powerstack_core::experiments::{self, ArtifactInfo, ExperimentInfo};
 use powerstack_core::{
     component_catalog, knob_registry, vocabulary, CatalogEntry, Knob, Objective, Term,
 };
-use pstack_autotune::{Config, ParamSpace, RetryPolicy};
+use pstack_autotune::{
+    shipped_algorithms, Config, ParamSpace, RetryPolicy, SNAPSHOT_FORMAT_VERSION,
+    WAL_FORMAT_VERSION,
+};
 use pstack_faults::FaultPlan;
 use pstack_hwmodel::NodeConfig;
 
@@ -50,6 +53,36 @@ impl SearchSpec {
     }
 }
 
+/// One shipped search algorithm's checkpoint-schema declaration, as data
+/// (PSA015 audits these against the [`SearchState`] versioning contract).
+///
+/// [`SearchState`]: pstack_autotune::SearchState
+pub struct AlgorithmSchema {
+    /// Algorithm name as recorded in WAL session headers.
+    pub name: String,
+    /// Declared `SearchState::schema_version()`.
+    pub schema_version: u32,
+    /// Whether `save_state()` produces real state (anything but `Null`).
+    pub stateful: bool,
+    /// Result of feeding a fresh instance its own `save_state()` back
+    /// through `load_state` — `Some(msg)` when the round trip failed.
+    pub round_trip_error: Option<String>,
+}
+
+impl AlgorithmSchema {
+    /// Snapshot one algorithm's checkpoint-schema declaration by exercising
+    /// the save/load round trip on a fresh instance.
+    pub fn of(alg: &mut dyn pstack_autotune::SearchAlgorithm) -> Self {
+        let state = alg.save_state();
+        AlgorithmSchema {
+            name: alg.name().to_string(),
+            schema_version: alg.schema_version(),
+            stateful: !matches!(state, serde::Value::Null),
+            round_trip_error: alg.load_state(&state).err(),
+        }
+    }
+}
+
 /// Everything the analyzer looks at, as data.
 pub struct FrameworkModel {
     /// Hardware description the power/thermal rules check against.
@@ -81,6 +114,13 @@ pub struct FrameworkModel {
     /// The retry policy the resilient tuning loop runs with (PSA013 checks
     /// its budgets are feasible).
     pub retry: RetryPolicy,
+    /// Every shipped search algorithm's checkpoint-schema declaration
+    /// (PSA015 holds each to the `SearchState` versioning contract).
+    pub algorithms: Vec<AlgorithmSchema>,
+    /// The write-ahead-log format version session files are stamped with.
+    pub ckpt_wal_version: u32,
+    /// The full-snapshot format version.
+    pub ckpt_snapshot_version: u32,
 }
 
 impl FrameworkModel {
@@ -106,6 +146,12 @@ impl FrameworkModel {
                 .system_reserve_fraction,
             fault_plans: FaultPlan::catalog(),
             retry: RetryPolicy::default(),
+            algorithms: shipped_algorithms()
+                .iter_mut()
+                .map(|alg| AlgorithmSchema::of(alg.as_mut()))
+                .collect(),
+            ckpt_wal_version: WAL_FORMAT_VERSION,
+            ckpt_snapshot_version: SNAPSHOT_FORMAT_VERSION,
         }
     }
 }

@@ -1,6 +1,6 @@
 //! The lint rules.
 //!
-//! Every rule is a [`Lint`] with a stable ID (`PSA001`..`PSA014`), a
+//! Every rule is a [`Lint`] with a stable ID (`PSA001`..`PSA015`), a
 //! one-line description, and a pure `check` over a [`FrameworkModel`].
 //! Rules never mutate anything and never read the environment, so the
 //! report for a given model is byte-deterministic. [`registry`] returns
@@ -47,6 +47,7 @@ pub fn registry() -> Vec<Box<dyn Lint>> {
         Box::new(FaultPlanSanity),
         Box::new(RetryBudgetFeasibility),
         Box::new(TraceExporterCoverage),
+        Box::new(CheckpointSchema),
     ]
 }
 
@@ -1190,6 +1191,98 @@ impl Lint for TraceExporterCoverage {
     }
 }
 
+// ---------------------------------------------------------------------------
+// PSA015 — checkpoint-schema compatibility
+// ---------------------------------------------------------------------------
+
+/// Crash-safe resume stakes everything on the checkpoint-schema contract:
+/// WAL session headers record `(algorithm name, schema_version)` and the
+/// resume guard refuses a session whose recorded pair disagrees with the
+/// resuming binary. This rule audits the shipped declarations statically —
+/// every algorithm must declare a version ≥ 1 (0 is the no-fallback
+/// sentinel in session metadata), carry a unique name (the header's lookup
+/// key), and survive a `save_state` → `load_state` round trip on a fresh
+/// instance; the WAL and snapshot format versions must themselves be ≥ 1.
+pub struct CheckpointSchema;
+
+impl Lint for CheckpointSchema {
+    fn id(&self) -> &'static str {
+        "PSA015"
+    }
+    fn name(&self) -> &'static str {
+        "checkpoint-schema"
+    }
+    fn description(&self) -> &'static str {
+        "every shipped algorithm honours the checkpoint-schema versioning contract"
+    }
+    fn check(&self, model: &FrameworkModel) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for (what, v) in [
+            ("WAL format version", model.ckpt_wal_version),
+            ("snapshot format version", model.ckpt_snapshot_version),
+        ] {
+            if v == 0 {
+                out.push(Diagnostic::error(
+                    self.id(),
+                    "cross-layer",
+                    "autotune.ckpt",
+                    format!("{what} is 0; session files could never be version-checked"),
+                ));
+            }
+        }
+        let mut seen: BTreeMap<&str, usize> = BTreeMap::new();
+        for alg in &model.algorithms {
+            let path = format!("autotune.search.{}", alg.name);
+            *seen.entry(alg.name.as_str()).or_insert(0) += 1;
+            if alg.schema_version == 0 {
+                out.push(Diagnostic::error(
+                    self.id(),
+                    "cross-layer",
+                    &path,
+                    format!(
+                        "algorithm {:?} declares checkpoint schema_version 0; versions start \
+                         at 1 (0 is the no-fallback sentinel in session metadata)",
+                        alg.name
+                    ),
+                ));
+            }
+            if let Some(err) = &alg.round_trip_error {
+                out.push(Diagnostic::error(
+                    self.id(),
+                    "cross-layer",
+                    &path,
+                    format!(
+                        "algorithm {:?} rejects its own save_state on load_state: {err}",
+                        alg.name
+                    ),
+                ));
+            }
+        }
+        for (name, n) in seen {
+            if n > 1 {
+                out.push(Diagnostic::error(
+                    self.id(),
+                    "cross-layer",
+                    format!("autotune.search.{name}"),
+                    format!(
+                        "algorithm name {name:?} shipped {n} times; WAL headers key resume \
+                         compatibility on the name, so it must be unique"
+                    ),
+                ));
+            }
+        }
+        if model.algorithms.is_empty() {
+            out.push(Diagnostic::warn(
+                self.id(),
+                "cross-layer",
+                "autotune.search",
+                "no shipped algorithms declared; the checkpoint-schema audit is vacuous",
+            ));
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1202,7 +1295,7 @@ mod tests {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(ids, sorted, "rule IDs must be unique and in order");
-        assert_eq!(ids.len(), 14);
+        assert_eq!(ids.len(), 15);
         for r in &rules {
             assert!(!r.name().is_empty() && !r.description().is_empty());
         }

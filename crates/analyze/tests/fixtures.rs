@@ -7,7 +7,7 @@
 use powerstack_core::experiments::{ArtifactInfo, ExperimentInfo};
 use powerstack_core::registry::{Actor, Knob, Layer, Temporal};
 use pstack_analyze::rules::{SearchFeasibility, SpaceWellFormedness};
-use pstack_analyze::{analyze, FrameworkModel, SearchSpec, Severity};
+use pstack_analyze::{analyze, AlgorithmSchema, FrameworkModel, SearchSpec, Severity};
 use pstack_autotune::{Param, ParamSpace};
 
 fn shipped() -> FrameworkModel {
@@ -636,5 +636,112 @@ fn psa014_warns_on_empty_registry() {
     assert!(
         warns.iter().any(|w| w.contains("empty")),
         "empty registry not warned: {warns:?}"
+    );
+}
+
+// --- PSA015: checkpoint-schema compatibility -------------------------------
+
+#[test]
+fn psa015_passes_on_shipped_algorithms() {
+    assert!(errors_of(&shipped(), "PSA015").is_empty());
+}
+
+#[test]
+fn psa015_covers_every_shipped_algorithm() {
+    // The audit is only as strong as the list it runs over: every algorithm
+    // `shipped_algorithms` returns must appear in the model.
+    let m = shipped();
+    assert_eq!(
+        m.algorithms.len(),
+        pstack_autotune::shipped_algorithms().len()
+    );
+    for alg in pstack_autotune::shipped_algorithms() {
+        assert!(
+            m.algorithms.iter().any(|a| a.name == alg.name()),
+            "algorithm {:?} missing from the model",
+            alg.name()
+        );
+    }
+}
+
+#[test]
+fn psa015_flags_zero_schema_version() {
+    let mut m = shipped();
+    m.algorithms.push(AlgorithmSchema {
+        name: "fixture-unversioned".to_string(),
+        schema_version: 0,
+        stateful: true,
+        round_trip_error: None,
+    });
+    let errs = errors_of(&m, "PSA015");
+    assert!(
+        errs.iter()
+            .any(|e| e.contains("fixture-unversioned") && e.contains("schema_version 0")),
+        "zero schema version not flagged: {errs:?}"
+    );
+}
+
+#[test]
+fn psa015_flags_round_trip_failure() {
+    let mut m = shipped();
+    m.algorithms.push(AlgorithmSchema {
+        name: "fixture-amnesiac".to_string(),
+        schema_version: 2,
+        stateful: true,
+        round_trip_error: Some("expected map, got Null".to_string()),
+    });
+    let errs = errors_of(&m, "PSA015");
+    assert!(
+        errs.iter()
+            .any(|e| e.contains("fixture-amnesiac") && e.contains("save_state")),
+        "round-trip failure not flagged: {errs:?}"
+    );
+}
+
+#[test]
+fn psa015_flags_duplicate_algorithm_names() {
+    let mut m = shipped();
+    let dup = AlgorithmSchema {
+        name: m.algorithms[0].name.clone(),
+        schema_version: m.algorithms[0].schema_version,
+        stateful: m.algorithms[0].stateful,
+        round_trip_error: None,
+    };
+    m.algorithms.push(dup);
+    let errs = errors_of(&m, "PSA015");
+    assert!(
+        errs.iter().any(|e| e.contains("must be unique")),
+        "duplicate algorithm name not flagged: {errs:?}"
+    );
+}
+
+#[test]
+fn psa015_flags_zero_format_versions() {
+    let mut m = shipped();
+    m.ckpt_wal_version = 0;
+    m.ckpt_snapshot_version = 0;
+    let errs = errors_of(&m, "PSA015");
+    assert!(
+        errs.iter().any(|e| e.contains("WAL format version")),
+        "zero WAL version not flagged: {errs:?}"
+    );
+    assert!(
+        errs.iter().any(|e| e.contains("snapshot format version")),
+        "zero snapshot version not flagged: {errs:?}"
+    );
+}
+
+#[test]
+fn psa015_warns_on_empty_algorithm_list() {
+    let mut m = shipped();
+    m.algorithms.clear();
+    let warns: Vec<String> = analyze(&m)
+        .by_rule("PSA015")
+        .filter(|d| d.severity == Severity::Warn)
+        .map(|d| format!("{d}"))
+        .collect();
+    assert!(
+        warns.iter().any(|w| w.contains("vacuous")),
+        "empty algorithm list not warned: {warns:?}"
     );
 }

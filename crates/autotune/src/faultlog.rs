@@ -91,6 +91,11 @@ impl FaultKind {
             FaultKind::RunAbandoned => "run_abandoned",
         }
     }
+
+    /// Inverse of [`name`](Self::name), for checkpoint replay.
+    pub fn from_name(name: &str) -> Option<FaultKind> {
+        Self::ALL.into_iter().find(|k| k.name() == name)
+    }
 }
 
 impl fmt::Display for FaultKind {

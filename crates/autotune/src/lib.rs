@@ -22,6 +22,9 @@
 //!   to a fallback search when the database is poisoned.
 //! - [`faultlog`]: the [`FaultLog`] carried by every [`TuneReport`] stating
 //!   what was injected and what was survived.
+//! - [`ckpt`]: crash-safe sessions — a write-ahead log of every evaluation,
+//!   periodic full snapshots, and `resume*` entry points on all four drivers
+//!   that replay a killed session to a byte-identical [`TuneReport`].
 //!
 //! Every driver self-profiles into [`TuneReport::profile`] (per-stage
 //! count/total/mean/p95, cache and retry attribution), and
@@ -32,6 +35,7 @@
 
 #![cfg_attr(test, allow(clippy::disallowed_methods))]
 
+pub mod ckpt;
 pub mod db;
 pub mod faultlog;
 pub mod resilient;
@@ -39,11 +43,16 @@ pub mod search;
 pub mod space;
 pub mod tuner;
 
+pub use ckpt::{
+    CheckpointOpts, EvalRecord, ResilientSnapshot, SessionMeta, SessionSnapshot,
+    SNAPSHOT_FORMAT_VERSION, WAL_FORMAT_VERSION,
+};
 pub use db::{Observation, PerfDatabase};
 pub use faultlog::{FaultCounts, FaultEvent, FaultKind, FaultLog};
 pub use resilient::{EvalError, RetryPolicy, Robustness};
 pub use search::{
-    AnnealingSearch, ExhaustiveSearch, ForestSearch, HillClimbSearch, RandomSearch, SearchAlgorithm,
+    shipped_algorithms, AnnealingSearch, ExhaustiveSearch, ForestSearch, HillClimbSearch,
+    RandomSearch, SearchAlgorithm, SearchState,
 };
 pub use space::{Config, Param, ParamSpace, ParamValue};
 pub use tuner::{config_fingerprint, CacheStats, Evaluation, TuneError, TuneReport, Tuner};

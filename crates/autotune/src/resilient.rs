@@ -33,14 +33,16 @@
 //! hashing — a seeded resilient run reproduces the identical report
 //! byte-for-byte for any worker count, exactly like the fault-free drivers.
 
+use crate::ckpt::{
+    checkpoint_tick, ActiveSession, EvalRecord, ResilientSnapshot, RestoredResilient, RestoredState,
+};
 use crate::db::PerfDatabase;
 use crate::faultlog::{FaultKind, FaultLog};
 use crate::search::SearchAlgorithm;
 use crate::space::{Config, ParamSpace};
 use crate::tuner::{config_fingerprint, CacheStats, Evaluation, TuneError, TuneReport, Tuner};
 use pstack_trace::{AttrValue, ProfileBuilder, SpanGuard, SpanId, TraceCollector};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -73,7 +75,7 @@ impl fmt::Display for EvalError {
 impl std::error::Error for EvalError {}
 
 /// Bounded retry-with-backoff policy for failed evaluations.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RetryPolicy {
     /// Total attempts per configuration (first try included). Must be ≥ 1.
     pub max_attempts: usize,
@@ -119,7 +121,7 @@ impl RetryPolicy {
 }
 
 /// Knobs of the resilient loop: retry, outlier detection, degradation.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Robustness {
     /// Per-configuration retry policy.
     pub retry: RetryPolicy,
@@ -249,6 +251,56 @@ fn attempt_config(
     out
 }
 
+/// Rebuild a [`ConfigOutcome`] from its durable [`EvalRecord`] — the
+/// resilient replay path. Event kinds round-trip by name; an unknown name
+/// means the log was written by an incompatible build.
+fn outcome_from_record(rec: EvalRecord) -> Result<ConfigOutcome, TuneError> {
+    let EvalRecord {
+        ordinal,
+        objective,
+        aux,
+        events,
+        failed_attempts,
+        backoff_s,
+        ..
+    } = rec;
+    let mut parsed = Vec::with_capacity(events.len());
+    for (name, attempt, detail) in events {
+        let kind = FaultKind::from_name(&name).ok_or_else(|| TuneError::Checkpoint {
+            detail: format!("record {ordinal} names unknown fault kind `{name}`"),
+        })?;
+        parsed.push((kind, attempt, detail));
+    }
+    Ok(ConfigOutcome {
+        result: objective.map(|o| (o, aux)),
+        events: parsed,
+        failed_attempts,
+        backoff_s,
+        dur_s: 0.0,
+    })
+}
+
+/// Flatten a retry-loop outcome into its durable record.
+fn record_from_outcome(ordinal: usize, cfg: &Config, outcome: &ConfigOutcome) -> EvalRecord {
+    EvalRecord {
+        ordinal,
+        config: cfg.clone(),
+        objective: outcome.result.as_ref().map(|(o, _)| *o),
+        aux: outcome
+            .result
+            .as_ref()
+            .map(|(_, a)| a.clone())
+            .unwrap_or_default(),
+        events: outcome
+            .events
+            .iter()
+            .map(|(k, a, d)| (k.name().to_string(), *a, d.clone()))
+            .collect(),
+        failed_attempts: outcome.failed_attempts,
+        backoff_s: outcome.backoff_s,
+    }
+}
+
 /// Median of the recorded objectives (`None` when empty).
 fn median_objective(db: &PerfDatabase) -> Option<f64> {
     if db.is_empty() {
@@ -285,6 +337,32 @@ impl<'a> ResilientState<'a> {
             failed_attempts: 0,
             fault_budget: max_evals.max(1) * robustness.retry.max_attempts.max(1),
             degraded: false,
+        }
+    }
+
+    /// Rehydrate the loop bookkeeping from a restored snapshot (the fault
+    /// budget is recomputed — `robustness` and `max_evals` come from the
+    /// session metadata, so it matches the original run's).
+    fn restore(&mut self, stats: CacheStats, rr: RestoredResilient) {
+        self.stats = stats;
+        self.quarantined = rr.quarantined;
+        self.faults = rr.faults;
+        self.fresh_idx = rr.fresh_idx;
+        self.failed_attempts = rr.failed_attempts;
+        self.degraded = rr.degraded;
+    }
+
+    /// The durable image of this state, quarantine ledger sorted for
+    /// deterministic bytes.
+    fn snapshot(&self) -> ResilientSnapshot {
+        let mut quarantined: Vec<Config> = self.quarantined.iter().cloned().collect();
+        quarantined.sort();
+        ResilientSnapshot {
+            quarantined,
+            faults: self.faults.clone(),
+            fresh_idx: self.fresh_idx,
+            failed_attempts: self.failed_attempts,
+            degraded: self.degraded,
         }
     }
 
@@ -382,19 +460,88 @@ impl Tuner {
     pub fn run_resilient(
         &self,
         algorithm: &mut dyn SearchAlgorithm,
-        mut fallback: Option<&mut dyn SearchAlgorithm>,
+        fallback: Option<&mut (dyn SearchAlgorithm + '_)>,
+        robustness: &Robustness,
+        evaluate: impl FnMut(&ParamSpace, &Config, usize) -> Result<Evaluation, EvalError>,
+    ) -> Result<TuneReport, TuneError> {
+        let session = self.open_session(
+            "run_resilient",
+            algorithm,
+            fallback.as_deref(),
+            Some(robustness),
+        )?;
+        self.run_resilient_impl(algorithm, fallback, robustness, evaluate, session, None)
+    }
+
+    /// Resume a killed [`run_resilient`](Self::run_resilient) session —
+    /// see [`Tuner::resume`] for the contract. The robustness settings
+    /// come from the session metadata (they shape the retry trajectory, so
+    /// they must match the original run's). The quarantine ledger, fault
+    /// log and degradation state are restored, and replayed records
+    /// re-apply their logged fault events without re-running any retry.
+    ///
+    /// # Errors
+    /// As [`Tuner::resume`]; additionally [`TuneError::Checkpoint`] when
+    /// the session metadata carries no robustness settings.
+    pub fn resume_resilient(
+        &self,
+        algorithm: &mut dyn SearchAlgorithm,
+        mut fallback: Option<&mut (dyn SearchAlgorithm + '_)>,
+        evaluate: impl FnMut(&ParamSpace, &Config, usize) -> Result<Evaluation, EvalError>,
+    ) -> Result<TuneReport, TuneError> {
+        let (tuner, session, restored) =
+            self.load_session("run_resilient", algorithm, fallback.as_deref_mut())?;
+        let robustness = session
+            .meta()
+            .robustness
+            .ok_or_else(|| TuneError::Checkpoint {
+                detail: "session metadata carries no robustness settings".to_string(),
+            })?;
+        tuner.run_resilient_impl(
+            algorithm,
+            fallback,
+            &robustness,
+            evaluate,
+            Some(session),
+            Some(restored),
+        )
+    }
+
+    fn run_resilient_impl(
+        &self,
+        algorithm: &mut dyn SearchAlgorithm,
+        mut fallback: Option<&mut (dyn SearchAlgorithm + '_)>,
         robustness: &Robustness,
         mut evaluate: impl FnMut(&ParamSpace, &Config, usize) -> Result<Evaluation, EvalError>,
+        mut session: Option<ActiveSession>,
+        mut restored: Option<RestoredState>,
     ) -> Result<TuneReport, TuneError> {
         self.preflight()?;
         let mut profile = ProfileBuilder::new();
         let mut root = self.open_root("tuner.run_resilient", algorithm.name());
-        let mut db = self.warm_start.clone().unwrap_or_default();
-        let prior_len = db.len();
-        let mut cache = self.prior_cache(&db);
+        let restored_res = match restored.as_mut() {
+            Some(r) => Some(r.resilient.take().ok_or_else(|| TuneError::Checkpoint {
+                detail: "resilient session snapshot lacks the resilient state".to_string(),
+            })?),
+            None => None,
+        };
+        let (mut db, prior_len, mut cache, stats, mut rng, mut consecutive_dups) =
+            self.loop_state(restored);
         let mut state = ResilientState::new(robustness, self.max_evals);
-        let mut rng = SmallRng::seed_from_u64(self.seed);
-        let mut consecutive_dups = 0;
+        if let Some(rr) = restored_res {
+            state.restore(stats, rr);
+        }
+        checkpoint_tick(
+            &mut session,
+            &db,
+            &cache,
+            state.stats,
+            &rng,
+            consecutive_dups,
+            &*algorithm,
+            fallback.as_deref(),
+            || Some(state.snapshot()),
+        )?;
         while db.len() - prior_len < self.max_evals {
             let active: &mut dyn SearchAlgorithm = if state.degraded {
                 fallback
@@ -449,19 +596,33 @@ impl Tuner {
                 continue;
             }
             consecutive_dups = 0;
-            let mut span = root.as_ref().map(|r| {
-                let mut s = r.child("eval");
-                s.attr("worker", 0usize);
-                s.attr("config", config_fingerprint(&cfg));
-                s
-            });
-            let outcome = attempt_config(&self.space, &cfg, &robustness.retry, &mut evaluate);
+            let replayed = match session.as_mut() {
+                Some(s) => s.replay_next(&cfg)?,
+                None => None,
+            };
+            let outcome = match replayed {
+                Some(rec) => outcome_from_record(rec)?,
+                None => {
+                    let mut span = root.as_ref().map(|r| {
+                        let mut s = r.child("eval");
+                        s.attr("worker", 0usize);
+                        s.attr("config", config_fingerprint(&cfg));
+                        s
+                    });
+                    let outcome =
+                        attempt_config(&self.space, &cfg, &robustness.retry, &mut evaluate);
+                    if let Some(s) = span.as_mut() {
+                        outcome.annotate(s);
+                    }
+                    drop(span);
+                    if let Some(s) = session.as_mut() {
+                        s.log(&record_from_outcome(s.next_ordinal(), &cfg, &outcome))?;
+                    }
+                    outcome
+                }
+            };
             profile.sample("evaluate", outcome.dur_s);
             profile.retries(outcome.retry_count());
-            if let Some(s) = span.as_mut() {
-                outcome.annotate(s);
-            }
-            drop(span);
             if let Some((objective, aux)) = state.absorb(&cfg, outcome) {
                 state.stats.misses += 1;
                 cache.insert(cfg.clone(), (objective, aux.clone()));
@@ -490,9 +651,23 @@ impl Tuner {
                     }
                 }
             }
+            checkpoint_tick(
+                &mut session,
+                &db,
+                &cache,
+                state.stats,
+                &rng,
+                consecutive_dups,
+                &*algorithm,
+                fallback.as_deref(),
+                || Some(state.snapshot()),
+            )?;
             if state.budget_spent() {
                 break;
             }
+        }
+        if let Some(s) = session.as_mut() {
+            s.finish()?;
         }
         let mut report = self.report(
             if state.degraded {
@@ -534,10 +709,68 @@ impl Tuner {
     pub fn run_parallel_resilient(
         &self,
         algorithm: &mut dyn SearchAlgorithm,
-        mut fallback: Option<&mut dyn SearchAlgorithm>,
+        fallback: Option<&mut (dyn SearchAlgorithm + '_)>,
         robustness: &Robustness,
         workers: usize,
         evaluate: impl Fn(&ParamSpace, &Config, usize) -> Result<Evaluation, EvalError> + Sync,
+    ) -> Result<TuneReport, TuneError> {
+        let session = self.open_session(
+            "run_parallel_resilient",
+            algorithm,
+            fallback.as_deref(),
+            Some(robustness),
+        )?;
+        self.run_parallel_resilient_impl(
+            algorithm, fallback, robustness, workers, evaluate, session, None,
+        )
+    }
+
+    /// Resume a killed
+    /// [`run_parallel_resilient`](Self::run_parallel_resilient) session —
+    /// see [`resume_resilient`](Self::resume_resilient) for the contract.
+    /// The worker count may differ from the original run's.
+    ///
+    /// # Errors
+    /// As [`resume_resilient`](Self::resume_resilient).
+    ///
+    /// # Panics
+    /// Panics on zero workers.
+    pub fn resume_parallel_resilient(
+        &self,
+        algorithm: &mut dyn SearchAlgorithm,
+        mut fallback: Option<&mut (dyn SearchAlgorithm + '_)>,
+        workers: usize,
+        evaluate: impl Fn(&ParamSpace, &Config, usize) -> Result<Evaluation, EvalError> + Sync,
+    ) -> Result<TuneReport, TuneError> {
+        let (tuner, session, restored) =
+            self.load_session("run_parallel_resilient", algorithm, fallback.as_deref_mut())?;
+        let robustness = session
+            .meta()
+            .robustness
+            .ok_or_else(|| TuneError::Checkpoint {
+                detail: "session metadata carries no robustness settings".to_string(),
+            })?;
+        tuner.run_parallel_resilient_impl(
+            algorithm,
+            fallback,
+            &robustness,
+            workers,
+            evaluate,
+            Some(session),
+            Some(restored),
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_parallel_resilient_impl(
+        &self,
+        algorithm: &mut dyn SearchAlgorithm,
+        mut fallback: Option<&mut (dyn SearchAlgorithm + '_)>,
+        robustness: &Robustness,
+        workers: usize,
+        evaluate: impl Fn(&ParamSpace, &Config, usize) -> Result<Evaluation, EvalError> + Sync,
+        mut session: Option<ActiveSession>,
+        mut restored: Option<RestoredState>,
     ) -> Result<TuneReport, TuneError> {
         assert!(workers > 0, "need at least one worker");
         self.preflight()?;
@@ -547,12 +780,29 @@ impl Tuner {
             root.attr("workers", workers);
             root.attr("batch_size", self.batch_size);
         }
-        let mut db = self.warm_start.clone().unwrap_or_default();
-        let prior_len = db.len();
-        let mut cache = self.prior_cache(&db);
+        let restored_res = match restored.as_mut() {
+            Some(r) => Some(r.resilient.take().ok_or_else(|| TuneError::Checkpoint {
+                detail: "resilient session snapshot lacks the resilient state".to_string(),
+            })?),
+            None => None,
+        };
+        let (mut db, prior_len, mut cache, stats, mut rng, mut consecutive_dups) =
+            self.loop_state(restored);
         let mut state = ResilientState::new(robustness, self.max_evals);
-        let mut rng = SmallRng::seed_from_u64(self.seed);
-        let mut consecutive_dups = 0;
+        if let Some(rr) = restored_res {
+            state.restore(stats, rr);
+        }
+        checkpoint_tick(
+            &mut session,
+            &db,
+            &cache,
+            state.stats,
+            &rng,
+            consecutive_dups,
+            &*algorithm,
+            fallback.as_deref(),
+            || Some(state.snapshot()),
+        )?;
         'rounds: while db.len() - prior_len < self.max_evals {
             let want = self.batch_size.min(self.max_evals - (db.len() - prior_len));
             let active: &mut dyn SearchAlgorithm = if state.degraded {
@@ -625,14 +875,34 @@ impl Tuner {
                 (Some(t), Some(r)) => Some((t, r.id())),
                 _ => None,
             };
-            let outcomes = evaluate_batch_resilient(
+            let mut outcomes: Vec<ConfigOutcome> = Vec::new();
+            if let Some(s) = session.as_mut() {
+                while outcomes.len() < fresh.len() {
+                    match s.replay_next(&fresh[outcomes.len()])? {
+                        Some(rec) => outcomes.push(outcome_from_record(rec)?),
+                        None => break,
+                    }
+                }
+            }
+            let replay_n = outcomes.len();
+            let live = evaluate_batch_resilient(
                 &self.space,
-                &fresh,
+                &fresh[replay_n..],
                 &robustness.retry,
                 workers,
                 &evaluate,
                 trace,
             );
+            for (i, outcome) in live.into_iter().enumerate() {
+                if let Some(s) = session.as_mut() {
+                    s.log(&record_from_outcome(
+                        s.next_ordinal(),
+                        &fresh[replay_n + i],
+                        &outcome,
+                    ))?;
+                }
+                outcomes.push(outcome);
+            }
             for (cfg, outcome) in fresh.iter().zip(outcomes) {
                 profile.sample("evaluate", outcome.dur_s);
                 profile.retries(outcome.retry_count());
@@ -665,9 +935,23 @@ impl Tuner {
                     }
                 }
             }
+            checkpoint_tick(
+                &mut session,
+                &db,
+                &cache,
+                state.stats,
+                &rng,
+                consecutive_dups,
+                &*algorithm,
+                fallback.as_deref(),
+                || Some(state.snapshot()),
+            )?;
             if state.budget_spent() || exhausted {
                 break 'rounds;
             }
+        }
+        if let Some(s) = session.as_mut() {
+            s.finish()?;
         }
         let mut report = self.report(
             if state.degraded {

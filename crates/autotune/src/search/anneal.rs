@@ -1,11 +1,12 @@
 //! Simulated annealing.
 
-use super::SearchAlgorithm;
+use super::{SearchAlgorithm, SearchState};
 use crate::db::PerfDatabase;
 use crate::space::{Config, ParamSpace};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::Rng;
+use serde::{Deserialize, Serialize, Value};
 
 /// Metropolis-accept simulated annealing with geometric cooling.
 ///
@@ -45,6 +46,28 @@ impl AnnealingSearch {
     /// A general-purpose schedule: starts hot relative to early observations.
     pub fn default_schedule() -> Self {
         Self::new(1.0, 0.97)
+    }
+}
+
+impl SearchState for AnnealingSearch {
+    fn save_state(&self) -> Value {
+        // `cooling`/`t_min` are construction-time configuration the resume
+        // caller re-supplies; only the walker's mutable position is state.
+        Value::Map(vec![
+            ("state".to_string(), self.state.to_value()),
+            ("pending".to_string(), self.pending.to_value()),
+            ("temperature".to_string(), self.temperature.to_value()),
+        ])
+    }
+
+    fn load_state(&mut self, state: &Value) -> Result<(), String> {
+        self.state = Option::<Config>::from_value(state.field("state"))
+            .map_err(|e| format!("annealing walker state: {e}"))?;
+        self.pending = Option::<Config>::from_value(state.field("pending"))
+            .map_err(|e| format!("annealing pending move: {e}"))?;
+        self.temperature = f64::from_value(state.field("temperature"))
+            .map_err(|e| format!("annealing temperature: {e}"))?;
+        Ok(())
     }
 }
 

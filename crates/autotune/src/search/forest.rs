@@ -9,7 +9,7 @@
 //!    by predicted mean minus an exploration bonus proportional to the
 //!    ensemble's disagreement (a cheap UCB), and suggest the best unseen one.
 
-use super::SearchAlgorithm;
+use super::{SearchAlgorithm, SearchState};
 use crate::db::PerfDatabase;
 use crate::space::{Config, ParamSpace};
 use rand::rngs::SmallRng;
@@ -235,6 +235,11 @@ impl Default for ForestSearch {
         Self::new()
     }
 }
+
+/// Stateless for checkpointing: the surrogate is refit from the database
+/// on every call, so the session snapshot's database and RNG state fully
+/// determine the next suggestion.
+impl SearchState for ForestSearch {}
 
 impl SearchAlgorithm for ForestSearch {
     fn name(&self) -> &str {

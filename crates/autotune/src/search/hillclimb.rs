@@ -1,10 +1,11 @@
 //! Hill climbing with random restarts.
 
-use super::SearchAlgorithm;
+use super::{SearchAlgorithm, SearchState};
 use crate::db::PerfDatabase;
 use crate::space::{Config, ParamSpace};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
+use serde::{Deserialize, Serialize, Value};
 
 /// First-improvement hill climbing: evaluate neighbours of the current
 /// incumbent; when a neighbourhood is exhausted without improvement, restart
@@ -37,6 +38,23 @@ impl HillClimbSearch {
 impl Default for HillClimbSearch {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+impl SearchState for HillClimbSearch {
+    fn save_state(&self) -> Value {
+        Value::Map(vec![
+            ("current".to_string(), self.current.to_value()),
+            ("frontier".to_string(), self.frontier.to_value()),
+        ])
+    }
+
+    fn load_state(&mut self, state: &Value) -> Result<(), String> {
+        self.current = Option::<Config>::from_value(state.field("current"))
+            .map_err(|e| format!("hill-climb incumbent: {e}"))?;
+        self.frontier = Vec::<Config>::from_value(state.field("frontier"))
+            .map_err(|e| format!("hill-climb frontier: {e}"))?;
+        Ok(())
     }
 }
 

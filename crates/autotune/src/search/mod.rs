@@ -15,9 +15,57 @@ pub use hillclimb::HillClimbSearch;
 use crate::db::PerfDatabase;
 use crate::space::{Config, ParamSpace};
 use rand::rngs::SmallRng;
+use serde::Deserialize;
+
+/// Every search algorithm the framework ships, as fresh instances — the
+/// single source of truth for name ↔ checkpoint-schema pairs. The static
+/// model (`pstack-analyze`) audits this list, and the PSA015 lint holds
+/// each entry to the [`SearchState`] versioning contract.
+pub fn shipped_algorithms() -> Vec<Box<dyn SearchAlgorithm>> {
+    vec![
+        Box::new(RandomSearch::new()),
+        Box::new(ExhaustiveSearch::new()),
+        Box::new(ForestSearch::new()),
+        Box::new(HillClimbSearch::new()),
+        Box::new(AnnealingSearch::default_schedule()),
+    ]
+}
+
+/// Checkpointable search state: serialize the algorithm's *mutable*
+/// position (cursor, walker, frontier, temperature) so a crashed session
+/// resumes exactly where it stopped.
+///
+/// The defaults describe a stateless algorithm — one whose suggestions
+/// depend only on `(space, db, rng)`, all of which the session snapshot
+/// already carries ([`RandomSearch`], [`ForestSearch`](crate::ForestSearch)).
+/// Stateful algorithms override all three methods; `schema_version` must
+/// be bumped whenever the shape `save_state` produces changes, so a
+/// snapshot from an older build is rejected instead of misread (the
+/// PSA015 lint audits every shipped algorithm for this contract).
+pub trait SearchState {
+    /// Version of the `save_state` schema (≥ 1).
+    fn schema_version(&self) -> u32 {
+        1
+    }
+
+    /// Serialize the mutable search state ([`serde::Value::Null`] for
+    /// stateless algorithms).
+    fn save_state(&self) -> serde::Value {
+        serde::Value::Null
+    }
+
+    /// Restore state produced by [`save_state`](Self::save_state).
+    ///
+    /// # Errors
+    /// A description of the mismatch when `state` does not have the shape
+    /// this algorithm saves.
+    fn load_state(&mut self, _state: &serde::Value) -> Result<(), String> {
+        Ok(())
+    }
+}
 
 /// A sequential search strategy.
-pub trait SearchAlgorithm {
+pub trait SearchAlgorithm: SearchState {
     /// Algorithm name for reports.
     fn name(&self) -> &str;
 
@@ -77,6 +125,9 @@ impl RandomSearch {
         RandomSearch
     }
 }
+
+/// Stateless: every suggestion is derived from `(space, db, rng)` alone.
+impl SearchState for RandomSearch {}
 
 impl SearchAlgorithm for RandomSearch {
     fn name(&self) -> &str {
@@ -158,6 +209,32 @@ impl ExhaustiveSearch {
             raw /= radix;
         }
         cfg
+    }
+}
+
+impl SearchState for ExhaustiveSearch {
+    fn save_state(&self) -> serde::Value {
+        // u128 split into two u64 halves: the vendored serde's integer
+        // model tops out at u64.
+        serde::Value::Map(vec![
+            (
+                "cursor_hi".to_string(),
+                serde::Value::UInt((self.raw_cursor >> 64) as u64),
+            ),
+            (
+                "cursor_lo".to_string(),
+                serde::Value::UInt(self.raw_cursor as u64),
+            ),
+        ])
+    }
+
+    fn load_state(&mut self, state: &serde::Value) -> Result<(), String> {
+        let half = |key: &str| {
+            u64::from_value(state.field(key))
+                .map_err(|e| format!("exhaustive cursor field {key}: {e}"))
+        };
+        self.raw_cursor = ((half("cursor_hi")? as u128) << 64) | half("cursor_lo")? as u128;
+        Ok(())
     }
 }
 
@@ -262,6 +339,83 @@ mod tests {
         all.extend(rest);
         all.dedup();
         assert_eq!(all.len(), 6, "every point exactly once, in sweep order");
+    }
+
+    #[test]
+    fn exhaustive_state_round_trips_mid_sweep() {
+        let s = space();
+        let db = PerfDatabase::new();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut alg = ExhaustiveSearch::new();
+        for _ in 0..3 {
+            alg.suggest(&s, &db, &mut rng);
+        }
+        let saved = alg.save_state();
+        let mut restored = ExhaustiveSearch::new();
+        restored.load_state(&saved).expect("well-formed state");
+        let mut rest_a = Vec::new();
+        while let Some(c) = alg.suggest(&s, &db, &mut rng) {
+            rest_a.push(c);
+        }
+        let mut rest_b = Vec::new();
+        while let Some(c) = restored.suggest(&s, &db, &mut rng) {
+            rest_b.push(c);
+        }
+        assert_eq!(rest_a, rest_b, "restored sweep continues identically");
+        assert!(ExhaustiveSearch::new()
+            .load_state(&serde::Value::Str("junk".into()))
+            .is_err());
+    }
+
+    #[test]
+    fn every_shipped_algorithm_declares_a_schema_version() {
+        let shipped = shipped_algorithms();
+        assert_eq!(shipped.len(), 5);
+        let mut names: Vec<String> = shipped.iter().map(|a| a.name().to_string()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 5, "algorithm names are unique");
+        for alg in &shipped {
+            assert!(alg.schema_version() >= 1, "{}: version floor", alg.name());
+        }
+    }
+
+    #[test]
+    fn stateful_algorithms_round_trip_through_save_load() {
+        // Drive each shipped algorithm a few steps, save, restore into a
+        // fresh instance, and check the next suggestions agree (with the
+        // RNG stream also cloned — the session snapshot carries both).
+        let s = space();
+        for make in [
+            || -> Box<dyn SearchAlgorithm> { Box::new(RandomSearch::new()) },
+            || -> Box<dyn SearchAlgorithm> { Box::new(ExhaustiveSearch::new()) },
+            || -> Box<dyn SearchAlgorithm> { Box::new(ForestSearch::new()) },
+            || -> Box<dyn SearchAlgorithm> { Box::new(HillClimbSearch::new()) },
+            || -> Box<dyn SearchAlgorithm> { Box::new(AnnealingSearch::default_schedule()) },
+        ] {
+            let mut db = PerfDatabase::new();
+            let mut rng = SmallRng::seed_from_u64(17);
+            let mut alg = make();
+            for _ in 0..4 {
+                if let Some(c) = alg.suggest(&s, &db, &mut rng) {
+                    if !db.contains(&c) {
+                        let o = (c[0] + 2 * c[1]) as f64;
+                        db.record(c, o, Default::default());
+                    }
+                }
+            }
+            let mut restored = make();
+            restored
+                .load_state(&alg.save_state())
+                .unwrap_or_else(|e| panic!("{}: load failed: {e}", alg.name()));
+            let mut rng_b = rng.clone();
+            assert_eq!(
+                alg.suggest(&s, &db, &mut rng),
+                restored.suggest(&s, &db, &mut rng_b),
+                "{} diverged after state round-trip",
+                restored.name()
+            );
+        }
     }
 
     #[test]

@@ -328,6 +328,31 @@ impl ParamSpace {
             .collect()
     }
 
+    /// Stable 16-hex-digit fingerprint of the space's *shape*: parameter
+    /// names and value lists plus constraint names (predicates are opaque
+    /// closures, so their names stand in for them). Checkpoint resume
+    /// compares this to reject resuming a session against a different
+    /// space, where replayed configuration indices would silently mean
+    /// different knob values.
+    pub fn fingerprint(&self) -> String {
+        let mut canon = String::new();
+        for p in &self.params {
+            canon.push_str(&p.name);
+            canon.push('=');
+            for v in &p.values {
+                canon.push_str(&format!("{v:?}"));
+                canon.push(',');
+            }
+            canon.push(';');
+        }
+        canon.push('|');
+        for c in &self.constraints {
+            canon.push_str(&c.name);
+            canon.push(';');
+        }
+        format!("{:016x}", pstack_trace::hash64(canon.as_bytes()))
+    }
+
     /// Render a configuration as `name=value` pairs.
     pub fn describe(&self, cfg: &Config) -> String {
         cfg.iter()
@@ -481,6 +506,22 @@ mod tests {
     fn describe_renders_values() {
         let s = space();
         assert_eq!(s.describe(&vec![1, 2, 1]), "tile=8 unroll=4 solver=gmres");
+    }
+
+    #[test]
+    fn fingerprint_tracks_shape_not_predicates() {
+        let a = space();
+        let b = space();
+        assert_eq!(a.fingerprint(), b.fingerprint(), "same shape, same print");
+        assert_eq!(a.fingerprint().len(), 16);
+        let wider = space().with(Param::boolean("fused"));
+        assert_ne!(a.fingerprint(), wider.fingerprint());
+        let renamed_constraint = ParamSpace::new()
+            .with(Param::ints("tile", [4, 8, 16, 32]))
+            .with(Param::ints("unroll", [1, 2, 4]))
+            .with(Param::strs("solver", ["pcg", "gmres"]))
+            .with_constraint("different name", |_, _| true);
+        assert_ne!(a.fingerprint(), renamed_constraint.fingerprint());
     }
 
     #[test]

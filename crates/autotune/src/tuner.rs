@@ -15,6 +15,9 @@
 //! per configuration so duplicate suggestions (common in warm-started runs)
 //! never re-simulate.
 
+use crate::ckpt::{
+    checkpoint_tick, ActiveSession, CheckpointOpts, EvalRecord, InterruptFn, RestoredState,
+};
 use crate::db::PerfDatabase;
 use crate::faultlog::FaultLog;
 use crate::search::SearchAlgorithm;
@@ -78,6 +81,20 @@ pub enum TuneError {
         /// One human-readable line per finding.
         diagnostics: Vec<String>,
     },
+    /// A crash-injection hook ([`Tuner::interrupt_when`]) aborted the run
+    /// after the given ordinal's WAL append. The checkpoint on disk is
+    /// consistent; the matching `resume_*` driver continues the session.
+    Interrupted {
+        /// Ordinal of the last record made durable before the abort.
+        at_ordinal: usize,
+    },
+    /// Checkpoint storage or schema problem: unreadable snapshot, session
+    /// metadata that does not match the resume arguments, or a resumed
+    /// search that diverged from its write-ahead log.
+    Checkpoint {
+        /// Human-readable description.
+        detail: String,
+    },
 }
 
 impl fmt::Display for TuneError {
@@ -95,6 +112,12 @@ impl fmt::Display for TuneError {
                 "tuning rejected by static checks ({context}): {}",
                 diagnostics.join("; ")
             ),
+            TuneError::Interrupted { at_ordinal } => write!(
+                f,
+                "tuning session interrupted after ordinal {at_ordinal}; the checkpoint is \
+                 consistent and the session can be resumed"
+            ),
+            TuneError::Checkpoint { detail } => write!(f, "checkpoint error: {detail}"),
         }
     }
 }
@@ -198,6 +221,7 @@ impl Deserialize for TuneReport {
 /// assert_eq!(report.evals, 12);
 /// assert_eq!(report.best_objective, 1.0); // tile=32, unroll=1
 /// ```
+#[derive(Clone)]
 pub struct Tuner {
     pub(crate) space: ParamSpace,
     pub(crate) max_evals: usize,
@@ -206,6 +230,8 @@ pub struct Tuner {
     pub(crate) max_consecutive_duplicates: usize,
     pub(crate) batch_size: usize,
     pub(crate) trace: Option<Arc<TraceCollector>>,
+    pub(crate) checkpoint: Option<CheckpointOpts>,
+    pub(crate) interrupt: Option<Arc<InterruptFn>>,
 }
 
 impl Tuner {
@@ -233,6 +259,8 @@ impl Tuner {
             max_consecutive_duplicates: Self::DEFAULT_MAX_CONSECUTIVE_DUPLICATES,
             batch_size: Self::DEFAULT_BATCH_SIZE,
             trace: None,
+            checkpoint: None,
+            interrupt: None,
         }
     }
 
@@ -301,6 +329,59 @@ impl Tuner {
         self
     }
 
+    /// Checkpoint this run into `dir`: a write-ahead log of evaluation
+    /// outcomes (appended before the search observes each result) plus
+    /// periodic full-state snapshots, so a killed run resumes via
+    /// [`resume`](Self::resume) / [`resume_parallel`](Self::resume_parallel)
+    /// (and the resilient siblings) and reproduces the uninterrupted run's
+    /// report byte-for-byte. Starting a `run_*` driver with a checkpoint
+    /// directory truncates any previous session in it.
+    pub fn checkpoint(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.checkpoint = Some(CheckpointOpts::new(dir));
+        self
+    }
+
+    /// Snapshot cadence in records (default
+    /// [`CheckpointOpts::DEFAULT_SNAPSHOT_EVERY`]). Parallel drivers
+    /// snapshot at the first round boundary at or past the cadence.
+    ///
+    /// # Panics
+    /// Panics on zero, or when called before [`checkpoint`](Self::checkpoint).
+    pub fn snapshot_every(mut self, n: usize) -> Self {
+        assert!(n > 0, "snapshot cadence must be positive");
+        self.checkpoint
+            .as_mut()
+            .expect("call checkpoint(dir) before snapshot_every")
+            .snapshot_every = n;
+        self
+    }
+
+    /// `fsync` the WAL every `n` appends (default 1: every record durable
+    /// before the search sees it). Larger values trade a bounded window of
+    /// re-evaluable work for throughput.
+    ///
+    /// # Panics
+    /// Panics on zero, or when called before [`checkpoint`](Self::checkpoint).
+    pub fn fsync_every(mut self, n: usize) -> Self {
+        assert!(n > 0, "fsync cadence must be positive");
+        self.checkpoint
+            .as_mut()
+            .expect("call checkpoint(dir) before fsync_every")
+            .fsync_every = n;
+        self
+    }
+
+    /// Install a crash-injection hook: `f` is called with each ordinal just
+    /// after its WAL append, and returning `true` aborts the run with
+    /// [`TuneError::Interrupted`] — simulating the process dying right
+    /// after the write hit disk. Only consulted when a checkpoint directory
+    /// is configured, and never for replayed records (a resumed run cannot
+    /// be re-killed at an ordinal it already survived).
+    pub fn interrupt_when(mut self, f: impl Fn(usize) -> bool + Send + Sync + 'static) -> Self {
+        self.interrupt = Some(Arc::new(f));
+        self
+    }
+
     /// The space being tuned.
     pub fn space(&self) -> &ParamSpace {
         &self.space
@@ -337,17 +418,61 @@ impl Tuner {
     pub fn run(
         &self,
         algorithm: &mut dyn SearchAlgorithm,
+        evaluate: impl FnMut(&ParamSpace, &Config) -> (f64, HashMap<String, f64>),
+    ) -> Result<TuneReport, TuneError> {
+        let session = self.open_session("run", algorithm, None, None)?;
+        self.run_impl(algorithm, evaluate, session, None)
+    }
+
+    /// Resume a killed [`run`](Self::run) session from the checkpoint
+    /// directory configured with [`checkpoint`](Self::checkpoint).
+    ///
+    /// The snapshot restores the database, cache, RNG and algorithm state;
+    /// the WAL tail then *replays* into the re-driven search, answering
+    /// each logged configuration without calling `evaluate`. Session
+    /// metadata overrides this tuner's seed/budget settings, so the
+    /// resumed run finishes exactly as the uninterrupted one would have —
+    /// byte-identical report for any kill point.
+    ///
+    /// # Errors
+    /// [`TuneError::Checkpoint`] when no checkpoint directory is
+    /// configured, the session is unreadable, or its metadata (driver,
+    /// space fingerprint, algorithm name/schema) does not match; otherwise
+    /// as [`run`](Self::run).
+    pub fn resume(
+        &self,
+        algorithm: &mut dyn SearchAlgorithm,
+        evaluate: impl FnMut(&ParamSpace, &Config) -> (f64, HashMap<String, f64>),
+    ) -> Result<TuneReport, TuneError> {
+        let (tuner, session, restored) = self.load_session("run", algorithm, None)?;
+        tuner.run_impl(algorithm, evaluate, Some(session), Some(restored))
+    }
+
+    fn run_impl(
+        &self,
+        algorithm: &mut dyn SearchAlgorithm,
         mut evaluate: impl FnMut(&ParamSpace, &Config) -> (f64, HashMap<String, f64>),
+        mut session: Option<ActiveSession>,
+        restored: Option<RestoredState>,
     ) -> Result<TuneReport, TuneError> {
         self.preflight()?;
         let mut profile = ProfileBuilder::new();
         let mut root = self.open_root("tuner.run", algorithm.name());
-        let mut db = self.warm_start.clone().unwrap_or_default();
-        let prior_len = db.len();
-        let mut cache = self.prior_cache(&db);
-        let mut stats = CacheStats::default();
-        let mut rng = SmallRng::seed_from_u64(self.seed);
-        let mut consecutive_dups = 0;
+        let (mut db, prior_len, mut cache, mut stats, mut rng, mut consecutive_dups) =
+            self.loop_state(restored);
+        // Fresh sessions snapshot their starting state immediately, so a
+        // resume target exists before the first evaluation completes.
+        checkpoint_tick(
+            &mut session,
+            &db,
+            &cache,
+            stats,
+            &rng,
+            consecutive_dups,
+            &*algorithm,
+            None,
+            || None,
+        )?;
         while db.len() - prior_len < self.max_evals {
             let t_suggest = Instant::now();
             let suggestion = algorithm.suggest(&self.space, &db, &mut rng);
@@ -375,21 +500,70 @@ impl Tuner {
             }
             consecutive_dups = 0;
             stats.misses += 1;
-            let mut span = root.as_ref().map(|r| {
-                let mut s = r.child("eval");
-                s.attr("worker", 0usize);
-                s.attr("config", config_fingerprint(&cfg));
-                s
-            });
-            let t_eval = Instant::now();
-            let (objective, aux) = evaluate(&self.space, &cfg);
-            profile.sample("evaluate", t_eval.elapsed().as_secs_f64());
-            if let Some(s) = span.as_mut() {
-                s.attr("objective", objective);
-            }
-            drop(span);
+            let replayed = match session.as_mut() {
+                Some(s) => s.replay_next(&cfg)?,
+                None => None,
+            };
+            let (objective, aux) = match replayed {
+                Some(rec) => {
+                    // Answered from the WAL: no evaluator call, but the
+                    // profile keeps its one-sample-per-miss invariant.
+                    profile.sample("evaluate", 0.0);
+                    let Some(objective) = rec.objective else {
+                        return Err(TuneError::Checkpoint {
+                            detail: format!(
+                                "record {} has no objective, but the fault-free driver never \
+                                 quarantines",
+                                rec.ordinal
+                            ),
+                        });
+                    };
+                    (objective, rec.aux)
+                }
+                None => {
+                    let mut span = root.as_ref().map(|r| {
+                        let mut s = r.child("eval");
+                        s.attr("worker", 0usize);
+                        s.attr("config", config_fingerprint(&cfg));
+                        s
+                    });
+                    let t_eval = Instant::now();
+                    let (objective, aux) = evaluate(&self.space, &cfg);
+                    profile.sample("evaluate", t_eval.elapsed().as_secs_f64());
+                    if let Some(s) = span.as_mut() {
+                        s.attr("objective", objective);
+                    }
+                    drop(span);
+                    if let Some(s) = session.as_mut() {
+                        s.log(&EvalRecord {
+                            ordinal: s.next_ordinal(),
+                            config: cfg.clone(),
+                            objective: Some(objective),
+                            aux: aux.clone(),
+                            events: Vec::new(),
+                            failed_attempts: 0,
+                            backoff_s: 0.0,
+                        })?;
+                    }
+                    (objective, aux)
+                }
+            };
             cache.insert(cfg.clone(), (objective, aux.clone()));
             db.record(cfg, objective, aux);
+            checkpoint_tick(
+                &mut session,
+                &db,
+                &cache,
+                stats,
+                &rng,
+                consecutive_dups,
+                &*algorithm,
+                None,
+                || None,
+            )?;
+        }
+        if let Some(s) = session.as_mut() {
+            s.finish()?;
         }
         let report = self.report(algorithm, db, prior_len, stats, profile);
         if let (Some(root), Ok(report)) = (root.as_mut(), &report) {
@@ -397,6 +571,44 @@ impl Tuner {
             root.attr("best_objective", report.best_objective);
         }
         report
+    }
+
+    /// Loop state for a driver: either rebuilt from a restored snapshot or
+    /// initialized fresh from the tuner's settings.
+    pub(crate) fn loop_state(
+        &self,
+        restored: Option<RestoredState>,
+    ) -> (
+        PerfDatabase,
+        usize,
+        HashMap<Config, Evaluation>,
+        CacheStats,
+        SmallRng,
+        usize,
+    ) {
+        match restored {
+            Some(r) => (
+                r.db,
+                r.prior_len,
+                r.cache,
+                r.stats,
+                r.rng,
+                r.consecutive_dups,
+            ),
+            None => {
+                let db = self.warm_start.clone().unwrap_or_default();
+                let prior_len = db.len();
+                let cache = self.prior_cache(&db);
+                (
+                    db,
+                    prior_len,
+                    cache,
+                    CacheStats::default(),
+                    SmallRng::seed_from_u64(self.seed),
+                    0,
+                )
+            }
+        }
     }
 
     /// Run the loop with batched suggestions and a pool of `workers` threads
@@ -449,6 +661,38 @@ impl Tuner {
         workers: usize,
         evaluate: impl Fn(&ParamSpace, &Config) -> (f64, HashMap<String, f64>) + Sync,
     ) -> Result<TuneReport, TuneError> {
+        let session = self.open_session("run_parallel", algorithm, None, None)?;
+        self.run_parallel_impl(algorithm, workers, evaluate, session, None)
+    }
+
+    /// Resume a killed [`run_parallel`](Self::run_parallel) session — see
+    /// [`resume`](Self::resume) for the contract. The worker count may
+    /// differ from the original run's: batch composition never depends on
+    /// it, so the resumed report is still byte-identical.
+    ///
+    /// # Errors
+    /// As [`resume`](Self::resume).
+    ///
+    /// # Panics
+    /// Panics on zero workers.
+    pub fn resume_parallel(
+        &self,
+        algorithm: &mut dyn SearchAlgorithm,
+        workers: usize,
+        evaluate: impl Fn(&ParamSpace, &Config) -> (f64, HashMap<String, f64>) + Sync,
+    ) -> Result<TuneReport, TuneError> {
+        let (tuner, session, restored) = self.load_session("run_parallel", algorithm, None)?;
+        tuner.run_parallel_impl(algorithm, workers, evaluate, Some(session), Some(restored))
+    }
+
+    fn run_parallel_impl(
+        &self,
+        algorithm: &mut dyn SearchAlgorithm,
+        workers: usize,
+        evaluate: impl Fn(&ParamSpace, &Config) -> (f64, HashMap<String, f64>) + Sync,
+        mut session: Option<ActiveSession>,
+        restored: Option<RestoredState>,
+    ) -> Result<TuneReport, TuneError> {
         assert!(workers > 0, "need at least one worker");
         self.preflight()?;
         let mut profile = ProfileBuilder::new();
@@ -457,12 +701,19 @@ impl Tuner {
             root.attr("workers", workers);
             root.attr("batch_size", self.batch_size);
         }
-        let mut db = self.warm_start.clone().unwrap_or_default();
-        let prior_len = db.len();
-        let mut cache = self.prior_cache(&db);
-        let mut stats = CacheStats::default();
-        let mut rng = SmallRng::seed_from_u64(self.seed);
-        let mut consecutive_dups = 0;
+        let (mut db, prior_len, mut cache, mut stats, mut rng, mut consecutive_dups) =
+            self.loop_state(restored);
+        checkpoint_tick(
+            &mut session,
+            &db,
+            &cache,
+            stats,
+            &rng,
+            consecutive_dups,
+            &*algorithm,
+            None,
+            || None,
+        )?;
         while db.len() - prior_len < self.max_evals {
             let want = self.batch_size.min(self.max_evals - (db.len() - prior_len));
             let mut proposals = {
@@ -511,21 +762,77 @@ impl Tuner {
                     fresh.push(cfg);
                 }
             }
+            // On resume, the round's leading configurations may already be
+            // in the WAL: answer those from the replay queue, evaluate only
+            // the remainder live.
+            let mut replayed: Vec<EvalRecord> = Vec::new();
+            if let Some(s) = session.as_mut() {
+                while replayed.len() < fresh.len() {
+                    match s.replay_next(&fresh[replayed.len()])? {
+                        Some(rec) => replayed.push(rec),
+                        None => break,
+                    }
+                }
+            }
+            let live = &fresh[replayed.len()..];
+            for rec in replayed {
+                stats.misses += 1;
+                profile.sample("evaluate", 0.0);
+                let Some(objective) = rec.objective else {
+                    return Err(TuneError::Checkpoint {
+                        detail: format!(
+                            "record {} has no objective, but the fault-free driver never \
+                             quarantines",
+                            rec.ordinal
+                        ),
+                    });
+                };
+                cache.insert(rec.config.clone(), (objective, rec.aux.clone()));
+                db.record(rec.config, objective, rec.aux);
+            }
             let trace = match (self.trace.as_deref(), root.as_ref()) {
                 (Some(t), Some(r)) => Some((t, r.id())),
                 _ => None,
             };
             for (cfg, (objective, aux), dur_s) in
-                self.evaluate_batch(&fresh, workers, &evaluate, trace)
+                self.evaluate_batch(live, workers, &evaluate, trace)
             {
+                if let Some(s) = session.as_mut() {
+                    s.log(&EvalRecord {
+                        ordinal: s.next_ordinal(),
+                        config: cfg.clone(),
+                        objective: Some(objective),
+                        aux: aux.clone(),
+                        events: Vec::new(),
+                        failed_attempts: 0,
+                        backoff_s: 0.0,
+                    })?;
+                }
                 stats.misses += 1;
                 profile.sample("evaluate", dur_s);
                 cache.insert(cfg.clone(), (objective, aux.clone()));
                 db.record(cfg, objective, aux);
             }
+            // Round boundary: the only point where a parallel snapshot is
+            // consistent (mid-round the RNG has already advanced past
+            // suggestions that are not yet recorded).
+            checkpoint_tick(
+                &mut session,
+                &db,
+                &cache,
+                stats,
+                &rng,
+                consecutive_dups,
+                &*algorithm,
+                None,
+                || None,
+            )?;
             if exhausted {
                 break;
             }
+        }
+        if let Some(s) = session.as_mut() {
+            s.finish()?;
         }
         let report = self.report(algorithm, db, prior_len, stats, profile);
         if let (Some(root), Ok(report)) = (root.as_mut(), &report) {
@@ -886,6 +1193,8 @@ mod tests {
 
     /// An algorithm that proposes the same configuration forever.
     struct Stuck;
+
+    impl crate::search::SearchState for Stuck {}
 
     impl SearchAlgorithm for Stuck {
         fn name(&self) -> &str {

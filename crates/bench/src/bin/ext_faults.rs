@@ -5,5 +5,6 @@ fn main() {
     let r = pstack_bench::traced("ext_faults", |_tc| {
         pstack_bench::timed("E6", faults::run_default)
     });
+    let r = pstack_bench::run_or_exit("ext_faults", r);
     pstack_bench::emit("ext_faults", &faults::render(&r), &r);
 }

@@ -1,0 +1,12 @@
+//! Regenerate extension E7: crash-safe sessions — the kill-at-every-decile
+//! resume-equivalence grid, the torn-WAL recovery demo, and the supervised
+//! session under injected process kills.
+use powerstack_core::experiments::resume;
+fn main() {
+    pstack_analyze::startup_gate();
+    let r = pstack_bench::traced("ext_resume", |_tc| {
+        pstack_bench::timed("E7", resume::run_default)
+    });
+    let r = pstack_bench::run_or_exit("ext_resume", r);
+    pstack_bench::emit("ext_resume", &resume::render(&r), &r);
+}

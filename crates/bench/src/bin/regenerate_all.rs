@@ -4,7 +4,8 @@
 //! Outputs land under `results/`.
 
 use powerstack_core::experiments::{
-    ablations, emergency, faults, fig1, fig2, fig3, fig4, fig5, fig6, thermal, uc1, uc6, uc7,
+    ablations, emergency, faults, fig1, fig2, fig3, fig4, fig5, fig6, resume, thermal, uc1, uc6,
+    uc7,
 };
 use powerstack_core::{catalog, registry, vocab};
 
@@ -100,7 +101,13 @@ fn main() {
     let r = pstack_bench::traced("ext_faults", |_tc| {
         pstack_bench::timed("E6", faults::run_default)
     });
+    let r = pstack_bench::run_or_exit("ext_faults", r);
     pstack_bench::emit("ext_faults", &faults::render(&r), &r);
+    let r = pstack_bench::traced("ext_resume", |_tc| {
+        pstack_bench::timed("E7", resume::run_default)
+    });
+    let r = pstack_bench::run_or_exit("ext_resume", r);
+    pstack_bench::emit("ext_resume", &resume::render(&r), &r);
 
     println!(
         "\nall artifacts written to {}/",

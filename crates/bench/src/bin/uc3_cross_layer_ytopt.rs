@@ -31,9 +31,10 @@ fn tune_at(caps: Vec<f64>, objective: Objective, label: &str, seed: u64) -> Row 
     let space = cotune.space();
     let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
     let report = pstack_bench::timed(label, || {
-        cotune
-            .tune_parallel(&mut ForestSearch::new(), 60, seed, workers)
-            .expect("joint space is non-empty")
+        pstack_bench::run_or_exit(
+            label,
+            cotune.tune_parallel(&mut ForestSearch::new(), 60, seed, workers),
+        )
     });
     let best = report.db.best().expect("evaluated").clone();
     Row {

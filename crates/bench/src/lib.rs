@@ -86,6 +86,24 @@ pub fn traced<T>(name: &str, f: impl FnOnce(&Arc<TraceCollector>) -> T) -> T {
     out
 }
 
+/// Unwrap an experiment result; on error, render the diagnostic to stderr
+/// and exit with status 1.
+///
+/// Bench bins must never exit 0 without writing their artifact: a tuning
+/// failure (e.g. [`TuneError::NoEvaluations`](pstack_autotune::TuneError))
+/// that merely prints and falls off `main` reads as a successful
+/// regeneration to CI and to `regenerate_all`'s callers.
+pub fn run_or_exit<T, E: std::fmt::Display>(label: &str, result: Result<T, E>) -> T {
+    match result {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {label}: {e}");
+            eprintln!("error: {label}: no artifact written; exiting nonzero");
+            std::process::exit(1);
+        }
+    }
+}
+
 /// Wall-clock a closure, printing the elapsed time to stderr.
 pub fn timed<T>(label: &str, f: impl FnOnce() -> T) -> T {
     let start = std::time::Instant::now();

@@ -1,0 +1,91 @@
+//! Typed failure modes for checkpoint I/O.
+//!
+//! Every durability failure is a value, never a panic: callers decide
+//! whether a corrupt tail is fatal (snapshot body) or recoverable (torn
+//! final WAL record).
+
+use std::fmt;
+
+/// What went wrong while writing or reading session state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CkptError {
+    /// The underlying filesystem operation failed.
+    Io {
+        /// File the operation touched.
+        path: String,
+        /// OS error rendered as text.
+        detail: String,
+    },
+    /// The file exists but its contents are not a valid checkpoint
+    /// artifact (bad magic, mangled header, checksum mismatch on a
+    /// snapshot body).
+    Corrupt {
+        /// Offending file.
+        path: String,
+        /// What specifically failed to parse or verify.
+        detail: String,
+    },
+    /// The artifact was written by an incompatible format version.
+    SchemaMismatch {
+        /// Offending file.
+        path: String,
+        /// Version this build writes and understands.
+        expected: u32,
+        /// Version found on disk.
+        found: u32,
+    },
+    /// Resume was requested but no snapshot exists in the session
+    /// directory.
+    MissingSnapshot {
+        /// Where the snapshot was expected.
+        path: String,
+    },
+    /// A payload could not be encoded to (or decoded from) JSON.
+    Encode {
+        /// Serializer/deserializer message.
+        detail: String,
+    },
+}
+
+impl CkptError {
+    /// Shorthand for wrapping an [`std::io::Error`] with its path.
+    pub fn io(path: &std::path::Path, err: std::io::Error) -> Self {
+        CkptError::Io {
+            path: path.display().to_string(),
+            detail: err.to_string(),
+        }
+    }
+
+    /// Shorthand for a corruption report at `path`.
+    pub fn corrupt(path: &std::path::Path, detail: impl Into<String>) -> Self {
+        CkptError::Corrupt {
+            path: path.display().to_string(),
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for CkptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CkptError::Io { path, detail } => write!(f, "checkpoint I/O on {path}: {detail}"),
+            CkptError::Corrupt { path, detail } => {
+                write!(f, "corrupt checkpoint artifact {path}: {detail}")
+            }
+            CkptError::SchemaMismatch {
+                path,
+                expected,
+                found,
+            } => write!(
+                f,
+                "checkpoint schema mismatch in {path}: expected v{expected}, found v{found}"
+            ),
+            CkptError::MissingSnapshot { path } => {
+                write!(f, "no session snapshot at {path}; cannot resume")
+            }
+            CkptError::Encode { detail } => write!(f, "checkpoint payload encoding: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for CkptError {}

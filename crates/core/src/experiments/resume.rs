@@ -1,0 +1,501 @@
+//! Extension experiment E7 — crash-safe tuning sessions.
+//!
+//! The paper's loop (§3.2, Figure 4) is described as if the autotuner
+//! process were immortal; on a production PowerStack it is a job like any
+//! other and dies with node failures, OOM kills, and scheduler preemption.
+//! This experiment measures the checkpoint/restart subsystem's recovery
+//! contract: a tuning session killed at *any* point resumes from its
+//! write-ahead checkpoint to a **byte-identical** report.
+//!
+//! For each driver arm (serial, serial resilient, parallel, parallel
+//! resilient — the latter two at worker counts 1/4/8) the experiment
+//!
+//! 1. runs an uninterrupted baseline and serializes its report;
+//! 2. re-runs with checkpointing armed and a cooperative kill at every
+//!    decile of the evaluation budget, resumes each killed session, and
+//!    compares the resumed report byte-for-byte against the baseline —
+//!    parallel resumes deliberately use a *different* worker count than
+//!    the killed run, so the grid also witnesses worker-count invariance;
+//! 3. tears the write-ahead log of one killed session (a half-written
+//!    frame, as a mid-`write` crash would leave) and shows resume recovers
+//!    from the longest valid prefix, re-evaluating what the tail lost;
+//! 4. runs a [`SessionSupervisor`](pstack_faults::SessionSupervisor) under
+//!    the catalog's `process_kill_only` plan and shows the supervised
+//!    session survives every injected kill within its restart budget,
+//!    again byte-identical to the uninterrupted baseline.
+//!
+//! Expected shape: every cell of the kill grid recovers identically —
+//! `identical == kill_points.len()` on every row — and the supervisor's
+//! recovery log accounts for at least one kill.
+
+use crate::cotune::KernelCoTune;
+use crate::interfaces::Objective;
+use pstack_autotune::{
+    AnnealingSearch, ForestSearch, HillClimbSearch, RandomSearch, Robustness, TuneError,
+    TuneReport, Tuner,
+};
+use pstack_ckpt::{ScratchDir, SessionDir};
+use pstack_faults::{FaultPlan, FaultyEvaluator, SessionSupervisor};
+use serde::{Deserialize, Serialize};
+use std::io::Write;
+
+/// One driver arm's kill grid.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ResumeArmRow {
+    /// Driver arm: `serial`, `serial_resilient`, `parallel`,
+    /// `parallel_resilient`.
+    pub arm: String,
+    /// Primary search algorithm.
+    pub algorithm: String,
+    /// Worker count of the killed runs (0 = serial driver).
+    pub workers: usize,
+    /// Worker count the resumed runs used (0 = serial driver); differs
+    /// from `workers` on parallel arms to witness worker invariance.
+    pub resume_workers: usize,
+    /// Evaluations in the uninterrupted baseline.
+    pub evals: usize,
+    /// Distinct kill ordinals exercised (one per decile of the budget).
+    pub kill_points: Vec<usize>,
+    /// Kill points whose resumed report was byte-identical to baseline.
+    pub identical: usize,
+}
+
+/// The torn-tail recovery demonstration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TornTailRow {
+    /// Arm the torn session ran under.
+    pub arm: String,
+    /// Ordinal the session was killed at before the tear.
+    pub killed_at: usize,
+    /// Bytes of garbage (a half-written frame) appended to the WAL.
+    pub torn_bytes: usize,
+    /// Whether resume recovered a byte-identical report anyway.
+    pub identical: bool,
+}
+
+/// The supervised-session demonstration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SupervisedRow {
+    /// Fault plan driving the kills.
+    pub plan: String,
+    /// Kills injected (== restarts performed).
+    pub kills: usize,
+    /// Restart budget the supervisor ran under.
+    pub max_restarts: usize,
+    /// Whether the supervised report was byte-identical to baseline.
+    pub identical: bool,
+}
+
+/// Full E7 result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ResumeResult {
+    /// Evaluation budget per run.
+    pub max_evals: usize,
+    /// Root seed.
+    pub seed: u64,
+    /// Snapshot cadence (evaluations between full snapshots).
+    pub snapshot_every: usize,
+    /// One row per (arm, worker-count) cell.
+    pub rows: Vec<ResumeArmRow>,
+    /// Torn-WAL recovery demonstration.
+    pub torn_tail: TornTailRow,
+    /// Supervised-session demonstration.
+    pub supervised: SupervisedRow,
+}
+
+/// Robustness calibrated like E6's: the kernel EDP objective's honest
+/// spread would trip the default outlier thresholds.
+fn robustness() -> Robustness {
+    Robustness {
+        outlier_factor: 100.0,
+        poison_fraction: 0.3,
+        ..Robustness::default()
+    }
+}
+
+/// The four driver arms of the kill grid.
+#[derive(Clone, Copy)]
+enum Arm {
+    Serial,
+    SerialResilient,
+    Parallel { workers: usize },
+    ParallelResilient { workers: usize },
+}
+
+impl Arm {
+    fn name(self) -> &'static str {
+        match self {
+            Arm::Serial => "serial",
+            Arm::SerialResilient => "serial_resilient",
+            Arm::Parallel { .. } => "parallel",
+            Arm::ParallelResilient { .. } => "parallel_resilient",
+        }
+    }
+
+    fn algorithm(self) -> &'static str {
+        match self {
+            Arm::Serial => "anneal",
+            Arm::SerialResilient => "hillclimb",
+            Arm::Parallel { .. } => "random",
+            Arm::ParallelResilient { .. } => "forest",
+        }
+    }
+
+    fn workers(self) -> usize {
+        match self {
+            Arm::Serial | Arm::SerialResilient => 0,
+            Arm::Parallel { workers } | Arm::ParallelResilient { workers } => workers,
+        }
+    }
+
+    /// A different worker count for resumes: recovery must not depend on
+    /// the pool size of the incarnation that died.
+    fn resume_workers(self) -> usize {
+        match self.workers() {
+            0 => 0,
+            1 => 4,
+            4 => 8,
+            _ => 1,
+        }
+    }
+}
+
+/// Drive `arm` on `tuner` to completion, with fresh algorithm state.
+/// `resume` selects the matching `resume_*` entry point.
+fn drive(
+    arm: Arm,
+    tuner: &Tuner,
+    ct: &KernelCoTune,
+    seed: u64,
+    resume: bool,
+) -> Result<TuneReport, TuneError> {
+    // Resilient arms tune through an evals-only fault plan, so the WAL
+    // carries real retry/quarantine events, not just clean objectives.
+    let faulty = FaultyEvaluator::new(
+        |space: &pstack_autotune::ParamSpace, cfg: &pstack_autotune::Config| {
+            ct.evaluate(space, cfg)
+        },
+        &FaultPlan::evals_only(),
+        seed ^ 0xE7,
+    );
+    let clean = |space: &pstack_autotune::ParamSpace, cfg: &pstack_autotune::Config| {
+        ct.evaluate(space, cfg)
+    };
+    match arm {
+        Arm::Serial => {
+            let mut algo = AnnealingSearch::default_schedule();
+            if resume {
+                tuner.resume(&mut algo, clean)
+            } else {
+                tuner.run(&mut algo, clean)
+            }
+        }
+        Arm::SerialResilient => {
+            let mut algo = HillClimbSearch::new();
+            let eval = |s: &_, c: &_, a: usize| faulty.evaluate(s, c, a);
+            if resume {
+                tuner.resume_resilient(&mut algo, None, eval)
+            } else {
+                tuner.run_resilient(&mut algo, None, &robustness(), eval)
+            }
+        }
+        Arm::Parallel { workers } => {
+            let mut algo = RandomSearch::new();
+            let w = if resume {
+                arm.resume_workers()
+            } else {
+                workers
+            };
+            if resume {
+                tuner.resume_parallel(&mut algo, w, clean)
+            } else {
+                tuner.run_parallel(&mut algo, w, clean)
+            }
+        }
+        Arm::ParallelResilient { workers } => {
+            let mut algo = ForestSearch::new();
+            let mut fb = RandomSearch::new();
+            let eval = |s: &_, c: &_, a: usize| faulty.evaluate(s, c, a);
+            let w = if resume {
+                arm.resume_workers()
+            } else {
+                workers
+            };
+            if resume {
+                tuner.resume_parallel_resilient(&mut algo, Some(&mut fb), w, eval)
+            } else {
+                tuner.run_parallel_resilient(&mut algo, Some(&mut fb), &robustness(), w, eval)
+            }
+        }
+    }
+}
+
+/// Kill ordinals at every decile of an `evals`-long session, deduplicated.
+fn decile_kill_points(evals: usize) -> Vec<usize> {
+    let mut points: Vec<usize> = (1..=10)
+        .map(|k| (evals * k / 10).max(1).min(evals) - 1)
+        .collect();
+    points.dedup();
+    points
+}
+
+/// Kill `arm` at `kill_at`, resume it, and return the resumed report.
+/// Panics if the interrupt never fired (the grid guarantees it must).
+fn kill_and_resume(
+    arm: Arm,
+    base: &Tuner,
+    ct: &KernelCoTune,
+    seed: u64,
+    snapshot_every: usize,
+    kill_at: usize,
+) -> (ScratchDir, Result<TuneReport, TuneError>) {
+    let scratch = ScratchDir::new(&format!("e7-{}-{}", arm.name(), kill_at));
+    let armed = base
+        .clone()
+        .checkpoint(scratch.path())
+        .snapshot_every(snapshot_every)
+        .interrupt_when(move |ordinal| ordinal == kill_at);
+    match drive(arm, &armed, ct, seed, false) {
+        Err(TuneError::Interrupted { .. }) => {}
+        Ok(_) => panic!("kill at ordinal {kill_at} never fired for {}", arm.name()),
+        Err(e) => return (scratch, Err(e)),
+    }
+    let resumer = base
+        .clone()
+        .checkpoint(scratch.path())
+        .snapshot_every(snapshot_every);
+    let report = drive(arm, &resumer, ct, seed, true);
+    (scratch, report)
+}
+
+/// Run the full kill/resume grid.
+///
+/// # Errors
+/// Propagates any [`TuneError`] a baseline, killed, or resumed run
+/// surfaces (the grid itself treats a non-firing kill or a failed
+/// supervised session as a panic — those are broken invariants, not
+/// recoverable outcomes).
+pub fn run(max_evals: usize, seed: u64) -> Result<ResumeResult, TuneError> {
+    let snapshot_every = 5;
+    let ct = KernelCoTune::new(Objective::MinEdp);
+    let base = Tuner::new(ct.space()).max_evals(max_evals).seed(seed);
+
+    let arms = [
+        Arm::Serial,
+        Arm::SerialResilient,
+        Arm::Parallel { workers: 1 },
+        Arm::Parallel { workers: 4 },
+        Arm::Parallel { workers: 8 },
+        Arm::ParallelResilient { workers: 1 },
+        Arm::ParallelResilient { workers: 4 },
+        Arm::ParallelResilient { workers: 8 },
+    ];
+
+    let mut rows = Vec::with_capacity(arms.len());
+    for &arm in &arms {
+        let baseline = drive(arm, &base, &ct, seed, false)?;
+        let baseline_json = serde_json::to_string(&baseline).expect("serialize baseline");
+        let kill_points = decile_kill_points(baseline.evals);
+        let mut identical = 0;
+        for &kill_at in &kill_points {
+            let (_scratch, resumed) =
+                kill_and_resume(arm, &base, &ct, seed, snapshot_every, kill_at);
+            let resumed = resumed?;
+            if serde_json::to_string(&resumed).expect("serialize resumed") == baseline_json {
+                identical += 1;
+            }
+        }
+        rows.push(ResumeArmRow {
+            arm: arm.name().to_string(),
+            algorithm: arm.algorithm().to_string(),
+            workers: arm.workers(),
+            resume_workers: arm.resume_workers(),
+            evals: baseline.evals,
+            kill_points: kill_points.clone(),
+            identical,
+        });
+    }
+
+    // Torn tail: kill the serial arm mid-run, then append a half-written
+    // frame to the WAL — exactly what a crash inside `write(2)` leaves.
+    // Resume must truncate the torn frame and recover from the longest
+    // valid prefix; everything the tear lost is simply re-evaluated.
+    let torn_tail = {
+        let arm = Arm::Serial;
+        let baseline = drive(arm, &base, &ct, seed, false)?;
+        let baseline_json = serde_json::to_string(&baseline).expect("serialize baseline");
+        let killed_at = (baseline.evals / 2).max(1) - 1;
+        let scratch = ScratchDir::new("e7-torn");
+        let armed = base
+            .clone()
+            .checkpoint(scratch.path())
+            .snapshot_every(snapshot_every)
+            .interrupt_when(move |ordinal| ordinal == killed_at);
+        match drive(arm, &armed, &ct, seed, false) {
+            Err(TuneError::Interrupted { .. }) => {}
+            other => panic!("expected interrupt, got {other:?}"),
+        }
+        let wal = SessionDir::new(scratch.path())
+            .expect("session dir")
+            .wal_path();
+        let torn_bytes = 7usize;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&wal)
+            .expect("open WAL for tearing");
+        f.write_all(&[0xAB; 7]).expect("append torn frame");
+        drop(f);
+        let resumer = base
+            .clone()
+            .checkpoint(scratch.path())
+            .snapshot_every(snapshot_every);
+        let resumed = drive(arm, &resumer, &ct, seed, true)?;
+        TornTailRow {
+            arm: arm.name().to_string(),
+            killed_at,
+            torn_bytes,
+            identical: serde_json::to_string(&resumed).expect("serialize") == baseline_json,
+        }
+    };
+
+    // Supervised session: the catalog's process_kill_only plan kills the
+    // serial driver mid-run (possibly repeatedly); the supervisor restarts
+    // it from the checkpoint each time and the final report still matches
+    // the uninterrupted baseline byte-for-byte.
+    let supervised = {
+        let baseline = drive(Arm::Serial, &base, &ct, seed, false)?;
+        let baseline_json = serde_json::to_string(&baseline).expect("serialize baseline");
+        let scratch = ScratchDir::new("e7-supervised");
+        let tuner = base
+            .clone()
+            .checkpoint(scratch.path())
+            .snapshot_every(snapshot_every);
+        let plan = FaultPlan::process_kill_only();
+        let sup = SessionSupervisor::new(plan.clone(), seed ^ 0x50F7);
+        let out = sup
+            .run(&tuner, &mut AnnealingSearch::default_schedule(), |s, c| {
+                ct.evaluate(s, c)
+            })
+            .map_err(|e| TuneError::Checkpoint {
+                detail: format!("supervised arm: {e}"),
+            })?;
+        SupervisedRow {
+            plan: plan.name.clone(),
+            kills: out.recovery.events.len(),
+            max_restarts: out.recovery.max_restarts,
+            identical: serde_json::to_string(&out.report).expect("serialize") == baseline_json,
+        }
+    };
+
+    Ok(ResumeResult {
+        max_evals,
+        seed,
+        snapshot_every,
+        rows,
+        torn_tail,
+        supervised,
+    })
+}
+
+/// Default full-scale run.
+///
+/// # Errors
+/// As [`run`].
+pub fn run_default() -> Result<ResumeResult, TuneError> {
+    run(30, 20200913)
+}
+
+/// Render the recovery grid.
+pub fn render(r: &ResumeResult) -> String {
+    let mut out = format!(
+        "EXTENSION E7 / CRASH-SAFE SESSIONS: {} evals, snapshot every {}, seed {}\n\
+         arm                 | algorithm | workers | resume_w | evals | kill points | identical\n",
+        r.max_evals, r.snapshot_every, r.seed
+    );
+    for row in &r.rows {
+        out.push_str(&format!(
+            "{:<19} | {:<9} | {:>7} | {:>8} | {:>5} | {:>11} | {:>6}/{}\n",
+            row.arm,
+            row.algorithm,
+            row.workers,
+            row.resume_workers,
+            row.evals,
+            row.kill_points.len(),
+            row.identical,
+            row.kill_points.len(),
+        ));
+    }
+    out.push_str(&format!(
+        "torn tail: {} killed@{} +{}B garbage -> {}\n",
+        r.torn_tail.arm,
+        r.torn_tail.killed_at,
+        r.torn_tail.torn_bytes,
+        if r.torn_tail.identical {
+            "recovered identical"
+        } else {
+            "MISMATCH"
+        },
+    ));
+    out.push_str(&format!(
+        "supervised: plan {} survived {} kill(s) within budget {} -> {}\n",
+        r.supervised.plan,
+        r.supervised.kills,
+        r.supervised.max_restarts,
+        if r.supervised.identical {
+            "identical"
+        } else {
+            "MISMATCH"
+        },
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> ResumeResult {
+        run(12, 7).expect("small E7 grid completes")
+    }
+
+    #[test]
+    fn every_kill_point_recovers_identically() {
+        let r = small();
+        assert_eq!(r.rows.len(), 8);
+        for row in &r.rows {
+            assert!(!row.kill_points.is_empty(), "{} tested nothing", row.arm);
+            assert_eq!(
+                row.identical,
+                row.kill_points.len(),
+                "{} (workers {}) recovered only {}/{} kill points identically",
+                row.arm,
+                row.workers,
+                row.identical,
+                row.kill_points.len(),
+            );
+        }
+    }
+
+    #[test]
+    fn torn_wal_recovers_from_longest_valid_prefix() {
+        let r = small();
+        assert!(r.torn_tail.identical, "torn-tail resume diverged");
+    }
+
+    #[test]
+    fn supervised_session_survives_and_matches() {
+        let r = small();
+        assert!(r.supervised.identical, "supervised report diverged");
+        assert!(
+            r.supervised.kills <= r.supervised.max_restarts,
+            "supervisor exceeded its budget"
+        );
+    }
+
+    #[test]
+    fn grid_is_deterministic() {
+        let a = serde_json::to_string(&small()).expect("serialize");
+        let b = serde_json::to_string(&small()).expect("serialize");
+        assert_eq!(a, b);
+    }
+}

@@ -21,6 +21,7 @@
 //! | [`CrashyAgent`] | Wraps any [`RuntimeAgent`](pstack_runtime::RuntimeAgent) with deterministic crash/restart behaviour |
 //! | [`FaultyEvaluator`] | Wraps a clean tuning evaluator with failures, timeouts, NaNs, and slowdowns |
 //! | [`run_faulted_job`] | Stack-level scenario: a whole job under a plan, with an RM emergency drop state machine |
+//! | [`SessionSupervisor`] | Kills the checkpointed tuning process itself (plan `process` class) and restarts it from its write-ahead checkpoint, within a bounded restart budget |
 //!
 //! Everything a run survives lands in a [`FaultLog`](pstack_autotune::FaultLog)
 //! (re-exported here for convenience), which [`TuneReport`](pstack_autotune::TuneReport)
@@ -39,14 +40,19 @@ pub mod evaluator;
 pub mod inject;
 pub mod plan;
 pub mod scenario;
+pub mod supervise;
 
 pub use dice::FaultDice;
 pub use evaluator::FaultyEvaluator;
 pub use inject::{CrashyAgent, FaultInjector, KnobWrite};
 pub use plan::{
-    AgentFaults, EmergencyFault, EvalFaults, FaultPlan, KnobFaults, TelemetryFaults, LAYER,
+    AgentFaults, EmergencyFault, EvalFaults, FaultPlan, KnobFaults, ProcessFaults, TelemetryFaults,
+    LAYER,
 };
 pub use scenario::{run_faulted_job, FaultedJobOutcome, MAX_SIM_S};
+pub use supervise::{
+    RecoveryEvent, RecoveryLog, SessionSupervisor, SuperviseError, SupervisedReport,
+};
 
 // Re-export the log types that live in pstack-autotune (so TuneReport can
 // carry them without a dependency cycle) under the crate users reach for.

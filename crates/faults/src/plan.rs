@@ -131,6 +131,28 @@ impl EvalFaults {
     }
 }
 
+/// Process-level faults: the tuning process itself is killed mid-session
+/// and must be restarted from its last checkpoint by a supervisor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProcessFaults {
+    /// Probability the tuning process dies immediately after logging any
+    /// given evaluation record.
+    pub kill_prob: f64,
+    /// Hard cap on injected kills per supervised session (the supervisor's
+    /// restart budget must cover at least this many).
+    pub max_kills: usize,
+}
+
+impl ProcessFaults {
+    /// No process faults.
+    pub fn none() -> Self {
+        ProcessFaults {
+            kill_prob: 0.0,
+            max_kills: 0,
+        }
+    }
+}
+
 /// A complete fault plan across the stack's layers.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FaultPlan {
@@ -146,6 +168,8 @@ pub struct FaultPlan {
     pub emergency: Option<EmergencyFault>,
     /// Evaluation faults inside the tuner.
     pub evals: EvalFaults,
+    /// Process-level kills of the tuning session itself.
+    pub process: ProcessFaults,
 }
 
 impl FaultPlan {
@@ -158,6 +182,7 @@ impl FaultPlan {
             agent: AgentFaults::none(),
             emergency: None,
             evals: EvalFaults::none(),
+            process: ProcessFaults::none(),
         }
     }
 
@@ -196,6 +221,24 @@ impl FaultPlan {
                 slow_prob: 0.05,
                 slow_factor: 2.0,
             },
+            // Process kills are exercised by the supervised single-fault
+            // plan; the in-process chaos matrix has nothing to restart.
+            process: ProcessFaults::none(),
+        }
+    }
+
+    /// Single-fault plan: process kills only — the tuning process dies
+    /// after ~1 in 5 logged evaluations (bounded by `max_kills`) and a
+    /// [`SessionSupervisor`](crate::SessionSupervisor) must resume it from
+    /// the last checkpoint.
+    pub fn process_kill_only() -> Self {
+        FaultPlan {
+            name: "process_kill_only".to_string(),
+            process: ProcessFaults {
+                kill_prob: 0.2,
+                max_kills: 4,
+            },
+            ..FaultPlan::none()
         }
     }
 
@@ -278,6 +321,7 @@ impl FaultPlan {
             FaultPlan::crashes_only(),
             FaultPlan::emergency_only(),
             FaultPlan::evals_only(),
+            FaultPlan::process_kill_only(),
             FaultPlan::default_rates(),
         ]
     }
@@ -300,7 +344,8 @@ impl FaultPlan {
             || self.evals.timeout_prob > 0.0
             || self.evals.nan_prob > 0.0
             || self.evals.slow_prob > 0.0;
-        [t, k, a, e, v].iter().filter(|&&x| x).count()
+        let p = self.process.kill_prob > 0.0;
+        [t, k, a, e, v, p].iter().filter(|&&x| x).count()
     }
 
     /// Static sanity checks (the analyzer's PSA012 substance): every
@@ -325,6 +370,7 @@ impl FaultPlan {
             ("evals.timeout_prob", self.evals.timeout_prob),
             ("evals.nan_prob", self.evals.nan_prob),
             ("evals.slow_prob", self.evals.slow_prob),
+            ("process.kill_prob", self.process.kill_prob),
         ] {
             if !(0.0..=1.0).contains(&p) || !p.is_finite() {
                 err(format!("{what} = {p} must be a probability in [0, 1]"));
@@ -371,6 +417,13 @@ impl FaultPlan {
                 self.evals.timeout_s
             ));
         }
+        if self.process.kill_prob > 0.0 && self.process.max_kills == 0 {
+            err(
+                "process.max_kills must be ≥ 1 when kill_prob > 0 (an unbounded kill stream \
+                 would exhaust any restart budget)"
+                    .into(),
+            );
+        }
         out
     }
 }
@@ -403,6 +456,7 @@ mod tests {
         assert!(FaultPlan::crashes_only().is_single_fault());
         assert!(FaultPlan::emergency_only().is_single_fault());
         assert!(FaultPlan::evals_only().is_single_fault());
+        assert!(FaultPlan::process_kill_only().is_single_fault());
         assert!(!FaultPlan::default_rates().is_single_fault());
         assert_eq!(FaultPlan::default_rates().active_classes(), 5);
     }
@@ -433,6 +487,11 @@ mod tests {
 
         let mut p = FaultPlan::none();
         p.name = String::new();
+        assert!(!p.check("T", "x").is_empty());
+
+        let mut p = FaultPlan::none();
+        p.process.kill_prob = 0.5;
+        p.process.max_kills = 0;
         assert!(!p.check("T", "x").is_empty());
     }
 

@@ -1,0 +1,378 @@
+//! Supervised tuning sessions: run a checkpointed tuner under injected
+//! process kills and restart it from its last checkpoint until it finishes.
+//!
+//! The other fault classes in this crate corrupt *inputs* to a live tuning
+//! loop; [`ProcessFaults`](crate::plan::ProcessFaults) kills the loop
+//! itself. The [`SessionSupervisor`] closes that loop: it arms the tuner's
+//! cooperative interrupt hook with a [`FaultDice`]-driven kill decision
+//! (keyed on `(ordinal, incarnation)`, so the kill schedule is a pure
+//! function of seed and plan), runs the session, and on every
+//! [`TuneError::Interrupted`] records a [`RecoveryEvent`] and resumes from
+//! the write-ahead checkpoint — up to a bounded restart budget.
+//!
+//! The watchdog contract is progress-based: each incarnation must push the
+//! WAL past the ordinal where the previous incarnation died. A session that
+//! keeps dying without extending the log trips the stall limit and
+//! surfaces as [`SuperviseError::Stalled`] instead of looping forever.
+//! Because resume replays deterministically, the recovered report is
+//! byte-identical to an uninterrupted run of the same tuner — the property
+//! experiment E7 (`ext_resume`) asserts for every kill point.
+
+use crate::dice::FaultDice;
+use crate::plan::FaultPlan;
+use pstack_autotune::{
+    Config, ParamSpace, Robustness, SearchAlgorithm, TuneError, TuneReport, Tuner,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Decision stream name for process kills (see [`FaultDice::roll`]).
+pub const KILL_STREAM: &str = "process_kill";
+
+/// One supervised restart: which incarnation died, and where.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoveryEvent {
+    /// Which run attempt died (0 = the initial run).
+    pub incarnation: usize,
+    /// Ordinal of the last evaluation the dying incarnation logged; the
+    /// WAL is consistent through this record, and the next incarnation
+    /// resumes past it.
+    pub at_ordinal: usize,
+    /// Whether this incarnation extended the WAL past the previous death
+    /// point (the heartbeat the stall watchdog listens for).
+    pub made_progress: bool,
+}
+
+/// The supervisor's account of a session: every kill survived, and how
+/// much of the restart budget it cost.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoveryLog {
+    /// One entry per injected kill, in order.
+    pub events: Vec<RecoveryEvent>,
+    /// Restarts performed (== `events.len()` when the session finished).
+    pub restarts: usize,
+    /// Restart budget the supervisor was configured with.
+    pub max_restarts: usize,
+}
+
+/// A finished supervised session: the (replay-exact) tuning report plus
+/// the recovery story behind it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SupervisedReport {
+    /// The report of the final, completing incarnation — byte-identical to
+    /// an uninterrupted run of the same tuner.
+    pub report: TuneReport,
+    /// What it took to get there.
+    pub recovery: RecoveryLog,
+}
+
+/// Why a supervised session could not be driven to completion.
+#[derive(Debug)]
+pub enum SuperviseError {
+    /// More kills arrived than the restart budget covers.
+    RestartBudgetExhausted {
+        /// Restarts already spent.
+        restarts: usize,
+        /// Ordinal of the last consistent WAL record.
+        last_ordinal: usize,
+    },
+    /// Consecutive incarnations died without extending the WAL.
+    Stalled {
+        /// Consecutive no-progress deaths observed.
+        stalled_restarts: usize,
+        /// Ordinal the session is stuck at.
+        at_ordinal: usize,
+    },
+    /// The tuner failed for a reason the supervisor cannot restart around.
+    Tune(TuneError),
+}
+
+impl std::fmt::Display for SuperviseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SuperviseError::RestartBudgetExhausted {
+                restarts,
+                last_ordinal,
+            } => write!(
+                f,
+                "restart budget exhausted after {restarts} restarts; WAL consistent through \
+                 ordinal {last_ordinal}"
+            ),
+            SuperviseError::Stalled {
+                stalled_restarts,
+                at_ordinal,
+            } => write!(
+                f,
+                "session stalled: {stalled_restarts} consecutive incarnations died without \
+                 logging past ordinal {at_ordinal}"
+            ),
+            SuperviseError::Tune(e) => write!(f, "supervised session failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SuperviseError {}
+
+impl From<TuneError> for SuperviseError {
+    fn from(e: TuneError) -> Self {
+        SuperviseError::Tune(e)
+    }
+}
+
+/// Supervises checkpointed tuning sessions under injected process kills.
+///
+/// The tuner handed to [`run`](Self::run) / [`run_resilient`](Self::run_resilient)
+/// must have a checkpoint directory configured
+/// ([`Tuner::checkpoint`]) — without one there is nothing to resume from
+/// and the first kill would be fatal.
+#[derive(Debug, Clone)]
+pub struct SessionSupervisor {
+    plan: FaultPlan,
+    seed: u64,
+    max_restarts: usize,
+    stall_limit: usize,
+}
+
+impl SessionSupervisor {
+    /// Supervisor for `plan`'s process faults, rolling kills from `seed`.
+    pub fn new(plan: FaultPlan, seed: u64) -> Self {
+        SessionSupervisor {
+            plan,
+            seed,
+            max_restarts: 8,
+            stall_limit: 3,
+        }
+    }
+
+    /// Restart budget (default 8). The budget must cover the plan's
+    /// `process.max_kills` for a session to be guaranteed to finish.
+    pub fn max_restarts(mut self, n: usize) -> Self {
+        self.max_restarts = n;
+        self
+    }
+
+    /// Consecutive no-progress deaths tolerated before declaring a stall
+    /// (default 3).
+    pub fn stall_limit(mut self, n: usize) -> Self {
+        assert!(n > 0, "stall_limit must be positive");
+        self.stall_limit = n;
+        self
+    }
+
+    /// The kill decision for `(ordinal, incarnation)` under this
+    /// supervisor's plan — exposed so experiments can predict the
+    /// schedule.
+    pub fn would_kill(&self, ordinal: usize, incarnation: usize) -> bool {
+        FaultDice::new(self.seed).chance(
+            self.plan.process.kill_prob,
+            KILL_STREAM,
+            ordinal as u64,
+            incarnation as u64,
+        )
+    }
+
+    /// Arm `tuner` with this supervisor's kill hook for `incarnation`.
+    /// `kills` counts kills across the whole session so the plan's
+    /// `max_kills` bounds the total, not the per-incarnation, kill count.
+    fn arm(&self, tuner: &Tuner, incarnation: usize, kills: &Arc<AtomicUsize>) -> Tuner {
+        let dice = FaultDice::new(self.seed);
+        let kill_prob = self.plan.process.kill_prob;
+        let max_kills = self.plan.process.max_kills;
+        let kills = Arc::clone(kills);
+        tuner.clone().interrupt_when(move |ordinal| {
+            if kills.load(Ordering::SeqCst) >= max_kills {
+                return false;
+            }
+            if dice.chance(kill_prob, KILL_STREAM, ordinal as u64, incarnation as u64) {
+                kills.fetch_add(1, Ordering::SeqCst);
+                true
+            } else {
+                false
+            }
+        })
+    }
+
+    /// Drive the incarnation loop to completion. `step` receives the armed
+    /// tuner and whether this is the initial run (`true`) or a resume.
+    fn drive(
+        &self,
+        tuner: &Tuner,
+        mut step: impl FnMut(&Tuner, bool) -> Result<TuneReport, TuneError>,
+    ) -> Result<SupervisedReport, SuperviseError> {
+        let kills = Arc::new(AtomicUsize::new(0));
+        let mut recovery = RecoveryLog {
+            max_restarts: self.max_restarts,
+            ..RecoveryLog::default()
+        };
+        let mut last_death: Option<usize> = None;
+        let mut stalled = 0usize;
+        for incarnation in 0.. {
+            let armed = self.arm(tuner, incarnation, &kills);
+            match step(&armed, incarnation == 0) {
+                Ok(report) => {
+                    recovery.restarts = recovery.events.len();
+                    return Ok(SupervisedReport { report, recovery });
+                }
+                Err(TuneError::Interrupted { at_ordinal }) => {
+                    let made_progress = last_death.is_none_or(|prev| at_ordinal > prev);
+                    recovery.events.push(RecoveryEvent {
+                        incarnation,
+                        at_ordinal,
+                        made_progress,
+                    });
+                    stalled = if made_progress { 0 } else { stalled + 1 };
+                    if stalled >= self.stall_limit {
+                        return Err(SuperviseError::Stalled {
+                            stalled_restarts: stalled,
+                            at_ordinal,
+                        });
+                    }
+                    last_death = Some(last_death.map_or(at_ordinal, |p| p.max(at_ordinal)));
+                    if recovery.events.len() > self.max_restarts {
+                        return Err(SuperviseError::RestartBudgetExhausted {
+                            restarts: recovery.events.len() - 1,
+                            last_ordinal: at_ordinal,
+                        });
+                    }
+                }
+                Err(e) => return Err(SuperviseError::Tune(e)),
+            }
+        }
+        unreachable!("incarnation loop exits by return")
+    }
+
+    /// Supervise the serial fault-free driver ([`Tuner::run`] /
+    /// [`Tuner::resume`]).
+    ///
+    /// # Errors
+    /// [`SuperviseError::RestartBudgetExhausted`] when kills outnumber the
+    /// restart budget, [`SuperviseError::Stalled`] when restarts stop
+    /// making progress, [`SuperviseError::Tune`] for any other tuner
+    /// failure.
+    pub fn run(
+        &self,
+        tuner: &Tuner,
+        algorithm: &mut (dyn SearchAlgorithm + '_),
+        evaluate: impl Fn(&ParamSpace, &Config) -> (f64, HashMap<String, f64>),
+    ) -> Result<SupervisedReport, SuperviseError> {
+        self.drive(tuner, |t, first| {
+            if first {
+                t.run(&mut *algorithm, &evaluate)
+            } else {
+                t.resume(&mut *algorithm, &evaluate)
+            }
+        })
+    }
+
+    /// Supervise the serial resilient driver ([`Tuner::run_resilient`] /
+    /// [`Tuner::resume_resilient`]); process kills compose with whatever
+    /// evaluation faults the session's own robustness machinery absorbs.
+    ///
+    /// # Errors
+    /// As [`run`](Self::run).
+    pub fn run_resilient(
+        &self,
+        tuner: &Tuner,
+        algorithm: &mut (dyn SearchAlgorithm + '_),
+        mut fallback: Option<&mut (dyn SearchAlgorithm + '_)>,
+        robustness: &Robustness,
+        evaluate: impl Fn(
+            &ParamSpace,
+            &Config,
+            usize,
+        ) -> Result<pstack_autotune::Evaluation, pstack_autotune::EvalError>,
+    ) -> Result<SupervisedReport, SuperviseError> {
+        self.drive(tuner, |t, first| {
+            if first {
+                t.run_resilient(
+                    &mut *algorithm,
+                    fallback.as_deref_mut(),
+                    robustness,
+                    &evaluate,
+                )
+            } else {
+                t.resume_resilient(&mut *algorithm, fallback.as_deref_mut(), &evaluate)
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pstack_autotune::{Param, ParamSpace, RandomSearch};
+    use pstack_ckpt::ScratchDir;
+
+    fn space() -> ParamSpace {
+        ParamSpace::new()
+            .with(Param::ints("a", [1, 2, 3, 4]))
+            .with(Param::ints("b", [1, 2, 3, 4]))
+    }
+
+    fn objective(s: &ParamSpace, c: &Config) -> (f64, HashMap<String, f64>) {
+        let a = s.value(c, "a").as_int() as f64;
+        let b = s.value(c, "b").as_int() as f64;
+        ((a - 3.0).abs() + (b - 2.0).abs(), HashMap::new())
+    }
+
+    #[test]
+    fn supervised_session_matches_uninterrupted_run() {
+        let scratch = ScratchDir::new("supervise-match");
+        let base = Tuner::new(space()).max_evals(12).seed(7);
+        let clean = base.run(&mut RandomSearch::new(), objective).unwrap();
+
+        let plan = FaultPlan::process_kill_only();
+        let sup = SessionSupervisor::new(plan, 99);
+        let tuner = base.clone().checkpoint(scratch.path()).snapshot_every(4);
+        let out = sup
+            .run(&tuner, &mut RandomSearch::new(), objective)
+            .unwrap();
+        assert!(
+            !out.recovery.events.is_empty(),
+            "kill_prob 0.2 over 12 evals should kill at least once (seed-dependent; \
+             pick another seed if this fires)"
+        );
+        assert_eq!(out.recovery.restarts, out.recovery.events.len());
+        let clean_json = serde_json::to_string(&clean).unwrap();
+        let sup_json = serde_json::to_string(&out.report).unwrap();
+        assert_eq!(clean_json, sup_json, "recovery must be replay-exact");
+    }
+
+    #[test]
+    fn restart_budget_exhaustion_is_reported() {
+        let scratch = ScratchDir::new("supervise-budget");
+        let mut plan = FaultPlan::process_kill_only();
+        plan.process.kill_prob = 1.0; // die after every logged record
+        plan.process.max_kills = 100;
+        let sup = SessionSupervisor::new(plan, 5)
+            .max_restarts(3)
+            .stall_limit(100);
+        let tuner = Tuner::new(space())
+            .max_evals(10)
+            .seed(3)
+            .checkpoint(scratch.path());
+        let err = sup
+            .run(&tuner, &mut RandomSearch::new(), objective)
+            .unwrap_err();
+        match err {
+            SuperviseError::RestartBudgetExhausted { restarts, .. } => assert_eq!(restarts, 3),
+            other => panic!("expected budget exhaustion, got {other}"),
+        }
+    }
+
+    #[test]
+    fn kill_schedule_is_deterministic() {
+        let sup = SessionSupervisor::new(FaultPlan::process_kill_only(), 42);
+        for ordinal in 0..32 {
+            for inc in 0..4 {
+                assert_eq!(
+                    sup.would_kill(ordinal, inc),
+                    sup.would_kill(ordinal, inc),
+                    "kill decision must be pure"
+                );
+            }
+        }
+    }
+}

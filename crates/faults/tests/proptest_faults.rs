@@ -13,8 +13,8 @@
 
 use proptest::prelude::*;
 use pstack_faults::{
-    AgentFaults, EmergencyFault, EvalFaults, FaultInjector, FaultPlan, KnobFaults, RetryPolicy,
-    TelemetryFaults,
+    AgentFaults, EmergencyFault, EvalFaults, FaultInjector, FaultPlan, KnobFaults, ProcessFaults,
+    RetryPolicy, TelemetryFaults,
 };
 use pstack_hwmodel::{invariants::power_envelope, NodeConfig};
 
@@ -31,6 +31,7 @@ fn plan_from(noise: f64, drop: f64, spike: f64, spike_factor: f64) -> FaultPlan 
         agent: AgentFaults::none(),
         emergency: None::<EmergencyFault>,
         evals: EvalFaults::none(),
+        process: ProcessFaults::none(),
     }
 }
 

@@ -38,6 +38,11 @@ stage_golden() {
     cargo test -q --test golden_results
 }
 
+stage_resume() {
+    echo "== crash-resume equivalence (kill/resume grid + WAL fuzzing) =="
+    cargo test -q --test resume_equivalence
+}
+
 stage_clippy() {
     echo "== cargo clippy -- -D warnings =="
     cargo clippy --workspace --all-targets -- -D warnings
@@ -48,7 +53,7 @@ stage_lint() {
     cargo run -q --release -p pstack-analyze --bin pstack_lint
 }
 
-ALL_STAGES=(fmt build test chaos golden clippy lint)
+ALL_STAGES=(fmt build test chaos resume golden clippy lint)
 
 list_stages() {
     for s in "${ALL_STAGES[@]}"; do
@@ -75,6 +80,7 @@ for s in "${stages[@]}"; do
         build) stage_build ;;
         test) stage_test ;;
         chaos) stage_chaos ;;
+        resume) stage_resume ;;
         golden | goldens) stage_golden ;;
         clippy) stage_clippy ;;
         lint | pstack_lint) stage_lint ;;

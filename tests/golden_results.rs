@@ -20,7 +20,7 @@
 #![allow(clippy::disallowed_methods)]
 
 use powerstack::core::experiments::{
-    emergency, faults, fig1, fig2, fig3, fig4, fig5, fig6, thermal, uc1, uc6, uc7,
+    emergency, faults, fig1, fig2, fig3, fig4, fig5, fig6, resume, thermal, uc1, uc6, uc7,
 };
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -377,7 +377,18 @@ fn golden_ext_thermal() {
 
 #[test]
 fn golden_ext_faults() {
-    check("ext_faults", to_json(&faults::run_default()));
+    check(
+        "ext_faults",
+        to_json(&faults::run_default().expect("E6 sweep completes")),
+    );
+}
+
+#[test]
+fn golden_ext_resume() {
+    check(
+        "ext_resume",
+        to_json(&resume::run_default().expect("E7 grid completes")),
+    );
 }
 
 // -- self-tests for the comparison machinery --------------------------------

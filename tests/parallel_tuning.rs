@@ -159,6 +159,8 @@ struct OverReturning {
     extra: usize,
 }
 
+impl powerstack::autotune::SearchState for OverReturning {}
+
 impl SearchAlgorithm for OverReturning {
     fn name(&self) -> &str {
         "over-returning"

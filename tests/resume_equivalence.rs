@@ -1,0 +1,366 @@
+//! Crash-safe resume equivalence through the public facade.
+//!
+//! Contracts asserted here (the integration-level view of extension E7):
+//!
+//! - a session killed at *any* decile of its budget resumes from the
+//!   write-ahead checkpoint to a **byte-identical** report;
+//! - parallel resumes may use a different worker count than the killed
+//!   run — recovery does not depend on the pool size that died;
+//! - the resilient loop's quarantine ledger and the evaluation cache
+//!   round-trip through snapshots (`misses == evals` still balances after
+//!   a crash/resume cycle);
+//! - a WAL truncated or bit-flipped at **any byte offset** yields either a
+//!   clean resume from the longest valid prefix (still byte-identical —
+//!   whatever the tail lost is simply re-evaluated) or a typed error.
+//!   Never a panic.
+//! - resuming with the wrong algorithm is refused with a typed
+//!   checkpoint error, not silently accepted.
+
+// Integration tests are exempt from the workspace unwrap policy.
+#![allow(clippy::disallowed_methods)]
+
+use powerstack::autotune::{
+    AnnealingSearch, Config, EvalError, Evaluation, ForestSearch, ParamSpace, RandomSearch,
+    Robustness, TuneError, TuneReport, Tuner,
+};
+use powerstack::prelude::*;
+use proptest::prelude::*;
+use pstack_ckpt::{ScratchDir, SessionDir};
+use std::collections::HashMap;
+
+const SEED: u64 = 20200913;
+const MAX_EVALS: usize = 12;
+const SNAPSHOT_EVERY: usize = 5;
+
+fn space() -> ParamSpace {
+    ParamSpace::new()
+        .with(Param::ints("tile", [8, 16, 32, 64]))
+        .with(Param::ints("unroll", [1, 2, 4, 8]))
+        .with(Param::boolean("packing"))
+        .with_constraint("unroll<=tile", |s, c| {
+            s.value(c, "unroll").as_int() <= s.value(c, "tile").as_int()
+        })
+}
+
+fn objective(space: &ParamSpace, cfg: &Config) -> (f64, HashMap<String, f64>) {
+    let tile = space.value(cfg, "tile").as_int() as f64;
+    let unroll = space.value(cfg, "unroll").as_int() as f64;
+    let packing = space.value(cfg, "packing").as_bool();
+    let time = (tile - 32.0).abs() / 8.0 + (unroll - 4.0).abs() + if packing { 0.0 } else { 1.5 };
+    let mut aux = HashMap::new();
+    aux.insert("time_s".to_string(), time);
+    (1.0 + time, aux)
+}
+
+fn json(report: &TuneReport) -> String {
+    serde_json::to_string(report).expect("reports serialize")
+}
+
+fn base_tuner() -> Tuner {
+    Tuner::new(space()).max_evals(MAX_EVALS).seed(SEED)
+}
+
+/// Kill ordinals at every decile of an `evals`-long session, deduplicated.
+fn decile_kill_points(evals: usize) -> Vec<usize> {
+    let mut points: Vec<usize> = (1..=10)
+        .map(|k| (evals * k / 10).max(1).min(evals) - 1)
+        .collect();
+    points.dedup();
+    points
+}
+
+// --- serial kill/resume grid ----------------------------------------------
+
+#[test]
+fn serial_kill_resume_is_byte_identical_at_every_decile() {
+    let base = base_tuner();
+    let baseline = base
+        .run(&mut AnnealingSearch::default_schedule(), objective)
+        .expect("baseline completes");
+    let baseline_json = json(&baseline);
+    for kill_at in decile_kill_points(baseline.evals) {
+        let scratch = ScratchDir::new(&format!("it-serial-{kill_at}"));
+        let armed = base
+            .clone()
+            .checkpoint(scratch.path())
+            .snapshot_every(SNAPSHOT_EVERY)
+            .interrupt_when(move |ordinal| ordinal == kill_at);
+        match armed.run(&mut AnnealingSearch::default_schedule(), objective) {
+            Err(TuneError::Interrupted { at_ordinal }) => assert_eq!(at_ordinal, kill_at),
+            other => panic!("expected interrupt at {kill_at}, got {other:?}"),
+        }
+        let resumer = base.clone().checkpoint(scratch.path());
+        let resumed = resumer
+            .resume(&mut AnnealingSearch::default_schedule(), objective)
+            .expect("resume completes");
+        assert_eq!(
+            json(&resumed),
+            baseline_json,
+            "kill at ordinal {kill_at} diverged on resume"
+        );
+    }
+}
+
+// --- parallel worker invariance -------------------------------------------
+
+#[test]
+fn parallel_kill_resume_is_worker_invariant() {
+    let base = base_tuner();
+    for workers in [1usize, 4, 8] {
+        let resume_workers = match workers {
+            1 => 4,
+            4 => 8,
+            _ => 1,
+        };
+        let baseline = base
+            .run_parallel(&mut RandomSearch::new(), workers, objective)
+            .expect("baseline completes");
+        let baseline_json = json(&baseline);
+        for kill_at in decile_kill_points(baseline.evals) {
+            let scratch = ScratchDir::new(&format!("it-par-{workers}-{kill_at}"));
+            let armed = base
+                .clone()
+                .checkpoint(scratch.path())
+                .snapshot_every(SNAPSHOT_EVERY)
+                .interrupt_when(move |ordinal| ordinal == kill_at);
+            match armed.run_parallel(&mut RandomSearch::new(), workers, objective) {
+                Err(TuneError::Interrupted { .. }) => {}
+                other => panic!("expected interrupt at {kill_at}, got {other:?}"),
+            }
+            let resumer = base.clone().checkpoint(scratch.path());
+            let resumed = resumer
+                .resume_parallel(&mut RandomSearch::new(), resume_workers, objective)
+                .expect("resume completes");
+            assert_eq!(
+                json(&resumed),
+                baseline_json,
+                "workers {workers}->{resume_workers}, kill at {kill_at}: resume diverged"
+            );
+        }
+    }
+}
+
+// --- quarantine ledger + eval cache round-trips ---------------------------
+
+/// Evaluator whose `tile = 64` configurations always fail: after the retry
+/// budget they are quarantined, so the session's WAL and snapshots carry a
+/// real quarantine ledger across the kill.
+fn flaky(space: &ParamSpace, cfg: &Config, _attempt: usize) -> Result<Evaluation, EvalError> {
+    if space.value(cfg, "tile").as_int() == 64 {
+        return Err(EvalError::Failed("tile 64 always faults".to_string()));
+    }
+    Ok(objective(space, cfg))
+}
+
+/// Quarantine checks only engage well past the small test database, so the
+/// honest objective spread never trips poison detection mid-grid.
+fn lenient() -> Robustness {
+    Robustness {
+        outlier_factor: 100.0,
+        poison_fraction: 0.9,
+        ..Robustness::default()
+    }
+}
+
+#[test]
+fn quarantine_ledger_round_trips_through_snapshots() {
+    let base = base_tuner();
+    let baseline = base
+        .run_resilient(&mut ForestSearch::new(), None, &lenient(), flaky)
+        .expect("baseline completes");
+    assert!(
+        baseline.faults.counts.quarantined > 0,
+        "fixture produced no quarantines; the ledger round-trip is vacuous"
+    );
+    let baseline_json = json(&baseline);
+    for kill_at in decile_kill_points(baseline.evals) {
+        let scratch = ScratchDir::new(&format!("it-quar-{kill_at}"));
+        let armed = base
+            .clone()
+            .checkpoint(scratch.path())
+            .snapshot_every(SNAPSHOT_EVERY)
+            .interrupt_when(move |ordinal| ordinal == kill_at);
+        match armed.run_resilient(&mut ForestSearch::new(), None, &lenient(), flaky) {
+            Err(TuneError::Interrupted { .. }) => {}
+            other => panic!("expected interrupt at {kill_at}, got {other:?}"),
+        }
+        let resumed = base
+            .clone()
+            .checkpoint(scratch.path())
+            .resume_resilient(&mut ForestSearch::new(), None, flaky)
+            .expect("resume completes");
+        assert_eq!(
+            json(&resumed),
+            baseline_json,
+            "quarantine ledger diverged after kill at {kill_at}"
+        );
+        // The ledger balance survives the crash: everything that ran is a
+        // miss; hits and quarantine skips never re-simulate.
+        assert_eq!(
+            resumed.cache.misses, resumed.evals,
+            "misses must equal evals"
+        );
+    }
+}
+
+#[test]
+fn eval_cache_round_trips_and_misses_equal_evals() {
+    // A space small enough that the random walk re-suggests configurations,
+    // so the cache actually fields hits across the kill/resume cycle.
+    let tiny = ParamSpace::new()
+        .with(Param::ints("tile", [8, 16]))
+        .with(Param::boolean("packing"));
+    let base = Tuner::new(tiny).max_evals(16).seed(SEED);
+    let baseline = base
+        .run(&mut RandomSearch::new(), objective_tiny)
+        .expect("baseline completes");
+    assert!(
+        baseline.cache.hits > 0,
+        "fixture produced no cache hits; the cache round-trip is vacuous"
+    );
+    let baseline_json = json(&baseline);
+    let kill_at = (baseline.evals / 2).max(1) - 1;
+    let scratch = ScratchDir::new("it-cache");
+    let armed = base
+        .clone()
+        .checkpoint(scratch.path())
+        .snapshot_every(2)
+        .interrupt_when(move |ordinal| ordinal == kill_at);
+    match armed.run(&mut RandomSearch::new(), objective_tiny) {
+        Err(TuneError::Interrupted { .. }) => {}
+        other => panic!("expected interrupt, got {other:?}"),
+    }
+    let resumed = base
+        .clone()
+        .checkpoint(scratch.path())
+        .resume(&mut RandomSearch::new(), objective_tiny)
+        .expect("resume completes");
+    assert_eq!(json(&resumed), baseline_json, "cached session diverged");
+    assert_eq!(
+        resumed.cache.misses, resumed.evals,
+        "misses must equal evals"
+    );
+    assert_eq!(resumed.cache.hits, baseline.cache.hits);
+}
+
+fn objective_tiny(space: &ParamSpace, cfg: &Config) -> (f64, HashMap<String, f64>) {
+    let tile = space.value(cfg, "tile").as_int() as f64;
+    let packing = space.value(cfg, "packing").as_bool();
+    (tile / 8.0 + if packing { 0.0 } else { 1.5 }, HashMap::new())
+}
+
+// --- wrong-algorithm refusal ----------------------------------------------
+
+#[test]
+fn resume_with_wrong_algorithm_is_refused() {
+    let base = base_tuner();
+    let scratch = ScratchDir::new("it-wrong-algo");
+    let armed = base
+        .clone()
+        .checkpoint(scratch.path())
+        .interrupt_when(|ordinal| ordinal == 3);
+    match armed.run(&mut AnnealingSearch::default_schedule(), objective) {
+        Err(TuneError::Interrupted { .. }) => {}
+        other => panic!("expected interrupt, got {other:?}"),
+    }
+    match base
+        .clone()
+        .checkpoint(scratch.path())
+        .resume(&mut RandomSearch::new(), objective)
+    {
+        Err(TuneError::Checkpoint { detail }) => {
+            assert!(
+                detail.contains("random") || detail.contains("anneal"),
+                "refusal should name the mismatched algorithm: {detail}"
+            );
+        }
+        other => panic!("algorithm mismatch must be a checkpoint error, got {other:?}"),
+    }
+}
+
+// --- WAL corruption: never panic, never diverge ---------------------------
+
+/// One killed session's artifacts, captured once: the baseline report JSON
+/// plus the exact WAL and snapshot bytes the kill left on disk.
+struct KilledSession {
+    baseline_json: String,
+    wal: Vec<u8>,
+    snapshot: Vec<u8>,
+}
+
+fn killed_session() -> &'static KilledSession {
+    static CELL: std::sync::OnceLock<KilledSession> = std::sync::OnceLock::new();
+    CELL.get_or_init(|| {
+        let base = base_tuner();
+        let baseline = base
+            .run(&mut AnnealingSearch::default_schedule(), objective)
+            .expect("baseline completes");
+        let kill_at = (baseline.evals * 3 / 4).max(1) - 1;
+        let scratch = ScratchDir::new("it-corrupt-src");
+        let armed = base
+            .clone()
+            .checkpoint(scratch.path())
+            .snapshot_every(SNAPSHOT_EVERY)
+            .interrupt_when(move |ordinal| ordinal == kill_at);
+        match armed.run(&mut AnnealingSearch::default_schedule(), objective) {
+            Err(TuneError::Interrupted { .. }) => {}
+            other => panic!("expected interrupt, got {other:?}"),
+        }
+        let dir = SessionDir::new(scratch.path()).expect("session dir");
+        KilledSession {
+            baseline_json: json(&baseline),
+            wal: std::fs::read(dir.wal_path()).expect("read WAL"),
+            snapshot: std::fs::read(dir.snapshot_path()).expect("read snapshot"),
+        }
+    })
+}
+
+/// Resume from a mutated copy of the killed session. The only acceptable
+/// outcomes: a report byte-identical to the uninterrupted baseline (the
+/// corruption fell in a torn/droppable tail — whatever was lost is simply
+/// re-evaluated) or a typed `TuneError`. Reaching either arm at all proves
+/// no panic.
+fn resume_mutated(wal: &[u8]) {
+    let src = killed_session();
+    let scratch = ScratchDir::new("it-corrupt");
+    let dir = SessionDir::new(scratch.path()).expect("session dir");
+    std::fs::write(dir.wal_path(), wal).expect("write mutated WAL");
+    std::fs::write(dir.snapshot_path(), &src.snapshot).expect("write snapshot");
+    let resumer = base_tuner().checkpoint(scratch.path());
+    match resumer.resume(&mut AnnealingSearch::default_schedule(), objective) {
+        Ok(report) => assert_eq!(
+            json(&report),
+            src.baseline_json,
+            "resume from corrupted WAL diverged instead of erroring"
+        ),
+        Err(e) => {
+            // Typed errors are acceptable; their rendering must be clean.
+            assert!(!format!("{e}").is_empty());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Truncating the WAL at any byte offset resumes from the longest
+    /// valid prefix (re-evaluating what the tail lost) or fails typed.
+    #[test]
+    fn truncated_wal_never_panics(offset in 0usize..8192) {
+        let src = killed_session();
+        let cut = offset % (src.wal.len() + 1);
+        resume_mutated(&src.wal[..cut]);
+    }
+
+    /// Flipping any single bit anywhere in the WAL is caught by the frame
+    /// checksums: clean resume from the prefix before the damage, or a
+    /// typed error. Never a panic, never a silently-divergent report.
+    #[test]
+    fn bit_flipped_wal_never_panics(offset in 0usize..8192, bit in 0u8..8) {
+        let src = killed_session();
+        let mut wal = src.wal.clone();
+        let at = offset % wal.len();
+        wal[at] ^= 1 << bit;
+        resume_mutated(&wal);
+    }
+}
