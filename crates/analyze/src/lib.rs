@@ -3,7 +3,7 @@
 //! The paper's §3.2 interaction hazards (two actors writing one knob, a cap
 //! outside what the silicon can honour, a tuner aimed at an unsatisfiable
 //! space) are all detectable *before* a single simulation tick runs. This
-//! crate is that detector: fifteen [`Lint`] rules over a [`FrameworkModel`]
+//! crate is that detector: sixteen [`Lint`] rules over a [`FrameworkModel`]
 //! snapshot of everything the stack declares about itself, producing a
 //! [`Report`] of [`Diagnostic`]s with stable rule IDs, severities, and
 //! source locations.
@@ -25,6 +25,7 @@
 //! | PSA013 | retry-budget-feasible  | the resilient loop's retry policy terminates in budget |
 //! | PSA014 | trace-exporter-coverage | every JSON-writing bench bin registers a trace exporter |
 //! | PSA015 | checkpoint-schema      | shipped algorithms honour the checkpoint-schema versioning contract |
+//! | PSA016 | scalar-equivalence-coverage | every batch-evaluator bench bin declares a scalar-equivalence check |
 //!
 //! Entry points:
 //!

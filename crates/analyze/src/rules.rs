@@ -1,6 +1,6 @@
 //! The lint rules.
 //!
-//! Every rule is a [`Lint`] with a stable ID (`PSA001`..`PSA015`), a
+//! Every rule is a [`Lint`] with a stable ID (`PSA001`..`PSA016`), a
 //! one-line description, and a pure `check` over a [`FrameworkModel`].
 //! Rules never mutate anything and never read the environment, so the
 //! report for a given model is byte-deterministic. [`registry`] returns
@@ -48,6 +48,7 @@ pub fn registry() -> Vec<Box<dyn Lint>> {
         Box::new(RetryBudgetFeasibility),
         Box::new(TraceExporterCoverage),
         Box::new(CheckpointSchema),
+        Box::new(ScalarEquivalenceCoverage),
     ]
 }
 
@@ -1283,6 +1284,67 @@ impl Lint for CheckpointSchema {
     }
 }
 
+// ---------------------------------------------------------------------------
+// PSA016 — scalar-equivalence coverage
+// ---------------------------------------------------------------------------
+
+/// Benchmarks built on a batch-capable evaluator must declare a
+/// scalar-equivalence check. The batched SoA fast path earns its speedups by
+/// restructuring the oracle's arithmetic, so every registered bench artifact
+/// that times it has to assert the contract that keeps it honest:
+/// bit-identical results on the exact lane, bounded relative error on coarse
+/// lanes. A `batch_evaluator` registration without `scalar_equivalence` is a
+/// fast path whose numbers nothing would catch drifting from the model it
+/// claims to accelerate. The inverse declaration (`scalar_equivalence`
+/// without `batch_evaluator`) is flagged too — an equivalence check with no
+/// batch path compares the oracle to itself and gives false confidence.
+pub struct ScalarEquivalenceCoverage;
+
+impl Lint for ScalarEquivalenceCoverage {
+    fn id(&self) -> &'static str {
+        "PSA016"
+    }
+    fn name(&self) -> &'static str {
+        "scalar-equivalence-coverage"
+    }
+    fn description(&self) -> &'static str {
+        "every batch-evaluator bench bin declares a scalar-equivalence check"
+    }
+    fn check(&self, model: &FrameworkModel) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for a in &model.artifacts {
+            let path = format!("bench.bin.{}", a.bin);
+            if a.batch_evaluator && !a.scalar_equivalence {
+                out.push(Diagnostic::error(
+                    self.id(),
+                    "cross-layer",
+                    &path,
+                    format!(
+                        "{} times a batch-capable evaluator but declares no \
+                         scalar-equivalence check (assert the exact lane is \
+                         bit-identical to the scalar oracle and bound coarse-lane \
+                         error, then register with ArtifactInfo::batched)",
+                        a.bin
+                    ),
+                ));
+            }
+            if a.scalar_equivalence && !a.batch_evaluator {
+                out.push(Diagnostic::warn(
+                    self.id(),
+                    "cross-layer",
+                    &path,
+                    format!(
+                        "{} declares a scalar-equivalence check but no batch \
+                         evaluator; the check compares the oracle to itself",
+                        a.bin
+                    ),
+                ));
+            }
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1295,7 +1357,7 @@ mod tests {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(ids, sorted, "rule IDs must be unique and in order");
-        assert_eq!(ids.len(), 15);
+        assert_eq!(ids.len(), 16);
         for r in &rules {
             assert!(!r.name().is_empty() && !r.description().is_empty());
         }

@@ -592,6 +592,8 @@ fn psa014_flags_json_writer_without_trace_exporter() {
         bin: "rogue_dump",
         writes_json: true,
         trace_exporter: false,
+        batch_evaluator: false,
+        scalar_equivalence: false,
     });
     let errs = errors_of(&m, "PSA014");
     assert!(
@@ -608,6 +610,8 @@ fn psa014_accepts_textonly_bin_without_trace() {
         bin: "text_only_report",
         writes_json: false,
         trace_exporter: false,
+        batch_evaluator: false,
+        scalar_equivalence: false,
     });
     assert!(errors_of(&m, "PSA014").is_empty());
 }
@@ -622,6 +626,64 @@ fn psa014_flags_duplicate_bin_registration() {
         errs.iter().any(|e| e.contains("more than once")),
         "duplicate registration not flagged: {errs:?}"
     );
+}
+
+// --- PSA016: scalar-equivalence coverage -----------------------------------
+
+#[test]
+fn psa016_passes_on_shipped_artifacts() {
+    assert!(errors_of(&shipped(), "PSA016").is_empty());
+}
+
+#[test]
+fn psa016_flags_batch_evaluator_without_equivalence_check() {
+    let mut m = shipped();
+    m.artifacts.push(ArtifactInfo {
+        bin: "rogue_batch_bench",
+        writes_json: true,
+        trace_exporter: true,
+        batch_evaluator: true,
+        scalar_equivalence: false,
+    });
+    let errs = errors_of(&m, "PSA016");
+    assert!(
+        errs.iter()
+            .any(|e| e.contains("rogue_batch_bench") && e.contains("scalar-equivalence")),
+        "unchecked batch evaluator not flagged: {errs:?}"
+    );
+}
+
+#[test]
+fn psa016_warns_on_equivalence_check_without_batch_path() {
+    let mut m = shipped();
+    m.artifacts.push(ArtifactInfo {
+        bin: "oracle_vs_oracle",
+        writes_json: true,
+        trace_exporter: true,
+        batch_evaluator: false,
+        scalar_equivalence: true,
+    });
+    let warns: Vec<String> = analyze(&m)
+        .by_rule("PSA016")
+        .filter(|d| d.severity == Severity::Warn)
+        .map(|d| format!("{d}"))
+        .collect();
+    assert!(
+        warns.iter().any(|w| w.contains("oracle_vs_oracle")),
+        "oracle-vs-oracle equivalence not warned: {warns:?}"
+    );
+}
+
+#[test]
+fn psa016_accepts_batched_registration() {
+    let m = shipped();
+    assert!(
+        m.artifacts
+            .iter()
+            .any(|a| a.bin == "bench_evalthroughput" && a.batch_evaluator && a.scalar_equivalence),
+        "bench_evalthroughput must register via ArtifactInfo::batched"
+    );
+    assert!(errors_of(&m, "PSA016").is_empty());
 }
 
 #[test]

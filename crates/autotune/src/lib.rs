@@ -55,7 +55,9 @@ pub use search::{
     RandomSearch, SearchAlgorithm, SearchState,
 };
 pub use space::{Config, Param, ParamSpace, ParamValue};
-pub use tuner::{config_fingerprint, CacheStats, Evaluation, TuneError, TuneReport, Tuner};
+pub use tuner::{
+    config_fingerprint, BatchEvaluator, CacheStats, Evaluation, TuneError, TuneReport, Tuner,
+};
 
 // The tracing vocabulary used in this crate's public API, re-exported so
 // downstream crates don't need a direct `pstack-trace` dependency to attach

@@ -40,12 +40,14 @@ use crate::db::PerfDatabase;
 use crate::faultlog::{FaultKind, FaultLog};
 use crate::search::SearchAlgorithm;
 use crate::space::{Config, ParamSpace};
-use crate::tuner::{config_fingerprint, CacheStats, Evaluation, TuneError, TuneReport, Tuner};
+use crate::tuner::{
+    config_fingerprint, fan_out, BatchEvaluator, CacheStats, Evaluation, TuneError, TuneReport,
+    Tuner,
+};
 use pstack_trace::{AttrValue, ProfileBuilder, SpanGuard, SpanId, TraceCollector};
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -507,6 +509,39 @@ impl Tuner {
         )
     }
 
+    /// [`run_resilient`](Self::run_resilient) through a stateful
+    /// [`BatchEvaluator`]: retries call
+    /// [`evaluate_attempt`](BatchEvaluator::evaluate_attempt) with the
+    /// attempt index, so a deterministic evaluator can vary its fault
+    /// decision per retry exactly like the closure form. The report is
+    /// byte-identical to [`run_resilient`](Self::run_resilient) with an
+    /// equivalent closure.
+    ///
+    /// # Errors
+    /// As [`run_resilient`](Self::run_resilient).
+    pub fn run_resilient_with(
+        &self,
+        algorithm: &mut dyn SearchAlgorithm,
+        fallback: Option<&mut (dyn SearchAlgorithm + '_)>,
+        robustness: &Robustness,
+        evaluator: &mut dyn BatchEvaluator,
+    ) -> Result<TuneReport, TuneError> {
+        let session = self.open_session(
+            "run_resilient",
+            algorithm,
+            fallback.as_deref(),
+            Some(robustness),
+        )?;
+        self.run_resilient_impl(
+            algorithm,
+            fallback,
+            robustness,
+            |space, cfg, attempt| evaluator.evaluate_attempt(space, cfg, attempt),
+            session,
+            None,
+        )
+    }
+
     fn run_resilient_impl(
         &self,
         algorithm: &mut dyn SearchAlgorithm,
@@ -721,8 +756,41 @@ impl Tuner {
             Some(robustness),
         )?;
         self.run_parallel_resilient_impl(
-            algorithm, fallback, robustness, workers, evaluate, session, None,
+            algorithm,
+            fallback,
+            robustness,
+            ResilientDispatch::Pool { workers, evaluate },
+            session,
+            None,
         )
+    }
+
+    /// [`run_parallel_resilient`](Self::run_parallel_resilient) through a
+    /// stateful [`BatchEvaluator`]: each round's fresh proposals run their
+    /// retry loops serially through one warm evaluator inside a single
+    /// amortized `evaluate_many` span. The report is byte-identical to
+    /// [`run_parallel_resilient`](Self::run_parallel_resilient) with an
+    /// equivalent closure (any worker count) — quarantine, degradation,
+    /// fault verdicts and WAL records are unchanged.
+    ///
+    /// # Errors
+    /// As [`run_parallel_resilient`](Self::run_parallel_resilient).
+    pub fn run_parallel_resilient_with(
+        &self,
+        algorithm: &mut dyn SearchAlgorithm,
+        fallback: Option<&mut (dyn SearchAlgorithm + '_)>,
+        robustness: &Robustness,
+        evaluator: &mut dyn BatchEvaluator,
+    ) -> Result<TuneReport, TuneError> {
+        let session = self.open_session(
+            "run_parallel_resilient",
+            algorithm,
+            fallback.as_deref(),
+            Some(robustness),
+        )?;
+        let dispatch: ResilientDispatch<'_, ResilientEvalFn> =
+            ResilientDispatch::Batched { evaluator };
+        self.run_parallel_resilient_impl(algorithm, fallback, robustness, dispatch, session, None)
     }
 
     /// Resume a killed
@@ -754,30 +822,35 @@ impl Tuner {
             algorithm,
             fallback,
             &robustness,
-            workers,
-            evaluate,
+            ResilientDispatch::Pool { workers, evaluate },
             Some(session),
             Some(restored),
         )
     }
 
-    #[allow(clippy::too_many_arguments)]
-    fn run_parallel_resilient_impl(
+    fn run_parallel_resilient_impl<F>(
         &self,
         algorithm: &mut dyn SearchAlgorithm,
         mut fallback: Option<&mut (dyn SearchAlgorithm + '_)>,
         robustness: &Robustness,
-        workers: usize,
-        evaluate: impl Fn(&ParamSpace, &Config, usize) -> Result<Evaluation, EvalError> + Sync,
+        mut dispatch: ResilientDispatch<'_, F>,
         mut session: Option<ActiveSession>,
         mut restored: Option<RestoredState>,
-    ) -> Result<TuneReport, TuneError> {
-        assert!(workers > 0, "need at least one worker");
+    ) -> Result<TuneReport, TuneError>
+    where
+        F: Fn(&ParamSpace, &Config, usize) -> Result<Evaluation, EvalError> + Sync,
+    {
+        if let ResilientDispatch::Pool { workers, .. } = &dispatch {
+            assert!(*workers > 0, "need at least one worker");
+        }
         self.preflight()?;
         let mut profile = ProfileBuilder::new();
         let mut root = self.open_root("tuner.run_parallel_resilient", algorithm.name());
         if let Some(root) = root.as_mut() {
-            root.attr("workers", workers);
+            match &dispatch {
+                ResilientDispatch::Pool { workers, .. } => root.attr("workers", *workers),
+                ResilientDispatch::Batched { .. } => root.attr("dispatch", "batched"),
+            }
             root.attr("batch_size", self.batch_size);
         }
         let restored_res = match restored.as_mut() {
@@ -803,6 +876,11 @@ impl Tuner {
             fallback.as_deref(),
             || Some(state.snapshot()),
         )?;
+        // Round-reusable buffers: proposals, outcomes and pool slots keep
+        // their allocations across rounds (no per-proposal churn).
+        let mut fresh: Vec<Config> = Vec::new();
+        let mut outcomes: Vec<ConfigOutcome> = Vec::new();
+        let mut slots: Vec<Mutex<Option<ConfigOutcome>>> = Vec::new();
         'rounds: while db.len() - prior_len < self.max_evals {
             let want = self.batch_size.min(self.max_evals - (db.len() - prior_len));
             let active: &mut dyn SearchAlgorithm = if state.degraded {
@@ -827,7 +905,8 @@ impl Tuner {
                 break; // strategy exhausted
             }
             proposals.truncate(want);
-            let mut fresh: Vec<Config> = Vec::with_capacity(proposals.len());
+            fresh.clear();
+            outcomes.clear();
             let mut exhausted = false;
             for cfg in proposals {
                 self.check_valid(active, &cfg)?;
@@ -875,7 +954,6 @@ impl Tuner {
                 (Some(t), Some(r)) => Some((t, r.id())),
                 _ => None,
             };
-            let mut outcomes: Vec<ConfigOutcome> = Vec::new();
             if let Some(s) = session.as_mut() {
                 while outcomes.len() < fresh.len() {
                     match s.replay_next(&fresh[outcomes.len()])? {
@@ -885,31 +963,43 @@ impl Tuner {
                 }
             }
             let replay_n = outcomes.len();
-            let live = evaluate_batch_resilient(
-                &self.space,
-                &fresh[replay_n..],
-                &robustness.retry,
-                workers,
-                &evaluate,
-                trace,
-            );
-            for (i, outcome) in live.into_iter().enumerate() {
+            match &mut dispatch {
+                ResilientDispatch::Pool { workers, evaluate } => evaluate_batch_resilient(
+                    &self.space,
+                    &fresh[replay_n..],
+                    &robustness.retry,
+                    *workers,
+                    evaluate,
+                    trace,
+                    &mut slots,
+                    &mut outcomes,
+                ),
+                ResilientDispatch::Batched { evaluator } => evaluate_many_resilient(
+                    &self.space,
+                    &fresh[replay_n..],
+                    &robustness.retry,
+                    *evaluator,
+                    trace,
+                    &mut outcomes,
+                    &mut profile,
+                ),
+            }
+            for i in replay_n..outcomes.len() {
                 if let Some(s) = session.as_mut() {
                     s.log(&record_from_outcome(
                         s.next_ordinal(),
-                        &fresh[replay_n + i],
-                        &outcome,
+                        &fresh[i],
+                        &outcomes[i],
                     ))?;
                 }
-                outcomes.push(outcome);
             }
-            for (cfg, outcome) in fresh.iter().zip(outcomes) {
+            for (cfg, outcome) in fresh.drain(..).zip(outcomes.drain(..)) {
                 profile.sample("evaluate", outcome.dur_s);
                 profile.retries(outcome.retry_count());
-                if let Some((objective, aux)) = state.absorb(cfg, outcome) {
+                if let Some((objective, aux)) = state.absorb(&cfg, outcome) {
                     state.stats.misses += 1;
                     cache.insert(cfg.clone(), (objective, aux.clone()));
-                    db.record(cfg.clone(), objective, aux);
+                    db.record(cfg, objective, aux);
                     if state.observe_recorded(&db, objective, fallback.is_some()) {
                         state.degraded = true;
                         state.faults.record(
@@ -974,10 +1064,29 @@ impl Tuner {
     }
 }
 
+/// `fn`-pointer stand-in for the pool closure type parameter when a driver
+/// dispatches through a [`BatchEvaluator`] instead.
+type ResilientEvalFn = fn(&ParamSpace, &Config, usize) -> Result<Evaluation, EvalError>;
+
+/// How a resilient round's fresh configurations run their retry loops:
+/// fanned out over a pool of scoped worker threads, or serially through
+/// one stateful [`BatchEvaluator`] (the amortized fast path).
+enum ResilientDispatch<'a, F> {
+    Pool {
+        workers: usize,
+        evaluate: F,
+    },
+    Batched {
+        evaluator: &'a mut dyn BatchEvaluator,
+    },
+}
+
 /// Run the retry loop for every fresh configuration on up to `workers`
-/// scoped threads; outcomes return in suggestion order. With a trace
-/// target, each configuration records an `eval` span (worker id, config
-/// fingerprint, verdict, one event per injected fault).
+/// scoped threads, appending outcomes to `outcomes` in suggestion order.
+/// With a trace target, each configuration records an `eval` span (worker
+/// id, config fingerprint, verdict, one event per injected fault).
+/// `slots` and `outcomes` are caller-owned buffers recycled across rounds.
+#[allow(clippy::too_many_arguments)]
 fn evaluate_batch_resilient(
     space: &ParamSpace,
     fresh: &[Config],
@@ -985,7 +1094,9 @@ fn evaluate_batch_resilient(
     workers: usize,
     evaluate: &(impl Fn(&ParamSpace, &Config, usize) -> Result<Evaluation, EvalError> + Sync),
     trace: Option<(&TraceCollector, SpanId)>,
-) -> Vec<ConfigOutcome> {
+    slots: &mut Vec<Mutex<Option<ConfigOutcome>>>,
+    outcomes: &mut Vec<ConfigOutcome>,
+) {
     let run_one = |cfg: &Config, worker: usize| {
         let mut span = trace.map(|(t, parent)| {
             let mut s = t.child("eval", parent);
@@ -1001,32 +1112,53 @@ fn evaluate_batch_resilient(
         }
         out
     };
-    if workers == 1 || fresh.len() <= 1 {
-        return fresh.iter().map(|cfg| run_one(cfg, 0)).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<ConfigOutcome>>> = fresh.iter().map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for worker in 0..workers.min(fresh.len()) {
-            let next = &next;
-            let slots = &slots;
-            let run_one = &run_one;
-            scope.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(cfg) = fresh.get(i) else { break };
-                let out = run_one(cfg, worker);
-                *slots[i].lock().expect("no worker panicked") = Some(out);
-            });
-        }
+    fan_out(fresh, workers, slots, outcomes, run_one);
+}
+
+/// Run the retry loop for every fresh configuration serially through one
+/// stateful [`BatchEvaluator`], appending outcomes in suggestion order.
+/// With a trace target, the round records an `evaluate_many` span (`batch`
+/// size, evaluator `reuse_hits` delta) parenting one `eval` span per
+/// configuration; the profile gains an `evaluate_many` sample covering the
+/// amortized call.
+fn evaluate_many_resilient(
+    space: &ParamSpace,
+    fresh: &[Config],
+    retry: &RetryPolicy,
+    evaluator: &mut dyn BatchEvaluator,
+    trace: Option<(&TraceCollector, SpanId)>,
+    outcomes: &mut Vec<ConfigOutcome>,
+    profile: &mut ProfileBuilder,
+) {
+    let mut span = trace.map(|(t, parent)| {
+        let mut s = t.child("evaluate_many", parent);
+        s.attr("batch", fresh.len());
+        s
     });
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("no worker panicked")
-                .expect("every slot was claimed and filled")
-        })
-        .collect()
+    let reuse_before = evaluator.reuse_hits();
+    let t_batch = Instant::now();
+    for cfg in fresh {
+        let mut eval_span = span.as_ref().map(|s| {
+            let mut e = s.child("eval");
+            e.attr("worker", 0usize);
+            e.attr("config", config_fingerprint(cfg));
+            e
+        });
+        let out = attempt_config(space, cfg, retry, &mut |s, c, attempt| {
+            evaluator.evaluate_attempt(s, c, attempt)
+        });
+        if let Some(s) = eval_span.as_mut() {
+            out.annotate(s);
+        }
+        outcomes.push(out);
+    }
+    profile.sample("evaluate_many", t_batch.elapsed().as_secs_f64());
+    if let Some(s) = span.as_mut() {
+        s.attr(
+            "reuse_hits",
+            evaluator.reuse_hits().saturating_sub(reuse_before),
+        );
+    }
 }
 
 #[cfg(test)]
@@ -1035,6 +1167,7 @@ mod tests {
     use crate::search::{ForestSearch, RandomSearch};
     use crate::space::Param;
     use std::collections::HashMap;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     fn space() -> ParamSpace {
         ParamSpace::new()
@@ -1324,6 +1457,102 @@ mod tests {
             serde_json::to_string(&eight).unwrap(),
             "reports serialize byte-identically across worker counts"
         );
+    }
+
+    /// Stateless flaky evaluator for the `_with` drivers: every first
+    /// attempt fails, every retry succeeds — a pure function of
+    /// `(config, attempt)` exactly like the closure it mirrors.
+    struct FlakyBowlEvaluator;
+
+    impl BatchEvaluator for FlakyBowlEvaluator {
+        fn evaluate(&mut self, _space: &ParamSpace, cfg: &Config) -> Evaluation {
+            (bowl(cfg), HashMap::new())
+        }
+
+        fn evaluate_attempt(
+            &mut self,
+            _space: &ParamSpace,
+            cfg: &Config,
+            attempt: usize,
+        ) -> Result<Evaluation, EvalError> {
+            if attempt == 0 {
+                Err(EvalError::Failed("first attempt flakes".into()))
+            } else {
+                Ok((bowl(cfg), HashMap::new()))
+            }
+        }
+    }
+
+    #[test]
+    fn resilient_with_drivers_match_closures_byte_for_byte() {
+        let flaky = |_: &ParamSpace, c: &Config, attempt: usize| {
+            if attempt == 0 {
+                Err(EvalError::Failed("first attempt flakes".into()))
+            } else {
+                Ok((bowl(c), HashMap::new()))
+            }
+        };
+        let serial_closure = Tuner::new(space())
+            .max_evals(10)
+            .seed(5)
+            .run_resilient(
+                &mut RandomSearch::new(),
+                None,
+                &Robustness::default(),
+                flaky,
+            )
+            .unwrap();
+        let serial_batched = Tuner::new(space())
+            .max_evals(10)
+            .seed(5)
+            .run_resilient_with(
+                &mut RandomSearch::new(),
+                None,
+                &Robustness::default(),
+                &mut FlakyBowlEvaluator,
+            )
+            .unwrap();
+        assert_eq!(
+            serde_json::to_string(&serial_closure).unwrap(),
+            serde_json::to_string(&serial_batched).unwrap()
+        );
+        let parallel_closure = Tuner::new(space())
+            .max_evals(10)
+            .seed(5)
+            .run_parallel_resilient(
+                &mut RandomSearch::new(),
+                None,
+                &Robustness::default(),
+                4,
+                flaky,
+            )
+            .unwrap();
+        let parallel_batched = Tuner::new(space())
+            .max_evals(10)
+            .seed(5)
+            .run_parallel_resilient_with(
+                &mut RandomSearch::new(),
+                None,
+                &Robustness::default(),
+                &mut FlakyBowlEvaluator,
+            )
+            .unwrap();
+        assert_eq!(
+            serde_json::to_string(&parallel_closure).unwrap(),
+            serde_json::to_string(&parallel_batched).unwrap()
+        );
+        // Fault accounting and profile invariants carry over to the
+        // amortized driver: retries recorded, one evaluate sample per miss,
+        // plus the whole-round evaluate_many stage.
+        assert!(parallel_batched.faults.counts.retries > 0);
+        assert_eq!(
+            parallel_batched.profile.stages["evaluate"].count,
+            parallel_batched.cache.misses
+        );
+        assert!(parallel_batched
+            .profile
+            .stages
+            .contains_key("evaluate_many"));
     }
 
     #[test]

@@ -20,6 +20,7 @@ use crate::ckpt::{
 };
 use crate::db::PerfDatabase;
 use crate::faultlog::FaultLog;
+use crate::resilient::EvalError;
 use crate::search::SearchAlgorithm;
 use crate::space::{Config, ParamSpace};
 use pstack_trace::{AttrValue, ProfileBuilder, ProfileSummary, SpanId, TraceCollector};
@@ -45,6 +46,107 @@ pub fn config_fingerprint(cfg: &Config) -> String {
 /// The outcome of evaluating one configuration: the objective being
 /// minimized plus named auxiliary metrics (e.g. power, energy).
 pub type Evaluation = (f64, HashMap<String, f64>);
+
+/// A stateful batch evaluator — the tuner-side surface of an amortized
+/// evaluation fast path.
+///
+/// Closure evaluators rebuild their scenario state on every call; a
+/// `BatchEvaluator` owns reusable state (an arena, pre-sized buffers, a
+/// warm simulator) that is *reset in place* between evaluations. The
+/// `*_with` drivers ([`Tuner::run_with`], [`Tuner::run_parallel_with`],
+/// [`Tuner::run_resilient_with`](crate::resilient),
+/// [`Tuner::run_parallel_resilient_with`](crate::resilient)) feed whole
+/// `suggest_batch` proposals through one evaluator per round. Reports stay
+/// byte-identical to the closure drivers: suggestion order, cache
+/// accounting, fault verdicts and WAL records are unchanged — only the
+/// per-evaluation setup cost is amortized.
+pub trait BatchEvaluator {
+    /// Evaluate one configuration, returning `(objective, aux)`.
+    fn evaluate(&mut self, space: &ParamSpace, cfg: &Config) -> Evaluation;
+
+    /// Fallible form used by the resilient drivers; `attempt` counts from
+    /// zero per configuration. The default delegates to the infallible
+    /// [`evaluate`](Self::evaluate).
+    ///
+    /// # Errors
+    /// Implementations return [`EvalError`] for attempts that should enter
+    /// the retry/quarantine machinery; the default never fails.
+    fn evaluate_attempt(
+        &mut self,
+        space: &ParamSpace,
+        cfg: &Config,
+        attempt: usize,
+    ) -> Result<Evaluation, EvalError> {
+        let _ = attempt;
+        Ok(self.evaluate(space, cfg))
+    }
+
+    /// Monotone counter of internal state-reuse hits (e.g. arena resets
+    /// that recycled allocations), reported as the `reuse_hits` attribute
+    /// on each `evaluate_many` span. Defaults to zero for evaluators
+    /// without reusable state.
+    fn reuse_hits(&self) -> usize {
+        0
+    }
+}
+
+/// `fn`-pointer stand-in for the pool closure type parameter when a driver
+/// dispatches through a [`BatchEvaluator`] instead.
+pub(crate) type EvalFn = fn(&ParamSpace, &Config) -> (f64, HashMap<String, f64>);
+
+/// How a batched round's fresh configurations get evaluated: fanned out
+/// over a pool of scoped worker threads sharing a `Sync` closure, or fed
+/// serially through one stateful [`BatchEvaluator`] (the amortized fast
+/// path — no per-evaluation state rebuild, no thread handoff).
+pub(crate) enum EvalDispatch<'a, F> {
+    Pool {
+        workers: usize,
+        evaluate: F,
+    },
+    Batched {
+        evaluator: &'a mut dyn BatchEvaluator,
+    },
+}
+
+/// Fan `fresh` out over up to `workers` scoped threads (serially for a
+/// single worker or item), appending one result per configuration to
+/// `outputs` *in suggestion order*. `slots` is reusable scratch owned by
+/// the caller: both buffers keep their allocations across rounds, so the
+/// steady-state loop allocates nothing per proposal.
+pub(crate) fn fan_out<T: Send>(
+    fresh: &[Config],
+    workers: usize,
+    slots: &mut Vec<Mutex<Option<T>>>,
+    outputs: &mut Vec<T>,
+    run_one: impl Fn(&Config, usize) -> T + Sync,
+) {
+    if workers == 1 || fresh.len() <= 1 {
+        outputs.extend(fresh.iter().map(|cfg| run_one(cfg, 0)));
+        return;
+    }
+    slots.clear();
+    slots.resize_with(fresh.len(), || Mutex::new(None));
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for worker in 0..workers.min(fresh.len()) {
+            let next = &next;
+            let slots = &*slots;
+            let run_one = &run_one;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(cfg) = fresh.get(i) else { break };
+                let out = run_one(cfg, worker);
+                *slots[i].lock().expect("no worker panicked") = Some(out);
+            });
+        }
+    });
+    outputs.extend(slots.iter_mut().map(|slot| {
+        slot.get_mut()
+            .expect("no worker panicked")
+            .take()
+            .expect("every slot was claimed and filled")
+    }));
+}
 
 /// Hit/miss counters for the evaluation cache.
 ///
@@ -448,6 +550,33 @@ impl Tuner {
         tuner.run_impl(algorithm, evaluate, Some(session), Some(restored))
     }
 
+    /// [`run`](Self::run) through a stateful [`BatchEvaluator`] instead of
+    /// a closure: the evaluator's reusable state (e.g. an arena) survives
+    /// across evaluations, amortizing all per-evaluation setup.
+    ///
+    /// The report is byte-identical to [`run`](Self::run) with an
+    /// equivalent closure — the loop, cache accounting, spans and WAL
+    /// records are shared. A session checkpointed here resumes via
+    /// [`resume`](Self::resume) (with a closure) or by calling this again
+    /// after [`checkpoint`](Self::checkpoint) — the WAL does not record how
+    /// evaluations were dispatched.
+    ///
+    /// # Errors
+    /// As [`run`](Self::run).
+    pub fn run_with(
+        &self,
+        algorithm: &mut dyn SearchAlgorithm,
+        evaluator: &mut dyn BatchEvaluator,
+    ) -> Result<TuneReport, TuneError> {
+        let session = self.open_session("run", algorithm, None, None)?;
+        self.run_impl(
+            algorithm,
+            |space, cfg| evaluator.evaluate(space, cfg),
+            session,
+            None,
+        )
+    }
+
     fn run_impl(
         &self,
         algorithm: &mut dyn SearchAlgorithm,
@@ -662,7 +791,12 @@ impl Tuner {
         evaluate: impl Fn(&ParamSpace, &Config) -> (f64, HashMap<String, f64>) + Sync,
     ) -> Result<TuneReport, TuneError> {
         let session = self.open_session("run_parallel", algorithm, None, None)?;
-        self.run_parallel_impl(algorithm, workers, evaluate, session, None)
+        self.run_parallel_impl(
+            algorithm,
+            EvalDispatch::Pool { workers, evaluate },
+            session,
+            None,
+        )
     }
 
     /// Resume a killed [`run_parallel`](Self::run_parallel) session — see
@@ -682,23 +816,60 @@ impl Tuner {
         evaluate: impl Fn(&ParamSpace, &Config) -> (f64, HashMap<String, f64>) + Sync,
     ) -> Result<TuneReport, TuneError> {
         let (tuner, session, restored) = self.load_session("run_parallel", algorithm, None)?;
-        tuner.run_parallel_impl(algorithm, workers, evaluate, Some(session), Some(restored))
+        tuner.run_parallel_impl(
+            algorithm,
+            EvalDispatch::Pool { workers, evaluate },
+            Some(session),
+            Some(restored),
+        )
     }
 
-    fn run_parallel_impl(
+    /// [`run_parallel`](Self::run_parallel) through a stateful
+    /// [`BatchEvaluator`]: whole `suggest_batch` proposals flow through one
+    /// amortized `evaluate_many` call per round instead of a thread pool —
+    /// the fast path when a single warm evaluator outruns N cold ones.
+    ///
+    /// The report is byte-identical to [`run_parallel`](Self::run_parallel)
+    /// with an equivalent closure (any worker count): batch composition,
+    /// recording order, cache accounting and WAL records are shared. The
+    /// trace gains one `evaluate_many` span per round (`batch` size,
+    /// evaluator `reuse_hits`) parenting that round's `eval` spans, and the
+    /// profile gains an `evaluate_many` stage alongside the per-evaluation
+    /// `evaluate` samples.
+    ///
+    /// # Errors
+    /// As [`run_parallel`](Self::run_parallel).
+    pub fn run_parallel_with(
         &self,
         algorithm: &mut dyn SearchAlgorithm,
-        workers: usize,
-        evaluate: impl Fn(&ParamSpace, &Config) -> (f64, HashMap<String, f64>) + Sync,
+        evaluator: &mut dyn BatchEvaluator,
+    ) -> Result<TuneReport, TuneError> {
+        let session = self.open_session("run_parallel", algorithm, None, None)?;
+        let dispatch: EvalDispatch<'_, EvalFn> = EvalDispatch::Batched { evaluator };
+        self.run_parallel_impl(algorithm, dispatch, session, None)
+    }
+
+    fn run_parallel_impl<F>(
+        &self,
+        algorithm: &mut dyn SearchAlgorithm,
+        mut dispatch: EvalDispatch<'_, F>,
         mut session: Option<ActiveSession>,
         restored: Option<RestoredState>,
-    ) -> Result<TuneReport, TuneError> {
-        assert!(workers > 0, "need at least one worker");
+    ) -> Result<TuneReport, TuneError>
+    where
+        F: Fn(&ParamSpace, &Config) -> (f64, HashMap<String, f64>) + Sync,
+    {
+        if let EvalDispatch::Pool { workers, .. } = &dispatch {
+            assert!(*workers > 0, "need at least one worker");
+        }
         self.preflight()?;
         let mut profile = ProfileBuilder::new();
         let mut root = self.open_root("tuner.run_parallel", algorithm.name());
         if let Some(root) = root.as_mut() {
-            root.attr("workers", workers);
+            match &dispatch {
+                EvalDispatch::Pool { workers, .. } => root.attr("workers", *workers),
+                EvalDispatch::Batched { .. } => root.attr("dispatch", "batched"),
+            }
             root.attr("batch_size", self.batch_size);
         }
         let (mut db, prior_len, mut cache, mut stats, mut rng, mut consecutive_dups) =
@@ -714,6 +885,12 @@ impl Tuner {
             None,
             || None,
         )?;
+        // Round-reusable buffers: proposals, evaluation outputs and pool
+        // slots keep their allocations across rounds, so the steady-state
+        // loop allocates nothing per proposal.
+        let mut fresh: Vec<Config> = Vec::new();
+        let mut outputs: Vec<(Evaluation, f64)> = Vec::new();
+        let mut slots: Vec<Mutex<Option<(Evaluation, f64)>>> = Vec::new();
         while db.len() - prior_len < self.max_evals {
             let want = self.batch_size.min(self.max_evals - (db.len() - prior_len));
             let mut proposals = {
@@ -737,7 +914,8 @@ impl Tuner {
             proposals.truncate(want);
             // Filter duplicates in suggestion order, counting them toward
             // the same consecutive-duplicate exit as the serial loop.
-            let mut fresh: Vec<Config> = Vec::with_capacity(proposals.len());
+            fresh.clear();
+            outputs.clear();
             let mut exhausted = false;
             for cfg in proposals {
                 self.check_valid(algorithm, &cfg)?;
@@ -774,7 +952,7 @@ impl Tuner {
                     }
                 }
             }
-            let live = &fresh[replayed.len()..];
+            let replay_n = replayed.len();
             for rec in replayed {
                 stats.misses += 1;
                 profile.sample("evaluate", 0.0);
@@ -794,9 +972,24 @@ impl Tuner {
                 (Some(t), Some(r)) => Some((t, r.id())),
                 _ => None,
             };
-            for (cfg, (objective, aux), dur_s) in
-                self.evaluate_batch(live, workers, &evaluate, trace)
-            {
+            match &mut dispatch {
+                EvalDispatch::Pool { workers, evaluate } => self.evaluate_batch(
+                    &fresh[replay_n..],
+                    *workers,
+                    evaluate,
+                    trace,
+                    &mut slots,
+                    &mut outputs,
+                ),
+                EvalDispatch::Batched { evaluator } => self.evaluate_many(
+                    &fresh[replay_n..],
+                    *evaluator,
+                    trace,
+                    &mut outputs,
+                    &mut profile,
+                ),
+            }
+            for (cfg, ((objective, aux), dur_s)) in fresh.drain(replay_n..).zip(outputs.drain(..)) {
                 if let Some(s) = session.as_mut() {
                     s.log(&EvalRecord {
                         ordinal: s.next_ordinal(),
@@ -842,18 +1035,21 @@ impl Tuner {
         report
     }
 
-    /// Evaluate `fresh` on up to `workers` scoped threads, returning results
-    /// paired with their configurations and per-evaluation durations *in
-    /// suggestion order* — recording order is therefore independent of which
-    /// worker finished first. With a trace target, each evaluation records
-    /// an `eval` span (worker id, config fingerprint, objective).
+    /// Evaluate `fresh` on up to `workers` scoped threads, appending one
+    /// `(result, duration)` per configuration to `outputs` *in suggestion
+    /// order* — recording order is therefore independent of which worker
+    /// finished first. With a trace target, each evaluation records an
+    /// `eval` span (worker id, config fingerprint, objective). `slots` and
+    /// `outputs` are caller-owned buffers recycled across rounds.
     fn evaluate_batch(
         &self,
         fresh: &[Config],
         workers: usize,
         evaluate: &(impl Fn(&ParamSpace, &Config) -> (f64, HashMap<String, f64>) + Sync),
         trace: Option<(&TraceCollector, SpanId)>,
-    ) -> Vec<(Config, Evaluation, f64)> {
+        slots: &mut Vec<Mutex<Option<(Evaluation, f64)>>>,
+        outputs: &mut Vec<(Evaluation, f64)>,
+    ) {
         let eval_traced = |cfg: &Config, worker: usize| {
             let mut span = trace.map(|(t, parent)| {
                 let mut s = t.child("eval", parent);
@@ -869,40 +1065,52 @@ impl Tuner {
             }
             (out, dur_s)
         };
-        let outputs: Vec<(Evaluation, f64)> = if workers == 1 || fresh.len() <= 1 {
-            fresh.iter().map(|cfg| eval_traced(cfg, 0)).collect()
-        } else {
-            let next = AtomicUsize::new(0);
-            let slots: Vec<Mutex<Option<(Evaluation, f64)>>> =
-                fresh.iter().map(|_| Mutex::new(None)).collect();
-            std::thread::scope(|scope| {
-                for worker in 0..workers.min(fresh.len()) {
-                    let next = &next;
-                    let slots = &slots;
-                    let eval_traced = &eval_traced;
-                    scope.spawn(move || loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(cfg) = fresh.get(i) else { break };
-                        let out = eval_traced(cfg, worker);
-                        *slots[i].lock().expect("no worker panicked") = Some(out);
-                    });
-                }
+        fan_out(fresh, workers, slots, outputs, eval_traced);
+    }
+
+    /// Evaluate `fresh` serially through one stateful [`BatchEvaluator`],
+    /// appending `(result, duration)` pairs to `outputs` in suggestion
+    /// order. With a trace target, the whole round records an
+    /// `evaluate_many` span (`batch` size, evaluator `reuse_hits` delta)
+    /// parenting one `eval` span per configuration, and the profile gains
+    /// an `evaluate_many` sample covering the amortized call.
+    fn evaluate_many(
+        &self,
+        fresh: &[Config],
+        evaluator: &mut dyn BatchEvaluator,
+        trace: Option<(&TraceCollector, SpanId)>,
+        outputs: &mut Vec<(Evaluation, f64)>,
+        profile: &mut ProfileBuilder,
+    ) {
+        let mut span = trace.map(|(t, parent)| {
+            let mut s = t.child("evaluate_many", parent);
+            s.attr("batch", fresh.len());
+            s
+        });
+        let reuse_before = evaluator.reuse_hits();
+        let t_batch = Instant::now();
+        for cfg in fresh {
+            let mut eval_span = span.as_ref().map(|s| {
+                let mut e = s.child("eval");
+                e.attr("worker", 0usize);
+                e.attr("config", config_fingerprint(cfg));
+                e
             });
-            slots
-                .into_iter()
-                .map(|slot| {
-                    slot.into_inner()
-                        .expect("no worker panicked")
-                        .expect("every slot was claimed and filled")
-                })
-                .collect()
-        };
-        fresh
-            .iter()
-            .cloned()
-            .zip(outputs)
-            .map(|(cfg, (out, dur_s))| (cfg, out, dur_s))
-            .collect()
+            let t_eval = Instant::now();
+            let out = evaluator.evaluate(&self.space, cfg);
+            let dur_s = t_eval.elapsed().as_secs_f64();
+            if let Some(e) = eval_span.as_mut() {
+                e.attr("objective", out.0);
+            }
+            outputs.push((out, dur_s));
+        }
+        profile.sample("evaluate_many", t_batch.elapsed().as_secs_f64());
+        if let Some(s) = span.as_mut() {
+            s.attr(
+                "reuse_hits",
+                evaluator.reuse_hits().saturating_sub(reuse_before),
+            );
+        }
     }
 
     /// Memoized results for warm-start priors (suggesting one is a hit, not
@@ -1389,5 +1597,113 @@ mod tests {
             .unwrap();
         assert_eq!(report.evals, 21);
         assert_eq!(report.db.len(), 21);
+    }
+
+    /// Minimal stateful evaluator for the `_with` drivers: counts its
+    /// evaluations and reports every call after the first as a reuse hit.
+    struct BowlEvaluator {
+        evals: usize,
+    }
+
+    impl BatchEvaluator for BowlEvaluator {
+        fn evaluate(&mut self, space: &ParamSpace, cfg: &Config) -> Evaluation {
+            self.evals += 1;
+            bowl(space, cfg)
+        }
+
+        fn reuse_hits(&self) -> usize {
+            self.evals.saturating_sub(1)
+        }
+    }
+
+    #[test]
+    fn run_with_matches_run_byte_for_byte() {
+        let closure = Tuner::new(space())
+            .max_evals(12)
+            .seed(7)
+            .run(&mut RandomSearch::new(), bowl)
+            .unwrap();
+        let mut ev = BowlEvaluator { evals: 0 };
+        let batched = Tuner::new(space())
+            .max_evals(12)
+            .seed(7)
+            .run_with(&mut RandomSearch::new(), &mut ev)
+            .unwrap();
+        assert_eq!(ev.evals, batched.cache.misses, "one call per miss");
+        assert_eq!(
+            serde_json::to_string(&closure).unwrap(),
+            serde_json::to_string(&batched).unwrap()
+        );
+    }
+
+    #[test]
+    fn run_parallel_with_matches_run_parallel_byte_for_byte() {
+        let closure = Tuner::new(space())
+            .max_evals(20)
+            .seed(11)
+            .run_parallel(&mut ForestSearch::new(), 4, bowl)
+            .unwrap();
+        let mut ev = BowlEvaluator { evals: 0 };
+        let batched = Tuner::new(space())
+            .max_evals(20)
+            .seed(11)
+            .run_parallel_with(&mut ForestSearch::new(), &mut ev)
+            .unwrap();
+        assert_eq!(
+            serde_json::to_string(&closure).unwrap(),
+            serde_json::to_string(&batched).unwrap()
+        );
+        // The amortized driver keeps the one-sample-per-miss invariant and
+        // adds an `evaluate_many` stage covering each whole-round call.
+        assert_eq!(
+            batched.profile.stages["evaluate"].count,
+            batched.cache.misses
+        );
+        assert!(batched.profile.stages.contains_key("evaluate_many"));
+    }
+
+    #[test]
+    fn evaluate_many_spans_cover_batches() {
+        use std::sync::Arc;
+        let collector = Arc::new(pstack_trace::TraceCollector::new());
+        let mut ev = BowlEvaluator { evals: 0 };
+        let report = Tuner::new(space())
+            .max_evals(10)
+            .batch_size(4)
+            .seed(3)
+            .with_trace(Arc::clone(&collector))
+            .run_parallel_with(&mut RandomSearch::new(), &mut ev)
+            .unwrap();
+        let trace = collector.snapshot();
+        let root = trace
+            .by_name("tuner.run_parallel")
+            .next()
+            .expect("root span recorded");
+        assert_eq!(
+            root.attr("dispatch"),
+            Some(&AttrValue::Str("batched".into()))
+        );
+        let rounds: Vec<_> = trace.by_name("evaluate_many").collect();
+        assert!(!rounds.is_empty(), "at least one round span");
+        let mut batch_total = 0usize;
+        for round in &rounds {
+            assert_eq!(round.parent, Some(root.id));
+            let Some(&AttrValue::Int(batch)) = round.attr("batch") else {
+                panic!("evaluate_many span carries the batch size");
+            };
+            batch_total += usize::try_from(batch).unwrap();
+            assert!(
+                round.attr("reuse_hits").is_some(),
+                "round reports arena reuse"
+            );
+        }
+        assert_eq!(batch_total, report.cache.misses);
+        // Per-evaluation spans parent to their round's evaluate_many span.
+        let round_ids: Vec<_> = rounds.iter().map(|r| r.id).collect();
+        let evals: Vec<_> = trace.by_name("eval").collect();
+        assert_eq!(evals.len(), report.cache.misses, "one span per real eval");
+        for eval in &evals {
+            assert!(round_ids.contains(&eval.parent.expect("eval spans have parents")));
+        }
     }
 }

@@ -89,6 +89,22 @@ fn main() {
     std::fs::create_dir_all(pstack_bench::results_dir()).ok();
     std::fs::write(pstack_bench::results_dir().join("ablations.txt"), txt).ok();
 
+    println!("\n================ PERFORMANCE ================\n");
+    // Eval-throughput artifact for the batched SoA fast path. The exact
+    // arena lane is asserted bit-identical to the scalar oracle and the
+    // coarse lane error-bounded inside run(); the ≥10× acceptance gate
+    // itself lives in the dedicated bench_evalthroughput binary (CI `perf`
+    // stage) so a loaded regeneration box can't fail the whole regen pass
+    // on a timing blip.
+    let r = pstack_bench::traced("bench_evalthroughput", |_tc| {
+        pstack_bench::evalthroughput::run()
+    });
+    pstack_bench::emit(
+        "bench_evalthroughput",
+        &pstack_bench::evalthroughput::render(&r),
+        &r,
+    );
+
     println!("\n================ EXTENSIONS ================\n");
     let r = pstack_bench::traced("ext_emergency", |_tc| {
         pstack_bench::timed("E1", emergency::run_default)

@@ -12,6 +12,8 @@
 
 #![cfg_attr(test, allow(clippy::disallowed_methods))]
 
+pub mod evalthroughput;
+
 use pstack_trace::{Trace, TraceCollector};
 use serde::Serialize;
 use std::fs;

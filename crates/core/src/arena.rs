@@ -1,0 +1,563 @@
+//! Reusable evaluation arena: the batched fast path for co-tuning evals.
+//!
+//! [`crate::cotune::simulate_app`] rebuilds the whole scenario for every
+//! evaluation: fresh [`pstack_node::NodeManager`]s, a fresh
+//! `pstack_runtime::JobRunner` with per-node phase vectors, telemetry
+//! time-series and performance counters the co-tuning objective never reads.
+//! [`EvalArena`] replays the *same* simulation on the structure-of-arrays
+//! [`NodeBatch`] instead: state is reset in place between evaluations, phase
+//! programs are flattened to `(mix id, work)` pairs, and the stepping loop is
+//! allocation-free.
+//!
+//! ## Equivalence contract
+//!
+//! The arena is **bit-identical** to `simulate_app` — the scalar path stays
+//! the oracle. That holds because every floating-point operation of the
+//! driver is replicated in the same order:
+//!
+//! - the per-node work program is `phase.work * transient[i] * persistent[i]`
+//!   with the same [`MpiModel`] draws in the same seed order;
+//! - sub-step selection (`min(horizon, 250 ms, time-to-phase-end)` with the
+//!   1 µs floor), cursor arithmetic (the `1 − 1e-9` completion guard, the
+//!   `1e-12` barrier threshold), barrier release and the 60 s progress
+//!   quanta mirror `JobRunner::advance` / `run_to_completion`;
+//! - one `work_rate` per live node per sub-step is reused for both the
+//!   sub-step choice and the cursor advance — the scalar driver computes it
+//!   twice from identical pre-step state, so the bits agree;
+//! - node stepping delegates to [`NodeBatch::step`], which is bit-identical
+//!   to `Node::step` at nominal knobs (see `pstack-hwmodel`'s
+//!   `batch_equivalence` suite).
+//!
+//! ## Tick coarsening
+//!
+//! The RC-thermal update is a closed-form exponential — exact for any step
+//! length — so the only time-discretization coupling left is leakage power
+//! being sampled at the step-start temperature. Between control and throttle
+//! events the temperature trajectory is smooth and monotone per phase, so
+//! coarser ticks drift the energy integral only marginally.
+//! [`EvalArena::with_coarse_substep`] opts into long ticks between events:
+//!
+//! - **Uncapped** evaluations coarsen outright — no controller re-plans
+//!   mid-phase, and at nominal 25 °C ambient peaks stay ≈ 30 °C below the
+//!   throttle point.
+//! - **Capped** evaluations run the oracle's 250 ms sub-step (bit-exact) for
+//!   a settle window after every re-plan event — eval start, phase boundary,
+//!   throttle flip — giving the RAPL controller its full convergence
+//!   transient, then coarsen with the controller *held*
+//!   ([`NodeBatch::step_held`]): the allowed P-state only moves on an
+//!   emergency descent (which is the controller's full response to the slow
+//!   leakage drift, so holding continues through it). Holding suppresses the
+//!   controller's periodic one-tick probe excursions (≈ 1 in 21 fine ticks),
+//!   which bounds the drift at well under the probe duty cycle; held ticks
+//!   are additionally clamped so descents land promptly.
+//!
+//! A phase boundary or throttle flip observed during a coarse tick re-enters
+//! the fine settle window. Coarse results are approximate; the default arena
+//! (no coarse sub-step) is bit-identical everywhere.
+
+use pstack_apps::workload::AppModel;
+use pstack_apps::MpiModel;
+use pstack_hwmodel::{NodeBatch, NodeConfig, PhaseKind, PhaseMix};
+use pstack_sim::{SeedTree, SimDuration, SimTime};
+
+/// Default RAPL window, matching [`crate::cotune::simulate_app`].
+const CAP_WINDOW_MS: u64 = 10;
+
+/// The scalar driver's maximum sub-step.
+const MAX_SUBSTEP_MS: u64 = 250;
+
+/// The scalar driver's progress quantum.
+const QUANTUM_S: u64 = 60;
+
+/// Fine-stepping settle window after a control event under coarse ticks:
+/// 32 control intervals at the oracle's 250 ms — comfortably past the RAPL
+/// controller's proportional-descent convergence (a handful of intervals).
+const SETTLE_S: u64 = 8;
+
+/// Ceiling on held-controller ticks under a cap (10 control intervals).
+/// Longer held ticks delay emergency descents against the leakage-driven
+/// power drift enough to visibly bend the energy integral; at 2.5 s the
+/// observed cost drift stays an order of magnitude under the 1% budget.
+const HELD_SUBSTEP_MS: u64 = 2500;
+
+/// A reusable, reset-in-place evaluation context over a [`NodeBatch`].
+///
+/// Construct once, call [`evaluate`](Self::evaluate) per configuration; all
+/// per-evaluation state (thermal/throttle/cap lanes, energy accumulators,
+/// phase programs, cursors) is reused across calls.
+#[derive(Debug)]
+pub struct EvalArena {
+    batch: NodeBatch,
+    mpi: MpiModel,
+    /// Sub-step ceiling for uncapped evaluations (None → oracle's 250 ms).
+    coarse_substep: Option<SimDuration>,
+    /// Effective sub-step ceiling for the current evaluation.
+    max_substep: SimDuration,
+    /// Per-node phase program: `(mix id, work)` in execution order.
+    phases: Vec<Vec<(usize, f64)>>,
+    /// Per-node cursor: index of the current phase.
+    cursor_idx: Vec<usize>,
+    /// Per-node cursor: work remaining in the current phase.
+    cursor_rem: Vec<f64>,
+    /// Per-node work rate for the current sub-step (scratch).
+    rates: Vec<f64>,
+    /// Per-node completed work.
+    work_done: Vec<f64>,
+    /// Per-node throttle state after the last sub-step (event detection).
+    throttled: Vec<bool>,
+    idle_mix: usize,
+    wait_mix: usize,
+    cores_per_node: usize,
+    /// Whether the current evaluation carries a power cap.
+    capped: bool,
+    /// Fine-step until this time (coarse mode: the post-event settle window).
+    fine_until: SimTime,
+    /// Sub-steps taken by the most recent evaluation.
+    last_steps: usize,
+    completed_at: Option<SimTime>,
+    evals: usize,
+}
+
+impl EvalArena {
+    /// An arena over nominal `server_default` nodes with the typical MPI
+    /// model — the exact environment `simulate_app` builds per evaluation.
+    pub fn new() -> Self {
+        Self::with_config(NodeConfig::server_default(), MpiModel::typical())
+    }
+
+    /// An arena over an explicit node configuration and MPI model.
+    pub fn with_config(cfg: NodeConfig, mpi: MpiModel) -> Self {
+        let mut batch = NodeBatch::new(cfg);
+        let idle_mix = batch.register_mix(&PhaseMix::pure(PhaseKind::IoBound));
+        let wait_mix = batch.register_mix(&PhaseMix::pure(PhaseKind::CommBound));
+        EvalArena {
+            batch,
+            mpi,
+            coarse_substep: None,
+            max_substep: SimDuration::from_millis(MAX_SUBSTEP_MS),
+            phases: Vec::new(),
+            cursor_idx: Vec::new(),
+            cursor_rem: Vec::new(),
+            rates: Vec::new(),
+            work_done: Vec::new(),
+            throttled: Vec::new(),
+            idle_mix,
+            wait_mix,
+            cores_per_node: 0,
+            capped: false,
+            fine_until: SimTime::ZERO,
+            last_steps: 0,
+            completed_at: None,
+            evals: 0,
+        }
+    }
+
+    /// Opt into coarse ticks (up to `substep`) between control/throttle
+    /// events. Uncapped evaluations coarsen outright; capped evaluations
+    /// fine-step a settle window after every control event and coarsen in
+    /// between with the cap controller held. Coarse results are approximate
+    /// (see the module docs for the safety argument); leave unset for bit
+    /// identity with the scalar path.
+    pub fn with_coarse_substep(mut self, substep: SimDuration) -> Self {
+        assert!(!substep.is_zero(), "coarse sub-step must be positive");
+        self.coarse_substep = Some(substep);
+        self
+    }
+
+    /// Evaluations completed so far.
+    pub fn evals(&self) -> usize {
+        self.evals
+    }
+
+    /// How many resets reused existing lane allocations (fast-path hits).
+    pub fn reuse_hits(&self) -> usize {
+        self.batch.reuse_hits()
+    }
+
+    /// Sub-steps the most recent evaluation took (coarsening telemetry).
+    pub fn last_eval_steps(&self) -> usize {
+        self.last_steps
+    }
+
+    /// Simulate `app` on `n_nodes` nominal nodes under an optional node power
+    /// cap; returns `(time_s, energy_j, work)` — the `simulate_app` triple,
+    /// bit-identical to it unless coarse ticks are enabled (uncapped only).
+    ///
+    /// # Panics
+    /// Panics if `n_nodes` is zero or a cap is below the platform floor
+    /// (mirroring the scalar path's asserts).
+    pub fn evaluate(
+        &mut self,
+        app: &dyn AppModel,
+        n_nodes: usize,
+        node_cap_w: Option<f64>,
+        seed: u64,
+    ) -> (f64, f64, f64) {
+        assert!(n_nodes >= 1, "need at least one node");
+        self.reset_for(app, n_nodes, node_cap_w, seed);
+        self.run_to_completion();
+        let end = self.completed_at.expect("job just ran to completion");
+        let makespan = end.since(SimTime::ZERO);
+        // Same fold order as `JobRunner::result`: per-node energy then work,
+        // summed in node order (start energy is exactly 0.0 on fresh nodes).
+        let energy_j: f64 = (0..n_nodes).map(|i| self.batch.energy_j(i)).sum();
+        let total_work: f64 = self.work_done.iter().sum();
+        self.evals += 1;
+        (makespan.as_secs_f64(), energy_j, total_work)
+    }
+
+    /// Reset all lanes and rebuild the per-node phase program in place.
+    fn reset_for(&mut self, app: &dyn AppModel, n_nodes: usize, cap: Option<f64>, seed: u64) {
+        let window = SimDuration::from_millis(CAP_WINDOW_MS);
+        self.batch.reset(n_nodes, cap, window);
+        self.cores_per_node = self.batch.config().total_cores();
+        self.capped = cap.is_some();
+        self.max_substep = match self.coarse_substep {
+            Some(s) if cap.is_none() => s,
+            Some(s) => s.min(SimDuration::from_millis(HELD_SUBSTEP_MS)),
+            None => SimDuration::from_millis(MAX_SUBSTEP_MS),
+        };
+        // Capped coarse evals settle the controller on fine ticks first;
+        // everything else (uncapped coarse, exact) has no settle window.
+        self.fine_until = if self.capped && self.coarse_substep.is_some() {
+            SimTime::ZERO + SimDuration::from_secs(SETTLE_S)
+        } else {
+            SimTime::ZERO
+        };
+        self.completed_at = None;
+        self.last_steps = 0;
+
+        self.phases.resize_with(n_nodes, Vec::new);
+        for p in &mut self.phases {
+            p.clear();
+        }
+        let workload = app.workload(n_nodes);
+        let seeds = SeedTree::new(seed);
+        // Factor order matches `JobRunner::new`: persistent draw first, then
+        // one transient draw per phase, applied as work · transient · persistent.
+        let persistent = self.mpi.persistent_factors(&seeds, n_nodes);
+        for (j, phase) in workload.phases().iter().enumerate() {
+            let factors = self.mpi.imbalance_factors(&seeds, j as u64, n_nodes);
+            let mix_id = self.batch.register_mix(&phase.mix);
+            for (i, lanes) in self.phases.iter_mut().enumerate() {
+                lanes.push((mix_id, phase.work * factors[i] * persistent[i]));
+            }
+        }
+
+        self.cursor_idx.clear();
+        self.cursor_idx.resize(n_nodes, 0);
+        self.cursor_rem.clear();
+        self.cursor_rem.extend(
+            self.phases
+                .iter()
+                .map(|p| p.first().map_or(0.0, |&(_, w)| w)),
+        );
+        self.rates.clear();
+        self.rates.resize(n_nodes, 0.0);
+        self.work_done.clear();
+        self.work_done.resize(n_nodes, 0.0);
+        self.throttled.clear();
+        self.throttled.resize(n_nodes, false);
+    }
+
+    fn is_node_complete(&self, i: usize) -> bool {
+        self.cursor_idx[i] >= self.phases[i].len()
+    }
+
+    fn at_barrier(&self, i: usize) -> bool {
+        !self.is_node_complete(i) && self.cursor_rem[i] <= 1e-12
+    }
+
+    /// `JobRunner::run_to_completion` over the batch: 60 s quanta with the
+    /// same progress assertion.
+    fn run_to_completion(&mut self) {
+        let mut t = SimTime::ZERO;
+        while self.completed_at.is_none() {
+            let next = self.advance(t, t + SimDuration::from_secs(QUANTUM_S));
+            assert!(
+                next > t || self.completed_at.is_some(),
+                "job made no progress in a 60 s quantum"
+            );
+            t = next;
+        }
+    }
+
+    /// `JobRunner::advance` over the batch (agentless: no control ticks, no
+    /// region hooks — neither has floating-point effects without agents).
+    fn advance(&mut self, now: SimTime, horizon: SimTime) -> SimTime {
+        let n = self.phases.len();
+        let cores = self.cores_per_node;
+        let coarse = self.coarse_substep.is_some();
+        let fine = SimDuration::from_millis(MAX_SUBSTEP_MS);
+        let mut t = now;
+        while t < horizon && self.completed_at.is_none() {
+            // Inside the post-event settle window, stick to the oracle's fine
+            // sub-step with the live controller; past it, coarsen and hold.
+            let settling = t < self.fine_until;
+            let ceiling = if settling {
+                self.max_substep.min(fine)
+            } else {
+                self.max_substep
+            };
+            let held = coarse && !settling;
+
+            // Choose the sub-step.
+            let mut sub = horizon.since(t).min(ceiling);
+            for i in 0..n {
+                if self.is_node_complete(i) || self.at_barrier(i) {
+                    continue;
+                }
+                let (mix_id, _) = self.phases[i][self.cursor_idx[i]];
+                let rate = self.batch.work_rate(i, mix_id, cores);
+                self.rates[i] = rate;
+                if rate > 0.0 {
+                    let to_finish = SimDuration::from_secs_f64_ceil(self.cursor_rem[i] / rate);
+                    sub = sub.min(to_finish);
+                }
+            }
+            if sub.is_zero() {
+                sub = SimDuration::from_micros(1);
+            }
+
+            // Step every node for the sub-interval. The rate cached above is
+            // bit-equal to the scalar driver's re-computation: nothing
+            // mutates the node between selection and stepping. A throttle
+            // flip or phase boundary seen during a coarse tick re-enters
+            // fine stepping for a settle window.
+            self.last_steps += 1;
+            let mut replan = false;
+            for i in 0..n {
+                let (mix_id, active) = if self.is_node_complete(i) {
+                    (self.idle_mix, 0)
+                } else if self.at_barrier(i) {
+                    (self.wait_mix, cores)
+                } else {
+                    (self.phases[i][self.cursor_idx[i]].0, cores)
+                };
+                let out = if held {
+                    // An emergency descent during hold is already the
+                    // controller's full response — stay coarse at the new
+                    // (lower) P-state rather than re-settling, which would
+                    // let the suppressed climb/probe cycle restart.
+                    self.batch.step_held(i, t, sub, mix_id, active).0
+                } else {
+                    self.batch.step(i, t, sub, mix_id, active)
+                };
+                if out.throttled != self.throttled[i] {
+                    self.throttled[i] = out.throttled;
+                    replan = true;
+                }
+                if !self.is_node_complete(i) && !self.at_barrier(i) {
+                    // `WorkloadCursor::advance`, verbatim arithmetic.
+                    let rate = self.rates[i];
+                    let capacity = rate * sub.as_secs_f64();
+                    let close_enough = capacity >= self.cursor_rem[i] * (1.0 - 1e-9);
+                    if close_enough && rate > 0.0 {
+                        self.work_done[i] += self.cursor_rem[i];
+                        self.cursor_rem[i] = 0.0;
+                    } else {
+                        self.cursor_rem[i] -= capacity;
+                        self.work_done[i] += capacity;
+                    }
+                }
+            }
+            t += sub;
+
+            // Barrier release: all live cursors waiting → everyone advances.
+            let all_at_barrier = (0..n).all(|i| self.is_node_complete(i) || self.at_barrier(i));
+            let any_live = (0..n).any(|i| !self.is_node_complete(i));
+            if all_at_barrier && any_live {
+                for i in 0..n {
+                    if !self.is_node_complete(i) {
+                        debug_assert!(self.cursor_rem[i] <= 1e-12, "phase not finished");
+                        self.cursor_idx[i] += 1;
+                        self.cursor_rem[i] = self.phases[i]
+                            .get(self.cursor_idx[i])
+                            .map_or(0.0, |&(_, w)| w);
+                    }
+                }
+                // A phase boundary is a control event: mixes change.
+                replan = true;
+            }
+            if coarse && replan {
+                self.fine_until = t + SimDuration::from_secs(SETTLE_S);
+            }
+            if (0..n).all(|i| self.is_node_complete(i)) {
+                self.completed_at = Some(t);
+                break;
+            }
+        }
+        t
+    }
+}
+
+impl Default for EvalArena {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cotune::{simulate_app, HypreCoTune, KernelCoTune};
+    use crate::interfaces::Objective;
+    use pstack_apps::hypre::HypreApp;
+    use pstack_apps::kernelmodel::KernelApp;
+    use pstack_apps::synthetic::{Profile, SyntheticApp};
+
+    fn assert_triple_bits(scalar: (f64, f64, f64), batch: (f64, f64, f64), what: &str) {
+        assert_eq!(
+            scalar.0.to_bits(),
+            batch.0.to_bits(),
+            "{what}: time diverged ({} vs {})",
+            scalar.0,
+            batch.0
+        );
+        assert_eq!(
+            scalar.1.to_bits(),
+            batch.1.to_bits(),
+            "{what}: energy diverged ({} vs {})",
+            scalar.1,
+            batch.1
+        );
+        assert_eq!(
+            scalar.2.to_bits(),
+            batch.2.to_bits(),
+            "{what}: work diverged ({} vs {})",
+            scalar.2,
+            batch.2
+        );
+    }
+
+    #[test]
+    fn kernel_configs_match_simulate_app_bitwise() {
+        let ct = KernelCoTune::new(Objective::MinEdp);
+        let space = ct.space();
+        let mut arena = EvalArena::new();
+        // A spread of the fig4-class space: every cap level, varied tiles.
+        for cfg in space.enumerate().step_by(997).take(24) {
+            let (kc, cap) = ct.decode(&space, &cfg);
+            let app = KernelApp {
+                model: ct.model,
+                config: kc,
+            };
+            let scalar = simulate_app(&app, 1, cap, ct.seed);
+            let fast = arena.evaluate(&app, 1, cap, ct.seed);
+            assert_triple_bits(scalar, fast, "kernel");
+        }
+    }
+
+    #[test]
+    fn hypre_multi_node_matches_simulate_app_bitwise() {
+        let ct = HypreCoTune::new(Objective::MinEnergy);
+        let space = ct.space();
+        let mut arena = EvalArena::new();
+        // Multi-node evals exercise MPI imbalance factors and barriers.
+        for cfg in space.enumerate().step_by(131).take(8) {
+            let (hc, n_nodes, cap) = ct.decode(&space, &cfg);
+            let app = HypreApp::new(hc, ct.problem);
+            let scalar = simulate_app(&app, n_nodes, cap, ct.seed);
+            let fast = arena.evaluate(&app, n_nodes, cap, ct.seed);
+            assert_triple_bits(scalar, fast, "hypre");
+        }
+    }
+
+    #[test]
+    fn synthetic_phase_sequences_match_bitwise() {
+        let mut arena = EvalArena::new();
+        for profile in [
+            Profile::ComputeHeavy,
+            Profile::MemoryHeavy,
+            Profile::CommHeavy,
+        ] {
+            let app = SyntheticApp::new(profile, 10.0, 5);
+            for (n_nodes, cap) in [(1, None), (2, None), (4, Some(280.0)), (3, Some(350.0))] {
+                let scalar = simulate_app(&app, n_nodes, cap, 1);
+                let fast = arena.evaluate(&app, n_nodes, cap, 1);
+                assert_triple_bits(scalar, fast, "synthetic");
+            }
+        }
+    }
+
+    #[test]
+    fn reset_in_place_reuses_allocations_and_stays_identical() {
+        let app = SyntheticApp::new(Profile::ComputeHeavy, 5.0, 3);
+        let mut arena = EvalArena::new();
+        let first = arena.evaluate(&app, 4, Some(300.0), 7);
+        let hits_before = arena.reuse_hits();
+        let second = arena.evaluate(&app, 4, Some(300.0), 7);
+        assert_triple_bits(first, second, "repeat eval");
+        assert!(
+            arena.reuse_hits() > hits_before,
+            "second eval at same shape must reuse lane allocations"
+        );
+        assert_eq!(arena.evals(), 2);
+    }
+
+    #[test]
+    fn coarse_ticks_stay_within_one_percent_uncapped() {
+        let app = SyntheticApp::new(Profile::ComputeHeavy, 10.0, 5);
+        let exact = simulate_app(&app, 2, None, 1);
+        let mut arena = EvalArena::new().with_coarse_substep(SimDuration::from_secs(10));
+        let coarse = arena.evaluate(&app, 2, None, 1);
+        for (e, c, what) in [
+            (exact.0, coarse.0, "time"),
+            (exact.1, coarse.1, "energy"),
+            (exact.2, coarse.2, "work"),
+        ] {
+            let rel = (e - c).abs() / e.abs().max(1e-12);
+            assert!(
+                rel < 0.01,
+                "{what}: coarse drift {rel} (exact {e}, coarse {c})"
+            );
+        }
+    }
+
+    #[test]
+    fn coarse_ticks_under_a_cap_stay_within_tolerance() {
+        let app = SyntheticApp::new(Profile::ComputeHeavy, 10.0, 3);
+        let exact = simulate_app(&app, 2, Some(300.0), 1);
+        let mut arena = EvalArena::new().with_coarse_substep(SimDuration::from_secs(10));
+        let coarse = arena.evaluate(&app, 2, Some(300.0), 1);
+        for (e, c, what) in [
+            (exact.0, coarse.0, "time"),
+            (exact.1, coarse.1, "energy"),
+            (exact.2, coarse.2, "work"),
+        ] {
+            let rel = (e - c).abs() / e.abs().max(1e-12);
+            assert!(
+                rel < 0.01,
+                "{what}: coarse drift {rel} (exact {e}, coarse {c})"
+            );
+        }
+    }
+
+    #[test]
+    fn kernel_capped_coarse_ticks_stay_within_tolerance() {
+        let ct = KernelCoTune::new(Objective::MinEdp);
+        let space = ct.space();
+        let mut arena = EvalArena::new().with_coarse_substep(SimDuration::from_secs(10));
+        // Same spread as the bit-identity test; 2/3 of these carry a cap.
+        for cfg in space.enumerate().step_by(997).take(12) {
+            let (kc, cap) = ct.decode(&space, &cfg);
+            let app = KernelApp {
+                model: ct.model,
+                config: kc,
+            };
+            let exact = simulate_app(&app, 1, cap, ct.seed);
+            let coarse = arena.evaluate(&app, 1, cap, ct.seed);
+            for (e, c, what) in [
+                (exact.0, coarse.0, "time"),
+                (exact.1, coarse.1, "energy"),
+                (exact.2, coarse.2, "work"),
+            ] {
+                let rel = (e - c).abs() / e.abs().max(1e-12);
+                assert!(
+                    rel < 0.01,
+                    "{what}: coarse drift {rel} under cap {cap:?} (exact {e}, coarse {c})"
+                );
+            }
+        }
+    }
+}

@@ -7,6 +7,7 @@
 //! configurations by running the actual simulated stack, making them
 //! directly consumable by every `pstack-autotune` search algorithm.
 
+use crate::arena::EvalArena;
 use crate::interfaces::Objective;
 use pstack_apps::hypre::{
     CoarsenType, HypreApp, HypreConfig, HypreProblem, Preconditioner, Smoother, SolverKind,
@@ -14,7 +15,7 @@ use pstack_apps::hypre::{
 use pstack_apps::kernelmodel::{Interchange, KernelApp, KernelConfig, KernelModel};
 use pstack_apps::workload::AppModel;
 use pstack_apps::MpiModel;
-use pstack_autotune::{Config, Param, ParamSpace, TuneError, TuneReport, Tuner};
+use pstack_autotune::{BatchEvaluator, Config, Param, ParamSpace, TuneError, TuneReport, Tuner};
 use pstack_hwmodel::{Node, NodeConfig, NodeId};
 use pstack_node::NodeManager;
 use pstack_runtime::{ArbiterMode, JobRunner};
@@ -149,6 +150,27 @@ impl HypreCoTune {
         (self.objective.cost(time_s, energy_j, work), aux)
     }
 
+    /// Evaluate one configuration on a reusable [`EvalArena`] instead of a
+    /// freshly built scenario. Bit-identical to [`evaluate`](Self::evaluate)
+    /// (the arena replays the scalar driver over the SoA batch), but
+    /// amortizes all per-evaluation allocation.
+    pub fn evaluate_in(
+        &self,
+        arena: &mut EvalArena,
+        space: &ParamSpace,
+        cfg: &Config,
+    ) -> (f64, HashMap<String, f64>) {
+        let (hypre, nodes, cap) = self.decode(space, cfg);
+        let app = HypreApp::new(hypre, self.problem);
+        let (time_s, energy_j, work) = arena.evaluate(&app, nodes, cap, self.seed);
+        let mut aux = HashMap::new();
+        aux.insert("time_s".to_string(), time_s);
+        aux.insert("energy_j".to_string(), energy_j);
+        aux.insert("work".to_string(), work);
+        aux.insert("power_w".to_string(), energy_j / time_s.max(1e-9));
+        (self.objective.cost(time_s, energy_j, work), aux)
+    }
+
     /// Run the tuning loop with the given algorithm and budget.
     ///
     /// # Errors
@@ -185,6 +207,54 @@ impl HypreCoTune {
             .max_evals(max_evals)
             .seed(seed)
             .run_parallel(algorithm, workers, |space, cfg| self.evaluate(space, cfg))
+    }
+
+    /// A fresh arena-backed [`BatchEvaluator`] over this space, for the
+    /// `*_with` drivers ([`Tuner::run_parallel_with`] and friends).
+    pub fn arena_evaluator(&self) -> HypreArenaEvaluator<'_> {
+        HypreArenaEvaluator {
+            cotune: self,
+            arena: EvalArena::new(),
+        }
+    }
+
+    /// Like [`tune_parallel`](Self::tune_parallel), but through the batched
+    /// SoA fast path: one warm [`EvalArena`] evaluates every proposal with
+    /// all per-evaluation allocation amortized away. The report is
+    /// byte-identical to [`tune`](Self::tune) / [`tune_parallel`](Self::tune_parallel)
+    /// at a fraction of the wall-clock cost.
+    ///
+    /// # Errors
+    /// [`TuneError::NoEvaluations`], as for [`tune`](Self::tune).
+    pub fn tune_batched(
+        &self,
+        algorithm: &mut dyn pstack_autotune::SearchAlgorithm,
+        max_evals: usize,
+        seed: u64,
+    ) -> Result<TuneReport, TuneError> {
+        Tuner::new(self.space())
+            .max_evals(max_evals)
+            .seed(seed)
+            .run_parallel_with(algorithm, &mut self.arena_evaluator())
+    }
+}
+
+/// Arena-backed [`BatchEvaluator`] for [`HypreCoTune`]: every evaluation
+/// resets the same [`EvalArena`] in place instead of rebuilding the
+/// simulated stack, bit-identical to the scalar
+/// [`evaluate`](HypreCoTune::evaluate) oracle.
+pub struct HypreArenaEvaluator<'a> {
+    cotune: &'a HypreCoTune,
+    arena: EvalArena,
+}
+
+impl BatchEvaluator for HypreArenaEvaluator<'_> {
+    fn evaluate(&mut self, space: &ParamSpace, cfg: &Config) -> (f64, HashMap<String, f64>) {
+        self.cotune.evaluate_in(&mut self.arena, space, cfg)
+    }
+
+    fn reuse_hits(&self) -> usize {
+        self.arena.reuse_hits()
     }
 }
 
@@ -288,6 +358,28 @@ impl KernelCoTune {
         (self.objective.cost(time_s, energy_j, work), aux)
     }
 
+    /// Evaluate one configuration on a reusable [`EvalArena`]; bit-identical
+    /// to [`evaluate`](Self::evaluate) with all per-evaluation allocation
+    /// amortized away.
+    pub fn evaluate_in(
+        &self,
+        arena: &mut EvalArena,
+        space: &ParamSpace,
+        cfg: &Config,
+    ) -> (f64, HashMap<String, f64>) {
+        let (kc, cap) = self.decode(space, cfg);
+        let app = KernelApp {
+            model: self.model,
+            config: kc,
+        };
+        let (time_s, energy_j, work) = arena.evaluate(&app, 1, cap, self.seed);
+        let mut aux = HashMap::new();
+        aux.insert("time_s".to_string(), time_s);
+        aux.insert("energy_j".to_string(), energy_j);
+        aux.insert("power_w".to_string(), energy_j / time_s.max(1e-9));
+        (self.objective.cost(time_s, energy_j, work), aux)
+    }
+
     /// Run the tuning loop.
     ///
     /// # Errors
@@ -320,6 +412,54 @@ impl KernelCoTune {
             .max_evals(max_evals)
             .seed(seed)
             .run_parallel(algorithm, workers, |space, cfg| self.evaluate(space, cfg))
+    }
+
+    /// A fresh arena-backed [`BatchEvaluator`] over this space, for the
+    /// `*_with` drivers ([`Tuner::run_parallel_with`] and friends).
+    pub fn arena_evaluator(&self) -> KernelArenaEvaluator<'_> {
+        KernelArenaEvaluator {
+            cotune: self,
+            arena: EvalArena::new(),
+        }
+    }
+
+    /// Like [`tune_parallel`](Self::tune_parallel), but through the batched
+    /// SoA fast path: one warm [`EvalArena`] evaluates every proposal with
+    /// all per-evaluation allocation amortized away. The report is
+    /// byte-identical to [`tune`](Self::tune) / [`tune_parallel`](Self::tune_parallel)
+    /// at a fraction of the wall-clock cost.
+    ///
+    /// # Errors
+    /// [`TuneError::NoEvaluations`] if the algorithm proposes nothing.
+    pub fn tune_batched(
+        &self,
+        algorithm: &mut dyn pstack_autotune::SearchAlgorithm,
+        max_evals: usize,
+        seed: u64,
+    ) -> Result<TuneReport, TuneError> {
+        Tuner::new(self.space())
+            .max_evals(max_evals)
+            .seed(seed)
+            .run_parallel_with(algorithm, &mut self.arena_evaluator())
+    }
+}
+
+/// Arena-backed [`BatchEvaluator`] for [`KernelCoTune`]: every evaluation
+/// resets the same [`EvalArena`] in place instead of rebuilding the
+/// simulated stack, bit-identical to the scalar
+/// [`evaluate`](KernelCoTune::evaluate) oracle.
+pub struct KernelArenaEvaluator<'a> {
+    cotune: &'a KernelCoTune,
+    arena: EvalArena,
+}
+
+impl BatchEvaluator for KernelArenaEvaluator<'_> {
+    fn evaluate(&mut self, space: &ParamSpace, cfg: &Config) -> (f64, HashMap<String, f64>) {
+        self.cotune.evaluate_in(&mut self.arena, space, cfg)
+    }
+
+    fn reuse_hits(&self) -> usize {
+        self.arena.reuse_hits()
     }
 }
 
@@ -379,6 +519,33 @@ mod tests {
     }
 
     #[test]
+    fn arena_evaluators_are_bit_identical_to_scalar() {
+        let kt = KernelCoTune::new(Objective::MinEdp);
+        let ks = kt.space();
+        let ht = HypreCoTune::new(Objective::MinEnergy);
+        let hs = ht.space();
+        let mut arena = EvalArena::new();
+        for cfg in ks.enumerate().step_by(1499).take(6) {
+            let (cost, aux) = kt.evaluate(&ks, &cfg);
+            let (fcost, faux) = kt.evaluate_in(&mut arena, &ks, &cfg);
+            assert_eq!(cost.to_bits(), fcost.to_bits());
+            assert_eq!(aux.len(), faux.len());
+            for (k, v) in &aux {
+                assert_eq!(v.to_bits(), faux[k].to_bits(), "kernel aux {k}");
+            }
+        }
+        for cfg in hs.enumerate().step_by(211).take(4) {
+            let (cost, aux) = ht.evaluate(&hs, &cfg);
+            let (fcost, faux) = ht.evaluate_in(&mut arena, &hs, &cfg);
+            assert_eq!(cost.to_bits(), fcost.to_bits());
+            assert_eq!(aux.len(), faux.len());
+            for (k, v) in &aux {
+                assert_eq!(v.to_bits(), faux[k].to_bits(), "hypre aux {k}");
+            }
+        }
+    }
+
+    #[test]
     fn kernel_parallel_tune_matches_serial() {
         let ct = KernelCoTune::new(Objective::MinEnergy);
         let serial = ct.tune(&mut RandomSearch::new(), 8, 5).unwrap();
@@ -386,5 +553,25 @@ mod tests {
         assert_eq!(serial.db.observations(), parallel.db.observations());
         assert_eq!(serial.best_config, parallel.best_config);
         assert_eq!(serial.best_objective, parallel.best_objective);
+    }
+
+    #[test]
+    fn batched_tune_reports_are_byte_identical_to_scalar() {
+        let kt = KernelCoTune::new(Objective::MinEdp);
+        let scalar = kt.tune_parallel(&mut RandomSearch::new(), 8, 5, 1).unwrap();
+        let batched = kt.tune_batched(&mut RandomSearch::new(), 8, 5).unwrap();
+        assert_eq!(
+            serde_json::to_string(&scalar).unwrap(),
+            serde_json::to_string(&batched).unwrap(),
+            "kernel co-tune reports diverge"
+        );
+        let ht = HypreCoTune::new(Objective::MinEnergy);
+        let scalar = ht.tune_parallel(&mut RandomSearch::new(), 6, 2, 2).unwrap();
+        let batched = ht.tune_batched(&mut RandomSearch::new(), 6, 2).unwrap();
+        assert_eq!(
+            serde_json::to_string(&scalar).unwrap(),
+            serde_json::to_string(&batched).unwrap(),
+            "hypre co-tune reports diverge"
+        );
     }
 }

@@ -19,11 +19,15 @@
 //!   configurable experiment scenario.
 //! - [`cotune`] — cross-layer parameter-space construction and tuning using
 //!   `pstack-autotune` over simulated scenarios (§3.1, §4.4).
+//! - [`arena`] — the reusable batched evaluation arena: reset-in-place
+//!   scenario state over `pstack-hwmodel`'s SoA fast path, bit-identical to
+//!   the scalar `simulate_app` oracle.
 //! - [`experiments`] — one module per paper table/figure/use case, each
 //!   regenerating the corresponding result (see DESIGN.md's index).
 
 #![cfg_attr(test, allow(clippy::disallowed_methods))]
 
+pub mod arena;
 pub mod catalog;
 pub mod cotune;
 pub mod experiments;
@@ -34,6 +38,7 @@ pub mod translate;
 pub mod validate;
 pub mod vocab;
 
+pub use arena::EvalArena;
 pub use catalog::{component_catalog, CatalogEntry};
 pub use framework::{Scenario, ScenarioResult, TuningLevel};
 pub use interfaces::{Objective, PowerBudget};

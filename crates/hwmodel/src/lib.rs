@@ -17,6 +17,8 @@
 //!   to honour a watts budget over a time window.
 //! - [`package`] / [`node`]: composition into sockets and nodes, with exact
 //!   energy integration and performance-counter updates per simulation step.
+//! - [`batch`]: batched structure-of-arrays stepping of many nodes — the
+//!   evaluation fast path, bit-identical to the scalar node at nominal knobs.
 //!
 //! All models are deliberately first-order but preserve the monotone trade-offs
 //! every surveyed tuner exploits: higher frequency → more power, superlinearly;
@@ -25,6 +27,7 @@
 
 #![cfg_attr(test, allow(clippy::disallowed_methods))]
 
+pub mod batch;
 pub mod cap;
 pub mod invariants;
 pub mod node;
@@ -35,6 +38,7 @@ pub mod pstate;
 pub mod thermal;
 pub mod variation;
 
+pub use batch::{Bitset, NodeBatch, PackageBatch};
 pub use cap::{PowerCap, RaplWindow};
 pub use invariants::{invariants, power_envelope, PowerEnvelope};
 pub use node::{Node, NodeConfig, NodeId, StepOutput};

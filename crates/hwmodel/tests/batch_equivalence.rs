@@ -1,0 +1,234 @@
+//! Scalar-oracle equivalence for the batched SoA fast path.
+//!
+//! `NodeBatch` claims *bit* identity with `Node::step` / `Node::work_rate`
+//! for the nominal-knob configuration. These property tests drive both
+//! implementations through identical random sequences of phase mixes, active
+//! core counts, tick lengths, P-state requests and cap applications —
+//! including sequences hot enough to cross the 95 °C throttle threshold and
+//! cool back through the 90 °C hysteresis release — and compare every output
+//! with `f64::to_bits`.
+
+#![allow(clippy::disallowed_methods)]
+
+use proptest::prelude::*;
+use pstack_hwmodel::{Node, NodeBatch, NodeConfig, NodeId, PhaseKind, PhaseMix, ThermalModel};
+use pstack_sim::{SimDuration, SimTime};
+
+/// One scripted action applied identically to both implementations.
+#[derive(Debug, Clone)]
+enum Action {
+    /// Advance by `dt_us` running `mix` on `active` cores.
+    Step {
+        mix: PhaseMix,
+        active: usize,
+        dt_us: u64,
+    },
+    /// Request a P-state on every package.
+    SetPstate(usize),
+    /// Apply a node power cap (watts) over a 10 ms window.
+    SetCap(f64),
+}
+
+/// Custom strategy (the vendored proptest stand-in has no `prop_oneof` /
+/// `prop_map`): mostly steps, with occasional P-state requests and cap
+/// applications mixed in.
+struct ActionStrategy;
+
+impl Strategy for ActionStrategy {
+    type Value = Action;
+
+    fn generate(&self, rng: &mut proptest::TestRng) -> Action {
+        use rand::Rng;
+        match rng.gen_range(0u32..10) {
+            0 => Action::SetPstate(rng.gen_range(0usize..31)),
+            1 => Action::SetCap(rng.gen_range(100.0f64..440.0)),
+            _ => {
+                let mix = match rng.gen_range(0u32..5) {
+                    0 => PhaseMix::pure(PhaseKind::ComputeBound),
+                    1 => PhaseMix::pure(PhaseKind::MemoryBound),
+                    2 => PhaseMix::pure(PhaseKind::CommBound),
+                    3 => PhaseMix::pure(PhaseKind::IoBound),
+                    _ => PhaseMix::new(
+                        rng.gen_range(1u32..9) as f64,
+                        rng.gen_range(1u32..9) as f64,
+                        rng.gen_range(1u32..9) as f64,
+                        rng.gen_range(1u32..9) as f64,
+                    ),
+                };
+                let active = [0usize, 1, 6, 24, 30, 48, 64][rng.gen_range(0usize..7)];
+                // 1 µs .. 60 s spans the driver's substep range and beyond.
+                let dt_us = match rng.gen_range(0u32..3) {
+                    0 => rng.gen_range(1u64..250_001),
+                    1 => 250_000,
+                    _ => rng.gen_range(250_000u64..60_000_001),
+                };
+                Action::Step { mix, active, dt_us }
+            }
+        }
+    }
+}
+
+/// Run the same script through the scalar node and the batch, asserting
+/// bitwise-equal outputs at every step.
+fn check_equivalence(initial_cap: Option<f64>, script: Vec<Action>) {
+    let cfg = NodeConfig::server_default();
+    let window = SimDuration::from_millis(10);
+    let mut node = Node::nominal(NodeId(0), cfg.clone());
+    let mut batch = NodeBatch::new(cfg);
+    batch.reset(1, initial_cap, window);
+    if let Some(cap) = initial_cap {
+        node.set_power_cap(SimTime::ZERO, cap, window);
+    }
+    let mut t = SimTime::ZERO;
+    for (i, action) in script.into_iter().enumerate() {
+        match action {
+            Action::Step { mix, active, dt_us } => {
+                let dt = SimDuration::from_micros(dt_us);
+                let mix_id = batch.register_mix(&mix);
+                let rate_scalar = node.work_rate(&mix, active);
+                let rate_batch = batch.work_rate(0, mix_id, active);
+                assert_eq!(
+                    rate_scalar.to_bits(),
+                    rate_batch.to_bits(),
+                    "work_rate diverged at action {i}: {rate_scalar} vs {rate_batch}"
+                );
+                let s = node.step(t, dt, &mix, active);
+                let b = batch.step(0, t, dt, mix_id, active);
+                assert_eq!(
+                    s.power_w.to_bits(),
+                    b.power_w.to_bits(),
+                    "power diverged at action {i}: {} vs {}",
+                    s.power_w,
+                    b.power_w
+                );
+                assert_eq!(
+                    s.work.to_bits(),
+                    b.work.to_bits(),
+                    "work diverged at action {i}"
+                );
+                assert_eq!(
+                    s.effective_freq_ghz.to_bits(),
+                    b.effective_freq_ghz.to_bits(),
+                    "frequency diverged at action {i}"
+                );
+                assert_eq!(s.throttled, b.throttled, "throttle diverged at action {i}");
+                assert_eq!(
+                    node.energy_j().to_bits(),
+                    batch.energy_j(0).to_bits(),
+                    "energy diverged at action {i}"
+                );
+                assert_eq!(
+                    node.max_temperature_c().to_bits(),
+                    batch.max_temperature_c(0).to_bits(),
+                    "temperature diverged at action {i}"
+                );
+                t += dt;
+            }
+            Action::SetPstate(idx) => {
+                for p in node.packages_mut() {
+                    p.set_pstate(idx);
+                }
+                batch.set_pstate(0, idx);
+            }
+            Action::SetCap(cap_w) => {
+                node.set_power_cap(t, cap_w, window);
+                batch.set_power_cap(0, t, cap_w, window);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Uncapped random sequences: thermals, throttling and work accounting.
+    #[test]
+    fn batch_matches_scalar_uncapped(script in prop::collection::vec(ActionStrategy, 1..40)) {
+        check_equivalence(None, script);
+    }
+
+    /// Capped from t = 0: the RAPL controller trajectory must match too.
+    #[test]
+    fn batch_matches_scalar_capped(
+        cap in 150.0f64..440.0,
+        script in prop::collection::vec(ActionStrategy, 1..40),
+    ) {
+        check_equivalence(Some(cap), script);
+    }
+
+    /// The memoized decay factor reproduces the scalar `ThermalModel` exactly
+    /// for arbitrary power/tick sequences.
+    #[test]
+    fn thermal_memo_is_exact(
+        seq in prop::collection::vec((0.0f64..500.0, 1u64..120_000_001), 1..64),
+    ) {
+        let cfg = NodeConfig::server_default();
+        let mut scalar = ThermalModel::server_default();
+        let mut batch = NodeBatch::new(cfg);
+        batch.reset(1, None, SimDuration::from_millis(10));
+        // Drive the batch's lane 0 thermal state indirectly is not possible
+        // at arbitrary powers, so check the decay factor against a scalar
+        // model advanced with the same dt: temperatures stay bit-equal when
+        // power comes from the same step computation (covered above); here we
+        // pin the standalone exponential path.
+        for (p_w, dt_us) in seq {
+            let dt_s = SimDuration::from_micros(dt_us).as_secs_f64();
+            let before = scalar.temperature_c();
+            scalar.advance(p_w, dt_s);
+            let tau = scalar.r_th * scalar.c_th;
+            let decay = (-dt_s / tau).exp();
+            let t_inf = scalar.t_ambient + p_w * scalar.r_th;
+            let expect = t_inf + (before - t_inf) * decay;
+            prop_assert_eq!(scalar.temperature_c().to_bits(), expect.to_bits());
+        }
+    }
+}
+
+/// Deterministic regression: with a hot inlet, a sustained compute sequence
+/// must cross the 95 °C throttle on both paths at the same step, hold through
+/// hysteresis, and release at the same step after idling down.
+#[test]
+fn throttle_hysteresis_crossing_matches() {
+    let cfg = NodeConfig::server_default();
+    let mut node = Node::nominal(NodeId(0), cfg.clone());
+    let mut batch = NodeBatch::new(cfg);
+    batch.reset(1, None, SimDuration::from_millis(10));
+    // Hot inlet so the compute mix can actually reach 95 °C (steady state
+    // ≈ 70 + 155·0.25 ≈ 109 °C per package).
+    node.set_ambient_c(70.0);
+    batch.set_ambient_c(70.0);
+    let mix = PhaseMix::pure(PhaseKind::ComputeBound);
+    let mix_id = batch.register_mix(&mix);
+    let dt = SimDuration::from_millis(250);
+    let mut t = SimTime::ZERO;
+    let mut saw_throttle = false;
+    for i in 0..2000 {
+        let s = node.step(t, dt, &mix, 48);
+        let b = batch.step(0, t, dt, mix_id, 48);
+        assert_eq!(s.throttled, b.throttled, "latch diverged at heat step {i}");
+        assert_eq!(s.power_w.to_bits(), b.power_w.to_bits());
+        assert_eq!(s.work.to_bits(), b.work.to_bits());
+        saw_throttle |= s.throttled;
+        t += dt;
+    }
+    assert!(saw_throttle, "test must actually engage the throttle");
+    // Cool down: idle mix, zero active cores — the hysteresis release below
+    // 90 °C must happen on the same step for both paths.
+    let idle = PhaseMix::pure(PhaseKind::IoBound);
+    let idle_id = batch.register_mix(&idle);
+    let mut released = false;
+    for i in 0..2000 {
+        let s = node.step(t, dt, &idle, 0);
+        let b = batch.step(0, t, dt, idle_id, 0);
+        assert_eq!(s.throttled, b.throttled, "latch diverged at cool step {i}");
+        assert_eq!(s.power_w.to_bits(), b.power_w.to_bits());
+        released |= !s.throttled;
+        t += dt;
+    }
+    assert!(released, "test must actually release the throttle");
+    assert_eq!(
+        node.energy_j().to_bits(),
+        batch.energy_j(0).to_bits(),
+        "energy must agree across the full throttle cycle"
+    );
+}

@@ -43,6 +43,11 @@ stage_resume() {
     cargo test -q --test resume_equivalence
 }
 
+stage_perf() {
+    echo "== eval-throughput acceptance (batched fast path >= 10x, bit-identical) =="
+    cargo run -q --release -p pstack-bench --bin bench_evalthroughput
+}
+
 stage_clippy() {
     echo "== cargo clippy -- -D warnings =="
     cargo clippy --workspace --all-targets -- -D warnings
@@ -53,7 +58,7 @@ stage_lint() {
     cargo run -q --release -p pstack-analyze --bin pstack_lint
 }
 
-ALL_STAGES=(fmt build test chaos resume golden clippy lint)
+ALL_STAGES=(fmt build test chaos resume golden perf clippy lint)
 
 list_stages() {
     for s in "${ALL_STAGES[@]}"; do
@@ -82,6 +87,7 @@ for s in "${stages[@]}"; do
         chaos) stage_chaos ;;
         resume) stage_resume ;;
         golden | goldens) stage_golden ;;
+        perf) stage_perf ;;
         clippy) stage_clippy ;;
         lint | pstack_lint) stage_lint ;;
         *)
