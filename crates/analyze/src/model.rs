@@ -19,6 +19,31 @@ use pstack_autotune::{
 };
 use pstack_faults::FaultPlan;
 use pstack_hwmodel::NodeConfig;
+use std::path::PathBuf;
+
+/// One row of the declared lock hierarchy (PSA017 checks the declaration
+/// covers every `pstack_sync::sites` entry and that the `may_acquire`
+/// relation is a rank-consistent DAG).
+pub struct LockSiteDecl {
+    /// Site label, matching a `pstack_sync::sites` constant.
+    pub site: String,
+    /// Hierarchy rank: a site may only acquire sites of *strictly greater*
+    /// rank while held (outer locks rank lower than inner locks).
+    pub rank: u32,
+    /// Sites this one is permitted to acquire while held.
+    pub may_acquire: Vec<String>,
+}
+
+impl LockSiteDecl {
+    /// Build one hierarchy row.
+    pub fn new(site: impl Into<String>, rank: u32, may_acquire: &[&str]) -> Self {
+        LockSiteDecl {
+            site: site.into(),
+            rank,
+            may_acquire: may_acquire.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+}
 
 /// One search configuration the framework will run: a parameter space plus
 /// the tuner budget and warm-start priors aimed at it.
@@ -121,6 +146,14 @@ pub struct FrameworkModel {
     pub ckpt_wal_version: u32,
     /// The full-snapshot format version.
     pub ckpt_snapshot_version: u32,
+    /// The declared lock hierarchy (PSA017 checks it covers every
+    /// `pstack_sync::sites` entry and that `may_acquire` is a
+    /// rank-consistent DAG).
+    pub lock_hierarchy: Vec<LockSiteDecl>,
+    /// Root of the source tree PSA018 scans for raw `std::sync` primitives
+    /// in library code. `None` skips the scan (reported as Info, never
+    /// silently).
+    pub source_root: Option<PathBuf>,
 }
 
 impl FrameworkModel {
@@ -152,6 +185,38 @@ impl FrameworkModel {
                 .collect(),
             ckpt_wal_version: WAL_FORMAT_VERSION,
             ckpt_snapshot_version: SNAPSHOT_FORMAT_VERSION,
+            lock_hierarchy: Self::shipped_lock_hierarchy(),
+            source_root: Self::shipped_source_root(),
         }
+    }
+
+    /// The shipped lock hierarchy: one row per `pstack_sync::sites` entry,
+    /// outer locks ranked below inner ones. The only permitted
+    /// while-held acquisition is worker-pool slot → trace ring (a worker
+    /// may flush a span while publishing its result); every other site is
+    /// a leaf.
+    pub fn shipped_lock_hierarchy() -> Vec<LockSiteDecl> {
+        use pstack_sync::sites;
+        vec![
+            LockSiteDecl::new(sites::POOL_CURSOR, 10, &[]),
+            LockSiteDecl::new(sites::POOL_SLOT, 20, &[sites::TRACE_RING]),
+            LockSiteDecl::new(sites::CKPT_SCRATCH, 40, &[]),
+            LockSiteDecl::new(sites::FAULTS_SLOWDOWNS, 41, &[]),
+            LockSiteDecl::new(sites::FAULTS_KILLS, 42, &[]),
+            LockSiteDecl::new(sites::TRACE_RING, 50, &[]),
+            LockSiteDecl::new(sites::TRACE_SPAN_ID, 51, &[]),
+            LockSiteDecl::new(sites::TRACE_TID, 52, &[]),
+        ]
+    }
+
+    /// Workspace root for the shipped model, resolved from this crate's
+    /// compile-time manifest path (…/crates/analyze → workspace root two
+    /// levels up). `None` when the tree was moved after compilation.
+    fn shipped_source_root() -> Option<PathBuf> {
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()?
+            .parent()?
+            .to_path_buf();
+        root.join("crates").is_dir().then_some(root)
     }
 }

@@ -1,6 +1,6 @@
 //! The lint rules.
 //!
-//! Every rule is a [`Lint`] with a stable ID (`PSA001`..`PSA016`), a
+//! Every rule is a [`Lint`] with a stable ID (`PSA001`..`PSA018`), a
 //! one-line description, and a pure `check` over a [`FrameworkModel`].
 //! Rules never mutate anything and never read the environment, so the
 //! report for a given model is byte-deterministic. [`registry`] returns
@@ -49,6 +49,8 @@ pub fn registry() -> Vec<Box<dyn Lint>> {
         Box::new(TraceExporterCoverage),
         Box::new(CheckpointSchema),
         Box::new(ScalarEquivalenceCoverage),
+        Box::new(LockHierarchyCoverage),
+        Box::new(RawSyncPrimitives),
     ]
 }
 
@@ -1345,6 +1347,315 @@ impl Lint for ScalarEquivalenceCoverage {
     }
 }
 
+// ---------------------------------------------------------------------------
+// PSA017 — lock-hierarchy coverage
+// ---------------------------------------------------------------------------
+
+/// The declared lock hierarchy must cover every synchronization site
+/// `pstack-sync` registers, and the `may_acquire` relation must be a
+/// rank-consistent DAG: a site may only permit acquisition of sites with a
+/// strictly greater rank, no site may be declared twice, and no declaration
+/// may reference an unknown or undeclared site. A cycle in the declared
+/// relation is the static shadow of an ABBA deadlock; a registry site with
+/// no hierarchy row is a lock the deadlock argument silently ignores.
+pub struct LockHierarchyCoverage;
+
+impl Lint for LockHierarchyCoverage {
+    fn id(&self) -> &'static str {
+        "PSA017"
+    }
+    fn name(&self) -> &'static str {
+        "lock-hierarchy-coverage"
+    }
+    fn description(&self) -> &'static str {
+        "declared lock hierarchy covers every pstack-sync site and is an acyclic, rank-consistent DAG"
+    }
+    fn check(&self, model: &FrameworkModel) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        let decls = &model.lock_hierarchy;
+        let ranks: BTreeMap<&str, u32> = decls.iter().map(|d| (d.site.as_str(), d.rank)).collect();
+
+        // Duplicate declarations collapse in the rank map; catch them first.
+        let mut seen = std::collections::BTreeSet::new();
+        for d in decls {
+            if !seen.insert(d.site.as_str()) {
+                out.push(Diagnostic::error(
+                    self.id(),
+                    "cross-layer",
+                    format!("sync.hierarchy.{}", d.site),
+                    format!("site {} is declared twice in the lock hierarchy", d.site),
+                ));
+            }
+        }
+
+        // Coverage: every registered site has a hierarchy row...
+        for site in pstack_sync::sites::all() {
+            if !ranks.contains_key(site.label) {
+                out.push(Diagnostic::error(
+                    self.id(),
+                    "cross-layer",
+                    format!("sync.hierarchy.{}", site.label),
+                    format!(
+                        "pstack-sync site {} (owner {}) has no lock-hierarchy declaration",
+                        site.label, site.owner
+                    ),
+                ));
+            }
+        }
+        // ...and every row names a registered site (a stale row is a lie
+        // about the codebase, downgraded to a warning).
+        for d in decls {
+            if !pstack_sync::sites::is_declared(&d.site) {
+                out.push(Diagnostic::warn(
+                    self.id(),
+                    "cross-layer",
+                    format!("sync.hierarchy.{}", d.site),
+                    format!(
+                        "lock-hierarchy row {} matches no pstack-sync site (stale declaration?)",
+                        d.site
+                    ),
+                ));
+            }
+        }
+
+        // Edge sanity: targets declared, ranks strictly increasing inward.
+        for d in decls {
+            for target in &d.may_acquire {
+                match ranks.get(target.as_str()) {
+                    None => out.push(Diagnostic::error(
+                        self.id(),
+                        "cross-layer",
+                        format!("sync.hierarchy.{}", d.site),
+                        format!(
+                            "{} may_acquire {}, which has no hierarchy declaration",
+                            d.site, target
+                        ),
+                    )),
+                    Some(&inner) if inner <= d.rank => out.push(Diagnostic::error(
+                        self.id(),
+                        "cross-layer",
+                        format!("sync.hierarchy.{}", d.site),
+                        format!(
+                            "{} (rank {}) may_acquire {} (rank {}): inner locks must \
+                             rank strictly above the locks held while taking them",
+                            d.site, d.rank, target, inner
+                        ),
+                    )),
+                    Some(_) => {}
+                }
+            }
+        }
+
+        // Cycle check over the declared relation (rank consistency already
+        // implies acyclicity when it holds, but a model can be wrong in
+        // both ways at once — report the cycle explicitly).
+        if let Some(cycle) = declared_cycle(decls) {
+            out.push(Diagnostic::error(
+                self.id(),
+                "cross-layer",
+                "sync.hierarchy",
+                format!(
+                    "declared may_acquire relation has a cycle: {}",
+                    cycle.join(" -> ")
+                ),
+            ));
+        }
+        out
+    }
+}
+
+/// First cycle in the declared `may_acquire` relation, as a closed path.
+fn declared_cycle(decls: &[crate::model::LockSiteDecl]) -> Option<Vec<String>> {
+    let edges: BTreeMap<&str, Vec<&str>> = decls
+        .iter()
+        .map(|d| {
+            (
+                d.site.as_str(),
+                d.may_acquire.iter().map(String::as_str).collect(),
+            )
+        })
+        .collect();
+    // Iterative DFS, white/grey/black: a grey re-entry closes a cycle.
+    let mut color: BTreeMap<&str, u8> = BTreeMap::new();
+    for start in edges.keys() {
+        if color.get(start).copied().unwrap_or(0) != 0 {
+            continue;
+        }
+        let mut stack: Vec<(&str, usize)> = vec![(start, 0)];
+        let mut path: Vec<&str> = vec![start];
+        color.insert(start, 1);
+        while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+            let succ = edges.get(node).map(Vec::as_slice).unwrap_or(&[]);
+            if *next < succ.len() {
+                let target = succ[*next];
+                *next += 1;
+                match color.get(target).copied().unwrap_or(0) {
+                    1 => {
+                        let from = path.iter().position(|&n| n == target).unwrap_or(0);
+                        let mut cycle: Vec<String> =
+                            path[from..].iter().map(|s| s.to_string()).collect();
+                        cycle.push(target.to_string());
+                        return Some(cycle);
+                    }
+                    0 => {
+                        color.insert(target, 1);
+                        stack.push((target, 0));
+                        path.push(target);
+                    }
+                    _ => {}
+                }
+            } else {
+                color.insert(node, 2);
+                stack.pop();
+                path.pop();
+            }
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// PSA018 — raw-sync-primitive scan
+// ---------------------------------------------------------------------------
+
+/// Library code must go through the instrumented `pstack-sync` wrappers:
+/// a raw `std::sync` `Mutex`/`RwLock`/`Condvar` or bare counter atomic in a
+/// `crates/*/src` file is invisible to the lock-order graph, the schedule
+/// explorer, and the poison-recovery policy all at once. The scan walks the
+/// real source tree; `pstack-sync` itself, binary targets, test files, and
+/// `#[cfg(test)]` modules are exempt (tests may exercise raw primitives
+/// deliberately), as are comment lines.
+pub struct RawSyncPrimitives;
+
+/// The `std::sync` path prefix, assembled so this rule's own source never
+/// matches the needle it scans for.
+const STD_SYNC: &str = concat!("std::", "sync::");
+
+/// Banned type tokens: holding primitives plus the counter atomics the
+/// wrappers cover. `Arc`, `Once`, and `mpsc` stay allowed — they are not
+/// lock-shaped and take no part in the hierarchy.
+const BANNED: [&str; 5] = [
+    concat!("Mut", "ex"),
+    concat!("RwL", "ock"),
+    concat!("Cond", "var"),
+    concat!("AtomicU", "size"),
+    concat!("AtomicU", "64"),
+];
+
+/// Marker that exempts the remainder of a file (test module follows).
+const TEST_MARKER: &str = concat!("#[cfg(te", "st)]");
+
+impl Lint for RawSyncPrimitives {
+    fn id(&self) -> &'static str {
+        "PSA018"
+    }
+    fn name(&self) -> &'static str {
+        "raw-sync-primitives"
+    }
+    fn description(&self) -> &'static str {
+        "library code uses pstack-sync wrappers, not raw std::sync Mutex/RwLock/Condvar/atomics"
+    }
+    fn check(&self, model: &FrameworkModel) -> Vec<Diagnostic> {
+        let Some(root) = &model.source_root else {
+            return vec![Diagnostic::info(
+                self.id(),
+                "cross-layer",
+                "sync.scan",
+                "no source_root in the model; raw-primitive scan skipped".to_string(),
+            )];
+        };
+        let mut out = Vec::new();
+        let crates_dir = root.join("crates");
+        let mut crate_dirs: Vec<std::path::PathBuf> = match std::fs::read_dir(&crates_dir) {
+            Ok(it) => it
+                .filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| p.is_dir())
+                .collect(),
+            Err(err) => {
+                return vec![Diagnostic::info(
+                    self.id(),
+                    "cross-layer",
+                    "sync.scan",
+                    format!(
+                        "cannot read {}: {err}; raw-primitive scan skipped",
+                        crates_dir.display()
+                    ),
+                )]
+            }
+        };
+        crate_dirs.sort();
+        for crate_dir in crate_dirs {
+            // The wrapper layer is the one place raw primitives belong.
+            if crate_dir.file_name().is_some_and(|n| n == "sync") {
+                continue;
+            }
+            scan_dir(self.id(), root, &crate_dir.join("src"), &mut out);
+        }
+        out
+    }
+}
+
+/// Recursively scan `dir` for library `.rs` files holding raw primitives.
+fn scan_dir(
+    rule_id: &'static str,
+    root: &std::path::Path,
+    dir: &std::path::Path,
+    out: &mut Vec<Diagnostic>,
+) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<std::path::PathBuf> =
+        entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            // Binary targets and integration-test dirs may use raw
+            // primitives (CLIs own their process; tests are adversarial).
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name == "bin" || name == "tests" {
+                continue;
+            }
+            scan_dir(rule_id, root, &path, out);
+            continue;
+        }
+        if path.extension().is_none_or(|e| e != "rs") {
+            continue;
+        }
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .display()
+            .to_string();
+        for (lineno, line) in text.lines().enumerate() {
+            let trimmed = line.trim_start();
+            if trimmed.starts_with(TEST_MARKER) {
+                break; // test module: the rest of the file is exempt
+            }
+            if trimmed.starts_with("//") {
+                continue;
+            }
+            if line.contains(STD_SYNC) && BANNED.iter().any(|b| line.contains(b)) {
+                out.push(Diagnostic::error(
+                    rule_id,
+                    "cross-layer",
+                    format!("sync.scan.{rel}"),
+                    format!(
+                        "{rel}:{}: raw {STD_SYNC} primitive in library code; use the \
+                         pstack-sync wrapper so the site joins the lock-order graph \
+                         (line: {})",
+                        lineno + 1,
+                        trimmed.trim_end()
+                    ),
+                ));
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1357,7 +1668,7 @@ mod tests {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(ids, sorted, "rule IDs must be unique and in order");
-        assert_eq!(ids.len(), 16);
+        assert_eq!(ids.len(), 18);
         for r in &rules {
             assert!(!r.name().is_empty() && !r.description().is_empty());
         }

@@ -807,3 +807,186 @@ fn psa015_warns_on_empty_algorithm_list() {
         "empty algorithm list not warned: {warns:?}"
     );
 }
+
+// --- PSA017: lock-hierarchy coverage ---------------------------------------
+
+#[test]
+fn psa017_passes_on_shipped_hierarchy() {
+    assert!(errors_of(&shipped(), "PSA017").is_empty());
+}
+
+#[test]
+fn psa017_flags_missing_site_declaration() {
+    let mut m = shipped();
+    m.lock_hierarchy.retain(|d| d.site != "trace.ring");
+    let errs = errors_of(&m, "PSA017");
+    assert!(
+        errs.iter()
+            .any(|e| e.contains("trace.ring") && e.contains("no lock-hierarchy declaration")),
+        "{errs:?}"
+    );
+}
+
+#[test]
+fn psa017_flags_injected_cycle() {
+    let mut m = shipped();
+    // Close a loop: trace.ring → autotune.pool.slot, while the shipped
+    // hierarchy already has autotune.pool.slot → trace.ring.
+    for d in &mut m.lock_hierarchy {
+        if d.site == "trace.ring" {
+            d.may_acquire.push("autotune.pool.slot".to_string());
+        }
+    }
+    let errs = errors_of(&m, "PSA017");
+    assert!(errs.iter().any(|e| e.contains("cycle")), "{errs:?}");
+}
+
+#[test]
+fn psa017_flags_rank_inversion() {
+    let mut m = shipped();
+    // Permit an inner lock to acquire an outer one: the ranks contradict.
+    for d in &mut m.lock_hierarchy {
+        if d.site == "trace.span_id" {
+            d.may_acquire.push("autotune.pool.cursor".to_string());
+        }
+    }
+    let errs = errors_of(&m, "PSA017");
+    assert!(
+        errs.iter().any(|e| e.contains("rank strictly above")),
+        "{errs:?}"
+    );
+}
+
+#[test]
+fn psa017_flags_undeclared_may_acquire_target() {
+    let mut m = shipped();
+    for d in &mut m.lock_hierarchy {
+        if d.site == "trace.ring" {
+            d.may_acquire.push("sync.nonexistent".to_string());
+        }
+    }
+    let errs = errors_of(&m, "PSA017");
+    assert!(
+        errs.iter().any(|e| e.contains("sync.nonexistent")),
+        "{errs:?}"
+    );
+}
+
+#[test]
+fn psa017_warns_on_stale_declaration() {
+    let mut m = shipped();
+    m.lock_hierarchy
+        .push(pstack_analyze::model::LockSiteDecl::new(
+            "sync.retired_site",
+            99,
+            &[],
+        ));
+    let warns: Vec<String> = analyze(&m)
+        .by_rule("PSA017")
+        .filter(|d| d.severity == Severity::Warn)
+        .map(|d| format!("{d}"))
+        .collect();
+    assert!(
+        warns.iter().any(|w| w.contains("sync.retired_site")),
+        "{warns:?}"
+    );
+}
+
+#[test]
+fn psa017_flags_duplicate_declaration() {
+    let mut m = shipped();
+    m.lock_hierarchy
+        .push(pstack_analyze::model::LockSiteDecl::new(
+            "trace.ring",
+            50,
+            &[],
+        ));
+    let errs = errors_of(&m, "PSA017");
+    assert!(
+        errs.iter().any(|e| e.contains("declared twice")),
+        "{errs:?}"
+    );
+}
+
+// --- PSA018: raw-sync-primitive scan ---------------------------------------
+
+/// Build a throwaway source tree under a fresh temp dir; returns its root.
+fn fixture_tree(files: &[(&str, &str)]) -> std::path::PathBuf {
+    static FIXTURE_SEQ: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+    let n = FIXTURE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let root = std::env::temp_dir().join(format!("psa018_fixture_{}_{n}", std::process::id()));
+    for (rel, body) in files {
+        let path = root.join(rel);
+        std::fs::create_dir_all(path.parent().expect("fixture path has parent"))
+            .expect("fixture mkdir");
+        std::fs::write(&path, body).expect("fixture write");
+    }
+    root
+}
+
+#[test]
+fn psa018_passes_on_shipped_tree() {
+    // The real workspace must be wrapper-clean: this is the acceptance bar.
+    assert!(errors_of(&shipped(), "PSA018").is_empty());
+}
+
+#[test]
+fn psa018_flags_raw_mutex_in_library_code() {
+    let root = fixture_tree(&[(
+        "crates/demo/src/lib.rs",
+        "use std::sync::Mutex;\npub static S: Mutex<i32> = Mutex::new(0);\n",
+    )]);
+    let mut m = shipped();
+    m.source_root = Some(root.clone());
+    let errs = errors_of(&m, "PSA018");
+    std::fs::remove_dir_all(&root).ok();
+    assert!(
+        errs.iter().any(|e| e.contains("crates/demo/src/lib.rs:1")),
+        "{errs:?}"
+    );
+}
+
+#[test]
+fn psa018_exempts_tests_bins_sync_crate_and_comments() {
+    let raw = "use std::sync::Mutex;\n";
+    let root = fixture_tree(&[
+        // The wrapper crate itself may hold raw primitives.
+        ("crates/sync/src/lib.rs", raw),
+        // Binary targets own their process.
+        ("crates/demo/src/bin/cli.rs", raw),
+        // Integration tests are adversarial by design.
+        ("crates/demo/src/tests/adversarial.rs", raw),
+        // Everything after a #[cfg(test)] module marker is exempt.
+        (
+            "crates/demo/src/lib.rs",
+            "pub fn ok() {}\n#[cfg(test)]\nmod tests {\n    use std::sync::Mutex;\n}\n",
+        ),
+        // Comment lines never flag.
+        (
+            "crates/demo/src/doc.rs",
+            "// migrating from std::sync::Mutex to SyncMutex\npub fn ok() {}\n",
+        ),
+        // Arc is not lock-shaped and stays allowed.
+        (
+            "crates/demo/src/arc.rs",
+            "use std::sync::Arc;\npub fn ok(_: Arc<i32>) {}\n",
+        ),
+    ]);
+    let mut m = shipped();
+    m.source_root = Some(root.clone());
+    let errs = errors_of(&m, "PSA018");
+    std::fs::remove_dir_all(&root).ok();
+    assert!(errs.is_empty(), "{errs:?}");
+}
+
+#[test]
+fn psa018_reports_skip_when_tree_absent() {
+    let mut m = shipped();
+    m.source_root = None;
+    let infos: Vec<String> = analyze(&m)
+        .by_rule("PSA018")
+        .map(|d| format!("{d}"))
+        .collect();
+    assert_eq!(infos.len(), 1, "{infos:?}");
+    assert!(infos[0].contains("skipped"), "{infos:?}");
+}

@@ -44,11 +44,11 @@ use crate::tuner::{
     config_fingerprint, fan_out, BatchEvaluator, CacheStats, Evaluation, TuneError, TuneReport,
     Tuner,
 };
+use pstack_sync::SyncMutex;
 use pstack_trace::{AttrValue, ProfileBuilder, SpanGuard, SpanId, TraceCollector};
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 use std::fmt;
-use std::sync::Mutex;
 use std::time::Instant;
 
 /// Why a single evaluation attempt produced no result.
@@ -880,7 +880,7 @@ impl Tuner {
         // their allocations across rounds (no per-proposal churn).
         let mut fresh: Vec<Config> = Vec::new();
         let mut outcomes: Vec<ConfigOutcome> = Vec::new();
-        let mut slots: Vec<Mutex<Option<ConfigOutcome>>> = Vec::new();
+        let mut slots: Vec<SyncMutex<Option<ConfigOutcome>>> = Vec::new();
         'rounds: while db.len() - prior_len < self.max_evals {
             let want = self.batch_size.min(self.max_evals - (db.len() - prior_len));
             let active: &mut dyn SearchAlgorithm = if state.degraded {
@@ -1094,7 +1094,7 @@ fn evaluate_batch_resilient(
     workers: usize,
     evaluate: &(impl Fn(&ParamSpace, &Config, usize) -> Result<Evaluation, EvalError> + Sync),
     trace: Option<(&TraceCollector, SpanId)>,
-    slots: &mut Vec<Mutex<Option<ConfigOutcome>>>,
+    slots: &mut Vec<SyncMutex<Option<ConfigOutcome>>>,
     outcomes: &mut Vec<ConfigOutcome>,
 ) {
     let run_one = |cfg: &Config, worker: usize| {

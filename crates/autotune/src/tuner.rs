@@ -23,14 +23,14 @@ use crate::faultlog::FaultLog;
 use crate::resilient::EvalError;
 use crate::search::SearchAlgorithm;
 use crate::space::{Config, ParamSpace};
+use pstack_sync::{sites, Ordering, SyncAtomicUsize, SyncMutex};
 use pstack_trace::{AttrValue, ProfileBuilder, ProfileSummary, SpanId, TraceCollector};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Stable 16-hex-digit fingerprint of a configuration, used as the `config`
@@ -116,7 +116,7 @@ pub(crate) enum EvalDispatch<'a, F> {
 pub(crate) fn fan_out<T: Send>(
     fresh: &[Config],
     workers: usize,
-    slots: &mut Vec<Mutex<Option<T>>>,
+    slots: &mut Vec<SyncMutex<Option<T>>>,
     outputs: &mut Vec<T>,
     run_one: impl Fn(&Config, usize) -> T + Sync,
 ) {
@@ -125,8 +125,10 @@ pub(crate) fn fan_out<T: Send>(
         return;
     }
     slots.clear();
-    slots.resize_with(fresh.len(), || Mutex::new(None));
-    let next = AtomicUsize::new(0);
+    slots.resize_with(fresh.len(), || SyncMutex::new(sites::POOL_SLOT, None));
+    // Relaxed: a pure index dispenser — each index is claimed exactly once
+    // by atomicity alone; slot contents are published by the scope join.
+    let next = SyncAtomicUsize::new(sites::POOL_CURSOR, 0);
     std::thread::scope(|scope| {
         for worker in 0..workers.min(fresh.len()) {
             let next = &next;
@@ -136,13 +138,14 @@ pub(crate) fn fan_out<T: Send>(
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(cfg) = fresh.get(i) else { break };
                 let out = run_one(cfg, worker);
-                *slots[i].lock().expect("no worker panicked") = Some(out);
+                // Poison-tolerant: a panicked sibling must not turn into a
+                // cascading poison panic here — the slot value is plain data.
+                *slots[i].lock() = Some(out);
             });
         }
     });
     outputs.extend(slots.iter_mut().map(|slot| {
         slot.get_mut()
-            .expect("no worker panicked")
             .take()
             .expect("every slot was claimed and filled")
     }));
@@ -890,7 +893,7 @@ impl Tuner {
         // loop allocates nothing per proposal.
         let mut fresh: Vec<Config> = Vec::new();
         let mut outputs: Vec<(Evaluation, f64)> = Vec::new();
-        let mut slots: Vec<Mutex<Option<(Evaluation, f64)>>> = Vec::new();
+        let mut slots: Vec<SyncMutex<Option<(Evaluation, f64)>>> = Vec::new();
         while db.len() - prior_len < self.max_evals {
             let want = self.batch_size.min(self.max_evals - (db.len() - prior_len));
             let mut proposals = {
@@ -1047,7 +1050,7 @@ impl Tuner {
         workers: usize,
         evaluate: &(impl Fn(&ParamSpace, &Config) -> (f64, HashMap<String, f64>) + Sync),
         trace: Option<(&TraceCollector, SpanId)>,
-        slots: &mut Vec<Mutex<Option<(Evaluation, f64)>>>,
+        slots: &mut Vec<SyncMutex<Option<(Evaluation, f64)>>>,
         outputs: &mut Vec<(Evaluation, f64)>,
     ) {
         let eval_traced = |cfg: &Config, worker: usize| {

@@ -105,6 +105,17 @@ fn main() {
         &r,
     );
 
+    println!("\n================ CONCURRENCY ================\n");
+    // Lock-order / schedule-invariance audit: all four drivers across the
+    // standard adversarial-schedule grid. Like the perf stage, the hard
+    // exit-nonzero gate lives in the dedicated bench_lockorder binary (CI
+    // `conc` stage); regeneration records the audit artifact either way.
+    let grid = pstack_sync::SeedGrid::standard();
+    let r = pstack_bench::traced("lockorder", |_tc| {
+        pstack_bench::timed("lockorder", || pstack_bench::lockorder::run(&grid))
+    });
+    pstack_bench::emit("lockorder", &pstack_bench::lockorder::render(&r), &r);
+
     println!("\n================ EXTENSIONS ================\n");
     let r = pstack_bench::traced("ext_emergency", |_tc| {
         pstack_bench::timed("E1", emergency::run_default)

@@ -13,6 +13,7 @@
 #![cfg_attr(test, allow(clippy::disallowed_methods))]
 
 pub mod evalthroughput;
+pub mod lockorder;
 
 use pstack_trace::{Trace, TraceCollector};
 use serde::Serialize;

@@ -31,8 +31,8 @@ pub use wal::{
     decode_records, read_wal, TornTail, WalContents, WalWriter, WAL_FORMAT_VERSION, WAL_MAGIC,
 };
 
+use pstack_sync::{sites, Ordering, SyncAtomicUsize};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// FNV-1a over a byte slice — the workspace's standard cheap checksum
 /// (same constants as `pstack_trace::hash64`, which hashes `&str`).
@@ -75,7 +75,9 @@ impl SessionDir {
     }
 }
 
-static SCRATCH_COUNTER: AtomicUsize = AtomicUsize::new(0);
+// Relaxed: a process-unique directory suffix — uniqueness needs atomicity
+// only; no other memory is published through this counter.
+static SCRATCH_COUNTER: SyncAtomicUsize = SyncAtomicUsize::new(sites::CKPT_SCRATCH, 0);
 
 /// A unique temp directory that removes itself on drop — for tests and
 /// experiments that need many disposable session directories.

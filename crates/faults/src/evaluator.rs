@@ -11,15 +11,15 @@
 use crate::dice::FaultDice;
 use crate::plan::{EvalFaults, FaultPlan};
 use pstack_autotune::{Config, EvalError, Evaluation, ParamSpace};
+use pstack_sync::{sites, Ordering, SyncAtomicUsize};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// A fault-injecting wrapper around a clean evaluator.
 pub struct FaultyEvaluator<F> {
     base: F,
     faults: EvalFaults,
     dice: FaultDice,
-    slowdowns: AtomicUsize,
+    slowdowns: SyncAtomicUsize,
 }
 
 impl<F> FaultyEvaluator<F>
@@ -32,7 +32,9 @@ where
             base,
             faults: plan.evals,
             dice: FaultDice::new(seed),
-            slowdowns: AtomicUsize::new(0),
+            // Relaxed: a monotone statistics counter read after the pool
+            // joins (the join is the synchronization point).
+            slowdowns: SyncAtomicUsize::new(sites::FAULTS_SLOWDOWNS, 0),
         }
     }
 

@@ -23,9 +23,9 @@ use crate::plan::FaultPlan;
 use pstack_autotune::{
     Config, ParamSpace, Robustness, SearchAlgorithm, TuneError, TuneReport, Tuner,
 };
+use pstack_sync::{sites, Ordering, SyncAtomicUsize};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Decision stream name for process kills (see [`FaultDice::roll`]).
@@ -176,17 +176,22 @@ impl SessionSupervisor {
     /// Arm `tuner` with this supervisor's kill hook for `incarnation`.
     /// `kills` counts kills across the whole session so the plan's
     /// `max_kills` bounds the total, not the per-incarnation, kill count.
-    fn arm(&self, tuner: &Tuner, incarnation: usize, kills: &Arc<AtomicUsize>) -> Tuner {
+    fn arm(&self, tuner: &Tuner, incarnation: usize, kills: &Arc<SyncAtomicUsize>) -> Tuner {
         let dice = FaultDice::new(self.seed);
         let kill_prob = self.plan.process.kill_prob;
         let max_kills = self.plan.process.max_kills;
         let kills = Arc::clone(kills);
         tuner.clone().interrupt_when(move |ordinal| {
-            if kills.load(Ordering::SeqCst) >= max_kills {
+            // Relaxed (downgraded from SeqCst): the interrupt hook runs only
+            // on the driver thread, one incarnation at a time, so this
+            // check-then-increment is single-threaded in practice. The
+            // schedule-explorer grid in tests/concurrency_audit.rs holds the
+            // kill schedule byte-identical across adversarial interleavings.
+            if kills.load(Ordering::Relaxed) >= max_kills {
                 return false;
             }
             if dice.chance(kill_prob, KILL_STREAM, ordinal as u64, incarnation as u64) {
-                kills.fetch_add(1, Ordering::SeqCst);
+                kills.fetch_add(1, Ordering::Relaxed);
                 true
             } else {
                 false
@@ -201,7 +206,7 @@ impl SessionSupervisor {
         tuner: &Tuner,
         mut step: impl FnMut(&Tuner, bool) -> Result<TuneReport, TuneError>,
     ) -> Result<SupervisedReport, SuperviseError> {
-        let kills = Arc::new(AtomicUsize::new(0));
+        let kills = Arc::new(SyncAtomicUsize::new(sites::FAULTS_KILLS, 0));
         let mut recovery = RecoveryLog {
             max_restarts: self.max_restarts,
             ..RecoveryLog::default()

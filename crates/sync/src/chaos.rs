@@ -1,0 +1,245 @@
+//! Seed-armed schedule perturbation.
+//!
+//! [`arm`] switches the process into chaos/trace mode: every instrumented
+//! acquisition in [`crate::primitives`] records into the lock-order
+//! [`crate::graph`] and may execute a deterministic seeded yield/backoff,
+//! so two different seeds drive two genuinely different thread
+//! interleavings of the same workload. The *decision stream* is a pure
+//! function of `(seed, site, per-thread op index)` — the same splitmix64
+//! construction `pstack_faults::FaultDice` uses — which is what makes a
+//! schedule grid reproducible enough to bisect.
+//!
+//! Arming is exclusive: the guard holds a process-wide mutex, so two
+//! explorer grids in one test binary serialize instead of polluting each
+//! other's graphs. Disarmed (the default), the only cost on a lock or
+//! atomic operation is one relaxed atomic load.
+
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+use std::time::Instant;
+
+use crate::graph;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static SEED: AtomicU64 = AtomicU64::new(0);
+static ARM_EXCL: Mutex<()> = Mutex::new(());
+
+thread_local! {
+    /// Sites this thread currently holds, innermost last. Entries carry a
+    /// unique token so out-of-order releases unwind correctly.
+    static HELD: RefCell<Vec<(u64, &'static str)>> = const { RefCell::new(Vec::new()) };
+    /// Per-thread operation index feeding the yield decision stream.
+    static OP_INDEX: Cell<u64> = const { Cell::new(0) };
+    /// Per-thread token allocator for held-stack entries.
+    static NEXT_TOKEN: Cell<u64> = const { Cell::new(1) };
+}
+
+/// RAII armed-mode guard; dropping it disarms chaos mode.
+pub struct ChaosGuard {
+    _excl: MutexGuard<'static, ()>,
+}
+
+impl Drop for ChaosGuard {
+    fn drop(&mut self) {
+        ARMED.store(false, Ordering::SeqCst);
+    }
+}
+
+/// Arm chaos mode with `seed`. Blocks until any other armed guard drops
+/// (arming is process-exclusive), then enables recording + perturbation
+/// until the returned guard drops.
+pub fn arm(seed: u64) -> ChaosGuard {
+    let excl = ARM_EXCL.lock().unwrap_or_else(|e| e.into_inner());
+    SEED.store(seed, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    ChaosGuard { _excl: excl }
+}
+
+/// Re-seed the decision stream mid-guard. The schedule explorer arms once
+/// per grid and calls this per arm; callers must hold a [`ChaosGuard`].
+pub fn reseed(seed: u64) {
+    SEED.store(seed, Ordering::SeqCst);
+}
+
+/// Whether chaos mode is currently armed.
+#[inline]
+pub fn armed() -> bool {
+    ARMED.load(Ordering::Relaxed)
+}
+
+/// splitmix64 — the workspace's standard cheap mixer.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over a site label.
+fn site_hash(site: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in site.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Deterministic seeded yield/backoff at an instrumented operation on
+/// `site`. Roughly one operation in three yields the scheduler one or more
+/// times; one in sixteen spins a short backoff instead — enough to shake
+/// loose ordering assumptions without drowning the workload.
+pub(crate) fn maybe_perturb(site: &'static str) {
+    let n = OP_INDEX.with(|c| {
+        let v = c.get();
+        c.set(v.wrapping_add(1));
+        v
+    });
+    let roll = splitmix64(SEED.load(Ordering::Relaxed) ^ site_hash(site) ^ n);
+    match roll % 16 {
+        0..=4 => {
+            for _ in 0..=(roll >> 8) % 3 {
+                std::thread::yield_now();
+            }
+        }
+        5 => {
+            for _ in 0..((roll >> 8) % 64) {
+                std::hint::spin_loop();
+            }
+        }
+        _ => {}
+    }
+}
+
+/// A held-stack entry created by [`on_acquired`]; hand it back to
+/// [`on_released`] when the guard drops.
+pub(crate) struct HeldToken {
+    token: u64,
+    site: &'static str,
+    since: Instant,
+}
+
+/// Record that this thread acquired lock-kind `site`; feeds the lock-order
+/// graph and pushes the per-thread held stack. Returns `None` when
+/// disarmed (nothing to unwind on release).
+pub(crate) fn on_acquired(site: &'static str) -> Option<HeldToken> {
+    if !armed() {
+        return None;
+    }
+    let held: Vec<&'static str> = HELD.with(|h| h.borrow().iter().map(|&(_, s)| s).collect());
+    graph::record_acquisition(site, &held);
+    let token = NEXT_TOKEN.with(|t| {
+        let v = t.get();
+        t.set(v + 1);
+        v
+    });
+    HELD.with(|h| h.borrow_mut().push((token, site)));
+    Some(HeldToken {
+        token,
+        site,
+        since: Instant::now(),
+    })
+}
+
+/// Unwind a held-stack entry (by token: guards may drop out of order) and
+/// flag long critical sections.
+pub(crate) fn on_released(entry: Option<HeldToken>) {
+    let Some(entry) = entry else { return };
+    HELD.with(|h| h.borrow_mut().retain(|&(t, _)| t != entry.token));
+    let held_ns = u64::try_from(entry.since.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    if held_ns > graph::LONG_HOLD_NS {
+        let held: Vec<&'static str> = HELD.with(|h| h.borrow().iter().map(|&(_, s)| s).collect());
+        graph::record_smell(graph::SmellKind::LongCriticalSection, entry.site, held);
+    }
+}
+
+/// Record a non-holding acquisition (atomic op): counts the site and
+/// perturbs, but takes no part in inversion detection.
+pub(crate) fn on_atomic(site: &'static str) {
+    if !armed() {
+        return;
+    }
+    maybe_perturb(site);
+    graph::record_acquisition(site, &[]);
+}
+
+/// Flag a `Condvar::wait` entered while holding locks other than the
+/// condvar's own mutex (`waiting_on`'s guard is passed separately and
+/// excluded from the held snapshot by token).
+pub(crate) fn on_wait(condvar_site: &'static str, mutex_token: Option<&HeldToken>) {
+    if !armed() {
+        return;
+    }
+    let exclude = mutex_token.map(|t| t.token);
+    let held: Vec<&'static str> = HELD.with(|h| {
+        h.borrow()
+            .iter()
+            .filter(|&&(t, _)| Some(t) != exclude)
+            .map(|&(_, s)| s)
+            .collect()
+    });
+    if !held.is_empty() {
+        graph::record_smell(graph::SmellKind::HeldAcrossWait, condvar_site, held);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decision_stream_is_a_pure_function_of_seed_site_and_index() {
+        // The perturbation *decision* must replay: same inputs, same roll.
+        let rolls: Vec<u64> = (0..64)
+            .map(|n| splitmix64(42 ^ site_hash("trace.ring") ^ n))
+            .collect();
+        let again: Vec<u64> = (0..64)
+            .map(|n| splitmix64(42 ^ site_hash("trace.ring") ^ n))
+            .collect();
+        assert_eq!(rolls, again);
+        let other: Vec<u64> = (0..64)
+            .map(|n| splitmix64(43 ^ site_hash("trace.ring") ^ n))
+            .collect();
+        assert_ne!(rolls, other, "different seeds must perturb differently");
+    }
+
+    #[test]
+    fn arming_is_exclusive_and_raii() {
+        let g = arm(7);
+        assert!(armed());
+        drop(g);
+        // Holding the exclusivity lock keeps every other test from arming
+        // while we assert the drop disarmed the mode.
+        let _excl = ARM_EXCL.lock().unwrap_or_else(|e| e.into_inner());
+        assert!(!armed());
+    }
+
+    #[test]
+    fn held_stack_survives_out_of_order_release() {
+        let _g = arm(3);
+        graph::reset();
+        let a = on_acquired("site.a");
+        let b = on_acquired("site.b");
+        // Release the *outer* lock first; the inner entry must survive.
+        on_released(a);
+        let c = on_acquired("site.c");
+        on_released(b);
+        on_released(c);
+        let snap = graph::snapshot();
+        assert_eq!(snap.edges.get(&("site.a", "site.b")), Some(&1));
+        assert_eq!(snap.edges.get(&("site.b", "site.c")), Some(&1));
+        assert_eq!(snap.edges.get(&("site.a", "site.c")), None);
+        graph::reset();
+    }
+
+    #[test]
+    fn disarmed_acquisitions_record_nothing() {
+        // Hold the exclusivity lock so no concurrent test can arm under us.
+        let _excl = ARM_EXCL.lock().unwrap_or_else(|e| e.into_inner());
+        ARMED.store(false, Ordering::SeqCst);
+        assert!(!armed());
+        assert!(on_acquired("site.unarmed").is_none());
+    }
+}

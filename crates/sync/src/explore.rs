@@ -1,0 +1,205 @@
+//! The deterministic schedule explorer.
+//!
+//! [`explore`] re-runs one workload across a seeded grid of adversarial
+//! yield schedules × worker counts and compares every arm's canonical
+//! artifact (a rendered report, typically the serialized `TuneReport`)
+//! against an unperturbed single-worker baseline. A schedule-sensitive race
+//! — a result recorded out of suggestion order, a ledger double-count, a
+//! lost ring increment — shows up as a byte divergence; a locking bug shows
+//! up in the merged lock-order graph (inversion, cycle, or smell).
+//!
+//! This is the harness the Collective Knowledge reproducibility goal needs
+//! operationalized: byte-identical results across *schedules*, not just
+//! across machines.
+
+use crate::{chaos, graph, LockOrderGraph};
+
+/// The grid of adversarial schedules to drive a workload across.
+#[derive(Debug, Clone)]
+pub struct SeedGrid {
+    /// Chaos seeds, one adversarial yield schedule each.
+    pub seeds: Vec<u64>,
+    /// Worker counts to cross with every seed.
+    pub workers: Vec<usize>,
+}
+
+impl SeedGrid {
+    /// The acceptance-bar grid: 16 seeds × {1, 2, 4, 8} workers.
+    pub fn standard() -> Self {
+        SeedGrid {
+            seeds: (0..16u64)
+                .map(|i| 0x5eed_0000_0000_0000 ^ (i.wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+                .collect(),
+            workers: vec![1, 2, 4, 8],
+        }
+    }
+
+    /// A cheaper grid for artifact generation: `n` seeds × {1, `w`}.
+    pub fn compact(n: u64, w: usize) -> Self {
+        SeedGrid {
+            seeds: (0..n)
+                .map(|i| 0x5eed_0000_0000_0000 ^ (i.wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+                .collect(),
+            workers: vec![1, w],
+        }
+    }
+
+    /// Number of arms (seeds × workers).
+    pub fn arms(&self) -> usize {
+        self.seeds.len() * self.workers.len()
+    }
+}
+
+/// One divergent arm: which schedule broke determinism.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// Chaos seed of the arm.
+    pub seed: u64,
+    /// Worker count of the arm.
+    pub workers: usize,
+}
+
+/// The outcome of a grid exploration.
+#[derive(Debug, Clone)]
+pub struct Exploration {
+    /// Arms executed (seeds × workers).
+    pub arms: usize,
+    /// The unperturbed single-worker artifact every arm must reproduce.
+    pub baseline: String,
+    /// Arms whose artifact differed from the baseline (empty on success).
+    pub divergences: Vec<Divergence>,
+    /// The lock-order graph merged across every armed run.
+    pub graph: LockOrderGraph,
+}
+
+impl Exploration {
+    /// Whether every arm reproduced the baseline and the observed graph is
+    /// inversion-free, cycle-free, and smell-free.
+    pub fn clean(&self) -> bool {
+        self.divergences.is_empty()
+            && self.graph.inversions.is_empty()
+            && self.graph.smells.is_empty()
+            && self.graph.cycle().is_none()
+    }
+
+    /// A one-paragraph human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "schedule explorer: {} arms, {} divergence(s), {} site(s), {} acquisitions, \
+             {} inversion(s), {} smell(s), cycle: {}",
+            self.arms,
+            self.divergences.len(),
+            self.graph.nodes.len(),
+            self.graph.acquisitions(),
+            self.graph.inversions.len(),
+            self.graph.smells.len(),
+            match self.graph.cycle() {
+                None => "none".to_string(),
+                Some(c) => c.join(" -> "),
+            }
+        )
+    }
+}
+
+/// Run `run(workers)` under every `(seed, workers)` arm of `grid`, chaos
+/// armed with the arm's seed, and compare each arm's artifact against the
+/// unperturbed `run(1)` baseline.
+///
+/// The baseline runs first, *armed with perturbation disabled* is not
+/// enough — it runs fully disarmed, so the artifact a production (never
+/// armed) run would produce is exactly the byte string every adversarial
+/// schedule is held to. The global graph is reset at entry and snapshotted
+/// at exit; arming is process-exclusive, so concurrent explorations
+/// serialize rather than polluting each other.
+pub fn explore(grid: &SeedGrid, mut run: impl FnMut(usize) -> String) -> Exploration {
+    let baseline = run(1);
+    let mut divergences = Vec::new();
+    // Arm once for the whole grid: the guard holds the process-exclusive
+    // arm lock across the reset → arms → snapshot window, and each arm
+    // re-seeds the decision stream.
+    let guard = chaos::arm(grid.seeds.first().copied().unwrap_or(0));
+    graph::reset();
+    for &workers in &grid.workers {
+        for &seed in &grid.seeds {
+            chaos::reseed(seed);
+            let artifact = run(workers);
+            if artifact != baseline {
+                divergences.push(Divergence { seed, workers });
+            }
+        }
+    }
+    let merged = graph::snapshot();
+    drop(guard);
+    Exploration {
+        arms: grid.arms(),
+        baseline,
+        divergences,
+        graph: merged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SyncMutex;
+
+    #[test]
+    fn deterministic_workload_explores_clean() {
+        let grid = SeedGrid::compact(4, 4);
+        let m = SyncMutex::new("test.explore_sum", 0u64);
+        let out = explore(&grid, |workers| {
+            *m.lock() = 0;
+            std::thread::scope(|s| {
+                for _ in 0..workers {
+                    s.spawn(|| {
+                        for i in 0..100u64 {
+                            *m.lock() += i;
+                        }
+                    });
+                }
+            });
+            // Canonical artifact: workers × the same partial sum.
+            format!("{}", *m.lock() / workers as u64)
+        });
+        assert!(out.clean(), "{}", out.summary());
+        assert_eq!(out.arms, 8);
+        assert!(out.graph.nodes.contains_key("test.explore_sum"));
+        assert!(out.graph.acquisitions() > 0);
+    }
+
+    #[test]
+    fn schedule_sensitive_workload_is_caught() {
+        // A workload whose artifact depends on thread interleaving (two
+        // threads append their id on every lock acquisition, independent of
+        // the worker-count arm). The adversarial grid must surface at least
+        // one arm whose interleaving differs from the baseline's.
+        let grid = SeedGrid::standard();
+        let m = SyncMutex::new("test.explore_race", Vec::<usize>::new());
+        let out = explore(&grid, |_workers| {
+            m.lock().clear();
+            std::thread::scope(|s| {
+                for w in 0..2usize {
+                    let m = &m;
+                    s.spawn(move || {
+                        for _ in 0..8 {
+                            m.lock().push(w);
+                        }
+                    });
+                }
+            });
+            format!("{:?}", *m.lock())
+        });
+        assert!(
+            !out.divergences.is_empty(),
+            "an interleaving-dependent artifact must diverge somewhere on a 64-arm grid"
+        );
+    }
+
+    #[test]
+    fn standard_grid_is_the_acceptance_bar() {
+        let g = SeedGrid::standard();
+        assert_eq!(g.seeds.len(), 16);
+        assert_eq!(g.workers, vec![1, 2, 4, 8]);
+        assert_eq!(g.arms(), 64);
+    }
+}

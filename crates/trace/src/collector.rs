@@ -13,14 +13,15 @@
 //!   which worker thread flushed first.
 
 use crate::span::{AttrValue, Event, Span, SpanId};
+use pstack_sync::{sites, Ordering, SyncAtomicU64, SyncMutex};
 use std::cell::Cell;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 /// Process-wide small-integer thread ids (0 is reserved for "unassigned").
-static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+// Relaxed fetch_add: tid dispenser — uniqueness is the whole contract (see
+// the `trace.tid` entry in `pstack_sync::sites`).
+static NEXT_TID: SyncAtomicU64 = SyncAtomicU64::new(sites::TRACE_TID, 1);
 
 thread_local! {
     static TID: Cell<u64> = const { Cell::new(0) };
@@ -75,8 +76,8 @@ struct Ring {
 pub struct TraceCollector {
     capacity: usize,
     epoch: Instant,
-    next_id: AtomicU64,
-    inner: Mutex<Ring>,
+    next_id: SyncAtomicU64,
+    inner: SyncMutex<Ring>,
 }
 
 impl Default for TraceCollector {
@@ -105,11 +106,16 @@ impl TraceCollector {
         TraceCollector {
             capacity,
             epoch: Instant::now(),
-            next_id: AtomicU64::new(1),
-            inner: Mutex::new(Ring {
-                spans: VecDeque::new(),
-                dropped: 0,
-            }),
+            // Relaxed: span-id dispenser; snapshot order is reconstructed
+            // from (start_ns, id), so ids only need to be unique.
+            next_id: SyncAtomicU64::new(sites::TRACE_SPAN_ID, 1),
+            inner: SyncMutex::new(
+                sites::TRACE_RING,
+                Ring {
+                    spans: VecDeque::new(),
+                    dropped: 0,
+                },
+            ),
         }
     }
 
@@ -170,7 +176,7 @@ impl TraceCollector {
     }
 
     fn push(&self, span: Span) {
-        let mut ring = self.inner.lock().expect("trace ring poisoned");
+        let mut ring = self.inner.lock();
         if ring.spans.len() == self.capacity {
             ring.spans.pop_front();
             ring.dropped += 1;
@@ -180,7 +186,7 @@ impl TraceCollector {
 
     /// Spans currently retained.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("trace ring poisoned").spans.len()
+        self.inner.lock().spans.len()
     }
 
     /// Whether nothing has been recorded (or everything was evicted).
@@ -190,12 +196,12 @@ impl TraceCollector {
 
     /// Spans evicted by overflow so far.
     pub fn dropped(&self) -> u64 {
-        self.inner.lock().expect("trace ring poisoned").dropped
+        self.inner.lock().dropped
     }
 
     /// An ordered copy of the current contents (the ring is untouched).
     pub fn snapshot(&self) -> Trace {
-        let ring = self.inner.lock().expect("trace ring poisoned");
+        let ring = self.inner.lock();
         let mut spans: Vec<Span> = ring.spans.iter().cloned().collect();
         spans.sort_by_key(|s| (s.start_ns, s.id));
         Trace {
@@ -206,7 +212,7 @@ impl TraceCollector {
 
     /// Drain the ring into an ordered trace, resetting the drop counter.
     pub fn take(&self) -> Trace {
-        let mut ring = self.inner.lock().expect("trace ring poisoned");
+        let mut ring = self.inner.lock();
         let mut spans: Vec<Span> = ring.spans.drain(..).collect();
         let dropped = std::mem::take(&mut ring.dropped);
         spans.sort_by_key(|s| (s.start_ns, s.id));

@@ -1,6 +1,7 @@
 //! Minimal JSON codec for the exporters.
 //!
-//! `pstack-trace` is dependency-free by design (see the crate docs), so it
+//! `pstack-trace` carries no serialization dependency by design (see the
+//! crate docs), so it
 //! carries its own small JSON value type, writer, and recursive-descent
 //! parser. The codec preserves the integer/float distinction (`7` parses as
 //! [`Json::Int`], `7.0` as [`Json::Float`]) so typed span attributes

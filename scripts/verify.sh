@@ -48,6 +48,13 @@ stage_perf() {
     cargo run -q --release -p pstack-bench --bin bench_evalthroughput
 }
 
+stage_conc() {
+    echo "== concurrency audit (schedule explorer + lock-order gate + PSA017/018) =="
+    cargo test -q --test concurrency_audit
+    cargo run -q --release -p pstack-bench --bin bench_lockorder
+    cargo run -q --release -p pstack-analyze --bin pstack_lint
+}
+
 stage_clippy() {
     echo "== cargo clippy -- -D warnings =="
     cargo clippy --workspace --all-targets -- -D warnings
@@ -58,7 +65,7 @@ stage_lint() {
     cargo run -q --release -p pstack-analyze --bin pstack_lint
 }
 
-ALL_STAGES=(fmt build test chaos resume golden perf clippy lint)
+ALL_STAGES=(fmt build test chaos resume golden perf conc clippy lint)
 
 list_stages() {
     for s in "${ALL_STAGES[@]}"; do
@@ -88,6 +95,7 @@ for s in "${stages[@]}"; do
         resume) stage_resume ;;
         golden | goldens) stage_golden ;;
         perf) stage_perf ;;
+        conc | concurrency) stage_conc ;;
         clippy) stage_clippy ;;
         lint | pstack_lint) stage_lint ;;
         *)

@@ -52,6 +52,7 @@ pub use pstack_node as node;
 pub use pstack_rm as rm;
 pub use pstack_runtime as runtime;
 pub use pstack_sim as sim;
+pub use pstack_sync as sync;
 pub use pstack_telemetry as telemetry;
 pub use pstack_trace as trace;
 
