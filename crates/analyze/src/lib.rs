@@ -3,7 +3,7 @@
 //! The paper's §3.2 interaction hazards (two actors writing one knob, a cap
 //! outside what the silicon can honour, a tuner aimed at an unsatisfiable
 //! space) are all detectable *before* a single simulation tick runs. This
-//! crate is that detector: eighteen [`Lint`] rules over a [`FrameworkModel`]
+//! crate is that detector: nineteen [`Lint`] rules over a [`FrameworkModel`]
 //! snapshot of everything the stack declares about itself, producing a
 //! [`Report`] of [`Diagnostic`]s with stable rule IDs, severities, and
 //! source locations.
@@ -28,6 +28,7 @@
 //! | PSA016 | scalar-equivalence-coverage | every batch-evaluator bench bin declares a scalar-equivalence check |
 //! | PSA017 | lock-hierarchy-coverage | declared lock hierarchy covers every pstack-sync site, acyclic + rank-consistent |
 //! | PSA018 | raw-sync-primitives    | library code uses pstack-sync wrappers, not raw std::sync primitives |
+//! | PSA019 | history-key-sanity     | shared-history shard bounds, canonical key fingerprints, no key collisions |
 //!
 //! Entry points:
 //!
@@ -44,7 +45,9 @@
 pub mod model;
 pub mod rules;
 
-pub use model::{AlgorithmSchema, FrameworkModel, LockSiteDecl, SearchSpec};
+pub use model::{
+    AlgorithmSchema, FrameworkModel, HistoryKeyDecl, HistorySpec, LockSiteDecl, SearchSpec,
+};
 pub use pstack_diag::{Diagnostic, InvariantCheck, Report, Severity, Summary};
 pub use rules::{control_resource, registry, Lint};
 

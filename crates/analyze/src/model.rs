@@ -18,6 +18,7 @@ use pstack_autotune::{
     WAL_FORMAT_VERSION,
 };
 use pstack_faults::FaultPlan;
+use pstack_history::{HistoryStore, SpaceShape, HISTORY_FORMAT_VERSION};
 use pstack_hwmodel::NodeConfig;
 use std::path::PathBuf;
 
@@ -76,6 +77,49 @@ impl SearchSpec {
             warm_start: Vec::new(),
         }
     }
+}
+
+/// One `(space, app, objective)` history key the framework files shared
+/// performance records under (PSA019 checks fingerprint stability and that
+/// no two declarations collide on a key).
+pub struct HistoryKeyDecl {
+    /// Name used in diagnostic paths, e.g. `"history.hypre"`.
+    pub name: String,
+    /// Application label of the key, e.g. `"hypre"`.
+    pub app: String,
+    /// Objective label of the key, e.g. `"min-edp"`.
+    pub objective: String,
+    /// The space shape whose canonical fingerprint forms the key's space
+    /// component.
+    pub shape: SpaceShape,
+}
+
+impl HistoryKeyDecl {
+    /// Build one key declaration.
+    pub fn new(
+        name: impl Into<String>,
+        app: impl Into<String>,
+        objective: impl Into<String>,
+        shape: SpaceShape,
+    ) -> Self {
+        HistoryKeyDecl {
+            name: name.into(),
+            app: app.into(),
+            objective: objective.into(),
+            shape,
+        }
+    }
+}
+
+/// The shared performance-history configuration as data (PSA019 checks
+/// shard-count bounds, format-version agreement, and key sanity).
+pub struct HistorySpec {
+    /// Shard count new stores are created with.
+    pub shard_count: usize,
+    /// On-disk format version stores are stamped with.
+    pub format_version: u32,
+    /// Every history key the shipped campaigns record under.
+    pub keys: Vec<HistoryKeyDecl>,
 }
 
 /// One shipped search algorithm's checkpoint-schema declaration, as data
@@ -146,6 +190,9 @@ pub struct FrameworkModel {
     pub ckpt_wal_version: u32,
     /// The full-snapshot format version.
     pub ckpt_snapshot_version: u32,
+    /// The shared performance-history configuration (PSA019 checks shard
+    /// bounds, format versions, and key fingerprint sanity).
+    pub history: HistorySpec,
     /// The declared lock hierarchy (PSA017 checks it covers every
     /// `pstack_sync::sites` entry and that `may_acquire` is a
     /// rank-consistent DAG).
@@ -185,16 +232,35 @@ impl FrameworkModel {
                 .collect(),
             ckpt_wal_version: WAL_FORMAT_VERSION,
             ckpt_snapshot_version: SNAPSHOT_FORMAT_VERSION,
+            history: HistorySpec {
+                shard_count: HistoryStore::DEFAULT_SHARDS,
+                format_version: HISTORY_FORMAT_VERSION,
+                keys: vec![
+                    HistoryKeyDecl::new(
+                        "history.hypre",
+                        "hypre",
+                        "min-edp",
+                        pstack_autotune::space_shape(&hypre.space()),
+                    ),
+                    HistoryKeyDecl::new(
+                        "history.kernel",
+                        "kernel",
+                        "min-energy",
+                        pstack_autotune::space_shape(&kernel.space()),
+                    ),
+                ],
+            },
             lock_hierarchy: Self::shipped_lock_hierarchy(),
             source_root: Self::shipped_source_root(),
         }
     }
 
     /// The shipped lock hierarchy: one row per `pstack_sync::sites` entry,
-    /// outer locks ranked below inner ones. The only permitted
-    /// while-held acquisition is worker-pool slot → trace ring (a worker
-    /// may flush a span while publishing its result); every other site is
-    /// a leaf.
+    /// outer locks ranked below inner ones. The permitted while-held
+    /// acquisitions are worker-pool slot → trace ring (a worker may flush
+    /// a span while publishing its result) and history shard gate →
+    /// history append counter (the store bumps its diagnostics counter
+    /// before releasing the gate); every other site is a leaf.
     pub fn shipped_lock_hierarchy() -> Vec<LockSiteDecl> {
         use pstack_sync::sites;
         vec![
@@ -203,6 +269,8 @@ impl FrameworkModel {
             LockSiteDecl::new(sites::CKPT_SCRATCH, 40, &[]),
             LockSiteDecl::new(sites::FAULTS_SLOWDOWNS, 41, &[]),
             LockSiteDecl::new(sites::FAULTS_KILLS, 42, &[]),
+            LockSiteDecl::new(sites::HISTORY_SHARD, 45, &[sites::HISTORY_APPENDS]),
+            LockSiteDecl::new(sites::HISTORY_APPENDS, 46, &[]),
             LockSiteDecl::new(sites::TRACE_RING, 50, &[]),
             LockSiteDecl::new(sites::TRACE_SPAN_ID, 51, &[]),
             LockSiteDecl::new(sites::TRACE_TID, 52, &[]),

@@ -1,6 +1,6 @@
 //! The lint rules.
 //!
-//! Every rule is a [`Lint`] with a stable ID (`PSA001`..`PSA018`), a
+//! Every rule is a [`Lint`] with a stable ID (`PSA001`..`PSA019`), a
 //! one-line description, and a pure `check` over a [`FrameworkModel`].
 //! Rules never mutate anything and never read the environment, so the
 //! report for a given model is byte-deterministic. [`registry`] returns
@@ -51,6 +51,7 @@ pub fn registry() -> Vec<Box<dyn Lint>> {
         Box::new(ScalarEquivalenceCoverage),
         Box::new(LockHierarchyCoverage),
         Box::new(RawSyncPrimitives),
+        Box::new(HistoryKeySanity),
     ]
 }
 
@@ -1656,6 +1657,146 @@ fn scan_dir(
     }
 }
 
+// ---------------------------------------------------------------------------
+// PSA019 — history-key-sanity
+// ---------------------------------------------------------------------------
+
+/// PSA019: the shared performance-history configuration is coherent — the
+/// shard count is inside store bounds, the declared format version matches
+/// the storage crate's, every key fingerprint is canonical (16 lowercase
+/// hex) and invariant under parameter reordering, and no two declarations
+/// collide on one `(space, app, objective)` key (records from different
+/// workloads must never mix).
+pub struct HistoryKeySanity;
+
+impl Lint for HistoryKeySanity {
+    fn id(&self) -> &'static str {
+        "PSA019"
+    }
+    fn name(&self) -> &'static str {
+        "history-key-sanity"
+    }
+    fn description(&self) -> &'static str {
+        "history store shard count in bounds, key fingerprints canonical and stable, no key collisions"
+    }
+    fn check(&self, model: &FrameworkModel) -> Vec<Diagnostic> {
+        use pstack_history::{HistoryStore, HISTORY_FORMAT_VERSION};
+        let mut out = Vec::new();
+        let spec = &model.history;
+        if spec.shard_count == 0 || spec.shard_count > HistoryStore::MAX_SHARDS {
+            out.push(Diagnostic::error(
+                self.id(),
+                "cross-layer",
+                "history.shards",
+                format!(
+                    "history shard count {} outside the store's accepted range 1..={}",
+                    spec.shard_count,
+                    HistoryStore::MAX_SHARDS
+                ),
+            ));
+        }
+        if spec.format_version != HISTORY_FORMAT_VERSION {
+            out.push(Diagnostic::error(
+                self.id(),
+                "cross-layer",
+                "history.format",
+                format!(
+                    "declared history format version {} != pstack-history's {} — stores \
+                     written by one side would be rejected by the other",
+                    spec.format_version, HISTORY_FORMAT_VERSION
+                ),
+            ));
+        }
+        let mut seen_names: BTreeMap<&str, usize> = BTreeMap::new();
+        let mut seen_keys: BTreeMap<(String, String, String), &str> = BTreeMap::new();
+        for decl in &spec.keys {
+            *seen_names.entry(decl.name.as_str()).or_insert(0) += 1;
+            if decl.app.is_empty() || decl.objective.is_empty() {
+                out.push(Diagnostic::error(
+                    self.id(),
+                    "cross-layer",
+                    decl.name.clone(),
+                    format!(
+                        "history key '{}' has an empty app or objective label; records \
+                         filed under it would be unqueryable",
+                        decl.name
+                    ),
+                ));
+            }
+            if decl.shape.params.is_empty() {
+                out.push(Diagnostic::error(
+                    self.id(),
+                    "cross-layer",
+                    decl.name.clone(),
+                    format!(
+                        "history key '{}' declares an empty parameter space; there is \
+                         nothing to record under it",
+                        decl.name
+                    ),
+                ));
+            }
+            let fp = decl.shape.fingerprint();
+            if fp.len() != 16
+                || !fp
+                    .bytes()
+                    .all(|b| b.is_ascii_hexdigit() && !b.is_ascii_uppercase())
+            {
+                out.push(Diagnostic::error(
+                    self.id(),
+                    "cross-layer",
+                    decl.name.clone(),
+                    format!(
+                        "history key '{}' fingerprint '{fp}' is not 16 lowercase hex digits",
+                        decl.name
+                    ),
+                ));
+            }
+            // Stability: the canonical fingerprint must not depend on the
+            // order the code happened to declare parameters/constraints in,
+            // or two sessions of the same campaign would shard apart.
+            let mut reordered = decl.shape.clone();
+            reordered.params.reverse();
+            reordered.constraints.reverse();
+            if reordered.fingerprint() != fp {
+                out.push(Diagnostic::error(
+                    self.id(),
+                    "cross-layer",
+                    decl.name.clone(),
+                    format!(
+                        "history key '{}' fingerprint changes under parameter reordering \
+                         — the canonical space fingerprint is not canonical",
+                        decl.name
+                    ),
+                ));
+            }
+            let triple = (fp, decl.app.clone(), decl.objective.clone());
+            if let Some(prev) = seen_keys.insert(triple, decl.name.as_str()) {
+                out.push(Diagnostic::error(
+                    self.id(),
+                    "cross-layer",
+                    decl.name.clone(),
+                    format!(
+                        "history key '{}' collides with '{prev}': same space fingerprint, \
+                         app, and objective — their records would silently mix",
+                        decl.name
+                    ),
+                ));
+            }
+        }
+        for (name, count) in seen_names {
+            if count > 1 {
+                out.push(Diagnostic::error(
+                    self.id(),
+                    "cross-layer",
+                    name.to_string(),
+                    format!("history key declaration name '{name}' appears {count} times"),
+                ));
+            }
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1668,10 +1809,55 @@ mod tests {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(ids, sorted, "rule IDs must be unique and in order");
-        assert_eq!(ids.len(), 18);
+        assert_eq!(ids.len(), 19);
         for r in &rules {
             assert!(!r.name().is_empty() && !r.description().is_empty());
         }
+    }
+
+    #[test]
+    fn history_key_sanity_passes_shipped_and_flags_broken() {
+        use crate::model::HistoryKeyDecl;
+        let rule = HistoryKeySanity;
+        let mut model = FrameworkModel::shipped();
+        assert!(
+            rule.check(&model).is_empty(),
+            "shipped history spec must be clean: {:#?}",
+            rule.check(&model)
+        );
+
+        // Out-of-bounds shard count and version skew are errors.
+        model.history.shard_count = 0;
+        model.history.format_version += 1;
+        let diags = rule.check(&model);
+        assert!(diags.iter().any(|d| d.path == "history.shards"));
+        assert!(diags.iter().any(|d| d.path == "history.format"));
+
+        // A second declaration colliding on (space, app, objective) is an
+        // error — records from distinct campaigns must never mix.
+        let mut model = FrameworkModel::shipped();
+        let clone = HistoryKeyDecl::new(
+            "history.hypre2",
+            model.history.keys[0].app.clone(),
+            model.history.keys[0].objective.clone(),
+            model.history.keys[0].shape.clone(),
+        );
+        model.history.keys.push(clone);
+        let diags = rule.check(&model);
+        assert!(
+            diags.iter().any(|d| d.message.contains("collides")),
+            "expected a key-collision error: {diags:#?}"
+        );
+
+        // Empty app labels and empty spaces are errors.
+        let mut model = FrameworkModel::shipped();
+        model.history.keys[0].app.clear();
+        model.history.keys[1].shape.params.clear();
+        let diags = rule.check(&model);
+        assert!(diags.iter().any(|d| d.message.contains("empty app")));
+        assert!(diags
+            .iter()
+            .any(|d| d.message.contains("empty parameter space")));
     }
 
     #[test]

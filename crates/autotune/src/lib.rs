@@ -25,6 +25,10 @@
 //! - [`ckpt`]: crash-safe sessions — a write-ahead log of every evaluation,
 //!   periodic full snapshots, and `resume*` entry points on all four drivers
 //!   that replay a killed session to a byte-identical [`TuneReport`].
+//! - [`history_service`]: the shared performance-history bridge — warm
+//!   starts from and recording to a `pstack-history` store (GPTune
+//!   HistoryDB-style crowdtuning), plus the multi-session
+//!   [`HistoryService`] ask-tell front-end.
 //!
 //! Every driver self-profiles into [`TuneReport::profile`] (per-stage
 //! count/total/mean/p95, cache and retry attribution), and
@@ -38,6 +42,7 @@
 pub mod ckpt;
 pub mod db;
 pub mod faultlog;
+pub mod history_service;
 pub mod resilient;
 pub mod search;
 pub mod space;
@@ -49,6 +54,9 @@ pub use ckpt::{
 };
 pub use db::{Observation, PerfDatabase};
 pub use faultlog::{FaultCounts, FaultEvent, FaultKind, FaultLog};
+pub use history_service::{
+    history_key, prior_from_history, record_report, space_shape, HistoryService, SessionSpec,
+};
 pub use resilient::{EvalError, RetryPolicy, Robustness};
 pub use search::{
     shipped_algorithms, AnnealingSearch, ExhaustiveSearch, ForestSearch, HillClimbSearch,

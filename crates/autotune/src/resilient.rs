@@ -47,7 +47,7 @@ use crate::tuner::{
 use pstack_sync::SyncMutex;
 use pstack_trace::{AttrValue, ProfileBuilder, SpanGuard, SpanId, TraceCollector};
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::time::Instant;
 
@@ -318,7 +318,11 @@ struct ResilientState<'a> {
     robustness: &'a Robustness,
     faults: FaultLog,
     stats: CacheStats,
-    quarantined: HashSet<Config>,
+    /// Quarantine ledger keyed by config fingerprint, so a config
+    /// quarantined in one session is recognized when the same index vector
+    /// reappears from a checkpoint replay or a history warm start, and the
+    /// ledger can never hold two entries for one configuration.
+    quarantined: BTreeMap<String, Config>,
     /// Ordinal of the next fresh (non-cached, non-quarantined) configuration.
     fresh_idx: usize,
     /// Failed attempts so far vs. the run-level budget.
@@ -334,7 +338,7 @@ impl<'a> ResilientState<'a> {
             robustness,
             faults: FaultLog::new(),
             stats: CacheStats::default(),
-            quarantined: HashSet::new(),
+            quarantined: BTreeMap::new(),
             fresh_idx: 0,
             failed_attempts: 0,
             fault_budget: max_evals.max(1) * robustness.retry.max_attempts.max(1),
@@ -347,7 +351,11 @@ impl<'a> ResilientState<'a> {
     /// session metadata, so it matches the original run's).
     fn restore(&mut self, stats: CacheStats, rr: RestoredResilient) {
         self.stats = stats;
-        self.quarantined = rr.quarantined;
+        self.quarantined = rr
+            .quarantined
+            .into_iter()
+            .map(|cfg| (config_fingerprint(&cfg), cfg))
+            .collect();
         self.faults = rr.faults;
         self.fresh_idx = rr.fresh_idx;
         self.failed_attempts = rr.failed_attempts;
@@ -357,7 +365,7 @@ impl<'a> ResilientState<'a> {
     /// The durable image of this state, quarantine ledger sorted for
     /// deterministic bytes.
     fn snapshot(&self) -> ResilientSnapshot {
-        let mut quarantined: Vec<Config> = self.quarantined.iter().cloned().collect();
+        let mut quarantined: Vec<Config> = self.quarantined.values().cloned().collect();
         quarantined.sort();
         ResilientSnapshot {
             quarantined,
@@ -380,7 +388,8 @@ impl<'a> ResilientState<'a> {
         self.failed_attempts += outcome.failed_attempts;
         self.faults.total_backoff_s += outcome.backoff_s;
         if outcome.result.is_none() {
-            self.quarantined.insert(cfg.clone());
+            self.quarantined
+                .insert(config_fingerprint(cfg), cfg.clone());
             self.faults.record(
                 FaultKind::Quarantined,
                 format!("eval {idx}"),
@@ -592,7 +601,7 @@ impl Tuner {
                 break; // strategy exhausted
             };
             self.check_valid(active, &cfg)?;
-            if state.quarantined.contains(&cfg) {
+            if state.quarantined.contains_key(&config_fingerprint(&cfg)) {
                 state.faults.record(
                     FaultKind::QuarantineSkip,
                     format!("eval {}", state.fresh_idx),
@@ -910,7 +919,7 @@ impl Tuner {
             let mut exhausted = false;
             for cfg in proposals {
                 self.check_valid(active, &cfg)?;
-                if state.quarantined.contains(&cfg) {
+                if state.quarantined.contains_key(&config_fingerprint(&cfg)) {
                     state.faults.record(
                         FaultKind::QuarantineSkip,
                         format!("eval {}", state.fresh_idx),

@@ -258,6 +258,13 @@ impl ParamSpace {
             && self.constraints.iter().all(|c| (c.pred)(self, cfg))
     }
 
+    /// Names of all constraints, in declaration order (the predicates are
+    /// opaque closures; the names are the portable identity used by
+    /// fingerprints and the shared history store).
+    pub fn constraint_names(&self) -> Vec<&str> {
+        self.constraints.iter().map(|c| c.name.as_str()).collect()
+    }
+
     /// Names of constraints `cfg` violates (empty when valid).
     pub fn violations(&self, cfg: &Config) -> Vec<&str> {
         self.constraints

@@ -1,0 +1,12 @@
+//! Regenerate extension E9: shared performance history — a donor campaign
+//! feeds a history store, then cold vs history-warmed campaigns race to the
+//! within-2%-of-best band on the uc1/uc3 co-tuning spaces.
+use powerstack_core::experiments::history;
+fn main() {
+    pstack_analyze::startup_gate();
+    let r = pstack_bench::traced("ext_history", |_tc| {
+        pstack_bench::timed("E9", history::run_default)
+    });
+    let r = pstack_bench::run_or_exit("ext_history", r);
+    pstack_bench::emit("ext_history", &history::render(&r), &r);
+}

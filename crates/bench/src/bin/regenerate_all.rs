@@ -4,8 +4,8 @@
 //! Outputs land under `results/`.
 
 use powerstack_core::experiments::{
-    ablations, emergency, faults, fig1, fig2, fig3, fig4, fig5, fig6, resume, thermal, uc1, uc6,
-    uc7,
+    ablations, emergency, faults, fig1, fig2, fig3, fig4, fig5, fig6, history, resume, thermal,
+    uc1, uc6, uc7,
 };
 use powerstack_core::{catalog, registry, vocab};
 
@@ -135,6 +135,14 @@ fn main() {
     });
     let r = pstack_bench::run_or_exit("ext_resume", r);
     pstack_bench::emit("ext_resume", &resume::render(&r), &r);
+    // The warmed-fewer-evals acceptance gate itself lives in the dedicated
+    // bench_history binary (CI `history` stage); regeneration records the
+    // artifact either way.
+    let r = pstack_bench::traced("ext_history", |_tc| {
+        pstack_bench::timed("E9", history::run_default)
+    });
+    let r = pstack_bench::run_or_exit("ext_history", r);
+    pstack_bench::emit("ext_history", &history::render(&r), &r);
 
     println!(
         "\nall artifacts written to {}/",

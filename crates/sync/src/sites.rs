@@ -62,6 +62,10 @@ pub const CKPT_SCRATCH: &str = "ckpt.scratch_counter";
 pub const FAULTS_KILLS: &str = "faults.supervisor.kills";
 /// The slow-evaluation counter in `pstack_faults::FaultyEvaluator`.
 pub const FAULTS_SLOWDOWNS: &str = "faults.evaluator.slowdowns";
+/// The process-wide appended-record counter in `pstack-history`.
+pub const HISTORY_APPENDS: &str = "history.appends";
+/// The in-process append/compaction gate in `pstack_history::HistoryStore`.
+pub const HISTORY_SHARD: &str = "history.shard";
 
 /// Every declared site, in stable label order.
 pub fn all() -> &'static [SiteDecl] {
@@ -107,6 +111,24 @@ pub fn all() -> &'static [SiteDecl] {
                        the check-then-increment is single-threaded in practice; the \
                        schedule-explorer grid asserts kill schedules stay byte-identical \
                        across adversarial interleavings.",
+        },
+        SiteDecl {
+            label: HISTORY_APPENDS,
+            kind: SiteKind::Atomic,
+            owner: "pstack-history",
+            ordering: "Relaxed fetch_add/load: a monotone diagnostics counter of appended \
+                       records. Readers only consult it after joining the writer threads \
+                       (the join is the synchronization point), so Relaxed suffices.",
+        },
+        SiteDecl {
+            label: HISTORY_SHARD,
+            kind: SiteKind::Mutex,
+            owner: "pstack-history",
+            ordering: "Serializes every store append/compaction in this process so a shard \
+                       log sees one in-process writer at a time. While held it takes only \
+                       the cross-process advisory lock file and bumps the history.appends \
+                       diagnostics counter (declared ranked above it); no other in-process \
+                       primitive is acquired under it.",
         },
         SiteDecl {
             label: TRACE_RING,

@@ -55,6 +55,15 @@ stage_conc() {
     cargo run -q --release -p pstack-analyze --bin pstack_lint
 }
 
+stage_history() {
+    echo "== shared history store (concurrency grid, properties, service, warm golden, E9 gate) =="
+    cargo test -q --test history_store
+    cargo test -q --test history_proptests
+    cargo test -q --test history_service
+    cargo test -q --test history_warm_golden
+    cargo run -q --release -p pstack-bench --bin bench_history
+}
+
 stage_clippy() {
     echo "== cargo clippy -- -D warnings =="
     cargo clippy --workspace --all-targets -- -D warnings
@@ -65,7 +74,7 @@ stage_lint() {
     cargo run -q --release -p pstack-analyze --bin pstack_lint
 }
 
-ALL_STAGES=(fmt build test chaos resume golden perf conc clippy lint)
+ALL_STAGES=(fmt build test chaos resume golden perf conc history clippy lint)
 
 list_stages() {
     for s in "${ALL_STAGES[@]}"; do
@@ -96,6 +105,7 @@ for s in "${stages[@]}"; do
         golden | goldens) stage_golden ;;
         perf) stage_perf ;;
         conc | concurrency) stage_conc ;;
+        history) stage_history ;;
         clippy) stage_clippy ;;
         lint | pstack_lint) stage_lint ;;
         *)

@@ -47,6 +47,7 @@ pub use pstack_apps as apps;
 pub use pstack_autotune as autotune;
 pub use pstack_diag as diag;
 pub use pstack_faults as faults;
+pub use pstack_history as history;
 pub use pstack_hwmodel as hwmodel;
 pub use pstack_node as node;
 pub use pstack_rm as rm;

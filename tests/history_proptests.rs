@@ -1,0 +1,210 @@
+//! Property-based tests for the shared performance-history layer.
+//!
+//! The store's contracts hold for *arbitrary* spaces, records, and damage,
+//! not just the shipped fixtures:
+//!
+//! - the canonical space fingerprint is invariant under parameter and
+//!   constraint reordering (and is always 16 lowercase hex digits);
+//! - history records survive a JSON round trip byte-for-byte;
+//! - compaction is idempotent and never drops the best-seen record of any
+//!   configuration;
+//! - truncating or bit-flipping a shard log never panics a reader — the
+//!   longest valid prefix of records is recovered.
+
+// Integration tests are exempt from the workspace unwrap policy.
+#![allow(clippy::disallowed_methods)]
+
+use powerstack::history::{canonical_space_fingerprint, HistoryKey, HistoryRecord, HistoryStore};
+use proptest::prelude::*;
+use pstack_ckpt::ScratchDir;
+use std::collections::HashMap;
+
+fn key() -> HistoryKey {
+    HistoryKey::new("fedcba9876543210", "app", "obj")
+}
+
+/// The one shard file a single-key store has written.
+fn shard_file(root: &std::path::Path) -> std::path::PathBuf {
+    let mut shards: Vec<_> = std::fs::read_dir(root)
+        .expect("store dir")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("shard-") && n.ends_with(".wal"))
+        })
+        .collect();
+    assert_eq!(shards.len(), 1, "expected exactly one shard file");
+    shards.remove(0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The canonical fingerprint does not care how the declaration
+    /// happened to order parameters or constraints.
+    #[test]
+    fn fingerprint_is_invariant_under_reordering(
+        value_counts in prop::collection::vec(1usize..5, 1..6),
+        n_constraints in 0usize..4,
+        rotation in 0usize..8,
+        reverse in 0u8..2,
+    ) {
+        let params: Vec<(String, Vec<String>)> = value_counts
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| {
+                (
+                    format!("p{i}"),
+                    (0..n).map(|j| format!("v{i}_{j}")).collect(),
+                )
+            })
+            .collect();
+        let constraints: Vec<String> = (0..n_constraints).map(|i| format!("c{i}")).collect();
+        let base = canonical_space_fingerprint(&params, &constraints);
+        prop_assert_eq!(base.len(), 16);
+        prop_assert!(base.bytes().all(|b| b.is_ascii_hexdigit() && !b.is_ascii_uppercase()));
+
+        let mut reordered = params.clone();
+        reordered.rotate_left(rotation % params.len().max(1));
+        let mut shuffled_constraints = constraints.clone();
+        shuffled_constraints.rotate_left(rotation % constraints.len().max(1));
+        if reverse == 1 {
+            reordered.reverse();
+            shuffled_constraints.reverse();
+        }
+        prop_assert_eq!(
+            canonical_space_fingerprint(&reordered, &shuffled_constraints),
+            base
+        );
+    }
+
+    /// Records round-trip through JSON byte-for-byte.
+    #[test]
+    fn record_round_trips_through_json(
+        config in prop::collection::vec(0usize..64, 1..6),
+        objective in -1.0e6f64..1.0e6,
+        aux_vals in prop::collection::vec(-1.0e3f64..1.0e3, 0..4),
+        session_tag in 0u64..1000,
+        ordinal in 0u64..10_000,
+    ) {
+        let aux: HashMap<String, f64> = aux_vals
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (format!("k{i}"), v))
+            .collect();
+        let record = HistoryRecord {
+            config,
+            objective,
+            aux,
+            session: format!("session-{session_tag}"),
+            ordinal,
+        };
+        let json = serde_json::to_string(&record).expect("serialize");
+        let back: HistoryRecord = serde_json::from_str(&json).expect("parse");
+        prop_assert_eq!(&back, &record);
+        prop_assert_eq!(serde_json::to_string(&back).expect("re-serialize"), json);
+    }
+
+    /// Compaction is idempotent and never drops any config's best-seen
+    /// observation.
+    #[test]
+    fn compaction_is_idempotent_and_keeps_best(
+        entries in prop::collection::vec((0usize..6, 0.1f64..100.0), 1..20),
+    ) {
+        let scratch = ScratchDir::new("hprop-compact");
+        let store = HistoryStore::open(scratch.path().join("db")).expect("open");
+        let key = key();
+        for (i, &(cfg, objective)) in entries.iter().enumerate() {
+            store
+                .append(&key, &[HistoryRecord {
+                    config: vec![cfg],
+                    objective,
+                    aux: HashMap::new(),
+                    session: "s".to_string(),
+                    ordinal: i as u64,
+                }])
+                .expect("append");
+        }
+        // Expected survivor per config: the strictly-best objective (the
+        // store keeps the earlier record on exact ties).
+        let mut expected: HashMap<usize, f64> = HashMap::new();
+        for &(cfg, objective) in &entries {
+            let best = expected.entry(cfg).or_insert(objective);
+            if objective < *best {
+                *best = objective;
+            }
+        }
+
+        let first = store.compact().expect("first compaction");
+        prop_assert_eq!(first.scanned, entries.len());
+        let survivors = store.best_k(&key, entries.len() + 1).expect("best_k");
+        prop_assert_eq!(survivors.len(), expected.len());
+        for r in &survivors {
+            let want = expected.get(&r.config[0]).expect("known config");
+            prop_assert_eq!(r.objective, *want, "config {:?} lost its best", r.config);
+        }
+
+        // Second pass: nothing left to fold, nothing rewritten.
+        let second = store.compact().expect("second compaction");
+        prop_assert_eq!(second.dropped, 0);
+        prop_assert_eq!(second.shards_rewritten, 0);
+        let again = store.best_k(&key, entries.len() + 1).expect("best_k again");
+        prop_assert_eq!(again, survivors);
+    }
+
+    /// Arbitrary truncation or a single bit flip anywhere in a shard log
+    /// never panics a reader; the longest valid prefix is recovered.
+    #[test]
+    fn corruption_recovers_longest_valid_prefix(
+        n_records in 1usize..12,
+        damage_kind in 0u8..2,
+        damage_point in 0u32..u32::MAX,
+    ) {
+        let scratch = ScratchDir::new("hprop-corrupt");
+        let store = HistoryStore::open(scratch.path().join("db")).expect("open");
+        let key = key();
+        let originals: Vec<HistoryRecord> = (0..n_records)
+            .map(|i| HistoryRecord {
+                config: vec![i],
+                objective: 1.0 + i as f64,
+                aux: HashMap::new(),
+                session: "s".to_string(),
+                ordinal: i as u64,
+            })
+            .collect();
+        store.append(&key, &originals).expect("append");
+
+        let shard = shard_file(store.root());
+        let mut bytes = std::fs::read(&shard).expect("read shard");
+        let offset = damage_point as usize % bytes.len();
+        if damage_kind == 0 {
+            bytes.truncate(offset);
+        } else {
+            bytes[offset] ^= 1 << (damage_point % 8);
+        }
+        std::fs::write(&shard, &bytes).expect("write damage");
+
+        // A fresh handle on the damaged store: reads must not panic and
+        // must yield a prefix of what was appended.
+        let reopened = HistoryStore::open(scratch.path().join("db")).expect("reopen");
+        let recovered = reopened.records(&key).expect("damaged read is typed, not a panic");
+        prop_assert!(recovered.len() <= originals.len());
+        prop_assert_eq!(&recovered[..], &originals[..recovered.len()]);
+
+        // The damaged store still accepts appends, and the new record is
+        // readable afterwards.
+        let extra = HistoryRecord {
+            config: vec![99],
+            objective: 0.5,
+            aux: HashMap::new(),
+            session: "post-damage".to_string(),
+            ordinal: 0,
+        };
+        reopened
+            .append(&key, std::slice::from_ref(&extra))
+            .expect("append over damage");
+        let after = reopened.records(&key).expect("read after repair");
+        prop_assert_eq!(after.last().expect("non-empty"), &extra);
+    }
+}

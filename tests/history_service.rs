@@ -1,0 +1,186 @@
+//! Acceptance tests for the multi-session ask-tell history service.
+//!
+//! The contract from the design: N concurrent [`HistoryService`] sessions
+//! over one shared store must produce per-session reports **byte-identical**
+//! to what each session would have produced standalone against the store's
+//! pre-launch content — concurrency buys wall-clock, never different
+//! answers. Plus the crowdtuning payoff (a warmed campaign never does worse
+//! than its prior) and the quarantine-ledger regression: with the ledger
+//! keyed by config fingerprint, cache misses equal evaluations even when
+//! warm-start priors and quarantined configurations are both in play.
+
+// Integration tests are exempt from the workspace unwrap policy.
+#![allow(clippy::disallowed_methods)]
+
+use powerstack::autotune::{
+    history_key, record_report, Config, EvalError, Evaluation, ForestSearch, HistoryService, Param,
+    ParamSpace, RandomSearch, Robustness, SessionSpec, Tuner,
+};
+use powerstack::history::HistoryStore;
+use pstack_ckpt::ScratchDir;
+use std::collections::HashMap;
+
+fn space() -> ParamSpace {
+    ParamSpace::new()
+        .with(Param::ints("x", 0..8))
+        .with(Param::ints("y", 0..8))
+        .with_constraint("x_not_max_when_y_zero", |s, c| {
+            s.value(c, "y").as_int() != 0 || s.value(c, "x").as_int() != 7
+        })
+}
+
+fn bowl(s: &ParamSpace, c: &Config) -> Evaluation {
+    let x = s.value(c, "x").as_int() as f64;
+    let y = s.value(c, "y").as_int() as f64;
+    (1.0 + (x - 5.0).powi(2) + (y - 2.0).powi(2), HashMap::new())
+}
+
+/// Seed a store with a donor campaign's observations.
+fn seed_store(store: &HistoryStore, space: &ParamSpace, app: &str, objective: &str) -> usize {
+    let key = history_key(space, app, objective);
+    let donor = Tuner::new(space.clone())
+        .max_evals(30)
+        .seed(424242)
+        .run(&mut ForestSearch::new(), bowl)
+        .expect("donor campaign");
+    record_report(store, &key, "donor", &donor).expect("record donor")
+}
+
+#[test]
+fn eight_concurrent_sessions_are_byte_identical_to_standalone() {
+    let dir = ScratchDir::new("hsvc-acceptance");
+    let store = HistoryStore::open(dir.path().join("db")).expect("open store");
+    let space = space();
+    seed_store(&store, &space, "bowl", "min");
+
+    // Eight sessions, mixed seeds and budgets, all against the same key.
+    let specs: Vec<SessionSpec> = (0..8)
+        .map(|i| SessionSpec {
+            app: "bowl".to_string(),
+            objective: "min".to_string(),
+            seed: 9000 + i,
+            max_evals: 8 + (i as usize % 3),
+            warm_k: 6,
+        })
+        .collect();
+
+    // Standalone equivalents, computed against the pre-launch store
+    // content (they do not record back).
+    let standalone: Vec<String> = specs
+        .iter()
+        .map(|spec| {
+            let key = history_key(&space, &spec.app, &spec.objective);
+            let report = Tuner::new(space.clone())
+                .max_evals(spec.max_evals)
+                .seed(spec.seed)
+                .warm_start_from_history(&store, &key, spec.warm_k)
+                .expect("warm start")
+                .run_parallel(&mut RandomSearch::new(), 3, bowl)
+                .expect("standalone run");
+            serde_json::to_string(&report).expect("serialize")
+        })
+        .collect();
+
+    let before = store
+        .records(&history_key(&space, "bowl", "min"))
+        .expect("store read")
+        .len();
+    let service = HistoryService::new(&store, 3);
+    let reports = service
+        .run_sessions(&space, &specs, |_| RandomSearch::new(), bowl)
+        .expect("service run");
+
+    assert_eq!(reports.len(), 8);
+    for (i, (report, expected)) in reports.iter().zip(&standalone).enumerate() {
+        assert_eq!(
+            &serde_json::to_string(report).expect("serialize"),
+            expected,
+            "session {i} diverged from its standalone equivalent"
+        );
+    }
+    // The tell phase recorded exactly every fresh observation.
+    let after = store
+        .records(&history_key(&space, "bowl", "min"))
+        .expect("store read")
+        .len();
+    let fresh: usize = reports.iter().map(|r| r.evals).sum();
+    assert_eq!(after, before + fresh);
+}
+
+#[test]
+fn warmed_campaign_never_does_worse_than_its_prior() {
+    let dir = ScratchDir::new("hsvc-payoff");
+    let store = HistoryStore::open(dir.path().join("db")).expect("open store");
+    let space = space();
+    seed_store(&store, &space, "bowl", "min");
+    let key = history_key(&space, "bowl", "min");
+
+    let donor_best = store.best_k(&key, 1).expect("best_k")[0].objective;
+    let warmed = Tuner::new(space.clone())
+        .max_evals(6)
+        .seed(777)
+        .warm_start_from_history(&store, &key, 8)
+        .expect("warm start")
+        .run(&mut RandomSearch::new(), bowl)
+        .expect("warmed run");
+    // Priors are part of the database, so the warmed campaign's best can
+    // only improve on the store's best-known configuration.
+    assert!(warmed.best_objective <= donor_best);
+    assert_eq!(warmed.db.len() - warmed.evals, 8, "expected 8 priors");
+}
+
+#[test]
+fn quarantine_ledger_keeps_misses_equal_to_evals_with_priors() {
+    // Regression: the resilient drivers key their quarantine ledger by
+    // config fingerprint. A warmed resilient run that quarantines configs
+    // must keep the cache ledger exact — every evaluation that actually
+    // ran is a miss, and nothing else is: priors are hits on
+    // re-suggestion, quarantine skips never re-simulate.
+    let dir = ScratchDir::new("hsvc-quarantine");
+    let store = HistoryStore::open(dir.path().join("db")).expect("open store");
+    let space = space();
+    seed_store(&store, &space, "bowl", "min");
+    let key = history_key(&space, "bowl", "min");
+
+    // Configurations on the x == 0 line always fail: they exhaust their
+    // retry budget and land in quarantine.
+    let poisoned = |s: &ParamSpace, c: &Config, _attempt: usize| -> Result<Evaluation, EvalError> {
+        if s.value(c, "x").as_int() == 0 {
+            Err(EvalError::Failed("poisoned line".to_string()))
+        } else {
+            Ok(bowl(s, c))
+        }
+    };
+
+    let run = || {
+        Tuner::new(space.clone())
+            .max_evals(24)
+            .seed(31337)
+            .warm_start_from_history(&store, &key, 6)
+            .expect("warm start")
+            .run_resilient(
+                &mut RandomSearch::new(),
+                None,
+                &Robustness::default(),
+                poisoned,
+            )
+            .expect("resilient run")
+    };
+    let report = run();
+    assert!(
+        report.faults.counts.quarantined >= 1,
+        "the poisoned line never got quarantined; the regression isn't exercised"
+    );
+    assert_eq!(
+        report.cache.misses, report.evals,
+        "cache ledger drifted: misses must equal evaluations"
+    );
+    assert_eq!(report.db.len() - report.evals, 6, "expected 6 priors");
+
+    // The fingerprint-keyed ledger replays byte-identically.
+    let replay = run();
+    assert_eq!(
+        serde_json::to_string(&report).expect("serialize"),
+        serde_json::to_string(&replay).expect("serialize"),
+    );
+}
