@@ -152,6 +152,101 @@ impl AlgorithmSchema {
     }
 }
 
+/// The event-engine exercise PSA020 lints, captured as data.
+///
+/// `shipped()` drives the real machinery — a [`pstack_rm::EventHeap`]
+/// through a deliberately adversarial push/pop sequence (out-of-order
+/// pushes, same-instant events of every kind, a retroactive push mid-drain)
+/// and [`pstack_rm::shard_budgets`] over the fleet-experiment enclave
+/// layout — and records what happened. The rule then checks the recording:
+/// pop times never regress past the cursor, same-instant events fire in
+/// rank order (budget change → arrival → tick → completion), event counts
+/// are conserved, and the enclave shards sum to the site budget
+/// bit-for-bit. Tests hand the rule deliberately-broken recordings.
+pub struct EventModelSpec {
+    /// Every event popped during the exercise, in pop order:
+    /// (fire time in µs, heap cursor after the pop in µs, kind label).
+    pub popped: Vec<(u64, u64, String)>,
+    /// Heap cursor after the drain, µs.
+    pub final_cursor_us: u64,
+    /// Events pushed into the exercise heap.
+    pub pushed: usize,
+    /// Events popped during the drain (heap lifetime counter).
+    pub popped_count: u64,
+    /// Events still pending after the drain.
+    pub pending_after: usize,
+    /// Site budget the sharding exercise distributed, watts.
+    pub site_budget_w: f64,
+    /// Enclave node capacities the budget was sharded over.
+    pub capacities: Vec<usize>,
+    /// The resulting per-enclave budget shards, watts.
+    pub shards: Vec<f64>,
+}
+
+impl EventModelSpec {
+    /// Exercise the shipped event heap and enclave sharding.
+    pub fn shipped() -> Self {
+        use pstack_rm::{EventHeap, EventKind};
+        use pstack_sim::SimTime;
+
+        let t = SimTime::from_secs;
+        let mut heap = EventHeap::new();
+        // Out-of-order pushes, plus a same-instant cluster at t=40 pushed in
+        // reverse rank order — pop order must restore rank order.
+        heap.push(t(40), EventKind::Completion(pstack_rm::JobId(7)));
+        heap.push(t(40), EventKind::Tick);
+        heap.push(t(40), EventKind::Arrival(pstack_rm::JobId(3)));
+        heap.push(
+            t(40),
+            EventKind::BudgetChange {
+                budget_w: Some(1000.0),
+                response: pstack_rm::EmergencyResponse::TightenCaps,
+            },
+        );
+        heap.push(t(10), EventKind::Arrival(pstack_rm::JobId(1)));
+        heap.push(t(90), EventKind::Tick);
+        heap.push(t(5), EventKind::Arrival(pstack_rm::JobId(0)));
+        let mut pushed = 7usize;
+
+        let mut popped = Vec::new();
+        let mut retro_done = false;
+        while let Some(ev) = heap.pop_due(t(3600)) {
+            popped.push((
+                ev.time.as_micros(),
+                heap.cursor().as_micros(),
+                ev.kind.label().to_string(),
+            ));
+            if !retro_done && ev.time >= t(40) {
+                // Retroactive push mid-drain: allowed, fires immediately,
+                // but the cursor must not move backwards for it.
+                heap.push(t(20), EventKind::Arrival(pstack_rm::JobId(9)));
+                pushed += 1;
+                retro_done = true;
+            }
+        }
+        // One event scheduled past the drain horizon stays pending.
+        heap.push(t(7200), EventKind::Tick);
+        pushed += 1;
+
+        // The fleet experiment's enclave layout: 16 × 256 nodes at 65% of
+        // site peak (450 W/node).
+        let capacities = vec![256usize; 16];
+        let site_budget_w = 450.0 * 4096.0 * 0.65;
+        let shards = pstack_rm::shard_budgets(site_budget_w, &capacities);
+
+        EventModelSpec {
+            popped,
+            final_cursor_us: heap.cursor().as_micros(),
+            pushed,
+            popped_count: heap.popped(),
+            pending_after: heap.len(),
+            site_budget_w,
+            capacities,
+            shards,
+        }
+    }
+}
+
 /// Everything the analyzer looks at, as data.
 pub struct FrameworkModel {
     /// Hardware description the power/thermal rules check against.
@@ -197,6 +292,10 @@ pub struct FrameworkModel {
     /// `pstack_sync::sites` entry and that `may_acquire` is a
     /// rank-consistent DAG).
     pub lock_hierarchy: Vec<LockSiteDecl>,
+    /// The event-engine exercise recording (PSA020 checks cursor
+    /// monotonicity, same-instant rank order, event conservation, and that
+    /// enclave budget shards sum to the site budget exactly).
+    pub events: EventModelSpec,
     /// Root of the source tree PSA018 scans for raw `std::sync` primitives
     /// in library code. `None` skips the scan (reported as Info, never
     /// silently).
@@ -251,6 +350,7 @@ impl FrameworkModel {
                 ],
             },
             lock_hierarchy: Self::shipped_lock_hierarchy(),
+            events: EventModelSpec::shipped(),
             source_root: Self::shipped_source_root(),
         }
     }
@@ -271,6 +371,8 @@ impl FrameworkModel {
             LockSiteDecl::new(sites::FAULTS_KILLS, 42, &[]),
             LockSiteDecl::new(sites::HISTORY_SHARD, 45, &[sites::HISTORY_APPENDS]),
             LockSiteDecl::new(sites::HISTORY_APPENDS, 46, &[]),
+            LockSiteDecl::new(sites::RM_EVENTS, 47, &[]),
+            LockSiteDecl::new(sites::RM_SITE_TREE, 48, &[]),
             LockSiteDecl::new(sites::TRACE_RING, 50, &[]),
             LockSiteDecl::new(sites::TRACE_SPAN_ID, 51, &[]),
             LockSiteDecl::new(sites::TRACE_TID, 52, &[]),

@@ -1,6 +1,6 @@
 //! The lint rules.
 //!
-//! Every rule is a [`Lint`] with a stable ID (`PSA001`..`PSA019`), a
+//! Every rule is a [`Lint`] with a stable ID (`PSA001`..`PSA020`), a
 //! one-line description, and a pure `check` over a [`FrameworkModel`].
 //! Rules never mutate anything and never read the environment, so the
 //! report for a given model is byte-deterministic. [`registry`] returns
@@ -52,6 +52,7 @@ pub fn registry() -> Vec<Box<dyn Lint>> {
         Box::new(LockHierarchyCoverage),
         Box::new(RawSyncPrimitives),
         Box::new(HistoryKeySanity),
+        Box::new(EventScheduleSanity),
     ]
 }
 
@@ -1797,6 +1798,189 @@ impl Lint for HistoryKeySanity {
     }
 }
 
+// ---------------------------------------------------------------------------
+// PSA020 — event-schedule sanity
+// ---------------------------------------------------------------------------
+
+/// PSA020: the event-driven scheduler's ordering contract holds on the
+/// model's recorded [`EventModelSpec`](crate::model::EventModelSpec)
+/// exercise — the heap cursor never regresses (a retroactive push may fire
+/// late, but can never pull processed time backwards), same-instant events
+/// pop in rank order (budget change → arrival → tick → completion), every
+/// pushed event is either popped or still pending (none lost), and the
+/// per-enclave power-budget shards are finite, nonnegative, and sum to the
+/// site budget *bit-for-bit* (hierarchical aggregation must conserve the
+/// budget exactly).
+pub struct EventScheduleSanity;
+
+impl EventScheduleSanity {
+    fn kind_rank(label: &str) -> Option<u32> {
+        match label {
+            "budget_change" => Some(0),
+            "arrival" => Some(1),
+            "tick" => Some(2),
+            "completion" => Some(3),
+            _ => None,
+        }
+    }
+}
+
+impl Lint for EventScheduleSanity {
+    fn id(&self) -> &'static str {
+        "PSA020"
+    }
+    fn name(&self) -> &'static str {
+        "event-schedule-sanity"
+    }
+    fn description(&self) -> &'static str {
+        "event cursor monotone, same-instant events in rank order, events conserved, enclave shards sum to site budget"
+    }
+    fn check(&self, model: &FrameworkModel) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        let ev = &model.events;
+
+        // Cursor monotonicity and tracking: the cursor after each pop must
+        // never decrease, and must equal max(previous cursor, fire time).
+        let mut prev_cursor = 0u64;
+        for (i, (time, cursor, label)) in ev.popped.iter().enumerate() {
+            if *cursor < prev_cursor {
+                out.push(Diagnostic::error(
+                    self.id(),
+                    "system",
+                    format!("events.popped[{i}]"),
+                    format!(
+                        "event cursor regressed from {prev_cursor}us to {cursor}us on a \
+                         '{label}' pop — processed time must never move backwards"
+                    ),
+                ));
+            }
+            let expect = prev_cursor.max(*time);
+            if *cursor != expect {
+                out.push(Diagnostic::error(
+                    self.id(),
+                    "system",
+                    format!("events.popped[{i}]"),
+                    format!(
+                        "cursor {cursor}us does not track pops: expected \
+                         max(prev {prev_cursor}us, fire {time}us) = {expect}us"
+                    ),
+                ));
+            }
+            if Self::kind_rank(label).is_none() {
+                out.push(Diagnostic::error(
+                    self.id(),
+                    "system",
+                    format!("events.popped[{i}]"),
+                    format!("unknown event kind label '{label}'"),
+                ));
+            }
+            prev_cursor = *cursor;
+        }
+        if ev.final_cursor_us != prev_cursor {
+            out.push(Diagnostic::error(
+                self.id(),
+                "system",
+                "events.cursor",
+                format!(
+                    "final cursor {}us disagrees with the last pop's cursor {}us",
+                    ev.final_cursor_us, prev_cursor
+                ),
+            ));
+        }
+
+        // Same-instant rank order: adjacent pops at one fire time must go
+        // budget change → arrival → tick → completion.
+        for (i, pair) in ev.popped.windows(2).enumerate() {
+            let (ta, _, la) = &pair[0];
+            let (tb, _, lb) = &pair[1];
+            if ta == tb {
+                if let (Some(ra), Some(rb)) = (Self::kind_rank(la), Self::kind_rank(lb)) {
+                    if ra > rb {
+                        out.push(Diagnostic::error(
+                            self.id(),
+                            "system",
+                            format!("events.popped[{}]", i + 1),
+                            format!(
+                                "same-instant events at {ta}us popped out of rank order: \
+                                 '{la}' before '{lb}' — a budget change must gate the \
+                                 arrivals it applies to, arrivals precede the tick that \
+                                 schedules them"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+
+        // Conservation: every pushed event was either popped or is pending.
+        let accounted = ev.popped_count + ev.pending_after as u64;
+        if accounted != ev.pushed as u64 {
+            out.push(Diagnostic::error(
+                self.id(),
+                "system",
+                "events.conservation",
+                format!(
+                    "{} events pushed but {} popped + {} pending = {accounted} — events \
+                     were lost or duplicated",
+                    ev.pushed, ev.popped_count, ev.pending_after
+                ),
+            ));
+        }
+        if ev.popped_count != ev.popped.len() as u64 {
+            out.push(Diagnostic::error(
+                self.id(),
+                "system",
+                "events.conservation",
+                format!(
+                    "heap lifetime counter says {} pops but the recording has {}",
+                    ev.popped_count,
+                    ev.popped.len()
+                ),
+            ));
+        }
+
+        // Budget sharding: per-enclave shards are finite, nonnegative, one
+        // per enclave, and sum to the site budget bit-for-bit.
+        if ev.shards.len() != ev.capacities.len() {
+            out.push(Diagnostic::error(
+                self.id(),
+                "system",
+                "events.shards",
+                format!(
+                    "{} budget shards for {} enclaves",
+                    ev.shards.len(),
+                    ev.capacities.len()
+                ),
+            ));
+        }
+        for (i, s) in ev.shards.iter().enumerate() {
+            if !s.is_finite() || *s < 0.0 {
+                out.push(Diagnostic::error(
+                    self.id(),
+                    "system",
+                    format!("events.shards[{i}]"),
+                    format!("budget shard {s} W is negative or non-finite"),
+                ));
+            }
+        }
+        let sum: f64 = ev.shards.iter().sum();
+        if sum.to_bits() != ev.site_budget_w.to_bits() {
+            out.push(Diagnostic::error(
+                self.id(),
+                "system",
+                "events.shards",
+                format!(
+                    "enclave shards sum to {sum} W, site budget is {} W — hierarchical \
+                     aggregation must conserve the budget exactly (last shard absorbs \
+                     the floating-point residue)",
+                    ev.site_budget_w
+                ),
+            ));
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1809,7 +1993,7 @@ mod tests {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(ids, sorted, "rule IDs must be unique and in order");
-        assert_eq!(ids.len(), 19);
+        assert_eq!(ids.len(), 20);
         for r in &rules {
             assert!(!r.name().is_empty() && !r.description().is_empty());
         }
@@ -1858,6 +2042,90 @@ mod tests {
         assert!(diags
             .iter()
             .any(|d| d.message.contains("empty parameter space")));
+    }
+
+    #[test]
+    fn event_schedule_sanity_passes_shipped_and_flags_broken() {
+        let rule = EventScheduleSanity;
+        let model = FrameworkModel::shipped();
+        assert!(
+            rule.check(&model).is_empty(),
+            "shipped event model must be clean: {:#?}",
+            rule.check(&model)
+        );
+        // The shipped exercise must actually cover the interesting cases:
+        // a retroactive pop (fire time below the cursor) and a same-instant
+        // cluster of all four kinds.
+        assert!(
+            model.events.popped.iter().any(|(t, c, _)| t < c),
+            "exercise must include a retroactive event firing behind the cursor"
+        );
+        let first_time = model
+            .events
+            .popped
+            .iter()
+            .find(|(t, _, _)| {
+                model
+                    .events
+                    .popped
+                    .iter()
+                    .filter(|(t2, _, _)| t2 == t)
+                    .count()
+                    >= 4
+            })
+            .map(|(t, _, _)| *t)
+            .expect("exercise must include a 4-kind same-instant cluster");
+        assert!(first_time > 0);
+
+        // A cursor regression is an error.
+        let mut broken = FrameworkModel::shipped();
+        let last = broken.events.popped.len() - 1;
+        broken.events.popped[last].1 = 0;
+        let diags = rule.check(&broken);
+        assert!(
+            diags.iter().any(|d| d.message.contains("cursor regressed")),
+            "expected a cursor-regression error: {diags:#?}"
+        );
+
+        // Reordering a same-instant pair against kind rank (tick before the
+        // arrival it would schedule) is an error.
+        let mut broken = FrameworkModel::shipped();
+        let i = broken
+            .events
+            .popped
+            .windows(2)
+            .position(|w| w[0].0 == w[1].0 && w[0].2 == "arrival" && w[1].2 == "tick")
+            .expect("exercise includes an adjacent same-instant arrival/tick pair");
+        broken.events.popped[i].2 = "tick".to_string();
+        broken.events.popped[i + 1].2 = "arrival".to_string();
+        let diags = rule.check(&broken);
+        assert!(
+            diags.iter().any(|d| d.message.contains("rank order")),
+            "expected a rank-order error: {diags:#?}"
+        );
+
+        // Losing an event breaks conservation.
+        let mut broken = FrameworkModel::shipped();
+        broken.events.pushed += 1;
+        assert!(rule
+            .check(&broken)
+            .iter()
+            .any(|d| d.message.contains("lost or duplicated")));
+
+        // Shards that no longer sum to the site budget are an error, as is
+        // a negative shard.
+        let mut broken = FrameworkModel::shipped();
+        broken.events.shards[0] += 1e-9;
+        assert!(rule
+            .check(&broken)
+            .iter()
+            .any(|d| d.message.contains("conserve the budget")));
+        let mut broken = FrameworkModel::shipped();
+        broken.events.shards[0] = -1.0;
+        assert!(rule
+            .check(&broken)
+            .iter()
+            .any(|d| d.message.contains("negative or non-finite")));
     }
 
     #[test]

@@ -1,0 +1,62 @@
+//! Perf-regression gate: fresh artifacts vs committed `results/`.
+//!
+//! Usage: `bench_diff [COMMITTED_DIR] [FRESH_DIR] [--require NAME ...]`
+//!
+//! Defaults: committed `results/`, fresh `$POWERSTACK_RESULTS_DIR` (the
+//! directory the regenerating bins were pointed at). Compares every
+//! artifact covered by [`pstack_bench::diff::shipped_rules`] that exists in
+//! the fresh directory, prints the perfgate table, and exits nonzero on any
+//! tolerance violation or missing required artifact. The CI `perfgate` job
+//! regenerates a fast subset into a scratch dir and runs this binary with
+//! that subset `--require`d.
+//!
+//! Registered `writes_json: false`: this binary is a pure gate — it writes
+//! no artifact of its own (and therefore carries no trace exporter).
+
+use pstack_bench::diff;
+use std::path::PathBuf;
+
+fn main() {
+    pstack_analyze::startup_gate();
+
+    let mut committed = PathBuf::from("results");
+    let mut fresh = PathBuf::from(
+        std::env::var("POWERSTACK_RESULTS_DIR").unwrap_or_else(|_| "target/perfgate".to_string()),
+    );
+    let mut require: Vec<String> = Vec::new();
+    let mut positional = 0usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--require" => {
+                let name = args.next().unwrap_or_else(|| {
+                    eprintln!("error: --require needs an artifact name");
+                    std::process::exit(2);
+                });
+                require.push(name);
+            }
+            _ => {
+                match positional {
+                    0 => committed = PathBuf::from(&arg),
+                    1 => fresh = PathBuf::from(&arg),
+                    _ => {
+                        eprintln!("error: unexpected argument {arg:?}");
+                        std::process::exit(2);
+                    }
+                }
+                positional += 1;
+            }
+        }
+    }
+
+    let report =
+        pstack_bench::run_or_exit("bench_diff", diff::diff_dirs(&committed, &fresh, &require));
+    println!("{}", diff::render(&report));
+    if report.failures > 0 {
+        eprintln!(
+            "error: bench_diff: {} gated metric(s) regressed",
+            report.failures
+        );
+        std::process::exit(1);
+    }
+}

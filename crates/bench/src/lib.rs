@@ -12,6 +12,7 @@
 
 #![cfg_attr(test, allow(clippy::disallowed_methods))]
 
+pub mod diff;
 pub mod evalthroughput;
 pub mod lockorder;
 

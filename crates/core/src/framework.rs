@@ -73,7 +73,7 @@ impl Scenario {
         }
     }
 
-    fn policy(&self) -> SystemPowerPolicy {
+    pub(crate) fn policy(&self) -> SystemPowerPolicy {
         match (self.tuning, self.system_budget_w) {
             (_, None) => SystemPowerPolicy::unlimited(),
             (TuningLevel::None, Some(b)) => {
@@ -90,7 +90,7 @@ impl Scenario {
         }
     }
 
-    fn agent_for(&self, profile: Profile) -> AgentKind {
+    pub(crate) fn agent_for(&self, profile: Profile) -> AgentKind {
         // Power-budget-consuming agents only make sense when the RM assigns
         // budgets; on an unlimited system they degrade to monitoring.
         let budgeted = self.system_budget_w.is_some();

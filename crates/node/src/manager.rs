@@ -220,6 +220,14 @@ impl NodeManager {
         &self.power_history
     }
 
+    /// Bound the retained power history to roughly `max_samples` recent
+    /// samples (full-range integrals stay exact via the series' evicted
+    /// prefix carry). Fleet-scale simulations set this so per-node telemetry
+    /// stays O(bound) instead of O(simulated time).
+    pub fn bound_power_history(&mut self, max_samples: usize) {
+        self.power_history.set_bound(Some(max_samples));
+    }
+
     /// Mean power over the trailing `window` ending at `now`, watts.
     pub fn mean_power_w(&self, now: SimTime, window: SimDuration) -> f64 {
         let from = SimTime(now.as_micros().saturating_sub(window.as_micros()));

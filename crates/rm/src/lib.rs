@@ -14,15 +14,24 @@
 //!
 //! Shared pieces: [`spec`] (job specifications and runtime-attachment kinds)
 //! and [`policy`] (site/system power policies).
+//!
+//! The scheduler drains either per-tick (the reference oracle) or
+//! event-driven over [`events::EventHeap`]; [`fleet`] composes independent
+//! per-enclave schedulers into a site with budget sharding and a GEOPM-style
+//! aggregation tree.
 
 #![cfg_attr(test, allow(clippy::disallowed_methods))]
 
+pub mod events;
+pub mod fleet;
 pub mod invariants;
 pub mod irm;
 pub mod policy;
 pub mod scheduler;
 pub mod spec;
 
+pub use events::{EventHeap, EventKind, ScheduledEvent};
+pub use fleet::{shard_budgets, Enclave, EnclaveSet, SiteMetrics};
 pub use invariants::invariants;
 pub use irm::{CorridorStrategy, Irm, IrmReport};
 pub use policy::{PowerAssignment, SystemPowerPolicy};

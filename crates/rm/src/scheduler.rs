@@ -17,7 +17,28 @@
 //! Allocation moves `NodeManager`s out of the idle pool into the running job
 //! and back on completion, which keeps borrow-handling trivial and mirrors
 //! real exclusive node allocation.
+//!
+//! # Two drain engines, one tick
+//!
+//! The scheduler advances with a single physics tick ([`Scheduler::step`]),
+//! but offers two drain loops over it:
+//!
+//! - the **per-tick oracle** ([`Scheduler::run_until_drained_per_tick`])
+//!   re-runs the scheduling pass every quantum, like a naive SLURM loop;
+//! - the **event-driven engine** ([`Scheduler::run_until_drained`]) keeps a
+//!   time-ordered [`EventHeap`] of arrivals, completions, control ticks and
+//!   budget changes, re-plans only when an event could change the schedule
+//!   head (a dirty flag), defers idle-node physics until observed, and
+//!   fast-forwards through stretches where nothing runs.
+//!
+//! The two engines produce **byte-identical** [`JobRecord`] streams: every
+//! quantity the scheduling pass reads (reservations, idle counts,
+//! launch-time completion estimates) is *event-stable* — constant between
+//! events — so skipping a re-plan can never skip a launch the oracle would
+//! have made. `tests/event_equivalence.rs` proves this over a proptest grid
+//! of seeds, quanta and arrival patterns, including the fig1/fig3 workloads.
 
+use crate::events::{EventHeap, EventKind};
 use crate::policy::{PowerAssignment, SystemPowerPolicy};
 use crate::spec::{JobId, JobSpec};
 use pstack_apps::MpiModel;
@@ -25,7 +46,8 @@ use pstack_node::{NodeManager, Signal};
 use pstack_runtime::geopm::{Endpoint, PolicyUpdate};
 use pstack_runtime::{ArbiterMode, GeopmPolicy, JobRunner, RuntimeAgent};
 use pstack_sim::{SeedTree, SimDuration, SimTime, TraceRecorder};
-use std::collections::VecDeque;
+use std::cell::Cell;
+use std::collections::{HashMap, VecDeque};
 
 /// Completed-job accounting record.
 #[derive(Debug, Clone)]
@@ -126,6 +148,20 @@ struct RunningJob {
     last_sample: (f64, f64),
     /// Smoothed efficiency, work per joule.
     efficiency_ema: Option<f64>,
+    /// Launch-time completion estimate used as the EASY backfill shadow.
+    /// Fixed at launch so the estimate is *event-stable*: between events the
+    /// backfill relation can only expire, never newly hold, which is what
+    /// lets the event-driven engine skip re-planning quiescent ticks.
+    predicted_end: SimTime,
+}
+
+/// An idle node plus the time its idle physics has been integrated to.
+/// The event-driven drain defers idle stepping (nobody reads an idle node
+/// mid-stretch); the deferred quanta are replayed verbatim before any
+/// observation, so the node state is bit-identical to eager stepping.
+struct IdleSlot {
+    nm: NodeManager,
+    synced_to: SimTime,
 }
 
 /// The power-aware scheduler.
@@ -157,7 +193,7 @@ struct RunningJob {
 /// ```
 pub struct Scheduler {
     now: SimTime,
-    idle: Vec<NodeManager>,
+    idle: Vec<IdleSlot>,
     total_nodes: usize,
     queue: VecDeque<JobSpec>,
     running: Vec<RunningJob>,
@@ -176,6 +212,24 @@ pub struct Scheduler {
     /// endpoint-carrying jobs by measured efficiency, at this period.
     reassign_period: Option<SimDuration>,
     next_reassign: SimTime,
+    /// Pending arrivals, budget changes, ticks and completions.
+    events: EventHeap,
+    /// Whether an event since the last scheduling pass could change the
+    /// schedule head. The event-driven engine skips `schedule()` when clear.
+    sched_dirty: bool,
+    /// Quantum of the most recent tick, used to replay deferred idle physics.
+    last_quantum: SimDuration,
+    /// Queue positions the backfill pass examines per scheduling pass.
+    backfill_depth: usize,
+    /// Override for the job runners' integration substep ceiling.
+    runner_max_substep: Option<SimDuration>,
+    /// Memoized `(job id, node count) → total work` for backfill estimates.
+    work_cache: HashMap<(u64, usize), f64>,
+    /// Memoized power reservation sum, invalidated on any mutation of the
+    /// running set, the idle pool or any reservation.
+    reserved_memo: Cell<Option<f64>>,
+    /// Memoized allocated-node count, same invalidation discipline.
+    busy_memo: Cell<Option<usize>>,
 }
 
 impl Scheduler {
@@ -185,7 +239,13 @@ impl Scheduler {
         let total_nodes = nodes.len();
         Scheduler {
             now: SimTime::ZERO,
-            idle: nodes,
+            idle: nodes
+                .into_iter()
+                .map(|nm| IdleSlot {
+                    nm,
+                    synced_to: SimTime::ZERO,
+                })
+                .collect(),
             total_nodes,
             queue: VecDeque::new(),
             running: Vec::new(),
@@ -201,6 +261,14 @@ impl Scheduler {
             selection: NodeSelection::Arbitrary,
             reassign_period: None,
             next_reassign: SimTime::ZERO,
+            events: EventHeap::new(),
+            sched_dirty: true,
+            last_quantum: SimDuration::from_secs(1),
+            backfill_depth: 256,
+            runner_max_substep: None,
+            work_cache: HashMap::new(),
+            reserved_memo: Cell::new(None),
+            busy_memo: Cell::new(None),
         }
     }
 
@@ -233,9 +301,33 @@ impl Scheduler {
         self
     }
 
+    /// Cap how many queue positions each backfill pass examines. Fleet-scale
+    /// queues (tens of thousands of jobs) make a full scan per pass
+    /// quadratic; the cap bounds it while leaving small queues exhaustive.
+    pub fn with_backfill_depth(mut self, depth: usize) -> Self {
+        assert!(depth > 0, "depth must be positive");
+        self.backfill_depth = depth;
+        self
+    }
+
+    /// Override the job runners' integration substep ceiling (default
+    /// 250 ms). Fleet benchmarks coarsen it to trade integration resolution
+    /// for wall-clock speed; both drain engines share the override, so
+    /// equivalence is unaffected.
+    pub fn with_runner_max_substep(mut self, substep: SimDuration) -> Self {
+        assert!(!substep.is_zero(), "substep must be positive");
+        self.runner_max_substep = Some(substep);
+        self
+    }
+
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// Nodes in the cluster (idle + allocated).
+    pub fn total_nodes(&self) -> usize {
+        self.total_nodes
     }
 
     /// Jobs waiting in the queue.
@@ -263,11 +355,24 @@ impl Scheduler {
         &self.trace
     }
 
+    /// The pending event heap (diagnostics, checkpointing).
+    pub fn events(&self) -> &EventHeap {
+        &self.events
+    }
+
+    /// Replace the event heap, e.g. when resuming from a
+    /// `pstack-ckpt` snapshot taken mid-drain.
+    pub fn restore_events(&mut self, events: EventHeap) {
+        self.events = events;
+        self.sched_dirty = true;
+    }
+
     /// Package temperatures of the currently idle nodes (diagnostics).
-    pub fn idle_temperatures(&self) -> Vec<f64> {
+    pub fn idle_temperatures(&mut self) -> Vec<f64> {
+        self.sync_idle_nodes();
         self.idle
             .iter()
-            .map(|n| n.read(Signal::MaxTemperatureC))
+            .map(|s| s.nm.read(Signal::MaxTemperatureC))
             .collect()
     }
 
@@ -284,6 +389,7 @@ impl Scheduler {
                 id.0 as f64,
                 format!("{id} cancelled while queued"),
             );
+            self.sched_dirty = true;
             return true;
         }
         if let Some(pos) = self.running.iter().position(|j| j.spec.id == id) {
@@ -298,14 +404,20 @@ impl Scheduler {
             for mut nm in job.nodes {
                 // The runtime never ran its on_job_end: reset everything.
                 nm.reset_all_knobs();
-                self.idle.push(nm);
+                self.idle.push(IdleSlot {
+                    nm,
+                    synced_to: self.now,
+                });
             }
+            self.sched_dirty = true;
+            self.invalidate_accounting();
             return true;
         }
         false
     }
 
-    /// Submit a job (enqueued in arrival order).
+    /// Submit a job (enqueued in arrival order). Its arrival enters the
+    /// event heap so the event-driven drain wakes exactly at submit time.
     pub fn submit(&mut self, spec: JobSpec) {
         self.trace.record(
             self.now.max(spec.submit),
@@ -314,11 +426,27 @@ impl Scheduler {
             spec.id.0 as f64,
             format!("{} min={} max={}", spec.id, spec.min_nodes, spec.max_nodes),
         );
+        self.events.push(spec.submit, EventKind::Arrival(spec.id));
+        self.sched_dirty = true;
         self.queue.push_back(spec);
     }
 
+    /// Schedule a system-budget change to apply at `at` (demand-response /
+    /// corridor events known in advance). Both drain engines apply it at the
+    /// first tick boundary at or after `at`.
+    pub fn schedule_budget_change(
+        &mut self,
+        at: SimTime,
+        budget_w: Option<f64>,
+        response: EmergencyResponse,
+    ) {
+        self.events
+            .push(at, EventKind::BudgetChange { budget_w, response });
+    }
+
     /// Instantaneous system power: running nodes + idle nodes, watts.
-    pub fn system_power_w(&self) -> f64 {
+    pub fn system_power_w(&mut self) -> f64 {
+        self.sync_idle_nodes();
         let running: f64 = self
             .running
             .iter()
@@ -328,24 +456,59 @@ impl Scheduler {
         let idle: f64 = self
             .idle
             .iter()
-            .map(|n| n.read(Signal::NodePowerWatts))
+            .map(|s| s.nm.read(Signal::NodePowerWatts))
             .sum();
         running + idle
     }
 
     /// Total energy consumed by every node so far, joules.
-    pub fn system_energy_j(&self) -> f64 {
+    pub fn system_energy_j(&mut self) -> f64 {
+        self.sync_idle_nodes();
         self.running
             .iter()
             .flat_map(|j| j.nodes.iter())
-            .chain(self.idle.iter())
             .map(|n| n.read(Signal::NodeEnergyJoules))
-            .sum()
+            .sum::<f64>()
+            + self
+                .idle
+                .iter()
+                .map(|s| s.nm.read(Signal::NodeEnergyJoules))
+                .sum::<f64>()
+    }
+
+    /// Replay deferred idle-node physics up to the current time. The replay
+    /// uses the same per-quantum `step_idle` calls the eager oracle makes,
+    /// so the node state after catch-up is bit-identical.
+    fn sync_idle_nodes(&mut self) {
+        let (now, quantum) = (self.now, self.last_quantum);
+        for slot in &mut self.idle {
+            Self::catch_up_idle(slot, now, quantum);
+        }
+    }
+
+    fn catch_up_idle(slot: &mut IdleSlot, target: SimTime, quantum: SimDuration) {
+        while slot.synced_to < target {
+            let dt = quantum.min(target.since(slot.synced_to));
+            if dt.is_zero() {
+                break;
+            }
+            slot.nm.step_idle(slot.synced_to, dt);
+            slot.synced_to += dt;
+        }
+    }
+
+    fn invalidate_accounting(&self) {
+        self.reserved_memo.set(None);
+        self.busy_memo.set(None);
     }
 
     /// Power currently reserved (running jobs + idle estimate), watts.
-    /// Paused jobs reserve only their nodes' idle draw.
+    /// Paused jobs reserve only their nodes' idle draw. Memoized: the fresh
+    /// sum is cached until the next mutation, so admission probes are O(1).
     fn reserved_w(&self) -> f64 {
+        if let Some(v) = self.reserved_memo.get() {
+            return v;
+        }
         let jobs: f64 = self
             .running
             .iter()
@@ -357,7 +520,20 @@ impl Scheduler {
                 }
             })
             .sum();
-        jobs + self.policy.node_idle_estimate_w * self.idle.len() as f64
+        let v = jobs + self.policy.node_idle_estimate_w * self.idle.len() as f64;
+        self.reserved_memo.set(Some(v));
+        v
+    }
+
+    /// Allocated-node count over all running jobs (paused included),
+    /// memoized like [`Scheduler::reserved_w`].
+    fn busy_nodes(&self) -> usize {
+        if let Some(v) = self.busy_memo.get() {
+            return v;
+        }
+        let v = self.running.iter().map(|j| j.nodes.len()).sum();
+        self.busy_memo.set(Some(v));
+        v
     }
 
     /// Change the system power budget at runtime (demand-response events,
@@ -366,6 +542,8 @@ impl Scheduler {
     /// a looser budget resumes paused jobs and relaxes caps.
     pub fn set_system_budget(&mut self, budget_w: Option<f64>, response: EmergencyResponse) {
         self.policy.system_budget_w = budget_w;
+        self.sched_dirty = true;
+        self.invalidate_accounting();
         self.trace.record(
             self.now,
             "rm",
@@ -391,6 +569,7 @@ impl Scheduler {
                     };
                     victim.paused = Some(victim.reservation_w);
                     let id = victim.spec.id;
+                    self.invalidate_accounting();
                     self.trace.record(
                         self.now,
                         "rm",
@@ -439,6 +618,7 @@ impl Scheduler {
                         });
                     }
                 }
+                self.invalidate_accounting();
             }
         }
     }
@@ -467,6 +647,7 @@ impl Scheduler {
             job.reservation_w = resume_res;
             job.paused = None;
             let id = job.spec.id;
+            self.invalidate_accounting();
             self.trace.record(
                 self.now,
                 "rm",
@@ -528,7 +709,7 @@ impl Scheduler {
                     .policy
                     .system_budget_w
                     .expect("FairShare requires a system budget");
-                let busy: usize = self.running.iter().map(|j| j.nodes.len()).sum();
+                let busy = self.busy_nodes();
                 let idle_after = self.idle.len() - n;
                 let available = budget - self.policy.node_idle_estimate_w * idle_after as f64;
                 let per_node =
@@ -548,7 +729,7 @@ impl Scheduler {
         let Some(budget) = self.policy.system_budget_w else {
             return;
         };
-        let busy: usize = self.running.iter().map(|j| j.nodes.len()).sum();
+        let busy = self.busy_nodes();
         if busy == 0 {
             return;
         }
@@ -567,34 +748,65 @@ impl Scheduler {
                 }
             }
         }
+        self.invalidate_accounting();
+    }
+
+    /// Total work of `spec`'s workload at `n` nodes, memoized — backfill
+    /// estimates rebuild identical workloads thousands of times otherwise.
+    fn cached_total_work(&mut self, spec: &JobSpec, n: usize) -> f64 {
+        let key = (spec.id.0, n);
+        if let Some(&w) = self.work_cache.get(&key) {
+            return w;
+        }
+        let w = spec.app.workload(n).total_work();
+        self.work_cache.insert(key, w);
+        w
     }
 
     fn launch(&mut self, spec: JobSpec, n: usize, reservation_w: f64, budget_w: Option<f64>) {
         // Node selection: order the idle pool so the preferred nodes sit at
-        // the tail (which `split_off` hands to the job).
+        // the tail (which `split_off` hands to the job). Sorting reads node
+        // state, so deferred idle physics must be replayed first; arbitrary
+        // selection only needs the selected tail current.
         match self.selection {
-            NodeSelection::Arbitrary => {}
+            NodeSelection::Arbitrary => {
+                let (now, quantum) = (self.now, self.last_quantum);
+                let split_at = self.idle.len() - n;
+                for slot in &mut self.idle[split_at..] {
+                    Self::catch_up_idle(slot, now, quantum);
+                }
+            }
             NodeSelection::CoolestFirst => {
+                self.sync_idle_nodes();
                 self.idle.sort_by(|a, b| {
-                    let ta = a.read(Signal::MaxTemperatureC);
-                    let tb = b.read(Signal::MaxTemperatureC);
+                    let ta = a.nm.read(Signal::MaxTemperatureC);
+                    let tb = b.nm.read(Signal::MaxTemperatureC);
                     tb.partial_cmp(&ta).expect("finite temperatures")
                 });
             }
             NodeSelection::MostEfficientFirst => {
+                self.sync_idle_nodes();
                 self.idle.sort_by(|a, b| {
-                    let pa = a.read(Signal::NodePowerWatts);
-                    let pb = b.read(Signal::NodePowerWatts);
+                    let pa = a.nm.read(Signal::NodePowerWatts);
+                    let pb = b.nm.read(Signal::NodePowerWatts);
                     pb.partial_cmp(&pa).expect("finite power")
                 });
             }
         }
         let split_at = self.idle.len() - n;
-        let nodes: Vec<NodeManager> = self.idle.split_off(split_at);
+        let mut nodes: Vec<NodeManager> = self
+            .idle
+            .split_off(split_at)
+            .into_iter()
+            .map(|s| s.nm)
+            .collect();
         let workload = spec.app.workload(n);
+        let total_work = workload.total_work();
         let job_seeds = self.seeds.subtree(&format!("job-{}", spec.id.0));
-        let runner = JobRunner::new(&workload, n, &self.mpi, &job_seeds, ArbiterMode::Gated);
-        let mut nodes = nodes;
+        let mut runner = JobRunner::new(&workload, n, &self.mpi, &job_seeds, ArbiterMode::Gated);
+        if let Some(substep) = self.runner_max_substep {
+            runner.set_max_substep(substep);
+        }
         // Out-of-band enforcement when the job has no power-aware runtime:
         // the RM caps the nodes directly (paper Table 1, system layer:
         // "Out-of-band power and/or energy controls").
@@ -619,6 +831,9 @@ impl Scheduler {
                 spec.id, n, reservation_w, budget_w
             ),
         );
+        // Same conservative estimate the backfill pass uses for unstarted
+        // jobs: workload at reference speed with 50% margin.
+        let predicted_end = self.now + SimDuration::from_secs_f64(total_work * 1.5);
         self.running.push(RunningJob {
             spec,
             nodes,
@@ -632,22 +847,12 @@ impl Scheduler {
             endpoint,
             last_sample: (0.0, start_energy_j),
             efficiency_ema: None,
+            predicted_end,
         });
+        self.invalidate_accounting();
         if matches!(self.policy.assignment, PowerAssignment::FairShare) {
             self.rebalance_fair_share();
         }
-    }
-
-    /// Estimated completion time of a running job from progress so far.
-    fn estimated_end(&self, job: &RunningJob) -> SimTime {
-        let p = job.runner.progress_fraction();
-        let elapsed = self.now.since(job.start).as_secs_f64();
-        if p <= 1e-6 {
-            // No information yet; guess generously.
-            return self.now + SimDuration::from_secs(3600);
-        }
-        let total = elapsed / p;
-        job.start + SimDuration::from_secs_f64(total.max(elapsed))
     }
 
     /// Whether `spec` could ever be admitted, even on a fully idle system
@@ -676,7 +881,9 @@ impl Scheduler {
     }
 
     /// Run the scheduling pass: resume paused jobs, FCFS head, then EASY
-    /// backfill.
+    /// backfill. Clears the dirty flag: every input the pass reads is
+    /// event-stable, so until the next event a re-run cannot launch anything
+    /// this run did not.
     fn schedule(&mut self) {
         self.resume_paused();
         // Launch from the head while it fits; reject jobs that can never run
@@ -706,6 +913,7 @@ impl Scheduler {
                 None => break,
             }
         }
+        self.sched_dirty = false;
         if !self.backfill || self.queue.is_empty() {
             return;
         }
@@ -719,28 +927,26 @@ impl Scheduler {
         if !head_ready {
             return;
         }
-        // Head's earliest start ≈ when enough running jobs have finished.
+        // Head's earliest start ≈ when enough running jobs have finished,
+        // by their launch-time completion estimates.
         let head = self.queue.front().expect("nonempty").clone();
         let mut avail = self.idle.len();
         let mut shadow = SimTime::MAX;
-        for (job, end) in self
-            .running
-            .iter()
-            .map(|j| (j, self.estimated_end(j)))
-            .collect::<Vec<_>>()
-        {
+        for job in &self.running {
             if head.fit_nodes(avail).is_some() {
                 break;
             }
             avail += job.nodes.len();
-            shadow = end;
+            shadow = job.predicted_end;
         }
         if head.fit_nodes(self.idle.len()).is_some() {
             return; // head only blocked on power; skip backfill this pass
         }
         let mut i = 1; // skip the head
-        while i < self.queue.len() {
+        let mut examined = 0usize;
+        while i < self.queue.len() && examined < self.backfill_depth {
             let cand = self.queue[i].clone();
+            examined += 1;
             if cand.submit > self.now {
                 i += 1;
                 continue;
@@ -751,7 +957,7 @@ impl Scheduler {
                 let n = cand.fit_nodes(self.idle.len());
                 match n {
                     Some(n) => {
-                        let w = cand.app.workload(n).total_work();
+                        let w = self.cached_total_work(&cand, n);
                         self.now + SimDuration::from_secs_f64(w * 1.5)
                     }
                     None => SimTime::MAX,
@@ -845,11 +1051,54 @@ impl Scheduler {
                 format!("{} budget -> {share:.0} W", job.spec.id),
             );
         }
+        // New reservations change admission headroom: re-plan at this tick.
+        self.sched_dirty = true;
+        self.invalidate_accounting();
     }
 
-    /// Advance the whole system by `quantum`.
+    /// Pop and apply every event due at or before the current time, in
+    /// (time, kind, insertion) order.
+    fn fire_due_events(&mut self) {
+        while let Some(ev) = self.events.pop_due(self.now) {
+            match ev.kind {
+                EventKind::BudgetChange { budget_w, response } => {
+                    // The per-tick oracle gives every already-submitted job
+                    // its launch decision in the *previous* tick's
+                    // end-of-tick scheduling pass — before an unfired budget
+                    // change due at or before this instant applies at tick
+                    // top. The lean engine may have skipped that pass (the
+                    // arrival had not fired, so the dirty flag was clear),
+                    // so replay it here or the decision would see the new
+                    // budget instead of the old one.
+                    if self.queue.iter().any(|j| j.submit <= self.now) {
+                        self.schedule();
+                    }
+                    self.set_system_budget(budget_w, response);
+                }
+                EventKind::Arrival(_) => {
+                    self.sched_dirty = true;
+                }
+                // Bookkeeping markers: their pop advances the heap cursor.
+                EventKind::Tick | EventKind::Completion(_) => {}
+            }
+        }
+    }
+
+    /// Advance the whole system by `quantum` (the per-tick oracle step).
     pub fn step(&mut self, quantum: SimDuration) {
-        self.schedule();
+        self.step_impl(quantum, false);
+    }
+
+    /// One physics tick shared by both drain engines. `lean` is the
+    /// event-driven mode: the scheduling pass runs only when the dirty flag
+    /// is set, idle-node physics is deferred, and a tick marker enters the
+    /// event heap. Everything that touches node or job state is identical.
+    fn step_impl(&mut self, quantum: SimDuration, lean: bool) {
+        self.last_quantum = quantum;
+        self.fire_due_events();
+        if !lean || self.sched_dirty {
+            self.schedule();
+        }
         if let Some(period) = self.reassign_period {
             if self.now >= self.next_reassign {
                 self.dynamic_reassign();
@@ -884,12 +1133,27 @@ impl Scheduler {
             }
             self.allocated_node_seconds += job.nodes.len() as f64 * quantum.as_secs_f64();
         }
-        // Advance idle nodes.
-        for nm in &mut self.idle {
-            nm.step_idle(self.now, quantum);
+        if lean {
+            // Idle physics deferred until observed; mark the executed tick.
+            self.events.push(end, EventKind::Tick);
+        } else {
+            for slot in &mut self.idle {
+                Self::catch_up_idle(slot, self.now, quantum);
+                slot.nm.step_idle(self.now, quantum);
+                slot.synced_to = end;
+            }
         }
         self.now = end;
-        // Collect completions.
+        self.collect_completions();
+        // Post-completion scheduling so freed nodes are reused promptly.
+        if !lean || self.sched_dirty {
+            self.schedule();
+        }
+    }
+
+    /// Move completed jobs from the running set to the records, returning
+    /// their nodes to the idle pool.
+    fn collect_completions(&mut self) {
         let mut i = 0;
         while i < self.running.len() {
             if self.running[i].runner.is_complete() {
@@ -907,6 +1171,8 @@ impl Scheduler {
                     job.spec.id.0 as f64,
                     format!("{}", job.spec.id),
                 );
+                self.events
+                    .push(self.now, EventKind::Completion(job.spec.id));
                 self.records.push(JobRecord {
                     id: job.spec.id,
                     submit: job.spec.submit,
@@ -925,25 +1191,147 @@ impl Scheduler {
                 // their own, but RM-applied caps and any leftovers must go).
                 for mut nm in job.nodes {
                     nm.reset_all_knobs();
-                    self.idle.push(nm);
+                    self.idle.push(IdleSlot {
+                        nm,
+                        synced_to: self.now,
+                    });
                 }
+                self.sched_dirty = true;
+                self.invalidate_accounting();
             } else {
                 i += 1;
             }
         }
-        // Post-completion scheduling so freed nodes are reused promptly.
-        self.schedule();
     }
 
-    /// Run until all submitted jobs complete or `horizon` passes.
-    pub fn run_until_drained(&mut self, quantum: SimDuration, horizon: SimTime) {
-        while (!self.queue.is_empty() || !self.running.is_empty()) && self.now < horizon {
-            self.step(quantum);
+    /// First tick-grid point at or after `t`, anchored at the current time
+    /// (which always sits on the drain's grid).
+    fn grid_ceil(&self, t: SimTime, quantum: SimDuration) -> SimTime {
+        if t <= self.now {
+            return self.now;
+        }
+        let delta = t.since(self.now).as_micros();
+        let q = quantum.as_micros();
+        SimTime::from_micros(self.now.as_micros() + delta.div_ceil(q) * q)
+    }
+
+    /// Jump the clock to `target` (a grid point) without physics: nothing is
+    /// running, idle nodes catch up lazily, and the per-tick reassignment
+    /// bookkeeping is replayed arithmetically (a reassignment pass with no
+    /// running jobs is a no-op, so only `next_reassign` needs updating).
+    fn fast_forward(&mut self, target: SimTime, quantum: SimDuration) {
+        debug_assert!(self.running.is_empty());
+        if let Some(period) = self.reassign_period {
+            loop {
+                let due = self.next_reassign.max(self.now);
+                let fire = self.grid_ceil(due, quantum);
+                if fire >= target {
+                    break;
+                }
+                self.next_reassign = fire + period;
+            }
+        }
+        self.now = target;
+    }
+
+    /// Event-driven drain to `horizon` (no horizon grace pass): process
+    /// events in time order, tick only while jobs run or a pass is pending,
+    /// and leap over empty stretches. Stops once the queue and running set
+    /// drain or the clock reaches `horizon`.
+    pub fn run_until(&mut self, quantum: SimDuration, horizon: SimTime) {
+        assert!(!quantum.is_zero(), "quantum must be positive");
+        self.last_quantum = quantum;
+        loop {
+            if self.queue.is_empty() && self.running.is_empty() {
+                break;
+            }
+            if self.now >= horizon {
+                break;
+            }
+            self.fire_due_events();
+            if self.sched_dirty && self.running.is_empty() {
+                // The oracle's end-of-tick scheduling pass: decide freshly
+                // due arrivals at this instant before committing to a
+                // physics tick. When the pass drains the queue without
+                // launching (a permanent rejection), the oracle's loop exits
+                // here without another tick — so must this one.
+                self.schedule();
+                if self.queue.is_empty() && self.running.is_empty() {
+                    break;
+                }
+            }
+            if self.sched_dirty || !self.running.is_empty() {
+                self.step_impl(quantum, true);
+                continue;
+            }
+            // Nothing running and nothing re-plannable: leap to the next
+            // event's tick (or tick out the horizon for a stuck head, as the
+            // oracle would spin).
+            let target = match self.events.peek_time() {
+                Some(t) => self
+                    .grid_ceil(t, quantum)
+                    .min(self.grid_ceil(horizon, quantum)),
+                None => self.grid_ceil(horizon, quantum),
+            };
+            if target <= self.now {
+                self.step_impl(quantum, true);
+                continue;
+            }
+            self.fast_forward(target, quantum);
         }
     }
 
+    /// Run until all submitted jobs complete or `horizon` passes
+    /// (event-driven; a thin shim over [`Scheduler::run_until`] plus the
+    /// horizon grace pass).
+    pub fn run_until_drained(&mut self, quantum: SimDuration, horizon: SimTime) {
+        self.run_until(quantum, horizon);
+        self.horizon_grace();
+    }
+
+    /// Reference per-tick drain: the naive loop the event-driven engine must
+    /// match byte-for-byte. Kept as the equivalence oracle for tests and as
+    /// documentation of the baseline cost model.
+    pub fn run_until_drained_per_tick(&mut self, quantum: SimDuration, horizon: SimTime) {
+        while (!self.queue.is_empty() || !self.running.is_empty()) && self.now < horizon {
+            self.step_impl(quantum, false);
+        }
+        self.horizon_grace();
+    }
+
+    /// Record jobs whose physics finishes exactly at the drain horizon.
+    ///
+    /// The drain loops stop at `now >= horizon`, so a job whose remaining
+    /// work rounds to the horizon boundary (the integrator quantizes
+    /// substeps to whole microseconds, rounding up) would sit complete-but-
+    /// uncollected and its record would be dropped. One microsecond of extra
+    /// physics collects exactly that class; jobs genuinely unfinished at the
+    /// horizon stay unrecorded, and a drain that finished early is a no-op.
+    fn horizon_grace(&mut self) {
+        if self.running.is_empty() || self.running.iter().all(|j| j.paused.is_some()) {
+            return;
+        }
+        let eps = SimDuration::from_micros(1);
+        let end = self.now + eps;
+        for job in &mut self.running {
+            if job.paused.is_some() {
+                continue;
+            }
+            let mut agent_refs: Vec<&mut dyn RuntimeAgent> = job
+                .agents
+                .iter_mut()
+                .map(|b| b.as_mut() as &mut dyn RuntimeAgent)
+                .collect();
+            job.runner
+                .advance(self.now, end, &mut job.nodes, &mut agent_refs);
+            self.allocated_node_seconds += job.nodes.len() as f64 * eps.as_secs_f64();
+        }
+        self.now = end;
+        self.collect_completions();
+    }
+
     /// Aggregate metrics at the current time.
-    pub fn metrics(&self) -> SchedulerMetrics {
+    pub fn metrics(&mut self) -> SchedulerMetrics {
         let hours = self.now.as_secs_f64() / 3600.0;
         let completed = self.records.len();
         let mean_wait_s = if completed == 0 {
@@ -956,6 +1344,7 @@ impl Scheduler {
                 / completed as f64
         };
         let capacity = self.total_nodes as f64 * self.now.as_secs_f64();
+        let system_energy_j = self.system_energy_j();
         SchedulerMetrics {
             completed,
             jobs_per_hour: if hours > 0.0 {
@@ -969,9 +1358,9 @@ impl Scheduler {
             } else {
                 0.0
             },
-            system_energy_j: self.system_energy_j(),
+            system_energy_j,
             mean_system_power_w: if self.now.as_secs_f64() > 0.0 {
-                self.system_energy_j() / self.now.as_secs_f64()
+                system_energy_j / self.now.as_secs_f64()
             } else {
                 0.0
             },
@@ -1402,5 +1791,75 @@ mod tests {
         assert_eq!(s.running(), 0, "job must not start before submit time");
         s.run_until_drained(SimDuration::from_secs(1), SimTime::from_secs(3600));
         assert!(s.records()[0].start >= SimTime::from_secs(100));
+    }
+
+    #[test]
+    fn horizon_boundary_completion_is_recorded() {
+        // Find the exact completion time, then re-run with the horizon cut
+        // to that boundary: the record must survive in both engines across
+        // quanta (the off-by-one class this locks in).
+        let full = {
+            let mut s = sched(2, SystemPowerPolicy::unlimited());
+            s.submit(small_job(1, 2, 0));
+            s.run_until_drained(SimDuration::from_secs(1), SimTime::from_secs(3600));
+            s.records()[0].end
+        };
+        for quantum_ms in [250u64, 1000, 3000] {
+            let q = SimDuration::from_millis(quantum_ms);
+            let mut ev = sched(2, SystemPowerPolicy::unlimited());
+            ev.submit(small_job(1, 2, 0));
+            ev.run_until_drained(q, full);
+            assert_eq!(
+                ev.records().len(),
+                1,
+                "event engine drops a horizon-boundary completion at q={quantum_ms}ms"
+            );
+            assert!(ev.records()[0].end <= full + SimDuration::from_micros(1));
+            let mut pt = sched(2, SystemPowerPolicy::unlimited());
+            pt.submit(small_job(1, 2, 0));
+            pt.run_until_drained_per_tick(q, full);
+            assert_eq!(
+                pt.records().len(),
+                1,
+                "per-tick engine drops a horizon-boundary completion at q={quantum_ms}ms"
+            );
+        }
+    }
+
+    #[test]
+    fn scheduled_budget_change_matches_manual_call() {
+        // A budget cut scheduled through the event heap must land at the
+        // same tick as a manual set_system_budget between steps.
+        let policy = || SystemPowerPolicy::budgeted(2000.0, PowerAssignment::Unconstrained);
+        let mut manual = sched(2, policy());
+        manual.submit(small_job(1, 1, 0));
+        manual.submit(small_job(2, 1, 0));
+        for _ in 0..5 {
+            manual.step(SimDuration::from_secs(1));
+        }
+        manual.set_system_budget(Some(700.0), EmergencyResponse::PauseJobs);
+        manual.run_until_drained(SimDuration::from_secs(1), SimTime::from_secs(3600));
+
+        let mut scheduled = sched(2, policy());
+        scheduled.submit(small_job(1, 1, 0));
+        scheduled.submit(small_job(2, 1, 0));
+        scheduled.schedule_budget_change(
+            SimTime::from_secs(5),
+            Some(700.0),
+            EmergencyResponse::PauseJobs,
+        );
+        scheduled.run_until_drained(SimDuration::from_secs(1), SimTime::from_secs(3600));
+
+        assert_eq!(manual.records().len(), scheduled.records().len());
+        for (a, b) in manual.records().iter().zip(scheduled.records()) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.end, b.end);
+            assert_eq!(a.energy_j.to_bits(), b.energy_j.to_bits());
+        }
+        assert_eq!(
+            scheduled.trace().of_kind("job_pause").count(),
+            1,
+            "scheduled cut must pause exactly as the manual one"
+        );
     }
 }

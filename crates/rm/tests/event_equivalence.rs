@@ -1,0 +1,304 @@
+//! Equivalence proof for the event-driven scheduler engine.
+//!
+//! The event-driven drain ([`Scheduler::run_until`]) must produce **byte
+//! identical** results to the retired per-tick loop (kept as
+//! [`Scheduler::run_until_drained_per_tick`], the oracle): same `JobRecord`
+//! stream, same energy accounting to the last mantissa bit, same metrics.
+//! A proptest grid sweeps (seed × quantum × arrival pattern × power policy ×
+//! budget-change script); deterministic tests pin the fig1/fig3 workload
+//! shapes with their published seeds; and a kill-at-decile test proves the
+//! event heap round-trips through `pstack-ckpt` snapshots mid-drain.
+
+use proptest::prelude::*;
+use pstack_apps::synthetic::random_app;
+use pstack_ckpt::{read_snapshot, write_snapshot, ScratchDir};
+use pstack_hwmodel::{NodeConfig, VariationModel};
+use pstack_node::NodeManager;
+use pstack_rm::policy::{PowerAssignment, SystemPowerPolicy};
+use pstack_rm::scheduler::{EmergencyResponse, JobRecord, Scheduler};
+use pstack_rm::spec::{AgentKind, JobSpec};
+use pstack_rm::EventHeap;
+use pstack_runtime::GeopmPolicy;
+use pstack_sim::{SeedTree, SimDuration, SimTime};
+use rand::Rng;
+use serde::Deserialize;
+use std::sync::Arc;
+
+/// Scenario knobs the property grid sweeps.
+#[derive(Debug, Clone)]
+struct Scenario {
+    seed: u64,
+    n_nodes: usize,
+    n_jobs: usize,
+    quantum_ms: u64,
+    arrival_pattern: u8,
+    policy_kind: u8,
+    budget_script: bool,
+}
+
+fn build_scheduler(sc: &Scenario) -> Scheduler {
+    let seeds = SeedTree::new(sc.seed);
+    let nodes = NodeManager::fleet(
+        sc.n_nodes,
+        NodeConfig::server_default(),
+        &VariationModel::typical(),
+        &seeds,
+    );
+    let policy = match sc.policy_kind {
+        0 => SystemPowerPolicy::unlimited(),
+        1 => SystemPowerPolicy::budgeted(
+            450.0 * sc.n_nodes as f64 * 0.6,
+            PowerAssignment::Unconstrained,
+        ),
+        _ => {
+            SystemPowerPolicy::budgeted(400.0 * sc.n_nodes as f64 * 0.7, PowerAssignment::FairShare)
+        }
+    };
+    let mut sched = Scheduler::new(nodes, policy, seeds.subtree("sched"));
+    if sc.policy_kind == 2 {
+        sched = sched.with_dynamic_power_reassignment(SimDuration::from_secs(10));
+    }
+    let mut rng = seeds.rng("arrivals");
+    let mut t = 0u64;
+    for i in 0..sc.n_jobs {
+        let mut app = random_app(&seeds, i as u64);
+        // Shrink to seconds-scale jobs so the per-tick oracle stays cheap.
+        app.work_per_node *= 0.02;
+        let nodes_wanted = 1usize << rng.gen_range(0..3);
+        let agent = match rng.gen_range(0..3) {
+            0 => AgentKind::None,
+            1 => AgentKind::Geopm(GeopmPolicy::PowerGovernor { node_cap_w: 350.0 }),
+            _ => AgentKind::Geopm(GeopmPolicy::PowerBalancer { job_budget_w: 1.0 }),
+        };
+        sched.submit(
+            JobSpec::rigid(i as u64, Arc::new(app), nodes_wanted, SimTime::from_secs(t))
+                .with_agent(agent),
+        );
+        t += match sc.arrival_pattern {
+            // Everything at t = 0: a pure backlog drain.
+            0 => 0,
+            // Steady trickle (the fig3 idiom).
+            1 => rng.gen_range(5..30),
+            // Bursty: clumps separated by long silences — exercises the
+            // event engine's fast-forward leaps over empty stretches.
+            2 => {
+                if i % 4 == 3 {
+                    rng.gen_range(300..900)
+                } else {
+                    0
+                }
+            }
+            // Front load then a dead gap before a late straggler.
+            _ => {
+                if i == sc.n_jobs - 2 {
+                    3600
+                } else {
+                    rng.gen_range(0..10)
+                }
+            }
+        };
+    }
+    if sc.budget_script {
+        // A rolling demand-response script: cut hard mid-drain, then restore.
+        let site = 450.0 * sc.n_nodes as f64;
+        sched.schedule_budget_change(
+            SimTime::from_secs(40),
+            Some(site * 0.35),
+            EmergencyResponse::PauseJobs,
+        );
+        sched.schedule_budget_change(
+            SimTime::from_secs(90),
+            Some(site * 0.5),
+            EmergencyResponse::TightenCaps,
+        );
+        // FairShare admission requires a finite budget, so "restore" means
+        // back to the full site budget there; otherwise lift the cap.
+        let restore = if sc.policy_kind == 2 {
+            Some(site)
+        } else {
+            None
+        };
+        sched.schedule_budget_change(
+            SimTime::from_secs(200),
+            restore,
+            EmergencyResponse::PauseJobs,
+        );
+    }
+    sched
+}
+
+/// Bitwise comparison of two record streams: every field, with floats
+/// compared by `to_bits` so "close" can never pass for "equal".
+fn assert_records_identical(event: &[JobRecord], tick: &[JobRecord]) {
+    assert_eq!(event.len(), tick.len(), "record counts differ");
+    for (a, b) in event.iter().zip(tick.iter()) {
+        assert_eq!(a.id, b.id, "record order/id");
+        assert_eq!(a.submit, b.submit, "{}: submit", a.id);
+        assert_eq!(a.start, b.start, "{}: start", a.id);
+        assert_eq!(a.end, b.end, "{}: end", a.id);
+        assert_eq!(a.nodes, b.nodes, "{}: nodes", a.id);
+        assert_eq!(
+            a.power_budget_w.map(f64::to_bits),
+            b.power_budget_w.map(f64::to_bits),
+            "{}: power budget bits",
+            a.id
+        );
+        assert_eq!(
+            a.energy_j.to_bits(),
+            b.energy_j.to_bits(),
+            "{}: energy bits ({} vs {})",
+            a.id,
+            a.energy_j,
+            b.energy_j
+        );
+        assert_eq!(a.work.to_bits(), b.work.to_bits(), "{}: work bits", a.id);
+    }
+}
+
+fn assert_engines_agree(sc: &Scenario, horizon_s: u64) {
+    let quantum = SimDuration::from_millis(sc.quantum_ms);
+    let horizon = SimTime::from_secs(horizon_s);
+
+    let mut event = build_scheduler(sc);
+    let mut tick = build_scheduler(sc);
+    event.run_until_drained(quantum, horizon);
+    tick.run_until_drained_per_tick(quantum, horizon);
+
+    assert_records_identical(event.records(), tick.records());
+    assert_eq!(event.rejected(), tick.rejected(), "rejected sets");
+    assert_eq!(event.now(), tick.now(), "final clocks");
+    assert_eq!(
+        event.system_energy_j().to_bits(),
+        tick.system_energy_j().to_bits(),
+        "site energy accounting bits"
+    );
+    assert_eq!(event.metrics(), tick.metrics(), "aggregate metrics");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(14))]
+
+    /// The grid the tentpole promises: over random seeds, quanta, arrival
+    /// patterns, policies and budget-change scripts, the event engine's
+    /// record stream and energy accounting are byte-identical to the
+    /// per-tick oracle's.
+    #[test]
+    fn event_engine_matches_per_tick_oracle(
+        seed in 1u64..10_000,
+        quantum_pick in 0u8..3,
+        arrival_pattern in 0u8..4,
+        policy_kind in 0u8..3,
+        budget_pick in 0u8..2,
+    ) {
+        let sc = Scenario {
+            seed,
+            n_nodes: 8,
+            n_jobs: 10,
+            quantum_ms: [250, 1_000, 3_000][quantum_pick as usize],
+            arrival_pattern,
+            policy_kind,
+            budget_script: budget_pick == 1,
+        };
+        eprintln!("case: {sc:?}");
+        assert_engines_agree(&sc, 4 * 3600);
+    }
+}
+
+/// The fig3 workload shape at its published seed (20200902, the trace-replay
+/// anchor used across the experiments) under the fully-dynamic policy — the
+/// configuration with the most moving parts: fair-share budgets, dynamic
+/// reassignment, balancer agents.
+#[test]
+fn fig3_workload_seed_byte_identity() {
+    let sc = Scenario {
+        seed: 20200902,
+        n_nodes: 16,
+        n_jobs: 24,
+        quantum_ms: 1_000,
+        arrival_pattern: 1,
+        policy_kind: 2,
+        budget_script: false,
+    };
+    assert_engines_agree(&sc, 24 * 3600);
+}
+
+/// The fig1 workload shape: unconstrained power, heterogeneous agents, a
+/// backlogged queue — the pure scheduling/backfill path.
+#[test]
+fn fig1_workload_seed_byte_identity() {
+    let sc = Scenario {
+        seed: 20200902,
+        n_nodes: 8,
+        n_jobs: 16,
+        quantum_ms: 1_000,
+        arrival_pattern: 0,
+        policy_kind: 0,
+        budget_script: false,
+    };
+    assert_engines_agree(&sc, 24 * 3600);
+}
+
+/// Demand-response scripts land identically through the event heap.
+#[test]
+fn budget_script_byte_identity_across_quanta() {
+    for &q in &[250u64, 1_000, 3_000] {
+        let sc = Scenario {
+            seed: 7,
+            n_nodes: 8,
+            n_jobs: 12,
+            quantum_ms: q,
+            arrival_pattern: 2,
+            policy_kind: 1,
+            budget_script: true,
+        };
+        assert_engines_agree(&sc, 8 * 3600);
+    }
+}
+
+/// Kill-at-decile resume: drive the event engine in ten horizon slices, and
+/// at every slice boundary round-trip the event heap through a `pstack-ckpt`
+/// snapshot (serialize → write → read → deserialize → restore). The final
+/// record stream must be byte-identical to an uninterrupted drain — i.e. the
+/// heap's wire form carries everything the engine needs to resume.
+#[test]
+fn kill_at_decile_resume_round_trips_event_heap() {
+    let sc = Scenario {
+        seed: 1234,
+        n_nodes: 8,
+        n_jobs: 12,
+        quantum_ms: 1_000,
+        arrival_pattern: 2,
+        policy_kind: 2,
+        budget_script: true,
+    };
+    let quantum = SimDuration::from_millis(sc.quantum_ms);
+    let horizon_s = 8 * 3600u64;
+    let horizon = SimTime::from_secs(horizon_s);
+
+    let mut reference = build_scheduler(&sc);
+    reference.run_until_drained(quantum, horizon);
+
+    let scratch = ScratchDir::new("event-heap-deciles");
+    let mut segmented = build_scheduler(&sc);
+    for decile in 1..=10u64 {
+        segmented.run_until(quantum, SimTime::from_secs(horizon_s * decile / 10));
+        let path = scratch.path().join(format!("heap-{decile}.snap"));
+        write_snapshot(&path, segmented.events()).expect("snapshot heap");
+        let value = read_snapshot(&path).expect("read heap snapshot");
+        let restored = EventHeap::from_value(&value).expect("decode heap");
+        assert_eq!(
+            &restored,
+            segmented.events(),
+            "decile {decile}: heap wire round-trip"
+        );
+        segmented.restore_events(restored);
+    }
+    segmented.run_until_drained(quantum, horizon);
+
+    assert_records_identical(segmented.records(), reference.records());
+    assert_eq!(
+        segmented.system_energy_j().to_bits(),
+        reference.system_energy_j().to_bits(),
+        "energy accounting after resume"
+    );
+}

@@ -149,6 +149,14 @@ impl JobRunner {
         self.cursors.len()
     }
 
+    /// Override the integration substep ceiling (default 250 ms). Coarser
+    /// substeps trade power-model resolution for wall-clock speed at fleet
+    /// scale; the choice is part of the simulation's deterministic inputs.
+    pub fn set_max_substep(&mut self, substep: SimDuration) {
+        assert!(!substep.is_zero(), "substep must be positive");
+        self.max_substep = substep;
+    }
+
     /// Whether every phase on every node has completed.
     pub fn is_complete(&self) -> bool {
         self.completed_at.is_some()

@@ -66,6 +66,10 @@ pub const FAULTS_SLOWDOWNS: &str = "faults.evaluator.slowdowns";
 pub const HISTORY_APPENDS: &str = "history.appends";
 /// The in-process append/compaction gate in `pstack_history::HistoryStore`.
 pub const HISTORY_SHARD: &str = "history.shard";
+/// The processed-event counter in `pstack_rm::fleet::EnclaveSet`.
+pub const RM_EVENTS: &str = "rm.events";
+/// The site aggregation tree in `pstack_rm::fleet::EnclaveSet`.
+pub const RM_SITE_TREE: &str = "rm.site_tree";
 
 /// Every declared site, in stable label order.
 pub fn all() -> &'static [SiteDecl] {
@@ -129,6 +133,23 @@ pub fn all() -> &'static [SiteDecl] {
                        the cross-process advisory lock file and bumps the history.appends \
                        diagnostics counter (declared ranked above it); no other in-process \
                        primitive is acquired under it.",
+        },
+        SiteDecl {
+            label: RM_EVENTS,
+            kind: SiteKind::Atomic,
+            owner: "pstack-rm",
+            ordering: "Relaxed fetch_add/load: a monotone diagnostics counter of scheduler \
+                       events processed across an enclave drain. Enclaves drain one at a \
+                       time on the driver thread and readers consult the total only after \
+                       the drain returns, so atomicity alone is the whole contract.",
+        },
+        SiteDecl {
+            label: RM_SITE_TREE,
+            kind: SiteKind::Mutex,
+            owner: "pstack-rm",
+            ordering: "Protects the GEOPM-style site aggregation tree while per-enclave \
+                       metrics are folded up to the root. Leaf lock: nothing else is \
+                       acquired while it is held.",
         },
         SiteDecl {
             label: TRACE_RING,

@@ -8,24 +8,63 @@ use pstack_sim::{SimDuration, SimTime};
 /// The value is treated as a **step function**: a sample's value holds from its
 /// timestamp until the next sample. This matches how the simulator produces
 /// telemetry (state changes at discrete events) and makes `∫ value dt` exact.
+/// Unbounded by default; see [`TimeSeries::set_bound`] for the fleet-scale
+/// ring mode that retains only recent samples while keeping full-range
+/// integrals exact.
 #[derive(Debug, Clone, Default)]
 pub struct TimeSeries {
     samples: Vec<Sample>,
+    /// Retain at least this many most-recent samples (`None` = keep all).
+    bound: Option<usize>,
+    /// First-ever sample time (survives eviction).
+    origin: Option<SimTime>,
+    /// Samples evicted so far.
+    evicted: u64,
+    /// Exact step integral over the evicted prefix `[origin, boundary)`,
+    /// accumulated in push order so a full-range [`TimeSeries::integrate`]
+    /// stays bit-identical to the unbounded series.
+    evicted_integral: f64,
 }
 
 impl TimeSeries {
     /// Empty series.
     pub fn new() -> Self {
-        TimeSeries {
-            samples: Vec::new(),
-        }
+        TimeSeries::default()
     }
 
     /// Empty series with preallocated capacity.
     pub fn with_capacity(n: usize) -> Self {
         TimeSeries {
             samples: Vec::with_capacity(n),
+            ..TimeSeries::default()
         }
+    }
+
+    /// Empty series retaining at least the `bound` most recent samples.
+    pub fn bounded(bound: usize) -> Self {
+        let mut ts = TimeSeries::new();
+        ts.set_bound(Some(bound));
+        ts
+    }
+
+    /// Bound (or unbound) the retained window: at least the `bound` most
+    /// recent samples are kept, older ones are folded into the exact
+    /// evicted-prefix integral. Full-range integrals and means (windows
+    /// starting at or before the first-ever sample) remain exact — bit for
+    /// bit what the unbounded series would return; windowed queries must not
+    /// reach into the evicted prefix. Fleet-scale runs use this to hold
+    /// per-node telemetry at O(bound) instead of O(simulated time).
+    pub fn set_bound(&mut self, bound: Option<usize>) {
+        if let Some(b) = bound {
+            assert!(b >= 2, "bound must retain at least 2 samples");
+        }
+        self.bound = bound;
+        self.evict_excess();
+    }
+
+    /// Samples evicted into the prefix integral so far.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
     }
 
     /// Append a sample.
@@ -42,7 +81,28 @@ impl TimeSeries {
                 last.time
             );
         }
+        if self.origin.is_none() {
+            self.origin = Some(time);
+        }
         self.samples.push(Sample { time, value });
+        self.evict_excess();
+    }
+
+    /// Fold the oldest samples into the evicted-prefix integral once the
+    /// buffer holds twice the bound (amortized O(1) per push; the retained
+    /// window floats between `bound` and `2*bound` samples).
+    fn evict_excess(&mut self) {
+        let Some(bound) = self.bound else { return };
+        if self.samples.len() < bound.saturating_mul(2) {
+            return;
+        }
+        let k = self.samples.len() - bound;
+        for i in 0..k {
+            let step = self.samples[i + 1].time.since(self.samples[i].time);
+            self.evicted_integral += self.samples[i].value * step.as_secs_f64();
+        }
+        self.samples.drain(..k);
+        self.evicted += k as u64;
     }
 
     /// Number of samples.
@@ -86,11 +146,38 @@ impl TimeSeries {
     /// For a power series in watts this is the energy in joules. The value
     /// before the first sample is taken as 0; the last sample's value holds
     /// until `to`.
+    ///
+    /// On a bounded series, windows starting at or before the first-ever
+    /// sample include the evicted-prefix carry and return exactly (bit for
+    /// bit) what the unbounded series would; windows that start or end
+    /// strictly inside the evicted prefix panic rather than answer wrong.
     pub fn integrate(&self, from: SimTime, to: SimTime) -> f64 {
         if to <= from || self.samples.is_empty() {
             return 0.0;
         }
-        let mut total = 0.0;
+        if self.evicted > 0 {
+            let boundary = self.samples[0].time;
+            let origin = self.origin.expect("evicted implies a first sample");
+            assert!(
+                to >= boundary,
+                "integration window ends inside evicted history"
+            );
+            if from <= origin {
+                return self.fold_retained(boundary, to, self.evicted_integral);
+            }
+            assert!(
+                from >= boundary,
+                "integration window starts inside evicted history"
+            );
+        }
+        self.fold_retained(from, to, 0.0)
+    }
+
+    /// Left-fold of the retained step integral over `[from, to]` starting
+    /// from `init` — the same accumulation order as an unbounded series, so
+    /// the bounded result is bit-identical, not merely close.
+    fn fold_retained(&self, from: SimTime, to: SimTime, init: f64) -> f64 {
+        let mut total = init;
         let mut prev_t = from;
         let mut prev_v = self.value_at(from).unwrap_or(0.0);
         for s in &self.samples {
@@ -279,6 +366,60 @@ mod tests {
         let mut ts = TimeSeries::new();
         ts.push(s(5), 1.0);
         ts.push(s(4), 1.0);
+    }
+
+    #[test]
+    fn bounded_series_full_range_integral_is_bit_identical() {
+        let mut full = TimeSeries::new();
+        let mut ring = TimeSeries::bounded(8);
+        for i in 0..1000u64 {
+            let v = (i as f64 * 0.37).sin() * 100.0 + 150.0;
+            full.push(s(i), v);
+            ring.push(s(i), v);
+        }
+        assert!(ring.evicted() > 0, "eviction must have occurred");
+        assert!(ring.len() <= 16, "retained window stays bounded");
+        let a = full.integrate(s(0), s(1500));
+        let b = ring.integrate(s(0), s(1500));
+        assert_eq!(a.to_bits(), b.to_bits(), "{a} vs {b}");
+        assert_eq!(
+            full.mean(s(0), s(1000)).to_bits(),
+            ring.mean(s(0), s(1000)).to_bits()
+        );
+    }
+
+    #[test]
+    fn bounded_series_recent_window_queries_still_work() {
+        let mut ring = TimeSeries::bounded(4);
+        for i in 0..100u64 {
+            ring.push(s(i), i as f64);
+        }
+        let boundary = ring.samples()[0].time;
+        assert!(boundary > s(0));
+        // Recent windows behave exactly as before.
+        assert_eq!(ring.value_at(s(99)), Some(99.0));
+        assert!((ring.integrate(s(98), s(99)) - 98.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "starts inside evicted history")]
+    fn bounded_series_rejects_window_into_evicted_prefix() {
+        let mut ring = TimeSeries::bounded(4);
+        for i in 0..100u64 {
+            ring.push(s(i), 1.0);
+        }
+        // Starts after the origin but before the retained boundary.
+        let _ = ring.integrate(s(5), s(99));
+    }
+
+    #[test]
+    fn unbounded_series_never_evicts() {
+        let mut ts = TimeSeries::new();
+        for i in 0..100u64 {
+            ts.push(s(i), 1.0);
+        }
+        assert_eq!(ts.evicted(), 0);
+        assert_eq!(ts.len(), 100);
     }
 
     #[test]

@@ -64,6 +64,24 @@ stage_history() {
     cargo run -q --release -p pstack-bench --bin bench_history
 }
 
+stage_fleet() {
+    echo "== fleet-scale event engine (equivalence grid + 4k-node/50k-job ladder) =="
+    cargo test -q -p pstack-rm --test event_equivalence
+    cargo run -q --release -p pstack-bench --bin bench_fleet
+}
+
+stage_perfgate() {
+    echo "== perf-regression gate (fresh artifacts vs committed results/) =="
+    local fresh=target/perfgate
+    rm -rf "$fresh"
+    mkdir -p "$fresh"
+    POWERSTACK_RESULTS_DIR="$fresh" cargo run -q --release -p pstack-bench --bin bench_evalthroughput
+    POWERSTACK_RESULTS_DIR="$fresh" cargo run -q --release -p pstack-bench --bin ext_thermal
+    POWERSTACK_RESULTS_DIR="$fresh" cargo run -q --release -p pstack-bench --bin ext_new_runtimes
+    cargo run -q --release -p pstack-bench --bin bench_diff -- results "$fresh" \
+        --require bench_evalthroughput --require ext_thermal --require ext_new_runtimes
+}
+
 stage_clippy() {
     echo "== cargo clippy -- -D warnings =="
     cargo clippy --workspace --all-targets -- -D warnings
@@ -74,7 +92,7 @@ stage_lint() {
     cargo run -q --release -p pstack-analyze --bin pstack_lint
 }
 
-ALL_STAGES=(fmt build test chaos resume golden perf conc history clippy lint)
+ALL_STAGES=(fmt build test chaos resume golden perf conc history fleet perfgate clippy lint)
 
 list_stages() {
     for s in "${ALL_STAGES[@]}"; do
@@ -106,6 +124,8 @@ for s in "${stages[@]}"; do
         perf) stage_perf ;;
         conc | concurrency) stage_conc ;;
         history) stage_history ;;
+        fleet) stage_fleet ;;
+        perfgate | perf-gate) stage_perfgate ;;
         clippy) stage_clippy ;;
         lint | pstack_lint) stage_lint ;;
         *)
