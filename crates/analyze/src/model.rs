@@ -17,7 +17,7 @@ use pstack_autotune::{
     shipped_algorithms, Config, ParamSpace, RetryPolicy, SNAPSHOT_FORMAT_VERSION,
     WAL_FORMAT_VERSION,
 };
-use pstack_faults::FaultPlan;
+use pstack_faults::{FaultPlan, FleetFaultPlan};
 use pstack_history::{HistoryStore, SpaceShape, HISTORY_FORMAT_VERSION};
 use pstack_hwmodel::NodeConfig;
 use std::path::PathBuf;
@@ -160,7 +160,8 @@ impl AlgorithmSchema {
 /// and [`pstack_rm::shard_budgets`] over the fleet-experiment enclave
 /// layout — and records what happened. The rule then checks the recording:
 /// pop times never regress past the cursor, same-instant events fire in
-/// rank order (budget change → arrival → tick → completion), event counts
+/// rank order (budget change → fault events → arrival → tick →
+/// completion), event counts
 /// are conserved, and the enclave shards sum to the site budget
 /// bit-for-bit. Tests hand the rule deliberately-broken recordings.
 pub struct EventModelSpec {
@@ -191,11 +192,24 @@ impl EventModelSpec {
 
         let t = SimTime::from_secs;
         let mut heap = EventHeap::new();
-        // Out-of-order pushes, plus a same-instant cluster at t=40 pushed in
-        // reverse rank order — pop order must restore rank order.
+        // Out-of-order pushes, plus a same-instant cluster at t=40 covering
+        // all nine kinds pushed in reverse rank order — pop order must
+        // restore rank order (budget change → faults → arrival → tick →
+        // completion).
         heap.push(t(40), EventKind::Completion(pstack_rm::JobId(7)));
         heap.push(t(40), EventKind::Tick);
         heap.push(t(40), EventKind::Arrival(pstack_rm::JobId(3)));
+        heap.push(t(40), EventKind::TelemetryDropout { until: t(100) });
+        heap.push(
+            t(40),
+            EventKind::CapStick {
+                node: 2,
+                until: t(100),
+            },
+        );
+        heap.push(t(40), EventKind::JobFail(pstack_rm::JobId(5)));
+        heap.push(t(40), EventKind::NodeRecover { node: 1 });
+        heap.push(t(40), EventKind::NodeFail { node: 1 });
         heap.push(
             t(40),
             EventKind::BudgetChange {
@@ -206,7 +220,7 @@ impl EventModelSpec {
         heap.push(t(10), EventKind::Arrival(pstack_rm::JobId(1)));
         heap.push(t(90), EventKind::Tick);
         heap.push(t(5), EventKind::Arrival(pstack_rm::JobId(0)));
-        let mut pushed = 7usize;
+        let mut pushed = 12usize;
 
         let mut popped = Vec::new();
         let mut retro_done = false;
@@ -275,6 +289,10 @@ pub struct FrameworkModel {
     /// Every fault plan the chaos experiments run (PSA012 checks rates and
     /// factors; unique names).
     pub fault_plans: Vec<FaultPlan>,
+    /// Every fleet-scale fault plan the E11 chaos grid runs (PSA021 checks
+    /// rates, requeue budgets, outage windows, unique names, and that the
+    /// catalog keeps both a quiescent control and a genuinely mixed plan).
+    pub fleet_fault_plans: Vec<FleetFaultPlan>,
     /// The retry policy the resilient tuning loop runs with (PSA013 checks
     /// its budgets are feasible).
     pub retry: RetryPolicy,
@@ -324,6 +342,7 @@ impl FrameworkModel {
             system_reserve_fraction: powerstack_core::ObjectiveTranslator::default()
                 .system_reserve_fraction,
             fault_plans: FaultPlan::catalog(),
+            fleet_fault_plans: FleetFaultPlan::catalog(),
             retry: RetryPolicy::default(),
             algorithms: shipped_algorithms()
                 .iter_mut()

@@ -1,6 +1,6 @@
 //! The lint rules.
 //!
-//! Every rule is a [`Lint`] with a stable ID (`PSA001`..`PSA020`), a
+//! Every rule is a [`Lint`] with a stable ID (`PSA001`..`PSA021`), a
 //! one-line description, and a pure `check` over a [`FrameworkModel`].
 //! Rules never mutate anything and never read the environment, so the
 //! report for a given model is byte-deterministic. [`registry`] returns
@@ -53,6 +53,7 @@ pub fn registry() -> Vec<Box<dyn Lint>> {
         Box::new(RawSyncPrimitives),
         Box::new(HistoryKeySanity),
         Box::new(EventScheduleSanity),
+        Box::new(FleetFaultPlanSanity),
     ]
 }
 
@@ -1806,7 +1807,8 @@ impl Lint for HistoryKeySanity {
 /// model's recorded [`EventModelSpec`](crate::model::EventModelSpec)
 /// exercise — the heap cursor never regresses (a retroactive push may fire
 /// late, but can never pull processed time backwards), same-instant events
-/// pop in rank order (budget change → arrival → tick → completion), every
+/// pop in rank order (budget change → fault events → arrival → tick →
+/// completion), every
 /// pushed event is either popped or still pending (none lost), and the
 /// per-enclave power-budget shards are finite, nonnegative, and sum to the
 /// site budget *bit-for-bit* (hierarchical aggregation must conserve the
@@ -1815,11 +1817,21 @@ pub struct EventScheduleSanity;
 
 impl EventScheduleSanity {
     fn kind_rank(label: &str) -> Option<u32> {
+        // Mirrors `EventKind::rank` in pstack-rm: budget changes gate
+        // everything at an instant, fault events (node crash/reboot, job
+        // kill, stuck actuator, telemetry dropout) apply before the
+        // arrivals they degrade, arrivals precede the tick that schedules
+        // them, completions come last.
         match label {
             "budget_change" => Some(0),
-            "arrival" => Some(1),
-            "tick" => Some(2),
-            "completion" => Some(3),
+            "node_fail" => Some(1),
+            "node_recover" => Some(2),
+            "job_fail" => Some(3),
+            "cap_stick" => Some(4),
+            "telemetry_dropout" => Some(5),
+            "arrival" => Some(6),
+            "tick" => Some(7),
+            "completion" => Some(8),
             _ => None,
         }
     }
@@ -1889,7 +1901,7 @@ impl Lint for EventScheduleSanity {
         }
 
         // Same-instant rank order: adjacent pops at one fire time must go
-        // budget change → arrival → tick → completion.
+        // budget change → fault events → arrival → tick → completion.
         for (i, pair) in ev.popped.windows(2).enumerate() {
             let (ta, _, la) = &pair[0];
             let (tb, _, lb) = &pair[1];
@@ -1981,6 +1993,86 @@ impl Lint for EventScheduleSanity {
     }
 }
 
+// ---------------------------------------------------------------------------
+// PSA021 — fleet-fault-plan sanity
+// ---------------------------------------------------------------------------
+
+/// PSA021: every fleet-scale fault plan the E11 chaos grid injects must be
+/// internally coherent — probabilities in `[0, 1]`, MTBF/MTTR and outage
+/// windows positive, and a requeue budget (`max_retries ≥ 1`) wherever job
+/// failures are enabled, since a zero-retry plan silently turns every
+/// injected job failure into a permanent loss and the conservation SLO can
+/// no longer distinguish a scheduler bug from the plan's own bookkeeping.
+/// The per-plan substance lives in
+/// [`pstack_faults::FleetFaultPlan::check`]; this rule runs it over the
+/// model and adds cross-plan checks: unique names, a quiescent control plan
+/// (no active fault classes — the grid's fault-free baseline), and at least
+/// one genuinely mixed plan (≥ 4 classes) so the chaos grid exercises fault
+/// interactions, not just isolated classes.
+pub struct FleetFaultPlanSanity;
+
+impl Lint for FleetFaultPlanSanity {
+    fn id(&self) -> &'static str {
+        "PSA021"
+    }
+    fn name(&self) -> &'static str {
+        "fleet-fault-plan-sanity"
+    }
+    fn description(&self) -> &'static str {
+        "fleet fault plans have coherent rates, requeue budgets where job failures are on, unique names, and the catalog keeps a control plan and a mixed plan"
+    }
+    fn check(&self, model: &FrameworkModel) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        let mut seen: BTreeMap<&str, usize> = BTreeMap::new();
+        for plan in &model.fleet_fault_plans {
+            let path = format!("faults.fleet.{}", plan.name);
+            out.extend(plan.check(self.id(), &path));
+            *seen.entry(plan.name.as_str()).or_insert(0) += 1;
+        }
+        for (name, n) in seen {
+            if n > 1 {
+                out.push(Diagnostic::error(
+                    self.id(),
+                    "system",
+                    format!("faults.fleet.{name}"),
+                    format!(
+                        "fleet fault plan name {name:?} appears {n} times; names must be unique"
+                    ),
+                ));
+            }
+        }
+        if !model
+            .fleet_fault_plans
+            .iter()
+            .any(|p| p.active_classes() == 0)
+        {
+            out.push(Diagnostic::error(
+                self.id(),
+                "system",
+                "faults.fleet",
+                "no quiescent control plan: the chaos grid needs a fault-free baseline \
+                 to attribute SLO regressions to injected faults"
+                    .to_string(),
+            ));
+        }
+        if !model
+            .fleet_fault_plans
+            .iter()
+            .any(|p| p.active_classes() >= 4)
+        {
+            out.push(Diagnostic::error(
+                self.id(),
+                "system",
+                "faults.fleet",
+                "no mixed plan with >= 4 active fault classes: the chaos grid must \
+                 exercise fault interactions, not just isolated classes"
+                    .to_string(),
+            ));
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1993,7 +2085,7 @@ mod tests {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(ids, sorted, "rule IDs must be unique and in order");
-        assert_eq!(ids.len(), 20);
+        assert_eq!(ids.len(), 21);
         for r in &rules {
             assert!(!r.name().is_empty() && !r.description().is_empty());
         }
@@ -2042,6 +2134,66 @@ mod tests {
         assert!(diags
             .iter()
             .any(|d| d.message.contains("empty parameter space")));
+    }
+
+    #[test]
+    fn fleet_fault_plan_sanity_passes_shipped_and_flags_broken() {
+        use pstack_faults::FleetFaultPlan;
+
+        let rule = FleetFaultPlanSanity;
+        let model = FrameworkModel::shipped();
+        assert!(
+            rule.check(&model).is_empty(),
+            "shipped fleet fault plans must be clean: {:#?}",
+            rule.check(&model)
+        );
+
+        // A zero-retry plan with job failures on loses the requeue budget.
+        let mut broken = FrameworkModel::shipped();
+        let mut bad = FleetFaultPlan::mixed();
+        bad.name = "zero_retry".into();
+        bad.jobs.max_retries = 0;
+        broken.fleet_fault_plans.push(bad);
+        let diags = rule.check(&broken);
+        assert!(
+            diags.iter().any(|d| d.message.contains("max_retries")),
+            "expected a requeue-budget error: {diags:#?}"
+        );
+
+        // Duplicate names are ambiguous.
+        let mut broken = FrameworkModel::shipped();
+        broken.fleet_fault_plans.push(FleetFaultPlan::mixed());
+        assert!(rule
+            .check(&broken)
+            .iter()
+            .any(|d| d.message.contains("must be unique")));
+
+        // Dropping the quiescent control plan loses the baseline.
+        let mut broken = FrameworkModel::shipped();
+        broken.fleet_fault_plans.retain(|p| p.active_classes() > 0);
+        assert!(rule
+            .check(&broken)
+            .iter()
+            .any(|d| d.message.contains("control plan")));
+
+        // Dropping the mixed plan loses interaction coverage.
+        let mut broken = FrameworkModel::shipped();
+        broken.fleet_fault_plans.retain(|p| p.active_classes() < 4);
+        assert!(rule
+            .check(&broken)
+            .iter()
+            .any(|d| d.message.contains("mixed plan")));
+
+        // An out-of-range probability is caught by the per-plan substance.
+        let mut broken = FrameworkModel::shipped();
+        let mut bad = FleetFaultPlan::mixed();
+        bad.name = "hot_actuators".into();
+        bad.actuators.stick_prob = 1.5;
+        broken.fleet_fault_plans.push(bad);
+        assert!(rule
+            .check(&broken)
+            .iter()
+            .any(|d| d.message.contains("stick_prob")));
     }
 
     #[test]

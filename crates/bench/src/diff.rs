@@ -210,6 +210,25 @@ pub fn shipped_rules() -> Vec<MetricRule> {
         rule("bench_fleet", "arms.*.result.work_per_kj", Exact),
         rule("bench_fleet", "arms.*.result.energy_j", Exact),
         rule("bench_fleet", "arms.*.jobs_h_sim_per_wall_s", MinRatio(0.2)),
+        // Chaos-recovery gate: the injected-fault grid is seeded and fully
+        // deterministic, so every verdict and counter must reproduce
+        // byte-for-byte; only the wall-clock rate is a ratio.
+        rule("bench_fleetfaults", "arms.*.result.completed", Exact),
+        rule("bench_fleetfaults", "arms.*.result.failed", Exact),
+        rule("bench_fleetfaults", "arms.*.result.rejected", Exact),
+        rule("bench_fleetfaults", "arms.*.result.conservation_ok", Exact),
+        rule("bench_fleetfaults", "arms.*.result.replay_identical", Exact),
+        rule(
+            "bench_fleetfaults",
+            "arms.*.result.down_nodes_at_end",
+            Exact,
+        ),
+        rule("bench_fleetfaults", "arms.*.result.energy_j", Exact),
+        rule(
+            "bench_fleetfaults",
+            "arms.*.sim_hours_per_wall_s",
+            MinRatio(0.2),
+        ),
         // Extension artifacts: pure simulation, everything deterministic.
         rule("ext_history", "rows.*.warmed_fewer", Exact),
         rule("ext_history", "rows.*.best_objective", Exact),
@@ -225,6 +244,11 @@ pub fn shipped_rules() -> Vec<MetricRule> {
         rule("ext_thermal", "rows.*.makespan_s", Exact),
         rule("ext_resume", "rows.*.identical", Exact),
         rule("ext_resume", "max_evals", Exact),
+        rule("ext_fleetfaults", "rows.*.completed", Exact),
+        rule("ext_fleetfaults", "rows.*.failed", Exact),
+        rule("ext_fleetfaults", "rows.*.replay_identical", Exact),
+        rule("ext_fleetfaults", "supervised.identical", Exact),
+        rule("ext_fleetfaults", "all_slo_ok", Exact),
     ]
 }
 

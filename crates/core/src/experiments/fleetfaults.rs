@@ -1,0 +1,507 @@
+//! Extension E11 — fleet chaos: recovery SLOs under injected RM-class faults.
+//!
+//! Extension E10 scaled the paper's experiments to a multi-enclave site and
+//! assumed the site cooperates: nodes stay up, enclaves stay reachable, cap
+//! writes land, jobs finish. This experiment drops those assumptions. A
+//! [`FleetFaultPlan`] (node MTBF crash/reboot schedules, whole-enclave
+//! outages with bit-exact budget re-sharding, stuck cap actuators, job
+//! failures with capped retries, telemetry dropouts) is injected into the
+//! event heap as ordinary time-ordered events, and the grid asserts the
+//! recovery SLOs the framework promises:
+//!
+//! 1. **No panics** — every arm drains to completion.
+//! 2. **Byte-identical replay** — the same seeded chaos run produces the
+//!    same [`fleet_fingerprint`] at 1/2/4/8 drain workers.
+//! 3. **Completion** — ≥95% of non-failed jobs complete despite the faults.
+//! 4. **Power** — site draw never sustains above the budget: no two
+//!    consecutive 30 s windows over `budget × (1 + tolerance)` (one window
+//!    of overshoot is the allowed "one control quantum" settle).
+//! 5. **Conservation** — `submitted == completed + failed + rejected`; no
+//!    job is lost or double-counted across requeues and enclave rejoins.
+//! 6. **Recovery** — every MTBF-failed node is back up at drain end.
+//!
+//! `results/ext_fleetfaults.*` renders the grid; `bench_fleetfaults` gates
+//! CI on the SLOs.
+
+use crate::experiments::fleet::FleetScenario;
+use crate::framework::TuningLevel;
+use pstack_ckpt::{ScratchDir, SessionDir};
+use pstack_faults::SupervisorConfig;
+use pstack_faults::{fleet_fingerprint, FleetFaultPlan, FleetInjector, FleetSupervisor};
+use pstack_rm::scheduler::EmergencyResponse;
+use pstack_rm::EnclaveSet;
+use pstack_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Fraction above the site budget a single 30 s window may read before it
+/// counts as overshoot. Caps enforce over an averaging window, not
+/// instantaneously, so transient reads run ~1–2% hot while the integrator
+/// settles; an *uncompensated* violation (e.g. a stuck actuator nobody
+/// re-plans around) sits 5%+ over and is still caught.
+pub const POWER_SLO_TOLERANCE: f64 = 0.03;
+
+/// Completion SLO: fraction of non-failed jobs that must complete.
+pub const COMPLETION_SLO: f64 = 0.95;
+
+/// Worker counts the replay-invariance SLO sweeps.
+pub const REPLAY_WORKERS: [usize; 4] = [1, 2, 4, 8];
+
+/// Sampling window for the power SLO, seconds.
+pub const POWER_WINDOW_S: u64 = 30;
+
+/// One chaos configuration: a fleet plus a fault plan injected into it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChaosScenario {
+    /// The underlying fleet (enclaves, jobs, budget, tuning level).
+    pub fleet: FleetScenario,
+    /// The fault plan injected over the fleet's horizon.
+    pub plan: FleetFaultPlan,
+    /// Seed for the fault dice (independent of the fleet seed so the same
+    /// workload can be replayed under different chaos draws).
+    pub fault_seed: u64,
+}
+
+impl ChaosScenario {
+    /// The canonical small grid cell: E10's small fleet under a 65% budget.
+    pub fn small(tuning: TuningLevel, plan: FleetFaultPlan) -> Self {
+        ChaosScenario {
+            fleet: FleetScenario::small(tuning, Some(0.65)),
+            plan,
+            fault_seed: 0xF1EE7,
+        }
+    }
+
+    fn horizon(&self) -> SimTime {
+        SimTime::from_secs(self.fleet.horizon_hours * 3600)
+    }
+
+    fn site_budget_w(&self) -> Option<f64> {
+        self.fleet
+            .site_budget_frac
+            .map(|f| self.fleet.site_peak_w() * f)
+    }
+
+    /// Build the fleet and inject the fault plan into its event heaps.
+    pub fn build(&self) -> EnclaveSet {
+        let mut site = self.fleet.build();
+        let job_ids: Vec<u64> = (0..self.fleet.n_jobs as u64).collect();
+        FleetInjector::new(self.plan.clone(), self.fault_seed).inject(
+            &mut site,
+            self.horizon(),
+            self.site_budget_w(),
+            EmergencyResponse::TightenCaps,
+            &job_ids,
+        );
+        site
+    }
+
+    /// Run the full SLO battery for this cell: a windowed power-sampling
+    /// drain, then fresh replays at each worker count for the
+    /// byte-identity SLO.
+    pub fn run(&self) -> ChaosResult {
+        let quantum = SimDuration::from_secs(1);
+        let horizon = self.horizon();
+        let budget_w = self.site_budget_w();
+
+        // Windowed drain: advance in POWER_WINDOW_S slices sampling site
+        // power, then drain whatever is left past the horizon.
+        let mut site = self.build();
+        let mut overshoot_windows = 0usize;
+        let mut consecutive = 0usize;
+        let mut max_consecutive = 0usize;
+        let mut power_windows = 0usize;
+        let mut peak_power_w = 0.0f64;
+        let window = SimDuration::from_secs(POWER_WINDOW_S);
+        let mut t = SimTime::ZERO;
+        while t < horizon {
+            t = (t + window).min(horizon);
+            site.run_until(quantum, t);
+            let p: f64 = site
+                .enclaves_mut()
+                .iter_mut()
+                .map(|e| e.scheduler_mut().system_power_w())
+                .sum();
+            peak_power_w = peak_power_w.max(p);
+            power_windows += 1;
+            let over = match budget_w {
+                Some(b) => p > b * (1.0 + POWER_SLO_TOLERANCE),
+                None => false,
+            };
+            if over {
+                overshoot_windows += 1;
+                consecutive += 1;
+                max_consecutive = max_consecutive.max(consecutive);
+            } else {
+                consecutive = 0;
+            }
+        }
+        site.run_until_drained(quantum, horizon);
+        // The drain stops at the last completion; reboots and budget
+        // restores scheduled after it are still pending. The site keeps
+        // operating, so replay that tail before judging recovery.
+        site.flush_events_until(horizon);
+        let m = site.site_metrics();
+
+        // Conservation and completion SLOs from the windowed run.
+        let conservation_ok = m.submitted == m.completed + m.failed + m.rejected;
+        let non_failed = m.submitted.saturating_sub(m.failed);
+        let completion_rate = if non_failed > 0 {
+            m.completed as f64 / non_failed as f64
+        } else {
+            1.0
+        };
+
+        // Replay SLO: fresh builds drained at each worker count must land
+        // on one fingerprint (replay-vs-replay; the windowed run above
+        // samples power mid-drain and is not the comparison baseline).
+        let mut replay_fingerprints = Vec::new();
+        for &workers in &REPLAY_WORKERS {
+            let mut replay = self.build();
+            replay.run_until_drained_parallel(quantum, horizon, workers);
+            replay.flush_events_until(horizon);
+            replay_fingerprints.push(format!("{:016x}", fleet_fingerprint(&mut replay)));
+        }
+        let replay_identical = replay_fingerprints.windows(2).all(|w| w[0] == w[1]);
+
+        ChaosResult {
+            plan: self.plan.name.clone(),
+            fault_classes: self.plan.active_classes(),
+            tuning: self.fleet.tuning,
+            submitted: m.submitted,
+            completed: m.completed,
+            failed: m.failed,
+            rejected: m.rejected,
+            conservation_ok,
+            completion_rate,
+            slo_completion_ok: completion_rate >= COMPLETION_SLO,
+            power_windows,
+            overshoot_windows,
+            max_consecutive_overshoot: max_consecutive,
+            peak_power_w,
+            site_budget_w: budget_w,
+            slo_power_ok: max_consecutive < 2,
+            replay_workers: REPLAY_WORKERS.to_vec(),
+            replay_fingerprints,
+            replay_identical,
+            down_nodes_at_end: m.down_nodes,
+            telemetry_dropouts: m.telemetry_dropouts,
+            events_processed: m.events_processed,
+            energy_j: m.system_energy_j,
+        }
+    }
+}
+
+/// One grid cell's SLO verdicts.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChaosResult {
+    /// Fault plan name.
+    pub plan: String,
+    /// Active fault classes in the plan.
+    pub fault_classes: usize,
+    /// Tuning level of the underlying fleet.
+    pub tuning: TuningLevel,
+    /// Jobs submitted site-wide.
+    pub submitted: usize,
+    /// Jobs completed.
+    pub completed: usize,
+    /// Jobs that exhausted their retry budget.
+    pub failed: usize,
+    /// Jobs rejected as permanently infeasible.
+    pub rejected: usize,
+    /// `submitted == completed + failed + rejected`.
+    pub conservation_ok: bool,
+    /// `completed / (submitted - failed)`.
+    pub completion_rate: f64,
+    /// Completion SLO (≥ [`COMPLETION_SLO`]) verdict.
+    pub slo_completion_ok: bool,
+    /// Power windows sampled.
+    pub power_windows: usize,
+    /// Windows reading over budget × (1 + tolerance).
+    pub overshoot_windows: usize,
+    /// Longest run of consecutive overshoot windows.
+    pub max_consecutive_overshoot: usize,
+    /// Highest sampled site power, watts.
+    pub peak_power_w: f64,
+    /// Site budget, watts (`None` = uncapped, power SLO vacuous).
+    pub site_budget_w: Option<f64>,
+    /// Power SLO verdict: at most one consecutive overshoot window.
+    pub slo_power_ok: bool,
+    /// Worker counts swept for the replay SLO.
+    pub replay_workers: Vec<usize>,
+    /// Hex fleet fingerprint per worker count.
+    pub replay_fingerprints: Vec<String>,
+    /// All replay fingerprints equal.
+    pub replay_identical: bool,
+    /// Nodes still down after the drain (recovery SLO wants 0).
+    pub down_nodes_at_end: usize,
+    /// Telemetry windows suppressed by dropout faults.
+    pub telemetry_dropouts: u64,
+    /// Events processed by the windowed run.
+    pub events_processed: u64,
+    /// Site energy of the windowed run, joules.
+    pub energy_j: f64,
+}
+
+impl ChaosResult {
+    /// All recovery SLOs hold for this cell.
+    pub fn slo_ok(&self) -> bool {
+        self.conservation_ok
+            && self.slo_completion_ok
+            && self.slo_power_ok
+            && self.replay_identical
+            && self.down_nodes_at_end == 0
+    }
+
+    /// Human-readable list of violated SLOs (empty when green).
+    pub fn violations(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        if !self.conservation_ok {
+            v.push(format!(
+                "conservation: {} submitted != {} completed + {} failed + {} rejected",
+                self.submitted, self.completed, self.failed, self.rejected
+            ));
+        }
+        if !self.slo_completion_ok {
+            v.push(format!(
+                "completion: {:.1}% of non-failed jobs < {:.0}% SLO",
+                100.0 * self.completion_rate,
+                100.0 * COMPLETION_SLO
+            ));
+        }
+        if !self.slo_power_ok {
+            v.push(format!(
+                "power: {} consecutive overshoot windows (budget {:?} W, peak {:.0} W)",
+                self.max_consecutive_overshoot, self.site_budget_w, self.peak_power_w
+            ));
+        }
+        if !self.replay_identical {
+            v.push(format!(
+                "replay: fingerprints diverge across workers {:?}: {:?}",
+                self.replay_workers, self.replay_fingerprints
+            ));
+        }
+        if self.down_nodes_at_end != 0 {
+            v.push(format!(
+                "recovery: {} nodes still down at drain end",
+                self.down_nodes_at_end
+            ));
+        }
+        v
+    }
+}
+
+/// The E11 grid: fault plans × tuning levels over one workload trace.
+pub fn run_grid(plans: &[FleetFaultPlan], tunings: &[TuningLevel]) -> Vec<ChaosResult> {
+    let mut rows = Vec::new();
+    for plan in plans {
+        for &tuning in tunings {
+            rows.push(ChaosScenario::small(tuning, plan.clone()).run());
+        }
+    }
+    rows
+}
+
+/// The shipped grid: {none, node MTBF, mixed} × {NodeOnly, EndToEnd}.
+pub fn shipped_grid() -> Vec<ChaosResult> {
+    run_grid(
+        &[
+            FleetFaultPlan::none(),
+            FleetFaultPlan::node_mtbf_only(),
+            FleetFaultPlan::mixed(),
+        ],
+        &[TuningLevel::NodeOnly, TuningLevel::EndToEnd],
+    )
+}
+
+/// Checkpointed-supervisor equivalence: the same chaos cell driven by a
+/// [`FleetSupervisor`] under rolling kills must land on the same fleet
+/// fingerprint as an unkilled supervised run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SupervisedCheck {
+    /// Fingerprint of the kill-free supervised run.
+    pub clean_fingerprint: String,
+    /// Fingerprint of the killed-and-restarted run.
+    pub killed_fingerprint: String,
+    /// Restarts the killed run needed.
+    pub restarts: usize,
+    /// Both runs landed on the same fleet state.
+    pub identical: bool,
+}
+
+/// Run the supervised-recovery check for one chaos cell.
+///
+/// # Panics
+/// Panics if either supervised run fails (restart budget, stall, replay
+/// divergence) — the experiment treats those as SLO violations, not data.
+pub fn supervised_recovery_check(scenario: &ChaosScenario, kill_prob: f64) -> SupervisedCheck {
+    let quantum = SimDuration::from_secs(1);
+    let horizon = SimTime::from_secs(scenario.fleet.horizon_hours * 3600);
+    let slices = 6;
+    let config = SupervisorConfig {
+        max_restarts: 24,
+        stall_limit: 8,
+    };
+
+    let scratch = ScratchDir::new("e11-supervised-clean");
+    let dir = SessionDir::new(scratch.path().join("s")).expect("scratch session dir must open");
+    let clean = FleetSupervisor::new(config, scenario.fault_seed, 0.0)
+        .run(&dir, || scenario.build(), quantum, horizon, slices)
+        .expect("kill-free supervised run must complete");
+
+    let scratch = ScratchDir::new("e11-supervised-killed");
+    let dir = SessionDir::new(scratch.path().join("s")).expect("scratch session dir must open");
+    let killed = FleetSupervisor::new(config, scenario.fault_seed, kill_prob)
+        .run(&dir, || scenario.build(), quantum, horizon, slices)
+        .expect("killed supervised run must recover within its budget");
+
+    SupervisedCheck {
+        clean_fingerprint: format!("{:016x}", clean.fingerprint),
+        killed_fingerprint: format!("{:016x}", killed.fingerprint),
+        restarts: killed.recovery.events.len(),
+        identical: clean.fingerprint == killed.fingerprint,
+    }
+}
+
+/// Render chaos rows as the E11 table.
+pub fn render(rows: &[ChaosResult]) -> String {
+    let mut out = String::from(
+        "EXTENSION E11 / FLEET CHAOS: recovery SLOs under injected RM faults\n\
+         plan           | tuning    | done/subm | fail | rej | rate  | over | replay | SLO\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<14} | {:<9} | {:>4}/{:<4} | {:>4} | {:>3} | {:>4.1}% | {:>2}/{:<3} | {:<6} | {}\n",
+            r.plan,
+            format!("{:?}", r.tuning),
+            r.completed,
+            r.submitted,
+            r.failed,
+            r.rejected,
+            100.0 * r.completion_rate,
+            r.overshoot_windows,
+            r.power_windows,
+            if r.replay_identical { "exact" } else { "DIFF" },
+            if r.slo_ok() { "ok" } else { "VIOLATED" },
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shrink(mut sc: ChaosScenario) -> ChaosScenario {
+        // Reduced-scale cell for unit tests: fewer jobs, shorter horizon,
+        // faults rescaled so every class still fires inside the window.
+        sc.fleet.n_jobs = 10;
+        sc.fleet.horizon_hours = 6;
+        if sc.plan.nodes.mtbf_hours > 0.0 {
+            sc.plan.nodes.mtbf_hours = 2.0;
+            sc.plan.nodes.mttr_minutes = 10.0;
+        }
+        for o in &mut sc.plan.outages {
+            o.at_s = 3600.0;
+            o.duration_s = 900.0;
+        }
+        sc
+    }
+
+    #[test]
+    fn fault_free_cell_is_green_and_loses_nothing() {
+        let r = shrink(ChaosScenario::small(
+            TuningLevel::NodeOnly,
+            FleetFaultPlan::none(),
+        ))
+        .run();
+        assert!(r.slo_ok(), "violations: {:?}", r.violations());
+        assert_eq!(r.failed, 0);
+        assert_eq!(r.completed, r.submitted, "{r:?}");
+        assert_eq!(r.fault_classes, 0);
+    }
+
+    #[test]
+    fn mixed_chaos_cell_meets_recovery_slos() {
+        let r = shrink(ChaosScenario::small(
+            TuningLevel::EndToEnd,
+            FleetFaultPlan::mixed(),
+        ))
+        .run();
+        assert!(r.slo_ok(), "violations: {:?}", r.violations());
+        assert!(r.fault_classes >= 4, "mixed plan must stay mixed");
+        // The chaos actually happened: fault events flowed through the heap.
+        assert!(r.events_processed > 0);
+    }
+
+    #[test]
+    fn replay_fingerprints_are_byte_identical_across_workers() {
+        let r = shrink(ChaosScenario::small(
+            TuningLevel::NodeOnly,
+            FleetFaultPlan::node_mtbf_only(),
+        ))
+        .run();
+        assert!(
+            r.replay_identical,
+            "fingerprints: {:?}",
+            r.replay_fingerprints
+        );
+        assert_eq!(r.replay_fingerprints.len(), REPLAY_WORKERS.len());
+        // And the fingerprint is chaos-sensitive: a different fault seed
+        // lands elsewhere.
+        let mut other = shrink(ChaosScenario::small(
+            TuningLevel::NodeOnly,
+            FleetFaultPlan::node_mtbf_only(),
+        ));
+        other.fault_seed ^= 0xDEAD;
+        let o = other.run();
+        assert_ne!(
+            o.replay_fingerprints[0], r.replay_fingerprints[0],
+            "different chaos draws must not collide"
+        );
+    }
+
+    #[test]
+    fn violations_list_names_every_broken_slo() {
+        let mut r = shrink(ChaosScenario::small(
+            TuningLevel::NodeOnly,
+            FleetFaultPlan::none(),
+        ))
+        .run();
+        assert!(r.violations().is_empty());
+        r.conservation_ok = false;
+        r.slo_power_ok = false;
+        r.max_consecutive_overshoot = 3;
+        r.down_nodes_at_end = 2;
+        let v = r.violations();
+        assert_eq!(v.len(), 3, "{v:?}");
+        assert!(!r.slo_ok());
+    }
+
+    #[test]
+    fn supervised_chaos_run_matches_unkilled_run() {
+        let sc = shrink(ChaosScenario::small(
+            TuningLevel::NodeOnly,
+            FleetFaultPlan::node_mtbf_only(),
+        ));
+        let check = supervised_recovery_check(&sc, 0.3);
+        assert!(
+            check.identical,
+            "clean {} vs killed {}",
+            check.clean_fingerprint, check.killed_fingerprint
+        );
+    }
+
+    #[test]
+    fn grid_renders_every_cell() {
+        let rows = run_grid(
+            &[FleetFaultPlan::none()],
+            &[TuningLevel::NodeOnly, TuningLevel::EndToEnd],
+        );
+        // Full-size cells here (the grid is what the bench bin ships), so
+        // just check shape and rendering, not timing.
+        assert_eq!(rows.len(), 2);
+        let table = render(&rows);
+        assert!(table.contains("E11"));
+        assert!(table.contains("none"));
+    }
+}

@@ -37,6 +37,7 @@
 
 pub mod dice;
 pub mod evaluator;
+pub mod fleet;
 pub mod inject;
 pub mod plan;
 pub mod scenario;
@@ -44,6 +45,11 @@ pub mod supervise;
 
 pub use dice::FaultDice;
 pub use evaluator::FaultyEvaluator;
+pub use fleet::{
+    fleet_fingerprint, ActuatorFaults, DropoutFaults, EnclaveOutage, FleetCheckpoint,
+    FleetFaultPlan, FleetInjector, FleetSuperviseError, FleetSupervisedRun, FleetSupervisor,
+    JobFaults, NodeFaults, FLEET_LAYER,
+};
 pub use inject::{CrashyAgent, FaultInjector, KnobWrite};
 pub use plan::{
     AgentFaults, EmergencyFault, EvalFaults, FaultPlan, KnobFaults, ProcessFaults, TelemetryFaults,
@@ -52,6 +58,7 @@ pub use plan::{
 pub use scenario::{run_faulted_job, FaultedJobOutcome, MAX_SIM_S};
 pub use supervise::{
     RecoveryEvent, RecoveryLog, SessionSupervisor, SuperviseError, SupervisedReport,
+    SupervisorConfig,
 };
 
 // Re-export the log types that live in pstack-autotune (so TuneReport can

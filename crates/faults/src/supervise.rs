@@ -31,6 +31,31 @@ use std::sync::Arc;
 /// Decision stream name for process kills (see [`FaultDice::roll`]).
 pub const KILL_STREAM: &str = "process_kill";
 
+/// Shared supervision limits: how many restarts a supervisor will pay for
+/// and how many consecutive no-progress deaths it tolerates. Used by both
+/// the tuning-session [`SessionSupervisor`] and the fleet-scale
+/// [`FleetSupervisor`](crate::fleet::FleetSupervisor).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SupervisorConfig {
+    /// Restart budget: restarts beyond this bound surface as
+    /// [`SuperviseError::RestartBudgetExhausted`].
+    pub max_restarts: usize,
+    /// Consecutive no-progress deaths tolerated before declaring a stall
+    /// (must be positive).
+    pub stall_limit: usize,
+}
+
+impl Default for SupervisorConfig {
+    /// The documented defaults (README §Fault model): 8 restarts, 3
+    /// consecutive stalled deaths.
+    fn default() -> Self {
+        SupervisorConfig {
+            max_restarts: 8,
+            stall_limit: 3,
+        }
+    }
+}
+
 /// One supervised restart: which incarnation died, and where.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RecoveryEvent {
@@ -131,25 +156,26 @@ impl From<TuneError> for SuperviseError {
 pub struct SessionSupervisor {
     plan: FaultPlan,
     seed: u64,
-    max_restarts: usize,
-    stall_limit: usize,
+    config: SupervisorConfig,
 }
 
 impl SessionSupervisor {
-    /// Supervisor for `plan`'s process faults, rolling kills from `seed`.
+    /// Supervisor for `plan`'s process faults, rolling kills from `seed`,
+    /// with the default [`SupervisorConfig`] limits.
     pub fn new(plan: FaultPlan, seed: u64) -> Self {
-        SessionSupervisor {
-            plan,
-            seed,
-            max_restarts: 8,
-            stall_limit: 3,
-        }
+        SessionSupervisor::with_config(plan, seed, SupervisorConfig::default())
+    }
+
+    /// Supervisor with explicit limits.
+    pub fn with_config(plan: FaultPlan, seed: u64, config: SupervisorConfig) -> Self {
+        assert!(config.stall_limit > 0, "stall_limit must be positive");
+        SessionSupervisor { plan, seed, config }
     }
 
     /// Restart budget (default 8). The budget must cover the plan's
     /// `process.max_kills` for a session to be guaranteed to finish.
     pub fn max_restarts(mut self, n: usize) -> Self {
-        self.max_restarts = n;
+        self.config.max_restarts = n;
         self
     }
 
@@ -157,7 +183,7 @@ impl SessionSupervisor {
     /// (default 3).
     pub fn stall_limit(mut self, n: usize) -> Self {
         assert!(n > 0, "stall_limit must be positive");
-        self.stall_limit = n;
+        self.config.stall_limit = n;
         self
     }
 
@@ -208,7 +234,7 @@ impl SessionSupervisor {
     ) -> Result<SupervisedReport, SuperviseError> {
         let kills = Arc::new(SyncAtomicUsize::new(sites::FAULTS_KILLS, 0));
         let mut recovery = RecoveryLog {
-            max_restarts: self.max_restarts,
+            max_restarts: self.config.max_restarts,
             ..RecoveryLog::default()
         };
         let mut last_death: Option<usize> = None;
@@ -228,14 +254,14 @@ impl SessionSupervisor {
                         made_progress,
                     });
                     stalled = if made_progress { 0 } else { stalled + 1 };
-                    if stalled >= self.stall_limit {
+                    if stalled >= self.config.stall_limit {
                         return Err(SuperviseError::Stalled {
                             stalled_restarts: stalled,
                             at_ordinal,
                         });
                     }
                     last_death = Some(last_death.map_or(at_ordinal, |p| p.max(at_ordinal)));
-                    if recovery.events.len() > self.max_restarts {
+                    if recovery.events.len() > self.config.max_restarts {
                         return Err(SuperviseError::RestartBudgetExhausted {
                             restarts: recovery.events.len() - 1,
                             last_ordinal: at_ordinal,

@@ -13,11 +13,18 @@
 //!   materialized only while jobs are running;
 //! - **job completions** ([`EventKind::Completion`]) — recorded as the
 //!   physics detects them (completion times are emergent, not known at
-//!   submit, so these enter the heap at detection time).
+//!   submit, so these enter the heap at detection time);
+//! - **fault events** ([`EventKind::NodeFail`], [`EventKind::NodeRecover`],
+//!   [`EventKind::JobFail`], [`EventKind::CapStick`],
+//!   [`EventKind::TelemetryDropout`]) — RM-class failures injected by
+//!   `pstack-faults` fleet plans. Routing faults through the same heap is
+//!   what keeps chaos runs byte-identical per seed: a fault is just another
+//!   time-ordered event, so replay and checkpoint/resume cover it for free.
 //!
 //! Two entries at the same timestamp pop in declared kind order
-//! ([`EventKind::rank`]: budget changes before arrivals before ticks before
-//! completions) and then in insertion order, which makes whole-drain replays
+//! ([`EventKind::rank`]: budget changes first, then faults (fail before
+//! recover before the rest), then arrivals before ticks before completions)
+//! and then in insertion order, which makes whole-drain replays
 //! bit-reproducible. The heap serializes through the vendored `serde` value
 //! model, so a mid-drain scheduler can checkpoint its pending events through
 //! `pstack-ckpt` and resume (see the kill-at-decile test in
@@ -44,6 +51,36 @@ pub enum EventKind {
         /// How committed load is shed if the budget no longer covers it.
         response: EmergencyResponse,
     },
+    /// A node crashes. An idle node powers off; a node inside a running
+    /// job kills the job, which is requeued under its retry budget.
+    NodeFail {
+        /// Hardware id ([`pstack_hwmodel::NodeId`]) of the failing node.
+        node: usize,
+    },
+    /// A previously failed node reboots (knobs reset) and rejoins the
+    /// idle pool.
+    NodeRecover {
+        /// Hardware id of the recovering node.
+        node: usize,
+    },
+    /// A running job aborts (software failure). Requeued under the same
+    /// retry budget as a node-crash kill; a no-op if the job is not
+    /// currently running.
+    JobFail(JobId),
+    /// The node-level power-cap actuator sticks: the RM's out-of-band cap
+    /// writes to this node are dropped until `until`.
+    CapStick {
+        /// Hardware id of the node with the stuck actuator.
+        node: usize,
+        /// When the actuator unsticks and cap writes land again.
+        until: SimTime,
+    },
+    /// The fleet aggregation tree drops this scheduler's telemetry until
+    /// `until`. Pure observability fault — never changes scheduling.
+    TelemetryDropout {
+        /// When samples start flowing again.
+        until: SimTime,
+    },
     /// A job reaches its submit time and becomes eligible for scheduling.
     Arrival(JobId),
     /// A control-interval tick boundary (the quantum grid).
@@ -54,14 +91,22 @@ pub enum EventKind {
 
 impl EventKind {
     /// Same-timestamp processing priority: budget changes apply before the
-    /// arrivals they may gate, arrivals before the tick that schedules them,
-    /// ticks before the completions they detect.
+    /// arrivals they may gate; fault state lands next (a fail before the
+    /// recover that may undo it, both before job/actuator/telemetry faults)
+    /// so the scheduling pass sees the degraded capacity; then arrivals
+    /// before the tick that schedules them, ticks before the completions
+    /// they detect.
     pub fn rank(&self) -> u32 {
         match self {
             EventKind::BudgetChange { .. } => 0,
-            EventKind::Arrival(_) => 1,
-            EventKind::Tick => 2,
-            EventKind::Completion(_) => 3,
+            EventKind::NodeFail { .. } => 1,
+            EventKind::NodeRecover { .. } => 2,
+            EventKind::JobFail(_) => 3,
+            EventKind::CapStick { .. } => 4,
+            EventKind::TelemetryDropout { .. } => 5,
+            EventKind::Arrival(_) => 6,
+            EventKind::Tick => 7,
+            EventKind::Completion(_) => 8,
         }
     }
 
@@ -69,6 +114,11 @@ impl EventKind {
     pub fn label(&self) -> &'static str {
         match self {
             EventKind::BudgetChange { .. } => "budget_change",
+            EventKind::NodeFail { .. } => "node_fail",
+            EventKind::NodeRecover { .. } => "node_recover",
+            EventKind::JobFail(_) => "job_fail",
+            EventKind::CapStick { .. } => "cap_stick",
+            EventKind::TelemetryDropout { .. } => "telemetry_dropout",
             EventKind::Arrival(_) => "arrival",
             EventKind::Tick => "tick",
             EventKind::Completion(_) => "completion",
@@ -246,6 +296,27 @@ fn kind_to_value(kind: &EventKind) -> Value {
                 ),
             ),
         ]),
+        EventKind::NodeFail { node } => Value::Map(vec![
+            ("kind".into(), Value::Str("node_fail".into())),
+            ("node".into(), Value::UInt(*node as u64)),
+        ]),
+        EventKind::NodeRecover { node } => Value::Map(vec![
+            ("kind".into(), Value::Str("node_recover".into())),
+            ("node".into(), Value::UInt(*node as u64)),
+        ]),
+        EventKind::JobFail(id) => Value::Map(vec![
+            ("kind".into(), Value::Str("job_fail".into())),
+            ("job".into(), Value::UInt(id.0)),
+        ]),
+        EventKind::CapStick { node, until } => Value::Map(vec![
+            ("kind".into(), Value::Str("cap_stick".into())),
+            ("node".into(), Value::UInt(*node as u64)),
+            ("until_us".into(), Value::UInt(until.as_micros())),
+        ]),
+        EventKind::TelemetryDropout { until } => Value::Map(vec![
+            ("kind".into(), Value::Str("telemetry_dropout".into())),
+            ("until_us".into(), Value::UInt(until.as_micros())),
+        ]),
         EventKind::Arrival(id) => Value::Map(vec![
             ("kind".into(), Value::Str("arrival".into())),
             ("job".into(), Value::UInt(id.0)),
@@ -268,6 +339,20 @@ fn kind_from_value(v: &Value) -> Result<EventKind, Error> {
                 "tighten_caps" => EmergencyResponse::TightenCaps,
                 other => return Err(Error::msg(format!("unknown response {other:?}"))),
             },
+        }),
+        "node_fail" => Ok(EventKind::NodeFail {
+            node: u64::from_value(v.field("node"))? as usize,
+        }),
+        "node_recover" => Ok(EventKind::NodeRecover {
+            node: u64::from_value(v.field("node"))? as usize,
+        }),
+        "job_fail" => Ok(EventKind::JobFail(JobId(u64::from_value(v.field("job"))?))),
+        "cap_stick" => Ok(EventKind::CapStick {
+            node: u64::from_value(v.field("node"))? as usize,
+            until: SimTime::from_micros(u64::from_value(v.field("until_us"))?),
+        }),
+        "telemetry_dropout" => Ok(EventKind::TelemetryDropout {
+            until: SimTime::from_micros(u64::from_value(v.field("until_us"))?),
         }),
         "arrival" => Ok(EventKind::Arrival(JobId(u64::from_value(v.field("job"))?))),
         "tick" => Ok(EventKind::Tick),
@@ -409,6 +494,77 @@ mod tests {
             },
         );
         let _ = h.pop_due(t(3)).expect("due");
+        let mut back = EventHeap::from_value(&h.to_value()).expect("round trip");
+        assert_eq!(h, back);
+        let mut orig = h.clone();
+        loop {
+            let a = orig.pop_due(SimTime::MAX);
+            let b = back.pop_due(SimTime::MAX);
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn fault_kinds_rank_between_budget_changes_and_arrivals() {
+        let mut h = EventHeap::new();
+        h.push(t(5), EventKind::Completion(JobId(1)));
+        h.push(t(5), EventKind::Arrival(JobId(2)));
+        h.push(t(5), EventKind::TelemetryDropout { until: t(6) });
+        h.push(
+            t(5),
+            EventKind::CapStick {
+                node: 3,
+                until: t(7),
+            },
+        );
+        h.push(t(5), EventKind::JobFail(JobId(2)));
+        h.push(t(5), EventKind::NodeRecover { node: 0 });
+        h.push(t(5), EventKind::NodeFail { node: 0 });
+        h.push(
+            t(5),
+            EventKind::BudgetChange {
+                budget_w: None,
+                response: EmergencyResponse::PauseJobs,
+            },
+        );
+        h.push(t(5), EventKind::Tick);
+        let order: Vec<&'static str> = std::iter::from_fn(|| h.pop_due(t(5)))
+            .map(|e| e.kind.label())
+            .collect();
+        assert_eq!(
+            order,
+            [
+                "budget_change",
+                "node_fail",
+                "node_recover",
+                "job_fail",
+                "cap_stick",
+                "telemetry_dropout",
+                "arrival",
+                "tick",
+                "completion",
+            ]
+        );
+    }
+
+    #[test]
+    fn fault_kinds_serde_round_trip() {
+        let mut h = EventHeap::new();
+        h.push(t(10), EventKind::NodeFail { node: 17 });
+        h.push(t(25), EventKind::NodeRecover { node: 17 });
+        h.push(t(12), EventKind::JobFail(JobId(4)));
+        h.push(
+            t(14),
+            EventKind::CapStick {
+                node: 9,
+                until: t(44),
+            },
+        );
+        h.push(t(16), EventKind::TelemetryDropout { until: t(90) });
+        let _ = h.pop_due(t(10)).expect("due");
         let mut back = EventHeap::from_value(&h.to_value()).expect("round trip");
         assert_eq!(h, back);
         let mut orig = h.clone();

@@ -63,9 +63,11 @@ impl Enclave {
 }
 
 /// Capacity-proportional shards of `site_budget_w` over enclave node
-/// counts. The last shard absorbs the floating-point residue, so the shards
-/// sum to the site budget *exactly* (`sum == site_budget_w` bit-for-bit) —
-/// the invariant PSA020 lints.
+/// counts. The last *nonzero-capacity* shard absorbs the floating-point
+/// residue, so the shards sum to the site budget *exactly*
+/// (`sum == site_budget_w` bit-for-bit) — the invariant PSA020 lints. A
+/// zero-capacity enclave (e.g. one in outage during a fleet fault plan)
+/// gets an explicit zero share and never absorbs the residue.
 pub fn shard_budgets(site_budget_w: f64, capacities: &[usize]) -> Vec<f64> {
     assert!(!capacities.is_empty(), "need at least one enclave");
     assert!(
@@ -76,10 +78,21 @@ pub fn shard_budgets(site_budget_w: f64, capacities: &[usize]) -> Vec<f64> {
     assert!(total > 0, "site has no nodes");
     let mut shards: Vec<f64> = capacities
         .iter()
-        .map(|&c| site_budget_w * c as f64 / total as f64)
+        .map(|&c| {
+            if c == 0 {
+                0.0
+            } else {
+                site_budget_w * c as f64 / total as f64
+            }
+        })
         .collect();
-    let head: f64 = shards[..shards.len() - 1].iter().sum();
-    let last = shards.len() - 1;
+    let last = capacities.iter().rposition(|&c| c > 0).expect("total > 0");
+    let head: f64 = shards
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != last)
+        .map(|(_, &s)| s)
+        .sum();
     shards[last] = site_budget_w - head;
     shards
 }
@@ -107,6 +120,16 @@ pub struct SiteMetrics {
     pub makespan_s: f64,
     /// Scheduler events processed across every enclave drain.
     pub events_processed: u64,
+    /// Jobs submitted across the site (requeues not double-counted).
+    pub submitted: usize,
+    /// Jobs permanently failed (retry budget exhausted) across the site.
+    pub failed: usize,
+    /// Jobs rejected as infeasible across the site.
+    pub rejected: usize,
+    /// Nodes currently down across the site.
+    pub down_nodes: usize,
+    /// Telemetry dropout windows fired across the site.
+    pub telemetry_dropouts: u64,
 }
 
 /// One aggregation-tree node: the associative partial sums the GEOPM-style
@@ -121,6 +144,11 @@ struct AggNode {
     capacity_node_seconds: f64,
     nodes: usize,
     max_now_s: f64,
+    submitted: usize,
+    failed: usize,
+    rejected: usize,
+    down_nodes: usize,
+    telemetry_dropouts: u64,
 }
 
 impl AggNode {
@@ -134,6 +162,11 @@ impl AggNode {
             capacity_node_seconds: a.capacity_node_seconds + b.capacity_node_seconds,
             nodes: a.nodes + b.nodes,
             max_now_s: a.max_now_s.max(b.max_now_s),
+            submitted: a.submitted + b.submitted,
+            failed: a.failed + b.failed,
+            rejected: a.rejected + b.rejected,
+            down_nodes: a.down_nodes + b.down_nodes,
+            telemetry_dropouts: a.telemetry_dropouts + b.telemetry_dropouts,
         }
     }
 }
@@ -208,6 +241,53 @@ impl EnclaveSet {
         }
     }
 
+    /// Schedule a whole-enclave outage: every node of `enclave` crashes at
+    /// `at` (killing its jobs into their retry budgets) and reboots at
+    /// `at + duration`. With a site budget, the budget is re-sharded
+    /// bit-exactly around the outage: the survivors divide the site budget
+    /// over their capacity ([`shard_budgets`] with the dead enclave at zero
+    /// capacity) for the outage window, and everyone returns to the nominal
+    /// shards at rejoin — the restore fires *before* the reboots at the
+    /// same instant (budget changes rank ahead of node recoveries), so site
+    /// power can never overshoot at the rejoin boundary. The dead enclave
+    /// keeps its nominal shard during the outage: its nodes are down (zero
+    /// draw), and a zero budget would permanently reject the jobs the
+    /// crash requeued.
+    pub fn schedule_enclave_outage(
+        &mut self,
+        enclave: usize,
+        at: SimTime,
+        duration: SimDuration,
+        site_budget_w: Option<f64>,
+        response: EmergencyResponse,
+    ) {
+        assert!(enclave < self.enclaves.len(), "enclave index out of range");
+        assert!(!duration.is_zero(), "outage needs a positive duration");
+        let rejoin = at + duration;
+        for id in self.enclaves[enclave].sched.node_ids() {
+            self.enclaves[enclave].sched.schedule_node_fail(at, id);
+            self.enclaves[enclave]
+                .sched
+                .schedule_node_recover(rejoin, id);
+        }
+        if let Some(site) = site_budget_w {
+            let nominal = self.budget_shards(site);
+            let mut caps: Vec<usize> = self.enclaves.iter().map(|e| e.nodes).collect();
+            caps[enclave] = 0;
+            let degraded = shard_budgets(site, &caps);
+            for (i, enc) in self.enclaves.iter_mut().enumerate() {
+                let during = if i == enclave {
+                    nominal[i]
+                } else {
+                    degraded[i]
+                };
+                enc.sched.schedule_budget_change(at, Some(during), response);
+                enc.sched
+                    .schedule_budget_change(rejoin, Some(nominal[i]), response);
+            }
+        }
+    }
+
     /// Drain every enclave event-driven to `horizon`. Enclaves are
     /// independent, so each drains end-to-end; an enclave with nothing
     /// submitted returns immediately without a tick.
@@ -215,6 +295,66 @@ impl EnclaveSet {
         for enc in &mut self.enclaves {
             let before = enc.sched.events().popped();
             enc.sched.run_until_drained(quantum, horizon);
+            self.events_processed
+                .fetch_add(enc.sched.events().popped() - before, Ordering::Relaxed);
+        }
+    }
+
+    /// Replay every drained enclave's stranded post-completion events
+    /// (reboots, budget restores, dropout expiries) up to `horizon` — see
+    /// [`Scheduler::flush_events_until`]. Serial per enclave regardless of
+    /// how the preceding drain was parallelised, so the result is
+    /// worker-count independent by construction.
+    pub fn flush_events_until(&mut self, horizon: SimTime) {
+        for enc in &mut self.enclaves {
+            let before = enc.sched.events().popped();
+            enc.sched.flush_events_until(horizon);
+            self.events_processed
+                .fetch_add(enc.sched.events().popped() - before, Ordering::Relaxed);
+        }
+    }
+
+    /// Drain every enclave event-driven to `horizon` *without* the horizon
+    /// grace pass — the windowed variant: callers (e.g. the E11 chaos
+    /// experiment) advance the site in slices and sample power between
+    /// them, finishing with one [`EnclaveSet::run_until_drained`].
+    pub fn run_until(&mut self, quantum: SimDuration, horizon: SimTime) {
+        for enc in &mut self.enclaves {
+            let before = enc.sched.events().popped();
+            enc.sched.run_until(quantum, horizon);
+            self.events_processed
+                .fetch_add(enc.sched.events().popped() - before, Ordering::Relaxed);
+        }
+    }
+
+    /// Drain every enclave event-driven to `horizon` across `workers`
+    /// scoped threads. Enclaves are fully independent (separate schedulers,
+    /// separate heaps), so partitioning them over threads cannot change any
+    /// result byte: the E11 chaos experiment asserts drains at 1/2/4/8
+    /// workers produce identical fingerprints.
+    pub fn run_until_drained_parallel(
+        &mut self,
+        quantum: SimDuration,
+        horizon: SimTime,
+        workers: usize,
+    ) {
+        let workers = workers.clamp(1, self.enclaves.len().max(1));
+        let before: Vec<u64> = self
+            .enclaves
+            .iter()
+            .map(|e| e.sched.events().popped())
+            .collect();
+        let chunk = self.enclaves.len().div_ceil(workers);
+        std::thread::scope(|s| {
+            for group in self.enclaves.chunks_mut(chunk) {
+                s.spawn(move || {
+                    for enc in group {
+                        enc.sched.run_until_drained(quantum, horizon);
+                    }
+                });
+            }
+        });
+        for (enc, before) in self.enclaves.iter().zip(before) {
             self.events_processed
                 .fetch_add(enc.sched.events().popped() - before, Ordering::Relaxed);
         }
@@ -245,6 +385,11 @@ impl EnclaveSet {
                     capacity_node_seconds: capacity,
                     nodes: e.nodes,
                     max_now_s: now_s,
+                    submitted: e.sched.submitted(),
+                    failed: e.sched.failed().len(),
+                    rejected: e.sched.rejected().len(),
+                    down_nodes: e.sched.down_nodes(),
+                    telemetry_dropouts: e.sched.telemetry_dropouts(),
                 }
             })
             .collect();
@@ -289,6 +434,11 @@ impl EnclaveSet {
             total_work: root.total_work,
             makespan_s: root.max_now_s,
             events_processed: self.events_processed(),
+            submitted: root.submitted,
+            failed: root.failed,
+            rejected: root.rejected,
+            down_nodes: root.down_nodes,
+            telemetry_dropouts: root.telemetry_dropouts,
         }
     }
 }
@@ -337,6 +487,129 @@ mod tests {
         for (i, &c) in caps.iter().enumerate().take(caps.len() - 1) {
             let expect = budget * c as f64 / total as f64;
             assert!((shards[i] - expect).abs() < 1e-9 * budget);
+        }
+    }
+
+    #[test]
+    fn zero_capacity_enclave_gets_explicit_zero_share() {
+        let budget = 98_765.432_1;
+        // Zero-capacity enclaves anywhere in the list — including last,
+        // which used to absorb the residue unconditionally and hand a dead
+        // enclave a nonzero budget.
+        for caps in [
+            vec![0usize, 4096, 2048],
+            vec![4096usize, 0, 2048],
+            vec![4096usize, 2048, 0],
+            vec![0usize, 4096, 0, 2048, 0],
+        ] {
+            let shards = shard_budgets(budget, &caps);
+            let sum: f64 = shards.iter().sum();
+            assert_eq!(sum.to_bits(), budget.to_bits(), "exact sum for {caps:?}");
+            for (i, (&c, &s)) in caps.iter().zip(&shards).enumerate() {
+                if c == 0 {
+                    assert_eq!(s.to_bits(), 0.0f64.to_bits(), "shard {i} of {caps:?}");
+                } else {
+                    assert!(s > 0.0, "live shard {i} of {caps:?} must be positive");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn enclave_outage_kills_requeues_and_resharding_is_exact() {
+        let site_budget = 8.0 * 450.0;
+        let policy = || SystemPowerPolicy::budgeted(4.0 * 450.0, PowerAssignment::Unconstrained);
+        let mut site = EnclaveSet::new(
+            vec![
+                ("a".into(), sched(4, 1, policy())),
+                ("b".into(), sched(4, 2, policy())),
+            ],
+            2,
+        );
+        for (i, enc) in site.enclaves_mut().iter_mut().enumerate() {
+            for j in 0..2u64 {
+                enc.scheduler_mut().submit(job(i as u64 * 10 + j, 2, 0));
+            }
+        }
+        site.schedule_enclave_outage(
+            0,
+            SimTime::from_secs(3),
+            SimDuration::from_secs(60),
+            Some(site_budget),
+            EmergencyResponse::TightenCaps,
+        );
+        site.run_until_drained(SimDuration::from_secs(1), SimTime::from_secs(7200));
+        let m = site.site_metrics();
+        assert_eq!(m.submitted, 4);
+        assert_eq!(
+            m.completed + m.failed + m.rejected,
+            4,
+            "conservation across the outage"
+        );
+        assert_eq!(m.down_nodes, 0, "every node rejoined");
+        let enc0 = &site.enclaves()[0];
+        assert!(
+            enc0.scheduler().trace().of_kind("node_fail").count() == 4
+                && enc0.scheduler().trace().of_kind("node_recover").count() == 4,
+            "all four enclave-a nodes cycled"
+        );
+        assert!(
+            enc0.scheduler().trace().of_kind("job_kill").count() >= 1,
+            "running work was killed by the outage"
+        );
+    }
+
+    #[test]
+    fn parallel_drain_is_byte_identical_to_serial() {
+        let build = || {
+            let mut site = EnclaveSet::new(
+                vec![
+                    ("a".into(), sched(4, 1, SystemPowerPolicy::unlimited())),
+                    ("b".into(), sched(4, 2, SystemPowerPolicy::unlimited())),
+                    ("c".into(), sched(4, 3, SystemPowerPolicy::unlimited())),
+                    ("d".into(), sched(4, 4, SystemPowerPolicy::unlimited())),
+                ],
+                2,
+            );
+            for (i, enc) in site.enclaves_mut().iter_mut().enumerate() {
+                for j in 0..3u64 {
+                    enc.scheduler_mut().submit(job(i as u64 * 10 + j, 2, 7 * j));
+                }
+                enc.scheduler_mut()
+                    .schedule_node_fail(SimTime::from_secs(10), i);
+                enc.scheduler_mut()
+                    .schedule_node_recover(SimTime::from_secs(300), i);
+            }
+            site
+        };
+        let digest = |site: &mut EnclaveSet| -> Vec<(u64, u64, u64)> {
+            site.enclaves_mut()
+                .iter_mut()
+                .flat_map(|e| {
+                    e.scheduler()
+                        .records()
+                        .iter()
+                        .map(|r| (r.id.0, r.end.as_micros(), r.energy_j.to_bits()))
+                        .collect::<Vec<_>>()
+                })
+                .collect()
+        };
+        let mut serial = build();
+        serial.run_until_drained(SimDuration::from_secs(1), SimTime::from_secs(3600));
+        let want = digest(&mut serial);
+        for workers in [1usize, 2, 4, 8] {
+            let mut site = build();
+            site.run_until_drained_parallel(
+                SimDuration::from_secs(1),
+                SimTime::from_secs(3600),
+                workers,
+            );
+            assert_eq!(
+                digest(&mut site),
+                want,
+                "{workers}-worker drain must match serial bytes"
+            );
+            assert_eq!(site.events_processed(), serial.events_processed());
         }
     }
 

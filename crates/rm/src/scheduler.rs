@@ -194,6 +194,9 @@ struct IdleSlot {
 pub struct Scheduler {
     now: SimTime,
     idle: Vec<IdleSlot>,
+    /// Failed nodes: powered off (no idle physics, no power draw) until a
+    /// [`EventKind::NodeRecover`] returns them to the idle pool.
+    down: Vec<IdleSlot>,
     total_nodes: usize,
     queue: VecDeque<JobSpec>,
     running: Vec<RunningJob>,
@@ -230,6 +233,23 @@ pub struct Scheduler {
     reserved_memo: Cell<Option<f64>>,
     /// Memoized allocated-node count, same invalidation discipline.
     busy_memo: Cell<Option<usize>>,
+    /// Jobs ever submitted (requeues excluded), for conservation checks.
+    submitted: usize,
+    /// Kill-and-requeue attempts consumed per job id.
+    retries: HashMap<u64, u32>,
+    /// Requeue budget per job before it is declared permanently failed.
+    max_job_retries: u32,
+    /// Jobs that exhausted their retry budget.
+    failed: Vec<JobId>,
+    /// Stuck power-cap actuators: node id → expiry. RM out-of-band cap
+    /// writes to these nodes are dropped until the expiry passes.
+    stuck_caps: HashMap<usize, SimTime>,
+    /// Count of cap writes dropped on stuck actuators.
+    stuck_cap_drops: u64,
+    /// Telemetry dropout windows fired so far.
+    telemetry_dropouts: u64,
+    /// Until when the fleet aggregation tree is dropping our samples.
+    telemetry_blackout_until: SimTime,
 }
 
 impl Scheduler {
@@ -269,6 +289,15 @@ impl Scheduler {
             work_cache: HashMap::new(),
             reserved_memo: Cell::new(None),
             busy_memo: Cell::new(None),
+            down: Vec::new(),
+            submitted: 0,
+            retries: HashMap::new(),
+            max_job_retries: 3,
+            failed: Vec::new(),
+            stuck_caps: HashMap::new(),
+            stuck_cap_drops: 0,
+            telemetry_dropouts: 0,
+            telemetry_blackout_until: SimTime::ZERO,
         }
     }
 
@@ -320,6 +349,13 @@ impl Scheduler {
         self
     }
 
+    /// Cap how many kill-and-requeue attempts a job gets before it is
+    /// declared permanently failed (default 3).
+    pub fn with_max_job_retries(mut self, retries: u32) -> Self {
+        self.max_job_retries = retries;
+        self
+    }
+
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.now
@@ -348,6 +384,63 @@ impl Scheduler {
     /// Jobs rejected as infeasible under the machine size or power policy.
     pub fn rejected(&self) -> &[JobId] {
         &self.rejected
+    }
+
+    /// Jobs ever submitted through [`Scheduler::submit`] (requeues of a
+    /// killed job do not count twice). With the drain complete,
+    /// `submitted == completed + failed + rejected` — the conservation law
+    /// the E11 chaos grid asserts.
+    pub fn submitted(&self) -> usize {
+        self.submitted
+    }
+
+    /// Jobs that exhausted their retry budget after fault kills.
+    pub fn failed(&self) -> &[JobId] {
+        &self.failed
+    }
+
+    /// Nodes currently failed (powered off, out of the schedulable pool).
+    pub fn down_nodes(&self) -> usize {
+        self.down.len()
+    }
+
+    /// Nodes currently alive (idle or allocated).
+    pub fn alive_nodes(&self) -> usize {
+        self.total_nodes - self.down.len()
+    }
+
+    /// Hardware ids of every node this scheduler owns (idle, allocated and
+    /// down), sorted. Fleet fault plans use this to address nodes.
+    pub fn node_ids(&self) -> Vec<usize> {
+        let mut ids: Vec<usize> = self
+            .idle
+            .iter()
+            .map(|s| s.nm.id().0)
+            .chain(self.down.iter().map(|s| s.nm.id().0))
+            .chain(
+                self.running
+                    .iter()
+                    .flat_map(|j| j.nodes.iter().map(|nm| nm.id().0)),
+            )
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Telemetry dropout windows fired so far.
+    pub fn telemetry_dropouts(&self) -> u64 {
+        self.telemetry_dropouts
+    }
+
+    /// Whether the fleet aggregation tree is currently dropping this
+    /// scheduler's samples.
+    pub fn telemetry_suppressed(&self) -> bool {
+        self.now < self.telemetry_blackout_until
+    }
+
+    /// RM out-of-band cap writes dropped on stuck actuators so far.
+    pub fn stuck_cap_drops(&self) -> u64 {
+        self.stuck_cap_drops
     }
 
     /// The event trace (job starts/ends, power decisions).
@@ -428,6 +521,7 @@ impl Scheduler {
         );
         self.events.push(spec.submit, EventKind::Arrival(spec.id));
         self.sched_dirty = true;
+        self.submitted += 1;
         self.queue.push_back(spec);
     }
 
@@ -442,6 +536,36 @@ impl Scheduler {
     ) {
         self.events
             .push(at, EventKind::BudgetChange { budget_w, response });
+    }
+
+    /// Schedule a node crash at `at`. An idle node powers off; a node
+    /// inside a running job kills it (requeued under the retry budget).
+    pub fn schedule_node_fail(&mut self, at: SimTime, node: usize) {
+        self.events.push(at, EventKind::NodeFail { node });
+    }
+
+    /// Schedule a failed node's reboot at `at`: knobs reset, back to the
+    /// idle pool. A no-op if the node is not down when the event fires.
+    pub fn schedule_node_recover(&mut self, at: SimTime, node: usize) {
+        self.events.push(at, EventKind::NodeRecover { node });
+    }
+
+    /// Schedule a software abort of `id` at `at` (a no-op unless the job is
+    /// running when the event fires).
+    pub fn schedule_job_fail(&mut self, at: SimTime, id: JobId) {
+        self.events.push(at, EventKind::JobFail(id));
+    }
+
+    /// Schedule a stuck power-cap actuator on `node` from `at` to `until`:
+    /// RM out-of-band cap writes to the node are dropped in that window.
+    pub fn schedule_cap_stick(&mut self, at: SimTime, node: usize, until: SimTime) {
+        self.events.push(at, EventKind::CapStick { node, until });
+    }
+
+    /// Schedule a telemetry dropout window from `at` to `until` in the
+    /// fleet aggregation tree (observability only; never changes scheduling).
+    pub fn schedule_telemetry_dropout(&mut self, at: SimTime, until: SimTime) {
+        self.events.push(at, EventKind::TelemetryDropout { until });
     }
 
     /// Instantaneous system power: running nodes + idle nodes, watts.
@@ -461,7 +585,9 @@ impl Scheduler {
         running + idle
     }
 
-    /// Total energy consumed by every node so far, joules.
+    /// Total energy consumed by every node so far, joules. Down nodes are
+    /// powered off (no draw while down) but keep the energy they consumed
+    /// before failing.
     pub fn system_energy_j(&mut self) -> f64 {
         self.sync_idle_nodes();
         self.running
@@ -471,6 +597,11 @@ impl Scheduler {
             .sum::<f64>()
             + self
                 .idle
+                .iter()
+                .map(|s| s.nm.read(Signal::NodeEnergyJoules))
+                .sum::<f64>()
+            + self
+                .down
                 .iter()
                 .map(|s| s.nm.read(Signal::NodeEnergyJoules))
                 .sum::<f64>()
@@ -604,8 +735,43 @@ impl Scheduler {
                 for job in self.running.iter_mut().filter(|j| j.paused.is_none()) {
                     job.reservation_w = per_node * job.nodes.len() as f64;
                     job.budget_w = Some(job.reservation_w);
-                    for nm in job.nodes.iter_mut() {
-                        nm.set_power_limit(now, per_node, SimDuration::from_millis(10));
+                    // Degraded-mode clamp propagation: a stuck actuator keeps
+                    // its old (looser) cap, so the job's responsive nodes
+                    // absorb the difference — the job stays inside its
+                    // tightened reservation, and the site inside the
+                    // emergency budget, for as long as the stick lasts.
+                    let stuck: Vec<bool> = job
+                        .nodes
+                        .iter()
+                        .map(|nm| matches!(self.stuck_caps.get(&nm.id().0), Some(&u) if now < u))
+                        .collect();
+                    let stuck_w: f64 = job
+                        .nodes
+                        .iter()
+                        .zip(&stuck)
+                        .filter(|&(_, &s)| s)
+                        .map(|(nm, _)| {
+                            let cap = nm.read(Signal::PowerCapWatts);
+                            if cap.is_finite() {
+                                cap
+                            } else {
+                                self.policy.node_peak_estimate_w
+                            }
+                        })
+                        .sum();
+                    let responsive = stuck.iter().filter(|&&s| !s).count();
+                    let comp_w = if responsive > 0 {
+                        ((job.reservation_w - stuck_w) / responsive as f64)
+                            .max(self.policy.node_idle_estimate_w + 20.0)
+                    } else {
+                        per_node
+                    };
+                    for (nm, &is_stuck) in job.nodes.iter_mut().zip(&stuck) {
+                        if is_stuck {
+                            self.stuck_cap_drops += 1;
+                            continue;
+                        }
+                        nm.set_power_limit(now, comp_w, SimDuration::from_millis(10));
                     }
                     // A budget-consuming runtime would reassert its old caps
                     // at its next control tick; renegotiate through the
@@ -744,6 +910,10 @@ impl Scheduler {
             job.budget_w = Some(job.reservation_w);
             if matches!(job.spec.agent, crate::spec::AgentKind::None) {
                 for nm in job.nodes.iter_mut() {
+                    if matches!(self.stuck_caps.get(&nm.id().0), Some(&u) if now < u) {
+                        self.stuck_cap_drops += 1;
+                        continue;
+                    }
                     nm.set_power_limit(now, per_node, SimDuration::from_millis(10));
                 }
             }
@@ -812,8 +982,13 @@ impl Scheduler {
         // "Out-of-band power and/or energy controls").
         if let (Some(w), crate::spec::AgentKind::None) = (budget_w, &spec.agent) {
             let per_node = w / n as f64;
+            let now = self.now;
             for nm in nodes.iter_mut() {
-                nm.set_power_limit(self.now, per_node, SimDuration::from_millis(10));
+                if matches!(self.stuck_caps.get(&nm.id().0), Some(&u) if now < u) {
+                    self.stuck_cap_drops += 1;
+                    continue;
+                }
+                nm.set_power_limit(now, per_node, SimDuration::from_millis(10));
             }
         }
         let (agents, endpoint) = spec.agent.make_agents_with_endpoint(budget_w, n);
@@ -1060,20 +1235,52 @@ impl Scheduler {
     /// (time, kind, insertion) order.
     fn fire_due_events(&mut self) {
         while let Some(ev) = self.events.pop_due(self.now) {
+            // The per-tick oracle gives every already-submitted job its
+            // launch decision in the *previous* tick's end-of-tick
+            // scheduling pass — before an unfired budget change or fault
+            // due at or before this instant applies at tick top. The lean
+            // engine may have skipped that pass (the arrival had not fired,
+            // so the dirty flag was clear), so replay it before applying
+            // any state-mutating event or the decision would see the new
+            // budget / degraded capacity instead of the old state.
+            if matches!(
+                ev.kind,
+                EventKind::BudgetChange { .. }
+                    | EventKind::NodeFail { .. }
+                    | EventKind::NodeRecover { .. }
+                    | EventKind::JobFail(_)
+                    | EventKind::CapStick { .. }
+            ) && self.queue.iter().any(|j| j.submit <= self.now)
+            {
+                self.schedule();
+            }
             match ev.kind {
                 EventKind::BudgetChange { budget_w, response } => {
-                    // The per-tick oracle gives every already-submitted job
-                    // its launch decision in the *previous* tick's
-                    // end-of-tick scheduling pass — before an unfired budget
-                    // change due at or before this instant applies at tick
-                    // top. The lean engine may have skipped that pass (the
-                    // arrival had not fired, so the dirty flag was clear),
-                    // so replay it here or the decision would see the new
-                    // budget instead of the old one.
-                    if self.queue.iter().any(|j| j.submit <= self.now) {
-                        self.schedule();
-                    }
                     self.set_system_budget(budget_w, response);
+                }
+                EventKind::NodeFail { node } => self.fail_node(node),
+                EventKind::NodeRecover { node } => self.recover_node(node),
+                EventKind::JobFail(id) => self.fail_job(id),
+                EventKind::CapStick { node, until } => {
+                    self.stuck_caps.insert(node, until);
+                    self.trace.record(
+                        self.now,
+                        "rm",
+                        "cap_stick",
+                        node as f64,
+                        format!("node{node} cap actuator stuck until {until:?}"),
+                    );
+                }
+                EventKind::TelemetryDropout { until } => {
+                    self.telemetry_dropouts += 1;
+                    self.telemetry_blackout_until = self.telemetry_blackout_until.max(until);
+                    self.trace.record(
+                        self.now,
+                        "rm",
+                        "telemetry_dropout",
+                        self.telemetry_dropouts as f64,
+                        format!("aggregation tree dropping samples until {until:?}"),
+                    );
                 }
                 EventKind::Arrival(_) => {
                     self.sched_dirty = true;
@@ -1081,6 +1288,150 @@ impl Scheduler {
                 // Bookkeeping markers: their pop advances the heap cursor.
                 EventKind::Tick | EventKind::Completion(_) => {}
             }
+        }
+    }
+
+    /// Apply a node crash: an idle node powers off into the down pool; a
+    /// node inside a running job kills the job (requeue under the retry
+    /// budget). Unknown or already-down node ids are no-ops, so fault plans
+    /// can over-schedule safely.
+    fn fail_node(&mut self, node: usize) {
+        if self.down.iter().any(|s| s.nm.id().0 == node) {
+            return;
+        }
+        let (now, quantum) = (self.now, self.last_quantum);
+        if let Some(pos) = self.idle.iter().position(|s| s.nm.id().0 == node) {
+            let mut slot = self.idle.remove(pos);
+            // Bring the deferred idle physics current before the power-off:
+            // the energy consumed up to the crash instant is real.
+            Self::catch_up_idle(&mut slot, now, quantum);
+            self.trace.record(
+                now,
+                "rm",
+                "node_fail",
+                node as f64,
+                format!("node{node} failed while idle"),
+            );
+            self.down.push(slot);
+            self.sched_dirty = true;
+            self.invalidate_accounting();
+            return;
+        }
+        let Some(pos) = self
+            .running
+            .iter()
+            .position(|j| j.nodes.iter().any(|nm| nm.id().0 == node))
+        else {
+            return;
+        };
+        let job = self.running.remove(pos);
+        self.trace.record(
+            now,
+            "rm",
+            "node_fail",
+            node as f64,
+            format!("node{node} failed under {}", job.spec.id),
+        );
+        self.kill_running(job, Some(node));
+    }
+
+    /// Reboot a failed node: knobs reset, idle physics restarts at the
+    /// current instant (the node drew nothing while down).
+    fn recover_node(&mut self, node: usize) {
+        let Some(pos) = self.down.iter().position(|s| s.nm.id().0 == node) else {
+            return;
+        };
+        let mut slot = self.down.remove(pos);
+        slot.nm.reset_all_knobs();
+        slot.synced_to = self.now;
+        self.trace.record(
+            self.now,
+            "rm",
+            "node_recover",
+            node as f64,
+            format!("node{node} rebooted into the idle pool"),
+        );
+        self.idle.push(slot);
+        self.sched_dirty = true;
+        self.invalidate_accounting();
+    }
+
+    /// Apply a software abort of a running job (no-op if it is not running).
+    fn fail_job(&mut self, id: JobId) {
+        let Some(pos) = self.running.iter().position(|j| j.spec.id == id) else {
+            return;
+        };
+        let job = self.running.remove(pos);
+        self.kill_running(job, None);
+    }
+
+    /// Tear down a killed job: surviving nodes return to the idle pool with
+    /// knobs reset, a crashed node (if any) powers off into the down pool,
+    /// and the spec is requeued or permanently failed by its retry budget.
+    fn kill_running(&mut self, job: RunningJob, crashed: Option<usize>) {
+        let id = job.spec.id;
+        self.trace.record(
+            self.now,
+            "rm",
+            "job_kill",
+            id.0 as f64,
+            format!("{id} killed ({} nodes, work lost)", job.nodes.len()),
+        );
+        for mut nm in job.nodes {
+            if Some(nm.id().0) == crashed {
+                // Knobs reset at reboot, not here: the node is dead.
+                self.down.push(IdleSlot {
+                    nm,
+                    synced_to: self.now,
+                });
+            } else {
+                // The runtime never ran its on_job_end: reset everything.
+                nm.reset_all_knobs();
+                self.idle.push(IdleSlot {
+                    nm,
+                    synced_to: self.now,
+                });
+            }
+        }
+        self.sched_dirty = true;
+        self.invalidate_accounting();
+        self.requeue_or_fail(job.spec);
+    }
+
+    /// Requeue a killed job if its retry budget allows, else record it as
+    /// permanently failed. Requeues re-enter through the event heap (an
+    /// arrival at the current instant) so both drain engines see them
+    /// identically.
+    fn requeue_or_fail(&mut self, spec: JobSpec) {
+        let attempts = self.retries.get(&spec.id.0).copied().unwrap_or(0);
+        let id = spec.id;
+        if attempts < self.max_job_retries {
+            self.retries.insert(id.0, attempts + 1);
+            self.trace.record(
+                self.now,
+                "rm",
+                "job_requeue",
+                id.0 as f64,
+                format!(
+                    "{id} requeued, attempt {}/{}",
+                    attempts + 1,
+                    self.max_job_retries
+                ),
+            );
+            self.events.push(self.now, EventKind::Arrival(id));
+            self.queue.push_back(spec);
+        } else {
+            self.failed.push(id);
+            self.trace.record(
+                self.now,
+                "rm",
+                "job_fail",
+                id.0 as f64,
+                format!(
+                    "{id} failed permanently: retry budget {} exhausted",
+                    self.max_job_retries
+                ),
+            );
         }
     }
 
@@ -1287,6 +1638,33 @@ impl Scheduler {
     pub fn run_until_drained(&mut self, quantum: SimDuration, horizon: SimTime) {
         self.run_until(quantum, horizon);
         self.horizon_grace();
+    }
+
+    /// Replay the pending event schedule of an *idle* scheduler up to (but
+    /// excluding) `horizon`.
+    ///
+    /// The drain loops stop as soon as the last job completes, which can
+    /// strand already-scheduled operator events — node reboots, budget
+    /// restores, telemetry-dropout expiries — in the heap. A real site
+    /// keeps operating after its queue empties; this replays exactly that
+    /// tail, jumping the clock event-to-event with no physics in between
+    /// (nothing is running, so there is nothing to integrate). The E11
+    /// chaos experiment calls this before checking its recovery SLO so a
+    /// reboot scheduled after the final completion still lands.
+    pub fn flush_events_until(&mut self, horizon: SimTime) {
+        debug_assert!(
+            self.running.is_empty(),
+            "flush_events_until is for drained schedulers"
+        );
+        while let Some(t) = self.events.peek_time() {
+            if t >= horizon {
+                break;
+            }
+            if t > self.now {
+                self.now = t;
+            }
+            self.fire_due_events();
+        }
     }
 
     /// Reference per-tick drain: the naive loop the event-driven engine must
@@ -1861,5 +2239,181 @@ mod tests {
             1,
             "scheduled cut must pause exactly as the manual one"
         );
+    }
+
+    #[test]
+    fn idle_node_fail_and_recover_cycle_capacity() {
+        let mut s = sched(4, SystemPowerPolicy::unlimited());
+        // Fail two idle nodes before the wide job arrives: it must wait.
+        s.schedule_node_fail(SimTime::from_secs(1), 0);
+        s.schedule_node_fail(SimTime::from_secs(1), 1);
+        s.schedule_node_recover(SimTime::from_secs(120), 0);
+        s.schedule_node_recover(SimTime::from_secs(120), 1);
+        s.submit(small_job(1, 4, 5));
+        s.run_until_drained(SimDuration::from_secs(1), SimTime::from_secs(3600));
+        assert_eq!(s.records().len(), 1, "job runs once capacity recovers");
+        let r = &s.records()[0];
+        assert!(
+            r.start >= SimTime::from_secs(120),
+            "start {:?} must wait for the recovery",
+            r.start
+        );
+        assert_eq!(s.down_nodes(), 0);
+        assert_eq!(s.alive_nodes(), 4);
+        assert!(s.failed().is_empty());
+    }
+
+    #[test]
+    fn node_fail_under_job_requeues_within_retry_budget() {
+        let mut s = sched(2, SystemPowerPolicy::unlimited());
+        s.submit(small_job(1, 2, 0));
+        // Crash a node mid-run, recover it shortly after.
+        s.schedule_node_fail(SimTime::from_secs(3), 0);
+        s.schedule_node_recover(SimTime::from_secs(10), 0);
+        s.run_until_drained(SimDuration::from_secs(1), SimTime::from_secs(3600));
+        assert_eq!(s.records().len(), 1, "killed job must requeue and finish");
+        assert!(s.failed().is_empty());
+        assert_eq!(s.trace().of_kind("job_kill").count(), 1);
+        assert_eq!(s.trace().of_kind("job_requeue").count(), 1);
+        let r = &s.records()[0];
+        assert_eq!(r.submit, SimTime::ZERO, "requeue keeps the original submit");
+        assert!(
+            r.start >= SimTime::from_secs(10),
+            "restarted after recovery"
+        );
+        // Conservation: submitted == completed + failed + rejected.
+        assert_eq!(
+            s.submitted(),
+            s.records().len() + s.failed().len() + s.rejected().len()
+        );
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_fails_job_permanently() {
+        let mut s = sched(2, SystemPowerPolicy::unlimited()).with_max_job_retries(1);
+        s.submit(small_job(1, 2, 0));
+        // Two kills against a budget of one retry: the second kill fails it.
+        s.schedule_node_fail(SimTime::from_secs(2), 0);
+        s.schedule_node_recover(SimTime::from_secs(4), 0);
+        s.schedule_node_fail(SimTime::from_secs(8), 1);
+        s.schedule_node_recover(SimTime::from_secs(12), 1);
+        s.run_until_drained(SimDuration::from_secs(1), SimTime::from_secs(3600));
+        assert_eq!(s.records().len(), 0);
+        assert_eq!(s.failed(), &[JobId(1)]);
+        assert_eq!(s.trace().of_kind("job_fail").count(), 1);
+        assert_eq!(
+            s.submitted(),
+            s.records().len() + s.failed().len() + s.rejected().len()
+        );
+    }
+
+    #[test]
+    fn job_fail_event_aborts_and_requeues() {
+        let mut s = sched(2, SystemPowerPolicy::unlimited());
+        s.submit(small_job(1, 2, 0));
+        s.schedule_job_fail(SimTime::from_secs(3), JobId(1));
+        // Failing a job that is not running is a no-op.
+        s.schedule_job_fail(SimTime::from_secs(3), JobId(99));
+        s.run_until_drained(SimDuration::from_secs(1), SimTime::from_secs(3600));
+        assert_eq!(s.records().len(), 1);
+        assert_eq!(s.trace().of_kind("job_kill").count(), 1);
+        assert!(s.failed().is_empty());
+    }
+
+    #[test]
+    fn stuck_cap_actuator_drops_rm_writes_until_expiry() {
+        // Agentless job under a per-node cap: launch writes out-of-band
+        // caps. With every node's actuator stuck through the launch window,
+        // the writes are dropped and counted.
+        let policy = SystemPowerPolicy::budgeted(2.0 * 450.0, PowerAssignment::PerNodeCap(250.0));
+        let mut stuck = sched(2, policy);
+        stuck.schedule_cap_stick(SimTime::from_secs(0), 0, SimTime::from_secs(3600));
+        stuck.schedule_cap_stick(SimTime::from_secs(0), 1, SimTime::from_secs(3600));
+        stuck.submit(small_job(1, 2, 1));
+        stuck.run_until_drained(SimDuration::from_secs(1), SimTime::from_secs(3600));
+        assert!(stuck.stuck_cap_drops() >= 2, "both launch writes dropped");
+
+        let mut live = sched(2, policy);
+        live.submit(small_job(1, 2, 1));
+        live.run_until_drained(SimDuration::from_secs(1), SimTime::from_secs(3600));
+        assert_eq!(live.stuck_cap_drops(), 0);
+        // The uncapped (stuck) run must draw at least as much energy.
+        assert!(
+            stuck.records()[0].energy_j >= live.records()[0].energy_j,
+            "stuck actuator must not enforce the cap: {} vs {}",
+            stuck.records()[0].energy_j,
+            live.records()[0].energy_j
+        );
+    }
+
+    #[test]
+    fn emergency_clamp_compensates_around_stuck_actuator() {
+        // Agentless 2-node job launched under a 250 W per-node cap. Node 0's
+        // actuator sticks after launch; an emergency then tightens the
+        // budget to 440 W. The stuck node keeps its 250 W cap, so the
+        // responsive node must absorb the difference (190 W) — total caps
+        // stay exactly at the emergency budget, and measured power stays
+        // under it for the whole emergency window.
+        let policy = SystemPowerPolicy::budgeted(2.0 * 450.0, PowerAssignment::PerNodeCap(250.0));
+        let mut s = sched(2, policy);
+        s.submit(JobSpec::rigid(
+            1,
+            Arc::new(SyntheticApp::new(Profile::ComputeHeavy, 400.0, 10)),
+            2,
+            SimTime::from_secs(0),
+        ));
+        s.schedule_cap_stick(SimTime::from_secs(5), 0, SimTime::from_secs(600));
+        s.schedule_budget_change(
+            SimTime::from_secs(10),
+            Some(440.0),
+            EmergencyResponse::TightenCaps,
+        );
+        let q = SimDuration::from_secs(1);
+        s.run_until(q, SimTime::from_secs(12));
+        assert!(s.stuck_cap_drops() >= 1, "the stuck write was dropped");
+        for t in (12..60).step_by(4) {
+            s.run_until(q, SimTime::from_secs(t));
+            let p = s.system_power_w();
+            // 2% slack: RAPL-style caps enforce over an averaging window,
+            // not instantaneously. Without compensation the caps would sum
+            // to 470 W (6.8% over) and the draw would sit near that.
+            assert!(
+                p <= 440.0 * 1.02,
+                "compensated caps must hold the emergency budget: {p:.1} W at t={t}"
+            );
+        }
+        s.run_until_drained(q, SimTime::from_secs(7200));
+        assert_eq!(s.records().len(), 1, "the job still completes");
+    }
+
+    #[test]
+    fn telemetry_dropout_counts_without_changing_schedule() {
+        let mut faulty = sched(2, SystemPowerPolicy::unlimited());
+        let mut clean = sched(2, SystemPowerPolicy::unlimited());
+        for s in [&mut faulty, &mut clean] {
+            s.submit(small_job(1, 2, 0));
+        }
+        faulty.schedule_telemetry_dropout(SimTime::from_secs(2), SimTime::from_secs(30));
+        faulty.run_until_drained(SimDuration::from_secs(1), SimTime::from_secs(3600));
+        clean.run_until_drained(SimDuration::from_secs(1), SimTime::from_secs(3600));
+        assert_eq!(faulty.telemetry_dropouts(), 1);
+        assert_eq!(clean.telemetry_dropouts(), 0);
+        assert_eq!(faulty.records().len(), clean.records().len());
+        let (a, b) = (&faulty.records()[0], &clean.records()[0]);
+        assert_eq!(a.end, b.end, "observability fault must not alter physics");
+        assert_eq!(a.energy_j.to_bits(), b.energy_j.to_bits());
+    }
+
+    #[test]
+    fn node_ids_cover_idle_running_and_down() {
+        let mut s = sched(4, SystemPowerPolicy::unlimited());
+        assert_eq!(s.node_ids(), vec![0, 1, 2, 3]);
+        s.submit(small_job(1, 2, 0));
+        s.schedule_node_fail(SimTime::from_secs(5), 3);
+        for _ in 0..6 {
+            s.step(SimDuration::from_secs(1));
+        }
+        assert_eq!(s.down_nodes(), 1);
+        assert_eq!(s.node_ids(), vec![0, 1, 2, 3], "ids stable across pools");
     }
 }

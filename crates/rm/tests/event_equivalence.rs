@@ -34,6 +34,7 @@ struct Scenario {
     arrival_pattern: u8,
     policy_kind: u8,
     budget_script: bool,
+    fault_script: bool,
 }
 
 fn build_scheduler(sc: &Scenario) -> Scheduler {
@@ -124,6 +125,18 @@ fn build_scheduler(sc: &Scenario) -> Scheduler {
             EmergencyResponse::PauseJobs,
         );
     }
+    if sc.fault_script {
+        // RM-class fault script through the event heap: two crash/recover
+        // cycles (one likely under a running job), a software abort, a
+        // stuck cap actuator and a telemetry dropout window.
+        sched.schedule_node_fail(SimTime::from_secs(25), 0);
+        sched.schedule_node_recover(SimTime::from_secs(180), 0);
+        sched.schedule_node_fail(SimTime::from_secs(70), sc.n_nodes - 1);
+        sched.schedule_node_recover(SimTime::from_secs(400), sc.n_nodes - 1);
+        sched.schedule_job_fail(SimTime::from_secs(55), pstack_rm::spec::JobId(1));
+        sched.schedule_cap_stick(SimTime::from_secs(10), 1, SimTime::from_secs(300));
+        sched.schedule_telemetry_dropout(SimTime::from_secs(15), SimTime::from_secs(120));
+    }
     sched
 }
 
@@ -166,6 +179,18 @@ fn assert_engines_agree(sc: &Scenario, horizon_s: u64) {
 
     assert_records_identical(event.records(), tick.records());
     assert_eq!(event.rejected(), tick.rejected(), "rejected sets");
+    assert_eq!(event.failed(), tick.failed(), "permanently failed sets");
+    assert_eq!(event.down_nodes(), tick.down_nodes(), "down pools");
+    assert_eq!(
+        event.telemetry_dropouts(),
+        tick.telemetry_dropouts(),
+        "dropout counters"
+    );
+    assert_eq!(
+        event.stuck_cap_drops(),
+        tick.stuck_cap_drops(),
+        "stuck-cap drop counters"
+    );
     assert_eq!(event.now(), tick.now(), "final clocks");
     assert_eq!(
         event.system_energy_j().to_bits(),
@@ -189,6 +214,7 @@ proptest! {
         arrival_pattern in 0u8..4,
         policy_kind in 0u8..3,
         budget_pick in 0u8..2,
+        fault_pick in 0u8..2,
     ) {
         let sc = Scenario {
             seed,
@@ -198,6 +224,7 @@ proptest! {
             arrival_pattern,
             policy_kind,
             budget_script: budget_pick == 1,
+            fault_script: fault_pick == 1,
         };
         eprintln!("case: {sc:?}");
         assert_engines_agree(&sc, 4 * 3600);
@@ -218,6 +245,7 @@ fn fig3_workload_seed_byte_identity() {
         arrival_pattern: 1,
         policy_kind: 2,
         budget_script: false,
+        fault_script: false,
     };
     assert_engines_agree(&sc, 24 * 3600);
 }
@@ -234,6 +262,7 @@ fn fig1_workload_seed_byte_identity() {
         arrival_pattern: 0,
         policy_kind: 0,
         budget_script: false,
+        fault_script: false,
     };
     assert_engines_agree(&sc, 24 * 3600);
 }
@@ -250,9 +279,135 @@ fn budget_script_byte_identity_across_quanta() {
             arrival_pattern: 2,
             policy_kind: 1,
             budget_script: true,
+            fault_script: false,
         };
         assert_engines_agree(&sc, 8 * 3600);
     }
+}
+
+/// RM-class fault events (node crash/recover, job abort, stuck actuator,
+/// telemetry dropout) land identically through the event heap in both
+/// engines, across quanta — the chaos-replay foundation E11 builds on.
+#[test]
+fn fault_script_byte_identity_across_quanta() {
+    for &q in &[250u64, 1_000, 3_000] {
+        for policy_kind in 0..3u8 {
+            let sc = Scenario {
+                seed: 99,
+                n_nodes: 8,
+                n_jobs: 12,
+                quantum_ms: q,
+                arrival_pattern: 1,
+                policy_kind,
+                budget_script: false,
+                fault_script: true,
+            };
+            assert_engines_agree(&sc, 8 * 3600);
+        }
+    }
+}
+
+/// Satellite: horizon-boundary semantics. An event scheduled *exactly* at
+/// the horizon never fires — both `run_until` and `run_until_drained` stop
+/// at `now >= horizon` before the tick that would pop it (the grace pass
+/// adds physics, not event processing) — and it stays pending so a resumed
+/// drain with a later horizon applies it exactly once.
+#[test]
+fn budget_change_exactly_at_horizon_stays_pending() {
+    let sc = Scenario {
+        seed: 5,
+        n_nodes: 8,
+        n_jobs: 8,
+        quantum_ms: 1_000,
+        arrival_pattern: 0,
+        policy_kind: 1,
+        budget_script: false,
+        fault_script: false,
+    };
+    let quantum = SimDuration::from_secs(1);
+    let horizon = SimTime::from_secs(40);
+    let cut = Some(450.0 * 8.0 * 0.2);
+
+    let mut bare = build_scheduler(&sc);
+    let mut graced = build_scheduler(&sc);
+    for s in [&mut bare, &mut graced] {
+        s.schedule_budget_change(horizon, cut, EmergencyResponse::PauseJobs);
+    }
+    bare.run_until(quantum, horizon);
+    graced.run_until_drained(quantum, horizon);
+
+    for (name, s) in [("run_until", &bare), ("run_until_drained", &graced)] {
+        assert_eq!(
+            s.trace().of_kind("budget_change").count(),
+            0,
+            "{name}: a change exactly at the horizon must not fire"
+        );
+        assert!(!s.events().is_empty(), "{name}: the change stays pending");
+        assert!(
+            s.events().cursor() <= horizon,
+            "{name}: cursor never passes the horizon"
+        );
+    }
+    // Resuming past the boundary fires it exactly once in both.
+    let later = SimTime::from_secs(120);
+    bare.run_until(quantum, later);
+    graced.run_until_drained(quantum, later);
+    for (name, s) in [("run_until", &bare), ("run_until_drained", &graced)] {
+        assert_eq!(
+            s.trace().of_kind("budget_change").count(),
+            1,
+            "{name}: resumed drain applies the pending change once"
+        );
+    }
+}
+
+/// Satellite: a retroactive `schedule_budget_change` (fire time already
+/// behind the clock mid-drain) fires at the next event pop in both engines
+/// without regressing the heap cursor, and the remainder of the drain stays
+/// byte-identical.
+#[test]
+fn retroactive_budget_change_mid_drain_agrees_across_engines() {
+    let sc = Scenario {
+        seed: 11,
+        n_nodes: 8,
+        n_jobs: 10,
+        quantum_ms: 1_000,
+        arrival_pattern: 1,
+        policy_kind: 1,
+        budget_script: false,
+        fault_script: false,
+    };
+    let quantum = SimDuration::from_secs(1);
+    let mut event = build_scheduler(&sc);
+    let mut tick = build_scheduler(&sc);
+
+    // Drive both engines to t=30 in lockstep, then push a change dated
+    // t=10 — twenty simulated seconds in the past.
+    for _ in 0..30 {
+        event.step(quantum);
+        tick.step(quantum);
+    }
+    let cursor_before = event.events().cursor();
+    let cut = Some(450.0 * 8.0 * 0.3);
+    for s in [&mut event, &mut tick] {
+        s.schedule_budget_change(SimTime::from_secs(10), cut, EmergencyResponse::TightenCaps);
+    }
+    let horizon = SimTime::from_secs(8 * 3600);
+    event.run_until_drained(quantum, horizon);
+    tick.run_until_drained_per_tick(quantum, horizon);
+
+    assert_records_identical(event.records(), tick.records());
+    assert_eq!(
+        event.system_energy_j().to_bits(),
+        tick.system_energy_j().to_bits(),
+        "energy bits after a retroactive change"
+    );
+    assert_eq!(event.trace().of_kind("budget_change").count(), 1);
+    assert_eq!(tick.trace().of_kind("budget_change").count(), 1);
+    assert!(
+        event.events().cursor() >= cursor_before,
+        "retroactive pop must not regress the cursor"
+    );
 }
 
 /// Kill-at-decile resume: drive the event engine in ten horizon slices, and
@@ -270,6 +425,7 @@ fn kill_at_decile_resume_round_trips_event_heap() {
         arrival_pattern: 2,
         policy_kind: 2,
         budget_script: true,
+        fault_script: false,
     };
     let quantum = SimDuration::from_millis(sc.quantum_ms);
     let horizon_s = 8 * 3600u64;

@@ -70,6 +70,29 @@ stage_fleet() {
     cargo run -q --release -p pstack-bench --bin bench_fleet
 }
 
+stage_chaosfleet() {
+    echo "== fleet chaos (E11 grid + recovery-SLO gate, smoke scale) =="
+    cargo test -q -p powerstack-core --lib experiments::fleetfaults
+    cargo test -q -p pstack-faults --lib fleet
+    # Smoke artifacts land in a scratch dir so the committed full-scale
+    # results/ stay untouched; CI uploads the scratch copies.
+    local out=target/chaosfleet
+    rm -rf "$out"
+    mkdir -p "$out"
+    POWERSTACK_RESULTS_DIR="$out" POWERSTACK_CHAOSFLEET_SMOKE=1 \
+        cargo run -q --release -p pstack-bench --bin ext_fleetfaults
+    POWERSTACK_RESULTS_DIR="$out" POWERSTACK_CHAOSFLEET_SMOKE=1 \
+        cargo run -q --release -p pstack-bench --bin bench_fleetfaults
+    # The gate must demonstrably trip: an injected regression exits nonzero.
+    if POWERSTACK_RESULTS_DIR="$out" POWERSTACK_CHAOSFLEET_SMOKE=1 \
+        POWERSTACK_FLEETFAULTS_INJECT_REGRESSION=1 \
+        cargo run -q --release -p pstack-bench --bin bench_fleetfaults >/dev/null 2>&1; then
+        echo "chaosfleet: injected regression did NOT trip the gate" >&2
+        exit 1
+    fi
+    echo "chaosfleet: injected regression tripped the gate (expected)"
+}
+
 stage_perfgate() {
     echo "== perf-regression gate (fresh artifacts vs committed results/) =="
     local fresh=target/perfgate
@@ -92,7 +115,7 @@ stage_lint() {
     cargo run -q --release -p pstack-analyze --bin pstack_lint
 }
 
-ALL_STAGES=(fmt build test chaos resume golden perf conc history fleet perfgate clippy lint)
+ALL_STAGES=(fmt build test chaos resume golden perf conc history fleet chaosfleet perfgate clippy lint)
 
 list_stages() {
     for s in "${ALL_STAGES[@]}"; do
@@ -125,6 +148,7 @@ for s in "${stages[@]}"; do
         conc | concurrency) stage_conc ;;
         history) stage_history ;;
         fleet) stage_fleet ;;
+        chaosfleet | chaos-fleet) stage_chaosfleet ;;
         perfgate | perf-gate) stage_perfgate ;;
         clippy) stage_clippy ;;
         lint | pstack_lint) stage_lint ;;
